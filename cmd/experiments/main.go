@@ -1,0 +1,98 @@
+// Command experiments regenerates the paper's evaluation figures
+// (Figures 5-19 of Section 5) as printed tables: communication bytes,
+// simulated end-to-end running time on the 16-node heterogeneous cluster
+// model, and SSE, for every method the paper compares.
+//
+// Usage:
+//
+//	experiments                 # all figures at the scaled defaults
+//	experiments -fig fig5,fig6  # selected figures
+//	experiments -quick          # small datasets (seconds, for smoke runs)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"wavelethist/internal/exper"
+)
+
+func main() {
+	var (
+		quick  = flag.Bool("quick", false, "use small datasets")
+		figs   = flag.String("fig", "all", "comma-separated figure ids (fig5..fig19) or 'all'")
+		seed   = flag.Uint64("seed", 0, "override the default seed")
+		list   = flag.Bool("list", false, "list available figure ids and exit")
+		csvDir = flag.String("csv", "", "also write each figure as <dir>/<id>.csv")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range exper.Registry() {
+			fmt.Println(e.ID)
+		}
+		return
+	}
+
+	cfg := exper.Default()
+	if *quick {
+		cfg = exper.Quick()
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+
+	want := map[string]bool{}
+	all := *figs == "all"
+	for _, id := range strings.Split(*figs, ",") {
+		want[strings.TrimSpace(id)] = true
+	}
+
+	fmt.Printf("config: %s\n\n", cfg)
+	start := time.Now()
+	ran := 0
+	for _, e := range exper.Registry() {
+		if !all && !want[e.ID] {
+			continue
+		}
+		t0 := time.Now()
+		figures, err := e.Driver(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		for _, f := range figures {
+			f.Print(os.Stdout)
+			if *csvDir != "" {
+				if err := writeCSV(*csvDir, f); err != nil {
+					fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+					os.Exit(1)
+				}
+			}
+		}
+		fmt.Printf("  (%s computed in %v)\n\n", e.ID, time.Since(t0).Round(time.Millisecond))
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintln(os.Stderr, "experiments: no figures matched -fig (use -list)")
+		os.Exit(2)
+	}
+	fmt.Printf("%d experiment(s) in %v\n", ran, time.Since(start).Round(time.Millisecond))
+}
+
+// writeCSV stores one figure as <dir>/<id>.csv.
+func writeCSV(dir string, f *exper.Figure) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	out, err := os.Create(filepath.Join(dir, f.ID+".csv"))
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+	return f.CSV(out)
+}

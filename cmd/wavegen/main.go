@@ -1,0 +1,131 @@
+// Command wavegen generates binary key datasets (Zipfian or WorldCup-like
+// access logs) as local files of little-endian records, the input format
+// cmd/wavehist consumes.
+//
+// Usage:
+//
+//	wavegen -out data.bin -kind zipf -n 1048576 -u 65536 -alpha 1.1
+//	wavegen -out wc.bin -kind worldcup -n 1048576 -clientbits 8 -objectbits 8
+package main
+
+import (
+	"bufio"
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"os"
+
+	"wavelethist/internal/zipf"
+)
+
+func main() {
+	var (
+		out        = flag.String("out", "", "output file (required)")
+		kind       = flag.String("kind", "zipf", "dataset kind: zipf | worldcup")
+		n          = flag.Int64("n", 1<<20, "number of records")
+		u          = flag.Int64("u", 1<<16, "key domain size (power of two; zipf)")
+		alpha      = flag.Float64("alpha", 1.1, "zipf skew")
+		seed       = flag.Uint64("seed", 1, "random seed")
+		recordSize = flag.Int("record-size", 4, "record size in bytes (>= 4)")
+		clientBits = flag.Uint("clientbits", 10, "worldcup: clients = 2^clientbits")
+		objectBits = flag.Uint("objectbits", 10, "worldcup: objects = 2^objectbits")
+		permute    = flag.Bool("permute", true, "scatter frequency ranks across the key domain")
+	)
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "wavegen: -out is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*out, *kind, *n, *u, *alpha, *seed, *recordSize, *clientBits, *objectBits, *permute); err != nil {
+		fmt.Fprintln(os.Stderr, "wavegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out, kind string, n, u int64, alpha float64, seed uint64,
+	recordSize int, clientBits, objectBits uint, permute bool) error {
+	if n < 1 {
+		return fmt.Errorf("need at least one record")
+	}
+	if recordSize < 4 {
+		return fmt.Errorf("record size must be >= 4")
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriterSize(f, 1<<20)
+
+	keyGen, domain, err := generator(kind, u, alpha, seed, clientBits, objectBits, permute)
+	if err != nil {
+		return err
+	}
+	keyWidth := 4
+	if recordSize >= 8 && domain > 1<<32 {
+		keyWidth = 8
+	}
+	if domain > 1<<32 && keyWidth == 4 {
+		return fmt.Errorf("domain %d needs -record-size >= 8", domain)
+	}
+	rec := make([]byte, recordSize)
+	for i := int64(0); i < n; i++ {
+		key := keyGen()
+		for j := range rec {
+			rec[j] = 0
+		}
+		if keyWidth == 8 {
+			binary.LittleEndian.PutUint64(rec, uint64(key))
+		} else {
+			binary.LittleEndian.PutUint32(rec, uint32(key))
+		}
+		if _, err := w.Write(rec); err != nil {
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d records (%d bytes each, domain %d) to %s\n", n, recordSize, domain, out)
+	return nil
+}
+
+// generator returns a key-drawing closure and the key domain size.
+func generator(kind string, u int64, alpha float64, seed uint64,
+	clientBits, objectBits uint, permute bool) (func() int64, int64, error) {
+	rng := zipf.NewRNG(seed)
+	switch kind {
+	case "zipf":
+		if u&(u-1) != 0 || u < 1 {
+			return nil, 0, fmt.Errorf("domain %d is not a power of two", u)
+		}
+		z := zipf.NewZipf(u, alpha)
+		var perm *zipf.Perm
+		if permute {
+			perm = zipf.NewPerm(u, seed^0xabcdef)
+		}
+		return func() int64 {
+			k := z.Sample(rng) - 1
+			if perm != nil {
+				k = perm.Apply(k)
+			}
+			return k
+		}, u, nil
+	case "worldcup":
+		numClients := int64(1) << clientBits
+		numObjects := int64(1) << objectBits
+		domain := numClients * numObjects
+		clients := zipf.NewZipf(numClients, 1.2)
+		objects := zipf.NewZipf(numObjects, 1.1)
+		cPerm := zipf.NewPerm(numClients, seed^0x11)
+		oPerm := zipf.NewPerm(numObjects, seed^0x22)
+		return func() int64 {
+			c := cPerm.Apply(clients.Sample(rng) - 1)
+			o := oPerm.Apply(objects.Sample(rng) - 1)
+			return c<<objectBits | o
+		}, domain, nil
+	default:
+		return nil, 0, fmt.Errorf("unknown kind %q (zipf | worldcup)", kind)
+	}
+}

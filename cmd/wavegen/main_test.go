@@ -1,0 +1,76 @@
+package main
+
+import (
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestGeneratorZipf(t *testing.T) {
+	gen, domain, err := generator("zipf", 1024, 1.1, 5, 0, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if domain != 1024 {
+		t.Fatalf("domain = %d", domain)
+	}
+	for i := 0; i < 10000; i++ {
+		k := gen()
+		if k < 0 || k >= 1024 {
+			t.Fatalf("key %d out of domain", k)
+		}
+	}
+}
+
+func TestGeneratorWorldCup(t *testing.T) {
+	gen, domain, err := generator("worldcup", 0, 0, 7, 6, 6, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if domain != 1<<12 {
+		t.Fatalf("domain = %d", domain)
+	}
+	for i := 0; i < 1000; i++ {
+		if k := gen(); k < 0 || k >= domain {
+			t.Fatalf("key %d out of domain", k)
+		}
+	}
+}
+
+func TestGeneratorRejects(t *testing.T) {
+	if _, _, err := generator("zipf", 1000, 1.1, 1, 0, 0, true); err == nil {
+		t.Error("accepted non-power-of-two domain")
+	}
+	if _, _, err := generator("bogus", 16, 1, 1, 0, 0, true); err == nil {
+		t.Error("accepted unknown kind")
+	}
+}
+
+func TestRunWritesRecords(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.bin")
+	if err := run(path, "zipf", 500, 256, 1.1, 3, 8, 0, 0, true); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 500*8 {
+		t.Fatalf("file size %d, want %d", len(data), 500*8)
+	}
+	for i := 0; i < 500; i++ {
+		k := binary.LittleEndian.Uint32(data[i*8:])
+		if k >= 256 {
+			t.Fatalf("record %d key %d out of domain", i, k)
+		}
+	}
+	// Validation failures.
+	if err := run(path, "zipf", 0, 256, 1.1, 3, 4, 0, 0, true); err == nil {
+		t.Error("accepted zero records")
+	}
+	if err := run(path, "zipf", 10, 256, 1.1, 3, 2, 0, 0, true); err == nil {
+		t.Error("accepted record size 2")
+	}
+}

@@ -1,0 +1,172 @@
+// Command wavehist builds a wavelet histogram from a binary key dataset
+// (as produced by cmd/wavegen) with any of the paper's methods, and
+// optionally answers range-selectivity queries against it.
+//
+// Usage:
+//
+//	wavehist -in data.bin -u 65536 -method TwoLevel-S -k 30
+//	wavehist -in data.bin -u 65536 -method H-WTopk -query 1000:2000
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"wavelethist"
+)
+
+func main() {
+	var (
+		in         = flag.String("in", "", "input binary key file (required)")
+		u          = flag.Int64("u", 1<<16, "key domain size (power of two)")
+		method     = flag.String("method", "TwoLevel-S", "construction method: Send-V | Send-Coef | H-WTopk | Basic-S | Improved-S | TwoLevel-S | Send-Sketch")
+		k          = flag.Int("k", 30, "number of retained coefficients")
+		eps        = flag.Float64("epsilon", 2e-3, "sampling error parameter")
+		chunk      = flag.Int64("chunk", 64<<10, "simulated HDFS chunk (split) size")
+		seed       = flag.Uint64("seed", 1, "random seed")
+		recordSize = flag.Int("record-size", 4, "record size in bytes of the input file")
+		query      = flag.String("query", "", "range query lo:hi (may repeat, comma-separated)")
+		showCoefs  = flag.Bool("coefs", false, "print the retained coefficients")
+	)
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "wavehist: -in is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*in, *u, *method, *k, *eps, *chunk, *seed, *recordSize, *query, *showCoefs); err != nil {
+		fmt.Fprintln(os.Stderr, "wavehist:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in string, u int64, method string, k int, eps float64, chunk int64,
+	seed uint64, recordSize int, query string, showCoefs bool) error {
+	keys, err := loadKeys(in, recordSize)
+	if err != nil {
+		return err
+	}
+	ds, err := wavelethist.NewDatasetFromKeys(keys, wavelethist.KeysOptions{
+		Domain:     u,
+		RecordSize: recordSize,
+		ChunkSize:  chunk,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("dataset: %d records, domain %d, %d splits\n",
+		ds.NumRecords(), ds.Domain(), ds.NumSplits(0))
+
+	res, err := wavelethist.Build(ds, wavelethist.Method(method), wavelethist.Options{
+		K: k, Epsilon: eps, Seed: seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("method: %s (exact: %v)\n", method, wavelethist.Method(method).Exact())
+	fmt.Printf("rounds: %d  communication: %d bytes  records scanned: %d/%d\n",
+		res.Rounds, res.CommBytes, res.RecordsRead, ds.NumRecords())
+	fmt.Printf("simulated cluster time: %.1fs  (local wall time: %v)\n",
+		res.SimulatedSeconds(), res.WallTime.Round(1000000))
+
+	if showCoefs {
+		fmt.Println("coefficients (largest magnitude first):")
+		for _, c := range res.Histogram.Coefficients() {
+			fmt.Printf("  w[%d] = %+.4f\n", c.Index, c.Value)
+		}
+	}
+
+	if query != "" {
+		// Warn when the total-average coefficient w[0] did not make the
+		// top-k: every detail basis vector sums to zero over its full
+		// support, so wide-range estimates are then biased toward zero.
+		// (Best k-term selection optimizes SSE, not range sums; raise -k
+		// until w[0] is retained for selectivity workloads.)
+		hasAvg := false
+		for _, c := range res.Histogram.Coefficients() {
+			if c.Index == 0 {
+				hasAvg = true
+				break
+			}
+		}
+		if !hasAvg {
+			fmt.Println("note: w[0] (total mass) not in the top-k; wide-range estimates will be biased low — consider a larger -k")
+		}
+		for _, q := range strings.Split(query, ",") {
+			lo, hi, err := parseRange(q)
+			if err != nil {
+				return err
+			}
+			est := res.Histogram.RangeCount(lo, hi)
+			truth := exactRange(keys, lo, hi)
+			fmt.Printf("range [%d, %d]: estimated %.0f, exact %d (%.2f%% error)\n",
+				lo, hi, est, truth, 100*absErr(est, float64(truth)))
+		}
+	}
+	return nil
+}
+
+func loadKeys(path string, recordSize int) ([]int64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if recordSize < 4 || len(data)%recordSize != 0 {
+		return nil, fmt.Errorf("file size %d not a multiple of record size %d", len(data), recordSize)
+	}
+	n := len(data) / recordSize
+	keys := make([]int64, n)
+	for i := 0; i < n; i++ {
+		rec := data[i*recordSize:]
+		if recordSize >= 8 {
+			keys[i] = int64(binary.LittleEndian.Uint64(rec))
+		} else {
+			keys[i] = int64(binary.LittleEndian.Uint32(rec))
+		}
+	}
+	return keys, nil
+}
+
+func parseRange(s string) (int64, int64, error) {
+	parts := strings.SplitN(strings.TrimSpace(s), ":", 2)
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("bad range %q (want lo:hi)", s)
+	}
+	lo, err := strconv.ParseInt(parts[0], 10, 64)
+	if err != nil {
+		return 0, 0, err
+	}
+	hi, err := strconv.ParseInt(parts[1], 10, 64)
+	if err != nil {
+		return 0, 0, err
+	}
+	return lo, hi, nil
+}
+
+func exactRange(keys []int64, lo, hi int64) int64 {
+	var c int64
+	for _, k := range keys {
+		if k >= lo && k <= hi {
+			c++
+		}
+	}
+	return c
+}
+
+func absErr(est, truth float64) float64 {
+	if truth == 0 {
+		if est == 0 {
+			return 0
+		}
+		return 1
+	}
+	d := est - truth
+	if d < 0 {
+		d = -d
+	}
+	return d / truth
+}

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseRange(t *testing.T) {
+	lo, hi, err := parseRange(" 10:20 ")
+	if err != nil || lo != 10 || hi != 20 {
+		t.Fatalf("parseRange = %d, %d, %v", lo, hi, err)
+	}
+	for _, bad := range []string{"", "10", "a:b", "10:"} {
+		if _, _, err := parseRange(bad); err == nil {
+			t.Errorf("parseRange(%q) accepted", bad)
+		}
+	}
+}
+
+func TestExactRange(t *testing.T) {
+	keys := []int64{1, 5, 5, 9, 100}
+	if got := exactRange(keys, 2, 9); got != 3 {
+		t.Errorf("exactRange = %d, want 3", got)
+	}
+	if got := exactRange(keys, 200, 300); got != 0 {
+		t.Errorf("exactRange = %d, want 0", got)
+	}
+}
+
+func TestAbsErr(t *testing.T) {
+	if absErr(90, 100) != 0.1 {
+		t.Errorf("absErr = %v", absErr(90, 100))
+	}
+	if absErr(0, 0) != 0 || absErr(5, 0) != 1 {
+		t.Error("zero-truth handling wrong")
+	}
+}
+
+func TestLoadKeys(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "k.bin")
+	want := []int64{7, 0, 1 << 20}
+	buf := make([]byte, 4*len(want))
+	for i, k := range want {
+		binary.LittleEndian.PutUint32(buf[i*4:], uint32(k))
+	}
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := loadKeys(path, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("key %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+	// Wide records.
+	buf8 := make([]byte, 16)
+	binary.LittleEndian.PutUint64(buf8, 1<<40)
+	binary.LittleEndian.PutUint64(buf8[8:], 3)
+	path8 := filepath.Join(dir, "k8.bin")
+	os.WriteFile(path8, buf8, 0o644)
+	got8, err := loadKeys(path8, 8)
+	if err != nil || got8[0] != 1<<40 || got8[1] != 3 {
+		t.Fatalf("8-byte keys: %v, %v", got8, err)
+	}
+	// Misaligned file.
+	if _, err := loadKeys(path, 3); err == nil {
+		t.Error("accepted record size 3")
+	}
+	if _, err := loadKeys(filepath.Join(dir, "missing"), 4); err == nil {
+		t.Error("accepted missing file")
+	}
+}
+
+func TestEndToEndRun(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "data.bin")
+	buf := make([]byte, 0, 4*4096)
+	for i := 0; i < 4096; i++ {
+		var rec [4]byte
+		binary.LittleEndian.PutUint32(rec[:], uint32(i%64))
+		buf = append(buf, rec[:]...)
+	}
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, 64, "H-WTopk", 70, 1e-2, 1024, 1, 4, "0:63", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, 64, "nope", 10, 1e-2, 1024, 1, 4, "", false); err == nil {
+		t.Error("accepted unknown method")
+	}
+}

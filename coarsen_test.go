@@ -1,0 +1,114 @@
+package wavelethist
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCoarsen(t *testing.T) {
+	const side = 64
+	xs := []int64{0, 1, 2, 3, 60, 61, 63}
+	ys := []int64{0, 0, 1, 1, 60, 62, 63}
+	ds, err := NewDataset2DFromPairs(xs, ys, side, 1024, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coarse, err := ds.Coarsen(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coarse.Side() != 16 {
+		t.Fatalf("coarse side = %d, want 16", coarse.Side())
+	}
+	if coarse.NumRecords() != ds.NumRecords() {
+		t.Fatalf("records changed: %d vs %d", coarse.NumRecords(), ds.NumRecords())
+	}
+	// Build an exact histogram on the coarse grid: block (0,0) holds the
+	// first four points, block (15,15) two of the last three.
+	res, err := Build2D(coarse, SendV2D, Options{K: 256, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Histogram.PointEstimate(0, 0); math.Abs(got-4) > 1e-6 {
+		t.Errorf("coarse cell (0,0) = %v, want 4", got)
+	}
+	if got := res.Histogram.PointEstimate(15, 15); math.Abs(got-3) > 1e-6 {
+		t.Errorf("coarse cell (15,15) = %v, want 3", got)
+	}
+}
+
+func TestCoarsenDensityIncreases(t *testing.T) {
+	// The paper's point: coarsening increases cell density, improving the
+	// relative accuracy of sampled 2D histograms on sparse grids.
+	const side = 128
+	n := 5000
+	xs := make([]int64, n)
+	ys := make([]int64, n)
+	state := uint64(9)
+	next := func() int64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return int64(state>>33) & (side - 1)
+	}
+	for i := range xs {
+		xs[i], ys[i] = next(), next()
+	}
+	ds, _ := NewDataset2DFromPairs(xs, ys, side, 4096, 3)
+	coarse, err := ds.Coarsen(16) // 128 -> 8: 5000 points over 64 cells
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Build2D(coarse, TwoLevelS2D, Options{K: 40, Epsilon: 0.02, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each coarse cell holds ~78 points; estimates should be within 60%.
+	exact := make(map[int64]float64)
+	for i := range xs {
+		exact[(xs[i]/16)*8+ys[i]/16]++
+	}
+	bad := 0
+	for cell, truth := range exact {
+		est := res.Histogram.PointEstimate(cell/8, cell%8)
+		if math.Abs(est-truth) > 0.6*truth {
+			bad++
+		}
+	}
+	if bad > len(exact)/4 {
+		t.Errorf("%d/%d coarse cells estimated poorly", bad, len(exact))
+	}
+}
+
+func TestExactGrid(t *testing.T) {
+	xs := []int64{0, 0, 3, 7}
+	ys := []int64{1, 1, 2, 7}
+	ds, err := NewDataset2DFromPairs(xs, ys, 8, 256, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := ds.ExactGrid()
+	if grid[0][1] != 2 || grid[3][2] != 1 || grid[7][7] != 1 {
+		t.Errorf("grid = %v", grid)
+	}
+	var total float64
+	for i := range grid {
+		for j := range grid[i] {
+			total += grid[i][j]
+		}
+	}
+	if total != 4 {
+		t.Errorf("total mass = %v", total)
+	}
+}
+
+func TestCoarsenValidation(t *testing.T) {
+	ds, _ := NewDataset2DFromPairs([]int64{1}, []int64{1}, 16, 0, 1)
+	if _, err := ds.Coarsen(3); err == nil {
+		t.Error("accepted non-power-of-two factor")
+	}
+	if _, err := ds.Coarsen(16); err == nil {
+		t.Error("accepted factor >= side")
+	}
+	if _, err := ds.Coarsen(0); err == nil {
+		t.Error("accepted factor 0")
+	}
+}

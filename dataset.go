@@ -1,0 +1,157 @@
+package wavelethist
+
+import (
+	"fmt"
+
+	"wavelethist/internal/datagen"
+	"wavelethist/internal/hdfs"
+	"wavelethist/internal/wavelet"
+)
+
+// Dataset is a keyed record file stored in the simulated HDFS, ready to be
+// processed by the construction methods.
+type Dataset struct {
+	fs     *hdfs.FileSystem
+	file   *hdfs.File
+	domain int64
+}
+
+// Domain returns the key-domain size u (a power of two).
+func (d *Dataset) Domain() int64 { return d.domain }
+
+// NumRecords returns the number of records n.
+func (d *Dataset) NumRecords() int64 { return d.file.NumRecords }
+
+// SizeBytes returns the stored file size.
+func (d *Dataset) SizeBytes() int64 { return d.file.Size() }
+
+// NumSplits returns the number of MapReduce splits m at the given split
+// size (0 = chunk size).
+func (d *Dataset) NumSplits(splitSize int64) int { return len(d.file.Splits(splitSize)) }
+
+// ExactFrequencies scans the whole dataset and returns the ground-truth
+// frequency map (for accuracy evaluation; the algorithms never call this).
+func (d *Dataset) ExactFrequencies() map[int64]float64 {
+	return datagen.ExactFrequencies(d.file)
+}
+
+// ZipfOptions configures a synthetic Zipfian dataset, the paper's primary
+// synthetic workload.
+type ZipfOptions struct {
+	Records int64   // n
+	Domain  int64   // u, a power of two
+	Alpha   float64 // skew (paper: 0.8 / 1.1 / 1.4; default 1.1)
+	// RecordSize pads each record to this many bytes (default 4: the
+	// paper's key-only records).
+	RecordSize int
+	// ChunkSize is the simulated HDFS chunk size (default 64 KiB, the
+	// scaled analogue of the paper's 256 MB).
+	ChunkSize int64
+	// Nodes is the number of simulated DataNodes (default 15, the
+	// paper's slave count).
+	Nodes int
+	Seed  uint64
+}
+
+func fillDatasetDefaults(chunk int64, nodes int) (int64, int) {
+	if chunk == 0 {
+		chunk = hdfs.DefaultChunkSize
+	}
+	if nodes == 0 {
+		nodes = 15
+	}
+	return chunk, nodes
+}
+
+// NewZipfDataset generates a Zipfian dataset.
+func NewZipfDataset(o ZipfOptions) (*Dataset, error) {
+	if o.Alpha == 0 {
+		o.Alpha = 1.1
+	}
+	if o.RecordSize == 0 {
+		o.RecordSize = 4
+	}
+	chunk, nodes := fillDatasetDefaults(o.ChunkSize, o.Nodes)
+	fs := hdfs.NewFileSystem(nodes, chunk)
+	spec := datagen.NewZipfSpec(o.Records, o.Domain, o.Alpha, o.Seed)
+	spec.RecordSize = o.RecordSize
+	f, err := datagen.GenerateZipf(fs, "zipf", spec)
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{fs: fs, file: f, domain: o.Domain}, nil
+}
+
+// WorldCupOptions configures the WorldCup-like access-log dataset (the
+// scaled stand-in for the paper's real 1998 WorldCup trace; see DESIGN.md
+// for the substitution rationale).
+type WorldCupOptions struct {
+	Records    int64
+	ClientBits uint // clients = 2^ClientBits (default 10)
+	ObjectBits uint // objects = 2^ObjectBits (default 10)
+	ChunkSize  int64
+	Nodes      int
+	Seed       uint64
+}
+
+// NewWorldCupDataset generates the access-log dataset keyed by the packed
+// clientobject attribute.
+func NewWorldCupDataset(o WorldCupOptions) (*Dataset, error) {
+	spec := datagen.NewWorldCupSpec(o.Records, o.Seed)
+	if o.ClientBits != 0 {
+		spec.ClientBits = o.ClientBits
+	}
+	if o.ObjectBits != 0 {
+		spec.ObjectBits = o.ObjectBits
+	}
+	if spec.ClientBits+spec.ObjectBits > 32 {
+		spec.RecordSize = 8
+	}
+	chunk, nodes := fillDatasetDefaults(o.ChunkSize, o.Nodes)
+	fs := hdfs.NewFileSystem(nodes, chunk)
+	f, err := datagen.GenerateWorldCup(fs, "worldcup", spec)
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{fs: fs, file: f, domain: spec.U()}, nil
+}
+
+// KeysOptions configures a dataset built from caller-provided keys.
+type KeysOptions struct {
+	// Domain is the key-domain size u (power of two). Keys must lie in
+	// [0, Domain).
+	Domain     int64
+	RecordSize int // default 4 (8 required when Domain > 2^32)
+	ChunkSize  int64
+	Nodes      int
+}
+
+// NewDatasetFromKeys loads caller-provided keys — the path for adopting
+// this library on real data.
+func NewDatasetFromKeys(keys []int64, o KeysOptions) (*Dataset, error) {
+	if len(keys) == 0 {
+		return nil, fmt.Errorf("wavelethist: empty key set")
+	}
+	if !wavelet.IsPowerOfTwo(o.Domain) {
+		return nil, fmt.Errorf("wavelethist: domain %d is not a power of two", o.Domain)
+	}
+	if o.RecordSize == 0 {
+		o.RecordSize = 4
+		if o.Domain > 1<<32 {
+			o.RecordSize = 8
+		}
+	}
+	chunk, nodes := fillDatasetDefaults(o.ChunkSize, o.Nodes)
+	fs := hdfs.NewFileSystem(nodes, chunk)
+	w, err := fs.Create("user", o.RecordSize)
+	if err != nil {
+		return nil, err
+	}
+	for _, k := range keys {
+		if k < 0 || k >= o.Domain {
+			return nil, fmt.Errorf("wavelethist: key %d outside domain [0, %d)", k, o.Domain)
+		}
+		w.Append(k)
+	}
+	return &Dataset{fs: fs, file: w.Close(), domain: o.Domain}, nil
+}

@@ -1,0 +1,77 @@
+package wavelethist_test
+
+import (
+	"fmt"
+
+	"wavelethist"
+)
+
+// Building a histogram with the paper's TwoLevel-S algorithm and querying
+// range selectivities.
+func ExampleBuild() {
+	ds, err := wavelethist.NewZipfDataset(wavelethist.ZipfOptions{
+		Records: 1 << 16,
+		Domain:  1 << 12,
+		Alpha:   1.1,
+		Seed:    1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	res, err := wavelethist.Build(ds, wavelethist.TwoLevelS, wavelethist.Options{
+		K:       30,
+		Epsilon: 1e-2,
+		Seed:    2,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Rounds, "MapReduce round")
+	fmt.Println(res.Histogram.K(), "coefficients retained")
+	// Output:
+	// 1 MapReduce round
+	// 30 coefficients retained
+}
+
+// Exact construction with H-WTopk: three MapReduce rounds, orders of
+// magnitude less communication than shipping frequency vectors.
+func ExampleBuild_exact() {
+	ds, err := wavelethist.NewDatasetFromKeys(
+		[]int64{3, 3, 3, 3, 7, 7, 12, 500, 500, 500},
+		wavelethist.KeysOptions{Domain: 1024},
+	)
+	if err != nil {
+		panic(err)
+	}
+	res, err := wavelethist.Build(ds, wavelethist.HWTopk, wavelethist.Options{K: 64})
+	if err != nil {
+		panic(err)
+	}
+	// With every non-zero coefficient retained, estimates are exact.
+	fmt.Printf("count(3) = %.0f\n", res.Histogram.PointEstimate(3))
+	fmt.Printf("count(keys in [0,100]) = %.0f\n", res.Histogram.RangeCount(0, 100))
+	// Output:
+	// count(3) = 4
+	// count(keys in [0,100]) = 7
+}
+
+// Maintaining a histogram under updates without re-running MapReduce.
+func ExampleMaintainedHistogram() {
+	ds, err := wavelethist.NewDatasetFromKeys(
+		[]int64{1, 1, 2, 5, 5, 5},
+		wavelethist.KeysOptions{Domain: 64},
+	)
+	if err != nil {
+		panic(err)
+	}
+	mh, err := wavelethist.NewMaintainedHistogram(ds, 8, 64, wavelethist.Options{})
+	if err != nil {
+		panic(err)
+	}
+	mh.Update(2, +9) // nine new records with key 2
+	mh.Update(5, -3) // all key-5 records deleted
+	h := mh.Histogram()
+	fmt.Printf("count(2) = %.0f, count(5) = %.0f\n", h.PointEstimate(2), h.PointEstimate(5))
+	// Output:
+	// count(2) = 10, count(5) = 0
+}

@@ -1,0 +1,68 @@
+// Quickstart: generate a skewed dataset, build a wavelet histogram with
+// the paper's TwoLevel-S algorithm (one MapReduce round, tiny
+// communication, no full scan), and query it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"wavelethist"
+)
+
+func main() {
+	// A Zipf(1.1) dataset: 1M records over a 64K key domain, stored in
+	// the simulated HDFS as 64 KiB chunks across 15 DataNodes.
+	ds, err := wavelethist.NewZipfDataset(wavelethist.ZipfOptions{
+		Records: 1 << 20,
+		Domain:  1 << 16,
+		Alpha:   1.1,
+		Seed:    42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dataset: %d records, %d bytes, %d splits\n",
+		ds.NumRecords(), ds.SizeBytes(), ds.NumSplits(0))
+
+	// Build a 30-term wavelet histogram with two-level sampling.
+	res, err := wavelethist.Build(ds, wavelethist.TwoLevelS, wavelethist.Options{
+		K:       30,
+		Epsilon: 2e-3,
+		Seed:    7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("built %d-term histogram in %d MapReduce round(s)\n",
+		res.Histogram.K(), res.Rounds)
+	fmt.Printf("communication: %d bytes (vs %d bytes of raw data)\n",
+		res.CommBytes, ds.SizeBytes())
+	fmt.Printf("records sampled: %d of %d (%.1f%%)\n",
+		res.RecordsRead, ds.NumRecords(),
+		100*float64(res.RecordsRead)/float64(ds.NumRecords()))
+	fmt.Printf("simulated time on the paper's 16-node cluster: %.1fs\n",
+		res.SimulatedSeconds())
+
+	// Query it: estimated frequency of the hottest key, and its accuracy.
+	exact := ds.ExactFrequencies()
+	var hot int64
+	var hotCount float64
+	for x, c := range exact {
+		if c > hotCount {
+			hot, hotCount = x, c
+		}
+	}
+	est := res.Histogram.PointEstimate(hot)
+	fmt.Printf("hottest key %d: estimated %.0f, exact %.0f\n", hot, est, hotCount)
+
+	// Accuracy summary: SSE vs what an exact method would achieve.
+	exactRes, err := wavelethist.Build(ds, wavelethist.HWTopk, wavelethist.Options{K: 30, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("SSE: %.3g (sampled) vs %.3g (exact best k-term)\n",
+		res.Histogram.SSE(exact), exactRes.Histogram.SSE(exact))
+	fmt.Printf("exact method needed %d bytes of communication — %.0fx more\n",
+		exactRes.CommBytes, float64(exactRes.CommBytes)/float64(res.CommBytes))
+}

@@ -1,0 +1,167 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPaperClusterShape(t *testing.T) {
+	c := Paper()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Nodes) != 15 {
+		t.Errorf("nodes = %d, want 15 slaves", len(c.Nodes))
+	}
+	if c.SwitchMbps != 100 || c.BandwidthFrac != 0.5 {
+		t.Errorf("bandwidth = %v × %v", c.SwitchMbps, c.BandwidthFrac)
+	}
+	if c.Nodes[c.ReducerNode].CPUFactor < 1.1 {
+		t.Error("reducer should be pinned to a fast config-(3) machine")
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	cases := []func(*Cluster){
+		func(c *Cluster) { c.Nodes = nil },
+		func(c *Cluster) { c.SwitchMbps = 0 },
+		func(c *Cluster) { c.BandwidthFrac = 0 },
+		func(c *Cluster) { c.BandwidthFrac = 1.5 },
+		func(c *Cluster) { c.CPUOpsPerSec = -1 },
+		func(c *Cluster) { c.ReducerNode = 99 },
+		func(c *Cluster) { c.Nodes[0].CPUFactor = 0 },
+		func(c *Cluster) { c.Nodes[0].MapSlots = 0 },
+	}
+	for i, mut := range cases {
+		c := Paper()
+		mut(c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted a bad config", i)
+		}
+	}
+}
+
+func TestNetSecondsScalesWithBandwidth(t *testing.T) {
+	c := Paper()
+	full := *c
+	full.BandwidthFrac = 1.0
+	half := *c
+	half.BandwidthFrac = 0.5
+	b := int64(10 * 1024 * 1024)
+	if got, want := half.netSeconds(b), 2*full.netSeconds(b); math.Abs(got-want) > 1e-9 {
+		t.Errorf("half bandwidth = %v, want %v", got, want)
+	}
+	// 100 Mbps at 100%: 12.5 MB/s, so 10 MiB ~ 0.84s.
+	if got := full.netSeconds(b); got < 0.8 || got > 0.9 {
+		t.Errorf("10 MiB at 100 Mbps = %vs, want ~0.84", got)
+	}
+}
+
+func TestMapPhaseLocality(t *testing.T) {
+	c := Paper()
+	// One task per node, all data-local: makespan ~ single task time.
+	var tasks []TaskCost
+	for i := range c.Nodes {
+		tasks = append(tasks, TaskCost{PreferredNode: i, InputBytes: 64 << 20, CPUUnits: 1e6})
+	}
+	local := c.MapPhaseTime(tasks)
+	// Same tasks all preferring node 0: most run remotely, paying transfer.
+	for i := range tasks {
+		tasks[i].PreferredNode = 0
+	}
+	skewed := c.MapPhaseTime(tasks)
+	if skewed <= local {
+		t.Errorf("remote-heavy schedule (%v) should be slower than local (%v)", skewed, local)
+	}
+}
+
+func TestMapPhaseWaves(t *testing.T) {
+	c := Paper()
+	one := []TaskCost{{PreferredNode: 0, InputBytes: 64 << 20, CPUUnits: 0}}
+	tasks := make([]TaskCost, 0, 3*len(c.Nodes))
+	for w := 0; w < 3; w++ {
+		for i := range c.Nodes {
+			tasks = append(tasks, TaskCost{PreferredNode: i, InputBytes: 64 << 20, CPUUnits: 0})
+		}
+	}
+	t1 := c.MapPhaseTime(one)
+	t3 := c.MapPhaseTime(tasks)
+	if t3 < 2.5*t1 {
+		t.Errorf("3 waves (%v) should take ~3x one task (%v)", t3, t1)
+	}
+}
+
+func TestRoundTimeComponents(t *testing.T) {
+	c := Paper()
+	empty := RoundCost{}
+	if got := c.RoundTime(empty); math.Abs(got-c.RoundOverheadSec) > 1e-9 {
+		t.Errorf("empty round = %v, want overhead %v", got, c.RoundOverheadSec)
+	}
+	withShuffle := RoundCost{ShuffleBytes: 100 << 20}
+	if c.RoundTime(withShuffle) <= c.RoundTime(empty) {
+		t.Error("shuffle bytes must increase round time")
+	}
+	withBroadcast := RoundCost{BroadcastBytes: 1 << 20}
+	if c.RoundTime(withBroadcast) <= c.RoundTime(empty) {
+		t.Error("broadcast bytes must increase round time")
+	}
+	withReduce := RoundCost{ReduceCPUUnits: 1e9}
+	if c.RoundTime(withReduce) <= c.RoundTime(empty) {
+		t.Error("reduce CPU must increase round time")
+	}
+}
+
+func TestJobTimeSumsRounds(t *testing.T) {
+	c := Paper()
+	r := RoundCost{ShuffleBytes: 1 << 20}
+	single := c.RoundTime(r)
+	if got := c.JobTime([]RoundCost{r, r, r}); math.Abs(got-3*single) > 1e-9 {
+		t.Errorf("3 rounds = %v, want %v", got, 3*single)
+	}
+}
+
+// The paper's core observation: at fixed map cost, a method shipping
+// orders of magnitude fewer bytes finishes much faster on a busy switch.
+func TestCommunicationDominates(t *testing.T) {
+	c := Paper()
+	maps := make([]TaskCost, 16)
+	for i := range maps {
+		maps[i] = TaskCost{PreferredNode: i % len(c.Nodes), InputBytes: 16 << 20, CPUUnits: 1e7}
+	}
+	sendV := RoundCost{MapTasks: maps, ShuffleBytes: 2 << 30} // ~2 GiB like Send-V
+	twoLevel := RoundCost{MapTasks: maps, ShuffleBytes: 1 << 20}
+	ratio := c.RoundTime(sendV) / c.RoundTime(twoLevel)
+	if ratio < 5 {
+		t.Errorf("Send-V-like round only %.1fx slower; expected communication to dominate", ratio)
+	}
+}
+
+func TestSlowestNodesOrder(t *testing.T) {
+	c := Paper()
+	order := c.SlowestNodes()
+	for i := 1; i < len(order); i++ {
+		if c.Nodes[order[i-1]].CPUFactor > c.Nodes[order[i]].CPUFactor {
+			t.Fatal("SlowestNodes not ascending by CPU factor")
+		}
+	}
+	if c.Nodes[order[0]].Name[:5] != "core2" {
+		t.Errorf("slowest node = %s, want the Core 2 machine", c.Nodes[order[0]].Name)
+	}
+}
+
+func TestHeterogeneityAffectsMakespan(t *testing.T) {
+	c := Paper()
+	homog := Paper()
+	for i := range homog.Nodes {
+		homog.Nodes[i].CPUFactor = 1.0
+	}
+	tasks := make([]TaskCost, len(c.Nodes))
+	for i := range tasks {
+		tasks[i] = TaskCost{PreferredNode: i, CPUUnits: 1e9}
+	}
+	het := c.MapPhaseTime(tasks)
+	hom := homog.MapPhaseTime(tasks)
+	if het <= hom {
+		t.Errorf("heterogeneous makespan (%v) should exceed homogeneous (%v): stragglers", het, hom)
+	}
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+// Builds must be safe to run concurrently over the same HDFS file: the
+// file is read-only and every job owns its conf/cache/state. This guards
+// against accidental shared mutable state in the algorithms or runtime.
+func TestConcurrentBuildsSameFile(t *testing.T) {
+	f, v := testDataset(t, 20000, 1<<10, 1.1, 1024, 33)
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	results := make([]*Output, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var a Algorithm
+			switch w % 4 {
+			case 0:
+				a = NewSendV()
+			case 1:
+				a = NewHWTopk()
+			case 2:
+				a = NewTwoLevelS()
+			default:
+				a = NewSendSketch()
+			}
+			out, err := a.Run(f, Params{U: 1 << 10, K: 10, Epsilon: 0.01, Seed: 44})
+			if err != nil {
+				errs <- err
+				return
+			}
+			results[w] = out
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// The exact runs must agree with ground truth despite concurrency.
+	for w, out := range results {
+		if out == nil {
+			continue
+		}
+		if w%4 == 0 || w%4 == 1 {
+			assertExactMatch(t, "concurrent", out.Rep, v, 10)
+		}
+	}
+	// Identical concurrent runs must be bit-identical (determinism is not
+	// schedule-dependent).
+	if results[0] != nil && results[4] != nil {
+		a, b := results[0].Rep.Coefs, results[4].Rep.Coefs
+		for i := range a {
+			if a[i] != b[i] {
+				t.Errorf("concurrent identical runs diverge at coefficient %d", i)
+			}
+		}
+	}
+}

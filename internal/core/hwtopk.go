@@ -1,0 +1,474 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"time"
+
+	"wavelethist/internal/hdfs"
+	"wavelethist/internal/heap"
+	"wavelethist/internal/mapred"
+	"wavelethist/internal/wavelet"
+)
+
+// HWTopk ("Hadoop wavelet top-k") is the paper's exact algorithm
+// (Section 3 + Appendix A): the two-sided modified TPUT instantiated as
+// three MapReduce rounds.
+//
+//	Round 1: every split aggregates v_j, computes local coefficients with
+//	         the O(|v_j| log u) transform, emits its k highest and k
+//	         lowest (i, (j, w_ij)) pairs with the k-th ones marked, and
+//	         persists unsent coefficients to its state file. The reducer
+//	         forms partial sums ŵ_i with received-bit vectors F_i,
+//	         derives the magnitude threshold T1, and persists its state.
+//	Round 2: mappers read no input; they restore state and emit every
+//	         unsent coefficient with |w_ij| > T1/m (shipped via the Job
+//	         Configuration). The reducer refines τ± bounds with the
+//	         T1/m guarantee, derives T2, prunes the candidate set R, and
+//	         the driver places R in the Distributed Cache.
+//	Round 3: mappers emit unsent scores for items in R; the reducer
+//	         finalizes exact sums and selects the top-k by magnitude.
+type HWTopk struct{}
+
+// NewHWTopk returns the H-WTopk algorithm.
+func NewHWTopk() *HWTopk { return &HWTopk{} }
+
+// Name implements Algorithm.
+func (*HWTopk) Name() string { return "H-WTopk" }
+
+const (
+	confT1OverM = "hwtopk.t1.over.m"
+	cacheRName  = "hwtopk.candidates"
+)
+
+// ---------- Round 1 ----------
+
+type hwRound1Mapper struct {
+	domain    int64 // key-domain bound (u in 1D, u² packed in 2D)
+	k         int
+	transform coefTransform
+	freq      map[int64]float64
+}
+
+func (m *hwRound1Mapper) Setup(*mapred.TaskContext) error {
+	m.freq = make(map[int64]float64)
+	return nil
+}
+
+func (m *hwRound1Mapper) Map(ctx *mapred.TaskContext, rec hdfs.Record, _ *mapred.Emitter) error {
+	if err := checkDomain(rec.Key, m.domain); err != nil {
+		return err
+	}
+	m.freq[rec.Key]++
+	return nil
+}
+
+func (m *hwRound1Mapper) Close(ctx *mapred.TaskContext, out *mapred.Emitter) error {
+	coefs := m.transform(ctx, m.freq)
+	j := int32(ctx.SplitID)
+
+	hi := heap.NewTopK(m.k)
+	lo := heap.NewBottomK(m.k)
+	for _, c := range coefs {
+		hi.Push(heap.Item{ID: c.Index, Score: c.Value})
+		lo.Push(heap.Item{ID: c.Index, Score: c.Value})
+	}
+	ctx.AddWork(float64(len(coefs)) * 2)
+
+	sent := make(map[int64]bool, 2*m.k)
+	hiItems := hi.Sorted()
+	for rank, it := range hiItems {
+		tag := mapred.TagNone
+		if rank == m.k-1 {
+			tag = mapred.TagMarkHigh // the k-th highest coefficient
+		}
+		out.Emit(mapred.KV{Key: it.ID, Val: it.Score, Src: j, Tag: tag})
+		sent[it.ID] = true
+	}
+	loItems := lo.Sorted()
+	for rank, it := range loItems {
+		tag := mapred.TagNone
+		if rank == m.k-1 {
+			tag = mapred.TagMarkLow // the k-th lowest coefficient
+		}
+		// The paper emits top-k and bottom-k as separate pair sets; an
+		// item in both is emitted twice (the reducer's F_i bits dedupe
+		// the partial-sum contribution).
+		out.Emit(mapred.KV{Key: it.ID, Val: it.Score, Src: j, Tag: tag})
+		sent[it.ID] = true
+	}
+
+	// Persist unsent coefficients as the split's state file.
+	unsent := make([]wavelet.Coef, 0, len(coefs))
+	for _, c := range coefs {
+		if !sent[c.Index] {
+			unsent = append(unsent, c)
+		}
+	}
+	state := encodeCoefs(unsent)
+	ctx.State.Put(ctx.SplitID, state)
+	ctx.AddIOBytes(int64(len(state))) // local HDFS write (no network)
+	return nil
+}
+
+// hwRound1Reducer builds ŵ_i and F_i, computes T1, persists state.
+type hwRound1Reducer struct {
+	k         int
+	m         int
+	entries   map[int64]*coordEntry
+	tildeHigh []float64 // w̃⁺_j floored at 0 (zeros pad sparse splits)
+	tildeLow  []float64 // w̃⁻_j capped at 0
+	T1        float64
+}
+
+func (r *hwRound1Reducer) Setup(ctx *mapred.TaskContext) error {
+	r.m = ctx.NumSplits
+	r.entries = make(map[int64]*coordEntry)
+	r.tildeHigh = make([]float64, r.m)
+	r.tildeLow = make([]float64, r.m)
+	return nil
+}
+
+func (r *hwRound1Reducer) Reduce(_ *mapred.TaskContext, key int64, vals []mapred.KV) error {
+	e := r.entries[key]
+	if e == nil {
+		e = &coordEntry{recv: newBitset(r.m)}
+		r.entries[key] = e
+	}
+	for _, kv := range vals {
+		j := int(kv.Src)
+		switch kv.Tag {
+		case mapred.TagMarkHigh:
+			r.tildeHigh[j] = math.Max(kv.Val, 0)
+		case mapred.TagMarkLow:
+			r.tildeLow[j] = math.Min(kv.Val, 0)
+		}
+		if e.recv.Get(j) {
+			continue // duplicate: item was in both the top-k and bottom-k sets
+		}
+		e.recv.Set(j)
+		e.wHat += kv.Val
+	}
+	return nil
+}
+
+func (r *hwRound1Reducer) Close(ctx *mapred.TaskContext) error {
+	// τ⁺(x) = ŵ_x + Σ_{j not received} w̃⁺_j (and symmetrically τ⁻);
+	// computed as total minus the received splits' contributions.
+	var totalHigh, totalLow float64
+	for j := 0; j < r.m; j++ {
+		totalHigh += r.tildeHigh[j]
+		totalLow += r.tildeLow[j]
+	}
+	t1h := heap.NewTopK(r.k)
+	for id, e := range r.entries {
+		hiMiss, loMiss := totalHigh, totalLow
+		e.recv.ForEachSet(func(j int) {
+			hiMiss -= r.tildeHigh[j]
+			loMiss -= r.tildeLow[j]
+		})
+		tauPlus := e.wHat + hiMiss
+		tauMinus := e.wHat + loMiss
+		t1h.Push(heap.Item{ID: id, Score: magnitudeLowerBound(tauPlus, tauMinus)})
+		ctx.AddWork(float64(r.m) / 8)
+	}
+	if t1h.Full() {
+		it, _ := t1h.Min()
+		r.T1 = it.Score
+	}
+	cs := &coordState{m: r.m, t1: r.T1, entries: r.entries}
+	ctx.State.Put(mapred.ReducerState, cs.encode())
+	return nil
+}
+
+// magnitudeLowerBound is τ(x): 0 when the bounds straddle zero, else the
+// smaller magnitude.
+func magnitudeLowerBound(tauPlus, tauMinus float64) float64 {
+	if (tauPlus >= 0) != (tauMinus >= 0) {
+		return 0
+	}
+	return math.Min(math.Abs(tauPlus), math.Abs(tauMinus))
+}
+
+// ---------- Round 2 ----------
+
+// hwRound2Mapper reads no input; it emits state coefficients above T1/m
+// and rewrites its state without them.
+type hwRound2Mapper struct{}
+
+func (hwRound2Mapper) Setup(*mapred.TaskContext) error { return nil }
+func (hwRound2Mapper) Map(*mapred.TaskContext, hdfs.Record, *mapred.Emitter) error {
+	return nil
+}
+
+func (hwRound2Mapper) Close(ctx *mapred.TaskContext, out *mapred.Emitter) error {
+	thresh, err := strconv.ParseFloat(ctx.Conf[confT1OverM], 64)
+	if err != nil {
+		return fmt.Errorf("hwtopk: missing %s: %w", confT1OverM, err)
+	}
+	state := ctx.State.Get(ctx.SplitID)
+	coefs, err := decodeCoefs(state)
+	if err != nil {
+		return err
+	}
+	ctx.AddIOBytes(int64(len(state))) // local state-file read
+	keep := coefs[:0]
+	for _, c := range coefs {
+		if math.Abs(c.Value) > thresh {
+			out.Emit(mapred.KV{Key: c.Index, Val: c.Value, Src: int32(ctx.SplitID)})
+		} else {
+			keep = append(keep, c)
+		}
+	}
+	ctx.AddWork(float64(len(coefs)))
+	ctx.State.Put(ctx.SplitID, encodeCoefs(keep))
+	return nil
+}
+
+// hwRound2Reducer refines bounds, computes T2, prunes R.
+type hwRound2Reducer struct {
+	k  int
+	cs *coordState
+	// R is the surviving candidate set (read by the driver after the
+	// round to populate the Distributed Cache).
+	R []int64
+}
+
+func (r *hwRound2Reducer) Setup(ctx *mapred.TaskContext) error {
+	cs, err := decodeCoordState(ctx.State.Get(mapred.ReducerState))
+	if err != nil {
+		return err
+	}
+	r.cs = cs
+	return nil
+}
+
+func (r *hwRound2Reducer) Reduce(_ *mapred.TaskContext, key int64, vals []mapred.KV) error {
+	e := r.cs.entries[key]
+	if e == nil {
+		e = &coordEntry{recv: newBitset(r.cs.m)}
+		r.cs.entries[key] = e
+	}
+	for _, kv := range vals {
+		j := int(kv.Src)
+		if e.recv.Get(j) {
+			continue
+		}
+		e.recv.Set(j)
+		e.wHat += kv.Val
+	}
+	return nil
+}
+
+func (r *hwRound2Reducer) Close(ctx *mapred.TaskContext) error {
+	m := float64(r.cs.m)
+	thresh := r.cs.t1 / m
+	// Refined bounds: unsent (j, x) now guarantees |w_xj| <= T1/m, so
+	// τ± = ŵ_x ± ‖F_x‖·T1/m (Appendix A).
+	type refined struct {
+		plus, minus float64
+	}
+	bounds := make(map[int64]refined, len(r.cs.entries))
+	t2h := heap.NewTopK(r.k)
+	for id, e := range r.cs.entries {
+		missing := float64(r.cs.m - e.recv.Count())
+		tp := e.wHat + missing*thresh
+		tm := e.wHat - missing*thresh
+		bounds[id] = refined{tp, tm}
+		t2h.Push(heap.Item{ID: id, Score: magnitudeLowerBound(tp, tm)})
+		ctx.AddWork(1)
+	}
+	var t2 float64
+	if t2h.Full() {
+		it, _ := t2h.Min()
+		t2 = it.Score
+	}
+	// Prune: drop x when even max(|τ⁺|, |τ⁻|) cannot reach T2.
+	for id, b := range bounds {
+		upper := math.Max(math.Abs(b.plus), math.Abs(b.minus))
+		if upper < t2 {
+			delete(r.cs.entries, id)
+		} else {
+			r.R = append(r.R, id)
+		}
+	}
+	ctx.State.Put(mapred.ReducerState, r.cs.encode())
+	return nil
+}
+
+// ---------- Round 3 ----------
+
+// hwRound3Mapper emits unsent coefficients for candidate indices in R
+// (read from the Distributed Cache).
+type hwRound3Mapper struct{}
+
+func (hwRound3Mapper) Setup(*mapred.TaskContext) error { return nil }
+func (hwRound3Mapper) Map(*mapred.TaskContext, hdfs.Record, *mapred.Emitter) error {
+	return nil
+}
+
+func (hwRound3Mapper) Close(ctx *mapred.TaskContext, out *mapred.Emitter) error {
+	rSet, err := decodeIndexSet(ctx.Cache.Get(cacheRName))
+	if err != nil {
+		return err
+	}
+	state := ctx.State.Get(ctx.SplitID)
+	coefs, err := decodeCoefs(state)
+	if err != nil {
+		return err
+	}
+	ctx.AddIOBytes(int64(len(state)))
+	for _, c := range coefs {
+		// Everything left in state was never communicated (rounds 1-2
+		// removed sent coefficients), so emit iff it is a candidate.
+		if rSet[c.Index] {
+			out.Emit(mapred.KV{Key: c.Index, Val: c.Value, Src: int32(ctx.SplitID)})
+		}
+	}
+	ctx.AddWork(float64(len(coefs)))
+	return nil
+}
+
+// hwRound3Reducer finalizes exact sums over R and selects the top-k
+// (dimension-agnostic: it yields raw coefficients; the driver wraps them
+// into a 1D or 2D representation).
+type hwRound3Reducer struct {
+	k   int
+	cs  *coordState
+	top []wavelet.Coef
+}
+
+func (r *hwRound3Reducer) Setup(ctx *mapred.TaskContext) error {
+	cs, err := decodeCoordState(ctx.State.Get(mapred.ReducerState))
+	if err != nil {
+		return err
+	}
+	r.cs = cs
+	return nil
+}
+
+func (r *hwRound3Reducer) Reduce(_ *mapred.TaskContext, key int64, vals []mapred.KV) error {
+	e := r.cs.entries[key]
+	if e == nil {
+		// Cannot happen: round-3 mappers only emit candidates.
+		return fmt.Errorf("hwtopk: round-3 pair for non-candidate %d", key)
+	}
+	for _, kv := range vals {
+		j := int(kv.Src)
+		if e.recv.Get(j) {
+			continue
+		}
+		e.recv.Set(j)
+		e.wHat += kv.Val
+	}
+	return nil
+}
+
+func (r *hwRound3Reducer) Close(ctx *mapred.TaskContext) error {
+	coefs := make([]wavelet.Coef, 0, len(r.cs.entries))
+	for id, e := range r.cs.entries {
+		coefs = append(coefs, wavelet.Coef{Index: id, Value: e.wHat})
+	}
+	ctx.AddWork(float64(len(coefs)))
+	r.top = wavelet.SelectTopK(coefs, r.k)
+	return nil
+}
+
+// ---------- Driver ----------
+
+// Run implements Algorithm: three MapReduce rounds sharing Conf, Cache and
+// State, with the coordinator's T1/m shipped via the Job Configuration and
+// R via the Distributed Cache (both accounted as broadcast bytes).
+func (a *HWTopk) Run(file *hdfs.File, p Params) (*Output, error) {
+	p = p.Defaults()
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	top, metrics, err := runHWTopkRounds(file, p, p.U, transform1D(p.U))
+	if err != nil {
+		return nil, err
+	}
+	metrics.WallTime = time.Since(start)
+	return &Output{
+		Rep:     wavelet.NewRepresentation(p.U, top),
+		Metrics: metrics,
+	}, nil
+}
+
+// runHWTopkRounds executes the three rounds for any dimensionality.
+func runHWTopkRounds(file *hdfs.File, p Params, domain int64, tf coefTransform) ([]wavelet.Coef, Metrics, error) {
+	var metrics Metrics
+	splits := file.Splits(p.SplitSize)
+	m := len(splits)
+	conf := mapred.Conf{}
+	cache := mapred.NewDistCache()
+	state := mapred.NewStateStore()
+	pairBytes := func(mapred.KV) int { return 16 } // (i, (j, w)): 4+4+8
+
+	red1 := &hwRound1Reducer{k: p.K}
+	round1 := &mapred.Job{
+		Name: "hwtopk-round1", Splits: splits, Input: mapred.SequentialInput{},
+		NewMapper: func(hdfs.Split) mapred.Mapper {
+			return &hwRound1Mapper{domain: domain, k: p.K, transform: tf}
+		},
+		Reducer:   red1,
+		PairBytes: pairBytes,
+		Streaming: true,
+		Conf:      conf, Cache: cache, State: state,
+		Seed:        p.Seed,
+		Parallelism: p.Parallelism,
+	}
+	red2 := &hwRound2Reducer{k: p.K}
+	round2 := &mapred.Job{
+		Name: "hwtopk-round2", Splits: splits, Input: mapred.NoInput{},
+		NewMapper: func(hdfs.Split) mapred.Mapper { return hwRound2Mapper{} },
+		Reducer:   red2,
+		PairBytes: pairBytes,
+		Streaming: true,
+		Conf:      conf, Cache: cache, State: state,
+		Seed:        p.Seed,
+		Parallelism: p.Parallelism,
+	}
+	red3 := &hwRound3Reducer{k: p.K}
+	round3 := &mapred.Job{
+		Name: "hwtopk-round3", Splits: splits, Input: mapred.NoInput{},
+		NewMapper: func(hdfs.Split) mapred.Mapper { return hwRound3Mapper{} },
+		Reducer:   red3,
+		PairBytes: pairBytes,
+		Streaming: true,
+		Conf:      conf, Cache: cache, State: state,
+		Seed:        p.Seed,
+		Parallelism: p.Parallelism,
+	}
+
+	// Round 1.
+	res1, err := mapred.Run(round1)
+	if err != nil {
+		return nil, metrics, err
+	}
+	metrics.addRound(res1, 0)
+
+	// Coordinator -> mappers: T1/m via the Job Configuration (8 bytes).
+	conf[confT1OverM] = strconv.FormatFloat(red1.T1/float64(m), 'g', -1, 64)
+
+	// Round 2.
+	res2, err := mapred.Run(round2)
+	if err != nil {
+		return nil, metrics, err
+	}
+	metrics.addRound(res2, 8) // the T1/m conf value
+
+	// Coordinator -> mappers: R via the Distributed Cache.
+	cache.Put(cacheRName, encodeIndexSet(red2.R))
+	rBytes := indexSetBytes(red2.R)
+
+	// Round 3.
+	res3, err := mapred.Run(round3)
+	if err != nil {
+		return nil, metrics, err
+	}
+	metrics.addRound(res3, rBytes)
+	return red3.top, metrics, nil
+}

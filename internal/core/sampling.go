@@ -1,0 +1,353 @@
+package core
+
+import (
+	"math"
+	"time"
+
+	"wavelethist/internal/hdfs"
+	"wavelethist/internal/mapred"
+	"wavelethist/internal/wavelet"
+)
+
+// The three sampling algorithms of Section 4. All use the paper's
+// RandomInputFile format: split j samples p·n_j records without
+// replacement (p = 1/(ε²n), capped at 1), so no algorithm scans its whole
+// split — the property that makes sampling the only one-round strategy
+// that also avoids reading the entire dataset.
+
+// sampleProb returns p = min(1, 1/(ε²n)).
+func sampleProb(eps float64, n int64) float64 {
+	p := 1 / (eps * eps * float64(n))
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// ---------- Basic-S ----------
+
+// BasicS emits every sampled key: (x, 1) pairs aggregated by the Combine
+// function when enabled (the paper's "straightforward improvement", whose
+// effectiveness depends entirely on the data distribution).
+type BasicS struct{}
+
+// NewBasicS returns the Basic-S algorithm.
+func NewBasicS() *BasicS { return &BasicS{} }
+
+// Name implements Algorithm.
+func (*BasicS) Name() string { return "Basic-S" }
+
+type basicSMapper struct {
+	u int64
+}
+
+func (m basicSMapper) Setup(*mapred.TaskContext) error { return nil }
+
+func (m basicSMapper) Map(ctx *mapred.TaskContext, rec hdfs.Record, out *mapred.Emitter) error {
+	if err := checkDomain(rec.Key, m.u); err != nil {
+		return err
+	}
+	out.Emit(mapred.KV{Key: rec.Key, Val: 1, Src: int32(ctx.SplitID)})
+	return nil
+}
+
+func (basicSMapper) Close(*mapred.TaskContext, *mapred.Emitter) error { return nil }
+
+// scaleReducer accumulates sampled counts ŝ(x) and, at Close, rescales to
+// v̂ = ŝ/p, transforms, and selects the top-k. Shared by Basic-S and
+// Improved-S.
+type scaleReducer struct {
+	u    int64
+	k    int
+	p    float64
+	sHat map[int64]float64
+	rep  *wavelet.Representation
+}
+
+func (r *scaleReducer) Setup(*mapred.TaskContext) error {
+	r.sHat = make(map[int64]float64)
+	return nil
+}
+
+func (r *scaleReducer) Reduce(_ *mapred.TaskContext, key int64, vals []mapred.KV) error {
+	for _, kv := range vals {
+		r.sHat[key] += kv.Val
+	}
+	return nil
+}
+
+func (r *scaleReducer) Close(ctx *mapred.TaskContext) error {
+	vHat := make(map[int64]float64, len(r.sHat))
+	for x, s := range r.sHat {
+		vHat[x] = s / r.p
+	}
+	coefs := localCoefficients(ctx, vHat, r.u)
+	ctx.AddWork(float64(len(coefs)))
+	r.rep = wavelet.NewRepresentation(r.u, wavelet.SelectTopK(coefs, r.k))
+	return nil
+}
+
+func sumCombiner(key int64, vals []mapred.KV) []mapred.KV {
+	var s float64
+	for _, kv := range vals {
+		s += kv.Val
+	}
+	return []mapred.KV{{Key: key, Val: s, Src: vals[0].Src}}
+}
+
+// Run implements Algorithm.
+func (a *BasicS) Run(file *hdfs.File, p Params) (*Output, error) {
+	p = p.Defaults()
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	prob := sampleProb(p.Epsilon, file.NumRecords)
+	red := &scaleReducer{u: p.U, k: p.K, p: prob}
+	var comb mapred.Combiner
+	if p.CombineEnabled {
+		comb = sumCombiner
+	}
+	job := &mapred.Job{
+		Name:      "basic-s",
+		Splits:    file.Splits(p.SplitSize),
+		Input:     mapred.RandomSampleInput{P: prob},
+		NewMapper: func(hdfs.Split) mapred.Mapper { return basicSMapper{u: p.U} },
+		Combiner:  comb,
+		Reducer:   red,
+		// (x, count): 4-byte key + 4-byte count.
+		PairBytes:   func(mapred.KV) int { return 8 },
+		Streaming:   true,
+		Seed:        p.Seed,
+		Parallelism: p.Parallelism,
+	}
+	res, err := mapred.Run(job)
+	if err != nil {
+		return nil, err
+	}
+	out := &Output{Rep: red.rep}
+	out.Metrics.addRound(res, 0)
+	out.Metrics.WallTime = time.Since(start)
+	return out, nil
+}
+
+// ---------- Improved-S ----------
+
+// ImprovedS drops sampled keys with small local counts: split j emits
+// (x, s_j(x)) only when s_j(x) >= ε·t_j, capping per-split communication
+// at 1/ε pairs — but biasing the estimator by up to εn (Section 4).
+type ImprovedS struct{}
+
+// NewImprovedS returns the Improved-S algorithm.
+func NewImprovedS() *ImprovedS { return &ImprovedS{} }
+
+// Name implements Algorithm.
+func (*ImprovedS) Name() string { return "Improved-S" }
+
+type improvedSMapper struct {
+	u       int64
+	eps     float64
+	sampled int64
+	counts  map[int64]float64
+}
+
+func (m *improvedSMapper) Setup(*mapred.TaskContext) error {
+	m.counts = make(map[int64]float64)
+	return nil
+}
+
+func (m *improvedSMapper) Map(ctx *mapred.TaskContext, rec hdfs.Record, _ *mapred.Emitter) error {
+	if err := checkDomain(rec.Key, m.u); err != nil {
+		return err
+	}
+	m.sampled++
+	m.counts[rec.Key]++
+	return nil
+}
+
+func (m *improvedSMapper) Close(ctx *mapred.TaskContext, out *mapred.Emitter) error {
+	threshold := m.eps * float64(m.sampled) // ε·t_j
+	for x, s := range m.counts {
+		if s >= threshold {
+			out.Emit(mapred.KV{Key: x, Val: s, Src: int32(ctx.SplitID)})
+		}
+	}
+	ctx.AddWork(float64(len(m.counts)))
+	return nil
+}
+
+// Run implements Algorithm.
+func (a *ImprovedS) Run(file *hdfs.File, p Params) (*Output, error) {
+	p = p.Defaults()
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	prob := sampleProb(p.Epsilon, file.NumRecords)
+	red := &scaleReducer{u: p.U, k: p.K, p: prob}
+	job := &mapred.Job{
+		Name:   "improved-s",
+		Splits: file.Splits(p.SplitSize),
+		Input:  mapred.RandomSampleInput{P: prob},
+		NewMapper: func(hdfs.Split) mapred.Mapper {
+			return &improvedSMapper{u: p.U, eps: p.Epsilon}
+		},
+		Reducer:     red,
+		PairBytes:   func(mapred.KV) int { return 8 },
+		Streaming:   true,
+		Seed:        p.Seed,
+		Parallelism: p.Parallelism,
+	}
+	res, err := mapred.Run(job)
+	if err != nil {
+		return nil, err
+	}
+	out := &Output{Rep: red.rep}
+	out.Metrics.addRound(res, 0)
+	out.Metrics.WallTime = time.Since(start)
+	return out, nil
+}
+
+// ---------- TwoLevel-S ----------
+
+// TwoLevelS is the paper's new two-level sampling algorithm (Section 4,
+// Figures 3-4): after level-1 sampling, split j emits (x, s_j(x)) when
+// s_j(x) >= 1/(ε√m) and otherwise emits (x, NULL) with probability
+// ε√m·s_j(x) — importance sampling proportional to frequency. The reducer
+// reconstructs the unbiased estimator ŝ(x) = ρ(x) + M(x)/(ε√m) with
+// standard deviation <= 1/ε (Theorem 1), for O(√m/ε) expected
+// communication (Theorem 3).
+type TwoLevelS struct{}
+
+// NewTwoLevelS returns the TwoLevel-S algorithm.
+func NewTwoLevelS() *TwoLevelS { return &TwoLevelS{} }
+
+// Name implements Algorithm.
+func (*TwoLevelS) Name() string { return "TwoLevel-S" }
+
+type twoLevelSMapper struct {
+	u      int64
+	eps    float64
+	m      int
+	counts map[int64]float64
+}
+
+func (t *twoLevelSMapper) Setup(*mapred.TaskContext) error {
+	t.counts = make(map[int64]float64)
+	return nil
+}
+
+func (t *twoLevelSMapper) Map(ctx *mapred.TaskContext, rec hdfs.Record, _ *mapred.Emitter) error {
+	if err := checkDomain(rec.Key, t.u); err != nil {
+		return err
+	}
+	t.counts[rec.Key]++
+	return nil
+}
+
+func (t *twoLevelSMapper) Close(ctx *mapred.TaskContext, out *mapred.Emitter) error {
+	epsSqrtM := t.eps * math.Sqrt(float64(t.m))
+	threshold := 1 / epsSqrtM
+	// Iterate keys in sorted order: the Bernoulli draws consume the
+	// task's RNG stream, so the iteration order must be deterministic.
+	keys, counts := wavelet.SortFreq(t.counts)
+	for i, x := range keys {
+		s := counts[i]
+		if s >= threshold {
+			out.Emit(mapred.KV{Key: x, Val: s, Src: int32(ctx.SplitID)})
+		} else if ctx.RNG.Bernoulli(epsSqrtM * s) {
+			out.Emit(mapred.KV{Key: x, Src: int32(ctx.SplitID), Tag: mapred.TagNull})
+		}
+	}
+	ctx.AddWork(float64(len(t.counts)))
+	return nil
+}
+
+// twoLevelSReducer reconstructs ŝ(x) = ρ(x) + M(x)/(ε√m) (Figure 4).
+type twoLevelSReducer struct {
+	u        int64
+	k        int
+	p        float64
+	epsSqrtM float64
+	rho      map[int64]float64
+	nulls    map[int64]int64
+	rep      *wavelet.Representation
+}
+
+func (r *twoLevelSReducer) Setup(*mapred.TaskContext) error {
+	r.rho = make(map[int64]float64)
+	r.nulls = make(map[int64]int64)
+	return nil
+}
+
+func (r *twoLevelSReducer) Reduce(_ *mapred.TaskContext, key int64, vals []mapred.KV) error {
+	for _, kv := range vals {
+		if kv.Tag == mapred.TagNull {
+			r.nulls[key]++
+		} else {
+			r.rho[key] += kv.Val
+		}
+	}
+	return nil
+}
+
+func (r *twoLevelSReducer) Close(ctx *mapred.TaskContext) error {
+	vHat := make(map[int64]float64, len(r.rho)+len(r.nulls))
+	for x, rho := range r.rho {
+		vHat[x] += rho
+	}
+	for x, m := range r.nulls {
+		vHat[x] += float64(m) / r.epsSqrtM
+	}
+	for x := range vHat {
+		vHat[x] /= r.p
+	}
+	coefs := localCoefficients(ctx, vHat, r.u)
+	ctx.AddWork(float64(len(coefs)))
+	r.rep = wavelet.NewRepresentation(r.u, wavelet.SelectTopK(coefs, r.k))
+	return nil
+}
+
+// Run implements Algorithm.
+func (a *TwoLevelS) Run(file *hdfs.File, p Params) (*Output, error) {
+	p = p.Defaults()
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	splits := file.Splits(p.SplitSize)
+	m := len(splits)
+	prob := sampleProb(p.Epsilon, file.NumRecords)
+	red := &twoLevelSReducer{
+		u: p.U, k: p.K, p: prob,
+		epsSqrtM: p.Epsilon * math.Sqrt(float64(m)),
+	}
+	job := &mapred.Job{
+		Name:   "twolevel-s",
+		Splits: splits,
+		Input:  mapred.RandomSampleInput{P: prob},
+		NewMapper: func(hdfs.Split) mapred.Mapper {
+			return &twoLevelSMapper{u: p.U, eps: p.Epsilon, m: m}
+		},
+		Reducer: red,
+		// (x, s_j(x)) ships 4+4 bytes; (x, NULL) ships the 4-byte key
+		// only (the paper's communication analysis counts keys).
+		PairBytes: func(kv mapred.KV) int {
+			if kv.Tag == mapred.TagNull {
+				return 4
+			}
+			return 8
+		},
+		Streaming:   true,
+		Seed:        p.Seed,
+		Parallelism: p.Parallelism,
+	}
+	res, err := mapred.Run(job)
+	if err != nil {
+		return nil, err
+	}
+	out := &Output{Rep: red.rep}
+	out.Metrics.addRound(res, 0)
+	out.Metrics.WallTime = time.Since(start)
+	return out, nil
+}

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"math"
+	"time"
+
+	"wavelethist/internal/hdfs"
+	"wavelethist/internal/mapred"
+	"wavelethist/internal/sketch"
+	"wavelethist/internal/wavelet"
+)
+
+// SendSketch is the sketch-based approximation (Section 4, "System
+// issues"): one mapper per split builds a local GCS of the split's wavelet
+// coefficients and emits the sketch's non-zero entries; the reducer merges
+// the m sketches (linearity) and recovers the top-k coefficients by the
+// GCS hierarchical search. Following the paper's setup we use the
+// recommended 20KB·log2(u) sketch space, degree 8 ("GCS-8"), and the two
+// optimizations of Section 5: aggregate the local frequency vector first
+// so each distinct key updates the sketch once, and ship only non-zero
+// entries.
+//
+// The dominant cost — and the reason Send-Sketch is the slowest method in
+// the paper (≈10 hours on 50 GB) — is the per-item update cost: every
+// distinct key touches log2(u)+1 coefficients, each updating
+// levels×depth sketch cells.
+type SendSketch struct{}
+
+// NewSendSketch returns the Send-Sketch algorithm.
+func NewSendSketch() *SendSketch { return &SendSketch{} }
+
+// Name implements Algorithm.
+func (*SendSketch) Name() string { return "Send-Sketch" }
+
+// sketchBudget returns the per-split sketch bytes: the paper's
+// 20KB·log2(u) unless overridden.
+func sketchBudget(p Params) int64 {
+	if p.SketchBytes > 0 {
+		return p.SketchBytes
+	}
+	return 20 * 1024 * int64(wavelet.Log2(p.U))
+}
+
+// sketchSeed must be shared by all splits so local sketches merge.
+func sketchSeed(p Params) uint64 { return p.Seed ^ 0x5ce7c4b5ce7c4b13 }
+
+type sendSketchMapper struct {
+	p    Params
+	freq map[int64]float64
+}
+
+func (m *sendSketchMapper) Setup(*mapred.TaskContext) error {
+	m.freq = make(map[int64]float64)
+	return nil
+}
+
+func (m *sendSketchMapper) Map(ctx *mapred.TaskContext, rec hdfs.Record, _ *mapred.Emitter) error {
+	if err := checkDomain(rec.Key, m.p.U); err != nil {
+		return err
+	}
+	m.freq[rec.Key]++
+	return nil
+}
+
+func (m *sendSketchMapper) Close(ctx *mapred.TaskContext, out *mapred.Emitter) error {
+	g := sketch.NewGCSWithBudget(m.p.U, m.p.SketchDegree, sketchBudget(m.p), sketchSeed(m.p))
+	u := m.p.U
+	logu := wavelet.Log2(u)
+	sqrtU := math.Sqrt(float64(u))
+	// Stream each distinct key's wavelet-path contributions into the
+	// sketch (the coefficient vector is linear in the keys, so updating
+	// along root-to-leaf paths sketches the local coefficient vector).
+	// Sorted iteration keeps cell accumulation order — and therefore the
+	// exact float bits of shipped entries — deterministic.
+	keys, counts := wavelet.SortFreq(m.freq)
+	updates := 0
+	for i, x := range keys {
+		c := counts[i]
+		g.Update(0, c/sqrtU)
+		updates++
+		for j := uint(0); j < logu; j++ {
+			rangeLen := u >> j
+			kk := x / rangeLen
+			contrib := c / math.Sqrt(float64(rangeLen))
+			if x-kk*rangeLen < rangeLen/2 {
+				contrib = -contrib
+			}
+			g.Update(int64(1)<<j+kk, contrib)
+			updates++
+		}
+	}
+	ctx.AddWork(float64(updates * g.UpdateCost()))
+	n := 0
+	g.NonZeroEntries(func(idx int64, v float64) {
+		out.Emit(mapred.KV{Key: idx, Val: v, Src: int32(ctx.SplitID)})
+		n++
+	})
+	ctx.AddWork(float64(n))
+	return nil
+}
+
+type sendSketchReducer struct {
+	p   Params
+	g   *sketch.GCS
+	rep *wavelet.Representation
+}
+
+func (r *sendSketchReducer) Setup(*mapred.TaskContext) error {
+	r.g = sketch.NewGCSWithBudget(r.p.U, r.p.SketchDegree, sketchBudget(r.p), sketchSeed(r.p))
+	return nil
+}
+
+func (r *sendSketchReducer) Reduce(_ *mapred.TaskContext, key int64, vals []mapred.KV) error {
+	for _, kv := range vals {
+		r.g.AddEntry(key, kv.Val)
+	}
+	return nil
+}
+
+func (r *sendSketchReducer) Close(ctx *mapred.TaskContext) error {
+	top := r.g.TopK(r.p.K, 0)
+	// Charge the hierarchical search: beam × levels × group-energy cost.
+	ctx.AddWork(float64(r.g.Levels() * 64 * r.p.K))
+	coefs := make([]wavelet.Coef, len(top))
+	for i, c := range top {
+		coefs[i] = wavelet.Coef{Index: c.Index, Value: c.Value}
+	}
+	r.rep = wavelet.NewRepresentation(r.p.U, coefs)
+	return nil
+}
+
+// Run implements Algorithm.
+func (a *SendSketch) Run(file *hdfs.File, p Params) (*Output, error) {
+	p = p.Defaults()
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	red := &sendSketchReducer{p: p}
+	job := &mapred.Job{
+		Name:      "send-sketch",
+		Splits:    file.Splits(p.SplitSize),
+		Input:     mapred.SequentialInput{},
+		NewMapper: func(hdfs.Split) mapred.Mapper { return &sendSketchMapper{p: p} },
+		Reducer:   red,
+		// Sketch entries: 4-byte cell index + 8-byte double (Section 5's
+		// stated widths).
+		PairBytes:   func(mapred.KV) int { return 12 },
+		Streaming:   true,
+		Seed:        p.Seed,
+		Parallelism: p.Parallelism,
+	}
+	res, err := mapred.Run(job)
+	if err != nil {
+		return nil, err
+	}
+	out := &Output{Rep: red.rep}
+	out.Metrics.addRound(res, 0)
+	out.Metrics.WallTime = time.Since(start)
+	return out, nil
+}

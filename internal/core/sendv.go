@@ -1,0 +1,108 @@
+package core
+
+import (
+	"time"
+
+	"wavelethist/internal/hdfs"
+	"wavelethist/internal/mapred"
+	"wavelethist/internal/wavelet"
+)
+
+// SendV is the first exact baseline (Section 3): each split emits its
+// entire local frequency vector v_j as (x, v_j(x)) pairs; the single
+// reducer aggregates v = Σ v_j and runs the centralized best-k-term
+// selection. Communication is O(m·u) in the worst case — the paper's
+// motivation for everything that follows.
+type SendV struct{}
+
+// NewSendV returns the Send-V algorithm.
+func NewSendV() *SendV { return &SendV{} }
+
+// Name implements Algorithm.
+func (*SendV) Name() string { return "Send-V" }
+
+// sendVMapper aggregates its split's frequency vector in memory (the
+// hashmap of Appendix A) and emits one (x, count) pair per distinct key.
+type sendVMapper struct {
+	u    int64
+	freq map[int64]float64
+}
+
+func (m *sendVMapper) Setup(*mapred.TaskContext) error {
+	m.freq = make(map[int64]float64)
+	return nil
+}
+
+func (m *sendVMapper) Map(ctx *mapred.TaskContext, rec hdfs.Record, _ *mapred.Emitter) error {
+	if err := checkDomain(rec.Key, m.u); err != nil {
+		return err
+	}
+	m.freq[rec.Key]++
+	return nil
+}
+
+func (m *sendVMapper) Close(ctx *mapred.TaskContext, out *mapred.Emitter) error {
+	for x, c := range m.freq {
+		out.Emit(mapred.KV{Key: x, Val: c, Src: int32(ctx.SplitID)})
+	}
+	return nil
+}
+
+// sendVReducer aggregates the global frequency vector and selects the
+// best k-term representation at Close.
+type sendVReducer struct {
+	u    int64
+	k    int
+	freq map[int64]float64
+	rep  *wavelet.Representation
+}
+
+func (r *sendVReducer) Setup(*mapred.TaskContext) error {
+	r.freq = make(map[int64]float64)
+	return nil
+}
+
+func (r *sendVReducer) Reduce(_ *mapred.TaskContext, key int64, vals []mapred.KV) error {
+	for _, kv := range vals {
+		r.freq[key] += kv.Val
+	}
+	return nil
+}
+
+func (r *sendVReducer) Close(ctx *mapred.TaskContext) error {
+	coefs := localCoefficients(ctx, r.freq, r.u)
+	ctx.AddWork(float64(len(coefs))) // top-k heap pass
+	r.rep = wavelet.NewRepresentation(r.u, wavelet.SelectTopK(coefs, r.k))
+	return nil
+}
+
+// Run implements Algorithm.
+func (a *SendV) Run(file *hdfs.File, p Params) (*Output, error) {
+	p = p.Defaults()
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	red := &sendVReducer{u: p.U, k: p.K}
+	job := &mapred.Job{
+		Name:      "send-v",
+		Splits:    file.Splits(p.SplitSize),
+		Input:     mapred.SequentialInput{},
+		NewMapper: func(hdfs.Split) mapred.Mapper { return &sendVMapper{u: p.U} },
+		Reducer:   red,
+		// Wire format: 4-byte key + 4-byte count ("we use 4-byte integers
+		// to represent v(x) in a Mapper", Section 5).
+		PairBytes:   func(mapred.KV) int { return 8 },
+		Streaming:   true,
+		Seed:        p.Seed,
+		Parallelism: p.Parallelism,
+	}
+	res, err := mapred.Run(job)
+	if err != nil {
+		return nil, err
+	}
+	out := &Output{Rep: red.rep}
+	out.Metrics.addRound(res, 0)
+	out.Metrics.WallTime = time.Since(start)
+	return out, nil
+}

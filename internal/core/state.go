@@ -1,0 +1,203 @@
+package core
+
+import (
+	"fmt"
+
+	"wavelethist/internal/mapred"
+	"wavelethist/internal/wavelet"
+)
+
+// Binary encodings for H-WTopk's persistent state (the paper's per-split
+// HDFS state files and the coordinator's local file) and for the
+// candidate-set R payload placed in the Distributed Cache.
+
+// encodeCoefs serializes a coefficient list: [count][idx f64][val f64]...
+func encodeCoefs(coefs []wavelet.Coef) []byte {
+	b := mapred.AppendInt64(nil, int64(len(coefs)))
+	for _, c := range coefs {
+		b = mapred.AppendInt64(b, c.Index)
+		b = mapred.AppendFloat64(b, c.Value)
+	}
+	return b
+}
+
+func decodeCoefs(b []byte) ([]wavelet.Coef, error) {
+	if len(b) < 8 {
+		return nil, fmt.Errorf("core: truncated coefficient state")
+	}
+	n, off := mapred.ReadInt64(b, 0)
+	// Overflow-safe bound: compare against the entry capacity of the
+	// buffer instead of multiplying the untrusted count.
+	if n < 0 || n > int64(len(b)-8)/16 {
+		return nil, fmt.Errorf("core: corrupt coefficient state (n=%d, len=%d)", n, len(b))
+	}
+	coefs := make([]wavelet.Coef, n)
+	for i := range coefs {
+		coefs[i].Index, off = mapred.ReadInt64(b, off)
+		coefs[i].Value, off = mapred.ReadFloat64(b, off)
+	}
+	return coefs, nil
+}
+
+// bitset is a fixed-size bitset over split ids (the paper's F_i vectors,
+// stored as received-bits: bit j set means split j's score is known).
+type bitset struct {
+	words []uint64
+	n     int
+}
+
+func newBitset(n int) *bitset {
+	return &bitset{words: make([]uint64, (n+63)/64), n: n}
+}
+
+func (b *bitset) Set(i int)      { b.words[i/64] |= 1 << (uint(i) % 64) }
+func (b *bitset) Get(i int) bool { return b.words[i/64]&(1<<(uint(i)%64)) != 0 }
+func (b *bitset) Count() int {
+	c := 0
+	for _, w := range b.words {
+		for ; w != 0; w &= w - 1 {
+			c++
+		}
+	}
+	return c
+}
+
+// ForEachSet calls f for every set bit.
+func (b *bitset) ForEachSet(f func(i int)) {
+	for wi, w := range b.words {
+		for w != 0 {
+			bit := w & (-w)
+			idx := wi * 64
+			for t := bit >> 1; t != 0; t >>= 1 {
+				idx++
+			}
+			f(idx)
+			w &= w - 1
+		}
+	}
+}
+
+// coordEntry is one candidate item at the coordinator: its partial sum ŵ_i
+// and the set of splits whose exact score is known.
+type coordEntry struct {
+	wHat float64
+	recv *bitset
+}
+
+// coordState is the coordinator's persistent state between rounds.
+type coordState struct {
+	m       int
+	t1      float64
+	entries map[int64]*coordEntry
+}
+
+// encode serializes the coordinator state (t1 + entries with bitsets).
+func (cs *coordState) encode() []byte {
+	b := mapred.AppendInt64(nil, int64(cs.m))
+	b = mapred.AppendFloat64(b, cs.t1)
+	b = mapred.AppendInt64(b, int64(len(cs.entries)))
+	words := (cs.m + 63) / 64
+	for i, e := range cs.entries {
+		b = mapred.AppendInt64(b, i)
+		b = mapred.AppendFloat64(b, e.wHat)
+		for w := 0; w < words; w++ {
+			b = mapred.AppendUint64(b, e.recv.words[w])
+		}
+	}
+	return b
+}
+
+func decodeCoordState(b []byte) (*coordState, error) {
+	if len(b) < 24 {
+		return nil, fmt.Errorf("core: truncated coordinator state")
+	}
+	var cs coordState
+	var m64, cnt int64
+	off := 0
+	m64, off = mapred.ReadInt64(b, off)
+	cs.m = int(m64)
+	cs.t1, off = mapred.ReadFloat64(b, off)
+	cnt, off = mapred.ReadInt64(b, off)
+	if cs.m < 0 || cs.m > len(b)*8 {
+		return nil, fmt.Errorf("core: corrupt coordinator state (m=%d)", cs.m)
+	}
+	words := (cs.m + 63) / 64
+	entryBytes := int64(16 + 8*words)
+	if cnt < 0 || cnt > int64(len(b)-off)/entryBytes {
+		return nil, fmt.Errorf("core: corrupt coordinator state")
+	}
+	cs.entries = make(map[int64]*coordEntry, cnt)
+	for c := int64(0); c < cnt; c++ {
+		var idx int64
+		var wh float64
+		idx, off = mapred.ReadInt64(b, off)
+		wh, off = mapred.ReadFloat64(b, off)
+		e := &coordEntry{wHat: wh, recv: newBitset(cs.m)}
+		for w := 0; w < words; w++ {
+			e.recv.words[w], off = mapred.ReadUint64(b, off)
+		}
+		cs.entries[idx] = e
+	}
+	return &cs, nil
+}
+
+// encodeIndexSet serializes the candidate set R for the Distributed Cache.
+// Indices use 4 bytes (the paper's ids) unless any exceeds 32 bits — 2D
+// packed indices over large domains — in which case 8-byte ids are used.
+// indexSetBytes reports the same width for wire-cost accounting.
+func encodeIndexSet(ids []int64) []byte {
+	width := byte(4)
+	for _, id := range ids {
+		if id > 0xFFFFFFFF {
+			width = 8
+			break
+		}
+	}
+	b := mapred.AppendInt64(nil, int64(len(ids)))
+	b = append(b, width)
+	for _, id := range ids {
+		if width == 4 {
+			b = append(b, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
+		} else {
+			b = mapred.AppendInt64(b, id)
+		}
+	}
+	return b
+}
+
+// indexSetBytes is the network payload charged for shipping R.
+func indexSetBytes(ids []int64) int64 {
+	width := int64(4)
+	for _, id := range ids {
+		if id > 0xFFFFFFFF {
+			width = 8
+			break
+		}
+	}
+	return width * int64(len(ids))
+}
+
+func decodeIndexSet(b []byte) (map[int64]bool, error) {
+	if len(b) < 9 {
+		return nil, fmt.Errorf("core: truncated index set")
+	}
+	n, off := mapred.ReadInt64(b, 0)
+	width := int(b[off])
+	off++
+	if n < 0 || (width != 4 && width != 8) || n > int64(len(b)-off)/int64(width) {
+		return nil, fmt.Errorf("core: corrupt index set")
+	}
+	out := make(map[int64]bool, n)
+	for i := int64(0); i < n; i++ {
+		if width == 4 {
+			v := uint32(b[off]) | uint32(b[off+1])<<8 | uint32(b[off+2])<<16 | uint32(b[off+3])<<24
+			out[int64(v)] = true
+			off += 4
+		} else {
+			var v int64
+			v, off = mapred.ReadInt64(b, off)
+			out[v] = true
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,238 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"wavelethist/internal/hdfs"
+	"wavelethist/internal/wavelet"
+)
+
+func newTestFS(chunk int64) *hdfs.FileSystem {
+	return hdfs.NewFileSystem(4, chunk)
+}
+
+func TestCoefsRoundTrip(t *testing.T) {
+	coefs := []wavelet.Coef{{Index: 0, Value: 1.5}, {Index: 1 << 30, Value: -2.25}, {Index: 7, Value: 0}}
+	got, err := decodeCoefs(encodeCoefs(coefs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(coefs) {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range coefs {
+		if got[i] != coefs[i] {
+			t.Errorf("coef %d: %+v != %+v", i, got[i], coefs[i])
+		}
+	}
+}
+
+func TestCoefsRoundTripEmpty(t *testing.T) {
+	got, err := decodeCoefs(encodeCoefs(nil))
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty round trip: %v, %v", got, err)
+	}
+}
+
+// Failure injection: corrupted or truncated state files must error, not
+// panic or silently misdecode.
+func TestDecodeCoefsCorrupt(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{1, 2, 3},
+		encodeCoefs([]wavelet.Coef{{Index: 1, Value: 2}})[:12], // truncated body
+	}
+	// Length field claiming more entries than present.
+	big := encodeCoefs(nil)
+	big[0] = 200
+	cases = append(cases, big)
+	for i, b := range cases {
+		if _, err := decodeCoefs(b); err == nil {
+			t.Errorf("case %d: corrupt state accepted", i)
+		}
+	}
+}
+
+func TestDecodersQuickNeverPanic(t *testing.T) {
+	f := func(b []byte) bool {
+		_, _ = decodeCoefs(b)      // must not panic
+		_, _ = decodeCoordState(b) // must not panic
+		_, _ = decodeIndexSet(b)   // must not panic
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoordStateRoundTrip(t *testing.T) {
+	cs := &coordState{m: 70, t1: 3.25, entries: map[int64]*coordEntry{}}
+	e1 := &coordEntry{wHat: -5.5, recv: newBitset(70)}
+	e1.recv.Set(0)
+	e1.recv.Set(63)
+	e1.recv.Set(69)
+	cs.entries[42] = e1
+	e2 := &coordEntry{wHat: 9, recv: newBitset(70)}
+	cs.entries[7] = e2
+
+	got, err := decodeCoordState(cs.encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.m != 70 || got.t1 != 3.25 || len(got.entries) != 2 {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	g1 := got.entries[42]
+	if g1 == nil || g1.wHat != -5.5 {
+		t.Fatalf("entry 42 = %+v", g1)
+	}
+	for _, bit := range []int{0, 63, 69} {
+		if !g1.recv.Get(bit) {
+			t.Errorf("bit %d lost", bit)
+		}
+	}
+	if g1.recv.Count() != 3 {
+		t.Errorf("count = %d", g1.recv.Count())
+	}
+	if got.entries[7].recv.Count() != 0 {
+		t.Error("entry 7 should have no received bits")
+	}
+}
+
+func TestDecodeCoordStateCorrupt(t *testing.T) {
+	cases := [][]byte{nil, {1}, make([]byte, 23)}
+	cs := &coordState{m: 4, t1: 1, entries: map[int64]*coordEntry{
+		1: {wHat: 2, recv: newBitset(4)},
+	}}
+	enc := cs.encode()
+	cases = append(cases, enc[:len(enc)-4]) // truncated entry
+	for i, b := range cases {
+		if _, err := decodeCoordState(b); err == nil {
+			t.Errorf("case %d: corrupt coordinator state accepted", i)
+		}
+	}
+}
+
+func TestIndexSetRoundTrip(t *testing.T) {
+	ids := []int64{0, 1, 42, 1<<32 - 1}
+	got, err := decodeIndexSet(encodeIndexSet(ids))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ids) {
+		t.Fatalf("len = %d", len(got))
+	}
+	for _, id := range ids {
+		if !got[id] {
+			t.Errorf("id %d lost", id)
+		}
+	}
+}
+
+func TestDecodeIndexSetCorrupt(t *testing.T) {
+	enc := encodeIndexSet([]int64{1, 2, 3})
+	cases := [][]byte{nil, {9}, enc[:10]}
+	bad := append([]byte(nil), enc...)
+	bad[8] = 7 // invalid width byte
+	cases = append(cases, bad)
+	for i, b := range cases {
+		if _, err := decodeIndexSet(b); err == nil {
+			t.Errorf("case %d: corrupt index set accepted", i)
+		}
+	}
+}
+
+func TestBitsetForEachSet(t *testing.T) {
+	b := newBitset(130)
+	want := []int{0, 1, 64, 65, 127, 129}
+	for _, i := range want {
+		b.Set(i)
+	}
+	var got []int
+	b.ForEachSet(func(i int) { got = append(got, i) })
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("got[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBitsetQuick(t *testing.T) {
+	f := func(raw []uint16, sizeSel uint8) bool {
+		n := int(sizeSel)%200 + 1
+		b := newBitset(n)
+		ref := make(map[int]bool)
+		for _, r := range raw {
+			i := int(r) % n
+			b.Set(i)
+			ref[i] = true
+		}
+		if b.Count() != len(ref) {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if b.Get(i) != ref[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// End-to-end property: H-WTopk returns exactly Send-V's coefficient
+// magnitudes on arbitrary random datasets (domains, skews, split sizes).
+func TestHWTopkEquivalenceQuick(t *testing.T) {
+	f := func(rawKeys []uint16, uSel, kSel, chunkSel uint8) bool {
+		if len(rawKeys) == 0 {
+			return true
+		}
+		u := int64(1) << (4 + uSel%6) // 16..512
+		k := int(kSel%12) + 1
+		chunk := int64(64) << (chunkSel % 4) // 64..512 bytes
+		fs := newTestFS(chunk)
+		w, err := fs.Create("d", 4)
+		if err != nil {
+			return false
+		}
+		for _, rk := range rawKeys {
+			w.Append(int64(rk) % u)
+		}
+		f := w.Close()
+		p := Params{U: u, K: k, Seed: 9}
+		sv, err := NewSendV().Run(f, p)
+		if err != nil {
+			return false
+		}
+		hw, err := NewHWTopk().Run(f, p)
+		if err != nil {
+			return false
+		}
+		if len(sv.Rep.Coefs) != len(hw.Rep.Coefs) {
+			return false
+		}
+		for i := range sv.Rep.Coefs {
+			a, b := sv.Rep.Coefs[i].Value, hw.Rep.Coefs[i].Value
+			if abs(abs(a)-abs(b)) > 1e-9*(1+abs(a)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"wavelethist/internal/datagen"
+	"wavelethist/internal/hdfs"
+	"wavelethist/internal/wavelet"
+)
+
+// Variable-length record datasets exercise the Appendix-B readers end to
+// end: the exact methods scan with SequentialVarReader (skipping partial
+// records at split starts) and the sampling methods use RandomVarReader
+// (random offsets -> delimiter scan -> record-length trailer).
+
+func varDataset(t *testing.T, n, u int64, maxPayload int) (*hdfs.File, []float64) {
+	t.Helper()
+	fs := hdfs.NewFileSystem(8, 4096)
+	spec := datagen.NewZipfSpec(n, u, 1.1, 21)
+	f, err := datagen.GenerateZipfVar(fs, "var", spec, maxPayload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freq := datagen.ExactFrequencies(f)
+	return f, datagen.DenseFrequencies(freq, u)
+}
+
+func TestExactMethodsOnVariableRecords(t *testing.T) {
+	f, v := varDataset(t, 20000, 1<<10, 40)
+	p := Params{U: 1 << 10, K: 15, Seed: 2}
+	for _, a := range []Algorithm{NewSendV(), NewHWTopk()} {
+		out := run(t, a, f, p)
+		assertExactMatch(t, a.Name()+"(var)", out.Rep, v, 15)
+	}
+}
+
+func TestSamplingOnVariableRecords(t *testing.T) {
+	f, v := varDataset(t, 60000, 1<<10, 30)
+	energy := wavelet.Energy(v)
+	for _, a := range []Algorithm{NewBasicS(), NewImprovedS(), NewTwoLevelS()} {
+		p := Params{U: 1 << 10, K: 20, Epsilon: 8e-3, Seed: 5, CombineEnabled: true}
+		out := run(t, a, f, p)
+		if out.Rep.K() == 0 {
+			t.Fatalf("%s: empty histogram on variable records", a.Name())
+		}
+		if sse := out.Rep.SSEAgainst(v); sse >= energy {
+			t.Errorf("%s: SSE %v >= energy %v", a.Name(), sse, energy)
+		}
+		// Sampling must not read the whole variable-length file either.
+		if out.Metrics.MapBytesRead >= f.Size() {
+			t.Errorf("%s: read %d of %d bytes", a.Name(), out.Metrics.MapBytesRead, f.Size())
+		}
+	}
+}
+
+func TestVariableRecordSampleSizeTracksEpsilon(t *testing.T) {
+	f, _ := varDataset(t, 60000, 1<<10, 30)
+	records := func(eps float64) int64 {
+		p := Params{U: 1 << 10, K: 10, Epsilon: eps, Seed: 7, CombineEnabled: true}
+		out := run(t, NewBasicS(), f, p)
+		return out.Metrics.MapRecordsRead
+	}
+	loose, tight := records(2e-2), records(5e-3)
+	if tight <= loose {
+		t.Errorf("smaller ε must sample more: ε=5e-3 read %d, ε=2e-2 read %d", tight, loose)
+	}
+	// Expected sample ≈ 1/ε² (estimated n_j from average record size);
+	// allow a 2x band.
+	want := 1 / (5e-3 * 5e-3)
+	if math.Abs(float64(tight)-want) > want {
+		t.Errorf("sample size %d far from 1/ε² = %v", tight, want)
+	}
+}

@@ -1,0 +1,383 @@
+package exper
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// The exper tests run every driver in Quick mode and assert the paper's
+// qualitative claims (who wins, by roughly what factor) hold in the
+// reproduction — the "shape" contract of the benchmark harness.
+
+func runDriver(t *testing.T, d Driver) []*Figure {
+	t.Helper()
+	figs, err := d(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) == 0 {
+		t.Fatal("driver produced no figures")
+	}
+	return figs
+}
+
+func geoMean(xs []float64) float64 {
+	var s float64
+	n := 0
+	for _, x := range xs {
+		if !math.IsNaN(x) && x > 0 {
+			s += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return math.Exp(s / float64(n))
+}
+
+func TestFig5Shape(t *testing.T) {
+	figs := runDriver(t, Fig5)
+	comm := figs[0]
+	// H-WTopk communicates far less than Send-V at every k.
+	sv, hw := comm.Column("Send-V"), comm.Column("H-WTopk")
+	for i := range sv {
+		if hw[i] >= sv[i] {
+			t.Errorf("k-tick %d: H-WTopk comm %v >= Send-V %v", i, hw[i], sv[i])
+		}
+	}
+	// TwoLevel-S ships the least of all methods (paper: overall winner).
+	tl := comm.Column("TwoLevel-S")
+	for _, col := range []string{"Send-V", "H-WTopk", "Send-Sketch"} {
+		other := comm.Column(col)
+		for i := range tl {
+			if tl[i] >= other[i] {
+				t.Errorf("TwoLevel-S comm %v >= %s %v at tick %d", tl[i], col, other[i], i)
+			}
+		}
+	}
+	// Send-V's communication is insensitive to k; H-WTopk's varies.
+	svSpread := maxOf(sv) / minOf(sv)
+	if svSpread > 1.01 {
+		t.Errorf("Send-V comm varies with k by %vx; should be flat", svSpread)
+	}
+}
+
+func TestFig5TimeShape(t *testing.T) {
+	figs := runDriver(t, Fig5)
+	tim := figs[1]
+	// Send-Sketch is the slowest method (sketch updates dominate);
+	// TwoLevel-S is the fastest.
+	sk, tl, sv := tim.Column("Send-Sketch"), tim.Column("TwoLevel-S"), tim.Column("Send-V")
+	if geoMean(sk) <= geoMean(sv) {
+		t.Errorf("Send-Sketch time %v <= Send-V %v; paper has sketch slowest",
+			geoMean(sk), geoMean(sv))
+	}
+	if geoMean(tl) >= geoMean(sv) {
+		t.Errorf("TwoLevel-S time %v >= Send-V %v", geoMean(tl), geoMean(sv))
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	figs := runDriver(t, Fig6)
+	fig := figs[0]
+	// Exact methods track the ideal SSE exactly.
+	ideal, sv, hw := fig.Column("Ideal"), fig.Column("Send-V"), fig.Column("H-WTopk")
+	for i := range ideal {
+		if math.Abs(sv[i]-ideal[i]) > 1e-6*(1+ideal[i]) {
+			t.Errorf("Send-V SSE %v != ideal %v", sv[i], ideal[i])
+		}
+		if math.Abs(hw[i]-ideal[i]) > 1e-6*(1+ideal[i]) {
+			t.Errorf("H-WTopk SSE %v != ideal %v", hw[i], ideal[i])
+		}
+	}
+	// SSE decreases with k for the exact methods.
+	for i := 1; i < len(ideal); i++ {
+		if ideal[i] > ideal[i-1]+1e-9 {
+			t.Errorf("ideal SSE increased with k at tick %d", i)
+		}
+	}
+	// Approximations are no better than ideal (up to tiny numerical slack).
+	for _, col := range []string{"Improved-S", "TwoLevel-S", "Send-Sketch"} {
+		vals := fig.Column(col)
+		for i := range vals {
+			if vals[i] < ideal[i]*(1-1e-9)-1e-9 {
+				t.Errorf("%s SSE %v below ideal %v — impossible", col, vals[i], ideal[i])
+			}
+		}
+	}
+	// TwoLevel-S achieves SSE no worse than Improved-S on average
+	// (unbiased vs biased estimator).
+	if geoMean(fig.Column("TwoLevel-S")) > geoMean(fig.Column("Improved-S"))*1.5 {
+		t.Errorf("TwoLevel-S mean SSE %v ≫ Improved-S %v",
+			geoMean(fig.Column("TwoLevel-S")), geoMean(fig.Column("Improved-S")))
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	figs := runDriver(t, Fig7)
+	fig := figs[0]
+	// Sampling SSE grows as ε grows (left-to-right in our sweep).
+	tl := fig.Column("TwoLevel-S")
+	if tl[len(tl)-1] <= tl[0] {
+		t.Errorf("TwoLevel-S SSE did not grow with ε: %v", tl)
+	}
+	// H-WTopk is exact: constant, equal to ideal.
+	hw, ideal := fig.Column("H-WTopk"), fig.Column("Ideal")
+	for i := range hw {
+		if math.Abs(hw[i]-ideal[i]) > 1e-6*(1+ideal[i]) {
+			t.Errorf("H-WTopk SSE %v != ideal %v at tick %d", hw[i], ideal[i], i)
+		}
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	figs := runDriver(t, Fig8)
+	comm := figs[0]
+	// Communication decreases as ε increases, and TwoLevel-S < Improved-S
+	// throughout.
+	imp, tl := comm.Column("Improved-S"), comm.Column("TwoLevel-S")
+	for i := range imp {
+		if tl[i] >= imp[i] {
+			t.Errorf("tick %d: TwoLevel-S comm %v >= Improved-S %v", i, tl[i], imp[i])
+		}
+	}
+	if tl[0] <= tl[len(tl)-1] {
+		t.Errorf("TwoLevel-S comm should shrink as ε grows: %v", tl)
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	figs := runDriver(t, Fig9)
+	if len(figs) != 3 {
+		t.Fatalf("fig9 produced %d tables, want 3", len(figs))
+	}
+	for _, fig := range figs {
+		// Within each method, lower SSE must cost more communication.
+		sse, comm := fig.Column("SSE"), fig.Column("Comm(bytes)")
+		for i := 1; i < len(sse); i++ {
+			if sse[i] < sse[i-1] && comm[i] < comm[i-1]*0.5 {
+				t.Errorf("%s: SSE fell but comm dropped sharply: %v -> %v", fig.ID, comm[i-1], comm[i])
+			}
+		}
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	figs := runDriver(t, Fig10)
+	comm := figs[0]
+	// Send-V's communication grows with n; TwoLevel-S stays tiny and
+	// beats Improved-S by a growing margin.
+	sv := comm.Column("Send-V")
+	if sv[len(sv)-1] <= sv[0] {
+		t.Errorf("Send-V comm did not grow with n: %v", sv)
+	}
+	imp, tl := comm.Column("Improved-S"), comm.Column("TwoLevel-S")
+	firstRatio := imp[0] / tl[0]
+	lastRatio := imp[len(imp)-1] / tl[len(tl)-1]
+	if lastRatio < firstRatio*0.8 {
+		t.Errorf("TwoLevel-S advantage should widen with n (m): %v -> %v", firstRatio, lastRatio)
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	figs := runDriver(t, Fig12)
+	comm := figs[0]
+	// Send-Coef ships more than Send-V at every domain, and degrades as
+	// u grows.
+	sv, sc := comm.Column("Send-V"), comm.Column("Send-Coef")
+	for i := range sv {
+		if sc[i] <= sv[i] {
+			t.Errorf("u-tick %d: Send-Coef comm %v <= Send-V %v", i, sc[i], sv[i])
+		}
+	}
+	if sc[len(sc)-1] <= sc[0] {
+		t.Errorf("Send-Coef comm should grow with u: %v", sc)
+	}
+	// Sampling methods are insensitive to u.
+	tl := comm.Column("TwoLevel-S")
+	if maxOf(tl)/minOf(tl) > 3 {
+		t.Errorf("TwoLevel-S comm should be u-insensitive: %v", tl)
+	}
+}
+
+func TestFig13Shape(t *testing.T) {
+	figs := runDriver(t, Fig13)
+	comm := figs[0]
+	// Larger splits (smaller m) mean less communication for every method.
+	for _, col := range comm.Columns {
+		vals := comm.Column(col)
+		if vals[len(vals)-1] > vals[0]*1.1 {
+			t.Errorf("%s comm grew with split size: %v", col, vals)
+		}
+	}
+}
+
+func TestFig14Shape(t *testing.T) {
+	figs := runDriver(t, Fig14)
+	comm := figs[0]
+	// Less skew (α = 0.8, first tick) means more distinct keys per split,
+	// so Send-V ships more than at α = 1.4 (last tick).
+	sv := comm.Column("Send-V")
+	if sv[0] <= sv[len(sv)-1] {
+		t.Errorf("Send-V comm should fall as skew rises: %v", sv)
+	}
+}
+
+func TestFig16Shape(t *testing.T) {
+	// Bandwidth only matters when a method actually ships data; the
+	// default Quick dataset is too small for the network to dominate the
+	// fixed round overhead, so use a larger, less skewed dataset here
+	// (more distinct keys per split -> Send-V ships megabytes).
+	cfg := Quick()
+	cfg.N = 1 << 19
+	cfg.U = 1 << 14
+	cfg.Alpha = 0.8
+	figs, err := Fig16(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig := figs[0]
+	// Send-V's time falls (near-linearly) as bandwidth grows; every
+	// method is non-increasing in B.
+	for _, col := range fig.Columns {
+		vals := fig.Column(col)
+		for i := 1; i < len(vals); i++ {
+			if vals[i] > vals[i-1]*1.001 {
+				t.Errorf("%s time grew with bandwidth: %v", col, vals)
+			}
+		}
+	}
+	sv := fig.Column("Send-V")
+	if sv[0] < 2*sv[len(sv)-1] {
+		t.Errorf("Send-V at 10%% B (%v) should be ≫ at 100%% (%v)", sv[0], sv[len(sv)-1])
+	}
+}
+
+func TestFig17Shape(t *testing.T) {
+	figs := runDriver(t, Fig17)
+	comm := figs[0]
+	// Same ordering as the synthetic data: TwoLevel-S ≪ H-WTopk ≪ Send-V.
+	sv := comm.Cells[0][indexOf(comm.Columns, "Send-V")]
+	hw := comm.Cells[0][indexOf(comm.Columns, "H-WTopk")]
+	tl := comm.Cells[0][indexOf(comm.Columns, "TwoLevel-S")]
+	if !(tl < hw && hw < sv) {
+		t.Errorf("WorldCup comm ordering violated: TwoLevel-S=%v H-WTopk=%v Send-V=%v", tl, hw, sv)
+	}
+}
+
+func TestFig18Shape(t *testing.T) {
+	figs := runDriver(t, Fig18)
+	fig := figs[0]
+	ideal := fig.Cells[0][indexOf(fig.Columns, "Ideal")]
+	sv := fig.Cells[0][indexOf(fig.Columns, "Send-V")]
+	if math.Abs(sv-ideal) > 1e-6*(1+ideal) {
+		t.Errorf("WorldCup Send-V SSE %v != ideal %v", sv, ideal)
+	}
+}
+
+func TestRemainingDriversRun(t *testing.T) {
+	// Fig11, Fig15 and Fig19 are heavier; assert they run and produce
+	// complete tables in Quick mode.
+	for _, d := range []Driver{Fig11, Fig15, Fig19} {
+		figs := runDriver(t, d)
+		for _, fig := range figs {
+			for i := range fig.Cells {
+				for j := range fig.Cells[i] {
+					if math.IsNaN(fig.Cells[i][j]) && fig.Unit != "mixed" {
+						t.Errorf("%s: cell (%d,%d) not filled", fig.ID, i, j)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	reg := Registry()
+	if len(reg) != 15 {
+		t.Fatalf("registry has %d drivers, want 15 (figures 5-19)", len(reg))
+	}
+	seen := map[string]bool{}
+	for _, e := range reg {
+		if seen[e.ID] {
+			t.Errorf("duplicate driver id %s", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Driver == nil {
+			t.Errorf("nil driver for %s", e.ID)
+		}
+	}
+}
+
+func TestFigurePrint(t *testing.T) {
+	fig := newFigure("figX", "Demo", "k", "bytes", []string{"k=10", "k=20"}, []string{"A", "B"})
+	fig.Cells[0][0] = 1024
+	fig.Cells[0][1] = 2 << 20
+	fig.Cells[1][0] = 5
+	fig.Cells[1][1] = math.NaN()
+	var buf bytes.Buffer
+	fig.Print(&buf)
+	out := buf.String()
+	for _, want := range []string{"figX", "k=10", "1.0KiB", "2.00MiB", "5B", "-"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("printed table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigureCSV(t *testing.T) {
+	fig := newFigure("figY", "Demo", "k", "bytes", []string{"k=1", "k=2"}, []string{"A", "B"})
+	fig.Cells[0][0] = 10
+	fig.Cells[0][1] = 20.5
+	fig.Cells[1][0] = math.NaN()
+	fig.Cells[1][1] = 3
+	var buf bytes.Buffer
+	if err := fig.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "k,A,B\nk=1,10,20.5\nk=2,,3\n"
+	if buf.String() != want {
+		t.Errorf("CSV = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestConfigString(t *testing.T) {
+	s := Default().String()
+	for _, want := range []string{"n=4194304", "u=2^18", "k=30"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("config string %q missing %q", s, want)
+		}
+	}
+}
+
+func maxOf(xs []float64) float64 {
+	m := math.Inf(-1)
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+func minOf(xs []float64) float64 {
+	m := math.Inf(1)
+	for _, x := range xs {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+func indexOf(cols []string, name string) int {
+	for i, c := range cols {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,529 @@
+package exper
+
+import (
+	"fmt"
+	"sort"
+
+	"wavelethist/internal/core"
+	"wavelethist/internal/datagen"
+	"wavelethist/internal/hdfs"
+)
+
+// Driver is one figure-reproduction function.
+type Driver func(cfg Config) ([]*Figure, error)
+
+// Registry maps experiment ids to drivers, in the paper's figure order.
+func Registry() []struct {
+	ID     string
+	Driver Driver
+} {
+	return []struct {
+		ID     string
+		Driver Driver
+	}{
+		{"fig5", Fig5}, {"fig6", Fig6}, {"fig7", Fig7}, {"fig8", Fig8},
+		{"fig9", Fig9}, {"fig10", Fig10}, {"fig11", Fig11}, {"fig12", Fig12},
+		{"fig13", Fig13}, {"fig14", Fig14}, {"fig15", Fig15}, {"fig16", Fig16},
+		{"fig17", Fig17}, {"fig18", Fig18}, {"fig19", Fig19},
+	}
+}
+
+// names extracts algorithm display names.
+func names(algs []core.Algorithm) []string {
+	out := make([]string, len(algs))
+	for i, a := range algs {
+		out[i] = a.Name()
+	}
+	return out
+}
+
+// sweepKs returns the k sweep (paper: 10..50).
+func sweepKs() []int { return []int{10, 20, 30, 40, 50} }
+
+// sweepEps returns the scaled ε sweep (paper: 1e-5..1e-1; scaled so the
+// level-1 sampling probability p = 1/(ε²n) stays in (0, 1)).
+func (c Config) sweepEps() []float64 {
+	base := c.Epsilon
+	return []float64{base / 2, base, 2 * base, 4 * base, 8 * base}
+}
+
+// Fig5 — communication (a) and running time (b) vs k, five methods.
+func Fig5(cfg Config) ([]*Figure, error) {
+	file, err := cfg.dataset()
+	if err != nil {
+		return nil, err
+	}
+	algs := fiveMethods()
+	ks := sweepKs()
+	ticks := make([]string, len(ks))
+	for i, k := range ks {
+		ticks[i] = fmt.Sprintf("k=%d", k)
+	}
+	comm := newFigure("fig5a", "Cost analysis: vary k", "k", "bytes", ticks, names(algs))
+	tim := newFigure("fig5b", "Cost analysis: vary k", "k", "seconds", ticks, names(algs))
+	for i, k := range ks {
+		p := cfg.Params()
+		p.K = k
+		for j, alg := range algs {
+			mr, err := runOne(alg, file, p, cfg, nil)
+			if err != nil {
+				return nil, err
+			}
+			comm.Cells[i][j] = float64(mr.CommBytes)
+			tim.Cells[i][j] = mr.TimeSec
+		}
+	}
+	return []*Figure{comm, tim}, nil
+}
+
+// Fig6 — SSE vs k, five methods plus the ideal (= exact) SSE.
+func Fig6(cfg Config) ([]*Figure, error) {
+	file, err := cfg.dataset()
+	if err != nil {
+		return nil, err
+	}
+	dense := denseFreq(file, cfg.U)
+	algs := fiveMethods()
+	ks := sweepKs()
+	ticks := make([]string, len(ks))
+	for i, k := range ks {
+		ticks[i] = fmt.Sprintf("k=%d", k)
+	}
+	fig := newFigure("fig6", "SSE: vary k", "k", "SSE", ticks, append(names(algs), "Ideal"))
+	for i, k := range ks {
+		p := cfg.Params()
+		p.K = k
+		for j, alg := range algs {
+			mr, err := runOne(alg, file, p, cfg, dense)
+			if err != nil {
+				return nil, err
+			}
+			fig.Cells[i][j] = mr.SSE
+		}
+		fig.Cells[i][len(algs)] = idealSSE(dense, k)
+	}
+	return []*Figure{fig}, nil
+}
+
+// Fig7 — SSE vs ε: H-WTopk (exact, constant), Improved-S, TwoLevel-S,
+// ideal.
+func Fig7(cfg Config) ([]*Figure, error) {
+	file, err := cfg.dataset()
+	if err != nil {
+		return nil, err
+	}
+	dense := denseFreq(file, cfg.U)
+	algs := []core.Algorithm{core.NewHWTopk(), core.NewImprovedS(), core.NewTwoLevelS()}
+	eps := cfg.sweepEps()
+	ticks := make([]string, len(eps))
+	for i, e := range eps {
+		ticks[i] = fmt.Sprintf("ε=%.1e", e)
+	}
+	fig := newFigure("fig7", "SSE: vary ε", "ε", "SSE", ticks, append(names(algs), "Ideal"))
+	for i, e := range eps {
+		p := cfg.Params()
+		p.Epsilon = e
+		for j, alg := range algs {
+			mr, err := runOne(alg, file, p, cfg, dense)
+			if err != nil {
+				return nil, err
+			}
+			fig.Cells[i][j] = mr.SSE
+		}
+		fig.Cells[i][len(algs)] = idealSSE(dense, cfg.K)
+	}
+	return []*Figure{fig}, nil
+}
+
+// Fig8 — communication (a) and running time (b) vs ε for the two sampling
+// methods.
+func Fig8(cfg Config) ([]*Figure, error) {
+	file, err := cfg.dataset()
+	if err != nil {
+		return nil, err
+	}
+	algs := []core.Algorithm{core.NewImprovedS(), core.NewTwoLevelS()}
+	eps := cfg.sweepEps()
+	ticks := make([]string, len(eps))
+	for i, e := range eps {
+		ticks[i] = fmt.Sprintf("ε=%.1e", e)
+	}
+	comm := newFigure("fig8a", "Cost analysis: vary ε", "ε", "bytes", ticks, names(algs))
+	tim := newFigure("fig8b", "Cost analysis: vary ε", "ε", "seconds", ticks, names(algs))
+	for i, e := range eps {
+		p := cfg.Params()
+		p.Epsilon = e
+		for j, alg := range algs {
+			mr, err := runOne(alg, file, p, cfg, nil)
+			if err != nil {
+				return nil, err
+			}
+			comm.Cells[i][j] = float64(mr.CommBytes)
+			tim.Cells[i][j] = mr.TimeSec
+		}
+	}
+	return []*Figure{comm, tim}, nil
+}
+
+// Fig9 — communication (a) and running time (b) versus achieved SSE for
+// the approximation methods: ε sweeps for the sampling algorithms, sketch-
+// budget sweep for Send-Sketch. One table per method with columns
+// (SSE, comm, time), sorted by decreasing SSE like the paper's x-axis.
+func Fig9(cfg Config) ([]*Figure, error) {
+	file, err := cfg.dataset()
+	if err != nil {
+		return nil, err
+	}
+	dense := denseFreq(file, cfg.U)
+	return costVsSSE(cfg, file, dense, "fig9")
+}
+
+func costVsSSE(cfg Config, file *hdfs.File, dense []float64, id string) ([]*Figure, error) {
+	type point struct {
+		label string
+		mr    MethodResult
+	}
+	var figures []*Figure
+	emit := func(name string, pts []point) {
+		sort.Slice(pts, func(a, b int) bool { return pts[a].mr.SSE > pts[b].mr.SSE })
+		ticks := make([]string, len(pts))
+		for i, pt := range pts {
+			ticks[i] = pt.label
+		}
+		fig := newFigure(fmt.Sprintf("%s-%s", id, name), "Cost vs SSE: "+name,
+			"setting", "mixed", ticks, []string{"SSE", "Comm(bytes)", "Time(s)"})
+		for i, pt := range pts {
+			fig.Cells[i][0] = pt.mr.SSE
+			fig.Cells[i][1] = float64(pt.mr.CommBytes)
+			fig.Cells[i][2] = pt.mr.TimeSec
+		}
+		figures = append(figures, fig)
+	}
+
+	for _, alg := range []core.Algorithm{core.NewImprovedS(), core.NewTwoLevelS()} {
+		var pts []point
+		for _, e := range cfg.sweepEps() {
+			p := cfg.Params()
+			p.Epsilon = e
+			mr, err := runOne(alg, file, p, cfg, dense)
+			if err != nil {
+				return nil, err
+			}
+			pts = append(pts, point{fmt.Sprintf("ε=%.1e", e), mr})
+		}
+		emit(alg.Name(), pts)
+	}
+	// Send-Sketch: sweep the per-split sketch budget around the config's
+	// scaled default (the paper sweeps around 20KB·log2(u)).
+	base := cfg.Params().SketchBytes
+	var pts []point
+	for _, mult := range []int64{1, 2, 4} {
+		budget := base * mult
+		p := cfg.Params()
+		p.SketchBytes = budget
+		mr, err := runOne(core.NewSendSketch(), file, p, cfg, dense)
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, point{formatBytes(float64(budget)), mr})
+	}
+	emit("Send-Sketch", pts)
+	return figures, nil
+}
+
+// Fig10 — communication (a) and running time (b) vs dataset size n. As n
+// grows so does m (fixed split size), the regime where TwoLevel-S's
+// O(√m/ε) advantage over Improved-S's O(m/ε) widens.
+func Fig10(cfg Config) ([]*Figure, error) {
+	ns := []int64{cfg.N / 8, cfg.N / 4, cfg.N / 2, cfg.N, cfg.N * 2}
+	algs := fiveMethods()
+	ticks := make([]string, len(ns))
+	for i, n := range ns {
+		ticks[i] = fmt.Sprintf("n=%d", n)
+	}
+	comm := newFigure("fig10a", "Cost analysis: vary n", "n", "bytes", ticks, names(algs))
+	tim := newFigure("fig10b", "Cost analysis: vary n", "n", "seconds", ticks, names(algs))
+	for i, n := range ns {
+		c := cfg
+		c.N = n
+		file, err := c.dataset()
+		if err != nil {
+			return nil, err
+		}
+		for j, alg := range algs {
+			mr, err := runOne(alg, file, c.Params(), c, nil)
+			if err != nil {
+				return nil, err
+			}
+			comm.Cells[i][j] = float64(mr.CommBytes)
+			tim.Cells[i][j] = mr.TimeSec
+		}
+	}
+	return []*Figure{comm, tim}, nil
+}
+
+// Fig11 — communication (a) and running time (b) vs record size, with the
+// number of records fixed (the paper fixes 4,194,304 records and pads
+// each to 4B..100kB).
+func Fig11(cfg Config) ([]*Figure, error) {
+	recs := cfg.N / 32
+	sizes := []int{4, 16, 64, 256, 1024}
+	if cfg.Quick {
+		sizes = []int{4, 64, 512}
+	}
+	algs := fiveMethods()
+	ticks := make([]string, len(sizes))
+	for i, s := range sizes {
+		ticks[i] = fmt.Sprintf("%dB", s)
+	}
+	comm := newFigure("fig11a", "Cost analysis: vary record size", "record", "bytes", ticks, names(algs))
+	tim := newFigure("fig11b", "Cost analysis: vary record size", "record", "seconds", ticks, names(algs))
+	for i, s := range sizes {
+		c := cfg
+		c.N = recs
+		c.RecordSize = s
+		file, err := c.dataset()
+		if err != nil {
+			return nil, err
+		}
+		for j, alg := range algs {
+			mr, err := runOne(alg, file, c.Params(), c, nil)
+			if err != nil {
+				return nil, err
+			}
+			comm.Cells[i][j] = float64(mr.CommBytes)
+			tim.Cells[i][j] = mr.TimeSec
+		}
+	}
+	return []*Figure{comm, tim}, nil
+}
+
+// Fig12 — communication (a) and running time (b) vs domain size u,
+// including Send-Coef (the figure the paper uses to retire it).
+func Fig12(cfg Config) ([]*Figure, error) {
+	var us []int64
+	for _, shift := range []uint{8, 6, 4, 2, 0} {
+		u := cfg.U >> shift
+		if u < 1<<6 {
+			u = 1 << 6
+		}
+		if len(us) == 0 || us[len(us)-1] != u {
+			us = append(us, u)
+		}
+	}
+	algs := append(fiveMethods(), core.NewSendCoef())
+	ticks := make([]string, len(us))
+	for i, u := range us {
+		ticks[i] = fmt.Sprintf("u=2^%d", log2(u))
+	}
+	comm := newFigure("fig12a", "Cost analysis: vary u", "u", "bytes", ticks, names(algs))
+	tim := newFigure("fig12b", "Cost analysis: vary u", "u", "seconds", ticks, names(algs))
+	for i, u := range us {
+		c := cfg
+		c.U = u
+		file, err := c.dataset()
+		if err != nil {
+			return nil, err
+		}
+		for j, alg := range algs {
+			mr, err := runOne(alg, file, c.Params(), c, nil)
+			if err != nil {
+				return nil, err
+			}
+			comm.Cells[i][j] = float64(mr.CommBytes)
+			tim.Cells[i][j] = mr.TimeSec
+		}
+	}
+	return []*Figure{comm, tim}, nil
+}
+
+// Fig13 — communication (a) and running time (b) vs split size β (n
+// fixed, so m shrinks as β grows).
+func Fig13(cfg Config) ([]*Figure, error) {
+	file, err := cfg.dataset()
+	if err != nil {
+		return nil, err
+	}
+	betas := []int64{cfg.ChunkSize / 4, cfg.ChunkSize / 2, cfg.ChunkSize,
+		cfg.ChunkSize * 2, cfg.ChunkSize * 4}
+	algs := fiveMethods()
+	ticks := make([]string, len(betas))
+	for i, b := range betas {
+		ticks[i] = fmt.Sprintf("β=%dKiB", b>>10)
+	}
+	comm := newFigure("fig13a", "Cost analysis: vary split size β", "β", "bytes", ticks, names(algs))
+	tim := newFigure("fig13b", "Cost analysis: vary split size β", "β", "seconds", ticks, names(algs))
+	for i, b := range betas {
+		p := cfg.Params()
+		p.SplitSize = b
+		for j, alg := range algs {
+			mr, err := runOne(alg, file, p, cfg, nil)
+			if err != nil {
+				return nil, err
+			}
+			comm.Cells[i][j] = float64(mr.CommBytes)
+			tim.Cells[i][j] = mr.TimeSec
+		}
+	}
+	return []*Figure{comm, tim}, nil
+}
+
+// Fig14 — communication (a) and running time (b) vs skew α.
+func Fig14(cfg Config) ([]*Figure, error) {
+	alphas := []float64{0.8, 1.1, 1.4}
+	algs := fiveMethods()
+	ticks := make([]string, len(alphas))
+	for i, a := range alphas {
+		ticks[i] = fmt.Sprintf("α=%.1f", a)
+	}
+	comm := newFigure("fig14a", "Cost analysis: vary skewness α", "α", "bytes", ticks, names(algs))
+	tim := newFigure("fig14b", "Cost analysis: vary skewness α", "α", "seconds", ticks, names(algs))
+	for i, a := range alphas {
+		c := cfg
+		c.Alpha = a
+		file, err := c.dataset()
+		if err != nil {
+			return nil, err
+		}
+		for j, alg := range algs {
+			mr, err := runOne(alg, file, c.Params(), c, nil)
+			if err != nil {
+				return nil, err
+			}
+			comm.Cells[i][j] = float64(mr.CommBytes)
+			tim.Cells[i][j] = mr.TimeSec
+		}
+	}
+	return []*Figure{comm, tim}, nil
+}
+
+// Fig15 — SSE vs skew α.
+func Fig15(cfg Config) ([]*Figure, error) {
+	alphas := []float64{0.8, 1.1, 1.4}
+	algs := fiveMethods()
+	ticks := make([]string, len(alphas))
+	for i, a := range alphas {
+		ticks[i] = fmt.Sprintf("α=%.1f", a)
+	}
+	fig := newFigure("fig15", "SSE: vary α", "α", "SSE", ticks, append(names(algs), "Ideal"))
+	for i, a := range alphas {
+		c := cfg
+		c.Alpha = a
+		file, err := c.dataset()
+		if err != nil {
+			return nil, err
+		}
+		dense := denseFreq(file, c.U)
+		for j, alg := range algs {
+			mr, err := runOne(alg, file, c.Params(), c, dense)
+			if err != nil {
+				return nil, err
+			}
+			fig.Cells[i][j] = mr.SSE
+		}
+		fig.Cells[i][len(algs)] = idealSSE(dense, c.K)
+	}
+	return []*Figure{fig}, nil
+}
+
+// Fig16 — running time vs available bandwidth B. Each method runs once;
+// the cost model re-evaluates the same work profile per bandwidth (the
+// communication is unaffected by B, as the paper notes).
+func Fig16(cfg Config) ([]*Figure, error) {
+	file, err := cfg.dataset()
+	if err != nil {
+		return nil, err
+	}
+	algs := fiveMethods()
+	fracs := []float64{0.1, 0.25, 0.5, 0.75, 1.0}
+	ticks := make([]string, len(fracs))
+	for i, f := range fracs {
+		ticks[i] = fmt.Sprintf("B=%.0f%%", f*100)
+	}
+	fig := newFigure("fig16", "Running time: vary bandwidth B", "B", "seconds", ticks, names(algs))
+	for j, alg := range algs {
+		out, err := alg.Run(file, cfg.Params())
+		if err != nil {
+			return nil, err
+		}
+		for i, f := range fracs {
+			c := cfg.Cluster()
+			c.BandwidthFrac = f
+			fig.Cells[i][j] = out.Metrics.SimulatedSeconds(c)
+		}
+	}
+	return []*Figure{fig}, nil
+}
+
+// Fig17 — communication (a) and running time (b) on the WorldCup-like
+// dataset at the default parameters.
+func Fig17(cfg Config) ([]*Figure, error) {
+	file, err := cfg.worldcup()
+	if err != nil {
+		return nil, err
+	}
+	u := worldcupU(cfg)
+	algs := fiveMethods()
+	comm := newFigure("fig17a", "WorldCup dataset", "dataset", "bytes",
+		[]string{"WorldCup"}, names(algs))
+	tim := newFigure("fig17b", "WorldCup dataset", "dataset", "seconds",
+		[]string{"WorldCup"}, names(algs))
+	c := cfg
+	c.U = u
+	p := c.Params()
+	for j, alg := range algs {
+		mr, err := runOne(alg, file, p, c, nil)
+		if err != nil {
+			return nil, err
+		}
+		comm.Cells[0][j] = float64(mr.CommBytes)
+		tim.Cells[0][j] = mr.TimeSec
+	}
+	return []*Figure{comm, tim}, nil
+}
+
+// worldcupU returns the clientobject domain of the scaled generator.
+func worldcupU(cfg Config) int64 {
+	if cfg.Quick {
+		return 1 << 12
+	}
+	return 1 << 16
+}
+
+// Fig18 — SSE on the WorldCup-like dataset.
+func Fig18(cfg Config) ([]*Figure, error) {
+	file, err := cfg.worldcup()
+	if err != nil {
+		return nil, err
+	}
+	u := worldcupU(cfg)
+	dense := datagen.DenseFrequencies(datagen.ExactFrequencies(file), u)
+	algs := fiveMethods()
+	fig := newFigure("fig18", "SSE on WorldCup", "dataset", "SSE",
+		[]string{"WorldCup"}, append(names(algs), "Ideal"))
+	c := cfg
+	c.U = u
+	p := c.Params()
+	for j, alg := range algs {
+		mr, err := runOne(alg, file, p, c, dense)
+		if err != nil {
+			return nil, err
+		}
+		fig.Cells[0][j] = mr.SSE
+	}
+	fig.Cells[0][len(algs)] = idealSSE(dense, cfg.K)
+	return []*Figure{fig}, nil
+}
+
+// Fig19 — communication and running time vs SSE on WorldCup.
+func Fig19(cfg Config) ([]*Figure, error) {
+	file, err := cfg.worldcup()
+	if err != nil {
+		return nil, err
+	}
+	u := worldcupU(cfg)
+	dense := datagen.DenseFrequencies(datagen.ExactFrequencies(file), u)
+	c := cfg
+	c.U = u
+	return costVsSSE(c, file, dense, "fig19")
+}

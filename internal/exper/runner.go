@@ -1,0 +1,56 @@
+package exper
+
+import (
+	"fmt"
+	"math"
+
+	"wavelethist/internal/core"
+	"wavelethist/internal/datagen"
+	"wavelethist/internal/hdfs"
+	"wavelethist/internal/wavelet"
+)
+
+// MethodResult is one (method, x-value) measurement.
+type MethodResult struct {
+	CommBytes int64
+	TimeSec   float64 // simulated end-to-end seconds
+	SSE       float64 // NaN when not evaluated
+}
+
+// runOne executes one method over a dataset. When dense is non-nil the
+// SSE against it is computed.
+func runOne(alg core.Algorithm, file *hdfs.File, p core.Params, cfg Config, dense []float64) (MethodResult, error) {
+	out, err := alg.Run(file, p)
+	if err != nil {
+		return MethodResult{}, fmt.Errorf("%s: %w", alg.Name(), err)
+	}
+	mr := MethodResult{
+		CommBytes: out.Metrics.TotalCommBytes(),
+		TimeSec:   out.Metrics.SimulatedSeconds(cfg.Cluster()),
+		SSE:       math.NaN(),
+	}
+	if dense != nil {
+		mr.SSE = out.Rep.SSEAgainst(dense)
+	}
+	return mr, nil
+}
+
+// denseFreq scans the file's exact frequencies into a dense vector.
+func denseFreq(file *hdfs.File, u int64) []float64 {
+	return datagen.DenseFrequencies(datagen.ExactFrequencies(file), u)
+}
+
+// idealSSE is the best possible k-term SSE (achieved by the exact
+// methods), the "Ideal SSE" line of Figures 6-7.
+func idealSSE(dense []float64, k int) float64 {
+	return wavelet.IdealSSE(wavelet.Transform(dense), k)
+}
+
+// fiveMethods is the method set of most figures (Send-Coef joins only in
+// Figure 12, where the paper retires it).
+func fiveMethods() []core.Algorithm {
+	return []core.Algorithm{
+		core.NewSendV(), core.NewHWTopk(), core.NewSendSketch(),
+		core.NewImprovedS(), core.NewTwoLevelS(),
+	}
+}

@@ -1,0 +1,157 @@
+package exper
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Figure is one reproduced panel: rows are x-axis ticks, columns are
+// methods (or measures), cells are the plotted values.
+type Figure struct {
+	ID      string // e.g. "fig5a"
+	Title   string
+	XLabel  string
+	Unit    string // "bytes", "seconds", "SSE"
+	XTicks  []string
+	Columns []string
+	Cells   [][]float64 // [len(XTicks)][len(Columns)]
+}
+
+// Print renders the figure as an aligned table.
+func (f *Figure) Print(w io.Writer) {
+	fmt.Fprintf(w, "%s — %s (%s)\n", f.ID, f.Title, f.Unit)
+	widths := make([]int, len(f.Columns)+1)
+	widths[0] = len(f.XLabel)
+	for _, t := range f.XTicks {
+		if len(t) > widths[0] {
+			widths[0] = len(t)
+		}
+	}
+	rendered := make([][]string, len(f.Cells))
+	for i, row := range f.Cells {
+		rendered[i] = make([]string, len(row))
+		for j, v := range row {
+			rendered[i][j] = formatCell(v, f.Unit)
+			if len(rendered[i][j]) > widths[j+1] {
+				widths[j+1] = len(rendered[i][j])
+			}
+		}
+	}
+	for j, c := range f.Columns {
+		if len(c) > widths[j+1] {
+			widths[j+1] = len(c)
+		}
+	}
+	// Header.
+	fmt.Fprintf(w, "  %-*s", widths[0], f.XLabel)
+	for j, c := range f.Columns {
+		fmt.Fprintf(w, "  %*s", widths[j+1], c)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "  %s\n", strings.Repeat("-", sum(widths)+2*len(widths)))
+	// Rows.
+	for i, tick := range f.XTicks {
+		fmt.Fprintf(w, "  %-*s", widths[0], tick)
+		for j := range f.Columns {
+			fmt.Fprintf(w, "  %*s", widths[j+1], rendered[i][j])
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+}
+
+func sum(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// formatCell renders a value in a compact engineering format.
+func formatCell(v float64, unit string) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	switch unit {
+	case "bytes":
+		return formatBytes(v)
+	case "seconds":
+		if v >= 1000 {
+			return fmt.Sprintf("%.0fs", v)
+		}
+		return fmt.Sprintf("%.1fs", v)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}
+
+func formatBytes(v float64) string {
+	switch {
+	case v >= 1<<30:
+		return fmt.Sprintf("%.2fGiB", v/(1<<30))
+	case v >= 1<<20:
+		return fmt.Sprintf("%.2fMiB", v/(1<<20))
+	case v >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", v/(1<<10))
+	default:
+		return fmt.Sprintf("%.0fB", v)
+	}
+}
+
+// newFigure allocates an empty figure grid.
+func newFigure(id, title, xlabel, unit string, ticks, cols []string) *Figure {
+	cells := make([][]float64, len(ticks))
+	for i := range cells {
+		cells[i] = make([]float64, len(cols))
+		for j := range cells[i] {
+			cells[i][j] = math.NaN()
+		}
+	}
+	return &Figure{
+		ID: id, Title: title, XLabel: xlabel, Unit: unit,
+		XTicks: ticks, Columns: cols, Cells: cells,
+	}
+}
+
+// CSV writes the figure as a CSV table (x tick label first, then one
+// column per series) for plotting pipelines.
+func (f *Figure) CSV(w io.Writer) error {
+	row := make([]string, 0, len(f.Columns)+1)
+	row = append(row, f.XLabel)
+	row = append(row, f.Columns...)
+	if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+		return err
+	}
+	for i, tick := range f.XTicks {
+		row = row[:0]
+		row = append(row, tick)
+		for _, v := range f.Cells[i] {
+			if math.IsNaN(v) {
+				row = append(row, "")
+			} else {
+				row = append(row, fmt.Sprintf("%g", v))
+			}
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Column returns the series of one column (for assertions in tests).
+func (f *Figure) Column(name string) []float64 {
+	for j, c := range f.Columns {
+		if c == name {
+			out := make([]float64, len(f.Cells))
+			for i := range f.Cells {
+				out[i] = f.Cells[i][j]
+			}
+			return out
+		}
+	}
+	return nil
+}

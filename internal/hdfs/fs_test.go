@@ -1,0 +1,371 @@
+package hdfs
+
+import (
+	"testing"
+	"testing/quick"
+
+	"wavelethist/internal/zipf"
+)
+
+func writeFixed(t *testing.T, fs *FileSystem, name string, recordSize int, keys []int64) *File {
+	t.Helper()
+	w, err := fs.Create(name, recordSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		w.Append(k)
+	}
+	return w.Close()
+}
+
+func TestCreateAndScan(t *testing.T) {
+	fs := NewFileSystem(4, 64)
+	keys := []int64{7, 0, 42, 1 << 20, 0xFFFFFFFF}
+	f := writeFixed(t, fs, "a", 4, keys)
+	if f.Size() != int64(4*len(keys)) {
+		t.Fatalf("size = %d", f.Size())
+	}
+	splits := f.Splits(0)
+	var got []int64
+	for _, s := range splits {
+		r := NewSequentialReader(s)
+		for {
+			rec, ok := r.Next()
+			if !ok {
+				break
+			}
+			got = append(got, rec.Key)
+		}
+	}
+	if len(got) != len(keys) {
+		t.Fatalf("scanned %d records, want %d", len(got), len(keys))
+	}
+	for i := range keys {
+		if got[i] != keys[i] {
+			t.Errorf("record %d = %d, want %d", i, got[i], keys[i])
+		}
+	}
+}
+
+func TestWideKeys(t *testing.T) {
+	fs := NewFileSystem(2, 1024)
+	keys := []int64{1 << 40, 0, 123456789012345}
+	f := writeFixed(t, fs, "wide", 16, keys)
+	r := NewSequentialReader(f.Splits(0)[0])
+	for i := range keys {
+		rec, ok := r.Next()
+		if !ok || rec.Key != keys[i] {
+			t.Fatalf("record %d: got %v ok=%v, want %d", i, rec.Key, ok, keys[i])
+		}
+	}
+}
+
+func TestKeyTooBigFor4Bytes(t *testing.T) {
+	fs := NewFileSystem(1, 64)
+	w, _ := fs.Create("x", 4)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on key overflow")
+		}
+	}()
+	w.Append(1 << 33)
+}
+
+func TestChunkPlacementRoundRobin(t *testing.T) {
+	fs := NewFileSystem(3, 64)
+	keys := make([]int64, 64) // 256 bytes = 4 chunks of 64
+	f := writeFixed(t, fs, "rr", 4, keys)
+	chunks := f.Chunks()
+	if len(chunks) != 4 {
+		t.Fatalf("chunks = %d, want 4", len(chunks))
+	}
+	for i, c := range chunks {
+		if c.Node != i%3 {
+			t.Errorf("chunk %d on node %d, want %d", i, c.Node, i%3)
+		}
+	}
+}
+
+func TestSplitsAlignToRecords(t *testing.T) {
+	fs := NewFileSystem(2, 1024)
+	keys := make([]int64, 100)
+	f := writeFixed(t, fs, "al", 12, keys) // 1200 bytes
+	splits := f.Splits(100)                // -> aligned down to 96 bytes = 8 records
+	total := int64(0)
+	for _, s := range splits {
+		if s.Length%12 != 0 && s.Index != len(splits)-1 {
+			t.Errorf("split %d length %d not record-aligned", s.Index, s.Length)
+		}
+		total += s.NumRecords()
+	}
+	if total != 100 {
+		t.Errorf("splits cover %d records, want 100", total)
+	}
+}
+
+func TestSplitLocalityMatchesChunks(t *testing.T) {
+	fs := NewFileSystem(4, 64)
+	keys := make([]int64, 64)
+	f := writeFixed(t, fs, "loc", 4, keys)
+	for _, s := range f.Splits(64) {
+		if want := f.nodeAt(s.Offset); s.Node != want {
+			t.Errorf("split %d node %d, want %d", s.Index, s.Node, want)
+		}
+	}
+}
+
+func TestOpenMissing(t *testing.T) {
+	fs := NewFileSystem(1, 64)
+	if _, err := fs.Open("nope"); err == nil {
+		t.Error("expected error for missing file")
+	}
+	writeFixed(t, fs, "yes", 4, []int64{1})
+	if _, err := fs.Open("yes"); err != nil {
+		t.Errorf("unexpected error: %v", err)
+	}
+	fs.Remove("yes")
+	if _, err := fs.Open("yes"); err == nil {
+		t.Error("expected error after Remove")
+	}
+}
+
+func TestRandomReaderSamplesDistinctAscending(t *testing.T) {
+	fs := NewFileSystem(2, 1<<20)
+	keys := make([]int64, 1000)
+	for i := range keys {
+		keys[i] = int64(i)
+	}
+	f := writeFixed(t, fs, "s", 4, keys)
+	split := f.Splits(0)[0]
+	r := NewRandomReader(split, 100, zipf.NewRNG(5))
+	if r.SampleSize() != 100 {
+		t.Fatalf("sample size = %d", r.SampleSize())
+	}
+	seen := make(map[int64]bool)
+	last := int64(-1)
+	for {
+		rec, ok := r.Next()
+		if !ok {
+			break
+		}
+		if rec.Pos <= last {
+			t.Error("positions not strictly ascending")
+		}
+		last = rec.Pos
+		if seen[rec.Key] {
+			t.Errorf("duplicate record key %d (sampling with replacement?)", rec.Key)
+		}
+		seen[rec.Key] = true
+	}
+	if len(seen) != 100 {
+		t.Errorf("delivered %d records, want 100", len(seen))
+	}
+}
+
+func TestRandomReaderCapsAtSplitSize(t *testing.T) {
+	fs := NewFileSystem(1, 1<<20)
+	f := writeFixed(t, fs, "c", 4, []int64{1, 2, 3})
+	r := NewRandomReader(f.Splits(0)[0], 100, zipf.NewRNG(1))
+	if r.SampleSize() != 3 {
+		t.Fatalf("sample size = %d, want 3", r.SampleSize())
+	}
+}
+
+// The random reader must be uniform: over many trials, each record is
+// sampled at approximately the same rate.
+func TestRandomReaderUniformity(t *testing.T) {
+	fs := NewFileSystem(1, 1<<20)
+	const n = 50
+	keys := make([]int64, n)
+	for i := range keys {
+		keys[i] = int64(i)
+	}
+	f := writeFixed(t, fs, "u", 4, keys)
+	split := f.Splits(0)[0]
+	counts := make([]int, n)
+	rng := zipf.NewRNG(42)
+	const trials = 4000
+	for trial := 0; trial < trials; trial++ {
+		r := NewRandomReader(split, 10, rng)
+		for {
+			rec, ok := r.Next()
+			if !ok {
+				break
+			}
+			counts[rec.Key]++
+		}
+	}
+	want := float64(trials) * 10 / n
+	for i, c := range counts {
+		if float64(c) < want*0.8 || float64(c) > want*1.2 {
+			t.Errorf("record %d sampled %d times, want ~%.0f", i, c, want)
+		}
+	}
+}
+
+func TestVarWriterSequentialScan(t *testing.T) {
+	fs := NewFileSystem(2, 1<<20)
+	w, err := fs.CreateVar("v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	type rec struct {
+		key int64
+		pl  int
+	}
+	recs := []rec{{5, 0}, {7, 10}, {42, 3}, {0xFFFFFFFF, 100}, {1, 1}}
+	for _, rc := range recs {
+		w.Append(rc.key, rc.pl)
+	}
+	f := w.Close()
+	r := NewSequentialVarReader(f.Splits(0)[0])
+	for i, rc := range recs {
+		got, ok := r.Next()
+		if !ok {
+			t.Fatalf("record %d missing", i)
+		}
+		if got.Key != rc.key {
+			t.Errorf("record %d key = %d, want %d", i, got.Key, rc.key)
+		}
+		if got.Size != varMinRecord+rc.pl {
+			t.Errorf("record %d size = %d, want %d", i, got.Size, varMinRecord+rc.pl)
+		}
+	}
+	if _, ok := r.Next(); ok {
+		t.Error("unexpected extra record")
+	}
+}
+
+func TestVarSplitOwnership(t *testing.T) {
+	// Records owned by the split they *start* in; each record read exactly
+	// once across all splits.
+	fs := NewFileSystem(2, 1<<20)
+	w, _ := fs.CreateVar("vo")
+	const n = 200
+	for i := 0; i < n; i++ {
+		w.Append(int64(i), i%37)
+	}
+	f := w.Close()
+	seen := make(map[int64]int)
+	for _, s := range f.Splits(256) {
+		r := NewSequentialVarReader(s)
+		for {
+			rec, ok := r.Next()
+			if !ok {
+				break
+			}
+			seen[rec.Key]++
+		}
+	}
+	if len(seen) != n {
+		t.Fatalf("saw %d distinct records, want %d", len(seen), n)
+	}
+	for k, c := range seen {
+		if c != 1 {
+			t.Errorf("record %d read %d times", k, c)
+		}
+	}
+}
+
+func TestRandomVarReaderDistinct(t *testing.T) {
+	fs := NewFileSystem(1, 1<<20)
+	w, _ := fs.CreateVar("vr")
+	const n = 300
+	for i := 0; i < n; i++ {
+		w.Append(int64(i), (i*13)%61)
+	}
+	f := w.Close()
+	split := f.Splits(0)[0]
+	r := NewRandomVarReader(split, 50, zipf.NewRNG(3))
+	if r.SampleSize() == 0 {
+		t.Fatal("no samples")
+	}
+	seen := make(map[int64]bool)
+	last := int64(-1)
+	for {
+		rec, ok := r.Next()
+		if !ok {
+			break
+		}
+		if rec.Pos <= last {
+			t.Error("sampled records not ascending by position")
+		}
+		last = rec.Pos
+		if seen[rec.Key] {
+			t.Errorf("duplicate sampled record %d", rec.Key)
+		}
+		seen[rec.Key] = true
+	}
+}
+
+func TestRandomVarReaderExhaustsSmallSplit(t *testing.T) {
+	fs := NewFileSystem(1, 1<<20)
+	w, _ := fs.CreateVar("small")
+	for i := 0; i < 5; i++ {
+		w.Append(int64(i), 2)
+	}
+	f := w.Close()
+	r := NewRandomVarReader(f.Splits(0)[0], 1000, zipf.NewRNG(9))
+	// Over-sampling a tiny split: we should get at most 5 distinct records.
+	if r.SampleSize() > 5 {
+		t.Errorf("sampled %d records from a 5-record split", r.SampleSize())
+	}
+	if r.SampleSize() < 3 {
+		t.Errorf("sampled only %d records; expected near-exhaustion", r.SampleSize())
+	}
+}
+
+// Property: any mix of payload sizes scans back exactly.
+func TestVarRoundTripQuick(t *testing.T) {
+	f := func(payloads []uint8, seed uint16) bool {
+		if len(payloads) == 0 {
+			return true
+		}
+		fs := NewFileSystem(2, 1<<20)
+		w, _ := fs.CreateVar("q")
+		for i, p := range payloads {
+			w.Append(int64(i), int(p))
+		}
+		file := w.Close()
+		r := NewSequentialVarReader(file.Splits(0)[0])
+		for i, p := range payloads {
+			rec, ok := r.Next()
+			if !ok || rec.Key != int64(i) || rec.Size != varMinRecord+int(p) {
+				return false
+			}
+		}
+		_, ok := r.Next()
+		return !ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyFileHasChunk(t *testing.T) {
+	fs := NewFileSystem(2, 64)
+	w, _ := fs.Create("empty", 4)
+	f := w.Close()
+	if len(f.Chunks()) != 1 {
+		t.Errorf("empty file chunks = %d, want 1", len(f.Chunks()))
+	}
+	if len(f.Splits(0)) != 0 {
+		t.Errorf("empty file splits = %d, want 0", len(f.Splits(0)))
+	}
+}
+
+func TestBytesReadAccounting(t *testing.T) {
+	fs := NewFileSystem(1, 1<<20)
+	keys := make([]int64, 10)
+	f := writeFixed(t, fs, "io", 8, keys)
+	r := NewSequentialReader(f.Splits(0)[0])
+	for {
+		if _, ok := r.Next(); !ok {
+			break
+		}
+	}
+	if r.BytesRead() != 80 {
+		t.Errorf("BytesRead = %d, want 80", r.BytesRead())
+	}
+}

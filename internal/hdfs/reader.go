@@ -1,0 +1,142 @@
+package hdfs
+
+import (
+	"sort"
+
+	"wavelethist/internal/zipf"
+)
+
+// Record is one input record as seen by a RecordReader.
+type Record struct {
+	Pos  int64 // byte offset of the record within the file
+	Key  int64
+	Size int // total record size in bytes (for IO accounting)
+}
+
+// RecordReader iterates over a split's records. It mirrors the Hadoop
+// RecordReader contract: Next returns false at end of split.
+type RecordReader interface {
+	Next() (Record, bool)
+	// BytesRead reports the bytes this reader has pulled from the split's
+	// DataNode so far (IO accounting for the cost model).
+	BytesRead() int64
+}
+
+// SequentialReader scans every fixed-size record of a split in order — the
+// default Hadoop InputFormat behaviour used by the exact algorithms.
+type SequentialReader struct {
+	split Split
+	pos   int64
+	read  int64
+	buf   []byte
+}
+
+// NewSequentialReader creates a reader over the split. The split's file
+// must use fixed-size records.
+func NewSequentialReader(split Split) *SequentialReader {
+	if split.File.RecordSize == 0 {
+		panic("hdfs: sequential fixed reader on variable-length file")
+	}
+	return &SequentialReader{
+		split: split,
+		pos:   split.Offset,
+		buf:   make([]byte, split.File.RecordSize),
+	}
+}
+
+// Next returns the next record.
+func (r *SequentialReader) Next() (Record, bool) {
+	rs := int64(r.split.File.RecordSize)
+	if r.pos+rs > r.split.Offset+r.split.Length {
+		return Record{}, false
+	}
+	if _, err := r.split.File.ReadAt(r.buf, r.pos); err != nil {
+		return Record{}, false
+	}
+	rec := Record{
+		Pos:  r.pos,
+		Key:  decodeKey(r.buf, r.split.File.RecordSize),
+		Size: r.split.File.RecordSize,
+	}
+	r.pos += rs
+	r.read += rs
+	return rec, true
+}
+
+// BytesRead implements RecordReader.
+func (r *SequentialReader) BytesRead() int64 { return r.read }
+
+// RandomReader is the paper's RandomRecordReader for fixed-size records
+// (Appendix B): on initialization it draws the sample's record offsets,
+// sorts them ascending in a priority queue, and then seeks monotonically
+// forward, so each sampled record costs one seek + one record read instead
+// of a full split scan. Sampling is without replacement, which the paper
+// notes behaves like coin-flip sampling for these methods.
+type RandomReader struct {
+	split   Split
+	offsets []int64 // ascending record indices within the split
+	next    int
+	read    int64
+	buf     []byte
+}
+
+// NewRandomReader samples sampleCount records (capped at the split's record
+// count) uniformly without replacement using rng.
+func NewRandomReader(split Split, sampleCount int64, rng *zipf.RNG) *RandomReader {
+	if split.File.RecordSize == 0 {
+		panic("hdfs: fixed random reader on variable-length file")
+	}
+	nj := split.NumRecords()
+	if sampleCount > nj {
+		sampleCount = nj
+	}
+	if sampleCount < 0 {
+		sampleCount = 0
+	}
+	// Floyd's algorithm: uniform sample of sampleCount distinct indices
+	// from [0, nj) in O(sampleCount) expected time and space.
+	chosen := make(map[int64]bool, sampleCount)
+	for j := nj - sampleCount; j < nj; j++ {
+		t := rng.Int63n(j + 1)
+		if chosen[t] {
+			chosen[j] = true
+		} else {
+			chosen[t] = true
+		}
+	}
+	offsets := make([]int64, 0, len(chosen))
+	for idx := range chosen {
+		offsets = append(offsets, idx)
+	}
+	sort.Slice(offsets, func(i, j int) bool { return offsets[i] < offsets[j] })
+	return &RandomReader{
+		split:   split,
+		offsets: offsets,
+		buf:     make([]byte, split.File.RecordSize),
+	}
+}
+
+// SampleSize returns the number of records this reader will deliver.
+func (r *RandomReader) SampleSize() int64 { return int64(len(r.offsets)) }
+
+// Next returns the next sampled record (ascending file position).
+func (r *RandomReader) Next() (Record, bool) {
+	if r.next >= len(r.offsets) {
+		return Record{}, false
+	}
+	rs := int64(r.split.File.RecordSize)
+	pos := r.split.Offset + r.offsets[r.next]*rs
+	r.next++
+	if _, err := r.split.File.ReadAt(r.buf, pos); err != nil {
+		return Record{}, false
+	}
+	r.read += rs
+	return Record{
+		Pos:  pos,
+		Key:  decodeKey(r.buf, r.split.File.RecordSize),
+		Size: r.split.File.RecordSize,
+	}, true
+}
+
+// BytesRead implements RecordReader.
+func (r *RandomReader) BytesRead() int64 { return r.read }

@@ -1,0 +1,191 @@
+package heap
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestTopKBasic(t *testing.T) {
+	h := NewTopK(3)
+	for _, s := range []float64{5, 1, 9, 3, 7, 2} {
+		h.Push(Item{ID: int64(s), Score: s})
+	}
+	got := h.Sorted()
+	want := []float64{9, 7, 5}
+	if len(got) != 3 {
+		t.Fatalf("len = %d, want 3", len(got))
+	}
+	for i, it := range got {
+		if it.Score != want[i] {
+			t.Errorf("got[%d].Score = %v, want %v", i, it.Score, want[i])
+		}
+	}
+}
+
+func TestTopKFewerThanK(t *testing.T) {
+	h := NewTopK(10)
+	h.Push(Item{ID: 1, Score: 2})
+	h.Push(Item{ID: 2, Score: 1})
+	if h.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", h.Len())
+	}
+	if h.Full() {
+		t.Error("Full() = true, want false")
+	}
+	got := h.Sorted()
+	if got[0].Score != 2 || got[1].Score != 1 {
+		t.Errorf("Sorted = %v", got)
+	}
+}
+
+func TestTopKZero(t *testing.T) {
+	h := NewTopK(0)
+	h.Push(Item{ID: 1, Score: 100})
+	if h.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", h.Len())
+	}
+	if _, ok := h.Min(); ok {
+		t.Error("Min ok = true, want false")
+	}
+}
+
+func TestTopKMinIsThreshold(t *testing.T) {
+	h := NewTopK(2)
+	h.Push(Item{ID: 1, Score: 10})
+	h.Push(Item{ID: 2, Score: 20})
+	h.Push(Item{ID: 3, Score: 30})
+	m, ok := h.Min()
+	if !ok || m.Score != 20 {
+		t.Fatalf("Min = %v ok=%v, want 20", m, ok)
+	}
+}
+
+func TestTopKDuplicateScores(t *testing.T) {
+	h := NewTopK(3)
+	for i := int64(0); i < 6; i++ {
+		h.Push(Item{ID: i, Score: 5})
+	}
+	if h.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", h.Len())
+	}
+	for _, it := range h.Items() {
+		if it.Score != 5 {
+			t.Errorf("Score = %v, want 5", it.Score)
+		}
+	}
+}
+
+func TestBottomKBasic(t *testing.T) {
+	h := NewBottomK(3)
+	for _, s := range []float64{5, 1, 9, 3, 7, 2} {
+		h.Push(Item{ID: int64(s), Score: s})
+	}
+	got := h.Sorted()
+	want := []float64{1, 2, 3}
+	for i, it := range got {
+		if it.Score != want[i] {
+			t.Errorf("got[%d].Score = %v, want %v", i, it.Score, want[i])
+		}
+	}
+}
+
+func TestBottomKNegativeScores(t *testing.T) {
+	h := NewBottomK(2)
+	for _, s := range []float64{-5, 3, -9, 0} {
+		h.Push(Item{ID: int64(s), Score: s})
+	}
+	got := h.Sorted()
+	if got[0].Score != -9 || got[1].Score != -5 {
+		t.Errorf("Sorted = %v, want [-9 -5]", got)
+	}
+	m, ok := h.Max()
+	if !ok || m.Score != -5 {
+		t.Errorf("Max = %v ok=%v, want -5", m, ok)
+	}
+}
+
+// Property: TopK(k) retains exactly the k largest values of any input.
+func TestTopKMatchesSortQuick(t *testing.T) {
+	f := func(scores []float64, kRaw uint8) bool {
+		k := int(kRaw%16) + 1
+		h := NewTopK(k)
+		for i, s := range scores {
+			h.Push(Item{ID: int64(i), Score: s})
+		}
+		ref := append([]float64(nil), scores...)
+		sort.Sort(sort.Reverse(sort.Float64Slice(ref)))
+		if len(ref) > k {
+			ref = ref[:k]
+		}
+		got := h.Sorted()
+		if len(got) != len(ref) {
+			return false
+		}
+		for i := range got {
+			if got[i].Score != ref[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: BottomK(k) retains exactly the k smallest values of any input.
+func TestBottomKMatchesSortQuick(t *testing.T) {
+	f := func(scores []float64, kRaw uint8) bool {
+		k := int(kRaw%16) + 1
+		h := NewBottomK(k)
+		for i, s := range scores {
+			h.Push(Item{ID: int64(i), Score: s})
+		}
+		ref := append([]float64(nil), scores...)
+		sort.Float64s(ref)
+		if len(ref) > k {
+			ref = ref[:k]
+		}
+		got := h.Sorted()
+		if len(got) != len(ref) {
+			return false
+		}
+		for i := range got {
+			if got[i].Score != ref[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortedDeterministicTieBreak(t *testing.T) {
+	h := NewTopK(4)
+	h.Push(Item{ID: 9, Score: 1})
+	h.Push(Item{ID: 3, Score: 1})
+	h.Push(Item{ID: 7, Score: 1})
+	got := h.Sorted()
+	if got[0].ID != 3 || got[1].ID != 7 || got[2].ID != 9 {
+		t.Errorf("tie break order = %v, want IDs ascending", got)
+	}
+}
+
+func BenchmarkTopKPush(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	scores := make([]float64, 4096)
+	for i := range scores {
+		scores[i] = rng.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := NewTopK(30)
+		for j, s := range scores {
+			h.Push(Item{ID: int64(j), Score: s})
+		}
+	}
+}

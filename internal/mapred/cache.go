@@ -1,0 +1,132 @@
+package mapred
+
+import (
+	"encoding/binary"
+	"math"
+	"sync"
+)
+
+// DistCache simulates Hadoop's Distributed Cache: files submitted to the
+// master are replicated to all slaves during job initialization. Content
+// is read-only for tasks; TotalBytes feeds broadcast-cost accounting
+// (bytes × (#slaves − 1) cross the switch).
+type DistCache struct {
+	mu    sync.RWMutex
+	files map[string][]byte
+}
+
+// NewDistCache returns an empty cache.
+func NewDistCache() *DistCache {
+	return &DistCache{files: make(map[string][]byte)}
+}
+
+// Put submits a file for replication to all slaves before the next job.
+func (d *DistCache) Put(name string, data []byte) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	d.files[name] = cp
+}
+
+// Get returns a cached file's content (nil if absent).
+func (d *DistCache) Get(name string) []byte {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.files[name]
+}
+
+// Delete removes a file.
+func (d *DistCache) Delete(name string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.files, name)
+}
+
+// TotalBytes returns the current cache payload size.
+func (d *DistCache) TotalBytes() int64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	var n int64
+	for _, b := range d.files {
+		n += int64(len(b))
+	}
+	return n
+}
+
+// StateStore simulates the paper's persistent per-split state: at the end
+// of a Mapper, state is written to an HDFS file named by the split id, and
+// restored when the split is reassigned in a later round. Because Hadoop
+// writes HDFS files locally when possible, this costs no communication
+// (Section 3, "System issues"); we therefore do not account these bytes.
+// Key -1 holds the coordinator's (Reducer's) local state.
+type StateStore struct {
+	mu    sync.RWMutex
+	state map[int][]byte
+}
+
+// ReducerState is the StateStore key of the coordinator's state.
+const ReducerState = -1
+
+// NewStateStore returns an empty store.
+func NewStateStore() *StateStore {
+	return &StateStore{state: make(map[int][]byte)}
+}
+
+// Put saves state for a split id (use ReducerState for the coordinator).
+func (s *StateStore) Put(splitID int, data []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	s.state[splitID] = cp
+}
+
+// Get restores state (nil if none).
+func (s *StateStore) Get(splitID int) []byte {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.state[splitID]
+}
+
+// Clear drops all state.
+func (s *StateStore) Clear() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.state = make(map[int][]byte)
+}
+
+// Binary encoding helpers for state files and distributed-cache payloads.
+// Layout conventions: little-endian, fixed width.
+
+// AppendUint64 appends v.
+func AppendUint64(b []byte, v uint64) []byte {
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], v)
+	return append(b, tmp[:]...)
+}
+
+// AppendInt64 appends v.
+func AppendInt64(b []byte, v int64) []byte { return AppendUint64(b, uint64(v)) }
+
+// AppendFloat64 appends v.
+func AppendFloat64(b []byte, v float64) []byte {
+	return AppendUint64(b, math.Float64bits(v))
+}
+
+// ReadUint64 reads a value at offset off, returning the new offset.
+func ReadUint64(b []byte, off int) (uint64, int) {
+	return binary.LittleEndian.Uint64(b[off : off+8]), off + 8
+}
+
+// ReadInt64 reads a value at offset off.
+func ReadInt64(b []byte, off int) (int64, int) {
+	v, o := ReadUint64(b, off)
+	return int64(v), o
+}
+
+// ReadFloat64 reads a value at offset off.
+func ReadFloat64(b []byte, off int) (float64, int) {
+	v, o := ReadUint64(b, off)
+	return math.Float64frombits(v), o
+}

@@ -1,0 +1,147 @@
+package mapred
+
+import (
+	"testing"
+
+	"wavelethist/internal/hdfs"
+)
+
+func TestDistCacheBasics(t *testing.T) {
+	d := NewDistCache()
+	if d.TotalBytes() != 0 {
+		t.Fatalf("empty cache bytes = %d", d.TotalBytes())
+	}
+	d.Put("a", []byte{1, 2, 3})
+	d.Put("b", make([]byte, 10))
+	if d.TotalBytes() != 13 {
+		t.Errorf("bytes = %d, want 13", d.TotalBytes())
+	}
+	if got := d.Get("a"); len(got) != 3 || got[0] != 1 {
+		t.Errorf("Get(a) = %v", got)
+	}
+	if d.Get("missing") != nil {
+		t.Error("missing file returned data")
+	}
+	d.Delete("a")
+	if d.Get("a") != nil || d.TotalBytes() != 10 {
+		t.Error("delete did not remove the file")
+	}
+}
+
+func TestDistCachePutCopies(t *testing.T) {
+	d := NewDistCache()
+	src := []byte{1, 2, 3}
+	d.Put("x", src)
+	src[0] = 99
+	if d.Get("x")[0] != 1 {
+		t.Error("cache aliases caller's slice")
+	}
+}
+
+func TestStateStoreBasics(t *testing.T) {
+	s := NewStateStore()
+	if s.Get(0) != nil {
+		t.Error("empty store returned data")
+	}
+	s.Put(3, []byte{7})
+	s.Put(ReducerState, []byte{8, 9})
+	if got := s.Get(3); len(got) != 1 || got[0] != 7 {
+		t.Errorf("Get(3) = %v", got)
+	}
+	if got := s.Get(ReducerState); len(got) != 2 {
+		t.Errorf("reducer state = %v", got)
+	}
+	s.Clear()
+	if s.Get(3) != nil {
+		t.Error("Clear did not drop state")
+	}
+}
+
+func TestStateStorePutCopies(t *testing.T) {
+	s := NewStateStore()
+	src := []byte{1}
+	s.Put(0, src)
+	src[0] = 2
+	if s.Get(0)[0] != 1 {
+		t.Error("state store aliases caller's slice")
+	}
+}
+
+func TestBinaryHelpers(t *testing.T) {
+	var b []byte
+	b = AppendUint64(b, 42)
+	b = AppendInt64(b, -7)
+	b = AppendFloat64(b, 3.5)
+	u, off := ReadUint64(b, 0)
+	if u != 42 {
+		t.Errorf("uint64 = %d", u)
+	}
+	i, off := ReadInt64(b, off)
+	if i != -7 {
+		t.Errorf("int64 = %d", i)
+	}
+	f, off := ReadFloat64(b, off)
+	if f != 3.5 || off != 24 {
+		t.Errorf("float64 = %v, off = %d", f, off)
+	}
+}
+
+func TestConfClone(t *testing.T) {
+	c := Conf{"a": "1"}
+	cp := c.Clone()
+	cp["a"] = "2"
+	cp["b"] = "3"
+	if c["a"] != "1" || c["b"] != "" {
+		t.Errorf("clone aliases original: %v", c)
+	}
+}
+
+func TestRunRoundsBetweenError(t *testing.T) {
+	fs := hdfs.NewFileSystem(2, 64)
+	w, _ := fs.Create("x", 4)
+	w.Append(1)
+	splits := w.Close().Splits(0)
+	mk := func() *Job {
+		return &Job{
+			Name: "j", Splits: splits, Input: SequentialInput{},
+			NewMapper: func(hdfs.Split) Mapper { return countMapper{} },
+			Reducer:   &sumReducer{}, Streaming: true, Seed: 1,
+		}
+	}
+	calls := 0
+	_, err := RunRounds([]*Job{mk(), mk()}, func(round int, res *Result) error {
+		calls++
+		return errTest
+	})
+	if err == nil {
+		t.Fatal("between error not propagated")
+	}
+	if calls != 1 {
+		t.Errorf("between called %d times, want 1 (abort after round 1)", calls)
+	}
+}
+
+var errTest = errFixed("test failure")
+
+type errFixed string
+
+func (e errFixed) Error() string { return string(e) }
+
+func TestEstimateVarRecords(t *testing.T) {
+	fs := hdfs.NewFileSystem(2, 1<<20)
+	w, _ := fs.CreateVar("v")
+	for i := 0; i < 100; i++ {
+		w.Append(int64(i), 10) // uniform 27-byte records
+	}
+	f := w.Close()
+	split := f.Splits(270)[0] // exactly 10 records worth of bytes
+	if got := estimateVarRecords(split); got != 10 {
+		t.Errorf("estimated %d records, want 10", got)
+	}
+	// Empty file edge.
+	w2, _ := fs.CreateVar("empty")
+	f2 := w2.Close()
+	if got := estimateVarRecords(hdfs.Split{File: f2}); got != 0 {
+		t.Errorf("empty estimate = %d", got)
+	}
+}

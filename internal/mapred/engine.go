@@ -1,0 +1,326 @@
+package mapred
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"wavelethist/internal/zipf"
+)
+
+// Engine execution. Mappers run concurrently in a bounded worker pool but
+// the run is fully deterministic: every task derives its RNG from
+// (job seed, split id), and the reducer consumes mapper outputs in split
+// order, so float accumulation order never depends on scheduling.
+
+// mapOutput is one completed map task: its sorted+combined pairs plus its
+// work profile.
+type mapOutput struct {
+	pairs   []KV
+	metrics TaskMetrics
+	err     error
+}
+
+// Run executes one MapReduce round.
+func Run(job *Job) (*Result, error) {
+	if err := job.validate(); err != nil {
+		return nil, err
+	}
+	if job.Conf == nil {
+		job.Conf = Conf{}
+	}
+	if job.Cache == nil {
+		job.Cache = NewDistCache()
+	}
+	if job.State == nil {
+		job.State = NewStateStore()
+	}
+	counters := &Counters{}
+	m := len(job.Splits)
+
+	parallelism := job.Parallelism
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > m {
+		parallelism = m
+	}
+
+	outputs := make([]*mapOutput, m)
+	done := make([]chan struct{}, m)
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+	// Memory bound: at most 2×parallelism completed-but-unconsumed map
+	// outputs exist at once. Workers take split indices in ascending
+	// order, so the index the reducer is waiting for is always in flight.
+	tokens := make(chan struct{}, 2*parallelism)
+	indices := make(chan int)
+	go func() {
+		for i := 0; i < m; i++ {
+			tokens <- struct{}{}
+			indices <- i
+		}
+		close(indices)
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range indices {
+				outputs[idx] = runMapTask(job, idx, counters)
+				close(done[idx])
+			}
+		}()
+	}
+
+	// Reduce phase: r reducer tasks, each consuming its partition of the
+	// mapper outputs in split order. The paper's jobs use r = 1 (their
+	// coordinator is necessarily a single task); the engine supports the
+	// general Hadoop configuration.
+	r := job.numReducers()
+	reducers := make([]Reducer, r)
+	rctxs := make([]*TaskContext, r)
+	for p := 0; p < r; p++ {
+		if r == 1 {
+			reducers[p] = job.Reducer
+		} else {
+			reducers[p] = job.NewReducer(p)
+		}
+		rctxs[p] = &TaskContext{
+			JobName:   job.Name,
+			SplitID:   ReducerState - p, // ReducerState, ReducerState-1, ...
+			NumSplits: m,
+			Conf:      job.Conf,
+			Cache:     job.Cache,
+			State:     job.State,
+			RNG:       taskRNG(job.Seed, ReducerState-p),
+			counters:  counters,
+		}
+		if err := reducers[p].Setup(rctxs[p]); err != nil {
+			return nil, fmt.Errorf("mapred: %s: reducer %d setup: %w", job.Name, p, err)
+		}
+	}
+
+	res := &Result{MapTasks: make([]TaskMetrics, m)}
+	var reduceErr error
+	grouped := make([][]KV, r) // only in grouped mode
+	for i := 0; i < m; i++ {
+		<-done[i]
+		out := outputs[i]
+		outputs[i] = nil
+		<-tokens
+		if out.err != nil {
+			reduceErr = out.err
+			continue
+		}
+		res.MapTasks[i] = out.metrics
+		if reduceErr != nil {
+			continue
+		}
+		for p := 0; p < r && reduceErr == nil; p++ {
+			pairs := out.pairs
+			if r > 1 {
+				pairs = filterPartition(job, pairs, p, r)
+			}
+			if job.Streaming {
+				reduceErr = feedGroups(rctxs[p], reducers[p], pairs, counters)
+			} else {
+				grouped[p] = append(grouped[p], pairs...)
+			}
+		}
+	}
+	wg.Wait()
+	if reduceErr != nil {
+		return nil, fmt.Errorf("mapred: %s: %w", job.Name, reduceErr)
+	}
+
+	if !job.Streaming {
+		// Hadoop semantics: per-partition sort by key (stable keeps split
+		// order within a key), then one Reduce call per distinct key.
+		for p := 0; p < r; p++ {
+			g := grouped[p]
+			sort.SliceStable(g, func(a, b int) bool { return g[a].Key < g[b].Key })
+			if err := feedGroups(rctxs[p], reducers[p], g, counters); err != nil {
+				return nil, fmt.Errorf("mapred: %s: %w", job.Name, err)
+			}
+		}
+	}
+	for p := 0; p < r; p++ {
+		if err := reducers[p].Close(rctxs[p]); err != nil {
+			return nil, fmt.Errorf("mapred: %s: reducer %d close: %w", job.Name, p, err)
+		}
+	}
+
+	res.Counters = *counters
+	res.Counters.MapCPUUnits = atomic.LoadInt64(&counters.MapCPUUnits)
+	for p := 0; p < r; p++ {
+		res.ReduceCPU += rctxs[p].cpuUnits
+	}
+	res.ReduceCPU += float64(counters.ReduceCalls)
+	res.ReduceCalls = counters.ReduceCalls
+	res.ShuffleBytes = counters.ShuffleBytes
+	res.PairsShuffled = counters.PairsShuffled
+	return res, nil
+}
+
+// filterPartition extracts the pairs routed to reducer p, preserving key
+// order (a subsequence of a key-sorted list stays key-sorted).
+func filterPartition(job *Job, pairs []KV, p, r int) []KV {
+	var out []KV
+	for _, kv := range pairs {
+		if job.partition(kv.Key, r) == p {
+			out = append(out, kv)
+		}
+	}
+	return out
+}
+
+// feedGroups groups consecutive pairs with equal keys (input is sorted by
+// key within each batch) and invokes Reduce per group.
+func feedGroups(ctx *TaskContext, red Reducer, pairs []KV, counters *Counters) error {
+	for lo := 0; lo < len(pairs); {
+		hi := lo + 1
+		for hi < len(pairs) && pairs[hi].Key == pairs[lo].Key {
+			hi++
+		}
+		atomic.AddInt64(&counters.ReduceCalls, 1)
+		ctx.AddWork(float64(hi - lo)) // one unit per consumed pair
+		if err := red.Reduce(ctx, pairs[lo].Key, pairs[lo:hi]); err != nil {
+			return err
+		}
+		lo = hi
+	}
+	return nil
+}
+
+// taskRNG derives a deterministic per-task RNG independent of scheduling.
+func taskRNG(seed uint64, splitID int) *zipf.RNG {
+	return zipf.NewRNG(seed ^ (uint64(splitID+2) * 0x9e3779b97f4a7c15))
+}
+
+// runMapTask executes one mapper over its split: Setup, Map per record,
+// Close, then sort + combine + byte accounting.
+func runMapTask(job *Job, idx int, counters *Counters) *mapOutput {
+	split := job.Splits[idx]
+	ctx := &TaskContext{
+		JobName:   job.Name,
+		Split:     split,
+		SplitID:   idx,
+		NumSplits: len(job.Splits),
+		Conf:      job.Conf,
+		Cache:     job.Cache,
+		State:     job.State,
+		RNG:       taskRNG(job.Seed, idx),
+		counters:  counters,
+	}
+	mapper := job.NewMapper(split)
+	out := &Emitter{counters: counters, job: job, ctx: ctx}
+	if err := mapper.Setup(ctx); err != nil {
+		return &mapOutput{err: fmt.Errorf("split %d setup: %w", idx, err)}
+	}
+
+	var bytesRead int64
+	var records int64
+	if reader := job.Input.Open(split, ctx); reader != nil {
+		for {
+			rec, ok := reader.Next()
+			if !ok {
+				break
+			}
+			records++
+			if err := mapper.Map(ctx, rec, out); err != nil {
+				return &mapOutput{err: fmt.Errorf("split %d map: %w", idx, err)}
+			}
+		}
+		bytesRead = reader.BytesRead()
+	}
+	if err := mapper.Close(ctx, out); err != nil {
+		return &mapOutput{err: fmt.Errorf("split %d close: %w", idx, err)}
+	}
+
+	atomic.AddInt64(&counters.MapRecordsRead, records)
+	atomic.AddInt64(&counters.MapBytesRead, bytesRead)
+	atomic.AddInt64(&counters.PairsEmitted, out.emitted)
+
+	// Merge spilled runs with the in-memory tail and combine once more
+	// (combiners must be associative/commutative, as Hadoop requires).
+	all := out.pairs
+	if len(out.spills) > 0 {
+		merged := make([]KV, 0, out.spilledPairs+len(out.pairs))
+		for _, sp := range out.spills {
+			merged = append(merged, sp...)
+		}
+		merged = append(merged, all...)
+		all = merged
+	}
+	pairs := sortAndCombine(job, all)
+
+	var shuffleBytes int64
+	for i := range pairs {
+		shuffleBytes += int64(job.pairBytes(pairs[i]))
+	}
+	atomic.AddInt64(&counters.PairsShuffled, int64(len(pairs)))
+	atomic.AddInt64(&counters.ShuffleBytes, shuffleBytes)
+
+	// Base CPU charges: one unit per record scanned, one per emitted pair
+	// (buffer/partition/sort amortized); algorithm-specific work arrives
+	// via ctx.AddWork.
+	cpu := ctx.cpuUnits + float64(records) + float64(len(out.pairs))
+	counters.addMapCPU(cpu)
+
+	return &mapOutput{
+		pairs: pairs,
+		metrics: TaskMetrics{
+			SplitID:    idx,
+			Node:       split.Node,
+			InputBytes: bytesRead + ctx.ioBytes,
+			CPUUnits:   cpu,
+		},
+	}
+}
+
+// sortAndCombine sorts a mapper's emissions by key (stable, preserving
+// emission order within a key) and applies the job's Combiner per key.
+func sortAndCombine(job *Job, pairs []KV) []KV {
+	sort.SliceStable(pairs, func(a, b int) bool { return pairs[a].Key < pairs[b].Key })
+	if job.Combiner == nil {
+		return pairs
+	}
+	combined := pairs[:0:len(pairs)]
+	for lo := 0; lo < len(pairs); {
+		hi := lo + 1
+		for hi < len(pairs) && pairs[hi].Key == pairs[lo].Key {
+			hi++
+		}
+		combined = append(combined, job.Combiner(pairs[lo].Key, pairs[lo:hi])...)
+		lo = hi
+	}
+	return combined
+}
+
+// RunRounds executes a multi-round job (e.g. H-WTopk's three rounds),
+// sharing Conf, Cache and State across rounds, and returns per-round
+// results. The between-rounds callback lets the coordinator update the
+// job configuration / distributed cache, like the paper's driver does
+// between Hadoop job submissions.
+func RunRounds(jobs []*Job, between func(round int, res *Result) error) ([]*Result, error) {
+	var results []*Result
+	for i, j := range jobs {
+		res, err := Run(j)
+		if err != nil {
+			return results, err
+		}
+		results = append(results, res)
+		if between != nil {
+			if err := between(i, res); err != nil {
+				return results, err
+			}
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,375 @@
+package mapred
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"wavelethist/internal/hdfs"
+)
+
+// countMapper emits (key, 1) per record — word count over keys.
+type countMapper struct{}
+
+func (countMapper) Setup(*TaskContext) error { return nil }
+func (countMapper) Map(ctx *TaskContext, rec hdfs.Record, out *Emitter) error {
+	out.Emit(KV{Key: rec.Key, Val: 1, Src: int32(ctx.SplitID)})
+	return nil
+}
+func (countMapper) Close(*TaskContext, *Emitter) error { return nil }
+
+// sumReducer accumulates per-key totals; safe in streaming mode.
+type sumReducer struct {
+	mu     sync.Mutex
+	totals map[int64]float64
+	closed bool
+}
+
+func (r *sumReducer) Setup(*TaskContext) error {
+	r.totals = make(map[int64]float64)
+	return nil
+}
+func (r *sumReducer) Reduce(_ *TaskContext, key int64, vals []KV) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, v := range vals {
+		r.totals[key] += v.Val
+	}
+	return nil
+}
+func (r *sumReducer) Close(*TaskContext) error {
+	r.closed = true
+	return nil
+}
+
+// sumCombiner pre-aggregates counts, like Hadoop's word-count combiner.
+func sumCombiner(key int64, vals []KV) []KV {
+	var s float64
+	for _, v := range vals {
+		s += v.Val
+	}
+	return []KV{{Key: key, Val: s}}
+}
+
+func makeDataset(t *testing.T, keys []int64, chunk int64) []hdfs.Split {
+	t.Helper()
+	fs := hdfs.NewFileSystem(4, chunk)
+	w, err := fs.Create("in", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		w.Append(k)
+	}
+	return w.Close().Splits(0)
+}
+
+func repeatKeys(n int, mod int64) []int64 {
+	keys := make([]int64, n)
+	for i := range keys {
+		keys[i] = int64(i*7+3) % mod
+	}
+	return keys
+}
+
+func wordCountJob(t *testing.T, splits []hdfs.Split, streaming bool, combiner Combiner) (*Result, map[int64]float64) {
+	t.Helper()
+	red := &sumReducer{}
+	job := &Job{
+		Name:      "wordcount",
+		Splits:    splits,
+		Input:     SequentialInput{},
+		NewMapper: func(hdfs.Split) Mapper { return countMapper{} },
+		Combiner:  combiner,
+		Reducer:   red,
+		Streaming: streaming,
+		Seed:      1,
+	}
+	res, err := Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !red.closed {
+		t.Fatal("reducer Close not called")
+	}
+	return res, red.totals
+}
+
+func TestWordCountCorrect(t *testing.T) {
+	keys := repeatKeys(5000, 97)
+	want := make(map[int64]float64)
+	for _, k := range keys {
+		want[k]++
+	}
+	splits := makeDataset(t, keys, 256)
+	if len(splits) < 10 {
+		t.Fatalf("want many splits, got %d", len(splits))
+	}
+	for _, streaming := range []bool{true, false} {
+		_, got := wordCountJob(t, splits, streaming, nil)
+		if len(got) != len(want) {
+			t.Fatalf("streaming=%v: %d keys, want %d", streaming, len(got), len(want))
+		}
+		for k, v := range want {
+			if got[k] != v {
+				t.Errorf("streaming=%v key %d = %v, want %v", streaming, k, got[k], v)
+			}
+		}
+	}
+}
+
+func TestCombinerReducesShuffle(t *testing.T) {
+	keys := repeatKeys(5000, 13) // heavy duplication
+	splits := makeDataset(t, keys, 1024)
+	resNo, totalsNo := wordCountJob(t, splits, true, nil)
+	resYes, totalsYes := wordCountJob(t, splits, true, sumCombiner)
+	for k, v := range totalsNo {
+		if totalsYes[k] != v {
+			t.Errorf("combiner changed result for key %d: %v vs %v", k, totalsYes[k], v)
+		}
+	}
+	if resYes.PairsShuffled >= resNo.PairsShuffled {
+		t.Errorf("combiner did not reduce pairs: %d vs %d", resYes.PairsShuffled, resNo.PairsShuffled)
+	}
+	if resYes.ShuffleBytes >= resNo.ShuffleBytes {
+		t.Errorf("combiner did not reduce bytes: %d vs %d", resYes.ShuffleBytes, resNo.ShuffleBytes)
+	}
+	if resNo.PairsShuffled != int64(len(keys)) {
+		t.Errorf("uncombined pairs = %d, want %d", resNo.PairsShuffled, len(keys))
+	}
+}
+
+func TestDeterministicAcrossParallelism(t *testing.T) {
+	keys := repeatKeys(3000, 101)
+	splits := makeDataset(t, keys, 256)
+	var base *Result
+	var baseTotals map[int64]float64
+	for _, par := range []int{1, 2, 8} {
+		red := &sumReducer{}
+		job := &Job{
+			Name:        "det",
+			Splits:      splits,
+			Input:       SequentialInput{},
+			NewMapper:   func(hdfs.Split) Mapper { return countMapper{} },
+			Reducer:     red,
+			Streaming:   true,
+			Seed:        7,
+			Parallelism: par,
+		}
+		res, err := Run(job)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if base == nil {
+			base, baseTotals = res, red.totals
+			continue
+		}
+		if res.ShuffleBytes != base.ShuffleBytes || res.PairsShuffled != base.PairsShuffled {
+			t.Errorf("par=%d: shuffle differs", par)
+		}
+		for k, v := range baseTotals {
+			if red.totals[k] != v {
+				t.Errorf("par=%d: key %d differs", par, k)
+			}
+		}
+	}
+}
+
+func TestPairBytesAccounting(t *testing.T) {
+	keys := repeatKeys(100, 1000) // all distinct-ish
+	splits := makeDataset(t, keys, 1<<20)
+	red := &sumReducer{}
+	job := &Job{
+		Name:      "bytes",
+		Splits:    splits,
+		Input:     SequentialInput{},
+		NewMapper: func(hdfs.Split) Mapper { return countMapper{} },
+		Reducer:   red,
+		PairBytes: func(KV) int { return 8 }, // 4-byte key + 4-byte count
+		Streaming: true,
+		Seed:      1,
+	}
+	res, err := Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ShuffleBytes != res.PairsShuffled*8 {
+		t.Errorf("bytes = %d, want pairs×8 = %d", res.ShuffleBytes, res.PairsShuffled*8)
+	}
+}
+
+// stateMapper writes state in round 1 and reads it back in round 2
+// (NoInput), like H-WTopk's persistent mappers.
+type stateMapper struct{ round int }
+
+func (sm stateMapper) Setup(*TaskContext) error { return nil }
+func (sm stateMapper) Map(ctx *TaskContext, rec hdfs.Record, out *Emitter) error {
+	return nil
+}
+func (sm stateMapper) Close(ctx *TaskContext, out *Emitter) error {
+	switch sm.round {
+	case 1:
+		var b []byte
+		b = AppendInt64(b, int64(ctx.SplitID)*100)
+		ctx.State.Put(ctx.SplitID, b)
+	case 2:
+		b := ctx.State.Get(ctx.SplitID)
+		if b == nil {
+			return errors.New("state missing")
+		}
+		v, _ := ReadInt64(b, 0)
+		out.Emit(KV{Key: 0, Val: float64(v)})
+	}
+	return nil
+}
+
+func TestMultiRoundStateAndConf(t *testing.T) {
+	splits := makeDataset(t, repeatKeys(64, 50), 64)
+	state := NewStateStore()
+	cache := NewDistCache()
+	red1 := &sumReducer{}
+	red2 := &sumReducer{}
+	round1 := &Job{
+		Name: "r1", Splits: splits, Input: SequentialInput{},
+		NewMapper: func(hdfs.Split) Mapper { return stateMapper{round: 1} },
+		Reducer:   red1, Streaming: true, State: state, Cache: cache, Seed: 3,
+	}
+	round2 := &Job{
+		Name: "r2", Splits: splits, Input: NoInput{},
+		NewMapper: func(hdfs.Split) Mapper { return stateMapper{round: 2} },
+		Reducer:   red2, Streaming: true, State: state, Cache: cache, Seed: 3,
+	}
+	results, err := RunRounds([]*Job{round1, round2}, func(round int, res *Result) error {
+		if round == 0 {
+			cache.Put("threshold", AppendFloat64(nil, 42.5))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %d", len(results))
+	}
+	// Round 2 reads no input records.
+	if results[1].Counters.MapRecordsRead != 0 {
+		t.Errorf("round 2 read %d records, want 0", results[1].Counters.MapRecordsRead)
+	}
+	// Sum over splits of splitID*100.
+	m := len(splits)
+	want := float64(100 * m * (m - 1) / 2)
+	if red2.totals[0] != want {
+		t.Errorf("round-2 total = %v, want %v", red2.totals[0], want)
+	}
+	if cache.TotalBytes() != 8 {
+		t.Errorf("cache bytes = %d", cache.TotalBytes())
+	}
+}
+
+func TestRandomSampleInput(t *testing.T) {
+	keys := repeatKeys(10000, 1000)
+	splits := makeDataset(t, keys, 4096)
+	red := &sumReducer{}
+	job := &Job{
+		Name:      "sample",
+		Splits:    splits,
+		Input:     RandomSampleInput{P: 0.1},
+		NewMapper: func(hdfs.Split) Mapper { return countMapper{} },
+		Reducer:   red,
+		Streaming: true,
+		Seed:      11,
+	}
+	res, err := Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sampled float64
+	for _, v := range red.totals {
+		sampled += v
+	}
+	if sampled < 800 || sampled > 1200 {
+		t.Errorf("sampled %v records, want ~1000", sampled)
+	}
+	if res.Counters.MapRecordsRead != int64(sampled) {
+		t.Errorf("records read %d != sampled %v", res.Counters.MapRecordsRead, sampled)
+	}
+	// Sampling reads only the sampled records' bytes.
+	if res.Counters.MapBytesRead >= int64(len(keys)*4) {
+		t.Errorf("sampling read the whole input: %d bytes", res.Counters.MapBytesRead)
+	}
+}
+
+type failingMapper struct{}
+
+func (failingMapper) Setup(*TaskContext) error { return nil }
+func (failingMapper) Map(ctx *TaskContext, rec hdfs.Record, out *Emitter) error {
+	if ctx.SplitID == 2 {
+		return fmt.Errorf("boom")
+	}
+	return nil
+}
+func (failingMapper) Close(*TaskContext, *Emitter) error { return nil }
+
+func TestMapperErrorPropagates(t *testing.T) {
+	splits := makeDataset(t, repeatKeys(1000, 10), 256)
+	job := &Job{
+		Name: "fail", Splits: splits, Input: SequentialInput{},
+		NewMapper: func(hdfs.Split) Mapper { return failingMapper{} },
+		Reducer:   &sumReducer{}, Streaming: true, Seed: 1,
+	}
+	if _, err := Run(job); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	splits := makeDataset(t, []int64{1}, 64)
+	bad := []*Job{
+		{Splits: splits, Input: SequentialInput{}, Reducer: &sumReducer{}},
+		{Splits: splits, Input: SequentialInput{}, NewMapper: func(hdfs.Split) Mapper { return countMapper{} }},
+		{Splits: splits, NewMapper: func(hdfs.Split) Mapper { return countMapper{} }, Reducer: &sumReducer{}},
+		{Input: SequentialInput{}, NewMapper: func(hdfs.Split) Mapper { return countMapper{} }, Reducer: &sumReducer{}},
+	}
+	for i, j := range bad {
+		if _, err := Run(j); err == nil {
+			t.Errorf("job %d: expected validation error", i)
+		}
+	}
+}
+
+func TestCountersSanity(t *testing.T) {
+	keys := repeatKeys(2000, 100)
+	splits := makeDataset(t, keys, 512)
+	res, _ := wordCountJob(t, splits, true, nil)
+	if res.Counters.MapRecordsRead != int64(len(keys)) {
+		t.Errorf("records read = %d, want %d", res.Counters.MapRecordsRead, len(keys))
+	}
+	if res.Counters.MapBytesRead != int64(len(keys)*4) {
+		t.Errorf("bytes read = %d, want %d", res.Counters.MapBytesRead, len(keys)*4)
+	}
+	if res.Counters.PairsEmitted != int64(len(keys)) {
+		t.Errorf("pairs emitted = %d", res.Counters.PairsEmitted)
+	}
+	if res.Counters.MapCPU() <= 0 || res.ReduceCPU <= 0 {
+		t.Error("CPU accounting missing")
+	}
+	if len(res.MapTasks) != len(splits) {
+		t.Errorf("task metrics = %d, want %d", len(res.MapTasks), len(splits))
+	}
+	for _, tm := range res.MapTasks {
+		if tm.InputBytes <= 0 {
+			t.Errorf("task %d read nothing", tm.SplitID)
+		}
+	}
+}
+
+func TestGroupedModeGroupsAllValues(t *testing.T) {
+	// In grouped mode each key is Reduced exactly once.
+	keys := repeatKeys(1000, 7)
+	splits := makeDataset(t, keys, 128)
+	res, totals := wordCountJob(t, splits, false, nil)
+	if res.ReduceCalls != int64(len(totals)) {
+		t.Errorf("reduce calls = %d, want one per key = %d", res.ReduceCalls, len(totals))
+	}
+}

@@ -1,0 +1,284 @@
+package mapred
+
+import (
+	"fmt"
+
+	"wavelethist/internal/hdfs"
+	"wavelethist/internal/zipf"
+)
+
+// TaskContext is the per-task environment: job configuration, distributed
+// cache, persistent state, a deterministic task-local RNG, and work
+// accounting for the cost model.
+type TaskContext struct {
+	JobName   string
+	Split     hdfs.Split // zero value for the reducer
+	SplitID   int        // split index, or ReducerState for the reducer
+	NumSplits int
+	Conf      Conf
+	Cache     *DistCache
+	State     *StateStore
+	RNG       *zipf.RNG
+
+	counters *Counters
+	cpuUnits float64 // task-local abstract work
+	ioBytes  int64   // task-local input bytes (readers + explicit)
+}
+
+// AddWork charges abstract CPU work units to this task (one unit ≈ one
+// hash-map update / coefficient operation). The cluster cost model turns
+// units into seconds on the task's node.
+func (ctx *TaskContext) AddWork(units float64) {
+	ctx.cpuUnits += units
+}
+
+// AddIOBytes charges extra local-disk input bytes (e.g. state-file reads).
+func (ctx *TaskContext) AddIOBytes(n int64) {
+	ctx.ioBytes += n
+}
+
+// Emitter collects a mapper's intermediate pairs, simulating Hadoop's
+// in-memory buffer: when Job.SpillThreshold pairs accumulate, the buffer
+// is sorted, combined, and spilled to local disk (charged as task IO).
+type Emitter struct {
+	pairs    []KV
+	counters *Counters
+	job      *Job
+	ctx      *TaskContext
+
+	emitted      int64
+	spills       [][]KV
+	spilledPairs int
+}
+
+// Emit outputs one intermediate pair.
+func (e *Emitter) Emit(kv KV) {
+	e.pairs = append(e.pairs, kv)
+	e.emitted++
+	if t := e.job.SpillThreshold; t > 0 && len(e.pairs) >= t {
+		e.spill()
+	}
+}
+
+// spill sorts + combines the buffer and writes it to (simulated) local
+// disk: the spill is read back at merge time, so both directions count as
+// task IO.
+func (e *Emitter) spill() {
+	run := sortAndCombine(e.job, e.pairs)
+	var bytes int64
+	for i := range run {
+		bytes += int64(e.job.pairBytes(run[i]))
+	}
+	e.ctx.AddIOBytes(2 * bytes) // write + read-back at merge
+	e.ctx.AddWork(float64(len(run)))
+	e.spills = append(e.spills, run)
+	e.spilledPairs += len(run)
+	e.pairs = nil
+}
+
+// Mapper is the Hadoop mapper contract: Map is invoked per record, Close
+// once at the end of the split (where the paper's mappers do their real
+// work: building v_j, the local transform, local top-k).
+type Mapper interface {
+	// Setup runs before the first record.
+	Setup(ctx *TaskContext) error
+	// Map handles one input record.
+	Map(ctx *TaskContext, rec hdfs.Record, out *Emitter) error
+	// Close runs after the last record.
+	Close(ctx *TaskContext, out *Emitter) error
+}
+
+// Reducer is the Hadoop reducer contract. In grouped mode (Job.Streaming
+// false) Reduce is called once per distinct key with all its values; in
+// streaming mode it may be called many times per key with value batches
+// (all our reducers are commutative aggregations, which Hadoop's combiner
+// contract already requires). Close runs after all keys.
+type Reducer interface {
+	Setup(ctx *TaskContext) error
+	Reduce(ctx *TaskContext, key int64, vals []KV) error
+	Close(ctx *TaskContext) error
+}
+
+// Combiner locally aggregates one mapper's pairs sharing a key before they
+// are shuffled, like Hadoop's Combine function.
+type Combiner func(key int64, vals []KV) []KV
+
+// InputFormat produces a RecordReader for a split, mirroring Hadoop's
+// pluggable InputFormat. A nil reader means the mapper sees no records
+// (H-WTopk rounds 2-3 define an InputFormat that does not read the split).
+type InputFormat interface {
+	Open(split hdfs.Split, ctx *TaskContext) hdfs.RecordReader
+}
+
+// SequentialInput scans every record (the default InputFormat).
+type SequentialInput struct{}
+
+// Open implements InputFormat.
+func (SequentialInput) Open(split hdfs.Split, _ *TaskContext) hdfs.RecordReader {
+	if split.File.RecordSize == 0 {
+		return hdfs.NewSequentialVarReader(split)
+	}
+	return hdfs.NewSequentialReader(split)
+}
+
+// RandomSampleInput is the paper's RandomInputFile format: each split j
+// samples p·n_j records without replacement via the RandomRecordReader.
+type RandomSampleInput struct {
+	// P is the sampling probability p = 1/(ε²n) of level-1 sampling.
+	P float64
+}
+
+// Open implements InputFormat.
+func (f RandomSampleInput) Open(split hdfs.Split, ctx *TaskContext) hdfs.RecordReader {
+	if split.File.RecordSize == 0 {
+		nj := estimateVarRecords(split)
+		return hdfs.NewRandomVarReader(split, int64(f.P*float64(nj)), ctx.RNG)
+	}
+	nj := split.NumRecords()
+	return hdfs.NewRandomReader(split, int64(f.P*float64(nj)), ctx.RNG)
+}
+
+// estimateVarRecords estimates n_j for a variable-length split from the
+// file's average record size — the paper's suggested statistic when exact
+// per-split counts are unavailable (Appendix B).
+func estimateVarRecords(split hdfs.Split) int64 {
+	f := split.File
+	if f.NumRecords == 0 || f.Size() == 0 {
+		return 0
+	}
+	avg := float64(f.Size()) / float64(f.NumRecords)
+	return int64(float64(split.Length) / avg)
+}
+
+// NoInput reads nothing: mappers run Setup and Close only, restoring their
+// state from the StateStore (H-WTopk rounds 2 and 3).
+type NoInput struct{}
+
+// Open implements InputFormat.
+func (NoInput) Open(hdfs.Split, *TaskContext) hdfs.RecordReader { return nil }
+
+// Job describes one MapReduce round.
+type Job struct {
+	Name   string
+	Splits []hdfs.Split
+	Input  InputFormat
+
+	// NewMapper creates the mapper for one split (mappers are stateful
+	// and per-split).
+	NewMapper func(split hdfs.Split) Mapper
+	Combiner  Combiner // optional
+	Reducer   Reducer
+
+	// NumReducers is r, the reducer-task count. 0 or 1 runs the single
+	// Reducer above (the paper's configuration — its coordinator is
+	// necessarily one task). With r > 1, NewReducer must be set and keys
+	// are routed by Partitioner.
+	NumReducers int
+	// NewReducer creates the reducer for one partition (r > 1 only).
+	NewReducer func(partition int) Reducer
+	// Partitioner routes an intermediate key to a reducer in [0, r);
+	// nil uses Hadoop's default hash(k2) mod r.
+	Partitioner func(key int64, r int) int
+
+	// SpillThreshold simulates the mapper's in-memory buffer: when more
+	// than this many pairs accumulate, they are sorted, combined and
+	// spilled to local disk (costed as task IO), as Hadoop does. 0 means
+	// unbounded (no spills).
+	SpillThreshold int
+
+	// PairBytes gives the wire size of one shuffled pair. Algorithms set
+	// it to the paper's encodings (4-byte keys, 4-byte counts, 8-byte
+	// doubles). Defaults to 12 bytes (4-byte key + 8-byte double).
+	PairBytes func(KV) int
+
+	// Streaming feeds reducer input per-batch without global grouping;
+	// reducers must be commutative aggregators (all of ours are). Grouped
+	// mode (false) materializes and sorts the full shuffle like Hadoop.
+	Streaming bool
+
+	Conf  Conf
+	Cache *DistCache
+	State *StateStore
+
+	// Seed makes the whole job deterministic; each task derives its own
+	// RNG stream from it.
+	Seed uint64
+
+	// Parallelism bounds concurrent mappers (0 = GOMAXPROCS).
+	Parallelism int
+}
+
+// TaskMetrics is the deterministic work profile of one completed map task,
+// consumed by the cluster cost model.
+type TaskMetrics struct {
+	SplitID    int
+	Node       int // data-local node of the split
+	InputBytes int64
+	CPUUnits   float64
+}
+
+// Result is the outcome of one round.
+type Result struct {
+	Counters    Counters
+	MapTasks    []TaskMetrics
+	ReduceCPU   float64
+	ReduceCalls int64
+	// ShuffleBytes is the exact communication of this round: encoded
+	// size of all pairs crossing mapper→reducer after combining.
+	ShuffleBytes int64
+	// PairsShuffled counts those pairs.
+	PairsShuffled int64
+}
+
+func (j *Job) validate() error {
+	if j.NewMapper == nil {
+		return fmt.Errorf("mapred: job %q has no mapper factory", j.Name)
+	}
+	if j.numReducers() == 1 {
+		if j.Reducer == nil {
+			return fmt.Errorf("mapred: job %q has no reducer", j.Name)
+		}
+	} else if j.NewReducer == nil {
+		return fmt.Errorf("mapred: job %q has %d reducers but no reducer factory",
+			j.Name, j.numReducers())
+	}
+	if j.Input == nil {
+		return fmt.Errorf("mapred: job %q has no input format", j.Name)
+	}
+	if len(j.Splits) == 0 {
+		return fmt.Errorf("mapred: job %q has no splits", j.Name)
+	}
+	if j.SpillThreshold < 0 {
+		return fmt.Errorf("mapred: job %q has negative spill threshold", j.Name)
+	}
+	return nil
+}
+
+func (j *Job) numReducers() int {
+	if j.NumReducers <= 1 {
+		return 1
+	}
+	return j.NumReducers
+}
+
+// partition routes a key to its reducer.
+func (j *Job) partition(key int64, r int) int {
+	if j.Partitioner != nil {
+		p := j.Partitioner(key, r)
+		if p < 0 || p >= r {
+			return 0
+		}
+		return p
+	}
+	// Hadoop's default: hash(k2) mod r, with a cheap integer mix so
+	// adjacent keys spread.
+	h := uint64(key) * 0x9e3779b97f4a7c15
+	return int(h % uint64(r))
+}
+
+func (j *Job) pairBytes(kv KV) int {
+	if j.PairBytes != nil {
+		return j.PairBytes(kv)
+	}
+	return 12
+}

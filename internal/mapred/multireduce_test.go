@@ -1,0 +1,191 @@
+package mapred
+
+import (
+	"sync"
+	"testing"
+
+	"wavelethist/internal/hdfs"
+)
+
+// shardReducer is a per-partition word-count reducer; results merge into
+// a shared map under a mutex for verification.
+type shardReducer struct {
+	partition int
+	shared    *sync.Map
+	local     map[int64]float64
+}
+
+func (r *shardReducer) Setup(*TaskContext) error {
+	r.local = make(map[int64]float64)
+	return nil
+}
+
+func (r *shardReducer) Reduce(_ *TaskContext, key int64, vals []KV) error {
+	for _, v := range vals {
+		r.local[key] += v.Val
+	}
+	return nil
+}
+
+func (r *shardReducer) Close(*TaskContext) error {
+	for k, v := range r.local {
+		r.shared.Store(k, v)
+	}
+	return nil
+}
+
+func TestMultipleReducersCorrect(t *testing.T) {
+	keys := repeatKeys(6000, 97)
+	want := make(map[int64]float64)
+	for _, k := range keys {
+		want[k]++
+	}
+	splits := makeDataset(t, keys, 512)
+	for _, r := range []int{2, 4, 7} {
+		for _, streaming := range []bool{true, false} {
+			var shared sync.Map
+			job := &Job{
+				Name: "multi", Splits: splits, Input: SequentialInput{},
+				NewMapper:   func(hdfs.Split) Mapper { return countMapper{} },
+				NumReducers: r,
+				NewReducer: func(p int) Reducer {
+					return &shardReducer{partition: p, shared: &shared}
+				},
+				Streaming: streaming,
+				Seed:      5,
+			}
+			if _, err := Run(job); err != nil {
+				t.Fatalf("r=%d streaming=%v: %v", r, streaming, err)
+			}
+			got := 0
+			shared.Range(func(k, v any) bool {
+				got++
+				if want[k.(int64)] != v.(float64) {
+					t.Errorf("r=%d key %d = %v, want %v", r, k, v, want[k.(int64)])
+				}
+				return true
+			})
+			if got != len(want) {
+				t.Errorf("r=%d streaming=%v: %d keys, want %d", r, streaming, got, len(want))
+			}
+		}
+	}
+}
+
+func TestPartitionerRoutesDisjointly(t *testing.T) {
+	j := &Job{}
+	const r = 5
+	counts := make([]int, r)
+	for key := int64(0); key < 10000; key++ {
+		p := j.partition(key, r)
+		if p < 0 || p >= r {
+			t.Fatalf("partition(%d) = %d", key, p)
+		}
+		counts[p]++
+	}
+	for p, c := range counts {
+		if c < 1200 || c > 2800 {
+			t.Errorf("partition %d received %d/10000 keys; default hash unbalanced", p, c)
+		}
+	}
+}
+
+func TestCustomPartitioner(t *testing.T) {
+	keys := repeatKeys(1000, 50)
+	splits := makeDataset(t, keys, 512)
+	var shared sync.Map
+	job := &Job{
+		Name: "custom-part", Splits: splits, Input: SequentialInput{},
+		NewMapper:   func(hdfs.Split) Mapper { return countMapper{} },
+		NumReducers: 2,
+		// Range partition: keys < 25 to reducer 0.
+		Partitioner: func(key int64, r int) int {
+			if key < 25 {
+				return 0
+			}
+			return 1
+		},
+		NewReducer: func(p int) Reducer { return &rangeCheckReducer{p: p, shared: &shared} },
+		Streaming:  true,
+		Seed:       1,
+	}
+	if _, err := Run(job); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type rangeCheckReducer struct {
+	p      int
+	shared *sync.Map
+}
+
+func (r *rangeCheckReducer) Setup(*TaskContext) error { return nil }
+func (r *rangeCheckReducer) Reduce(_ *TaskContext, key int64, _ []KV) error {
+	if (key < 25) != (r.p == 0) {
+		return errFixed("key routed to wrong partition")
+	}
+	return nil
+}
+func (r *rangeCheckReducer) Close(*TaskContext) error { return nil }
+
+func TestMultiReducerValidation(t *testing.T) {
+	splits := makeDataset(t, []int64{1}, 64)
+	job := &Job{
+		Name: "bad", Splits: splits, Input: SequentialInput{},
+		NewMapper:   func(hdfs.Split) Mapper { return countMapper{} },
+		NumReducers: 3, // no NewReducer factory
+		Reducer:     &sumReducer{},
+	}
+	if _, err := Run(job); err == nil {
+		t.Error("accepted r > 1 without a reducer factory")
+	}
+}
+
+func TestSpillsPreserveResults(t *testing.T) {
+	keys := repeatKeys(8000, 31)
+	splits := makeDataset(t, keys, 2048)
+	run := func(threshold int) (*Result, map[int64]float64) {
+		red := &sumReducer{}
+		job := &Job{
+			Name: "spill", Splits: splits, Input: SequentialInput{},
+			NewMapper:      func(hdfs.Split) Mapper { return countMapper{} },
+			Combiner:       sumCombiner,
+			Reducer:        red,
+			Streaming:      true,
+			Seed:           2,
+			SpillThreshold: threshold,
+		}
+		res, err := Run(job)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, red.totals
+	}
+	resNo, totalsNo := run(0)
+	resSpill, totalsSpill := run(64)
+	for k, v := range totalsNo {
+		if totalsSpill[k] != v {
+			t.Errorf("spilling changed key %d: %v vs %v", k, totalsSpill[k], v)
+		}
+	}
+	// Spills cost extra local IO but identical shuffle bytes.
+	if resSpill.ShuffleBytes != resNo.ShuffleBytes {
+		t.Errorf("spilling changed shuffle bytes: %d vs %d",
+			resSpill.ShuffleBytes, resNo.ShuffleBytes)
+	}
+	var ioNo, ioSpill int64
+	for i := range resNo.MapTasks {
+		ioNo += resNo.MapTasks[i].InputBytes
+		ioSpill += resSpill.MapTasks[i].InputBytes
+	}
+	if ioSpill <= ioNo {
+		t.Errorf("spilling should add local IO: %d vs %d", ioSpill, ioNo)
+	}
+	if _, err := Run(&Job{
+		Name: "neg", Splits: splits, Input: SequentialInput{},
+		NewMapper: func(hdfs.Split) Mapper { return countMapper{} },
+		Reducer:   &sumReducer{}, SpillThreshold: -1,
+	}); err == nil {
+		t.Error("accepted negative spill threshold")
+	}
+}

@@ -1,0 +1,121 @@
+package sketch
+
+import (
+	"fmt"
+	"sort"
+)
+
+// AMS is the fast-AMS / CountSketch estimator: depth×width counters; item i
+// with update v adds ξ_d(i)·v to cell [d][h_d(i)]. Point queries return the
+// median over depths of ξ_d(i)·cell; the L2 norm is estimated as the median
+// of per-row squared sums. It is linear, so sketches with equal seeds merge
+// by addition.
+type AMS struct {
+	depth  int
+	width  int
+	seed   uint64
+	cells  []float64 // depth × width
+	hashes []polyHash
+	signs  []polyHash
+}
+
+// NewAMS creates a depth×width sketch derived from seed.
+func NewAMS(depth, width int, seed uint64) *AMS {
+	if depth < 1 || width < 1 {
+		panic("sketch: AMS dimensions must be positive")
+	}
+	s := &AMS{
+		depth:  depth,
+		width:  width,
+		seed:   seed,
+		cells:  make([]float64, depth*width),
+		hashes: make([]polyHash, depth),
+		signs:  make([]polyHash, depth),
+	}
+	for d := 0; d < depth; d++ {
+		s.hashes[d] = newPolyHash(seed ^ uint64(d)*0xa076_1d64_78bd_642f)
+		s.signs[d] = newPolyHash(seed ^ 0x5555_5555_5555_5555 ^ uint64(d)*0xe703_7ed1_a0b4_28db)
+	}
+	return s
+}
+
+// Depth returns the number of hash rows.
+func (s *AMS) Depth() int { return s.depth }
+
+// Width returns the number of buckets per row.
+func (s *AMS) Width() int { return s.width }
+
+// Update adds v to item i.
+func (s *AMS) Update(i int64, v float64) {
+	x := uint64(i)
+	for d := 0; d < s.depth; d++ {
+		b := s.hashes[d].bucket(x, s.width)
+		s.cells[d*s.width+b] += s.signs[d].sign(x) * v
+	}
+}
+
+// Estimate returns the point estimate of item i's aggregate value.
+func (s *AMS) Estimate(i int64) float64 {
+	x := uint64(i)
+	ests := make([]float64, s.depth)
+	for d := 0; d < s.depth; d++ {
+		b := s.hashes[d].bucket(x, s.width)
+		ests[d] = s.signs[d].sign(x) * s.cells[d*s.width+b]
+	}
+	return median(ests)
+}
+
+// L2Squared estimates ‖a‖²: the median over rows of Σ_b cell².
+func (s *AMS) L2Squared() float64 {
+	ests := make([]float64, s.depth)
+	for d := 0; d < s.depth; d++ {
+		var sum float64
+		for b := 0; b < s.width; b++ {
+			c := s.cells[d*s.width+b]
+			sum += c * c
+		}
+		ests[d] = sum
+	}
+	return median(ests)
+}
+
+// Merge adds other into s. Both must share dimensions and seed.
+func (s *AMS) Merge(other *AMS) error {
+	if s.depth != other.depth || s.width != other.width || s.seed != other.seed {
+		return fmt.Errorf("sketch: incompatible AMS sketches")
+	}
+	for i, v := range other.cells {
+		s.cells[i] += v
+	}
+	return nil
+}
+
+// NonZeroEntries returns (index, value) for non-zero cells — what Send-
+// Sketch ships over the network.
+func (s *AMS) NonZeroEntries() (idx []int64, val []float64) {
+	for i, v := range s.cells {
+		if v != 0 {
+			idx = append(idx, int64(i))
+			val = append(val, v)
+		}
+	}
+	return idx, val
+}
+
+// AddEntry adds v into flat cell index i (reducer-side merge from shipped
+// non-zero entries).
+func (s *AMS) AddEntry(i int64, v float64) {
+	s.cells[i] += v
+}
+
+// Bytes returns the in-memory sketch size (8 bytes per cell).
+func (s *AMS) Bytes() int64 { return int64(len(s.cells)) * 8 }
+
+func median(xs []float64) float64 {
+	sort.Float64s(xs)
+	n := len(xs)
+	if n%2 == 1 {
+		return xs[n/2]
+	}
+	return (xs[n/2-1] + xs[n/2]) / 2
+}

@@ -1,0 +1,124 @@
+package topk
+
+import (
+	"math"
+	"testing"
+
+	"wavelethist/internal/zipf"
+)
+
+func zipfNodes(m, itemsPerNode int, u int64, seed uint64) []Scores {
+	r := zipf.NewRNG(seed)
+	z := zipf.NewZipf(u, 1.2)
+	nodes := make([]Scores, m)
+	for j := range nodes {
+		nodes[j] = Scores{}
+		for i := 0; i < itemsPerNode; i++ {
+			id := z.Sample(r)
+			v := 1.0
+			if id%3 == 0 {
+				v = -1
+			}
+			nodes[j][id] += v
+		}
+	}
+	return nodes
+}
+
+func TestTwoSidedApproxThetaOneNearExact(t *testing.T) {
+	// Even θ=1 skips the exact-score round, so reported scores are
+	// approximate — but the returned top-k *set* should be near-exact.
+	nodes := zipfNodes(16, 2000, 1<<12, 3)
+	const k = 15
+	exact, _ := TwoSided(nodes, k)
+	approx, _ := TwoSidedApprox(nodes, k, 1.0)
+	if r := Recall(approx, exact); r < 0.85 {
+		t.Errorf("θ=1 recall = %v, want >= 0.85", r)
+	}
+}
+
+func TestTwoSidedApproxTradeoff(t *testing.T) {
+	nodes := zipfNodes(24, 3000, 1<<12, 7)
+	const k = 20
+	exact, exactStats := TwoSided(nodes, k)
+	prevComm := exactStats.TotalItems() + 1
+	for _, theta := range []float64{1.0, 2.0, 4.0} {
+		approx, st := TwoSidedApprox(nodes, k, theta)
+		if st.TotalItems() > prevComm {
+			t.Errorf("θ=%v: communication grew (%d > %d) as the threshold relaxed",
+				theta, st.TotalItems(), prevComm)
+		}
+		prevComm = st.TotalItems()
+		if r := Recall(approx, exact); r < 0.5 {
+			t.Errorf("θ=%v: recall %v collapsed", theta, r)
+		}
+		if st.Round3Items != 0 || st.CandidateSize != 0 {
+			t.Errorf("θ=%v: approximate protocol must skip round 3", theta)
+		}
+	}
+	// The savings must be real: θ=4 ships less than exact.
+	_, relaxed := TwoSidedApprox(nodes, k, 4)
+	if relaxed.TotalItems() >= exactStats.TotalItems() {
+		t.Errorf("relaxed protocol (%d items) not cheaper than exact (%d)",
+			relaxed.TotalItems(), exactStats.TotalItems())
+	}
+}
+
+func TestTwoSidedApproxPanicsOnBadTheta(t *testing.T) {
+	for _, theta := range []float64{0, -1, 0.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("θ=%v accepted", theta)
+				}
+			}()
+			TwoSidedApprox([]Scores{{1: 1}}, 1, theta)
+		}()
+	}
+}
+
+func TestRecall(t *testing.T) {
+	exact := []Item{{1, 10}, {2, -8}, {3, 5}}
+	if r := Recall(exact, exact); r != 1 {
+		t.Errorf("self recall = %v", r)
+	}
+	partial := []Item{{1, 10}, {9, 3}, {8, 1}}
+	if r := Recall(partial, exact); math.Abs(r-1.0/3) > 1e-9 {
+		t.Errorf("partial recall = %v, want 1/3", r)
+	}
+	if r := Recall(nil, nil); r != 1 {
+		t.Errorf("empty recall = %v", r)
+	}
+	// Recall is ID-based: score values are irrelevant.
+	rescored := []Item{{1, -99}, {2, 0.5}, {3, 7}}
+	if r := Recall(rescored, exact); r != 1 {
+		t.Errorf("ID recall = %v, want 1", r)
+	}
+}
+
+func BenchmarkTwoSidedApprox(b *testing.B) {
+	nodes := zipfNodes(32, 4000, 1<<14, 9)
+	b.Run("exact", func(b *testing.B) {
+		var st Stats
+		for i := 0; i < b.N; i++ {
+			_, st = TwoSided(nodes, 30)
+		}
+		b.ReportMetric(float64(st.TotalItems()), "items")
+	})
+	for _, theta := range []float64{2, 4} {
+		b.Run("theta="+formatTheta(theta), func(b *testing.B) {
+			var st Stats
+			for i := 0; i < b.N; i++ {
+				_, st = TwoSidedApprox(nodes, 30, theta)
+			}
+			b.ReportMetric(float64(st.TotalItems()), "items")
+		})
+	}
+}
+
+func formatTheta(t float64) string {
+	if t == 2 {
+		return "2"
+	}
+	return "4"
+}

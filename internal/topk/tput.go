@@ -1,0 +1,209 @@
+// Package topk implements the distributed top-k protocols underlying the
+// paper's exact algorithm: classic TPUT (Cao & Wang [7], three rounds,
+// non-negative scores) and the paper's two-sided modification (Section 3)
+// that handles positive and negative scores and ranks by aggregate
+// *magnitude* — the property plain TPUT cannot provide because unseen
+// scores may be very negative.
+//
+// The protocols here are pure (in-memory score lists per node) with exact
+// per-round message accounting; internal/core instantiates the same logic
+// inside MapReduce rounds. Keeping a reference implementation lets us
+// property-test protocol correctness against brute force independently of
+// the MapReduce machinery.
+package topk
+
+import (
+	"math"
+	"sort"
+
+	"wavelethist/internal/heap"
+)
+
+// Scores holds one node's local item scores (absent = 0).
+type Scores map[int64]float64
+
+// Item is an (id, aggregate score) result.
+type Item struct {
+	ID    int64
+	Score float64
+}
+
+// Stats records protocol communication: the number of (item, score)
+// messages uploaded to the coordinator per round, and the candidate-set
+// broadcast size of round 3.
+type Stats struct {
+	Round1Items   int
+	Round2Items   int
+	Round3Items   int
+	CandidateSize int // |R| after round-2 pruning (broadcast to nodes)
+}
+
+// TotalItems is the total uploaded (item, score) messages.
+func (s Stats) TotalItems() int { return s.Round1Items + s.Round2Items + s.Round3Items }
+
+// BruteForceTop returns the exact top-k by aggregate score (descending;
+// ties by ascending id). Reference for tests and tiny inputs.
+func BruteForceTop(nodes []Scores, k int) []Item {
+	return bruteForce(nodes, k, func(v float64) float64 { return v })
+}
+
+// BruteForceTopMagnitude returns the exact top-k by |aggregate score|.
+func BruteForceTopMagnitude(nodes []Scores, k int) []Item {
+	return bruteForce(nodes, k, math.Abs)
+}
+
+func bruteForce(nodes []Scores, k int, rank func(float64) float64) []Item {
+	agg := make(map[int64]float64)
+	for _, n := range nodes {
+		for id, v := range n {
+			agg[id] += v
+		}
+	}
+	items := make([]Item, 0, len(agg))
+	for id, v := range agg {
+		items = append(items, Item{ID: id, Score: v})
+	}
+	sort.Slice(items, func(i, j int) bool {
+		ri, rj := rank(items[i].Score), rank(items[j].Score)
+		if ri != rj {
+			return ri > rj
+		}
+		return items[i].ID < items[j].ID
+	})
+	if len(items) > k {
+		items = items[:k]
+	}
+	return items
+}
+
+// TPUT runs classic three-phase TPUT over non-negative scores and returns
+// the exact top-k by aggregate sum. Panics if any score is negative (use
+// TwoSided for signed scores).
+func TPUT(nodes []Scores, k int) ([]Item, Stats) {
+	var st Stats
+	m := len(nodes)
+	if m == 0 || k <= 0 {
+		return nil, st
+	}
+
+	// Phase 1: each node sends its local top-k; coordinator forms partial
+	// sums.
+	psum := make(map[int64]float64)
+	sent := make([]map[int64]bool, m)
+	for j, n := range nodes {
+		sent[j] = make(map[int64]bool)
+		h := heap.NewTopK(k)
+		for id, v := range n {
+			if v < 0 {
+				panic("topk: TPUT requires non-negative scores")
+			}
+			h.Push(heap.Item{ID: id, Score: v})
+		}
+		for _, it := range h.Sorted() {
+			psum[it.ID] += it.Score
+			sent[j][it.ID] = true
+			st.Round1Items++
+		}
+	}
+	tau1 := kthLargest(psum, k, func(v float64) float64 { return v })
+	threshold := tau1 / float64(m)
+
+	// Phase 2: nodes send every unsent item with score >= threshold.
+	known := make(map[int64]map[int]float64) // id -> node -> exact score
+	record := func(id int64, j int, v float64) {
+		inner, ok := known[id]
+		if !ok {
+			inner = make(map[int]float64, m)
+			known[id] = inner
+		}
+		inner[j] = v
+	}
+	for j, n := range nodes {
+		for id, v := range n {
+			if sent[j][id] {
+				record(id, j, v)
+				continue
+			}
+			if v >= threshold && threshold > 0 {
+				record(id, j, v)
+				sent[j][id] = true
+				st.Round2Items++
+			} else if threshold == 0 && v > 0 {
+				// Degenerate threshold: everything positive must flow.
+				record(id, j, v)
+				sent[j][id] = true
+				st.Round2Items++
+			}
+		}
+	}
+	// Refine: new threshold from refined partial sums; prune candidates
+	// whose upper bound cannot reach it.
+	refined := make(map[int64]float64, len(known))
+	for id, per := range known {
+		var s float64
+		for _, v := range per {
+			s += v
+		}
+		refined[id] = s
+	}
+	tau2 := kthLargest(refined, k, func(v float64) float64 { return v })
+	candidates := make([]int64, 0, len(known))
+	for id, per := range known {
+		ub := refined[id] + float64(m-len(per))*threshold
+		if ub >= tau2 {
+			candidates = append(candidates, id)
+		}
+	}
+	st.CandidateSize = len(candidates)
+
+	// Phase 3: fetch missing exact scores for candidates.
+	final := make(map[int64]float64, len(candidates))
+	for _, id := range candidates {
+		per := known[id]
+		s := 0.0
+		for j, n := range nodes {
+			if v, ok := per[j]; ok {
+				s += v
+				continue
+			}
+			if v, ok := n[id]; ok {
+				s += v
+				st.Round3Items++
+			}
+		}
+		final[id] = s
+	}
+	return selectTop(final, k, func(v float64) float64 { return v }), st
+}
+
+// kthLargest returns the k-th largest rank(v) over the map's values
+// (0 if fewer than k entries).
+func kthLargest(m map[int64]float64, k int, rank func(float64) float64) float64 {
+	h := heap.NewTopK(k)
+	for id, v := range m {
+		h.Push(heap.Item{ID: id, Score: rank(v)})
+	}
+	if h.Len() < k {
+		return 0
+	}
+	it, _ := h.Min()
+	return it.Score
+}
+
+func selectTop(m map[int64]float64, k int, rank func(float64) float64) []Item {
+	items := make([]Item, 0, len(m))
+	for id, v := range m {
+		items = append(items, Item{ID: id, Score: v})
+	}
+	sort.Slice(items, func(i, j int) bool {
+		ri, rj := rank(items[i].Score), rank(items[j].Score)
+		if ri != rj {
+			return ri > rj
+		}
+		return items[i].ID < items[j].ID
+	})
+	if len(items) > k {
+		items = items[:k]
+	}
+	return items
+}

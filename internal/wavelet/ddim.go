@@ -1,0 +1,171 @@
+package wavelet
+
+import (
+	"fmt"
+	"math"
+)
+
+// d-dimensional Haar transforms (the paper: the 2D row/column process
+// "can be similarly extended to d dimensions"). Signals are dense
+// row-major arrays over [0,u)^d, or sparse maps over packed keys
+// Σ x_i · u^(d-1-i). Coefficient indices pack the same way: the
+// coefficient at multi-index (i_1, ..., i_d) is <v, ψ_{i_1} ⊗ ... ⊗ ψ_{i_d}>.
+
+// KeyND packs coordinates over [0,u)^d row-major.
+func KeyND(coords []int64, u int64) int64 {
+	var key int64
+	for _, c := range coords {
+		if c < 0 || c >= u {
+			panic("wavelet: ND coordinate out of domain")
+		}
+		key = key*u + c
+	}
+	return key
+}
+
+// SplitKeyND unpacks a packed ND key into d coordinates.
+func SplitKeyND(key, u int64, d int) []int64 {
+	coords := make([]int64, d)
+	for i := d - 1; i >= 0; i-- {
+		coords[i] = key % u
+		key /= u
+	}
+	return coords
+}
+
+// TransformND computes the full tensor Haar transform of a dense d-dim
+// signal (len(v) must equal u^d): the 1D transform applied along every
+// axis in turn, exactly generalizing the paper's 2D rows-then-columns.
+func TransformND(v []float64, u int64, d int) []float64 {
+	checkND(int64(len(v)), u, d)
+	out := make([]float64, len(v))
+	copy(out, v)
+	transformAxes(out, u, d, Transform)
+	return out
+}
+
+// InverseND inverts TransformND.
+func InverseND(w []float64, u int64, d int) []float64 {
+	checkND(int64(len(w)), u, d)
+	out := make([]float64, len(w))
+	copy(out, w)
+	transformAxes(out, u, d, Inverse)
+	return out
+}
+
+func checkND(n, u int64, d int) {
+	if !IsPowerOfTwo(u) {
+		panic("wavelet: ND domain side must be a power of two")
+	}
+	if d < 1 {
+		panic("wavelet: dimension must be >= 1")
+	}
+	want := int64(1)
+	for i := 0; i < d; i++ {
+		want *= u
+	}
+	if n != want {
+		panic(fmt.Sprintf("wavelet: signal length %d != u^d = %d", n, want))
+	}
+}
+
+// transformAxes applies a 1D transform along each axis of the row-major
+// d-dim array in place.
+func transformAxes(a []float64, u int64, d int, tf func([]float64) []float64) {
+	n := int64(len(a))
+	line := make([]float64, u)
+	// Axis i varies with stride u^(d-1-i).
+	stride := n / u // axis 0 first
+	for axis := 0; axis < d; axis++ {
+		// Enumerate all lines along this axis: indices where the axis
+		// coordinate is 0.
+		for base := int64(0); base < n; base++ {
+			// base is a line start iff its axis coordinate is zero:
+			// (base / stride) % u == 0.
+			if (base/stride)%u != 0 {
+				continue
+			}
+			for x := int64(0); x < u; x++ {
+				line[x] = a[base+x*stride]
+			}
+			t := tf(line)
+			for x := int64(0); x < u; x++ {
+				a[base+x*stride] = t[x]
+			}
+		}
+		stride /= u
+	}
+}
+
+// SparseTransformND computes the non-zero tensor coefficients of a sparse
+// d-dim frequency map (packed keys). Each key contributes to
+// (log2(u)+1)^d coefficients — its tensor path.
+func SparseTransformND(freq map[int64]float64, u int64, d int) map[int64]float64 {
+	if !IsPowerOfTwo(u) {
+		panic("wavelet: ND domain side must be a power of two")
+	}
+	logu := Log2(u)
+	type pathEntry struct {
+		idx int64
+		val float64
+	}
+	// Per-axis ψ paths.
+	axisPath := func(x int64) []pathEntry {
+		path := make([]pathEntry, 0, logu+1)
+		path = append(path, pathEntry{0, 1 / math.Sqrt(float64(u))})
+		for j := uint(0); j < logu; j++ {
+			rangeLen := u >> j
+			k := x / rangeLen
+			val := 1 / math.Sqrt(float64(rangeLen))
+			if x-k*rangeLen < rangeLen/2 {
+				val = -val
+			}
+			path = append(path, pathEntry{int64(1)<<j + k, val})
+		}
+		return path
+	}
+	w := make(map[int64]float64)
+	for key, c := range freq {
+		if c == 0 {
+			continue
+		}
+		coords := SplitKeyND(key, u, d)
+		paths := make([][]pathEntry, d)
+		for i, x := range coords {
+			paths[i] = axisPath(x)
+		}
+		// Cartesian product of the d paths.
+		var rec func(axis int, idx int64, val float64)
+		rec = func(axis int, idx int64, val float64) {
+			if axis == d {
+				nv := w[idx] + val
+				if nv == 0 {
+					delete(w, idx)
+				} else {
+					w[idx] = nv
+				}
+				return
+			}
+			for _, pe := range paths[axis] {
+				rec(axis+1, idx*u+pe.idx, val*pe.val)
+			}
+		}
+		rec(0, 0, c)
+	}
+	return w
+}
+
+// BasisNDAt evaluates the tensor basis function of a packed coefficient
+// index at packed point coordinates.
+func BasisNDAt(packedCoef int64, coords []int64, u int64) float64 {
+	d := len(coords)
+	idx := SplitKeyND(packedCoef, u, d)
+	out := 1.0
+	for i, x := range coords {
+		out *= BasisAt(idx[i], x, u)
+		if out == 0 {
+			return 0
+		}
+	}
+	return out
+}

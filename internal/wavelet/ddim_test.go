@@ -1,0 +1,188 @@
+package wavelet
+
+import (
+	"math"
+	"testing"
+
+	"wavelethist/internal/zipf"
+)
+
+func TestKeyNDRoundTrip(t *testing.T) {
+	const u = 16
+	cases := [][]int64{{0, 0, 0}, {1, 2, 3}, {15, 15, 15}, {7, 0, 9}}
+	for _, coords := range cases {
+		key := KeyND(coords, u)
+		got := SplitKeyND(key, u, len(coords))
+		for i := range coords {
+			if got[i] != coords[i] {
+				t.Errorf("round trip %v -> %d -> %v", coords, key, got)
+			}
+		}
+	}
+}
+
+func TestTransformNDMatches1D(t *testing.T) {
+	r := zipf.NewRNG(1)
+	const u = 64
+	v := make([]float64, u)
+	for i := range v {
+		v[i] = r.Float64() * 10
+	}
+	got := TransformND(v, u, 1)
+	want := Transform(v)
+	for i := range want {
+		if !almostEq(got[i], want[i], 1e-9) {
+			t.Fatalf("1D mismatch at %d", i)
+		}
+	}
+}
+
+func TestTransformNDMatches2D(t *testing.T) {
+	r := zipf.NewRNG(2)
+	const u = 8
+	grid := randomGrid(r, u)
+	flat := make([]float64, u*u)
+	for x := int64(0); x < u; x++ {
+		for y := int64(0); y < u; y++ {
+			flat[x*u+y] = grid[x][y]
+		}
+	}
+	got := TransformND(flat, u, 2)
+	want := Transform2D(grid)
+	for i := int64(0); i < u; i++ {
+		for j := int64(0); j < u; j++ {
+			if !almostEq(got[i*u+j], want[i][j], 1e-9) {
+				t.Fatalf("2D mismatch at (%d,%d): %v vs %v", i, j, got[i*u+j], want[i][j])
+			}
+		}
+	}
+}
+
+func TestTransformNDRoundTrip3D(t *testing.T) {
+	r := zipf.NewRNG(3)
+	const u = 8
+	const d = 3
+	v := make([]float64, u*u*u)
+	for i := range v {
+		v[i] = math.Floor(r.Float64() * 9)
+	}
+	got := InverseND(TransformND(v, u, d), u, d)
+	for i := range v {
+		if !almostEq(v[i], got[i], 1e-9) {
+			t.Fatalf("3D round trip differs at %d", i)
+		}
+	}
+}
+
+func TestTransformNDEnergy3D(t *testing.T) {
+	r := zipf.NewRNG(4)
+	const u = 4
+	v := make([]float64, u*u*u)
+	for i := range v {
+		v[i] = r.NormFloat64()
+	}
+	w := TransformND(v, u, 3)
+	if !almostEq(Energy(v), Energy(w), 1e-9) {
+		t.Errorf("3D energy not preserved: %v vs %v", Energy(v), Energy(w))
+	}
+}
+
+func TestSparseTransformNDMatchesDense(t *testing.T) {
+	r := zipf.NewRNG(5)
+	const u = 8
+	const d = 3
+	n := int64(u * u * u)
+	v := make([]float64, n)
+	freq := make(map[int64]float64)
+	for c := 0; c < 40; c++ {
+		key := r.Int63n(n)
+		val := math.Floor(r.Float64()*10) + 1
+		v[key] += val
+		freq[key] += val
+	}
+	dense := TransformND(v, u, d)
+	sparse := SparseTransformND(freq, u, d)
+	for i := int64(0); i < n; i++ {
+		if !almostEq(dense[i], sparse[i], 1e-9) {
+			t.Fatalf("coef %d: dense %v sparse %v", i, dense[i], sparse[i])
+		}
+	}
+}
+
+// Linearity in d dims: local ND coefficients sum to global ones — the
+// property that lets H-WTopk run unchanged in any dimension.
+func TestSparseTransformNDLinearity(t *testing.T) {
+	r := zipf.NewRNG(6)
+	const u = 4
+	const d = 3
+	n := int64(u * u * u)
+	a := make(map[int64]float64)
+	b := make(map[int64]float64)
+	whole := make(map[int64]float64)
+	for c := 0; c < 30; c++ {
+		key := r.Int63n(n)
+		val := float64(1 + r.Int63n(5))
+		if c%2 == 0 {
+			a[key] += val
+		} else {
+			b[key] += val
+		}
+		whole[key] += val
+	}
+	wa := SparseTransformND(a, u, d)
+	wb := SparseTransformND(b, u, d)
+	ww := SparseTransformND(whole, u, d)
+	union := make(map[int64]bool)
+	for i := range wa {
+		union[i] = true
+	}
+	for i := range wb {
+		union[i] = true
+	}
+	for i := range ww {
+		union[i] = true
+	}
+	for i := range union {
+		if !almostEq(wa[i]+wb[i], ww[i], 1e-9) {
+			t.Fatalf("ND linearity fails at %d", i)
+		}
+	}
+}
+
+func TestBasisNDAtMatchesTransform(t *testing.T) {
+	r := zipf.NewRNG(7)
+	const u = 4
+	const d = 3
+	n := int64(u * u * u)
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = math.Floor(r.Float64() * 5)
+	}
+	w := TransformND(v, u, d)
+	// Spot-check a handful of coefficients against explicit dot products.
+	for trial := 0; trial < 20; trial++ {
+		ci := r.Int63n(n)
+		var dot float64
+		for key := int64(0); key < n; key++ {
+			dot += v[key] * BasisNDAt(ci, SplitKeyND(key, u, d), u)
+		}
+		if !almostEq(w[ci], dot, 1e-9) {
+			t.Fatalf("coef %d: transform %v, dot %v", ci, w[ci], dot)
+		}
+	}
+}
+
+func TestNDValidation(t *testing.T) {
+	mustPanic := func(f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic")
+			}
+		}()
+		f()
+	}
+	mustPanic(func() { TransformND(make([]float64, 10), 3, 2) })
+	mustPanic(func() { TransformND(make([]float64, 10), 4, 2) })
+	mustPanic(func() { TransformND(make([]float64, 16), 4, 0) })
+	mustPanic(func() { KeyND([]int64{5}, 4) })
+}

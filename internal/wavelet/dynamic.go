@@ -1,0 +1,131 @@
+package wavelet
+
+import (
+	"math"
+
+	"wavelethist/internal/heap"
+)
+
+// Dynamic maintenance of a wavelet histogram under updates — the paper's
+// closing-remarks open problem ("how to incrementally maintain the summary
+// when the data stored in the MapReduce cluster is being updated"),
+// following the shadow-coefficient approach of Matias, Vitter, Wang [27]:
+// keep the retained top-k set plus a larger shadow set of runner-up
+// coefficients; apply each update's O(log u) path contributions to
+// whichever tracked coefficients it touches; periodically promote shadow
+// coefficients that have outgrown retained ones.
+//
+// The maintained histogram is exact on every tracked coefficient; error
+// creeps in only when an untracked coefficient grows past the shadow
+// threshold between rebuilds, which the shadow margin makes unlikely for
+// skewed workloads (the same argument as [27]).
+
+// Maintainer incrementally maintains a k-term representation.
+type Maintainer struct {
+	u      int64
+	logu   uint
+	k      int
+	shadow int // tracked coefficients beyond k
+
+	coefs map[int64]float64 // tracked coefficient values (exact)
+	dirty bool
+	rep   *Representation // cached current top-k; rebuilt lazily
+}
+
+// NewMaintainer starts maintenance from a full coefficient set (e.g. the
+// non-zero coefficients of an initial build). shadow <= 0 defaults to 4k.
+func NewMaintainer(u int64, initial []Coef, k, shadow int) *Maintainer {
+	if !IsPowerOfTwo(u) {
+		panic("wavelet: maintainer domain must be a power of two")
+	}
+	if k < 1 {
+		panic("wavelet: maintainer k must be >= 1")
+	}
+	if shadow <= 0 {
+		shadow = 4 * k
+	}
+	m := &Maintainer{
+		u:      u,
+		logu:   Log2(u),
+		k:      k,
+		shadow: shadow,
+		coefs:  make(map[int64]float64),
+		dirty:  true,
+	}
+	// Track the top (k + shadow) initial coefficients.
+	top := SelectTopK(initial, k+shadow)
+	for _, c := range top {
+		m.coefs[c.Index] = c.Value
+	}
+	return m
+}
+
+// K returns the maintained representation size.
+func (m *Maintainer) K() int { return m.k }
+
+// Tracked returns the number of tracked (retained + shadow) coefficients.
+func (m *Maintainer) Tracked() int { return len(m.coefs) }
+
+// Update applies delta occurrences of key x (delta may be negative for
+// deletions). O(log u): the update touches exactly the log2(u)+1
+// coefficients on x's root-to-leaf path; tracked ones are adjusted
+// exactly, and any path coefficient that becomes large enough to matter
+// is newly tracked (it starts from the correct current value only if it
+// was tracked before — untracked path coefficients are adopted with just
+// this update's contribution, the [27] approximation).
+func (m *Maintainer) Update(x int64, delta float64) {
+	if x < 0 || x >= m.u {
+		panic("wavelet: update key out of domain")
+	}
+	if delta == 0 {
+		return
+	}
+	m.dirty = true
+	m.apply(0, delta/math.Sqrt(float64(m.u)))
+	for j := uint(0); j < m.logu; j++ {
+		rangeLen := m.u >> j
+		k := x / rangeLen
+		contrib := delta / math.Sqrt(float64(rangeLen))
+		if x-k*rangeLen < rangeLen/2 {
+			contrib = -contrib
+		}
+		m.apply(int64(1)<<j+k, contrib)
+	}
+	// Bound memory: when tracking grows well past k+shadow, drop the
+	// smallest-magnitude tail.
+	if len(m.coefs) > 2*(m.k+m.shadow) {
+		m.compact()
+	}
+}
+
+func (m *Maintainer) apply(idx int64, contrib float64) {
+	nv := m.coefs[idx] + contrib
+	if nv == 0 {
+		delete(m.coefs, idx)
+	} else {
+		m.coefs[idx] = nv
+	}
+}
+
+// compact trims tracked coefficients back to k+shadow by magnitude.
+func (m *Maintainer) compact() {
+	h := heap.NewTopK(m.k + m.shadow)
+	for idx, v := range m.coefs {
+		h.Push(heap.Item{ID: idx, Score: math.Abs(v)})
+	}
+	kept := make(map[int64]float64, m.k+m.shadow)
+	for _, it := range h.Items() {
+		kept[it.ID] = m.coefs[it.ID]
+	}
+	m.coefs = kept
+}
+
+// Representation returns the current k-term representation (top-k of the
+// tracked set). The result is cached until the next Update.
+func (m *Maintainer) Representation() *Representation {
+	if m.dirty || m.rep == nil {
+		m.rep = NewRepresentation(m.u, SelectTopKMap(m.coefs, m.k))
+		m.dirty = false
+	}
+	return m.rep
+}

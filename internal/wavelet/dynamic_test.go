@@ -1,0 +1,155 @@
+package wavelet
+
+import (
+	"math"
+	"testing"
+
+	"wavelethist/internal/zipf"
+)
+
+func fullCoefs(v []float64) []Coef {
+	w := Transform(v)
+	out := make([]Coef, 0, len(w))
+	for i, val := range w {
+		if val != 0 {
+			out = append(out, Coef{Index: int64(i), Value: val})
+		}
+	}
+	return out
+}
+
+func TestMaintainerTracksExactTopK(t *testing.T) {
+	const u = 256
+	const k = 10
+	r := zipf.NewRNG(1)
+	v := make([]float64, u)
+	for i := range v {
+		v[i] = math.Floor(r.Float64() * 50)
+	}
+	m := NewMaintainer(u, fullCoefs(v), k, 0)
+
+	// Apply a stream of inserts/deletes, mirroring them on v.
+	for step := 0; step < 3000; step++ {
+		x := r.Int63n(u)
+		delta := float64(1 + r.Int63n(3))
+		if r.Bernoulli(0.3) && v[x] >= delta {
+			delta = -delta
+		}
+		if v[x]+delta < 0 {
+			delta = -v[x]
+		}
+		v[x] += delta
+		m.Update(x, delta)
+	}
+
+	// Maintained coefficients must equal the exact transform on every
+	// retained index.
+	w := Transform(v)
+	rep := m.Representation()
+	if rep.K() == 0 {
+		t.Fatal("empty maintained representation")
+	}
+	for _, c := range rep.Coefs {
+		if !almostEq(c.Value, w[c.Index], 1e-8) {
+			t.Errorf("maintained coef %d = %v, exact %v", c.Index, c.Value, w[c.Index])
+		}
+	}
+	// And the maintained top-k must achieve SSE close to the ideal.
+	got := rep.SSEAgainst(v)
+	ideal := IdealSSE(w, k)
+	if got > ideal*1.2+1e-6 {
+		t.Errorf("maintained SSE %v vs ideal %v", got, ideal)
+	}
+}
+
+func TestMaintainerDeletionsCancel(t *testing.T) {
+	const u = 64
+	m := NewMaintainer(u, nil, 5, 0)
+	// Insert then fully delete: everything cancels to the empty signal.
+	for i := 0; i < 100; i++ {
+		m.Update(int64(i%u), 2)
+	}
+	for i := 0; i < 100; i++ {
+		m.Update(int64(i%u), -2)
+	}
+	rep := m.Representation()
+	for _, c := range rep.Coefs {
+		if math.Abs(c.Value) > 1e-9 {
+			t.Errorf("residual coefficient %d = %v after full cancellation", c.Index, c.Value)
+		}
+	}
+}
+
+func TestMaintainerCompactBoundsMemory(t *testing.T) {
+	const u = 1 << 14
+	const k = 8
+	m := NewMaintainer(u, nil, k, 16)
+	r := zipf.NewRNG(2)
+	for i := 0; i < 20000; i++ {
+		m.Update(r.Int63n(u), 1)
+	}
+	if m.Tracked() > 2*(k+16) {
+		t.Errorf("tracked set grew to %d, bound is %d", m.Tracked(), 2*(k+16))
+	}
+}
+
+func TestMaintainerHeavyShiftDetected(t *testing.T) {
+	// A key absent from the initial build becomes the heaviest item; the
+	// maintainer must pick its path coefficients up.
+	const u = 128
+	const k = 6
+	r := zipf.NewRNG(3)
+	v := make([]float64, u)
+	for i := 0; i < 500; i++ {
+		v[r.Int63n(u)]++
+	}
+	// Track every initial coefficient so retained values stay exact (the
+	// shadow cap trades exactness for memory; see the package comment).
+	initial := fullCoefs(v)
+	m := NewMaintainer(u, initial, k, len(initial))
+	const newHot = 77
+	for i := 0; i < 5000; i++ {
+		v[newHot]++
+		m.Update(newHot, 1)
+	}
+	rep := m.Representation()
+	// The leaf detail coefficient adjacent to the new hot key must now be
+	// retained (it dominates the spectrum).
+	w := Transform(v)
+	trueTop := SelectTopKDense(w, 1)[0]
+	found := false
+	for _, c := range rep.Coefs {
+		if c.Index == trueTop.Index {
+			found = true
+			if !almostEq(c.Value, trueTop.Value, 1e-8) {
+				t.Errorf("hot coefficient %d = %v, exact %v", c.Index, c.Value, trueTop.Value)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("dominant coefficient %d not retained after shift", trueTop.Index)
+	}
+}
+
+func TestMaintainerPanics(t *testing.T) {
+	mustPanic := func(f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic")
+			}
+		}()
+		f()
+	}
+	mustPanic(func() { NewMaintainer(100, nil, 5, 0) })
+	mustPanic(func() { NewMaintainer(128, nil, 0, 0) })
+	m := NewMaintainer(128, nil, 5, 0)
+	mustPanic(func() { m.Update(128, 1) })
+}
+
+func TestMaintainerZeroDeltaNoop(t *testing.T) {
+	m := NewMaintainer(64, nil, 3, 0)
+	m.Update(5, 0)
+	if m.Tracked() != 0 {
+		t.Errorf("zero delta created %d tracked coefficients", m.Tracked())
+	}
+}

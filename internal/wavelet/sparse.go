@@ -1,0 +1,171 @@
+package wavelet
+
+import (
+	"math"
+	"sort"
+)
+
+// SparseTransform computes all non-zero Haar coefficients of the sparse
+// frequency vector freq (key -> count) over domain [0, u). It runs in
+// O(|v| log u) time — the bound the paper's mappers need instead of the
+// O(u) dense transform, because a 256 MB split has far fewer distinct keys
+// than u = 2^29.
+//
+// Each key contributes to exactly log2(u)+1 coefficients (its root-to-leaf
+// path), so the output has at most |v|·(log2(u)+1) entries.
+func SparseTransform(freq map[int64]float64, u int64) map[int64]float64 {
+	logu := Log2(u)
+	w := make(map[int64]float64, len(freq)*int(logu+1)/2)
+	sqrtU := math.Sqrt(float64(u))
+	for x, c := range freq {
+		if x < 0 || x >= u {
+			panic("wavelet: key out of domain")
+		}
+		if c == 0 {
+			continue
+		}
+		w[0] += c / sqrtU
+		// Walk levels top-down; at level j the covering detail
+		// coefficient is 2^j + x/(u/2^j), with sign by half.
+		for j := uint(0); j < logu; j++ {
+			rangeLen := u >> j
+			k := x / rangeLen
+			idx := int64(1)<<j + k
+			contrib := c / math.Sqrt(float64(rangeLen))
+			if x-k*rangeLen < rangeLen/2 {
+				contrib = -contrib
+			}
+			nv := w[idx] + contrib
+			if nv == 0 {
+				delete(w, idx)
+			} else {
+				w[idx] = nv
+			}
+		}
+	}
+	if w[0] == 0 {
+		delete(w, 0)
+	}
+	return w
+}
+
+// StreamingTransformer computes non-zero Haar coefficients from keys fed in
+// strictly increasing order, using O(log u) memory — the Gilbert et al.
+// algorithm the paper cites for mappers ([20], Appendix A). Coefficients
+// are emitted exactly once, as soon as their dyadic range closes.
+type StreamingTransformer struct {
+	u      int64
+	logu   uint
+	emit   func(Coef)
+	path   []float64 // partial detail sums per level, for the current path
+	curKey int64     // last key fed, -1 initially
+	avg    float64   // partial overall-average coefficient
+	any    bool
+}
+
+// NewStreamingTransformer creates a transformer over [0, u) that calls emit
+// for every non-zero coefficient.
+func NewStreamingTransformer(u int64, emit func(Coef)) *StreamingTransformer {
+	logu := Log2(u)
+	return &StreamingTransformer{
+		u:      u,
+		logu:   logu,
+		emit:   emit,
+		path:   make([]float64, logu),
+		curKey: -1,
+	}
+}
+
+// Feed adds count occurrences of key x. Keys must arrive in strictly
+// increasing order.
+func (t *StreamingTransformer) Feed(x int64, count float64) {
+	if x < 0 || x >= t.u {
+		panic("wavelet: key out of domain")
+	}
+	if x <= t.curKey {
+		panic("wavelet: streaming keys must be strictly increasing")
+	}
+	if count == 0 {
+		return
+	}
+	if t.any {
+		t.flushClosed(t.curKey, x)
+	}
+	t.curKey = x
+	t.any = true
+	t.avg += count / math.Sqrt(float64(t.u))
+	for j := uint(0); j < t.logu; j++ {
+		rangeLen := t.u >> j
+		k := x / rangeLen
+		contrib := count / math.Sqrt(float64(rangeLen))
+		if x-k*rangeLen < rangeLen/2 {
+			contrib = -contrib
+		}
+		t.path[j] += contrib
+	}
+}
+
+// flushClosed emits every level's coefficient whose dyadic range no longer
+// contains the next key.
+func (t *StreamingTransformer) flushClosed(prev, next int64) {
+	for j := uint(0); j < t.logu; j++ {
+		rangeLen := t.u >> j
+		if prev/rangeLen != next/rangeLen {
+			// Range at level j closed.
+			if t.path[j] != 0 {
+				idx := int64(1)<<j + prev/rangeLen
+				t.emit(Coef{Index: idx, Value: t.path[j]})
+			}
+			t.path[j] = 0
+		}
+	}
+}
+
+// Close flushes all pending coefficients (including the overall average).
+// The transformer must not be used afterwards.
+func (t *StreamingTransformer) Close() {
+	if !t.any {
+		return
+	}
+	for j := uint(0); j < t.logu; j++ {
+		if t.path[j] != 0 {
+			rangeLen := t.u >> j
+			idx := int64(1)<<j + t.curKey/rangeLen
+			t.emit(Coef{Index: idx, Value: t.path[j]})
+			t.path[j] = 0
+		}
+	}
+	if t.avg != 0 {
+		t.emit(Coef{Index: 0, Value: t.avg})
+	}
+	t.any = false
+}
+
+// SparseTransformSorted runs the streaming transformer over a sorted list
+// of (key, count) pairs and collects the result. It is the path the
+// simulated mappers use after aggregating their split's frequency map.
+func SparseTransformSorted(keys []int64, counts []float64, u int64) []Coef {
+	var out []Coef
+	t := NewStreamingTransformer(u, func(c Coef) { out = append(out, c) })
+	for i, x := range keys {
+		t.Feed(x, counts[i])
+	}
+	t.Close()
+	sort.Slice(out, func(i, j int) bool { return out[i].Index < out[j].Index })
+	return out
+}
+
+// SortFreq converts a frequency map into parallel sorted slices, the form
+// SparseTransformSorted consumes.
+func SortFreq(freq map[int64]float64) (keys []int64, counts []float64) {
+	keys = make([]int64, 0, len(freq))
+	for x := range freq {
+		keys = append(keys, x)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	counts = make([]float64, len(keys))
+	for i, x := range keys {
+		counts[i] = freq[x]
+	}
+	return keys, counts
+}

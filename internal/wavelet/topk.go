@@ -1,0 +1,205 @@
+package wavelet
+
+import (
+	"math"
+	"sort"
+
+	"wavelethist/internal/heap"
+)
+
+// SelectTopK returns the k coefficients of largest magnitude, sorted by
+// decreasing |Value| with ties broken by ascending Index (deterministic).
+// This is the paper's "best k-term wavelet representation" selection,
+// done with a size-k priority queue in one pass (Section 2.1).
+func SelectTopK(coefs []Coef, k int) []Coef {
+	h := heap.NewTopK(k)
+	vals := make(map[int64]float64, len(coefs))
+	for _, c := range coefs {
+		vals[c.Index] = c.Value
+		h.Push(heap.Item{ID: c.Index, Score: math.Abs(c.Value)})
+	}
+	items := h.Sorted()
+	out := make([]Coef, len(items))
+	for i, it := range items {
+		out[i] = Coef{Index: it.ID, Value: vals[it.ID]}
+	}
+	return out
+}
+
+// SelectTopKMap is SelectTopK over a coefficient map.
+func SelectTopKMap(w map[int64]float64, k int) []Coef {
+	coefs := make([]Coef, 0, len(w))
+	for i, v := range w {
+		coefs = append(coefs, Coef{Index: i, Value: v})
+	}
+	return SelectTopK(coefs, k)
+}
+
+// SelectTopKDense is SelectTopK over a dense coefficient vector.
+func SelectTopKDense(w []float64, k int) []Coef {
+	h := heap.NewTopK(k)
+	for i, v := range w {
+		if v != 0 {
+			h.Push(heap.Item{ID: int64(i), Score: math.Abs(v)})
+		}
+	}
+	items := h.Sorted()
+	out := make([]Coef, len(items))
+	for i, it := range items {
+		out[i] = Coef{Index: it.ID, Value: w[it.ID]}
+	}
+	return out
+}
+
+// SortCoefsByMagnitude sorts coefficients by decreasing |Value|, ties by
+// ascending Index.
+func SortCoefsByMagnitude(coefs []Coef) {
+	sort.Slice(coefs, func(i, j int) bool {
+		ai, aj := math.Abs(coefs[i].Value), math.Abs(coefs[j].Value)
+		if ai != aj {
+			return ai > aj
+		}
+		return coefs[i].Index < coefs[j].Index
+	})
+}
+
+// Representation is a k-term wavelet representation: a small set of
+// retained coefficients over domain [0, u).
+type Representation struct {
+	U     int64
+	Coefs []Coef
+}
+
+// NewRepresentation validates and wraps a coefficient set.
+func NewRepresentation(u int64, coefs []Coef) *Representation {
+	if !IsPowerOfTwo(u) {
+		panic("wavelet: representation domain must be a power of two")
+	}
+	cs := make([]Coef, len(coefs))
+	copy(cs, coefs)
+	SortCoefsByMagnitude(cs)
+	return &Representation{U: u, Coefs: cs}
+}
+
+// K returns the number of retained coefficients.
+func (r *Representation) K() int { return len(r.Coefs) }
+
+// Reconstruct materializes the dense estimated frequency vector
+// v̂(x) = Σ w_i ψ_i(x). O(u + Σ support) ≤ O(k·u) time.
+func (r *Representation) Reconstruct() []float64 {
+	v := make([]float64, r.U)
+	for _, c := range r.Coefs {
+		addBasis(v, c, r.U)
+	}
+	return v
+}
+
+// addBasis adds c.Value·ψ_{c.Index} into v.
+func addBasis(v []float64, c Coef, u int64) {
+	if c.Index == 0 {
+		val := c.Value / math.Sqrt(float64(u))
+		for x := range v {
+			v[x] += val
+		}
+		return
+	}
+	j := coefLevel(c.Index)
+	k := c.Index - int64(1)<<j
+	rangeLen := u >> j
+	lo := k * rangeLen
+	val := c.Value / math.Sqrt(float64(rangeLen))
+	half := lo + rangeLen/2
+	for x := lo; x < half; x++ {
+		v[x] -= val
+	}
+	for x := half; x < lo+rangeLen; x++ {
+		v[x] += val
+	}
+}
+
+// PointEstimate returns v̂(x) in O(k) time.
+func (r *Representation) PointEstimate(x int64) float64 {
+	var s float64
+	for _, c := range r.Coefs {
+		s += c.Value * BasisAt(c.Index, x, r.U)
+	}
+	return s
+}
+
+// RangeSum estimates Σ_{x=lo..hi} v(x) (inclusive bounds) in O(k) time.
+// This is the selectivity-estimation query wavelet histograms exist for
+// (Matias et al. [26]).
+func (r *Representation) RangeSum(lo, hi int64) float64 {
+	if lo > hi {
+		return 0
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	if hi >= r.U {
+		hi = r.U - 1
+	}
+	var s float64
+	for _, c := range r.Coefs {
+		s += c.Value * basisRangeSum(c.Index, lo, hi, r.U)
+	}
+	return s
+}
+
+// basisRangeSum returns Σ_{x=lo..hi} ψ_i(x) in O(1).
+func basisRangeSum(i, lo, hi, u int64) float64 {
+	if i == 0 {
+		return float64(hi-lo+1) / math.Sqrt(float64(u))
+	}
+	j := coefLevel(i)
+	k := i - int64(1)<<j
+	rangeLen := u >> j
+	start := k * rangeLen
+	mid := start + rangeLen/2
+	end := start + rangeLen // exclusive
+	// Overlap with negative half [start, mid) and positive half [mid, end).
+	neg := overlap(lo, hi+1, start, mid)
+	pos := overlap(lo, hi+1, mid, end)
+	if neg == 0 && pos == 0 {
+		return 0
+	}
+	return float64(pos-neg) / math.Sqrt(float64(rangeLen))
+}
+
+// overlap returns |[aLo,aHi) ∩ [bLo,bHi)|.
+func overlap(aLo, aHi, bLo, bHi int64) int64 {
+	lo, hi := aLo, aHi
+	if bLo > lo {
+		lo = bLo
+	}
+	if bHi < hi {
+		hi = bHi
+	}
+	if hi <= lo {
+		return 0
+	}
+	return hi - lo
+}
+
+// SSEAgainst computes Σ_x (v(x) - v̂(x))² against a dense truth vector
+// without materializing v̂ when k is small: it reconstructs once (O(k·u))
+// — still the cheapest exact approach for the experiment domains used here.
+func (r *Representation) SSEAgainst(v []float64) float64 {
+	if int64(len(v)) != r.U {
+		panic("wavelet: SSEAgainst domain mismatch")
+	}
+	vhat := r.Reconstruct()
+	return SSE(v, vhat)
+}
+
+// IdealSSE returns the minimum possible SSE of any k-term representation of
+// the signal with coefficient vector w: energy minus the energy of the k
+// largest-magnitude coefficients (Parseval).
+func IdealSSE(w []float64, k int) float64 {
+	top := SelectTopKDense(w, k)
+	var kept float64
+	for _, c := range top {
+		kept += c.Value * c.Value
+	}
+	return Energy(w) - kept
+}

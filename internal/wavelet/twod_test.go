@@ -1,0 +1,198 @@
+package wavelet
+
+import (
+	"math"
+	"testing"
+
+	"wavelethist/internal/zipf"
+)
+
+func randomGrid(r *zipf.RNG, u int64) [][]float64 {
+	v := make([][]float64, u)
+	for x := range v {
+		v[x] = make([]float64, u)
+		for y := range v[x] {
+			v[x][y] = math.Floor(r.Float64() * 10)
+		}
+	}
+	return v
+}
+
+func TestTransform2DRoundTrip(t *testing.T) {
+	r := zipf.NewRNG(20)
+	for _, u := range []int64{1, 2, 4, 16} {
+		v := randomGrid(r, u)
+		got := Inverse2D(Transform2D(v))
+		for x := range v {
+			for y := range v[x] {
+				if !almostEq(v[x][y], got[x][y], 1e-9) {
+					t.Fatalf("u=%d round trip differs at (%d,%d)", u, x, y)
+				}
+			}
+		}
+	}
+}
+
+// 2D transform equals tensor-product basis dot products.
+func TestTransform2DMatchesTensorBasis(t *testing.T) {
+	r := zipf.NewRNG(21)
+	const u = 8
+	v := randomGrid(r, u)
+	w := Transform2D(v)
+	for i := int64(0); i < u; i++ {
+		for j := int64(0); j < u; j++ {
+			var dot float64
+			for x := int64(0); x < u; x++ {
+				for y := int64(0); y < u; y++ {
+					dot += v[x][y] * BasisAt(i, x, u) * BasisAt(j, y, u)
+				}
+			}
+			if !almostEq(w[i][j], dot, 1e-9) {
+				t.Errorf("W[%d][%d] = %v, want %v", i, j, w[i][j], dot)
+			}
+		}
+	}
+}
+
+func TestTransform2DEnergy(t *testing.T) {
+	r := zipf.NewRNG(22)
+	const u = 16
+	v := randomGrid(r, u)
+	w := Transform2D(v)
+	var ev, ew float64
+	for x := range v {
+		ev += Energy(v[x])
+		ew += Energy(w[x])
+	}
+	if !almostEq(ev, ew, 1e-9) {
+		t.Errorf("2D energy not preserved: %v vs %v", ev, ew)
+	}
+}
+
+func TestSparseTransform2DMatchesDense(t *testing.T) {
+	r := zipf.NewRNG(23)
+	const u = 8
+	freq := make(map[int64]float64)
+	v := randomGrid(r, u)
+	// Make it sparse-ish but nontrivial.
+	for x := int64(0); x < u; x++ {
+		for y := int64(0); y < u; y++ {
+			if r.Float64() < 0.6 {
+				v[x][y] = 0
+			}
+			if v[x][y] != 0 {
+				freq[Key2D(x, y, u)] = v[x][y]
+			}
+		}
+	}
+	wDense := Transform2D(v)
+	wSparse := SparseTransform2D(freq, u)
+	for i := int64(0); i < u; i++ {
+		for j := int64(0); j < u; j++ {
+			if !almostEq(wDense[i][j], wSparse[Key2D(i, j, u)], 1e-9) {
+				t.Fatalf("coef (%d,%d): dense %v sparse %v",
+					i, j, wDense[i][j], wSparse[Key2D(i, j, u)])
+			}
+		}
+	}
+}
+
+// 2D linearity: coefficients of a sum are sums of coefficients — the
+// property H-WTopk relies on in 2D (Section 3, multi-dimensional).
+func TestTransform2DLinearity(t *testing.T) {
+	r := zipf.NewRNG(24)
+	const u = 8
+	a, b := randomGrid(r, u), randomGrid(r, u)
+	sum := make([][]float64, u)
+	for x := range sum {
+		sum[x] = make([]float64, u)
+		for y := range sum[x] {
+			sum[x][y] = a[x][y] + b[x][y]
+		}
+	}
+	wa, wb, ws := Transform2D(a), Transform2D(b), Transform2D(sum)
+	for i := range ws {
+		for j := range ws[i] {
+			if !almostEq(ws[i][j], wa[i][j]+wb[i][j], 1e-9) {
+				t.Fatalf("2D linearity fails at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestKey2DRoundTrip(t *testing.T) {
+	const u = 64
+	for _, xy := range [][2]int64{{0, 0}, {5, 9}, {63, 63}, {1, 62}} {
+		k := Key2D(xy[0], xy[1], u)
+		x, y := SplitKey2D(k, u)
+		if x != xy[0] || y != xy[1] {
+			t.Errorf("round trip (%d,%d) -> %d -> (%d,%d)", xy[0], xy[1], k, x, y)
+		}
+	}
+}
+
+func TestRepresentation2DReconstruct(t *testing.T) {
+	r := zipf.NewRNG(25)
+	const u = 8
+	v := randomGrid(r, u)
+	w := Transform2D(v)
+	// Retain everything: reconstruction must be exact.
+	coefs := make([]Coef, 0, u*u)
+	for i := int64(0); i < u; i++ {
+		for j := int64(0); j < u; j++ {
+			if w[i][j] != 0 {
+				coefs = append(coefs, Coef{Index: Key2D(i, j, u), Value: w[i][j]})
+			}
+		}
+	}
+	rep := NewRepresentation2D(u, coefs)
+	got := rep.Reconstruct()
+	for x := range v {
+		for y := range v[x] {
+			if !almostEq(v[x][y], got[x][y], 1e-8) {
+				t.Fatalf("full 2D reconstruction differs at (%d,%d): %v vs %v",
+					x, y, got[x][y], v[x][y])
+			}
+		}
+	}
+	// Point estimates agree with the dense reconstruction.
+	for x := int64(0); x < u; x++ {
+		for y := int64(0); y < u; y++ {
+			if !almostEq(got[x][y], rep.PointEstimate(x, y), 1e-9) {
+				t.Fatalf("2D point estimate differs at (%d,%d)", x, y)
+			}
+		}
+	}
+}
+
+func TestSSE2D(t *testing.T) {
+	a := [][]float64{{1, 2}, {3, 4}}
+	b := [][]float64{{1, 0}, {0, 4}}
+	if got := SSE2D(a, b); got != 4+9 {
+		t.Errorf("SSE2D = %v, want 13", got)
+	}
+}
+
+func BenchmarkTransformDense(b *testing.B) {
+	r := zipf.NewRNG(1)
+	v := make([]float64, 1<<16)
+	for i := range v {
+		v[i] = r.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Transform(v)
+	}
+}
+
+func BenchmarkSparseTransform(b *testing.B) {
+	r := zipf.NewRNG(2)
+	freq := make(map[int64]float64)
+	for i := 0; i < 4096; i++ {
+		freq[r.Int63n(1<<26)] += 1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = SparseTransform(freq, 1<<26)
+	}
+}

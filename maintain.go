@@ -1,0 +1,60 @@
+package wavelethist
+
+import (
+	"fmt"
+
+	"wavelethist/internal/wavelet"
+)
+
+// MaintainedHistogram incrementally maintains a k-term wavelet histogram
+// under record insertions and deletions — the paper's closing-remarks
+// open problem, implemented with the shadow-coefficient scheme of Matias,
+// Vitter, Wang (VLDB 2000, the paper's [27]): the top-k set plus a larger
+// shadow set is kept exactly up to date in O(log u) per update, and the
+// reported top-k adapts as coefficients grow or shrink.
+type MaintainedHistogram struct {
+	m *wavelet.Maintainer
+}
+
+// NewMaintainedHistogram builds the initial tracked set with an exact
+// method (H-WTopk over the dataset) and returns a maintainable histogram.
+// shadow <= 0 defaults to 4k. Construction pays one distributed build of
+// k+shadow coefficients; every subsequent Update is O(log u) local work.
+func NewMaintainedHistogram(d *Dataset, k, shadow int, opts Options) (*MaintainedHistogram, error) {
+	if d == nil {
+		return nil, fmt.Errorf("wavelethist: nil dataset")
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("wavelethist: k must be >= 1")
+	}
+	if shadow <= 0 {
+		shadow = 4 * k
+	}
+	opts.K = k + shadow
+	res, err := Build(d, HWTopk, opts)
+	if err != nil {
+		return nil, err
+	}
+	initial := make([]wavelet.Coef, 0, res.Histogram.K())
+	for _, c := range res.Histogram.Coefficients() {
+		initial = append(initial, wavelet.Coef{Index: c.Index, Value: c.Value})
+	}
+	return &MaintainedHistogram{
+		m: wavelet.NewMaintainer(d.Domain(), initial, k, shadow),
+	}, nil
+}
+
+// Update applies delta occurrences of key x (negative = deletions).
+// O(log u).
+func (h *MaintainedHistogram) Update(x int64, delta float64) {
+	h.m.Update(x, delta)
+}
+
+// Histogram returns the current k-term histogram.
+func (h *MaintainedHistogram) Histogram() *Histogram {
+	return &Histogram{rep: h.m.Representation()}
+}
+
+// Tracked reports how many coefficients are currently tracked
+// (retained + shadow).
+func (h *MaintainedHistogram) Tracked() int { return h.m.Tracked() }

@@ -1,0 +1,91 @@
+package wavelethist
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMaintainedHistogramTracksUpdates(t *testing.T) {
+	ds := zipfDS(t, 50000, 1<<10)
+	mh, err := NewMaintainedHistogram(ds, 20, 100, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := ds.ExactFrequencies()
+
+	// A new hot key appears after the build.
+	const newHot = 999
+	for i := 0; i < 30000; i++ {
+		mh.Update(newHot, 1)
+	}
+	exact[newHot] += 30000
+
+	h := mh.Histogram()
+	est := h.PointEstimate(newHot)
+	if math.Abs(est-exact[newHot]) > 0.2*exact[newHot] {
+		t.Errorf("maintained estimate of new hot key = %v, truth %v", est, exact[newHot])
+	}
+
+	// Deletions: remove the original heaviest key entirely.
+	var oldHot int64
+	var oldC float64
+	for x, c := range exact {
+		if x != newHot && c > oldC {
+			oldHot, oldC = x, c
+		}
+	}
+	mh.Update(oldHot, -oldC)
+	exact[oldHot] = 0
+	h = mh.Histogram()
+	if got := h.PointEstimate(oldHot); math.Abs(got) > 0.1*oldC {
+		t.Errorf("deleted key still estimates %v (was %v)", got, oldC)
+	}
+}
+
+func TestMaintainedHistogramValidation(t *testing.T) {
+	if _, err := NewMaintainedHistogram(nil, 5, 0, Options{}); err == nil {
+		t.Error("accepted nil dataset")
+	}
+	ds := zipfDS(t, 1000, 1<<8)
+	if _, err := NewMaintainedHistogram(ds, 0, 0, Options{}); err == nil {
+		t.Error("accepted k = 0")
+	}
+}
+
+func TestMaintainedHistogramMatchesRebuild(t *testing.T) {
+	// After a burst of updates, the maintained histogram's SSE should be
+	// close to a from-scratch exact rebuild.
+	ds := zipfDS(t, 40000, 1<<10)
+	const k = 15
+	mh, err := NewMaintainedHistogram(ds, k, 200, Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := ds.ExactFrequencies()
+	keys := []int64{5, 100, 512, 900}
+	for i := 0; i < 8000; i++ {
+		x := keys[i%len(keys)]
+		mh.Update(x, 1)
+		exact[x]++
+	}
+	// Rebuild from the updated frequencies.
+	allKeys := make([]int64, 0)
+	for x, c := range exact {
+		for i := float64(0); i < c; i++ {
+			allKeys = append(allKeys, x)
+		}
+	}
+	ds2, err := NewDatasetFromKeys(allKeys, KeysOptions{Domain: 1 << 10, ChunkSize: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebuilt, err := Build(ds2, HWTopk, Options{K: k, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sseMaintained := mh.Histogram().SSE(exact)
+	sseRebuilt := rebuilt.Histogram.SSE(exact)
+	if sseMaintained > sseRebuilt*1.25+1e-6 {
+		t.Errorf("maintained SSE %v vs rebuilt %v", sseMaintained, sseRebuilt)
+	}
+}

@@ -1,0 +1,110 @@
+package wavelethist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"wavelethist/internal/wavelet"
+)
+
+// Binary serialization for histograms, so the summary built by an
+// expensive distributed job can be persisted, cached by a query
+// optimizer, or shipped to other services. The format is tiny by design —
+// that is the histogram's raison d'être: 16 bytes of header plus 12 bytes
+// per coefficient (4-byte index, 8-byte value) for 1D, 16 bytes per
+// coefficient for 2D (8-byte packed index).
+
+const (
+	histMagic   = uint32(0x57485354) // "WHST"
+	histMagic2D = uint32(0x57483244) // "WH2D"
+)
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (h *Histogram) MarshalBinary() ([]byte, error) {
+	if h.rep.U > math.MaxUint32 {
+		return nil, fmt.Errorf("wavelethist: domain %d too large for the 1D wire format", h.rep.U)
+	}
+	b := make([]byte, 0, 16+12*len(h.rep.Coefs))
+	b = binary.LittleEndian.AppendUint32(b, histMagic)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(h.rep.Coefs)))
+	b = binary.LittleEndian.AppendUint64(b, uint64(h.rep.U))
+	for _, c := range h.rep.Coefs {
+		b = binary.LittleEndian.AppendUint32(b, uint32(c.Index))
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(c.Value))
+	}
+	return b, nil
+}
+
+// UnmarshalHistogram parses a histogram serialized by MarshalBinary.
+func UnmarshalHistogram(b []byte) (*Histogram, error) {
+	if len(b) < 16 {
+		return nil, fmt.Errorf("wavelethist: truncated histogram (%d bytes)", len(b))
+	}
+	if binary.LittleEndian.Uint32(b) != histMagic {
+		return nil, fmt.Errorf("wavelethist: bad histogram magic")
+	}
+	k := int(binary.LittleEndian.Uint32(b[4:]))
+	u := int64(binary.LittleEndian.Uint64(b[8:]))
+	if !wavelet.IsPowerOfTwo(u) {
+		return nil, fmt.Errorf("wavelethist: corrupt domain %d", u)
+	}
+	if k < 0 || k > (len(b)-16)/12 {
+		return nil, fmt.Errorf("wavelethist: corrupt coefficient count %d", k)
+	}
+	coefs := make([]wavelet.Coef, k)
+	off := 16
+	for i := range coefs {
+		idx := int64(binary.LittleEndian.Uint32(b[off:]))
+		val := math.Float64frombits(binary.LittleEndian.Uint64(b[off+4:]))
+		if idx >= u {
+			return nil, fmt.Errorf("wavelethist: coefficient index %d outside domain %d", idx, u)
+		}
+		coefs[i] = wavelet.Coef{Index: idx, Value: val}
+		off += 12
+	}
+	return &Histogram{rep: wavelet.NewRepresentation(u, coefs)}, nil
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler for 2D histograms.
+func (h *Histogram2D) MarshalBinary() ([]byte, error) {
+	b := make([]byte, 0, 16+16*len(h.rep.Coefs))
+	b = binary.LittleEndian.AppendUint32(b, histMagic2D)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(h.rep.Coefs)))
+	b = binary.LittleEndian.AppendUint64(b, uint64(h.rep.U))
+	for _, c := range h.rep.Coefs {
+		b = binary.LittleEndian.AppendUint64(b, uint64(c.Index))
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(c.Value))
+	}
+	return b, nil
+}
+
+// UnmarshalHistogram2D parses a 2D histogram.
+func UnmarshalHistogram2D(b []byte) (*Histogram2D, error) {
+	if len(b) < 16 {
+		return nil, fmt.Errorf("wavelethist: truncated 2D histogram (%d bytes)", len(b))
+	}
+	if binary.LittleEndian.Uint32(b) != histMagic2D {
+		return nil, fmt.Errorf("wavelethist: bad 2D histogram magic")
+	}
+	k := int(binary.LittleEndian.Uint32(b[4:]))
+	u := int64(binary.LittleEndian.Uint64(b[8:]))
+	if !wavelet.IsPowerOfTwo(u) {
+		return nil, fmt.Errorf("wavelethist: corrupt grid side %d", u)
+	}
+	if k < 0 || k > (len(b)-16)/16 {
+		return nil, fmt.Errorf("wavelethist: corrupt coefficient count %d", k)
+	}
+	coefs := make([]wavelet.Coef, k)
+	off := 16
+	for i := range coefs {
+		idx := int64(binary.LittleEndian.Uint64(b[off:]))
+		val := math.Float64frombits(binary.LittleEndian.Uint64(b[off+8:]))
+		if idx >= u*u || idx < 0 {
+			return nil, fmt.Errorf("wavelethist: coefficient index %d outside grid %d²", idx, u)
+		}
+		coefs[i] = wavelet.Coef{Index: idx, Value: val}
+		off += 16
+	}
+	return &Histogram2D{rep: wavelet.NewRepresentation2D(u, coefs)}, nil
+}

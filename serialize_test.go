@@ -1,0 +1,112 @@
+package wavelethist
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramMarshalRoundTrip(t *testing.T) {
+	ds := zipfDS(t, 20000, 1<<12)
+	res, err := Build(ds, HWTopk, Options{K: 25, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := res.Histogram.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != 16+12*res.Histogram.K() {
+		t.Errorf("serialized size = %d", len(b))
+	}
+	got, err := UnmarshalHistogram(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Domain() != res.Histogram.Domain() || got.K() != res.Histogram.K() {
+		t.Fatalf("header mismatch: %d/%d vs %d/%d",
+			got.Domain(), got.K(), res.Histogram.Domain(), res.Histogram.K())
+	}
+	// Identical query behaviour.
+	for x := int64(0); x < got.Domain(); x += 97 {
+		if got.PointEstimate(x) != res.Histogram.PointEstimate(x) {
+			t.Fatalf("point estimate differs at %d", x)
+		}
+	}
+	if got.RangeCount(100, 3000) != res.Histogram.RangeCount(100, 3000) {
+		t.Error("range count differs after round trip")
+	}
+}
+
+func TestUnmarshalHistogramCorrupt(t *testing.T) {
+	ds := zipfDS(t, 1000, 1<<8)
+	res, _ := Build(ds, SendV, Options{K: 5, Seed: 1})
+	good, _ := res.Histogram.MarshalBinary()
+
+	cases := [][]byte{
+		nil,
+		good[:10],                               // truncated header
+		good[:len(good)-3],                      // truncated body
+		append([]byte{9, 9, 9, 9}, good[4:]...), // bad magic
+	}
+	// Count larger than payload.
+	big := append([]byte(nil), good...)
+	big[4] = 0xFF
+	cases = append(cases, big)
+	// Non-power-of-two domain.
+	badU := append([]byte(nil), good...)
+	badU[8] = 3
+	cases = append(cases, badU)
+	for i, b := range cases {
+		if _, err := UnmarshalHistogram(b); err == nil {
+			t.Errorf("case %d: corrupt histogram accepted", i)
+		}
+	}
+}
+
+func TestUnmarshalNeverPanicsQuick(t *testing.T) {
+	f := func(b []byte) bool {
+		_, _ = UnmarshalHistogram(b)
+		_, _ = UnmarshalHistogram2D(b)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogram2DMarshalRoundTrip(t *testing.T) {
+	const side = 16
+	xs := make([]int64, 500)
+	ys := make([]int64, 500)
+	for i := range xs {
+		xs[i], ys[i] = int64(i%side), int64((i*3)%side)
+	}
+	ds, err := NewDataset2DFromPairs(xs, ys, side, 512, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Build2D(ds, SendV2D, Options{K: 20, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := res.Histogram.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalHistogram2D(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := int64(0); x < side; x++ {
+		for y := int64(0); y < side; y++ {
+			if math.Abs(got.PointEstimate(x, y)-res.Histogram.PointEstimate(x, y)) > 1e-12 {
+				t.Fatalf("2D estimate differs at (%d,%d)", x, y)
+			}
+		}
+	}
+	// Cross-format rejection.
+	if _, err := UnmarshalHistogram(b); err == nil {
+		t.Error("1D parser accepted 2D payload")
+	}
+}

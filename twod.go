@@ -1,0 +1,170 @@
+package wavelethist
+
+import (
+	"fmt"
+
+	"wavelethist/internal/core"
+	"wavelethist/internal/hdfs"
+	"wavelethist/internal/wavelet"
+)
+
+// Multi-dimensional wavelet histograms (the paper's Sections 3-4
+// extensions). 2D datasets key records by packed pairs x·u + y over the
+// grid [0, u)²; the exact and sampling methods carry over by linearity.
+
+// Method2D selects a 2D construction algorithm.
+type Method2D string
+
+// Supported 2D methods.
+const (
+	// SendV2D is the exact ship-everything baseline in 2D.
+	SendV2D Method2D = "Send-V-2D"
+	// HWTopk2D is the exact three-round algorithm over 2D coefficients.
+	HWTopk2D Method2D = "H-WTopk-2D"
+	// TwoLevelS2D is two-level sampling over packed 2D keys.
+	TwoLevelS2D Method2D = "TwoLevel-S-2D"
+)
+
+// Dataset2D is a grid-keyed dataset.
+type Dataset2D struct {
+	fs   *hdfs.FileSystem
+	file *hdfs.File
+	side int64
+}
+
+// Side returns the grid side length u (domain is [0, u)²).
+func (d *Dataset2D) Side() int64 { return d.side }
+
+// NumRecords returns the number of records.
+func (d *Dataset2D) NumRecords() int64 { return d.file.NumRecords }
+
+// NewDataset2DFromPairs loads (x, y) key pairs over the [0, side)² grid.
+func NewDataset2DFromPairs(xs, ys []int64, side int64, chunkSize int64, seed uint64) (*Dataset2D, error) {
+	if len(xs) != len(ys) || len(xs) == 0 {
+		return nil, fmt.Errorf("wavelethist: need equal-length non-empty coordinate slices")
+	}
+	if !wavelet.IsPowerOfTwo(side) {
+		return nil, fmt.Errorf("wavelethist: grid side %d is not a power of two", side)
+	}
+	if chunkSize == 0 {
+		chunkSize = hdfs.DefaultChunkSize
+	}
+	fs := hdfs.NewFileSystem(15, chunkSize)
+	w, err := fs.Create("grid", 8)
+	if err != nil {
+		return nil, err
+	}
+	for i := range xs {
+		if xs[i] < 0 || xs[i] >= side || ys[i] < 0 || ys[i] >= side {
+			return nil, fmt.Errorf("wavelethist: pair (%d, %d) outside [0, %d)²", xs[i], ys[i], side)
+		}
+		w.Append(wavelet.Key2D(xs[i], ys[i], side))
+	}
+	return &Dataset2D{fs: fs, file: w.Close(), side: side}, nil
+}
+
+// ExactGrid scans the dataset and returns the ground-truth u×u frequency
+// grid (for accuracy evaluation; the algorithms never call this).
+func (d *Dataset2D) ExactGrid() [][]float64 {
+	grid := make([][]float64, d.side)
+	for i := range grid {
+		grid[i] = make([]float64, d.side)
+	}
+	for _, split := range d.file.Splits(0) {
+		r := hdfs.NewSequentialReader(split)
+		for {
+			rec, ok := r.Next()
+			if !ok {
+				break
+			}
+			x, y := wavelet.SplitKey2D(rec.Key, d.side)
+			grid[x][y]++
+		}
+	}
+	return grid
+}
+
+// Coarsen projects the dataset onto the smaller grid [0, side/t)² by
+// integer-dividing both coordinates by t (a power of two) — the paper's
+// remedy for sparse high-dimensional data (Section 4: "lower the
+// granularity of the data, i.e., project the data to a smaller grid
+// [u/t]^d ... so as to increase the density"). Estimates from the coarse
+// histogram apply to t×t cell blocks.
+func (d *Dataset2D) Coarsen(t int64) (*Dataset2D, error) {
+	if t < 1 || !wavelet.IsPowerOfTwo(t) {
+		return nil, fmt.Errorf("wavelethist: coarsening factor %d must be a power of two", t)
+	}
+	if t >= d.side {
+		return nil, fmt.Errorf("wavelethist: coarsening factor %d >= grid side %d", t, d.side)
+	}
+	newSide := d.side / t
+	fs := hdfs.NewFileSystem(15, hdfs.DefaultChunkSize)
+	w, err := fs.Create("grid-coarse", 8)
+	if err != nil {
+		return nil, err
+	}
+	for _, split := range d.file.Splits(0) {
+		r := hdfs.NewSequentialReader(split)
+		for {
+			rec, ok := r.Next()
+			if !ok {
+				break
+			}
+			x, y := wavelet.SplitKey2D(rec.Key, d.side)
+			w.Append(wavelet.Key2D(x/t, y/t, newSide))
+		}
+	}
+	return &Dataset2D{fs: fs, file: w.Close(), side: newSide}, nil
+}
+
+// Histogram2D is a k-term 2D wavelet histogram.
+type Histogram2D struct {
+	rep *wavelet.Representation2D
+}
+
+// Side returns the grid side length.
+func (h *Histogram2D) Side() int64 { return h.rep.U }
+
+// K returns the number of retained coefficients.
+func (h *Histogram2D) K() int { return len(h.rep.Coefs) }
+
+// PointEstimate returns the estimated frequency of cell (x, y).
+func (h *Histogram2D) PointEstimate(x, y int64) float64 { return h.rep.PointEstimate(x, y) }
+
+// Reconstruct materializes the estimated grid (O(k·u²)).
+func (h *Histogram2D) Reconstruct() [][]float64 { return h.rep.Reconstruct() }
+
+// Result2D is a 2D build outcome.
+type Result2D struct {
+	Histogram *Histogram2D
+	CommBytes int64
+	Rounds    int
+}
+
+// Build2D constructs a 2D wavelet histogram.
+func Build2D(d *Dataset2D, method Method2D, opts Options) (*Result2D, error) {
+	if d == nil || d.file == nil {
+		return nil, fmt.Errorf("wavelethist: nil dataset")
+	}
+	p := opts.toParams(d.side)
+	var out *core.Output2D
+	var err error
+	switch method {
+	case SendV2D:
+		out, err = core.NewSendV2D().Run(d.file, p)
+	case HWTopk2D:
+		out, err = core.NewHWTopk2D().Run(d.file, p)
+	case TwoLevelS2D:
+		out, err = core.NewTwoLevelS2D().Run(d.file, p)
+	default:
+		return nil, fmt.Errorf("wavelethist: unknown 2D method %q", method)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Result2D{
+		Histogram: &Histogram2D{rep: out.Rep},
+		CommBytes: out.Metrics.TotalCommBytes(),
+		Rounds:    out.Metrics.Rounds,
+	}, nil
+}

@@ -1,0 +1,214 @@
+// Package wavelethist builds wavelet histograms on large keyed datasets in
+// a (simulated) MapReduce cluster, reproducing the algorithms of
+//
+//	Jestes, Yi, Li: "Building Wavelet Histograms on Large Data in
+//	MapReduce", PVLDB 5(2), 2011.
+//
+// A wavelet histogram is the best k-term Haar wavelet representation of a
+// dataset's key-frequency vector v over the domain [0, u): the k wavelet
+// coefficients of largest magnitude. It supports point-frequency and
+// range-selectivity estimation in O(k) time and is the summary of choice
+// for query optimization and approximate analytics on massive data.
+//
+// The package exposes the paper's seven construction methods — the exact
+// Send-V, Send-Coef and H-WTopk, and the approximate Basic-S, Improved-S,
+// TwoLevel-S and Send-Sketch — running over an in-process Hadoop-like
+// runtime (simulated HDFS, Map/Combine/Shuffle/Reduce with exact
+// communication accounting, heterogeneous-cluster cost model).
+//
+// Quick start:
+//
+//	ds, _ := wavelethist.NewZipfDataset(wavelethist.ZipfOptions{
+//		Records: 1 << 20, Domain: 1 << 16, Alpha: 1.1, Seed: 42,
+//	})
+//	res, _ := wavelethist.Build(ds, wavelethist.TwoLevelS, wavelethist.Options{K: 30})
+//	fmt.Println(res.Histogram.RangeCount(1000, 2000)) // estimated selectivity
+//	fmt.Println(res.CommBytes, res.SimulatedSeconds())
+package wavelethist
+
+import (
+	"fmt"
+	"time"
+
+	"wavelethist/internal/cluster"
+	"wavelethist/internal/core"
+	"wavelethist/internal/wavelet"
+)
+
+// Method selects a construction algorithm, named as in the paper.
+type Method string
+
+// The seven methods of the paper's evaluation (Section 5).
+const (
+	// SendV ships every split's local frequency vector (exact baseline).
+	SendV Method = "Send-V"
+	// SendCoef ships every split's non-zero local wavelet coefficients
+	// (exact baseline, strictly worse than Send-V).
+	SendCoef Method = "Send-Coef"
+	// HWTopk is the paper's exact three-round modified-TPUT algorithm.
+	HWTopk Method = "H-WTopk"
+	// BasicS is level-1 random sampling with combine.
+	BasicS Method = "Basic-S"
+	// ImprovedS drops low-frequency sampled keys (biased, ≤ m/ε pairs).
+	ImprovedS Method = "Improved-S"
+	// TwoLevelS is the paper's unbiased two-level importance-sampling
+	// algorithm with O(√m/ε) communication.
+	TwoLevelS Method = "TwoLevel-S"
+	// SendSketch merges per-split GCS wavelet sketches.
+	SendSketch Method = "Send-Sketch"
+)
+
+// Methods lists all supported methods.
+func Methods() []Method {
+	return []Method{SendV, SendCoef, HWTopk, BasicS, ImprovedS, TwoLevelS, SendSketch}
+}
+
+// Exact reports whether the method returns the exact best k-term
+// representation.
+func (m Method) Exact() bool { return m == SendV || m == SendCoef || m == HWTopk }
+
+// Options configures a build.
+type Options struct {
+	// K is the number of retained coefficients (default 30).
+	K int
+	// Epsilon is the sampling error parameter for the sampling methods
+	// (default 1e-3, the scaled analogue of the paper's 1e-4).
+	Epsilon float64
+	// SplitSize is the MapReduce split size in bytes (0 = HDFS chunk
+	// size, the common Hadoop configuration).
+	SplitSize int64
+	// Seed makes randomized methods deterministic.
+	Seed uint64
+	// Parallelism bounds concurrent simulated mappers (0 = GOMAXPROCS).
+	Parallelism int
+	// SketchBytes overrides Send-Sketch's per-split budget
+	// (0 = 20KB·log2(u), the paper's recommendation).
+	SketchBytes int64
+	// DisableCombine turns off Basic-S's combiner (ablation).
+	DisableCombine bool
+}
+
+func (o Options) toParams(u int64) core.Params {
+	return core.Params{
+		U:              u,
+		K:              o.K,
+		Epsilon:        o.Epsilon,
+		SplitSize:      o.SplitSize,
+		Seed:           o.Seed,
+		Parallelism:    o.Parallelism,
+		SketchBytes:    o.SketchBytes,
+		CombineEnabled: !o.DisableCombine,
+	}.Defaults()
+}
+
+// Coefficient is one retained wavelet coefficient.
+type Coefficient struct {
+	Index int64
+	Value float64
+}
+
+// Histogram is a k-term wavelet histogram over [0, Domain()).
+type Histogram struct {
+	rep *wavelet.Representation
+}
+
+// Domain returns the key-domain size u.
+func (h *Histogram) Domain() int64 { return h.rep.U }
+
+// K returns the number of retained coefficients.
+func (h *Histogram) K() int { return h.rep.K() }
+
+// Coefficients returns the retained coefficients, largest magnitude first.
+func (h *Histogram) Coefficients() []Coefficient {
+	out := make([]Coefficient, len(h.rep.Coefs))
+	for i, c := range h.rep.Coefs {
+		out[i] = Coefficient{Index: c.Index, Value: c.Value}
+	}
+	return out
+}
+
+// PointEstimate returns the estimated frequency of key x in O(k).
+func (h *Histogram) PointEstimate(x int64) float64 { return h.rep.PointEstimate(x) }
+
+// RangeCount estimates the number of records with keys in [lo, hi]
+// (inclusive) in O(k) — range-selectivity estimation, the histogram's
+// primary application.
+func (h *Histogram) RangeCount(lo, hi int64) float64 { return h.rep.RangeSum(lo, hi) }
+
+// Reconstruct materializes the full estimated frequency vector (O(k·u)).
+func (h *Histogram) Reconstruct() []float64 { return h.rep.Reconstruct() }
+
+// SSE computes the sum of squared errors against an exact frequency map —
+// the paper's accuracy metric (Figures 6, 7, 15, 18).
+func (h *Histogram) SSE(exact map[int64]float64) float64 {
+	v := make([]float64, h.rep.U)
+	for x, c := range exact {
+		if x >= 0 && x < h.rep.U {
+			v[x] = c
+		}
+	}
+	return h.rep.SSEAgainst(v)
+}
+
+// Result is a build's outcome: the histogram plus the paper's two
+// efficiency metrics (communication and running time).
+type Result struct {
+	Histogram *Histogram
+	// CommBytes is the total intra-cluster communication: shuffled
+	// intermediate pairs plus coordinator broadcasts.
+	CommBytes int64
+	// Rounds is the number of MapReduce rounds (1 or 3).
+	Rounds int
+	// RecordsRead / BytesRead measure the map-side input scan (sampling
+	// methods read far less than the file size).
+	RecordsRead int64
+	BytesRead   int64
+	// WallTime is the real time of the in-process simulation.
+	WallTime time.Duration
+
+	metrics core.Metrics
+}
+
+// SimulatedSeconds is the modeled end-to-end running time on the paper's
+// 16-node heterogeneous cluster at its default 50% available bandwidth.
+func (r *Result) SimulatedSeconds() float64 {
+	return r.SimulatedSecondsOn(cluster.Paper())
+}
+
+// SimulatedSecondsAt models the paper's Figure 16: the same run at a
+// different fraction of the 100 Mbps switch.
+func (r *Result) SimulatedSecondsAt(bandwidthFrac float64) float64 {
+	c := cluster.Paper()
+	c.BandwidthFrac = bandwidthFrac
+	return r.SimulatedSecondsOn(c)
+}
+
+// SimulatedSecondsOn models the run on an arbitrary cluster.
+func (r *Result) SimulatedSecondsOn(c *cluster.Cluster) float64 {
+	return r.metrics.SimulatedSeconds(c)
+}
+
+// Build constructs a wavelet histogram of the dataset's key frequencies
+// with the chosen method.
+func Build(d *Dataset, method Method, opts Options) (*Result, error) {
+	if d == nil || d.file == nil {
+		return nil, fmt.Errorf("wavelethist: nil dataset")
+	}
+	alg, err := core.ByName(string(method))
+	if err != nil {
+		return nil, err
+	}
+	out, err := alg.Run(d.file, opts.toParams(d.Domain()))
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Histogram:   &Histogram{rep: out.Rep},
+		CommBytes:   out.Metrics.TotalCommBytes(),
+		Rounds:      out.Metrics.Rounds,
+		RecordsRead: out.Metrics.MapRecordsRead,
+		BytesRead:   out.Metrics.MapBytesRead,
+		WallTime:    out.Metrics.WallTime,
+		metrics:     out.Metrics,
+	}, nil
+}
