@@ -1,0 +1,125 @@
+// Command wavehistd serves wavelet histograms over HTTP: a versioned,
+// concurrent registry behind the /v1 JSON API of package serve.
+//
+// Usage:
+//
+//	wavehistd -addr :8080 -snapshots /var/lib/wavehistd
+//	wavehistd -addr :8080 -demo            # boot with a queryable demo histogram
+//
+// Then:
+//
+//	curl localhost:8080/v1/hist
+//	curl 'localhost:8080/v1/hist/demo/point?key=42'
+//	curl 'localhost:8080/v1/hist/demo/range?lo=0&hi=4095'
+//	curl -d '{"queries":[{"op":"point","key":7},{"op":"range","lo":0,"hi":99}]}' \
+//	     localhost:8080/v1/hist/demo/query
+//	curl -d '{"name":"z","kind":"zipf","records":1000000,"domain":65536,"alpha":1.1}' \
+//	     localhost:8080/v1/datasets
+//	curl -d '{"name":"h","dataset":"z","method":"TwoLevel-S","k":30}' \
+//	     localhost:8080/v1/build
+//	curl -d '{"updates":[{"key":42,"delta":5}],"flush":true}' \
+//	     localhost:8080/v1/hist/h/updates
+//	curl localhost:8080/v1/stats
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"wavelethist"
+	"wavelethist/serve"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		snapshots = flag.String("snapshots", "", "snapshot directory (persists published histograms; empty = in-memory)")
+		republish = flag.Int("republish-every", 256, "updates between automatic maintainer republishes")
+		demo      = flag.Bool("demo", false, "register a demo Zipf dataset and publish a 'demo' histogram at startup")
+	)
+	flag.Parse()
+
+	srv, err := newDaemon(*addr, *snapshots, *republish, *demo)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wavehistd:", err)
+		os.Exit(1)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("wavehistd: listening on %s", *addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "wavehistd:", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		log.Print("wavehistd: shutting down")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			srv.Close()
+		}
+	}
+}
+
+// newDaemon assembles the HTTP server (split from main so tests can run
+// it on a loopback listener).
+func newDaemon(addr, snapshots string, republish int, demo bool) (*http.Server, error) {
+	s, err := serve.NewServer(serve.Config{
+		SnapshotDir:    snapshots,
+		RepublishEvery: republish,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if demo {
+		if err := bootstrapDemo(s); err != nil {
+			return nil, fmt.Errorf("demo bootstrap: %w", err)
+		}
+	}
+	return &http.Server{
+		Addr:              addr,
+		Handler:           s,
+		ReadHeaderTimeout: 5 * time.Second,
+	}, nil
+}
+
+// bootstrapDemo registers a Zipf dataset and publishes a histogram so a
+// fresh daemon answers queries immediately.
+func bootstrapDemo(s *serve.Server) error {
+	ds, err := wavelethist.NewZipfDataset(wavelethist.ZipfOptions{
+		Records: 1 << 18, Domain: 1 << 12, Alpha: 1.1, Seed: 42,
+	})
+	if err != nil {
+		return err
+	}
+	if err := s.RegisterDataset("demo", ds); err != nil {
+		return err
+	}
+	res, err := wavelethist.Build(ds, wavelethist.TwoLevelS, wavelethist.Options{K: 30, Seed: 42})
+	if err != nil {
+		return err
+	}
+	_, err = s.Registry().Publish("demo", res.Histogram)
+	return err
+}
+
+// serveOn is a test hook: serve on an existing listener.
+func serveOn(srv *http.Server, ln net.Listener) error { return srv.Serve(ln) }

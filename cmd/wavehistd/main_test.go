@@ -1,0 +1,86 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"testing"
+	"time"
+)
+
+// TestDaemonServesDemo boots the daemon on a loopback listener with the
+// demo bootstrap and checks the full query surface end to end.
+func TestDaemonServesDemo(t *testing.T) {
+	srv, err := newDaemon("127.0.0.1:0", "", 256, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go serveOn(srv, ln)
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+
+	get := func(path string) map[string]any {
+		t.Helper()
+		var resp *http.Response
+		for i := 0; ; i++ {
+			resp, err = http.Get(base + path)
+			if err == nil {
+				break
+			}
+			if i > 50 {
+				t.Fatal(err)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s = %d: %s", path, resp.StatusCode, body)
+		}
+		var out map[string]any
+		if err := json.Unmarshal(body, &out); err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return out
+	}
+
+	if h := get("/healthz"); h["ok"] != true {
+		t.Fatalf("healthz: %v", h)
+	}
+	p := get("/v1/hist/demo/point?key=1")
+	if _, ok := p["estimate"].(float64); !ok {
+		t.Fatalf("demo point: %v", p)
+	}
+	r := get("/v1/hist/demo/range?lo=0&hi=4095")
+	// The full-domain range estimate of a 2^18-record dataset must be
+	// close to the record count (w[0] carries the total mass).
+	if est := r["estimate"].(float64); est < float64(1<<17) {
+		t.Fatalf("demo full-range estimate = %v, want ~%d", est, 1<<18)
+	}
+	list := get("/v1/hist")
+	if fmt.Sprint(list["registry_version"]) == "0" {
+		t.Fatalf("demo bootstrap did not publish: %v", list)
+	}
+}
+
+func TestDaemonRejectsBadSnapshotDir(t *testing.T) {
+	// A file in place of the snapshot dir must fail startup.
+	f := t.TempDir() + "/occupied"
+	if err := writeFile(f); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := newDaemon("127.0.0.1:0", f, 0, false); err == nil {
+		t.Fatal("newDaemon accepted a file as snapshot dir")
+	}
+}
+
+func writeFile(path string) error {
+	return os.WriteFile(path, []byte("x"), 0o644)
+}

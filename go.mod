@@ -1,0 +1,3 @@
+module wavelethist
+
+go 1.24

@@ -63,6 +63,9 @@ func NewMaintainer(u int64, initial []Coef, k, shadow int) *Maintainer {
 // K returns the maintained representation size.
 func (m *Maintainer) K() int { return m.k }
 
+// Domain returns the key-domain size u.
+func (m *Maintainer) Domain() int64 { return m.u }
+
 // Tracked returns the number of tracked (retained + shadow) coefficients.
 func (m *Maintainer) Tracked() int { return len(m.coefs) }
 

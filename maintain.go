@@ -44,6 +44,35 @@ func NewMaintainedHistogram(d *Dataset, k, shadow int, opts Options) (*Maintaine
 	}, nil
 }
 
+// MaintainHistogram starts incremental maintenance from an already-built
+// histogram — one produced by any of the seven construction methods or
+// loaded from a serialized snapshot — without paying a fresh distributed
+// build. The histogram's k' coefficients seed the tracked set; the shadow
+// slots fill in as updates touch new coefficients (the [27] adoption
+// rule). k <= 0 defaults to the histogram's own size, shadow <= 0 to 4k.
+//
+// This is the path a serving layer takes to keep a published histogram
+// fresh under a live insert/delete stream.
+func MaintainHistogram(h *Histogram, k, shadow int) (*MaintainedHistogram, error) {
+	if h == nil || h.rep == nil {
+		return nil, fmt.Errorf("wavelethist: nil histogram")
+	}
+	if k <= 0 {
+		k = h.K()
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("wavelethist: cannot maintain an empty histogram")
+	}
+	if shadow <= 0 {
+		shadow = 4 * k
+	}
+	initial := make([]wavelet.Coef, len(h.rep.Coefs))
+	copy(initial, h.rep.Coefs)
+	return &MaintainedHistogram{
+		m: wavelet.NewMaintainer(h.Domain(), initial, k, shadow),
+	}, nil
+}
+
 // Update applies delta occurrences of key x (negative = deletions).
 // O(log u).
 func (h *MaintainedHistogram) Update(x int64, delta float64) {
@@ -54,6 +83,9 @@ func (h *MaintainedHistogram) Update(x int64, delta float64) {
 func (h *MaintainedHistogram) Histogram() *Histogram {
 	return &Histogram{rep: h.m.Representation()}
 }
+
+// Domain returns the key-domain size u.
+func (h *MaintainedHistogram) Domain() int64 { return h.m.Domain() }
 
 // Tracked reports how many coefficients are currently tracked
 // (retained + shadow).

@@ -46,11 +46,14 @@ func UnmarshalHistogram(b []byte) (*Histogram, error) {
 	}
 	k := int(binary.LittleEndian.Uint32(b[4:]))
 	u := int64(binary.LittleEndian.Uint64(b[8:]))
-	if !wavelet.IsPowerOfTwo(u) {
+	if !wavelet.IsPowerOfTwo(u) || u > math.MaxUint32 {
 		return nil, fmt.Errorf("wavelethist: corrupt domain %d", u)
 	}
 	if k < 0 || k > (len(b)-16)/12 {
 		return nil, fmt.Errorf("wavelethist: corrupt coefficient count %d", k)
+	}
+	if len(b) != 16+12*k {
+		return nil, fmt.Errorf("wavelethist: %d trailing bytes after %d coefficients", len(b)-16-12*k, k)
 	}
 	coefs := make([]wavelet.Coef, k)
 	off := 16
@@ -60,6 +63,9 @@ func UnmarshalHistogram(b []byte) (*Histogram, error) {
 		if idx >= u {
 			return nil, fmt.Errorf("wavelethist: coefficient index %d outside domain %d", idx, u)
 		}
+		if math.IsNaN(val) || math.IsInf(val, 0) {
+			return nil, fmt.Errorf("wavelethist: non-finite coefficient value at index %d", idx)
+		}
 		coefs[i] = wavelet.Coef{Index: idx, Value: val}
 		off += 12
 	}
@@ -68,6 +74,9 @@ func UnmarshalHistogram(b []byte) (*Histogram, error) {
 
 // MarshalBinary implements encoding.BinaryMarshaler for 2D histograms.
 func (h *Histogram2D) MarshalBinary() ([]byte, error) {
+	if h.rep.U > 1<<31 {
+		return nil, fmt.Errorf("wavelethist: grid side %d too large for the 2D wire format", h.rep.U)
+	}
 	b := make([]byte, 0, 16+16*len(h.rep.Coefs))
 	b = binary.LittleEndian.AppendUint32(b, histMagic2D)
 	b = binary.LittleEndian.AppendUint32(b, uint32(len(h.rep.Coefs)))
@@ -89,11 +98,14 @@ func UnmarshalHistogram2D(b []byte) (*Histogram2D, error) {
 	}
 	k := int(binary.LittleEndian.Uint32(b[4:]))
 	u := int64(binary.LittleEndian.Uint64(b[8:]))
-	if !wavelet.IsPowerOfTwo(u) {
+	if !wavelet.IsPowerOfTwo(u) || u > 1<<31 {
 		return nil, fmt.Errorf("wavelethist: corrupt grid side %d", u)
 	}
 	if k < 0 || k > (len(b)-16)/16 {
 		return nil, fmt.Errorf("wavelethist: corrupt coefficient count %d", k)
+	}
+	if len(b) != 16+16*k {
+		return nil, fmt.Errorf("wavelethist: %d trailing bytes after %d coefficients", len(b)-16-16*k, k)
 	}
 	coefs := make([]wavelet.Coef, k)
 	off := 16
@@ -102,6 +114,9 @@ func UnmarshalHistogram2D(b []byte) (*Histogram2D, error) {
 		val := math.Float64frombits(binary.LittleEndian.Uint64(b[off+8:]))
 		if idx >= u*u || idx < 0 {
 			return nil, fmt.Errorf("wavelethist: coefficient index %d outside grid %d²", idx, u)
+		}
+		if math.IsNaN(val) || math.IsInf(val, 0) {
+			return nil, fmt.Errorf("wavelethist: non-finite coefficient value at index %d", idx)
 		}
 		coefs[i] = wavelet.Coef{Index: idx, Value: val}
 		off += 16

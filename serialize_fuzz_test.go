@@ -1,0 +1,154 @@
+package wavelethist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// Fuzz targets for the serialize layer: a registry loading snapshots from
+// disk must never panic on a corrupt blob, and any blob it does accept
+// must survive a marshal/unmarshal round trip unchanged.
+
+func fuzzSeedBlobs1D(t testing.TB) [][]byte {
+	t.Helper()
+	ds := zipfDS(t, 5000, 1<<10)
+	var blobs [][]byte
+	for _, k := range []int{1, 5, 30} {
+		res, err := Build(ds, SendV, Options{K: k, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := res.Histogram.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		blobs = append(blobs, b)
+	}
+	return blobs
+}
+
+func FuzzUnmarshalHistogram(f *testing.F) {
+	for _, b := range fuzzSeedBlobs1D(f) {
+		f.Add(b)
+	}
+	// Hostile seeds: valid header with NaN coefficient, trailing garbage.
+	nan := binary.LittleEndian.AppendUint32(nil, histMagic)
+	nan = binary.LittleEndian.AppendUint32(nan, 1)
+	nan = binary.LittleEndian.AppendUint64(nan, 256)
+	nan = binary.LittleEndian.AppendUint32(nan, 3)
+	nan = binary.LittleEndian.AppendUint64(nan, math.Float64bits(math.NaN()))
+	f.Add(nan)
+	f.Add(append(append([]byte(nil), nan[:16]...), 0xde, 0xad))
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		h, err := UnmarshalHistogram(b)
+		if err != nil {
+			return
+		}
+		// Accepted input: every coefficient finite, same byte length
+		// (no trailing bytes tolerated), and semantically stable under
+		// remarshal. Byte equality is deliberately not asserted: the
+		// wire format accepts coefficients in any order, while marshal
+		// emits them magnitude-sorted.
+		for _, c := range h.Coefficients() {
+			if math.IsNaN(c.Value) || math.IsInf(c.Value, 0) {
+				t.Fatalf("accepted non-finite coefficient %v", c)
+			}
+		}
+		out, err := h.MarshalBinary()
+		if err != nil {
+			t.Fatalf("remarshal of accepted blob failed: %v", err)
+		}
+		if len(out) != len(b) {
+			t.Fatalf("round trip changed size: %d bytes in, %d out", len(b), len(out))
+		}
+		h2, err := UnmarshalHistogram(out)
+		if err != nil {
+			t.Fatalf("reparse of remarshaled blob failed: %v", err)
+		}
+		if h2.Domain() != h.Domain() || h2.K() != h.K() {
+			t.Fatalf("round trip changed shape: %d/%d vs %d/%d",
+				h.Domain(), h.K(), h2.Domain(), h2.K())
+		}
+		for x := int64(0); x < h.Domain(); x += 1 + h.Domain()/7 {
+			if h2.PointEstimate(x) != h.PointEstimate(x) {
+				t.Fatalf("round trip changed estimate at %d", x)
+			}
+		}
+		if est := h.PointEstimate(0); math.IsNaN(est) {
+			t.Fatal("accepted histogram produced NaN estimate")
+		}
+		// A canonical (marshal-produced) blob must be a byte-for-byte
+		// fixed point.
+		out2, err := h2.MarshalBinary()
+		if err != nil || !bytes.Equal(out2, out) {
+			t.Fatalf("canonical blob not a fixed point (err %v)", err)
+		}
+	})
+}
+
+func FuzzUnmarshalHistogram2D(f *testing.F) {
+	const side = 16
+	xs := make([]int64, 300)
+	ys := make([]int64, 300)
+	for i := range xs {
+		xs[i], ys[i] = int64(i%side), int64((i*7)%side)
+	}
+	ds, err := NewDataset2DFromPairs(xs, ys, side, 512, 3)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, k := range []int{1, 10, 40} {
+		res, err := Build2D(ds, SendV2D, Options{K: k, Seed: 3})
+		if err != nil {
+			f.Fatal(err)
+		}
+		b, err := res.Histogram.MarshalBinary()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	inf := binary.LittleEndian.AppendUint32(nil, histMagic2D)
+	inf = binary.LittleEndian.AppendUint32(inf, 1)
+	inf = binary.LittleEndian.AppendUint64(inf, 16)
+	inf = binary.LittleEndian.AppendUint64(inf, 2)
+	inf = binary.LittleEndian.AppendUint64(inf, math.Float64bits(math.Inf(1)))
+	f.Add(inf)
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		h, err := UnmarshalHistogram2D(b)
+		if err != nil {
+			return
+		}
+		out, err := h.MarshalBinary()
+		if err != nil {
+			t.Fatalf("remarshal of accepted blob failed: %v", err)
+		}
+		if len(out) != len(b) {
+			t.Fatalf("round trip changed size: %d bytes in, %d out", len(b), len(out))
+		}
+		h2, err := UnmarshalHistogram2D(out)
+		if err != nil {
+			t.Fatalf("reparse of remarshaled blob failed: %v", err)
+		}
+		if h2.Side() != h.Side() || h2.K() != h.K() {
+			t.Fatalf("round trip changed shape: %d/%d vs %d/%d",
+				h.Side(), h.K(), h2.Side(), h2.K())
+		}
+		for x := int64(0); x < h.Side(); x += 1 + h.Side()/5 {
+			if h2.PointEstimate(x, x) != h.PointEstimate(x, x) {
+				t.Fatalf("round trip changed estimate at (%d,%d)", x, x)
+			}
+		}
+		if est := h.PointEstimate(0, 0); math.IsNaN(est) || math.IsInf(est, 0) {
+			t.Fatal("accepted histogram produced non-finite estimate")
+		}
+		out2, err := h2.MarshalBinary()
+		if err != nil || !bytes.Equal(out2, out) {
+			t.Fatalf("canonical blob not a fixed point (err %v)", err)
+		}
+	})
+}

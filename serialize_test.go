@@ -1,6 +1,7 @@
 package wavelethist
 
 import (
+	"encoding/binary"
 	"math"
 	"testing"
 	"testing/quick"
@@ -57,6 +58,14 @@ func TestUnmarshalHistogramCorrupt(t *testing.T) {
 	badU := append([]byte(nil), good...)
 	badU[8] = 3
 	cases = append(cases, badU)
+	// Trailing bytes after the declared coefficient block.
+	cases = append(cases, append(append([]byte(nil), good...), 0xAB))
+	// NaN and +Inf coefficient values.
+	for _, bits := range []uint64{math.Float64bits(math.NaN()), math.Float64bits(math.Inf(1))} {
+		bad := append([]byte(nil), good...)
+		binary.LittleEndian.PutUint64(bad[20:], bits)
+		cases = append(cases, bad)
+	}
 	for i, b := range cases {
 		if _, err := UnmarshalHistogram(b); err == nil {
 			t.Errorf("case %d: corrupt histogram accepted", i)

@@ -1,0 +1,170 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"wavelethist"
+)
+
+// Async build jobs: POST /v1/build launches one goroutine that runs a
+// (simulated-cluster) construction method over a registered dataset and
+// publishes the result; GET /v1/jobs/{id} polls it. Builds are the
+// expensive, minutes-long operation the registry's snapshot swap exists
+// to hide from query traffic.
+
+// JobState is a build job's lifecycle phase.
+type JobState string
+
+// Job lifecycle states.
+const (
+	JobRunning JobState = "running"
+	JobDone    JobState = "done"
+	JobFailed  JobState = "failed"
+)
+
+// Job is one asynchronous build. Fields other than ID are guarded by the
+// owning jobSet's mutex; read them through View or Wait.
+type Job struct {
+	ID string
+
+	name    string
+	dataset string
+	method  string
+
+	state JobState
+	err   string
+
+	// Build outcome, valid once state == JobDone.
+	version    uint64
+	k          int
+	commBytes  int64
+	rounds     int
+	wallMillis int64
+
+	done chan struct{}
+}
+
+// JobView is the JSON form of a job.
+type JobView struct {
+	ID      string   `json:"id"`
+	Name    string   `json:"name"`
+	Dataset string   `json:"dataset"`
+	Method  string   `json:"method"`
+	State   JobState `json:"state"`
+	Error   string   `json:"error,omitempty"`
+
+	Version    uint64 `json:"version,omitempty"`
+	K          int    `json:"k,omitempty"`
+	CommBytes  int64  `json:"comm_bytes,omitempty"`
+	Rounds     int    `json:"rounds,omitempty"`
+	WallMillis int64  `json:"wall_millis,omitempty"`
+}
+
+type jobSet struct {
+	mu   sync.Mutex
+	seq  int
+	jobs map[string]*Job
+	// order holds job IDs oldest-first so retention can prune finished
+	// jobs once the set exceeds maxJobs (running jobs are never pruned).
+	order   []string
+	maxJobs int
+}
+
+func newJobSet(maxJobs int) *jobSet {
+	return &jobSet{jobs: map[string]*Job{}, maxJobs: maxJobs}
+}
+
+func (js *jobSet) create(name, dataset, method string) *Job {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	js.seq++
+	j := &Job{
+		ID:      fmt.Sprintf("job-%d", js.seq),
+		name:    name,
+		dataset: dataset,
+		method:  method,
+		state:   JobRunning,
+		done:    make(chan struct{}),
+	}
+	js.jobs[j.ID] = j
+	js.order = append(js.order, j.ID)
+	if js.maxJobs > 0 && len(js.jobs) > js.maxJobs {
+		js.prune()
+	}
+	return j
+}
+
+// prune drops the oldest finished jobs until the set fits maxJobs.
+// Caller holds js.mu.
+func (js *jobSet) prune() {
+	kept := js.order[:0]
+	for _, id := range js.order {
+		j := js.jobs[id]
+		if len(js.jobs) > js.maxJobs && j != nil && j.state != JobRunning {
+			delete(js.jobs, id)
+			continue
+		}
+		kept = append(kept, id)
+	}
+	js.order = kept
+}
+
+func (js *jobSet) get(id string) (*Job, bool) {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	j, ok := js.jobs[id]
+	return j, ok
+}
+
+func (js *jobSet) view(j *Job) JobView {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	return JobView{
+		ID:         j.ID,
+		Name:       j.name,
+		Dataset:    j.dataset,
+		Method:     j.method,
+		State:      j.state,
+		Error:      j.err,
+		Version:    j.version,
+		K:          j.k,
+		CommBytes:  j.commBytes,
+		Rounds:     j.rounds,
+		WallMillis: j.wallMillis,
+	}
+}
+
+func (js *jobSet) fail(j *Job, err error) {
+	js.mu.Lock()
+	j.state = JobFailed
+	j.err = err.Error()
+	js.mu.Unlock()
+	close(j.done)
+}
+
+func (js *jobSet) finish(j *Job, e *Entry, k int, res *wavelethist.Result) {
+	js.mu.Lock()
+	j.state = JobDone
+	j.version = e.Version
+	j.k = k
+	if res != nil {
+		j.commBytes = res.CommBytes
+		j.rounds = res.Rounds
+		j.wallMillis = res.WallTime.Milliseconds()
+	}
+	js.mu.Unlock()
+	close(j.done)
+}
+
+// Wait blocks until the job leaves JobRunning (test helper; HTTP clients
+// poll GET /v1/jobs/{id} instead) or the timeout elapses.
+func (j *Job) Wait(timeout time.Duration) bool {
+	select {
+	case <-j.done:
+		return true
+	case <-time.After(timeout):
+		return false
+	}
+}

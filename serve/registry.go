@@ -1,0 +1,376 @@
+// Package serve turns built wavelet histograms into a queryable service:
+// a versioned, concurrent registry of named histograms plus an HTTP JSON
+// API (see Server) — the serving layer a query optimizer or analytics
+// frontend hits for point-frequency and range-selectivity estimates.
+//
+// The registry is built for read-heavy traffic: lookups are lock-free
+// (one atomic pointer load), so a background rebuild or a maintainer
+// republish never blocks query goroutines. Writers serialize among
+// themselves and install a new immutable snapshot with a single pointer
+// swap; readers that already hold the old snapshot keep a consistent
+// view until their query completes.
+package serve
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"wavelethist"
+)
+
+// Snapshot file extensions, matching the two wire formats of the
+// wavelethist serialize layer.
+const (
+	ext1D = ".whst"
+	ext2D = ".wh2d"
+)
+
+// Entry is one published histogram: an immutable (name, version, summary)
+// triple plus its accumulated serving stats. Exactly one of H and H2D is
+// non-nil. Entries are never mutated after publication — a republish
+// installs a fresh Entry carrying the same *Stats.
+type Entry struct {
+	Name    string
+	Version uint64 // registry version at which this entry was installed
+	H       *wavelethist.Histogram
+	H2D     *wavelethist.Histogram2D
+	Stats   *Stats
+}
+
+// Is2D reports whether the entry holds a 2D histogram.
+func (e *Entry) Is2D() bool { return e.H2D != nil }
+
+// K returns the entry's retained-coefficient count.
+func (e *Entry) K() int {
+	if e.Is2D() {
+		return e.H2D.K()
+	}
+	return e.H.K()
+}
+
+// Domain returns the key-domain size (grid side for 2D).
+func (e *Entry) Domain() int64 {
+	if e.Is2D() {
+		return e.H2D.Side()
+	}
+	return e.H.Domain()
+}
+
+// Point returns the estimated frequency of key x, recording stats.
+func (e *Entry) Point(x int64) (float64, error) {
+	defer e.Stats.Point.Start()()
+	return e.batchPoint(x)
+}
+
+// Point2D returns the estimated frequency of grid cell (x, y),
+// recording stats.
+func (e *Entry) Point2D(x, y int64) (float64, error) {
+	defer e.Stats.Point.Start()()
+	return e.batchPoint2D(x, y)
+}
+
+// Range returns the estimated number of records with keys in [lo, hi]
+// (inclusive), recording stats.
+func (e *Entry) Range(lo, hi int64) (float64, error) {
+	defer e.Stats.Range.Start()()
+	return e.batchRange(lo, hi)
+}
+
+// batchPoint / batchPoint2D / batchRange are the stats-free estimate
+// paths: batch requests record one Batch stat for the whole request
+// instead of per-query counters.
+
+func (e *Entry) batchPoint(x int64) (float64, error) {
+	if e.Is2D() {
+		return 0, fmt.Errorf("serve: %q is 2D; query with x and y", e.Name)
+	}
+	if x < 0 || x >= e.H.Domain() {
+		return 0, fmt.Errorf("serve: key %d outside domain [0, %d)", x, e.H.Domain())
+	}
+	return e.H.PointEstimate(x), nil
+}
+
+func (e *Entry) batchPoint2D(x, y int64) (float64, error) {
+	if !e.Is2D() {
+		return 0, fmt.Errorf("serve: %q is 1D; query with key", e.Name)
+	}
+	s := e.H2D.Side()
+	if x < 0 || x >= s || y < 0 || y >= s {
+		return 0, fmt.Errorf("serve: cell (%d, %d) outside grid [0, %d)²", x, y, s)
+	}
+	return e.H2D.PointEstimate(x, y), nil
+}
+
+func (e *Entry) batchRange(lo, hi int64) (float64, error) {
+	if e.Is2D() {
+		return 0, fmt.Errorf("serve: %q is 2D; range queries are 1D-only", e.Name)
+	}
+	if lo > hi {
+		return 0, fmt.Errorf("serve: empty range [%d, %d]", lo, hi)
+	}
+	return e.H.RangeCount(lo, hi), nil
+}
+
+// Snapshot is an immutable point-in-time view of the registry. Queries
+// resolved against one snapshot are mutually consistent even while
+// writers publish new versions.
+type Snapshot struct {
+	version uint64
+	entries map[string]*Entry
+}
+
+// Version returns the registry version this snapshot reflects. The
+// version advances by one on every publish or drop.
+func (s *Snapshot) Version() uint64 { return s.version }
+
+// Lookup returns the named entry.
+func (s *Snapshot) Lookup(name string) (*Entry, bool) {
+	e, ok := s.entries[name]
+	return e, ok
+}
+
+// Names returns the published histogram names, sorted.
+func (s *Snapshot) Names() []string {
+	names := make([]string, 0, len(s.entries))
+	for n := range s.entries {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Registry is a versioned, concurrent histogram registry. Reads are
+// lock-free; writes (Publish, Drop) serialize on an internal mutex,
+// copy the entry map, and swap in the new snapshot atomically.
+//
+// With a snapshot directory, every publish persists the histogram
+// through the binary wire format (atomic tmp+rename), and OpenRegistry
+// reloads the directory at startup — a restart serves the same summaries
+// it served before.
+type Registry struct {
+	mu   sync.Mutex // serializes writers
+	snap atomic.Pointer[Snapshot]
+	dir  string // "" = in-memory only
+}
+
+// NewRegistry returns an empty in-memory registry.
+func NewRegistry() *Registry {
+	r := &Registry{}
+	r.snap.Store(&Snapshot{entries: map[string]*Entry{}})
+	return r
+}
+
+// OpenRegistry returns a registry persisted under dir, loading every
+// *.whst / *.wh2d snapshot already there. The directory is created if
+// missing. A corrupt snapshot file fails the open: refusing to start is
+// safer than silently serving a poisoned registry.
+func OpenRegistry(dir string) (*Registry, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: snapshot dir: %w", err)
+	}
+	// r.dir stays unset during the load loop so reloading a snapshot
+	// doesn't immediately re-marshal and rewrite the file it came from.
+	r := NewRegistry()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("serve: snapshot dir: %w", err)
+	}
+	for _, de := range ents {
+		if de.IsDir() {
+			continue
+		}
+		ext := filepath.Ext(de.Name())
+		if ext != ext1D && ext != ext2D {
+			// Clear tmp files orphaned by a crash mid-persist.
+			if strings.Contains(de.Name(), ".tmp") {
+				os.Remove(filepath.Join(dir, de.Name()))
+			}
+			continue
+		}
+		name := strings.TrimSuffix(de.Name(), ext)
+		if err := ValidName(name); err != nil {
+			return nil, fmt.Errorf("serve: snapshot %s: %w", de.Name(), err)
+		}
+		b, err := os.ReadFile(filepath.Join(dir, de.Name()))
+		if err != nil {
+			return nil, fmt.Errorf("serve: snapshot %s: %w", de.Name(), err)
+		}
+		switch ext {
+		case ext1D:
+			h, err := wavelethist.UnmarshalHistogram(b)
+			if err != nil {
+				return nil, fmt.Errorf("serve: snapshot %s: %w", de.Name(), err)
+			}
+			if _, err := r.Publish(name, h); err != nil {
+				return nil, err
+			}
+		case ext2D:
+			h, err := wavelethist.UnmarshalHistogram2D(b)
+			if err != nil {
+				return nil, fmt.Errorf("serve: snapshot %s: %w", de.Name(), err)
+			}
+			if _, err := r.Publish2D(name, h); err != nil {
+				return nil, err
+			}
+		}
+	}
+	r.dir = dir
+	return r, nil
+}
+
+// ValidName reports whether name is usable as a histogram name: non-empty,
+// at most 128 bytes, letters/digits/dot/dash/underscore only (it doubles
+// as a snapshot file name).
+func ValidName(name string) error {
+	if name == "" || len(name) > 128 {
+		return fmt.Errorf("serve: invalid histogram name %q", name)
+	}
+	for _, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '-', c == '_':
+		default:
+			return fmt.Errorf("serve: invalid histogram name %q", name)
+		}
+	}
+	if name == "." || name == ".." {
+		return fmt.Errorf("serve: invalid histogram name %q", name)
+	}
+	return nil
+}
+
+// Snapshot returns the current immutable view. One atomic load; never
+// blocks, even mid-publish.
+func (r *Registry) Snapshot() *Snapshot { return r.snap.Load() }
+
+// Version returns the current registry version.
+func (r *Registry) Version() uint64 { return r.snap.Load().version }
+
+// Lookup returns the current entry for name.
+func (r *Registry) Lookup(name string) (*Entry, bool) {
+	return r.snap.Load().Lookup(name)
+}
+
+// Publish installs (or replaces) the named 1D histogram and returns its
+// entry. Stats carry over across republishes of the same name.
+func (r *Registry) Publish(name string, h *wavelethist.Histogram) (*Entry, error) {
+	if h == nil {
+		return nil, fmt.Errorf("serve: nil histogram")
+	}
+	return r.publish(name, &Entry{Name: name, H: h})
+}
+
+// Publish2D installs (or replaces) the named 2D histogram.
+func (r *Registry) Publish2D(name string, h *wavelethist.Histogram2D) (*Entry, error) {
+	if h == nil {
+		return nil, fmt.Errorf("serve: nil histogram")
+	}
+	return r.publish(name, &Entry{Name: name, H2D: h})
+}
+
+func (r *Registry) publish(name string, e *Entry) (*Entry, error) {
+	if err := ValidName(name); err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.dir != "" {
+		if err := r.persist(e); err != nil {
+			return nil, err
+		}
+	}
+	old := r.snap.Load()
+	next := &Snapshot{
+		version: old.version + 1,
+		entries: make(map[string]*Entry, len(old.entries)+1),
+	}
+	for n, oe := range old.entries {
+		next.entries[n] = oe
+	}
+	if prev, ok := old.entries[name]; ok {
+		e.Stats = prev.Stats // serving counters survive republish
+		if r.dir != "" && entryExt(prev) != entryExt(e) {
+			os.Remove(filepath.Join(r.dir, name+entryExt(prev)))
+		}
+	} else {
+		e.Stats = NewStats()
+	}
+	e.Version = next.version
+	next.entries[name] = e
+	r.snap.Store(next)
+	return e, nil
+}
+
+// Drop removes the named histogram (and its snapshot file, if any),
+// advancing the registry version. It reports whether the name existed.
+func (r *Registry) Drop(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	old := r.snap.Load()
+	e, ok := old.entries[name]
+	if !ok {
+		return false
+	}
+	if r.dir != "" {
+		os.Remove(filepath.Join(r.dir, name+entryExt(e)))
+	}
+	next := &Snapshot{
+		version: old.version + 1,
+		entries: make(map[string]*Entry, len(old.entries)-1),
+	}
+	for n, oe := range old.entries {
+		if n != name {
+			next.entries[n] = oe
+		}
+	}
+	r.snap.Store(next)
+	return true
+}
+
+func entryExt(e *Entry) string {
+	if e.Is2D() {
+		return ext2D
+	}
+	return ext1D
+}
+
+// persist writes the entry's wire-format blob under the snapshot dir with
+// an atomic tmp+rename, so a crash mid-write never leaves a torn file.
+func (r *Registry) persist(e *Entry) error {
+	var (
+		b   []byte
+		err error
+	)
+	if e.Is2D() {
+		b, err = e.H2D.MarshalBinary()
+	} else {
+		b, err = e.H.MarshalBinary()
+	}
+	if err != nil {
+		return fmt.Errorf("serve: marshal %q: %w", e.Name, err)
+	}
+	final := filepath.Join(r.dir, e.Name+entryExt(e))
+	tmp, err := os.CreateTemp(r.dir, e.Name+".tmp*")
+	if err != nil {
+		return fmt.Errorf("serve: persist %q: %w", e.Name, err)
+	}
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("serve: persist %q: %w", e.Name, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("serve: persist %q: %w", e.Name, err)
+	}
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("serve: persist %q: %w", e.Name, err)
+	}
+	return nil
+}

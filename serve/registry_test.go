@@ -1,0 +1,225 @@
+package serve
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"wavelethist"
+)
+
+func buildHist(t testing.TB, records int64, domain int64, k int, seed uint64) *wavelethist.Histogram {
+	t.Helper()
+	ds, err := wavelethist.NewZipfDataset(wavelethist.ZipfOptions{
+		Records: records, Domain: domain, Alpha: 1.1, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := wavelethist.Build(ds, wavelethist.TwoLevelS, wavelethist.Options{K: k, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Histogram
+}
+
+func TestRegistryPublishLookupVersion(t *testing.T) {
+	r := NewRegistry()
+	if v := r.Version(); v != 0 {
+		t.Fatalf("fresh registry version = %d", v)
+	}
+	h := buildHist(t, 20000, 1<<12, 20, 1)
+	e, err := r.Publish("zipf", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Version != 1 || r.Version() != 1 {
+		t.Fatalf("after publish: entry v%d, registry v%d", e.Version, r.Version())
+	}
+	got, ok := r.Lookup("zipf")
+	if !ok || got.H != h {
+		t.Fatal("lookup did not return the published histogram")
+	}
+	// Republish bumps the version and carries stats over.
+	got.Stats.Point.Add(7, 0)
+	e2, err := r.Publish("zipf", buildHist(t, 20000, 1<<12, 20, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.Version != 2 {
+		t.Fatalf("republished entry version = %d", e2.Version)
+	}
+	if e2.Stats != got.Stats || e2.Stats.Point.View().Count != 7 {
+		t.Fatal("stats did not carry across republish")
+	}
+	if !r.Drop("zipf") {
+		t.Fatal("drop failed")
+	}
+	if _, ok := r.Lookup("zipf"); ok {
+		t.Fatal("lookup succeeded after drop")
+	}
+	if r.Version() != 3 {
+		t.Fatalf("drop did not advance version: %d", r.Version())
+	}
+}
+
+func TestRegistryRejectsBadNames(t *testing.T) {
+	r := NewRegistry()
+	h := buildHist(t, 1000, 1<<8, 5, 1)
+	for _, name := range []string{"", "..", "a/b", "a b", "../../etc/passwd", string(make([]byte, 200))} {
+		if _, err := r.Publish(name, h); err == nil {
+			t.Errorf("published under bad name %q", name)
+		}
+	}
+}
+
+func TestRegistryPersistence(t *testing.T) {
+	dir := t.TempDir()
+	r, err := OpenRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := buildHist(t, 20000, 1<<12, 25, 3)
+	if _, err := r.Publish("persisted", h); err != nil {
+		t.Fatal(err)
+	}
+
+	xs := []int64{0, 1, 2, 3, 4, 5, 6, 7}
+	ds2, err := wavelethist.NewDataset2DFromPairs(xs, xs, 8, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := wavelethist.Build2D(ds2, wavelethist.SendV2D, wavelethist.Options{K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Publish2D("grid", res2.Histogram); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh registry over the same dir serves the same estimates.
+	r2, err := OpenRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, ok := r2.Lookup("persisted")
+	if !ok {
+		t.Fatal("persisted histogram missing after reopen")
+	}
+	for x := int64(0); x < 1<<12; x += 101 {
+		want := h.RangeCount(x, x+50)
+		got, err := e.Range(x, x+50)
+		if err != nil || got != want {
+			t.Fatalf("range(%d) after reload: got %v (%v), want %v", x, got, err, want)
+		}
+	}
+	e2, ok := r2.Lookup("grid")
+	if !ok || !e2.Is2D() {
+		t.Fatal("2D histogram missing after reopen")
+	}
+	if got, err := e2.Point2D(3, 3); err != nil || got != res2.Histogram.PointEstimate(3, 3) {
+		t.Fatalf("2D point after reload: %v, %v", got, err)
+	}
+
+	// A corrupt snapshot file fails the open rather than loading silently.
+	if err := os.WriteFile(filepath.Join(dir, "evil.whst"), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenRegistry(dir); err == nil {
+		t.Fatal("OpenRegistry accepted a corrupt snapshot")
+	}
+}
+
+// TestConcurrentReadersDuringPublish is the registry-level race check:
+// hammering Point/Range lookups while a writer republishes must be safe
+// (run with -race) and every read must see a complete, consistent entry.
+func TestConcurrentReadersDuringPublish(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.Publish("hot", buildHist(t, 20000, 1<<12, 30, 1)); err != nil {
+		t.Fatal(err)
+	}
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				e, ok := r.Lookup("hot")
+				if !ok {
+					t.Error("entry vanished mid-republish")
+					return
+				}
+				if _, err := e.Point(100); err != nil {
+					t.Errorf("point: %v", err)
+					return
+				}
+				if _, err := e.Range(0, 1<<11); err != nil {
+					t.Errorf("range: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	for seed := uint64(2); seed < 12; seed++ {
+		if _, err := r.Publish("hot", buildHist(t, 5000, 1<<12, 30, seed)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	if got := r.Version(); got != 11 {
+		t.Fatalf("version after 11 publishes = %d", got)
+	}
+}
+
+// BenchmarkServeRange measures parallel range-selectivity throughput on a
+// hot k=30 histogram through the full serving path (snapshot load, entry
+// lookup, stats recording). Acceptance floor: >= 100k estimates/sec.
+func BenchmarkServeRange(b *testing.B) {
+	r := NewRegistry()
+	if _, err := r.Publish("hot", buildHist(b, 1<<18, 1<<16, 30, 1)); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		var i int64
+		for pb.Next() {
+			e, ok := r.Lookup("hot")
+			if !ok {
+				b.Error("entry missing")
+				return
+			}
+			lo := (i * 7919) % (1 << 15)
+			if _, err := e.Range(lo, lo+1024); err != nil {
+				b.Error(err)
+				return
+			}
+			i++
+		}
+	})
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "est/s")
+}
+
+// BenchmarkServePoint is the companion point-query throughput benchmark.
+func BenchmarkServePoint(b *testing.B) {
+	r := NewRegistry()
+	if _, err := r.Publish("hot", buildHist(b, 1<<18, 1<<16, 30, 1)); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		var i int64
+		for pb.Next() {
+			e, _ := r.Lookup("hot")
+			if _, err := e.Point((i * 6151) % (1 << 16)); err != nil {
+				b.Error(err)
+				return
+			}
+			i++
+		}
+	})
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "est/s")
+}

@@ -1,0 +1,692 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"wavelethist"
+)
+
+// Config tunes a Server. The zero value is usable: in-memory registry,
+// default batch and body limits.
+type Config struct {
+	// SnapshotDir persists published histograms (loaded at startup,
+	// written on publish). Empty = in-memory only.
+	SnapshotDir string
+	// RepublishEvery is how many applied updates trigger an automatic
+	// atomic republish of a maintained histogram's adapted top-k
+	// (default 256). Clients can force one with "flush": true.
+	RepublishEvery int
+	// MaxBatch bounds queries per batch request and updates per update
+	// request (default 4096).
+	MaxBatch int
+	// MaxBodyBytes bounds request bodies (default 8 MiB).
+	MaxBodyBytes int64
+	// MaxDatasetRecords bounds synthetic dataset creation via the API
+	// (default 1<<22), keeping a hostile request from exhausting memory.
+	MaxDatasetRecords int64
+	// MaxDomain bounds dataset domain size via the API (default 1<<24).
+	MaxDomain int64
+	// MaxConcurrentBuilds bounds simultaneous build jobs (default 4);
+	// further POST /v1/build requests get 429 until a slot frees.
+	MaxConcurrentBuilds int
+	// MaxJobs bounds retained job records (default 1024); the oldest
+	// finished jobs are pruned as new ones are created.
+	MaxJobs int
+}
+
+func (c Config) withDefaults() Config {
+	if c.RepublishEvery <= 0 {
+		c.RepublishEvery = 256
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 4096
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.MaxDatasetRecords <= 0 {
+		c.MaxDatasetRecords = 1 << 22
+	}
+	if c.MaxDomain <= 0 {
+		c.MaxDomain = 1 << 24
+	}
+	if c.MaxConcurrentBuilds <= 0 {
+		c.MaxConcurrentBuilds = 4
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 1024
+	}
+	return c
+}
+
+// maintained pairs a published name with its live maintainer. The
+// maintainer itself is single-writer; mu serializes update batches while
+// query traffic keeps hitting the registry's last-published snapshot.
+type maintained struct {
+	mu      sync.Mutex
+	mh      *wavelethist.MaintainedHistogram
+	pending int // updates applied since the last republish
+	// base is the entry version this maintainer's state derives from
+	// (seed or last republish). A republish is allowed only while the
+	// registry still holds that version — otherwise a concurrent
+	// rebuild has superseded this lineage.
+	base uint64
+}
+
+// Server is the wavehistd HTTP handler: a registry plus dataset store,
+// build-job runner, and the /v1 JSON API.
+type Server struct {
+	cfg      Config
+	reg      *Registry
+	jobs     *jobSet
+	buildSem chan struct{} // bounds concurrent build goroutines
+	mux      *http.ServeMux
+
+	mu       sync.Mutex
+	datasets map[string]*wavelethist.Dataset
+	maints   map[string]*maintained
+}
+
+// NewServer builds a Server, loading SnapshotDir if configured.
+func NewServer(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	var (
+		reg *Registry
+		err error
+	)
+	if cfg.SnapshotDir != "" {
+		reg, err = OpenRegistry(cfg.SnapshotDir)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		reg = NewRegistry()
+	}
+	s := &Server{
+		cfg:      cfg,
+		reg:      reg,
+		jobs:     newJobSet(cfg.MaxJobs),
+		buildSem: make(chan struct{}, cfg.MaxConcurrentBuilds),
+		mux:      http.NewServeMux(),
+		datasets: map[string]*wavelethist.Dataset{},
+		maints:   map[string]*maintained{},
+	}
+	s.routes()
+	return s, nil
+}
+
+// Registry exposes the underlying registry for embedding and tests.
+func (s *Server) Registry() *Registry { return s.reg }
+
+// RegisterDataset makes a dataset buildable by name via POST /v1/build.
+func (s *Server) RegisterDataset(name string, ds *wavelethist.Dataset) error {
+	if err := ValidName(name); err != nil {
+		return err
+	}
+	if ds == nil {
+		return fmt.Errorf("serve: nil dataset")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.datasets[name] = ds
+	return nil
+}
+
+func (s *Server) dataset(name string) (*wavelethist.Dataset, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ds, ok := s.datasets[name]
+	return ds, ok
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/hist", s.handleList)
+	s.mux.HandleFunc("GET /v1/hist/{name}/point", s.handlePoint)
+	s.mux.HandleFunc("GET /v1/hist/{name}/range", s.handleRange)
+	s.mux.HandleFunc("POST /v1/hist/{name}/query", s.handleBatch)
+	s.mux.HandleFunc("POST /v1/hist/{name}/updates", s.handleUpdates)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/datasets", s.handleListDatasets)
+	s.mux.HandleFunc("POST /v1/datasets", s.handleCreateDataset)
+	s.mux.HandleFunc("POST /v1/build", s.handleBuild)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+}
+
+// --- JSON plumbing ---
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+func queryInt64(r *http.Request, key string) (int64, error) {
+	v := r.URL.Query().Get(key)
+	if v == "" {
+		return 0, fmt.Errorf("missing query parameter %q", key)
+	}
+	return strconv.ParseInt(v, 10, 64)
+}
+
+func (s *Server) entry(w http.ResponseWriter, r *http.Request) (*Entry, bool) {
+	name := r.PathValue("name")
+	e, ok := s.reg.Lookup(name)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no histogram %q", name)
+		return nil, false
+	}
+	return e, true
+}
+
+// --- handlers ---
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "version": s.reg.Version()})
+}
+
+// HistInfo describes one published histogram in GET /v1/hist.
+type HistInfo struct {
+	Name    string `json:"name"`
+	Version uint64 `json:"version"`
+	Kind    string `json:"kind"` // "1d" | "2d"
+	K       int    `json:"k"`
+	Domain  int64  `json:"domain"`
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	snap := s.reg.Snapshot()
+	names := snap.Names()
+	infos := make([]HistInfo, 0, len(names))
+	for _, n := range names {
+		e, _ := snap.Lookup(n)
+		kind := "1d"
+		if e.Is2D() {
+			kind = "2d"
+		}
+		infos = append(infos, HistInfo{
+			Name: n, Version: e.Version, Kind: kind, K: e.K(), Domain: e.Domain(),
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"registry_version": snap.Version(),
+		"histograms":       infos,
+	})
+}
+
+func (s *Server) handlePoint(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.entry(w, r)
+	if !ok {
+		return
+	}
+	var (
+		est float64
+		err error
+	)
+	resp := map[string]any{"name": e.Name, "version": e.Version}
+	if e.Is2D() {
+		x, errX := queryInt64(r, "x")
+		y, errY := queryInt64(r, "y")
+		if errX != nil || errY != nil {
+			writeErr(w, http.StatusBadRequest, "2D point query needs integer x and y")
+			return
+		}
+		est, err = e.Point2D(x, y)
+		resp["x"], resp["y"] = x, y
+	} else {
+		var key int64
+		key, err = queryInt64(r, "key")
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		est, err = e.Point(key)
+		resp["key"] = key
+	}
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	resp["estimate"] = est
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.entry(w, r)
+	if !ok {
+		return
+	}
+	lo, errLo := queryInt64(r, "lo")
+	hi, errHi := queryInt64(r, "hi")
+	if errLo != nil || errHi != nil {
+		writeErr(w, http.StatusBadRequest, "range query needs integer lo and hi")
+		return
+	}
+	est, err := e.Range(lo, hi)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"name": e.Name, "version": e.Version, "lo": lo, "hi": hi, "estimate": est,
+	})
+}
+
+// BatchQuery is one query in POST /v1/hist/{name}/query.
+type BatchQuery struct {
+	Op  string `json:"op"` // "point" | "range"
+	Key int64  `json:"key,omitempty"`
+	X   int64  `json:"x,omitempty"`
+	Y   int64  `json:"y,omitempty"`
+	Lo  int64  `json:"lo,omitempty"`
+	Hi  int64  `json:"hi,omitempty"`
+}
+
+// BatchResult is one per-query outcome.
+type BatchResult struct {
+	Estimate float64 `json:"estimate"`
+	Error    string  `json:"error,omitempty"`
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.entry(w, r)
+	if !ok {
+		return
+	}
+	var req struct {
+		Queries []BatchQuery `json:"queries"`
+	}
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeErr(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	if len(req.Queries) > s.cfg.MaxBatch {
+		writeErr(w, http.StatusBadRequest, "batch of %d exceeds limit %d", len(req.Queries), s.cfg.MaxBatch)
+		return
+	}
+	// One snapshot resolution and one timestamp pair for the whole
+	// batch — the amortization the endpoint exists for.
+	t0 := time.Now()
+	results := make([]BatchResult, len(req.Queries))
+	for i, q := range req.Queries {
+		var (
+			est float64
+			err error
+		)
+		switch q.Op {
+		case "point":
+			if e.Is2D() {
+				est, err = e.batchPoint2D(q.X, q.Y)
+			} else {
+				est, err = e.batchPoint(q.Key)
+			}
+		case "range":
+			est, err = e.batchRange(q.Lo, q.Hi)
+		default:
+			err = fmt.Errorf("unknown op %q (want point or range)", q.Op)
+		}
+		results[i] = BatchResult{Estimate: est}
+		if err != nil {
+			results[i] = BatchResult{Error: err.Error()}
+		}
+	}
+	e.Stats.Batch.Add(1, time.Since(t0))
+	writeJSON(w, http.StatusOK, map[string]any{
+		"name": e.Name, "version": e.Version, "results": results,
+	})
+}
+
+// KeyUpdate is one insertion/deletion in POST /v1/hist/{name}/updates.
+type KeyUpdate struct {
+	Key   int64   `json:"key"`
+	Delta float64 `json:"delta"` // negative = deletions
+}
+
+func (s *Server) handleUpdates(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.entry(w, r)
+	if !ok {
+		return
+	}
+	if e.Is2D() {
+		writeErr(w, http.StatusBadRequest, "updates are 1D-only")
+		return
+	}
+	var req struct {
+		Updates []KeyUpdate `json:"updates"`
+		Flush   bool        `json:"flush,omitempty"`
+	}
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if len(req.Updates) > s.cfg.MaxBatch {
+		writeErr(w, http.StatusBadRequest, "update batch of %d exceeds limit %d", len(req.Updates), s.cfg.MaxBatch)
+		return
+	}
+	m, err := s.maintainer(e)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+
+	t0 := time.Now()
+	m.mu.Lock()
+	// Validate against the maintainer's own domain, not the (possibly
+	// newer) registry entry's: a concurrent rebuild may have published a
+	// different-domain histogram, and keys valid there would panic the
+	// old maintainer.
+	dom := m.mh.Domain()
+	for _, u := range req.Updates {
+		if u.Key < 0 || u.Key >= dom {
+			m.mu.Unlock()
+			writeErr(w, http.StatusBadRequest, "update key %d outside domain [0, %d)", u.Key, dom)
+			return
+		}
+	}
+	for _, u := range req.Updates {
+		m.mh.Update(u.Key, u.Delta)
+	}
+	m.pending += len(req.Updates)
+	republish := req.Flush || m.pending >= s.cfg.RepublishEvery
+	var (
+		version uint64
+		tracked = m.mh.Tracked()
+	)
+	if republish {
+		// Publish the adapted top-k atomically; in-flight queries keep
+		// the old snapshot, new ones see the fresh coefficients. Under
+		// s.mu, verify this maintainer is still the registered one AND
+		// its base version still matches the registry — a concurrent
+		// rebuild invalidates both, and a stale maintainer must never
+		// overwrite a freshly built histogram.
+		s.mu.Lock()
+		cur, ok := s.reg.Lookup(e.Name)
+		if s.maints[e.Name] != m || !ok || cur.Version != m.base {
+			if s.maints[e.Name] == m {
+				delete(s.maints, e.Name) // obsolete lineage; reseed next time
+			}
+			s.mu.Unlock()
+			m.mu.Unlock()
+			writeErr(w, http.StatusConflict, "histogram %q was rebuilt concurrently; re-send updates", e.Name)
+			return
+		}
+		ne, perr := s.reg.Publish(e.Name, m.mh.Histogram())
+		s.mu.Unlock()
+		if perr != nil {
+			m.mu.Unlock()
+			writeErr(w, http.StatusInternalServerError, "republish: %v", perr)
+			return
+		}
+		version = ne.Version
+		m.base = ne.Version
+		m.pending = 0
+	} else {
+		version = s.reg.Version()
+	}
+	m.mu.Unlock()
+	e.Stats.Update.Add(int64(len(req.Updates)), time.Since(t0))
+
+	writeJSON(w, http.StatusOK, map[string]any{
+		"name":        e.Name,
+		"applied":     len(req.Updates),
+		"republished": republish,
+		"version":     version,
+		"tracked":     tracked,
+	})
+}
+
+// maintainer returns (creating on first use) the live maintainer for a
+// published 1D histogram, seeded from its current coefficients. The
+// registry entry is re-resolved under s.mu: the caller's entry may be
+// stale if a rebuild published (and invalidated the old maintainer)
+// between the caller's lookup and this call — seeding from it would
+// let a later republish silently overwrite the fresh build.
+func (s *Server) maintainer(e *Entry) (*maintained, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if m, ok := s.maints[e.Name]; ok {
+		return m, nil
+	}
+	cur, ok := s.reg.Lookup(e.Name)
+	if !ok || cur.Is2D() {
+		return nil, fmt.Errorf("serve: %q no longer maintainable", e.Name)
+	}
+	mh, err := wavelethist.MaintainHistogram(cur.H, cur.K(), 0)
+	if err != nil {
+		return nil, err
+	}
+	m := &maintained{mh: mh, base: cur.Version}
+	s.maints[e.Name] = m
+	return m, nil
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	snap := s.reg.Snapshot()
+	per := make(map[string]any, len(snap.entries))
+	for _, n := range snap.Names() {
+		e, _ := snap.Lookup(n)
+		per[n] = map[string]any{
+			"version": e.Version,
+			"k":       e.K(),
+			"domain":  e.Domain(),
+			"stats":   e.Stats.View(),
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"registry_version": snap.Version(),
+		"histograms":       per,
+	})
+}
+
+// DatasetRequest creates a dataset via POST /v1/datasets.
+type DatasetRequest struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"` // "zipf" | "worldcup" | "keys"
+
+	// zipf
+	Records int64   `json:"records,omitempty"`
+	Domain  int64   `json:"domain,omitempty"`
+	Alpha   float64 `json:"alpha,omitempty"`
+	Seed    uint64  `json:"seed,omitempty"`
+
+	// worldcup
+	ClientBits uint `json:"client_bits,omitempty"`
+	ObjectBits uint `json:"object_bits,omitempty"`
+
+	// keys
+	Keys []int64 `json:"keys,omitempty"`
+}
+
+func (s *Server) handleCreateDataset(w http.ResponseWriter, r *http.Request) {
+	var req DatasetRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if err := ValidName(req.Name); err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if req.Records > s.cfg.MaxDatasetRecords || int64(len(req.Keys)) > s.cfg.MaxDatasetRecords {
+		writeErr(w, http.StatusBadRequest, "dataset exceeds record limit %d", s.cfg.MaxDatasetRecords)
+		return
+	}
+	if req.Domain > s.cfg.MaxDomain {
+		writeErr(w, http.StatusBadRequest, "domain exceeds limit %d", s.cfg.MaxDomain)
+		return
+	}
+	var (
+		ds  *wavelethist.Dataset
+		err error
+	)
+	switch req.Kind {
+	case "zipf":
+		ds, err = wavelethist.NewZipfDataset(wavelethist.ZipfOptions{
+			Records: req.Records, Domain: req.Domain, Alpha: req.Alpha, Seed: req.Seed,
+		})
+	case "worldcup":
+		ds, err = wavelethist.NewWorldCupDataset(wavelethist.WorldCupOptions{
+			Records: req.Records, ClientBits: req.ClientBits,
+			ObjectBits: req.ObjectBits, Seed: req.Seed,
+		})
+	case "keys":
+		ds, err = wavelethist.NewDatasetFromKeys(req.Keys, wavelethist.KeysOptions{Domain: req.Domain})
+	default:
+		writeErr(w, http.StatusBadRequest, "unknown dataset kind %q (want zipf, worldcup or keys)", req.Kind)
+		return
+	}
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := s.RegisterDataset(req.Name, ds); err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{
+		"name":    req.Name,
+		"records": ds.NumRecords(),
+		"domain":  ds.Domain(),
+		"splits":  ds.NumSplits(0),
+	})
+}
+
+func (s *Server) handleListDatasets(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	out := make(map[string]any, len(s.datasets))
+	for n, ds := range s.datasets {
+		out[n] = map[string]any{
+			"records": ds.NumRecords(), "domain": ds.Domain(), "splits": ds.NumSplits(0),
+		}
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"datasets": out})
+}
+
+// BuildRequest launches an async build via POST /v1/build.
+type BuildRequest struct {
+	Name    string  `json:"name"`    // histogram name to publish as
+	Dataset string  `json:"dataset"` // registered dataset
+	Method  string  `json:"method"`  // one of the paper's seven methods
+	K       int     `json:"k,omitempty"`
+	Epsilon float64 `json:"epsilon,omitempty"`
+	Seed    uint64  `json:"seed,omitempty"`
+	// Maintain seeds a live maintainer from the built histogram so the
+	// updates endpoint keeps it fresh; Shadow sizes its shadow set.
+	Maintain bool `json:"maintain,omitempty"`
+	Shadow   int  `json:"shadow,omitempty"`
+}
+
+func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
+	var req BuildRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if err := ValidName(req.Name); err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ds, ok := s.dataset(req.Dataset)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no dataset %q", req.Dataset)
+		return
+	}
+	valid := false
+	for _, m := range wavelethist.Methods() {
+		if string(m) == req.Method {
+			valid = true
+			break
+		}
+	}
+	if !valid {
+		writeErr(w, http.StatusBadRequest, "unknown method %q", req.Method)
+		return
+	}
+	select {
+	case s.buildSem <- struct{}{}:
+	default:
+		writeErr(w, http.StatusTooManyRequests, "at build-concurrency limit %d; retry later", s.cfg.MaxConcurrentBuilds)
+		return
+	}
+	job := s.jobs.create(req.Name, req.Dataset, req.Method)
+	go s.runBuild(job, ds, req)
+	writeJSON(w, http.StatusAccepted, map[string]any{
+		"job":        job.ID,
+		"status_url": "/v1/jobs/" + job.ID,
+	})
+}
+
+func (s *Server) runBuild(job *Job, ds *wavelethist.Dataset, req BuildRequest) {
+	defer func() { <-s.buildSem }()
+	res, err := wavelethist.Build(ds, wavelethist.Method(req.Method), wavelethist.Options{
+		K: req.K, Epsilon: req.Epsilon, Seed: req.Seed,
+	})
+	if err != nil {
+		s.jobs.fail(job, err)
+		return
+	}
+	// A fresh build supersedes any maintainer state accumulated against
+	// the previous version of this name. Deregister BEFORE publishing:
+	// handleUpdates republishes only while its maintainer is still
+	// registered (checked under s.mu), so this ordering ensures any
+	// racing stale republish lands before — never after — the build's
+	// publish below.
+	s.mu.Lock()
+	delete(s.maints, req.Name)
+	s.mu.Unlock()
+	e, err := s.reg.Publish(req.Name, res.Histogram)
+	if err != nil {
+		s.jobs.fail(job, err)
+		return
+	}
+	if req.Maintain {
+		mh, merr := wavelethist.MaintainHistogram(res.Histogram, res.Histogram.K(), req.Shadow)
+		if merr != nil {
+			s.jobs.fail(job, fmt.Errorf("histogram published at version %d, but maintainer setup failed: %w", e.Version, merr))
+			return
+		}
+		s.mu.Lock()
+		s.maints[req.Name] = &maintained{mh: mh, base: e.Version}
+		s.mu.Unlock()
+	}
+	s.jobs.finish(job, e, res.Histogram.K(), res)
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := s.jobs.get(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no job %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.jobs.view(j))
+}

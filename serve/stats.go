@@ -1,0 +1,77 @@
+package serve
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// OpStats is a lock-free counter/latency accumulator for one operation
+// class. Safe for concurrent use from any number of query goroutines.
+type OpStats struct {
+	count atomic.Int64
+	nanos atomic.Int64
+}
+
+// Start records one operation and returns the function that stops its
+// latency clock: defer stats.Point.Start()().
+func (o *OpStats) Start() func() {
+	t0 := time.Now()
+	return func() {
+		o.count.Add(1)
+		o.nanos.Add(int64(time.Since(t0)))
+	}
+}
+
+// Add records n operations that took a combined d.
+func (o *OpStats) Add(n int64, d time.Duration) {
+	o.count.Add(n)
+	o.nanos.Add(int64(d))
+}
+
+// View returns a consistent-enough copy for reporting.
+func (o *OpStats) View() OpStatsView {
+	n := o.count.Load()
+	ns := o.nanos.Load()
+	v := OpStatsView{Count: n}
+	if n > 0 {
+		v.MeanMicros = float64(ns) / float64(n) / 1e3
+	}
+	return v
+}
+
+// OpStatsView is the JSON form of OpStats.
+type OpStatsView struct {
+	Count      int64   `json:"count"`
+	MeanMicros float64 `json:"mean_micros"`
+}
+
+// Stats aggregates per-histogram serving counters. The same *Stats is
+// carried across republishes of a name, so counts reflect the histogram's
+// whole serving lifetime, not just the latest version.
+type Stats struct {
+	Point  OpStats
+	Range  OpStats
+	Batch  OpStats // batch requests (each may hold many queries)
+	Update OpStats // individual key updates applied
+}
+
+// NewStats returns zeroed stats.
+func NewStats() *Stats { return &Stats{} }
+
+// View returns the JSON form.
+func (s *Stats) View() StatsView {
+	return StatsView{
+		Point:  s.Point.View(),
+		Range:  s.Range.View(),
+		Batch:  s.Batch.View(),
+		Update: s.Update.View(),
+	}
+}
+
+// StatsView is the JSON form of Stats.
+type StatsView struct {
+	Point  OpStatsView `json:"point"`
+	Range  OpStatsView `json:"range"`
+	Batch  OpStatsView `json:"batch"`
+	Update OpStatsView `json:"update"`
+}
