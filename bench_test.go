@@ -8,10 +8,12 @@
 package wavelethist_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
 	"wavelethist"
+	"wavelethist/dist"
 	"wavelethist/internal/core"
 	"wavelethist/internal/datagen"
 	"wavelethist/internal/exper"
@@ -97,6 +99,35 @@ func BenchmarkMethod(b *testing.B) {
 	}
 }
 
+// BenchmarkDistributedBuild measures distributed loopback builds on a
+// 3-worker fleet, reporting the measured wire traffic of the
+// coordinator↔worker RPCs alongside ns/op — the real-communication
+// analogue of BenchmarkMethod's modeled commBytes.
+func BenchmarkDistributedBuild(b *testing.B) {
+	ds, err := wavelethist.NewZipfDataset(wavelethist.ZipfOptions{
+		Records: 1 << 17, Domain: 1 << 13, Alpha: 1.1, ChunkSize: 8 << 10, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	coord, _ := dist.NewLoopbackCluster(3, 2, dist.Config{})
+	for _, m := range []wavelethist.Method{wavelethist.SendV, wavelethist.TwoLevelS, wavelethist.SendSketch} {
+		b.Run(string(m), func(b *testing.B) {
+			var res *wavelethist.Result
+			for i := 0; i < b.N; i++ {
+				res, err = wavelethist.BuildDistributed(context.Background(), ds, m, wavelethist.Options{
+					K: 30, Epsilon: 8e-3, Seed: 2,
+				}, coord)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(res.WireBytes), "wireBytes")
+			b.ReportMetric(float64(res.ModelCommBytes), "modelCommBytes")
+		})
+	}
+}
+
 // --- Ablations (DESIGN.md Section 5) ---
 
 // BenchmarkAblationSparseVsDense compares the O(u) dense transform against
@@ -157,7 +188,7 @@ func BenchmarkAblationSecondLevel(b *testing.B) {
 		b.Run(alg.Name(), func(b *testing.B) {
 			var out *core.Output
 			for i := 0; i < b.N; i++ {
-				out, err = alg.Run(f, p)
+				out, err = alg.Run(context.Background(), f, p)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -188,7 +219,7 @@ func BenchmarkAblationCombiner(b *testing.B) {
 					CombineEnabled: combine}.Defaults()
 				var out *core.Output
 				for i := 0; i < b.N; i++ {
-					out, err = core.NewBasicS().Run(f, p)
+					out, err = core.NewBasicS().Run(context.Background(), f, p)
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -219,7 +250,7 @@ func BenchmarkAblationGCSDegree(b *testing.B) {
 			p := core.Params{U: u, K: 30, Epsilon: 5e-3, Seed: 11,
 				SketchDegree: degree, SketchBytes: 64 << 10}.Defaults()
 			for i := 0; i < b.N; i++ {
-				if _, err := core.NewSendSketch().Run(f, p); err != nil {
+				if _, err := core.NewSendSketch().Run(context.Background(), f, p); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -244,7 +275,7 @@ func BenchmarkAblationSplitCount(b *testing.B) {
 					SplitSize: splitKB << 10, CombineEnabled: true}.Defaults()
 				var out *core.Output
 				for i := 0; i < b.N; i++ {
-					out, err = alg.Run(f, p)
+					out, err = alg.Run(context.Background(), f, p)
 					if err != nil {
 						b.Fatal(err)
 					}

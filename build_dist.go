@@ -1,0 +1,47 @@
+package wavelethist
+
+import (
+	"context"
+	"fmt"
+
+	"wavelethist/dist"
+)
+
+// BuildDistributed constructs the histogram on a real multi-process
+// worker fleet instead of the in-process simulated cluster: the
+// coordinator ships the dataset's generation recipe plus split
+// assignments to waveworker processes (or an in-process loopback fleet),
+// collects their mergeable partial summaries, and merges them. Per-split
+// seeding makes the result bit-identical to Build with the same seed,
+// while Result.CommBytes reports the real measured wire traffic of the
+// coordinator↔worker RPCs and Result.ModelCommBytes the paper's modeled
+// metric for comparison against simulated builds.
+//
+// All methods except the three-round H-WTopk are supported.
+func BuildDistributed(ctx context.Context, d *Dataset, method Method, opts Options, coord *dist.Coordinator) (*Result, error) {
+	if d == nil || d.file == nil {
+		return nil, fmt.Errorf("wavelethist: nil dataset")
+	}
+	if coord == nil {
+		return nil, fmt.Errorf("wavelethist: nil coordinator")
+	}
+	if d.spec == nil {
+		return nil, fmt.Errorf("wavelethist: dataset has no distributable spec")
+	}
+	out, stats, err := coord.Build(ctx, *d.spec, d.file, string(method), opts.toParams(d.Domain()))
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Histogram:      &Histogram{rep: out.Rep},
+		CommBytes:      stats.WireBytes,
+		ModelCommBytes: out.Metrics.TotalCommBytes(),
+		WireBytes:      stats.WireBytes,
+		Distributed:    true,
+		Rounds:         out.Metrics.Rounds,
+		RecordsRead:    out.Metrics.MapRecordsRead,
+		BytesRead:      out.Metrics.MapBytesRead,
+		WallTime:       out.Metrics.WallTime,
+		metrics:        out.Metrics,
+	}, nil
+}

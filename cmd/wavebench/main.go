@@ -1,0 +1,137 @@
+// Command wavebench runs the benchmark matrix CI publishes as
+// BENCH_pr<N>.json: every construction method on a seeded Zipf dataset
+// (simulated cluster), plus distributed loopback builds of the methods
+// the acceptance gate tracks — method × comm-bytes × build-time, the
+// repo's perf trajectory over PRs.
+//
+// Usage:
+//
+//	wavebench -out BENCH_pr2.json
+//	wavebench -records 1048576 -domain 65536 -workers 4 -out bench.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"wavelethist"
+	"wavelethist/dist"
+)
+
+// Row is one benchmark measurement.
+type Row struct {
+	Method           string  `json:"method"`
+	Mode             string  `json:"mode"` // "simulated" | "distributed"
+	CommBytes        int64   `json:"comm_bytes"`
+	ModelCommBytes   int64   `json:"model_comm_bytes"`
+	WireBytes        int64   `json:"wire_bytes,omitempty"`
+	Rounds           int     `json:"rounds"`
+	RecordsRead      int64   `json:"records_read"`
+	BytesRead        int64   `json:"bytes_read"`
+	WallMillis       int64   `json:"wall_millis"`
+	SimulatedSeconds float64 `json:"simulated_seconds"`
+}
+
+// Report is the file layout.
+type Report struct {
+	GeneratedUnix int64 `json:"generated_unix"`
+	Dataset       struct {
+		Kind    string  `json:"kind"`
+		Records int64   `json:"records"`
+		Domain  int64   `json:"domain"`
+		Alpha   float64 `json:"alpha"`
+		Seed    uint64  `json:"seed"`
+		Splits  int     `json:"splits"`
+	} `json:"dataset"`
+	K       int   `json:"k"`
+	Workers int   `json:"workers"`
+	Results []Row `json:"results"`
+}
+
+func main() {
+	var (
+		out     = flag.String("out", "BENCH_pr2.json", "output file")
+		records = flag.Int64("records", 1<<19, "dataset records")
+		domain  = flag.Int64("domain", 1<<14, "key domain (power of two)")
+		alpha   = flag.Float64("alpha", 1.1, "zipf skew")
+		seed    = flag.Uint64("seed", 42, "seed")
+		k       = flag.Int("k", 30, "retained coefficients")
+		workers = flag.Int("workers", 3, "loopback workers for distributed rows")
+	)
+	flag.Parse()
+	if err := run(*out, *records, *domain, *alpha, *seed, *k, *workers); err != nil {
+		fmt.Fprintln(os.Stderr, "wavebench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out string, records, domain int64, alpha float64, seed uint64, k, workers int) error {
+	ds, err := wavelethist.NewZipfDataset(wavelethist.ZipfOptions{
+		Records: records, Domain: domain, Alpha: alpha, Seed: seed,
+	})
+	if err != nil {
+		return err
+	}
+	var rep Report
+	rep.GeneratedUnix = time.Now().Unix()
+	rep.Dataset.Kind = "zipf"
+	rep.Dataset.Records = records
+	rep.Dataset.Domain = domain
+	rep.Dataset.Alpha = alpha
+	rep.Dataset.Seed = seed
+	rep.Dataset.Splits = ds.NumSplits(0)
+	rep.K = k
+	rep.Workers = workers
+
+	opts := wavelethist.Options{K: k, Seed: seed}
+	for _, m := range wavelethist.Methods() {
+		t0 := time.Now()
+		res, err := wavelethist.Build(ds, m, opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", m, err)
+		}
+		rep.Results = append(rep.Results, row(string(m), "simulated", res, time.Since(t0)))
+		fmt.Printf("%-12s simulated    comm=%-10d wall=%v\n", m, res.CommBytes, time.Since(t0).Round(time.Millisecond))
+	}
+
+	coord, _ := dist.NewLoopbackCluster(workers, 2, dist.Config{})
+	for _, m := range []wavelethist.Method{wavelethist.SendV, wavelethist.TwoLevelS} {
+		t0 := time.Now()
+		res, err := wavelethist.BuildDistributed(context.Background(), ds, m, opts, coord)
+		if err != nil {
+			return fmt.Errorf("%s distributed: %w", m, err)
+		}
+		rep.Results = append(rep.Results, row(string(m), "distributed", res, time.Since(t0)))
+		fmt.Printf("%-12s distributed  wire=%-10d wall=%v\n", m, res.WireBytes, time.Since(t0).Round(time.Millisecond))
+	}
+
+	b, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if err := os.WriteFile(out, b, 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote", out)
+	return nil
+}
+
+func row(method, mode string, res *wavelethist.Result, wall time.Duration) Row {
+	return Row{
+		Method:           method,
+		Mode:             mode,
+		CommBytes:        res.CommBytes,
+		ModelCommBytes:   res.ModelCommBytes,
+		WireBytes:        res.WireBytes,
+		Rounds:           res.Rounds,
+		RecordsRead:      res.RecordsRead,
+		BytesRead:        res.BytesRead,
+		WallMillis:       wall.Milliseconds(),
+		SimulatedSeconds: res.SimulatedSeconds(),
+	}
+}

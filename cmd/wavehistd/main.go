@@ -1,10 +1,13 @@
 // Command wavehistd serves wavelet histograms over HTTP: a versioned,
-// concurrent registry behind the /v1 JSON API of package serve.
+// concurrent registry behind the /v1 JSON API of package serve, with
+// optional distributed builds over a waveworker fleet.
 //
 // Usage:
 //
 //	wavehistd -addr :8080 -snapshots /var/lib/wavehistd
 //	wavehistd -addr :8080 -demo            # boot with a queryable demo histogram
+//	wavehistd -addr :8080 -workers 4       # in-process loopback worker fleet
+//	wavehistd -addr :8080 -dist            # accept remote waveworker registrations
 //
 // Then:
 //
@@ -15,8 +18,10 @@
 //	     localhost:8080/v1/hist/demo/query
 //	curl -d '{"name":"z","kind":"zipf","records":1000000,"domain":65536,"alpha":1.1}' \
 //	     localhost:8080/v1/datasets
-//	curl -d '{"name":"h","dataset":"z","method":"TwoLevel-S","k":30}' \
+//	curl -d '{"name":"h","dataset":"z","method":"TwoLevel-S","k":30,"distributed":true}' \
 //	     localhost:8080/v1/build
+//	curl -X DELETE localhost:8080/v1/jobs/job-1        # cancel a running build
+//	curl localhost:8080/dist/v1/workers                # fleet status
 //	curl -d '{"updates":[{"key":42,"delta":5}],"flush":true}' \
 //	     localhost:8080/v1/hist/h/updates
 //	curl localhost:8080/v1/stats
@@ -36,6 +41,7 @@ import (
 	"time"
 
 	"wavelethist"
+	"wavelethist/dist"
 	"wavelethist/serve"
 )
 
@@ -45,10 +51,12 @@ func main() {
 		snapshots = flag.String("snapshots", "", "snapshot directory (persists published histograms; empty = in-memory)")
 		republish = flag.Int("republish-every", 256, "updates between automatic maintainer republishes")
 		demo      = flag.Bool("demo", false, "register a demo Zipf dataset and publish a 'demo' histogram at startup")
+		workers   = flag.Int("workers", 0, "spawn N in-process loopback workers for distributed builds")
+		distMode  = flag.Bool("dist", false, "accept remote waveworker registrations on /dist/v1/register")
 	)
 	flag.Parse()
 
-	srv, err := newDaemon(*addr, *snapshots, *republish, *demo)
+	srv, s, err := newDaemonDist(*addr, *snapshots, *republish, *demo, *workers, *distMode)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wavehistd:", err)
 		os.Exit(1)
@@ -76,29 +84,55 @@ func main() {
 		if err := srv.Shutdown(shutCtx); err != nil {
 			srv.Close()
 		}
+		// Cancel running build jobs and wait for their goroutines so
+		// shutdown strands nothing.
+		s.Close()
 	}
 }
 
 // newDaemon assembles the HTTP server (split from main so tests can run
 // it on a loopback listener).
 func newDaemon(addr, snapshots string, republish int, demo bool) (*http.Server, error) {
+	srv, _, err := newDaemonDist(addr, snapshots, republish, demo, 0, false)
+	return srv, err
+}
+
+// newDaemonDist additionally configures the distributed-build
+// coordinator: workers > 0 spawns an in-process loopback fleet; distMode
+// accepts remote waveworker registrations. Either enables
+// "distributed": true builds and the /dist/v1/* endpoints.
+func newDaemonDist(addr, snapshots string, republish int, demo bool, workers int, distMode bool) (*http.Server, *serve.Server, error) {
+	var coord *dist.Coordinator
+	switch {
+	case workers > 0:
+		// Loopback fleets don't heartbeat: leave expiry off. Remote
+		// workers can still join via the HTTP fallback transport.
+		coord, _ = dist.NewLoopbackCluster(workers, 0, dist.Config{})
+		log.Printf("wavehistd: distributed builds over %d in-process workers", workers)
+	case distMode:
+		coord = dist.NewCoordinator(dist.NewHTTPTransport(), dist.Config{
+			HeartbeatTimeout: 15 * time.Second,
+		})
+		log.Print("wavehistd: accepting waveworker registrations on /dist/v1/register")
+	}
 	s, err := serve.NewServer(serve.Config{
 		SnapshotDir:    snapshots,
 		RepublishEvery: republish,
+		Coordinator:    coord,
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if demo {
 		if err := bootstrapDemo(s); err != nil {
-			return nil, fmt.Errorf("demo bootstrap: %w", err)
+			return nil, nil, fmt.Errorf("demo bootstrap: %w", err)
 		}
 	}
 	return &http.Server{
 		Addr:              addr,
 		Handler:           s,
 		ReadHeaderTimeout: 5 * time.Second,
-	}, nil
+	}, s, nil
 }
 
 // bootstrapDemo registers a Zipf dataset and publishes a histogram so a

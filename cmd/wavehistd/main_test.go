@@ -7,6 +7,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"strings"
 	"testing"
 	"time"
 )
@@ -67,6 +68,93 @@ func TestDaemonServesDemo(t *testing.T) {
 	list := get("/v1/hist")
 	if fmt.Sprint(list["registry_version"]) == "0" {
 		t.Fatalf("demo bootstrap did not publish: %v", list)
+	}
+}
+
+// TestDaemonDistributedBuild boots the daemon with -workers 2 and runs a
+// distributed build end to end through the HTTP API.
+func TestDaemonDistributedBuild(t *testing.T) {
+	srv, s, err := newDaemonDist("127.0.0.1:0", "", 256, false, 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go serveOn(srv, ln)
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+
+	post := func(path, body string, wantCode int) map[string]any {
+		t.Helper()
+		var resp *http.Response
+		for i := 0; ; i++ {
+			resp, err = http.Post(base+path, "application/json", strings.NewReader(body))
+			if err == nil {
+				break
+			}
+			if i > 50 {
+				t.Fatal(err)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != wantCode {
+			t.Fatalf("POST %s = %d: %s", path, resp.StatusCode, raw)
+		}
+		var out map[string]any
+		if err := json.Unmarshal(raw, &out); err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+		return out
+	}
+
+	post("/v1/datasets", `{"name":"z","kind":"zipf","records":16384,"domain":1024,"alpha":1.1,"seed":9}`, http.StatusCreated)
+	b := post("/v1/build", `{"name":"h","dataset":"z","method":"Send-V","k":20,"seed":9,"distributed":true}`, http.StatusAccepted)
+	jobURL := fmt.Sprint(b["status_url"])
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(base + jobURL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var jv map[string]any
+		json.NewDecoder(resp.Body).Decode(&jv)
+		resp.Body.Close()
+		if jv["state"] == "done" {
+			if jv["mode"] != "distributed" {
+				t.Fatalf("job mode: %v", jv)
+			}
+			if wb, _ := jv["wire_bytes"].(float64); wb <= 0 {
+				t.Fatalf("no wire bytes measured: %v", jv)
+			}
+			break
+		}
+		if jv["state"] == "failed" || jv["state"] == "canceled" {
+			t.Fatalf("job failed: %v", jv)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job did not finish: %v", jv)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Fleet listing is mounted.
+	resp, err := http.Get(base + "/dist/v1/workers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var wl map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&wl); err != nil {
+		t.Fatal(err)
+	}
+	if ws, _ := wl["workers"].([]any); len(ws) != 2 {
+		t.Fatalf("workers listing: %v", wl)
 	}
 }
 

@@ -1,0 +1,202 @@
+// Command waveworker is one node of the distributed build fleet: it
+// serves map assignments over HTTP and keeps itself registered with a
+// wavehistd coordinator via heartbeats.
+//
+// Usage:
+//
+//	wavehistd -addr :8080 -dist                 # the coordinator
+//	waveworker -coordinator http://host:8080 -addr :9090
+//	waveworker -coordinator http://host:8080 -addr :9091 -capacity 4
+//
+// Each worker materializes registered datasets locally from their
+// deterministic generation recipes (the distributed analogue of HDFS
+// data locality), runs the assigned splits' map side, and returns
+// mergeable partial summaries. Kill a worker mid-build: the coordinator
+// re-assigns its splits and the build completes unchanged.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"wavelethist/dist"
+)
+
+func main() {
+	var (
+		coordinator = flag.String("coordinator", "http://localhost:8080", "coordinator base URL")
+		addr        = flag.String("addr", ":9090", "listen address")
+		advertise   = flag.String("advertise", "", "URL the coordinator should dial back (default http://<local-ip>:<port>)")
+		capacity    = flag.Int("capacity", 2, "concurrent map assignments served")
+		id          = flag.String("id", "", "worker id (default derived from the advertised address)")
+	)
+	flag.Parse()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "waveworker:", err)
+		os.Exit(1)
+	}
+	self := *advertise
+	if self == "" {
+		self = advertiseURL(ln.Addr())
+	}
+	wid := *id
+	if wid == "" {
+		wid = "worker-" + strings.TrimPrefix(strings.TrimPrefix(self, "http://"), "https://")
+	}
+
+	w := dist.NewWorker(wid, *capacity)
+	srv := &http.Server{Handler: w.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		log.Printf("waveworker %s: serving on %s (advertised %s)", wid, ln.Addr(), self)
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			log.Fatal("waveworker:", err)
+		}
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if err := keepRegistered(ctx, *coordinator, dist.RegisterRequest{ID: wid, Addr: self, Capacity: *capacity}); err != nil && ctx.Err() == nil {
+		fmt.Fprintln(os.Stderr, "waveworker:", err)
+		os.Exit(1)
+	}
+
+	log.Printf("waveworker %s: shutting down", wid)
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	srv.Shutdown(shutCtx)
+}
+
+// advertiseURL derives a dial-back URL from the listener address,
+// substituting a routable host when listening on the wildcard.
+func advertiseURL(a net.Addr) string {
+	host, port, err := net.SplitHostPort(a.String())
+	if err != nil {
+		return "http://" + a.String()
+	}
+	if ip := net.ParseIP(host); ip == nil || ip.IsUnspecified() {
+		host = outboundIP()
+	}
+	return "http://" + net.JoinHostPort(host, port)
+}
+
+// outboundIP finds the local address a packet to a public host would use
+// (no traffic is sent).
+func outboundIP() string {
+	conn, err := net.Dial("udp", "192.0.2.1:1")
+	if err != nil {
+		return "127.0.0.1"
+	}
+	defer conn.Close()
+	host, _, err := net.SplitHostPort(conn.LocalAddr().String())
+	if err != nil {
+		return "127.0.0.1"
+	}
+	return host
+}
+
+// keepRegistered registers with the coordinator (retrying until it is
+// reachable) and then heartbeats at the advertised interval,
+// re-registering whenever the coordinator forgets us (e.g. it was
+// restarted). Returns when ctx is canceled; a non-nil error means
+// registration never succeeded and ctx ended some other way.
+func keepRegistered(ctx context.Context, coordinator string, req dist.RegisterRequest) error {
+	client := &http.Client{Timeout: 5 * time.Second}
+	interval, err := register(ctx, client, coordinator, req)
+	for err != nil {
+		log.Printf("waveworker %s: register: %v (retrying)", req.ID, err)
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("never registered: %w", err)
+		case <-time.After(2 * time.Second):
+		}
+		interval, err = register(ctx, client, coordinator, req)
+	}
+	log.Printf("waveworker %s: registered with %s (heartbeat %v)", req.ID, coordinator, interval)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-t.C:
+			known, err := heartbeat(ctx, client, coordinator, req.ID)
+			if err != nil {
+				log.Printf("waveworker %s: heartbeat: %v", req.ID, err)
+				continue
+			}
+			if !known {
+				log.Printf("waveworker %s: coordinator forgot us; re-registering", req.ID)
+				if _, err := register(ctx, client, coordinator, req); err != nil {
+					log.Printf("waveworker %s: re-register: %v", req.ID, err)
+				}
+			}
+		}
+	}
+}
+
+func register(ctx context.Context, client *http.Client, coordinator string, req dist.RegisterRequest) (time.Duration, error) {
+	var resp dist.RegisterResponse
+	code, err := postJSON(ctx, client, coordinator+dist.PathRegister, req, &resp)
+	if err != nil {
+		return 0, err
+	}
+	if code != http.StatusOK || !resp.OK {
+		return 0, fmt.Errorf("register rejected (HTTP %d)", code)
+	}
+	interval := time.Duration(resp.HeartbeatMillis) * time.Millisecond
+	if interval <= 0 {
+		interval = 3 * time.Second
+	}
+	return interval, nil
+}
+
+func heartbeat(ctx context.Context, client *http.Client, coordinator, id string) (known bool, err error) {
+	var resp dist.HeartbeatResponse
+	code, err := postJSON(ctx, client, coordinator+dist.PathHeartbeat, dist.HeartbeatRequest{ID: id}, &resp)
+	if err != nil {
+		return false, err
+	}
+	return code == http.StatusOK && resp.OK, nil
+}
+
+func postJSON(ctx context.Context, client *http.Client, url string, req, resp any) (int, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return 0, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hres, err := client.Do(hreq)
+	if err != nil {
+		return 0, err
+	}
+	defer hres.Body.Close()
+	raw, err := io.ReadAll(hres.Body)
+	if err != nil {
+		return hres.StatusCode, err
+	}
+	if resp != nil {
+		if err := json.Unmarshal(raw, resp); err != nil {
+			return hres.StatusCode, fmt.Errorf("bad response: %w", err)
+		}
+	}
+	return hres.StatusCode, nil
+}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"wavelethist/dist"
+)
+
+// TestKeepRegistered exercises the register → heartbeat → forgotten →
+// re-register lifecycle against a real coordinator handler.
+func TestKeepRegistered(t *testing.T) {
+	coord := dist.NewCoordinator(dist.NewHTTPTransport(), dist.Config{HeartbeatEvery: 10 * time.Millisecond})
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- keepRegistered(ctx, srv.URL, dist.RegisterRequest{ID: "w-test", Addr: "http://127.0.0.1:1", Capacity: 1})
+	}()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for coord.AliveWorkers() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("worker never registered")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("keepRegistered: %v", err)
+	}
+}
+
+// TestKeepRegisteredRetriesUntilCoordinatorIsUp: registration retries
+// while the coordinator is unreachable and gives up cleanly on cancel.
+func TestKeepRegisteredRetriesUntilCoordinatorIsUp(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		http.Error(w, "not ready", http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	err := keepRegistered(ctx, srv.URL, dist.RegisterRequest{ID: "w", Addr: "http://x", Capacity: 1})
+	if err == nil {
+		t.Fatal("expected registration failure")
+	}
+	if hits.Load() == 0 {
+		t.Fatal("never attempted registration")
+	}
+}
+
+// TestAdvertiseURL keeps concrete loopback hosts verbatim.
+func TestAdvertiseURL(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	u := advertiseURL(ln.Addr())
+	if got, want := u[:17], "http://127.0.0.1:"; got != want {
+		t.Fatalf("advertiseURL = %q", u)
+	}
+}

@@ -3,6 +3,7 @@ package wavelethist
 import (
 	"fmt"
 
+	"wavelethist/dist"
 	"wavelethist/internal/datagen"
 	"wavelethist/internal/hdfs"
 	"wavelethist/internal/wavelet"
@@ -14,7 +15,14 @@ type Dataset struct {
 	fs     *hdfs.FileSystem
 	file   *hdfs.File
 	domain int64
+	// spec is the deterministic generation recipe, kept so distributed
+	// builds can ship it to workers instead of the data.
+	spec *dist.DatasetSpec
 }
+
+// Spec returns the dataset's generation recipe — what BuildDistributed
+// ships to workers so they can materialize an identical local copy.
+func (d *Dataset) Spec() *dist.DatasetSpec { return d.spec }
 
 // Domain returns the key-domain size u (a power of two).
 func (d *Dataset) Domain() int64 { return d.domain }
@@ -79,7 +87,11 @@ func NewZipfDataset(o ZipfOptions) (*Dataset, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Dataset{fs: fs, file: f, domain: o.Domain}, nil
+	ds := dist.DatasetSpec{
+		Kind: "zipf", Records: o.Records, Domain: o.Domain, Alpha: o.Alpha,
+		RecordSize: o.RecordSize, ChunkSize: chunk, Nodes: nodes, Seed: o.Seed,
+	}.Normalize()
+	return &Dataset{fs: fs, file: f, domain: o.Domain, spec: &ds}, nil
 }
 
 // WorldCupOptions configures the WorldCup-like access-log dataset (the
@@ -113,7 +125,12 @@ func NewWorldCupDataset(o WorldCupOptions) (*Dataset, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Dataset{fs: fs, file: f, domain: spec.U()}, nil
+	ds := dist.DatasetSpec{
+		Kind: "worldcup", Records: o.Records, ClientBits: spec.ClientBits,
+		ObjectBits: spec.ObjectBits, RecordSize: spec.RecordSize,
+		ChunkSize: chunk, Nodes: nodes, Seed: o.Seed,
+	}.Normalize()
+	return &Dataset{fs: fs, file: f, domain: spec.U(), spec: &ds}, nil
 }
 
 // KeysOptions configures a dataset built from caller-provided keys.
@@ -153,5 +170,9 @@ func NewDatasetFromKeys(keys []int64, o KeysOptions) (*Dataset, error) {
 		}
 		w.Append(k)
 	}
-	return &Dataset{fs: fs, file: w.Close(), domain: o.Domain}, nil
+	ds := dist.DatasetSpec{
+		Kind: "keys", Domain: o.Domain, RecordSize: o.RecordSize,
+		ChunkSize: chunk, Nodes: nodes, Keys: append([]int64(nil), keys...),
+	}.Normalize()
+	return &Dataset{fs: fs, file: w.Close(), domain: o.Domain, spec: &ds}, nil
 }

@@ -1,0 +1,527 @@
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"wavelethist/internal/core"
+	"wavelethist/internal/hdfs"
+)
+
+// Config tunes a Coordinator. The zero value is usable.
+type Config struct {
+	// HeartbeatEvery is the interval advertised to registering workers
+	// (default 3s).
+	HeartbeatEvery time.Duration
+	// HeartbeatTimeout marks a worker dead when neither a heartbeat nor a
+	// successful RPC has been seen for this long. 0 disables expiry —
+	// the right setting for in-process loopback fleets, which do not
+	// heartbeat.
+	HeartbeatTimeout time.Duration
+	// MaxRetries bounds re-assignments per split before the build fails
+	// (default 3).
+	MaxRetries int
+	// SplitsPerCall is the assignment batch size (default 4). Smaller
+	// batches spread load and shrink the re-assignment unit; larger ones
+	// amortize per-RPC overhead.
+	SplitsPerCall int
+	// MaxInFlight bounds concurrent map RPCs across the fleet
+	// (default 16).
+	MaxInFlight int
+	// RPCTimeout bounds one map RPC (default 5m).
+	RPCTimeout time.Duration
+	// MaxWorkerFailures is the consecutive-failure count that marks a
+	// worker dead (default 2).
+	MaxWorkerFailures int
+}
+
+func (c Config) withDefaults() Config {
+	if c.HeartbeatEvery <= 0 {
+		c.HeartbeatEvery = 3 * time.Second
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 3
+	}
+	if c.SplitsPerCall <= 0 {
+		c.SplitsPerCall = 4
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 16
+	}
+	if c.RPCTimeout <= 0 {
+		c.RPCTimeout = 5 * time.Minute
+	}
+	if c.MaxWorkerFailures <= 0 {
+		c.MaxWorkerFailures = 2
+	}
+	return c
+}
+
+// WorkerInfo describes one registered worker.
+type WorkerInfo struct {
+	ID       string    `json:"id"`
+	Addr     string    `json:"addr"`
+	Capacity int       `json:"capacity"`
+	InFlight int       `json:"in_flight"`
+	Alive    bool      `json:"alive"`
+	LastSeen time.Time `json:"last_seen"`
+}
+
+type workerState struct {
+	id       string
+	addr     string
+	capacity int
+	inflight int
+	failures int
+	dead     bool
+	lastSeen time.Time
+}
+
+// BuildStats reports a distributed build's execution profile.
+type BuildStats struct {
+	// WireBytes is the real communication: measured request + response
+	// payload bytes of all map RPCs (including failed ones' requests).
+	WireBytes int64
+	// RPCs counts completed map RPCs; Retries counts split
+	// re-assignments after worker failures.
+	RPCs    int
+	Retries int
+	// WorkersUsed is how many distinct workers returned at least one
+	// partial; WorkerFailures counts failed RPCs.
+	WorkersUsed    int
+	WorkerFailures int
+	// Splits is the number of input splits processed.
+	Splits int
+}
+
+// Coordinator owns the worker fleet and runs distributed builds.
+type Coordinator struct {
+	cfg Config
+	tr  Transport
+
+	mu      sync.Mutex
+	workers map[string]*workerState
+	jobSeq  int
+}
+
+// NewCoordinator creates a coordinator dispatching over tr.
+func NewCoordinator(tr Transport, cfg Config) *Coordinator {
+	return &Coordinator{
+		cfg:     cfg.withDefaults(),
+		tr:      tr,
+		workers: make(map[string]*workerState),
+	}
+}
+
+// Register adds (or refreshes) a worker. capacity <= 0 defaults to 1.
+func (c *Coordinator) Register(id, addr string, capacity int) {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w, ok := c.workers[id]
+	if !ok {
+		w = &workerState{id: id}
+		c.workers[id] = w
+	}
+	w.addr = addr
+	w.capacity = capacity
+	w.dead = false
+	w.failures = 0
+	w.lastSeen = time.Now()
+}
+
+// Heartbeat refreshes a worker's liveness; false means the coordinator
+// does not know the worker (it should re-register).
+func (c *Coordinator) Heartbeat(id string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w, ok := c.workers[id]
+	if !ok {
+		return false
+	}
+	w.lastSeen = time.Now()
+	if w.dead {
+		// A heartbeat from a worker marked dead means it recovered (or
+		// the failures were transient); give it another chance.
+		w.dead = false
+		w.failures = 0
+	}
+	return true
+}
+
+// alive reports liveness under c.mu.
+func (c *Coordinator) alive(w *workerState, now time.Time) bool {
+	if w.dead {
+		return false
+	}
+	if c.cfg.HeartbeatTimeout > 0 && now.Sub(w.lastSeen) > c.cfg.HeartbeatTimeout {
+		return false
+	}
+	return true
+}
+
+// Workers lists the fleet, alive first then by id.
+func (c *Coordinator) Workers() []WorkerInfo {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := time.Now()
+	out := make([]WorkerInfo, 0, len(c.workers))
+	for _, w := range c.workers {
+		out = append(out, WorkerInfo{
+			ID: w.id, Addr: w.addr, Capacity: w.capacity,
+			InFlight: w.inflight, Alive: c.alive(w, now), LastSeen: w.lastSeen,
+		})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Alive != out[b].Alive {
+			return out[a].Alive
+		}
+		return out[a].ID < out[b].ID
+	})
+	return out
+}
+
+// AliveWorkers counts currently live workers.
+func (c *Coordinator) AliveWorkers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := time.Now()
+	n := 0
+	for _, w := range c.workers {
+		if c.alive(w, now) {
+			n++
+		}
+	}
+	return n
+}
+
+// WaitForWorkers blocks until at least n workers are alive or ctx ends.
+func (c *Coordinator) WaitForWorkers(ctx context.Context, n int) error {
+	for {
+		if c.AliveWorkers() >= n {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("dist: waiting for %d workers (%d alive): %w", n, c.AliveWorkers(), ctx.Err())
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+}
+
+// acquire picks the least-loaded live worker with a free slot.
+func (c *Coordinator) acquire() *workerState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := time.Now()
+	var best *workerState
+	for _, w := range c.workers {
+		if !c.alive(w, now) || w.inflight >= w.capacity {
+			continue
+		}
+		if best == nil || w.inflight < best.inflight || (w.inflight == best.inflight && w.id < best.id) {
+			best = w
+		}
+	}
+	if best != nil {
+		best.inflight++
+	}
+	return best
+}
+
+// RPC outcomes for release: success absolves past failures, failure
+// counts toward death, neutral (a build-side abort, not a worker fault)
+// only frees the slot.
+type rpcOutcome int
+
+const (
+	relOK rpcOutcome = iota
+	relFailed
+	relNeutral
+)
+
+func (c *Coordinator) release(w *workerState, outcome rpcOutcome) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w.inflight--
+	switch outcome {
+	case relOK:
+		w.failures = 0
+		w.lastSeen = time.Now()
+	case relFailed:
+		w.failures++
+		if w.failures >= c.cfg.MaxWorkerFailures {
+			w.dead = true
+		}
+	}
+}
+
+type rpcResult struct {
+	w      *workerState
+	splits []int
+	resp   *MapResponse
+	reqB   int64
+	respB  int64
+	err    error
+}
+
+// Build runs one distributed build: partition file into splits, fan the
+// splits out to the fleet as map RPCs (re-assigning on worker failure),
+// then merge the collected partials into the final output. The result is
+// bit-identical to a single-process run of the same method, params and
+// seed.
+func (c *Coordinator) Build(ctx context.Context, spec DatasetSpec, file *hdfs.File, method string, p core.Params) (*core.Output, *BuildStats, error) {
+	if file == nil {
+		return nil, nil, fmt.Errorf("dist: nil file")
+	}
+	if !core.Distributable(method) {
+		if _, err := core.ByName(method); err != nil {
+			return nil, nil, err
+		}
+		return nil, nil, fmt.Errorf("dist: method %s is multi-round and cannot run distributed (supported: %v)",
+			method, core.DistributableMethods())
+	}
+	start := time.Now()
+	m := core.NumSplits(file, p)
+	c.mu.Lock()
+	c.jobSeq++
+	jobID := fmt.Sprintf("build-%d", c.jobSeq)
+	c.mu.Unlock()
+
+	pending := make([]int, m)
+	for i := range pending {
+		pending[i] = i
+	}
+	retries := make([]int, m)
+	partials := make([]*core.SplitPartial, m)
+	remaining := m
+	inflight := 0
+	stats := &BuildStats{Splits: m}
+	usedWorkers := make(map[string]bool)
+	results := make(chan rpcResult, c.cfg.MaxInFlight)
+	retry := time.NewTicker(25 * time.Millisecond)
+	defer retry.Stop()
+
+	dispatch := func(w *workerState, batch []int) {
+		req := &MapRequest{
+			JobID:   jobID,
+			Method:  method,
+			Params:  p,
+			Dataset: spec,
+			Splits:  batch,
+		}
+		rctx, cancel := context.WithTimeout(ctx, c.cfg.RPCTimeout)
+		defer cancel()
+		resp, reqB, respB, err := c.tr.MapSplits(rctx, w.addr, req)
+		results <- rpcResult{w: w, splits: batch, resp: resp, reqB: reqB, respB: respB, err: err}
+	}
+
+	requeue := func(splits []int) error {
+		for _, id := range splits {
+			retries[id]++
+			stats.Retries++
+			if retries[id] > c.cfg.MaxRetries {
+				return fmt.Errorf("dist: split %d failed %d times; giving up", id, retries[id])
+			}
+			pending = append(pending, id)
+		}
+		return nil
+	}
+
+	// drain releases the worker slots of RPCs still in flight when the
+	// build returns early — the Coordinator and its workerStates outlive
+	// this build, so abandoning the results channel would leak inflight
+	// counts and permanently shrink fleet capacity. The results channel
+	// is buffered to MaxInFlight, so the dispatch goroutines never block.
+	drain := func(n int) {
+		if n <= 0 {
+			return
+		}
+		go func() {
+			for i := 0; i < n; i++ {
+				r := <-results
+				outcome := relOK
+				if r.err != nil {
+					// Don't blame workers for our own cancellation.
+					outcome = relFailed
+					if ctx.Err() != nil {
+						outcome = relNeutral
+					}
+				}
+				c.release(r.w, outcome)
+			}
+		}()
+	}
+
+	for remaining > 0 {
+		// Dispatch as much as fleet capacity and the in-flight bound allow.
+		for len(pending) > 0 && inflight < c.cfg.MaxInFlight {
+			w := c.acquire()
+			if w == nil {
+				break
+			}
+			n := c.cfg.SplitsPerCall
+			if n > len(pending) {
+				n = len(pending)
+			}
+			batch := make([]int, n)
+			copy(batch, pending[:n])
+			pending = pending[n:]
+			inflight++
+			go dispatch(w, batch)
+		}
+		if inflight == 0 && len(pending) > 0 && c.AliveWorkers() == 0 {
+			return nil, stats, fmt.Errorf("dist: no alive workers (%d splits unassigned)", len(pending))
+		}
+
+		select {
+		case r := <-results:
+			inflight--
+			stats.WireBytes += r.reqB + r.respB
+			fail := func(err error) error {
+				stats.WorkerFailures++
+				c.release(r.w, relFailed)
+				if rqErr := requeue(r.splits); rqErr != nil {
+					return fmt.Errorf("%v (last worker error: %v)", rqErr, err)
+				}
+				return nil
+			}
+			switch {
+			case r.err != nil:
+				if ctx.Err() != nil {
+					// Build canceled, not a worker fault.
+					c.release(r.w, relNeutral)
+					drain(inflight)
+					return nil, stats, ctx.Err()
+				}
+				if err := fail(r.err); err != nil {
+					drain(inflight)
+					return nil, stats, err
+				}
+			case r.resp.Error != "":
+				// Application errors are deterministic (same request, same
+				// failure on any worker): fail the build, don't retry.
+				c.release(r.w, relOK)
+				drain(inflight)
+				return nil, stats, fmt.Errorf("dist: worker %s: %s", r.w.id, r.resp.Error)
+			default:
+				parts, err := core.DecodePartials(r.resp.Partials)
+				if err == nil {
+					err = checkCoverage(parts, r.splits)
+				}
+				if err != nil {
+					if ferr := fail(err); ferr != nil {
+						drain(inflight)
+						return nil, stats, ferr
+					}
+					break
+				}
+				c.release(r.w, relOK)
+				stats.RPCs++
+				usedWorkers[r.w.id] = true
+				for i := range parts {
+					if partials[parts[i].SplitID] == nil {
+						remaining--
+					}
+					partials[parts[i].SplitID] = &parts[i]
+				}
+			}
+		case <-retry.C:
+			// Re-check dispatchability: workers may have registered,
+			// recovered, or freed capacity held by a concurrent build.
+		case <-ctx.Done():
+			drain(inflight)
+			return nil, stats, ctx.Err()
+		}
+	}
+	stats.WorkersUsed = len(usedWorkers)
+
+	flat := make([]core.SplitPartial, m)
+	for i, part := range partials {
+		flat[i] = *part
+	}
+	out, err := core.MergePartials(ctx, file, method, p, flat)
+	if err != nil {
+		return nil, stats, err
+	}
+	// The merge only times itself; report the whole fan-out + merge.
+	out.Metrics.WallTime = time.Since(start)
+	return out, stats, nil
+}
+
+// checkCoverage verifies a response's partials are exactly the assigned
+// splits.
+func checkCoverage(parts []core.SplitPartial, assigned []int) error {
+	if len(parts) != len(assigned) {
+		return fmt.Errorf("dist: got %d partials for %d assigned splits", len(parts), len(assigned))
+	}
+	want := make(map[int]bool, len(assigned))
+	for _, id := range assigned {
+		want[id] = true
+	}
+	for _, part := range parts {
+		if !want[part.SplitID] {
+			return fmt.Errorf("dist: unexpected partial for split %d", part.SplitID)
+		}
+		delete(want, part.SplitID)
+	}
+	return nil
+}
+
+// Handler returns the coordinator's HTTP surface: worker registration,
+// heartbeats, and fleet listing, mounted by wavehistd under /dist/v1/.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST "+PathRegister, func(rw http.ResponseWriter, r *http.Request) {
+		var req RegisterRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.ID == "" || req.Addr == "" {
+			writeJSON(rw, http.StatusBadRequest, map[string]string{"error": "register needs id and addr"})
+			return
+		}
+		c.Register(req.ID, req.Addr, req.Capacity)
+		writeJSON(rw, http.StatusOK, &RegisterResponse{
+			OK:              true,
+			HeartbeatMillis: c.cfg.HeartbeatEvery.Milliseconds(),
+		})
+	})
+	mux.HandleFunc("POST "+PathHeartbeat, func(rw http.ResponseWriter, r *http.Request) {
+		var req HeartbeatRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.ID == "" {
+			writeJSON(rw, http.StatusBadRequest, map[string]string{"error": "heartbeat needs id"})
+			return
+		}
+		if !c.Heartbeat(req.ID) {
+			writeJSON(rw, http.StatusNotFound, &HeartbeatResponse{OK: false})
+			return
+		}
+		writeJSON(rw, http.StatusOK, &HeartbeatResponse{OK: true})
+	})
+	mux.HandleFunc("GET "+PathWorkers, func(rw http.ResponseWriter, r *http.Request) {
+		writeJSON(rw, http.StatusOK, &WorkersResponse{Workers: c.Workers()})
+	})
+	return mux
+}
+
+// NewLoopbackCluster builds a coordinator with n in-process workers on a
+// fresh Loopback transport (HTTP fallback attached, so remote workers can
+// still join the same coordinator). This is wavehistd's single-binary
+// -workers mode and the test harness: same coordinator and worker code,
+// no sockets. capacity <= 0 defaults per NewWorker.
+func NewLoopbackCluster(n, capacity int, cfg Config) (*Coordinator, *Loopback) {
+	lb := NewLoopback()
+	lb.Fallback = NewHTTPTransport()
+	c := NewCoordinator(lb, cfg)
+	for i := 0; i < n; i++ {
+		w := NewWorker(fmt.Sprintf("local-%d", i), capacity)
+		addr := lb.Add(w)
+		c.Register(w.ID(), addr, w.Capacity())
+	}
+	return c, lb
+}

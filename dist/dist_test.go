@@ -1,0 +1,249 @@
+package dist_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"wavelethist"
+	"wavelethist/dist"
+)
+
+// zipfDS builds the shared test dataset: 64Ki records over u = 4096 with
+// 8 KiB chunks, i.e. 32 splits — enough assignment batches that every
+// worker in a 3-worker fleet sees several RPCs.
+func zipfDS(t testing.TB) *wavelethist.Dataset {
+	t.Helper()
+	ds, err := wavelethist.NewZipfDataset(wavelethist.ZipfOptions{
+		Records: 1 << 16, Domain: 1 << 12, Alpha: 1.1, Seed: 7, ChunkSize: 8 << 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// sameHistogram asserts two results carry bit-identical coefficients.
+func sameHistogram(t *testing.T, want, got *wavelethist.Result) {
+	t.Helper()
+	wc, gc := want.Histogram.Coefficients(), got.Histogram.Coefficients()
+	if len(wc) != len(gc) {
+		t.Fatalf("coefficient count: got %d, want %d", len(gc), len(wc))
+	}
+	for i := range wc {
+		if wc[i] != gc[i] {
+			t.Fatalf("coefficient %d: got %+v, want %+v", i, gc[i], wc[i])
+		}
+	}
+}
+
+// TestLoopbackParityAllMethods runs every distributable method on a
+// 3-worker loopback fleet and checks the merged histogram is identical
+// to the single-process simulated build with the same seed.
+func TestLoopbackParityAllMethods(t *testing.T) {
+	ds := zipfDS(t)
+	methods := []wavelethist.Method{
+		wavelethist.SendV, wavelethist.SendCoef, wavelethist.BasicS,
+		wavelethist.ImprovedS, wavelethist.TwoLevelS, wavelethist.SendSketch,
+	}
+	for _, m := range methods {
+		t.Run(string(m), func(t *testing.T) {
+			opts := wavelethist.Options{K: 25, Seed: 7}
+			want, err := wavelethist.Build(ds, m, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			coord, _ := dist.NewLoopbackCluster(3, 2, dist.Config{})
+			got, err := wavelethist.BuildDistributed(context.Background(), ds, m, opts, coord)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameHistogram(t, want, got)
+			if !got.Distributed {
+				t.Error("result not marked distributed")
+			}
+			if got.WireBytes <= 0 || got.CommBytes != got.WireBytes {
+				t.Errorf("wire bytes not measured: wire=%d comm=%d", got.WireBytes, got.CommBytes)
+			}
+			// The modeled metric must match the simulated build exactly —
+			// that's what makes the two modes comparable.
+			if got.ModelCommBytes != want.ModelCommBytes {
+				t.Errorf("modeled comm: got %d, want %d", got.ModelCommBytes, want.ModelCommBytes)
+			}
+			if got.RecordsRead != want.RecordsRead {
+				t.Errorf("records read: got %d, want %d", got.RecordsRead, want.RecordsRead)
+			}
+		})
+	}
+}
+
+// TestWorkerCrashMidBuild kills one of three workers partway through a
+// build; the build must re-assign that worker's splits and still produce
+// the single-process result.
+func TestWorkerCrashMidBuild(t *testing.T) {
+	ds := zipfDS(t)
+	for _, m := range []wavelethist.Method{wavelethist.SendV, wavelethist.TwoLevelS} {
+		t.Run(string(m), func(t *testing.T) {
+			opts := wavelethist.Options{K: 25, Seed: 7}
+			want, err := wavelethist.Build(ds, m, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			coord, lb := dist.NewLoopbackCluster(3, 1, dist.Config{SplitsPerCall: 2, MaxWorkerFailures: 1})
+			// First build: every worker serves at least one batch (the
+			// initial dispatch hands each idle worker a batch).
+			if _, err := wavelethist.BuildDistributed(context.Background(), ds, m, opts, coord); err != nil {
+				t.Fatal(err)
+			}
+			// Kill local-0. The next build still assigns it work first
+			// (all workers idle, smallest id wins ties), so its batch
+			// fails mid-build, must be re-assigned to the survivors, and
+			// the coordinator must mark it dead.
+			lb.Kill(dist.LoopbackScheme + "local-0")
+			got, err := wavelethist.BuildDistributed(context.Background(), ds, m, opts, coord)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameHistogram(t, want, got)
+			if coord.AliveWorkers() != 2 {
+				t.Errorf("alive workers after crash: got %d, want 2", coord.AliveWorkers())
+			}
+		})
+	}
+}
+
+// TestAllWorkersDead: a fleet whose every worker is dead fails the build
+// with a clear error instead of hanging.
+func TestAllWorkersDead(t *testing.T) {
+	ds := zipfDS(t)
+	coord, lb := dist.NewLoopbackCluster(2, 1, dist.Config{})
+	lb.Kill(dist.LoopbackScheme + "local-0")
+	lb.Kill(dist.LoopbackScheme + "local-1")
+	_, err := wavelethist.BuildDistributed(context.Background(), ds, wavelethist.SendV, wavelethist.Options{K: 10, Seed: 1}, coord)
+	if err == nil {
+		t.Fatal("expected error with all workers dead")
+	}
+}
+
+// TestNoWorkers: building against an empty fleet fails immediately.
+func TestNoWorkers(t *testing.T) {
+	ds := zipfDS(t)
+	coord := dist.NewCoordinator(dist.NewLoopback(), dist.Config{})
+	_, err := wavelethist.BuildDistributed(context.Background(), ds, wavelethist.SendV, wavelethist.Options{K: 10}, coord)
+	if err == nil {
+		t.Fatal("expected error with no workers")
+	}
+}
+
+// TestHWTopkRejected: the three-round method cannot run distributed and
+// says so.
+func TestHWTopkRejected(t *testing.T) {
+	ds := zipfDS(t)
+	coord, _ := dist.NewLoopbackCluster(2, 1, dist.Config{})
+	_, err := wavelethist.BuildDistributed(context.Background(), ds, wavelethist.HWTopk, wavelethist.Options{K: 10}, coord)
+	if err == nil {
+		t.Fatal("expected H-WTopk rejection")
+	}
+}
+
+// TestBuildCancel: canceling the context aborts a distributed build with
+// ctx.Err(), and the long-lived coordinator comes out unharmed — no
+// leaked in-flight slots, no workers blamed for the cancellation.
+func TestBuildCancel(t *testing.T) {
+	ds := zipfDS(t)
+	coord, _ := dist.NewLoopbackCluster(2, 1, dist.Config{MaxWorkerFailures: 1})
+	opts := wavelethist.Options{K: 10, Seed: 1}
+
+	for i := 0; i < 3; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		if i == 0 {
+			cancel() // before any dispatch
+		} else {
+			go func() {
+				time.Sleep(time.Duration(i) * 3 * time.Millisecond)
+				cancel() // mid-build, with RPCs in flight
+			}()
+		}
+		_, err := wavelethist.BuildDistributed(ctx, ds, wavelethist.SendV, opts, coord)
+		cancel()
+		if err != nil && !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancel %d: got %v, want context.Canceled (or completion)", i, err)
+		}
+	}
+	if got := coord.AliveWorkers(); got != 2 {
+		t.Fatalf("alive after cancellations: got %d, want 2 (cancel must not count as worker failure)", got)
+	}
+	// The same coordinator must still have its full capacity: a fresh
+	// build succeeds and matches the single-process result.
+	want, err := wavelethist.Build(ds, wavelethist.SendV, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := wavelethist.BuildDistributed(context.Background(), ds, wavelethist.SendV, opts, coord)
+	if err != nil {
+		t.Fatalf("build after cancellations: %v (leaked in-flight slots?)", err)
+	}
+	sameHistogram(t, want, got)
+	// Canceled RPCs are drained asynchronously; their slots must come
+	// back promptly.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		stuck := 0
+		for _, w := range coord.Workers() {
+			stuck += w.InFlight
+		}
+		if stuck == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%d in-flight slots never released after builds", stuck)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestHeartbeatRevivesDeadWorker: a worker marked dead after failures
+// comes back via heartbeat and serves builds again.
+func TestHeartbeatRevivesDeadWorker(t *testing.T) {
+	lb := dist.NewLoopback()
+	w := dist.NewWorker("w0", 1)
+	addr := lb.Add(w)
+	coord := dist.NewCoordinator(lb, dist.Config{})
+	coord.Register(w.ID(), addr, 1)
+	lb.Kill(addr)
+
+	ds := zipfDS(t)
+	if _, err := wavelethist.BuildDistributed(context.Background(), ds, wavelethist.SendV, wavelethist.Options{K: 10, Seed: 1}, coord); err == nil {
+		t.Fatal("expected failure with the only worker dead")
+	}
+	if coord.AliveWorkers() != 0 {
+		t.Fatalf("alive: got %d, want 0", coord.AliveWorkers())
+	}
+	lb.KillAfter(addr, 1<<30) // worker process restarted
+	if !coord.Heartbeat("w0") {
+		t.Fatal("heartbeat rejected for known worker")
+	}
+	if coord.AliveWorkers() != 1 {
+		t.Fatalf("alive after heartbeat: got %d, want 1", coord.AliveWorkers())
+	}
+	if _, err := wavelethist.BuildDistributed(context.Background(), ds, wavelethist.SendV, wavelethist.Options{K: 10, Seed: 1}, coord); err != nil {
+		t.Fatalf("build after revival: %v", err)
+	}
+}
+
+// TestWaitForWorkers observes late registrations.
+func TestWaitForWorkers(t *testing.T) {
+	lb := dist.NewLoopback()
+	coord := dist.NewCoordinator(lb, dist.Config{})
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		w := dist.NewWorker("late", 1)
+		coord.Register(w.ID(), lb.Add(w), 1)
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := coord.WaitForWorkers(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,100 @@
+package dist_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"wavelethist"
+	"wavelethist/dist"
+)
+
+// postJSON is a minimal client for the coordinator endpoints.
+func postJSON(t *testing.T, url string, req, resp any) int {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hres, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hres.Body.Close()
+	if resp != nil {
+		if err := json.NewDecoder(hres.Body).Decode(resp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return hres.StatusCode
+}
+
+// TestHTTPFleet runs a distributed build over real sockets: two worker
+// HTTP servers register with a coordinator HTTP endpoint, heartbeat, and
+// serve map RPCs via the HTTP transport.
+func TestHTTPFleet(t *testing.T) {
+	coord := dist.NewCoordinator(dist.NewHTTPTransport(), dist.Config{SplitsPerCall: 4})
+	coordSrv := httptest.NewServer(coord.Handler())
+	defer coordSrv.Close()
+
+	for _, id := range []string{"w0", "w1"} {
+		w := dist.NewWorker(id, 2)
+		wsrv := httptest.NewServer(w.Handler())
+		defer wsrv.Close()
+		var reg dist.RegisterResponse
+		code := postJSON(t, coordSrv.URL+dist.PathRegister,
+			dist.RegisterRequest{ID: id, Addr: wsrv.URL, Capacity: 2}, &reg)
+		if code != http.StatusOK || !reg.OK || reg.HeartbeatMillis <= 0 {
+			t.Fatalf("register %s: code=%d resp=%+v", id, code, reg)
+		}
+		var hb dist.HeartbeatResponse
+		if code := postJSON(t, coordSrv.URL+dist.PathHeartbeat, dist.HeartbeatRequest{ID: id}, &hb); code != http.StatusOK || !hb.OK {
+			t.Fatalf("heartbeat %s: code=%d resp=%+v", id, code, hb)
+		}
+	}
+	// Unknown workers are told to re-register.
+	var hb dist.HeartbeatResponse
+	if code := postJSON(t, coordSrv.URL+dist.PathHeartbeat, dist.HeartbeatRequest{ID: "ghost"}, &hb); code != http.StatusNotFound || hb.OK {
+		t.Fatalf("ghost heartbeat: code=%d resp=%+v", code, hb)
+	}
+	if got := coord.AliveWorkers(); got != 2 {
+		t.Fatalf("alive: got %d, want 2", got)
+	}
+
+	ds, err := wavelethist.NewZipfDataset(wavelethist.ZipfOptions{
+		Records: 1 << 14, Domain: 1 << 10, Alpha: 1.1, Seed: 3, ChunkSize: 8 << 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := wavelethist.Options{K: 20, Seed: 3}
+	want, err := wavelethist.Build(ds, wavelethist.TwoLevelS, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := wavelethist.BuildDistributed(context.Background(), ds, wavelethist.TwoLevelS, opts, coord)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameHistogram(t, want, got)
+	if got.WireBytes <= 0 {
+		t.Errorf("wire bytes not measured: %d", got.WireBytes)
+	}
+
+	// Fleet listing over HTTP.
+	hres, err := http.Get(coordSrv.URL + dist.PathWorkers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hres.Body.Close()
+	var list dist.WorkersResponse
+	if err := json.NewDecoder(hres.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Workers) != 2 {
+		t.Fatalf("workers listing: got %d, want 2", len(list.Workers))
+	}
+}

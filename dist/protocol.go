@@ -1,0 +1,79 @@
+// Package dist executes wavelet-histogram builds across real processes:
+// a coordinator partitions a dataset into splits, assigns them to a fleet
+// of worker processes over a stdlib-only HTTP/JSON protocol, and merges
+// the workers' mergeable partial summaries (internal/core.SplitPartial)
+// into the final histogram — the paper's Map/Shuffle/Reduce made
+// multi-process, with communication measured on the actual request and
+// response payloads instead of modeled.
+//
+// The fleet is dynamic: workers register with the coordinator and keep a
+// heartbeat; splits assigned to a worker that crashes or goes silent are
+// re-assigned to the survivors, and per-split RNG derivation makes the
+// result identical regardless of which worker ran which split. An
+// in-process Loopback transport runs the same coordinator and worker code
+// without sockets, for tests and for wavehistd's single-binary -workers
+// mode.
+package dist
+
+import "wavelethist/internal/core"
+
+// Protocol endpoints. The coordinator serves the register/heartbeat/
+// workers endpoints (mounted into wavehistd); each worker serves map and
+// ping.
+const (
+	PathRegister  = "/dist/v1/register"
+	PathHeartbeat = "/dist/v1/heartbeat"
+	PathWorkers   = "/dist/v1/workers"
+	PathMap       = "/dist/v1/map"
+	PathPing      = "/dist/v1/ping"
+)
+
+// RegisterRequest announces a worker to the coordinator. Addr is the URL
+// the coordinator dials back for map RPCs ("http://host:port", or
+// "loopback://name" for in-process workers).
+type RegisterRequest struct {
+	ID       string `json:"id"`
+	Addr     string `json:"addr"`
+	Capacity int    `json:"capacity"`
+}
+
+// RegisterResponse acknowledges registration and tells the worker how
+// often to heartbeat.
+type RegisterResponse struct {
+	OK              bool  `json:"ok"`
+	HeartbeatMillis int64 `json:"heartbeat_millis"`
+}
+
+// HeartbeatRequest keeps a registered worker alive.
+type HeartbeatRequest struct {
+	ID string `json:"id"`
+}
+
+// HeartbeatResponse reports whether the coordinator still knows the
+// worker; on !OK the worker re-registers (coordinator restart).
+type HeartbeatResponse struct {
+	OK bool `json:"ok"`
+}
+
+// MapRequest assigns a batch of splits to a worker: the dataset recipe,
+// the method, its parameters, and the split indices to run.
+type MapRequest struct {
+	JobID   string      `json:"job_id"`
+	Method  string      `json:"method"`
+	Params  core.Params `json:"params"`
+	Dataset DatasetSpec `json:"dataset"`
+	Splits  []int       `json:"splits"`
+}
+
+// MapResponse returns the batch's mergeable partials
+// (core.EncodePartials, base64 in JSON) or an application error.
+type MapResponse struct {
+	JobID    string `json:"job_id"`
+	Partials []byte `json:"partials,omitempty"`
+	Error    string `json:"error,omitempty"`
+}
+
+// WorkersResponse is the observability payload of GET /dist/v1/workers.
+type WorkersResponse struct {
+	Workers []WorkerInfo `json:"workers"`
+}

@@ -1,0 +1,198 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+)
+
+// Transport delivers coordinator→worker RPCs. MapSplits reports the
+// measured request and response payload sizes so the coordinator can
+// account real communication, not a model.
+type Transport interface {
+	MapSplits(ctx context.Context, addr string, req *MapRequest) (resp *MapResponse, reqBytes, respBytes int64, err error)
+	Ping(ctx context.Context, addr string) error
+}
+
+// HTTPTransport dials workers over real sockets.
+type HTTPTransport struct {
+	// Client is the HTTP client (nil = http.DefaultClient); per-RPC
+	// deadlines come from the caller's context.
+	Client *http.Client
+}
+
+// NewHTTPTransport returns a Transport over http.DefaultClient.
+func NewHTTPTransport() *HTTPTransport { return &HTTPTransport{} }
+
+func (t *HTTPTransport) client() *http.Client {
+	if t.Client != nil {
+		return t.Client
+	}
+	return http.DefaultClient
+}
+
+// MapSplits implements Transport.
+func (t *HTTPTransport) MapSplits(ctx context.Context, addr string, req *MapRequest) (*MapResponse, int64, int64, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, addr+PathMap, bytes.NewReader(body))
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hres, err := t.client().Do(hreq)
+	if err != nil {
+		return nil, int64(len(body)), 0, err
+	}
+	defer hres.Body.Close()
+	rb, err := io.ReadAll(hres.Body)
+	if err != nil {
+		return nil, int64(len(body)), int64(len(rb)), err
+	}
+	if hres.StatusCode != http.StatusOK {
+		return nil, int64(len(body)), int64(len(rb)), fmt.Errorf("dist: worker %s: HTTP %d: %s", addr, hres.StatusCode, truncate(rb))
+	}
+	var resp MapResponse
+	if err := json.Unmarshal(rb, &resp); err != nil {
+		return nil, int64(len(body)), int64(len(rb)), fmt.Errorf("dist: worker %s: bad response: %w", addr, err)
+	}
+	return &resp, int64(len(body)), int64(len(rb)), nil
+}
+
+// Ping implements Transport.
+func (t *HTTPTransport) Ping(ctx context.Context, addr string) error {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, addr+PathPing, nil)
+	if err != nil {
+		return err
+	}
+	hres, err := t.client().Do(hreq)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, hres.Body)
+	hres.Body.Close()
+	if hres.StatusCode != http.StatusOK {
+		return fmt.Errorf("dist: worker %s: HTTP %d", addr, hres.StatusCode)
+	}
+	return nil
+}
+
+func truncate(b []byte) string {
+	const max = 200
+	if len(b) > max {
+		return string(b[:max]) + "..."
+	}
+	return string(b)
+}
+
+// LoopbackScheme prefixes in-process worker addresses.
+const LoopbackScheme = "loopback://"
+
+// Loopback is an in-process Transport: worker handlers are invoked
+// directly, with request/response sizes measured on the JSON encodings
+// that would cross the wire, so loopback builds report the same
+// communication a socketed fleet would. Non-loopback addresses are
+// delegated to Fallback, letting one coordinator drive a mixed fleet of
+// in-process and remote workers.
+type Loopback struct {
+	// Fallback handles non-loopback:// addresses (nil = reject them).
+	Fallback Transport
+
+	mu      sync.Mutex
+	workers map[string]*Worker
+	calls   map[string]int
+	// killAt < 0 means alive; otherwise calls beyond killAt fail — the
+	// test harness for worker crashes mid-build.
+	killAt map[string]int
+}
+
+// NewLoopback returns an empty loopback transport.
+func NewLoopback() *Loopback {
+	return &Loopback{
+		workers: make(map[string]*Worker),
+		calls:   make(map[string]int),
+		killAt:  make(map[string]int),
+	}
+}
+
+// Add attaches an in-process worker at LoopbackScheme+name.
+func (l *Loopback) Add(w *Worker) (addr string) {
+	addr = LoopbackScheme + w.ID()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.workers[addr] = w
+	l.killAt[addr] = -1
+	return addr
+}
+
+// Kill makes every subsequent call to addr fail, like a dead TCP peer.
+func (l *Loopback) Kill(addr string) { l.KillAfter(addr, 0) }
+
+// KillAfter lets addr serve n more successful calls, then fail forever —
+// a deterministic mid-build crash.
+func (l *Loopback) KillAfter(addr string, n int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.killAt[addr] = l.calls[addr] + n
+}
+
+// take resolves the worker for one call, applying crash simulation.
+func (l *Loopback) take(addr string) (*Worker, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	w, ok := l.workers[addr]
+	if !ok {
+		return nil, fmt.Errorf("dist: no loopback worker at %s", addr)
+	}
+	if at := l.killAt[addr]; at >= 0 && l.calls[addr] >= at {
+		return nil, fmt.Errorf("dist: worker %s: connection refused (killed)", addr)
+	}
+	l.calls[addr]++
+	return w, nil
+}
+
+// MapSplits implements Transport.
+func (l *Loopback) MapSplits(ctx context.Context, addr string, req *MapRequest) (*MapResponse, int64, int64, error) {
+	if !strings.HasPrefix(addr, LoopbackScheme) {
+		if l.Fallback == nil {
+			return nil, 0, 0, fmt.Errorf("dist: no transport for %s", addr)
+		}
+		return l.Fallback.MapSplits(ctx, addr, req)
+	}
+	reqBody, err := json.Marshal(req)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	w, err := l.take(addr)
+	if err != nil {
+		return nil, int64(len(reqBody)), 0, err
+	}
+	resp, err := w.HandleMap(ctx, req)
+	if err != nil {
+		return nil, int64(len(reqBody)), 0, err
+	}
+	respBody, err := json.Marshal(resp)
+	if err != nil {
+		return nil, int64(len(reqBody)), 0, err
+	}
+	return resp, int64(len(reqBody)), int64(len(respBody)), nil
+}
+
+// Ping implements Transport.
+func (l *Loopback) Ping(ctx context.Context, addr string) error {
+	if !strings.HasPrefix(addr, LoopbackScheme) {
+		if l.Fallback == nil {
+			return fmt.Errorf("dist: no transport for %s", addr)
+		}
+		return l.Fallback.Ping(ctx, addr)
+	}
+	_, err := l.take(addr)
+	return err
+}

@@ -1,0 +1,153 @@
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"wavelethist/internal/core"
+	"wavelethist/internal/hdfs"
+)
+
+// datasetCacheSize bounds how many materialized datasets a worker keeps
+// (FIFO eviction) so a long-lived worker serving many datasets doesn't
+// grow without bound.
+const datasetCacheSize = 4
+
+// Worker executes map assignments: it materializes the dataset named by
+// the request's recipe (cached across requests), runs the method's map
+// side over the assigned splits, and returns the encoded partials. The
+// same Worker backs the waveworker binary's HTTP server and the loopback
+// transport's in-process fleet.
+type Worker struct {
+	id       string
+	capacity int
+	sem      chan struct{}
+
+	mu    sync.Mutex
+	files map[string]*dsEntry
+	order []string
+}
+
+// dsEntry is one cached dataset: a future so materialization happens
+// outside the worker lock and concurrent requests for the same spec
+// share one generation.
+type dsEntry struct {
+	ready chan struct{}
+	file  *hdfs.File
+	err   error
+}
+
+// NewWorker creates a worker. capacity bounds concurrently served map
+// RPCs (0 = 2).
+func NewWorker(id string, capacity int) *Worker {
+	if capacity <= 0 {
+		capacity = 2
+	}
+	return &Worker{
+		id:       id,
+		capacity: capacity,
+		sem:      make(chan struct{}, capacity),
+		files:    make(map[string]*dsEntry),
+	}
+}
+
+// ID returns the worker id.
+func (w *Worker) ID() string { return w.id }
+
+// Capacity returns the concurrent-RPC bound.
+func (w *Worker) Capacity() int { return w.capacity }
+
+// HandleMap serves one map assignment.
+func (w *Worker) HandleMap(ctx context.Context, req *MapRequest) (*MapResponse, error) {
+	select {
+	case w.sem <- struct{}{}:
+		defer func() { <-w.sem }()
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	if len(req.Splits) == 0 {
+		return nil, fmt.Errorf("dist: empty split assignment")
+	}
+	file, err := w.dataset(req.Dataset)
+	if err != nil {
+		return nil, err
+	}
+	parts, err := core.MapSplits(ctx, file, req.Method, req.Params, req.Splits)
+	if err != nil {
+		return nil, err
+	}
+	return &MapResponse{JobID: req.JobID, Partials: core.EncodePartials(parts)}, nil
+}
+
+// dataset returns the materialized file for a spec, generating and
+// caching it on first use. Generation runs outside w.mu (it can take
+// seconds for large datasets) behind a per-fingerprint future, so
+// concurrent requests for cached datasets are never stalled and
+// concurrent requests for the same new dataset share one generation.
+func (w *Worker) dataset(spec DatasetSpec) (*hdfs.File, error) {
+	fp := spec.Fingerprint()
+	w.mu.Lock()
+	e, ok := w.files[fp]
+	if !ok {
+		e = &dsEntry{ready: make(chan struct{})}
+		w.files[fp] = e
+		w.order = append(w.order, fp)
+		if len(w.order) > datasetCacheSize {
+			delete(w.files, w.order[0])
+			w.order = w.order[1:]
+		}
+		w.mu.Unlock()
+		e.file, _, e.err = spec.Materialize()
+		close(e.ready)
+		if e.err != nil {
+			// Drop the failed entry so a later request can retry.
+			w.mu.Lock()
+			if w.files[fp] == e {
+				delete(w.files, fp)
+				for i, o := range w.order {
+					if o == fp {
+						w.order = append(w.order[:i], w.order[i+1:]...)
+						break
+					}
+				}
+			}
+			w.mu.Unlock()
+		}
+		return e.file, e.err
+	}
+	w.mu.Unlock()
+	<-e.ready
+	return e.file, e.err
+}
+
+// Handler returns the worker's HTTP surface: POST /dist/v1/map and
+// GET /dist/v1/ping.
+func (w *Worker) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST "+PathMap, func(rw http.ResponseWriter, r *http.Request) {
+		var req MapRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeJSON(rw, http.StatusBadRequest, &MapResponse{Error: fmt.Sprintf("bad map request: %v", err)})
+			return
+		}
+		resp, err := w.HandleMap(r.Context(), &req)
+		if err != nil {
+			writeJSON(rw, http.StatusOK, &MapResponse{JobID: req.JobID, Error: err.Error()})
+			return
+		}
+		writeJSON(rw, http.StatusOK, resp)
+	})
+	mux.HandleFunc("GET "+PathPing, func(rw http.ResponseWriter, r *http.Request) {
+		writeJSON(rw, http.StatusOK, map[string]any{"ok": true, "id": w.id})
+	})
+	return mux
+}
+
+func writeJSON(rw http.ResponseWriter, code int, v any) {
+	rw.Header().Set("Content-Type", "application/json")
+	rw.WriteHeader(code)
+	json.NewEncoder(rw).Encode(v)
+}

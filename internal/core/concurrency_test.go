@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 	"testing"
 )
@@ -29,7 +30,7 @@ func TestConcurrentBuildsSameFile(t *testing.T) {
 			default:
 				a = NewSendSketch()
 			}
-			out, err := a.Run(f, Params{U: 1 << 10, K: 10, Epsilon: 0.01, Seed: 44})
+			out, err := a.Run(context.Background(), f, Params{U: 1 << 10, K: 10, Epsilon: 0.01, Seed: 44})
 			if err != nil {
 				errs <- err
 				return

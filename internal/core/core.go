@@ -14,6 +14,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -110,7 +111,8 @@ type Algorithm interface {
 	// Name returns the paper's name for the method (e.g. "TwoLevel-S").
 	Name() string
 	// Run builds the k-term representation of file's key frequencies.
-	Run(file *hdfs.File, p Params) (*Output, error)
+	// Cancellation of ctx aborts the build with ctx.Err().
+	Run(ctx context.Context, file *hdfs.File, p Params) (*Output, error)
 }
 
 // addRound folds one MapReduce round's result into the metrics.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -54,7 +55,7 @@ func assertExactMatch(t *testing.T, name string, got *wavelet.Representation, v 
 
 func run(t testing.TB, a Algorithm, f *hdfs.File, p Params) *Output {
 	t.Helper()
-	out, err := a.Run(f, p)
+	out, err := a.Run(context.Background(), f, p)
 	if err != nil {
 		t.Fatalf("%s: %v", a.Name(), err)
 	}
@@ -296,13 +297,13 @@ func TestParamValidation(t *testing.T) {
 		{U: 100, K: 5},              // not a power of two
 		{U: 64, K: 0, Epsilon: 0.1}, // K defaulted... needs explicit bad K
 	}
-	if _, err := NewSendV().Run(f, bad[0]); err == nil {
+	if _, err := NewSendV().Run(context.Background(), f, bad[0]); err == nil {
 		t.Error("accepted non-power-of-two domain")
 	}
-	if _, err := NewSendV().Run(f, Params{U: 64, K: -1}); err == nil {
+	if _, err := NewSendV().Run(context.Background(), f, Params{U: 64, K: -1}); err == nil {
 		t.Error("accepted negative k")
 	}
-	if _, err := NewBasicS().Run(f, Params{U: 64, K: 5, Epsilon: 2}); err == nil {
+	if _, err := NewBasicS().Run(context.Background(), f, Params{U: 64, K: 5, Epsilon: 2}); err == nil {
 		t.Error("accepted epsilon >= 1")
 	}
 }
@@ -322,10 +323,10 @@ func TestByName(t *testing.T) {
 func TestOutOfDomainKeyFails(t *testing.T) {
 	f, _ := testDataset(t, 1000, 1<<10, 1.1, 512, 3)
 	p := Params{U: 1 << 4, K: 5} // domain smaller than the data's keys
-	if _, err := NewSendV().Run(f, p); err == nil {
+	if _, err := NewSendV().Run(context.Background(), f, p); err == nil {
 		t.Error("Send-V accepted out-of-domain keys")
 	}
-	if _, err := NewHWTopk().Run(f, p); err == nil {
+	if _, err := NewHWTopk().Run(context.Background(), f, p); err == nil {
 		t.Error("H-WTopk accepted out-of-domain keys")
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strconv"
@@ -380,13 +381,13 @@ func (r *hwRound3Reducer) Close(ctx *mapred.TaskContext) error {
 // Run implements Algorithm: three MapReduce rounds sharing Conf, Cache and
 // State, with the coordinator's T1/m shipped via the Job Configuration and
 // R via the Distributed Cache (both accounted as broadcast bytes).
-func (a *HWTopk) Run(file *hdfs.File, p Params) (*Output, error) {
+func (a *HWTopk) Run(ctx context.Context, file *hdfs.File, p Params) (*Output, error) {
 	p = p.Defaults()
 	if err := p.validate(); err != nil {
 		return nil, err
 	}
 	start := time.Now()
-	top, metrics, err := runHWTopkRounds(file, p, p.U, transform1D(p.U))
+	top, metrics, err := runHWTopkRounds(ctx, file, p, p.U, transform1D(p.U))
 	if err != nil {
 		return nil, err
 	}
@@ -398,7 +399,7 @@ func (a *HWTopk) Run(file *hdfs.File, p Params) (*Output, error) {
 }
 
 // runHWTopkRounds executes the three rounds for any dimensionality.
-func runHWTopkRounds(file *hdfs.File, p Params, domain int64, tf coefTransform) ([]wavelet.Coef, Metrics, error) {
+func runHWTopkRounds(ctx context.Context, file *hdfs.File, p Params, domain int64, tf coefTransform) ([]wavelet.Coef, Metrics, error) {
 	var metrics Metrics
 	splits := file.Splits(p.SplitSize)
 	m := len(splits)
@@ -444,7 +445,7 @@ func runHWTopkRounds(file *hdfs.File, p Params, domain int64, tf coefTransform) 
 	}
 
 	// Round 1.
-	res1, err := mapred.Run(round1)
+	res1, err := mapred.RunContext(ctx, round1)
 	if err != nil {
 		return nil, metrics, err
 	}
@@ -454,7 +455,7 @@ func runHWTopkRounds(file *hdfs.File, p Params, domain int64, tf coefTransform) 
 	conf[confT1OverM] = strconv.FormatFloat(red1.T1/float64(m), 'g', -1, 64)
 
 	// Round 2.
-	res2, err := mapred.Run(round2)
+	res2, err := mapred.RunContext(ctx, round2)
 	if err != nil {
 		return nil, metrics, err
 	}
@@ -465,7 +466,7 @@ func runHWTopkRounds(file *hdfs.File, p Params, domain int64, tf coefTransform) 
 	rBytes := indexSetBytes(red2.R)
 
 	// Round 3.
-	res3, err := mapred.Run(round3)
+	res3, err := mapred.RunContext(ctx, round3)
 	if err != nil {
 		return nil, metrics, err
 	}

@@ -1,0 +1,257 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"wavelethist/internal/cluster"
+	"wavelethist/internal/hdfs"
+	"wavelethist/internal/mapred"
+)
+
+// Mergeable partial state for distributed builds. A SplitPartial is the
+// map side's summary of one input split — exactly the pairs that split
+// would shuffle in the simulated cluster, which per method family is:
+//
+//	Send-V:       the split's local frequency vector (x, v_j(x))
+//	Send-Coef:    the split's non-zero local wavelet coefficients
+//	Basic-S /
+//	Improved-S /
+//	TwoLevel-S:   the split's (filtered / importance-sampled) samples
+//	Send-Sketch:  the split's non-zero GCS sketch entries
+//
+// Partials are produced on workers by MapSplits, shipped over the wire
+// with EncodePartials / DecodePartials, and merged on the coordinator by
+// MergePartials, which reproduces the single-process result bit-for-bit
+// when every split is covered exactly once (per-split RNGs are derived
+// from (seed, split id), and merging consumes partials in split order).
+//
+// H-WTopk is a three-round protocol with coordinator feedback between
+// rounds and is not expressible as one-shot mergeable partials; it stays
+// on the simulated runtime.
+
+// SplitPartial is one split's mergeable map-side summary.
+type SplitPartial struct {
+	SplitID int
+	// Node is the DataNode holding the split (locality for the cost model).
+	Node int
+	// Pairs are the split's sorted, combined intermediate pairs.
+	Pairs []mapred.KV
+	// RecordsRead / BytesRead are the split's input-scan counters.
+	RecordsRead int64
+	BytesRead   int64
+	// InputBytes / CPUUnits feed the cluster cost model.
+	InputBytes int64
+	CPUUnits   float64
+}
+
+// DistributableMethods lists the methods supporting split-parallel
+// distributed execution (all but the multi-round H-WTopk).
+func DistributableMethods() []string {
+	var out []string
+	for _, a := range Algorithms() {
+		if _, ok := a.(oneRounder); ok {
+			out = append(out, a.Name())
+		}
+	}
+	return out
+}
+
+// Distributable reports whether the named method supports distributed
+// execution.
+func Distributable(name string) bool {
+	a, err := ByName(name)
+	if err != nil {
+		return false
+	}
+	_, ok := a.(oneRounder)
+	return ok
+}
+
+// oneRoundByName resolves a method to its one-round decomposition.
+func oneRoundByName(name string) (oneRounder, error) {
+	a, err := ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	or, ok := a.(oneRounder)
+	if !ok {
+		return nil, fmt.Errorf("core: %s is multi-round and cannot run distributed (supported: %v)",
+			name, DistributableMethods())
+	}
+	return or, nil
+}
+
+// MapSplits runs method's map side over the given split indices of file,
+// returning one mergeable partial per split. This is the worker half of a
+// distributed build.
+func MapSplits(ctx context.Context, file *hdfs.File, method string, p Params, splitIDs []int) ([]SplitPartial, error) {
+	or, err := oneRoundByName(method)
+	if err != nil {
+		return nil, err
+	}
+	p = p.Defaults()
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	job, _ := or.makeJob(file, p)
+	m := len(job.Splits)
+	parts := make([]SplitPartial, 0, len(splitIDs))
+	for _, id := range splitIDs {
+		if id < 0 || id >= m {
+			return nil, fmt.Errorf("core: %s: split %d out of range [0, %d)", method, id, m)
+		}
+		r, err := mapred.RunMapSplit(ctx, job, id)
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, SplitPartial{
+			SplitID:     id,
+			Node:        r.Metrics.Node,
+			Pairs:       r.Pairs,
+			RecordsRead: r.RecordsRead,
+			BytesRead:   r.BytesRead,
+			InputBytes:  r.Metrics.InputBytes,
+			CPUUnits:    r.Metrics.CPUUnits,
+		})
+	}
+	return parts, nil
+}
+
+// MergePartials runs method's reduce side over partials covering every
+// split of file exactly once, producing the same Output a single-process
+// run with the same seed would. This is the coordinator half of a
+// distributed build.
+func MergePartials(ctx context.Context, file *hdfs.File, method string, p Params, parts []SplitPartial) (*Output, error) {
+	or, err := oneRoundByName(method)
+	if err != nil {
+		return nil, err
+	}
+	p = p.Defaults()
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	job, red := or.makeJob(file, p)
+	m := len(job.Splits)
+	if len(parts) != m {
+		return nil, fmt.Errorf("core: %s: have %d partials, want one per split (%d)", method, len(parts), m)
+	}
+	ordered := make([]SplitPartial, len(parts))
+	copy(ordered, parts)
+	sort.Slice(ordered, func(a, b int) bool { return ordered[a].SplitID < ordered[b].SplitID })
+	for i, part := range ordered {
+		if part.SplitID != i {
+			return nil, fmt.Errorf("core: %s: partials do not cover split %d exactly once", method, i)
+		}
+	}
+
+	batches := make([][]mapred.KV, m)
+	res := &mapred.Result{MapTasks: make([]mapred.TaskMetrics, m)}
+	for i, part := range ordered {
+		batches[i] = part.Pairs
+		res.MapTasks[i] = mapred.TaskMetrics{
+			SplitID:    part.SplitID,
+			Node:       part.Node,
+			InputBytes: part.InputBytes,
+			CPUUnits:   part.CPUUnits,
+		}
+		res.Counters.MapRecordsRead += part.RecordsRead
+		res.Counters.MapBytesRead += part.BytesRead
+	}
+	rres, err := mapred.RunReduce(ctx, job, batches)
+	if err != nil {
+		return nil, err
+	}
+	res.ShuffleBytes = rres.ShuffleBytes
+	res.PairsShuffled = rres.PairsShuffled
+	res.ReduceCPU = rres.ReduceCPU
+	res.ReduceCalls = rres.ReduceCalls
+
+	out := &Output{Rep: red.representation()}
+	out.Metrics.addRound(res, 0)
+	out.Metrics.WallTime = time.Since(start)
+	return out, nil
+}
+
+// NumSplits reports how many splits a build of file at the given params
+// would process — the unit of distributed assignment.
+func NumSplits(file *hdfs.File, p Params) int {
+	return len(file.Splits(p.Defaults().SplitSize))
+}
+
+// SimulatedSecondsOn exposes the cluster cost model for a merged output
+// (used by serve's uniform job metrics).
+func SimulatedSecondsOn(m Metrics, c *cluster.Cluster) float64 { return m.SimulatedSeconds(c) }
+
+// ---------- wire encoding ----------
+
+// EncodePartials serializes partials for the dist wire protocol:
+// [count] then per partial [splitID][node][recordsRead][bytesRead]
+// [inputBytes][cpuUnits][npairs] and per pair [key][val][src:4][tag:1].
+func EncodePartials(parts []SplitPartial) []byte {
+	b := mapred.AppendInt64(nil, int64(len(parts)))
+	for _, part := range parts {
+		b = mapred.AppendInt64(b, int64(part.SplitID))
+		b = mapred.AppendInt64(b, int64(part.Node))
+		b = mapred.AppendInt64(b, part.RecordsRead)
+		b = mapred.AppendInt64(b, part.BytesRead)
+		b = mapred.AppendInt64(b, part.InputBytes)
+		b = mapred.AppendFloat64(b, part.CPUUnits)
+		b = mapred.AppendInt64(b, int64(len(part.Pairs)))
+		for _, kv := range part.Pairs {
+			b = mapred.AppendInt64(b, kv.Key)
+			b = mapred.AppendFloat64(b, kv.Val)
+			b = append(b, byte(kv.Src), byte(kv.Src>>8), byte(kv.Src>>16), byte(kv.Src>>24), kv.Tag)
+		}
+	}
+	return b
+}
+
+const pairWireBytes = 21 // 8 key + 8 val + 4 src + 1 tag
+
+// DecodePartials is the inverse of EncodePartials, with bounds checks
+// against truncated or corrupt payloads.
+func DecodePartials(b []byte) ([]SplitPartial, error) {
+	if len(b) < 8 {
+		return nil, fmt.Errorf("core: truncated partials payload")
+	}
+	n, off := mapred.ReadInt64(b, 0)
+	if n < 0 || n > int64(len(b))/8 {
+		return nil, fmt.Errorf("core: corrupt partials payload (n=%d)", n)
+	}
+	parts := make([]SplitPartial, 0, n)
+	for i := int64(0); i < n; i++ {
+		if len(b)-off < 56 {
+			return nil, fmt.Errorf("core: truncated partial %d", i)
+		}
+		var part SplitPartial
+		var v int64
+		v, off = mapred.ReadInt64(b, off)
+		part.SplitID = int(v)
+		v, off = mapred.ReadInt64(b, off)
+		part.Node = int(v)
+		part.RecordsRead, off = mapred.ReadInt64(b, off)
+		part.BytesRead, off = mapred.ReadInt64(b, off)
+		part.InputBytes, off = mapred.ReadInt64(b, off)
+		part.CPUUnits, off = mapred.ReadFloat64(b, off)
+		var np int64
+		np, off = mapred.ReadInt64(b, off)
+		if np < 0 || np > int64(len(b)-off)/pairWireBytes {
+			return nil, fmt.Errorf("core: corrupt partial %d (pairs=%d)", i, np)
+		}
+		part.Pairs = make([]mapred.KV, np)
+		for j := range part.Pairs {
+			part.Pairs[j].Key, off = mapred.ReadInt64(b, off)
+			part.Pairs[j].Val, off = mapred.ReadFloat64(b, off)
+			src := uint32(b[off]) | uint32(b[off+1])<<8 | uint32(b[off+2])<<16 | uint32(b[off+3])<<24
+			part.Pairs[j].Src = int32(src)
+			part.Pairs[j].Tag = b[off+4]
+			off += 5
+		}
+		parts = append(parts, part)
+	}
+	return parts, nil
+}

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"wavelethist/internal/datagen"
+	"wavelethist/internal/hdfs"
+	"wavelethist/internal/mapred"
+)
+
+func partialTestFile(t testing.TB) *hdfs.File {
+	t.Helper()
+	fs := hdfs.NewFileSystem(4, 4<<10)
+	f, err := datagen.GenerateZipf(fs, "z", datagen.NewZipfSpec(1<<13, 1<<10, 1.1, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// TestMapMergeMatchesRun: splitting a build into MapSplits + MergePartials
+// reproduces Run bit-for-bit for every one-round method, in any partial
+// arrival order.
+func TestMapMergeMatchesRun(t *testing.T) {
+	f := partialTestFile(t)
+	ctx := context.Background()
+	for _, name := range DistributableMethods() {
+		t.Run(name, func(t *testing.T) {
+			p := Params{U: 1 << 10, K: 15, Epsilon: 0.01, Seed: 5}
+			alg, err := ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := alg.Run(ctx, f, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := NumSplits(f, p)
+			if m < 2 {
+				t.Fatalf("need multiple splits, have %d", m)
+			}
+			// Map the splits in two interleaved passes, merging in
+			// reversed order: coverage, not arrival order, must matter.
+			var parts []SplitPartial
+			for _, ids := range [][]int{evens(m), odds(m)} {
+				ps, err := MapSplits(ctx, f, name, p, ids)
+				if err != nil {
+					t.Fatal(err)
+				}
+				parts = append(parts, ps...)
+			}
+			for i, j := 0, len(parts)-1; i < j; i, j = i+1, j-1 {
+				parts[i], parts[j] = parts[j], parts[i]
+			}
+			got, err := MergePartials(ctx, f, name, p, parts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got.Rep.Coefs) != len(want.Rep.Coefs) {
+				t.Fatalf("coef count: got %d, want %d", len(got.Rep.Coefs), len(want.Rep.Coefs))
+			}
+			for i := range want.Rep.Coefs {
+				if got.Rep.Coefs[i] != want.Rep.Coefs[i] {
+					t.Fatalf("coef %d: got %+v, want %+v", i, got.Rep.Coefs[i], want.Rep.Coefs[i])
+				}
+			}
+			if got.Metrics.TotalCommBytes() != want.Metrics.TotalCommBytes() {
+				t.Errorf("modeled comm: got %d, want %d",
+					got.Metrics.TotalCommBytes(), want.Metrics.TotalCommBytes())
+			}
+			if got.Metrics.MapRecordsRead != want.Metrics.MapRecordsRead {
+				t.Errorf("records read: got %d, want %d",
+					got.Metrics.MapRecordsRead, want.Metrics.MapRecordsRead)
+			}
+		})
+	}
+}
+
+func evens(m int) []int {
+	var out []int
+	for i := 0; i < m; i += 2 {
+		out = append(out, i)
+	}
+	return out
+}
+
+func odds(m int) []int {
+	var out []int
+	for i := 1; i < m; i += 2 {
+		out = append(out, i)
+	}
+	return out
+}
+
+// TestMergePartialsCoverage rejects missing, duplicate, and out-of-range
+// split sets.
+func TestMergePartialsCoverage(t *testing.T) {
+	f := partialTestFile(t)
+	ctx := context.Background()
+	p := Params{U: 1 << 10, K: 10, Seed: 5}
+	m := NumSplits(f, p)
+	all := make([]int, m)
+	for i := range all {
+		all[i] = i
+	}
+	parts, err := MapSplits(ctx, f, "Send-V", p, all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MergePartials(ctx, f, "Send-V", p, parts[:m-1]); err == nil {
+		t.Error("accepted missing split")
+	}
+	dup := append(append([]SplitPartial{}, parts[:m-1]...), parts[0])
+	if _, err := MergePartials(ctx, f, "Send-V", p, dup); err == nil {
+		t.Error("accepted duplicate split")
+	}
+	if _, err := MapSplits(ctx, f, "Send-V", p, []int{m}); err == nil {
+		t.Error("accepted out-of-range split")
+	}
+	if _, err := MapSplits(ctx, f, "H-WTopk", p, []int{0}); err == nil {
+		t.Error("accepted multi-round method")
+	}
+}
+
+// TestEncodeDecodePartials round-trips the wire encoding and rejects
+// corrupt payloads.
+func TestEncodeDecodePartials(t *testing.T) {
+	in := []SplitPartial{
+		{
+			SplitID: 3, Node: 2, RecordsRead: 100, BytesRead: 400,
+			InputBytes: 400, CPUUnits: 12.5,
+			Pairs: []mapred.KV{
+				{Key: 7, Val: 2, Src: 3},
+				{Key: 9, Val: -1.25, Src: 3, Tag: mapred.TagNull},
+			},
+		},
+		{SplitID: 0, Node: 0, Pairs: nil},
+	}
+	b := EncodePartials(in)
+	out, err := DecodePartials(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("count: got %d, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i].SplitID != in[i].SplitID || out[i].CPUUnits != in[i].CPUUnits ||
+			len(out[i].Pairs) != len(in[i].Pairs) {
+			t.Fatalf("partial %d mismatch: %+v vs %+v", i, out[i], in[i])
+		}
+		for j := range in[i].Pairs {
+			if out[i].Pairs[j] != in[i].Pairs[j] {
+				t.Fatalf("pair %d/%d mismatch", i, j)
+			}
+		}
+	}
+	for _, bad := range [][]byte{nil, b[:4], b[:len(b)-3], append([]byte{255, 255, 255, 255, 255, 255, 255, 127}, b[8:]...)} {
+		if _, err := DecodePartials(bad); err == nil {
+			t.Errorf("decoded corrupt payload of %d bytes", len(bad))
+		}
+	}
+}
+
+// TestRunContextCancel: a canceled context aborts a simulated run.
+func TestRunContextCancel(t *testing.T) {
+	f := partialTestFile(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := NewSendV().Run(ctx, f, Params{U: 1 << 10, K: 10, Seed: 1}); err == nil {
+		t.Fatal("expected cancellation error")
+	}
+	if _, err := NewHWTopk().Run(ctx, f, Params{U: 1 << 10, K: 10, Seed: 1}); err == nil {
+		t.Fatal("expected cancellation error (multi-round)")
+	}
+}

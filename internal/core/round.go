@@ -1,0 +1,49 @@
+package core
+
+import (
+	"context"
+	"time"
+
+	"wavelethist/internal/hdfs"
+	"wavelethist/internal/mapred"
+	"wavelethist/internal/wavelet"
+)
+
+// The six one-round methods share a single map/reduce decomposition: each
+// exposes its configured mapred.Job via makeJob, and the final
+// representation via its reducer. That decomposition is what both the
+// simulated runner (runOneRound) and the distributed subsystem (MapSplits
+// / MergePartials in partial.go) execute — the same mapper and reducer
+// code runs in-process or across a waveworker fleet.
+
+// repReducer is a Reducer that yields the final k-term representation.
+type repReducer interface {
+	mapred.Reducer
+	representation() *wavelet.Representation
+}
+
+// oneRounder is implemented by the single-round methods (all but the
+// three-round H-WTopk). makeJob expects p to already be defaulted and
+// validated.
+type oneRounder interface {
+	Algorithm
+	makeJob(file *hdfs.File, p Params) (*mapred.Job, repReducer)
+}
+
+// runOneRound is the shared simulated Run of a one-round method.
+func runOneRound(ctx context.Context, a oneRounder, file *hdfs.File, p Params) (*Output, error) {
+	p = p.Defaults()
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	job, red := a.makeJob(file, p)
+	res, err := mapred.RunContext(ctx, job)
+	if err != nil {
+		return nil, err
+	}
+	out := &Output{Rep: red.representation()}
+	out.Metrics.addRound(res, 0)
+	out.Metrics.WallTime = time.Since(start)
+	return out, nil
+}

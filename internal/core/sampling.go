@@ -1,8 +1,8 @@
 package core
 
 import (
+	"context"
 	"math"
-	"time"
 
 	"wavelethist/internal/hdfs"
 	"wavelethist/internal/mapred"
@@ -87,6 +87,8 @@ func (r *scaleReducer) Close(ctx *mapred.TaskContext) error {
 	return nil
 }
 
+func (r *scaleReducer) representation() *wavelet.Representation { return r.rep }
+
 func sumCombiner(key int64, vals []mapred.KV) []mapred.KV {
 	var s float64
 	for _, kv := range vals {
@@ -96,12 +98,12 @@ func sumCombiner(key int64, vals []mapred.KV) []mapred.KV {
 }
 
 // Run implements Algorithm.
-func (a *BasicS) Run(file *hdfs.File, p Params) (*Output, error) {
-	p = p.Defaults()
-	if err := p.validate(); err != nil {
-		return nil, err
-	}
-	start := time.Now()
+func (a *BasicS) Run(ctx context.Context, file *hdfs.File, p Params) (*Output, error) {
+	return runOneRound(ctx, a, file, p)
+}
+
+// makeJob implements oneRounder.
+func (a *BasicS) makeJob(file *hdfs.File, p Params) (*mapred.Job, repReducer) {
 	prob := sampleProb(p.Epsilon, file.NumRecords)
 	red := &scaleReducer{u: p.U, k: p.K, p: prob}
 	var comb mapred.Combiner
@@ -121,14 +123,7 @@ func (a *BasicS) Run(file *hdfs.File, p Params) (*Output, error) {
 		Seed:        p.Seed,
 		Parallelism: p.Parallelism,
 	}
-	res, err := mapred.Run(job)
-	if err != nil {
-		return nil, err
-	}
-	out := &Output{Rep: red.rep}
-	out.Metrics.addRound(res, 0)
-	out.Metrics.WallTime = time.Since(start)
-	return out, nil
+	return job, red
 }
 
 // ---------- Improved-S ----------
@@ -177,12 +172,12 @@ func (m *improvedSMapper) Close(ctx *mapred.TaskContext, out *mapred.Emitter) er
 }
 
 // Run implements Algorithm.
-func (a *ImprovedS) Run(file *hdfs.File, p Params) (*Output, error) {
-	p = p.Defaults()
-	if err := p.validate(); err != nil {
-		return nil, err
-	}
-	start := time.Now()
+func (a *ImprovedS) Run(ctx context.Context, file *hdfs.File, p Params) (*Output, error) {
+	return runOneRound(ctx, a, file, p)
+}
+
+// makeJob implements oneRounder.
+func (a *ImprovedS) makeJob(file *hdfs.File, p Params) (*mapred.Job, repReducer) {
 	prob := sampleProb(p.Epsilon, file.NumRecords)
 	red := &scaleReducer{u: p.U, k: p.K, p: prob}
 	job := &mapred.Job{
@@ -198,14 +193,7 @@ func (a *ImprovedS) Run(file *hdfs.File, p Params) (*Output, error) {
 		Seed:        p.Seed,
 		Parallelism: p.Parallelism,
 	}
-	res, err := mapred.Run(job)
-	if err != nil {
-		return nil, err
-	}
-	out := &Output{Rep: red.rep}
-	out.Metrics.addRound(res, 0)
-	out.Metrics.WallTime = time.Since(start)
-	return out, nil
+	return job, red
 }
 
 // ---------- TwoLevel-S ----------
@@ -308,13 +296,15 @@ func (r *twoLevelSReducer) Close(ctx *mapred.TaskContext) error {
 	return nil
 }
 
+func (r *twoLevelSReducer) representation() *wavelet.Representation { return r.rep }
+
 // Run implements Algorithm.
-func (a *TwoLevelS) Run(file *hdfs.File, p Params) (*Output, error) {
-	p = p.Defaults()
-	if err := p.validate(); err != nil {
-		return nil, err
-	}
-	start := time.Now()
+func (a *TwoLevelS) Run(ctx context.Context, file *hdfs.File, p Params) (*Output, error) {
+	return runOneRound(ctx, a, file, p)
+}
+
+// makeJob implements oneRounder.
+func (a *TwoLevelS) makeJob(file *hdfs.File, p Params) (*mapred.Job, repReducer) {
 	splits := file.Splits(p.SplitSize)
 	m := len(splits)
 	prob := sampleProb(p.Epsilon, file.NumRecords)
@@ -342,12 +332,5 @@ func (a *TwoLevelS) Run(file *hdfs.File, p Params) (*Output, error) {
 		Seed:        p.Seed,
 		Parallelism: p.Parallelism,
 	}
-	res, err := mapred.Run(job)
-	if err != nil {
-		return nil, err
-	}
-	out := &Output{Rep: red.rep}
-	out.Metrics.addRound(res, 0)
-	out.Metrics.WallTime = time.Since(start)
-	return out, nil
+	return job, red
 }

@@ -1,7 +1,7 @@
 package core
 
 import (
-	"time"
+	"context"
 
 	"wavelethist/internal/hdfs"
 	"wavelethist/internal/mapred"
@@ -73,13 +73,15 @@ func (r *sendCoefReducer) Close(ctx *mapred.TaskContext) error {
 	return nil
 }
 
+func (r *sendCoefReducer) representation() *wavelet.Representation { return r.rep }
+
 // Run implements Algorithm.
-func (a *SendCoef) Run(file *hdfs.File, p Params) (*Output, error) {
-	p = p.Defaults()
-	if err := p.validate(); err != nil {
-		return nil, err
-	}
-	start := time.Now()
+func (a *SendCoef) Run(ctx context.Context, file *hdfs.File, p Params) (*Output, error) {
+	return runOneRound(ctx, a, file, p)
+}
+
+// makeJob implements oneRounder.
+func (a *SendCoef) makeJob(file *hdfs.File, p Params) (*mapred.Job, repReducer) {
 	red := &sendCoefReducer{u: p.U, k: p.K}
 	job := &mapred.Job{
 		Name:      "send-coef",
@@ -93,12 +95,5 @@ func (a *SendCoef) Run(file *hdfs.File, p Params) (*Output, error) {
 		Seed:        p.Seed,
 		Parallelism: p.Parallelism,
 	}
-	res, err := mapred.Run(job)
-	if err != nil {
-		return nil, err
-	}
-	out := &Output{Rep: red.rep}
-	out.Metrics.addRound(res, 0)
-	out.Metrics.WallTime = time.Since(start)
-	return out, nil
+	return job, red
 }

@@ -1,8 +1,8 @@
 package core
 
 import (
+	"context"
 	"math"
-	"time"
 
 	"wavelethist/internal/hdfs"
 	"wavelethist/internal/mapred"
@@ -117,6 +117,8 @@ func (r *sendSketchReducer) Reduce(_ *mapred.TaskContext, key int64, vals []mapr
 	return nil
 }
 
+func (r *sendSketchReducer) representation() *wavelet.Representation { return r.rep }
+
 func (r *sendSketchReducer) Close(ctx *mapred.TaskContext) error {
 	top := r.g.TopK(r.p.K, 0)
 	// Charge the hierarchical search: beam × levels × group-energy cost.
@@ -130,12 +132,12 @@ func (r *sendSketchReducer) Close(ctx *mapred.TaskContext) error {
 }
 
 // Run implements Algorithm.
-func (a *SendSketch) Run(file *hdfs.File, p Params) (*Output, error) {
-	p = p.Defaults()
-	if err := p.validate(); err != nil {
-		return nil, err
-	}
-	start := time.Now()
+func (a *SendSketch) Run(ctx context.Context, file *hdfs.File, p Params) (*Output, error) {
+	return runOneRound(ctx, a, file, p)
+}
+
+// makeJob implements oneRounder.
+func (a *SendSketch) makeJob(file *hdfs.File, p Params) (*mapred.Job, repReducer) {
 	red := &sendSketchReducer{p: p}
 	job := &mapred.Job{
 		Name:      "send-sketch",
@@ -150,12 +152,5 @@ func (a *SendSketch) Run(file *hdfs.File, p Params) (*Output, error) {
 		Seed:        p.Seed,
 		Parallelism: p.Parallelism,
 	}
-	res, err := mapred.Run(job)
-	if err != nil {
-		return nil, err
-	}
-	out := &Output{Rep: red.rep}
-	out.Metrics.addRound(res, 0)
-	out.Metrics.WallTime = time.Since(start)
-	return out, nil
+	return job, red
 }

@@ -1,7 +1,7 @@
 package core
 
 import (
-	"time"
+	"context"
 
 	"wavelethist/internal/hdfs"
 	"wavelethist/internal/mapred"
@@ -76,13 +76,15 @@ func (r *sendVReducer) Close(ctx *mapred.TaskContext) error {
 	return nil
 }
 
+func (r *sendVReducer) representation() *wavelet.Representation { return r.rep }
+
 // Run implements Algorithm.
-func (a *SendV) Run(file *hdfs.File, p Params) (*Output, error) {
-	p = p.Defaults()
-	if err := p.validate(); err != nil {
-		return nil, err
-	}
-	start := time.Now()
+func (a *SendV) Run(ctx context.Context, file *hdfs.File, p Params) (*Output, error) {
+	return runOneRound(ctx, a, file, p)
+}
+
+// makeJob implements oneRounder.
+func (a *SendV) makeJob(file *hdfs.File, p Params) (*mapred.Job, repReducer) {
 	red := &sendVReducer{u: p.U, k: p.K}
 	job := &mapred.Job{
 		Name:      "send-v",
@@ -97,12 +99,5 @@ func (a *SendV) Run(file *hdfs.File, p Params) (*Output, error) {
 		Seed:        p.Seed,
 		Parallelism: p.Parallelism,
 	}
-	res, err := mapred.Run(job)
-	if err != nil {
-		return nil, err
-	}
-	out := &Output{Rep: red.rep}
-	out.Metrics.addRound(res, 0)
-	out.Metrics.WallTime = time.Since(start)
-	return out, nil
+	return job, red
 }

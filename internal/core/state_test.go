@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 	"testing/quick"
 
@@ -206,11 +207,11 @@ func TestHWTopkEquivalenceQuick(t *testing.T) {
 		}
 		f := w.Close()
 		p := Params{U: u, K: k, Seed: 9}
-		sv, err := NewSendV().Run(f, p)
+		sv, err := NewSendV().Run(context.Background(), f, p)
 		if err != nil {
 			return false
 		}
-		hw, err := NewHWTopk().Run(f, p)
+		hw, err := NewHWTopk().Run(context.Background(), f, p)
 		if err != nil {
 			return false
 		}

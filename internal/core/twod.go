@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -47,7 +48,7 @@ func NewSendV2D() *SendV2D { return &SendV2D{} }
 func (*SendV2D) Name() string { return "Send-V-2D" }
 
 // Run builds the best k-term 2D representation exactly.
-func (a *SendV2D) Run(file *hdfs.File, p Params) (*Output2D, error) {
+func (a *SendV2D) Run(ctx context.Context, file *hdfs.File, p Params) (*Output2D, error) {
 	p = p.Defaults()
 	packed, err := check2DDomain(p.U)
 	if err != nil {
@@ -67,7 +68,7 @@ func (a *SendV2D) Run(file *hdfs.File, p Params) (*Output2D, error) {
 		Seed:        p.Seed,
 		Parallelism: p.Parallelism,
 	}
-	res, err := mapred.Run(job)
+	res, err := mapred.RunContext(ctx, job)
 	if err != nil {
 		return nil, err
 	}
@@ -117,7 +118,7 @@ func NewHWTopk2D() *HWTopk2D { return &HWTopk2D{} }
 func (*HWTopk2D) Name() string { return "H-WTopk-2D" }
 
 // Run computes the exact 2D top-k.
-func (a *HWTopk2D) Run(file *hdfs.File, p Params) (*Output2D, error) {
+func (a *HWTopk2D) Run(ctx context.Context, file *hdfs.File, p Params) (*Output2D, error) {
 	p = p.Defaults()
 	packed, err := check2DDomain(p.U)
 	if err != nil {
@@ -127,7 +128,7 @@ func (a *HWTopk2D) Run(file *hdfs.File, p Params) (*Output2D, error) {
 		return nil, err
 	}
 	start := time.Now()
-	top, metrics, err := runHWTopkRounds(file, p, packed, transform2D(p.U))
+	top, metrics, err := runHWTopkRounds(ctx, file, p, packed, transform2D(p.U))
 	if err != nil {
 		return nil, err
 	}
@@ -195,7 +196,7 @@ func (r *twoLevel2DReducer) Close(ctx *mapred.TaskContext) error {
 }
 
 // Run computes the approximate 2D top-k by two-level sampling.
-func (a *TwoLevelS2D) Run(file *hdfs.File, p Params) (*Output2D, error) {
+func (a *TwoLevelS2D) Run(ctx context.Context, file *hdfs.File, p Params) (*Output2D, error) {
 	p = p.Defaults()
 	packed, err := check2DDomain(p.U)
 	if err != nil {
@@ -231,7 +232,7 @@ func (a *TwoLevelS2D) Run(file *hdfs.File, p Params) (*Output2D, error) {
 		Seed:        p.Seed,
 		Parallelism: p.Parallelism,
 	}
-	res, err := mapred.Run(job)
+	res, err := mapred.RunContext(ctx, job)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -74,7 +75,7 @@ func assert2DExact(t *testing.T, name string, got *wavelet.Representation2D, den
 func TestSendV2DExact(t *testing.T) {
 	const u = 32
 	f, dense := make2DDataset(t, 20000, u, 2048, 3)
-	out, err := NewSendV2D().Run(f, Params{U: u, K: 15, Seed: 1})
+	out, err := NewSendV2D().Run(context.Background(), f, Params{U: u, K: 15, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +85,7 @@ func TestSendV2DExact(t *testing.T) {
 func TestHWTopk2DExact(t *testing.T) {
 	const u = 32
 	f, dense := make2DDataset(t, 20000, u, 2048, 5)
-	out, err := NewHWTopk2D().Run(f, Params{U: u, K: 10, Seed: 2})
+	out, err := NewHWTopk2D().Run(context.Background(), f, Params{U: u, K: 10, Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,11 +99,11 @@ func TestHWTopk2DMatchesSendV2D(t *testing.T) {
 	const u = 16
 	f, _ := make2DDataset(t, 8000, u, 1024, 7)
 	p := Params{U: u, K: 12, Seed: 3}
-	sv, err := NewSendV2D().Run(f, p)
+	sv, err := NewSendV2D().Run(context.Background(), f, p)
 	if err != nil {
 		t.Fatal(err)
 	}
-	hw, err := NewHWTopk2D().Run(f, p)
+	hw, err := NewHWTopk2D().Run(context.Background(), f, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +120,7 @@ func TestHWTopk2DMatchesSendV2D(t *testing.T) {
 func TestTwoLevelS2DApproximates(t *testing.T) {
 	const u = 32
 	f, dense := make2DDataset(t, 60000, u, 2048, 9)
-	out, err := NewTwoLevelS2D().Run(f, Params{U: u, K: 20, Epsilon: 0.01, Seed: 4})
+	out, err := NewTwoLevelS2D().Run(context.Background(), f, Params{U: u, K: 20, Epsilon: 0.01, Seed: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,10 +147,10 @@ func Test2DValidation(t *testing.T) {
 	w, _ := fs.Create("x", 8)
 	w.Append(0)
 	f := w.Close()
-	if _, err := NewSendV2D().Run(f, Params{U: 3, K: 5}); err == nil {
+	if _, err := NewSendV2D().Run(context.Background(), f, Params{U: 3, K: 5}); err == nil {
 		t.Error("accepted non-power-of-two 2D side")
 	}
-	if _, err := NewTwoLevelS2D().Run(f, Params{U: 3, K: 5, Epsilon: 0.1}); err == nil {
+	if _, err := NewTwoLevelS2D().Run(context.Background(), f, Params{U: 3, K: 5, Epsilon: 0.1}); err == nil {
 		t.Error("accepted non-power-of-two 2D side")
 	}
 }

@@ -1,6 +1,7 @@
 package exper
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -442,7 +443,7 @@ func Fig16(cfg Config) ([]*Figure, error) {
 	}
 	fig := newFigure("fig16", "Running time: vary bandwidth B", "B", "seconds", ticks, names(algs))
 	for j, alg := range algs {
-		out, err := alg.Run(file, cfg.Params())
+		out, err := alg.Run(context.Background(), file, cfg.Params())
 		if err != nil {
 			return nil, err
 		}

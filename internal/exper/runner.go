@@ -1,6 +1,7 @@
 package exper
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -20,7 +21,7 @@ type MethodResult struct {
 // runOne executes one method over a dataset. When dense is non-nil the
 // SSE against it is computed.
 func runOne(alg core.Algorithm, file *hdfs.File, p core.Params, cfg Config, dense []float64) (MethodResult, error) {
-	out, err := alg.Run(file, p)
+	out, err := alg.Run(context.Background(), file, p)
 	if err != nil {
 		return MethodResult{}, fmt.Errorf("%s: %w", alg.Name(), err)
 	}

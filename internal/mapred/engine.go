@@ -1,6 +1,7 @@
 package mapred
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -25,18 +26,17 @@ type mapOutput struct {
 
 // Run executes one MapReduce round.
 func Run(job *Job) (*Result, error) {
+	return RunContext(context.Background(), job)
+}
+
+// RunContext executes one MapReduce round, aborting early (with ctx.Err())
+// when the context is canceled. Cancellation is checked between reducer
+// batches and periodically inside map-side record scans.
+func RunContext(ctx context.Context, job *Job) (*Result, error) {
 	if err := job.validate(); err != nil {
 		return nil, err
 	}
-	if job.Conf == nil {
-		job.Conf = Conf{}
-	}
-	if job.Cache == nil {
-		job.Cache = NewDistCache()
-	}
-	if job.State == nil {
-		job.State = NewStateStore()
-	}
+	job.fillDefaults()
 	counters := &Counters{}
 	m := len(job.Splits)
 
@@ -72,7 +72,7 @@ func Run(job *Job) (*Result, error) {
 		go func() {
 			defer wg.Done()
 			for idx := range indices {
-				outputs[idx] = runMapTask(job, idx, counters)
+				outputs[idx] = runMapTask(ctx, job, idx, counters)
 				close(done[idx])
 			}
 		}()
@@ -114,6 +114,9 @@ func Run(job *Job) (*Result, error) {
 		out := outputs[i]
 		outputs[i] = nil
 		<-tokens
+		if reduceErr == nil && ctx.Err() != nil {
+			reduceErr = ctx.Err()
+		}
 		if out.err != nil {
 			reduceErr = out.err
 			continue
@@ -205,9 +208,12 @@ func taskRNG(seed uint64, splitID int) *zipf.RNG {
 
 // runMapTask executes one mapper over its split: Setup, Map per record,
 // Close, then sort + combine + byte accounting.
-func runMapTask(job *Job, idx int, counters *Counters) *mapOutput {
+func runMapTask(ctx context.Context, job *Job, idx int, counters *Counters) *mapOutput {
+	if ctx.Err() != nil {
+		return &mapOutput{err: ctx.Err()}
+	}
 	split := job.Splits[idx]
-	ctx := &TaskContext{
+	tctx := &TaskContext{
 		JobName:   job.Name,
 		Split:     split,
 		SplitID:   idx,
@@ -219,27 +225,30 @@ func runMapTask(job *Job, idx int, counters *Counters) *mapOutput {
 		counters:  counters,
 	}
 	mapper := job.NewMapper(split)
-	out := &Emitter{counters: counters, job: job, ctx: ctx}
-	if err := mapper.Setup(ctx); err != nil {
+	out := &Emitter{counters: counters, job: job, ctx: tctx}
+	if err := mapper.Setup(tctx); err != nil {
 		return &mapOutput{err: fmt.Errorf("split %d setup: %w", idx, err)}
 	}
 
 	var bytesRead int64
 	var records int64
-	if reader := job.Input.Open(split, ctx); reader != nil {
+	if reader := job.Input.Open(split, tctx); reader != nil {
 		for {
 			rec, ok := reader.Next()
 			if !ok {
 				break
 			}
 			records++
-			if err := mapper.Map(ctx, rec, out); err != nil {
+			if records&8191 == 0 && ctx.Err() != nil {
+				return &mapOutput{err: ctx.Err()}
+			}
+			if err := mapper.Map(tctx, rec, out); err != nil {
 				return &mapOutput{err: fmt.Errorf("split %d map: %w", idx, err)}
 			}
 		}
 		bytesRead = reader.BytesRead()
 	}
-	if err := mapper.Close(ctx, out); err != nil {
+	if err := mapper.Close(tctx, out); err != nil {
 		return &mapOutput{err: fmt.Errorf("split %d close: %w", idx, err)}
 	}
 
@@ -270,7 +279,7 @@ func runMapTask(job *Job, idx int, counters *Counters) *mapOutput {
 	// Base CPU charges: one unit per record scanned, one per emitted pair
 	// (buffer/partition/sort amortized); algorithm-specific work arrives
 	// via ctx.AddWork.
-	cpu := ctx.cpuUnits + float64(records) + float64(len(out.pairs))
+	cpu := tctx.cpuUnits + float64(records) + float64(len(out.pairs))
 	counters.addMapCPU(cpu)
 
 	return &mapOutput{
@@ -278,7 +287,7 @@ func runMapTask(job *Job, idx int, counters *Counters) *mapOutput {
 		metrics: TaskMetrics{
 			SplitID:    idx,
 			Node:       split.Node,
-			InputBytes: bytesRead + ctx.ioBytes,
+			InputBytes: bytesRead + tctx.ioBytes,
 			CPUUnits:   cpu,
 		},
 	}

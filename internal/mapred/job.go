@@ -254,6 +254,19 @@ func (j *Job) validate() error {
 	return nil
 }
 
+// fillDefaults lazily creates the shared per-job stores.
+func (j *Job) fillDefaults() {
+	if j.Conf == nil {
+		j.Conf = Conf{}
+	}
+	if j.Cache == nil {
+		j.Cache = NewDistCache()
+	}
+	if j.State == nil {
+		j.State = NewStateStore()
+	}
+}
+
 func (j *Job) numReducers() int {
 	if j.NumReducers <= 1 {
 		return 1

@@ -1,0 +1,113 @@
+package mapred
+
+import (
+	"context"
+	"fmt"
+	"sort"
+)
+
+// Split-granular execution: the dist subsystem runs a job's map side one
+// split at a time on remote worker processes (RunMapSplit) and its reduce
+// side once on the coordinator over the collected per-split batches
+// (RunReduce). Because every task derives its RNG from (job seed, split
+// id) and the reducer consumes batches in split order, the two halves
+// reproduce Run's output bit-for-bit regardless of which worker ran which
+// split — the property the distributed parity tests assert.
+
+// MapSplitResult is the outcome of one standalone map task: the split's
+// sorted, combined intermediate pairs plus its measured work profile.
+type MapSplitResult struct {
+	Pairs   []KV
+	Metrics TaskMetrics
+	// RecordsRead / BytesRead are the split's input-scan counters.
+	RecordsRead int64
+	BytesRead   int64
+	// ShuffleBytes is the modeled wire size of Pairs under Job.PairBytes
+	// (the paper's communication accounting for this split's shuffle).
+	ShuffleBytes int64
+}
+
+// RunMapSplit executes only the map side of split idx.
+func RunMapSplit(ctx context.Context, job *Job, idx int) (*MapSplitResult, error) {
+	if err := job.validate(); err != nil {
+		return nil, err
+	}
+	if idx < 0 || idx >= len(job.Splits) {
+		return nil, fmt.Errorf("mapred: %s: split %d out of range [0, %d)", job.Name, idx, len(job.Splits))
+	}
+	job.fillDefaults()
+	counters := &Counters{}
+	out := runMapTask(ctx, job, idx, counters)
+	if out.err != nil {
+		return nil, fmt.Errorf("mapred: %s: %w", job.Name, out.err)
+	}
+	return &MapSplitResult{
+		Pairs:        out.pairs,
+		Metrics:      out.metrics,
+		RecordsRead:  counters.MapRecordsRead,
+		BytesRead:    counters.MapBytesRead,
+		ShuffleBytes: counters.ShuffleBytes,
+	}, nil
+}
+
+// RunReduce executes only the reduce side of a single-reducer job over
+// externally supplied per-split pair batches (each sorted by key), fed in
+// the order given. The returned Result carries reduce-side and shuffle
+// metrics; map-task profiles come from the workers' MapSplitResults.
+func RunReduce(ctx context.Context, job *Job, batches [][]KV) (*Result, error) {
+	if err := job.validate(); err != nil {
+		return nil, err
+	}
+	if job.numReducers() != 1 {
+		return nil, fmt.Errorf("mapred: %s: RunReduce supports single-reducer jobs only", job.Name)
+	}
+	job.fillDefaults()
+	counters := &Counters{}
+	rctx := &TaskContext{
+		JobName:   job.Name,
+		SplitID:   ReducerState,
+		NumSplits: len(job.Splits),
+		Conf:      job.Conf,
+		Cache:     job.Cache,
+		State:     job.State,
+		RNG:       taskRNG(job.Seed, ReducerState),
+		counters:  counters,
+	}
+	red := job.Reducer
+	if err := red.Setup(rctx); err != nil {
+		return nil, fmt.Errorf("mapred: %s: reducer setup: %w", job.Name, err)
+	}
+	res := &Result{}
+	feed := batches
+	if !job.Streaming {
+		// Grouped semantics: one globally key-sorted pass, stable so split
+		// order is preserved within a key — exactly what Run produces.
+		var all []KV
+		for _, b := range batches {
+			all = append(all, b...)
+		}
+		sort.SliceStable(all, func(a, b int) bool { return all[a].Key < all[b].Key })
+		feed = [][]KV{all}
+	}
+	for _, batch := range feed {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("mapred: %s: %w", job.Name, err)
+		}
+		if err := feedGroups(rctx, red, batch, counters); err != nil {
+			return nil, fmt.Errorf("mapred: %s: %w", job.Name, err)
+		}
+		for i := range batch {
+			res.ShuffleBytes += int64(job.pairBytes(batch[i]))
+		}
+		res.PairsShuffled += int64(len(batch))
+	}
+	if err := red.Close(rctx); err != nil {
+		return nil, fmt.Errorf("mapred: %s: reducer close: %w", job.Name, err)
+	}
+	res.ReduceCPU = rctx.cpuUnits + float64(counters.ReduceCalls)
+	res.ReduceCalls = counters.ReduceCalls
+	res.Counters = *counters
+	res.Counters.ShuffleBytes = res.ShuffleBytes
+	res.Counters.PairsShuffled = res.PairsShuffled
+	return res, nil
+}

@@ -1,6 +1,8 @@
 package serve
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -9,19 +11,28 @@ import (
 )
 
 // Async build jobs: POST /v1/build launches one goroutine that runs a
-// (simulated-cluster) construction method over a registered dataset and
-// publishes the result; GET /v1/jobs/{id} polls it. Builds are the
-// expensive, minutes-long operation the registry's snapshot swap exists
-// to hide from query traffic.
+// construction method — on the simulated cluster or, when a coordinator
+// is configured, on the distributed worker fleet — over a registered
+// dataset and publishes the result; GET /v1/jobs/{id} polls it and
+// DELETE /v1/jobs/{id} cancels it. Builds are the expensive,
+// minutes-long operation the registry's snapshot swap exists to hide
+// from query traffic.
 
 // JobState is a build job's lifecycle phase.
 type JobState string
 
 // Job lifecycle states.
 const (
-	JobRunning JobState = "running"
-	JobDone    JobState = "done"
-	JobFailed  JobState = "failed"
+	JobRunning  JobState = "running"
+	JobDone     JobState = "done"
+	JobFailed   JobState = "failed"
+	JobCanceled JobState = "canceled"
+)
+
+// Build modes.
+const (
+	ModeSimulated   = "simulated"
+	ModeDistributed = "distributed"
 )
 
 // Job is one asynchronous build. Fields other than ID are guarded by the
@@ -32,16 +43,29 @@ type Job struct {
 	name    string
 	dataset string
 	method  string
+	mode    string
 
 	state JobState
 	err   string
 
-	// Build outcome, valid once state == JobDone.
-	version    uint64
-	k          int
-	commBytes  int64
-	rounds     int
-	wallMillis int64
+	cancel context.CancelFunc
+
+	// Build outcome, valid once state == JobDone. Metrics are recorded
+	// uniformly for simulated and distributed builds so the two modes are
+	// directly comparable in GET /v1/jobs/{id}: commBytes is mode-native
+	// (modeled for simulated, measured for distributed), modelCommBytes
+	// uses identical accounting in both modes, wireBytes is real traffic
+	// (0 when simulated).
+	version        uint64
+	k              int
+	commBytes      int64
+	modelCommBytes int64
+	wireBytes      int64
+	rounds         int
+	recordsRead    int64
+	bytesRead      int64
+	wallMillis     int64
+	simSeconds     float64
 
 	done chan struct{}
 }
@@ -52,14 +76,20 @@ type JobView struct {
 	Name    string   `json:"name"`
 	Dataset string   `json:"dataset"`
 	Method  string   `json:"method"`
+	Mode    string   `json:"mode"`
 	State   JobState `json:"state"`
 	Error   string   `json:"error,omitempty"`
 
-	Version    uint64 `json:"version,omitempty"`
-	K          int    `json:"k,omitempty"`
-	CommBytes  int64  `json:"comm_bytes,omitempty"`
-	Rounds     int    `json:"rounds,omitempty"`
-	WallMillis int64  `json:"wall_millis,omitempty"`
+	Version          uint64  `json:"version,omitempty"`
+	K                int     `json:"k,omitempty"`
+	CommBytes        int64   `json:"comm_bytes,omitempty"`
+	ModelCommBytes   int64   `json:"model_comm_bytes,omitempty"`
+	WireBytes        int64   `json:"wire_bytes,omitempty"`
+	Rounds           int     `json:"rounds,omitempty"`
+	RecordsRead      int64   `json:"records_read,omitempty"`
+	BytesRead        int64   `json:"bytes_read,omitempty"`
+	WallMillis       int64   `json:"wall_millis,omitempty"`
+	SimulatedSeconds float64 `json:"simulated_seconds,omitempty"`
 }
 
 type jobSet struct {
@@ -76,7 +106,7 @@ func newJobSet(maxJobs int) *jobSet {
 	return &jobSet{jobs: map[string]*Job{}, maxJobs: maxJobs}
 }
 
-func (js *jobSet) create(name, dataset, method string) *Job {
+func (js *jobSet) create(name, dataset, method, mode string, cancel context.CancelFunc) *Job {
 	js.mu.Lock()
 	defer js.mu.Unlock()
 	js.seq++
@@ -85,7 +115,9 @@ func (js *jobSet) create(name, dataset, method string) *Job {
 		name:    name,
 		dataset: dataset,
 		method:  method,
+		mode:    mode,
 		state:   JobRunning,
+		cancel:  cancel,
 		done:    make(chan struct{}),
 	}
 	js.jobs[j.ID] = j
@@ -122,23 +154,32 @@ func (js *jobSet) view(j *Job) JobView {
 	js.mu.Lock()
 	defer js.mu.Unlock()
 	return JobView{
-		ID:         j.ID,
-		Name:       j.name,
-		Dataset:    j.dataset,
-		Method:     j.method,
-		State:      j.state,
-		Error:      j.err,
-		Version:    j.version,
-		K:          j.k,
-		CommBytes:  j.commBytes,
-		Rounds:     j.rounds,
-		WallMillis: j.wallMillis,
+		ID:               j.ID,
+		Name:             j.name,
+		Dataset:          j.dataset,
+		Method:           j.method,
+		Mode:             j.mode,
+		State:            j.state,
+		Error:            j.err,
+		Version:          j.version,
+		K:                j.k,
+		CommBytes:        j.commBytes,
+		ModelCommBytes:   j.modelCommBytes,
+		WireBytes:        j.wireBytes,
+		Rounds:           j.rounds,
+		RecordsRead:      j.recordsRead,
+		BytesRead:        j.bytesRead,
+		WallMillis:       j.wallMillis,
+		SimulatedSeconds: j.simSeconds,
 	}
 }
 
 func (js *jobSet) fail(j *Job, err error) {
 	js.mu.Lock()
 	j.state = JobFailed
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		j.state = JobCanceled
+	}
 	j.err = err.Error()
 	js.mu.Unlock()
 	close(j.done)
@@ -151,11 +192,33 @@ func (js *jobSet) finish(j *Job, e *Entry, k int, res *wavelethist.Result) {
 	j.k = k
 	if res != nil {
 		j.commBytes = res.CommBytes
+		j.modelCommBytes = res.ModelCommBytes
+		j.wireBytes = res.WireBytes
 		j.rounds = res.Rounds
+		j.recordsRead = res.RecordsRead
+		j.bytesRead = res.BytesRead
 		j.wallMillis = res.WallTime.Milliseconds()
+		j.simSeconds = res.SimulatedSeconds()
 	}
 	js.mu.Unlock()
 	close(j.done)
+}
+
+// requestCancel triggers the job's context cancellation; the build
+// goroutine observes it and moves the job to JobCanceled. Returns false
+// if the job already finished.
+func (js *jobSet) requestCancel(j *Job) bool {
+	js.mu.Lock()
+	running := j.state == JobRunning
+	cancel := j.cancel
+	js.mu.Unlock()
+	if !running {
+		return false
+	}
+	if cancel != nil {
+		cancel()
+	}
+	return true
 }
 
 // Wait blocks until the job leaves JobRunning (test helper; HTTP clients

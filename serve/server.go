@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -9,6 +10,7 @@ import (
 	"time"
 
 	"wavelethist"
+	"wavelethist/dist"
 )
 
 // Config tunes a Server. The zero value is usable: in-memory registry,
@@ -37,6 +39,12 @@ type Config struct {
 	// MaxJobs bounds retained job records (default 1024); the oldest
 	// finished jobs are pruned as new ones are created.
 	MaxJobs int
+	// Coordinator enables distributed builds: POST /v1/build with
+	// "distributed": true fans the build out to the coordinator's worker
+	// fleet, and the coordinator's /dist/v1/* endpoints (worker
+	// registration, heartbeats, fleet listing) are mounted on the server.
+	// Nil keeps every build on the in-process simulated cluster.
+	Coordinator *dist.Coordinator
 }
 
 func (c Config) withDefaults() Config {
@@ -87,6 +95,12 @@ type Server struct {
 	buildSem chan struct{} // bounds concurrent build goroutines
 	mux      *http.ServeMux
 
+	// baseCtx parents every build job's context; Close cancels it so
+	// daemon shutdown doesn't strand job goroutines.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	jobWG      sync.WaitGroup
+
 	mu       sync.Mutex
 	datasets map[string]*wavelethist.Dataset
 	maints   map[string]*maintained
@@ -107,14 +121,17 @@ func NewServer(cfg Config) (*Server, error) {
 	} else {
 		reg = NewRegistry()
 	}
+	baseCtx, baseCancel := context.WithCancel(context.Background())
 	s := &Server{
-		cfg:      cfg,
-		reg:      reg,
-		jobs:     newJobSet(cfg.MaxJobs),
-		buildSem: make(chan struct{}, cfg.MaxConcurrentBuilds),
-		mux:      http.NewServeMux(),
-		datasets: map[string]*wavelethist.Dataset{},
-		maints:   map[string]*maintained{},
+		cfg:        cfg,
+		reg:        reg,
+		jobs:       newJobSet(cfg.MaxJobs),
+		buildSem:   make(chan struct{}, cfg.MaxConcurrentBuilds),
+		mux:        http.NewServeMux(),
+		baseCtx:    baseCtx,
+		baseCancel: baseCancel,
+		datasets:   map[string]*wavelethist.Dataset{},
+		maints:     map[string]*maintained{},
 	}
 	s.routes()
 	return s, nil
@@ -122,6 +139,17 @@ func NewServer(cfg Config) (*Server, error) {
 
 // Registry exposes the underlying registry for embedding and tests.
 func (s *Server) Registry() *Registry { return s.reg }
+
+// Coordinator returns the configured distributed-build coordinator (nil
+// when running simulated-only).
+func (s *Server) Coordinator() *dist.Coordinator { return s.cfg.Coordinator }
+
+// Close cancels all running build jobs and waits for their goroutines to
+// drain — call it on daemon shutdown so no job outlives the server.
+func (s *Server) Close() {
+	s.baseCancel()
+	s.jobWG.Wait()
+}
 
 // RegisterDataset makes a dataset buildable by name via POST /v1/build.
 func (s *Server) RegisterDataset(name string, ds *wavelethist.Dataset) error {
@@ -161,6 +189,10 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/datasets", s.handleCreateDataset)
 	s.mux.HandleFunc("POST /v1/build", s.handleBuild)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
+	if s.cfg.Coordinator != nil {
+		s.mux.Handle("/dist/v1/", s.cfg.Coordinator.Handler())
+	}
 }
 
 // --- JSON plumbing ---
@@ -600,6 +632,9 @@ type BuildRequest struct {
 	K       int     `json:"k,omitempty"`
 	Epsilon float64 `json:"epsilon,omitempty"`
 	Seed    uint64  `json:"seed,omitempty"`
+	// Distributed runs the build on the waveworker fleet instead of the
+	// simulated cluster (requires a configured coordinator).
+	Distributed bool `json:"distributed,omitempty"`
 	// Maintain seeds a live maintainer from the built histogram so the
 	// updates endpoint keeps it fresh; Shadow sizes its shadow set.
 	Maintain bool `json:"maintain,omitempty"`
@@ -631,25 +666,44 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "unknown method %q", req.Method)
 		return
 	}
+	mode := ModeSimulated
+	if req.Distributed {
+		if s.cfg.Coordinator == nil {
+			writeErr(w, http.StatusBadRequest, "distributed builds are not enabled (start wavehistd with -workers or -dist)")
+			return
+		}
+		mode = ModeDistributed
+	}
 	select {
 	case s.buildSem <- struct{}{}:
 	default:
 		writeErr(w, http.StatusTooManyRequests, "at build-concurrency limit %d; retry later", s.cfg.MaxConcurrentBuilds)
 		return
 	}
-	job := s.jobs.create(req.Name, req.Dataset, req.Method)
-	go s.runBuild(job, ds, req)
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	job := s.jobs.create(req.Name, req.Dataset, req.Method, mode, cancel)
+	s.jobWG.Add(1)
+	go s.runBuild(ctx, cancel, job, ds, req)
 	writeJSON(w, http.StatusAccepted, map[string]any{
 		"job":        job.ID,
 		"status_url": "/v1/jobs/" + job.ID,
 	})
 }
 
-func (s *Server) runBuild(job *Job, ds *wavelethist.Dataset, req BuildRequest) {
+func (s *Server) runBuild(ctx context.Context, cancel context.CancelFunc, job *Job, ds *wavelethist.Dataset, req BuildRequest) {
+	defer s.jobWG.Done()
+	defer cancel()
 	defer func() { <-s.buildSem }()
-	res, err := wavelethist.Build(ds, wavelethist.Method(req.Method), wavelethist.Options{
-		K: req.K, Epsilon: req.Epsilon, Seed: req.Seed,
-	})
+	opts := wavelethist.Options{K: req.K, Epsilon: req.Epsilon, Seed: req.Seed}
+	var (
+		res *wavelethist.Result
+		err error
+	)
+	if req.Distributed {
+		res, err = wavelethist.BuildDistributed(ctx, ds, wavelethist.Method(req.Method), opts, s.cfg.Coordinator)
+	} else {
+		res, err = wavelethist.BuildContext(ctx, ds, wavelethist.Method(req.Method), opts)
+	}
 	if err != nil {
 		s.jobs.fail(job, err)
 		return
@@ -689,4 +743,22 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, s.jobs.view(j))
+}
+
+// handleCancelJob cancels a running build: its context is canceled and
+// the build goroutine moves it to "canceled" once it unwinds. Canceling
+// an already-finished job is a no-op that reports the final state.
+func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := s.jobs.get(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no job %q", id)
+		return
+	}
+	canceling := s.jobs.requestCancel(j)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"job":       j.ID,
+		"canceling": canceling,
+		"state":     s.jobs.view(j).State,
+	})
 }

@@ -318,19 +318,19 @@ func TestUpdatesConflictAfterRebuild(t *testing.T) {
 // the set exceeds its cap, while running jobs are never dropped.
 func TestJobSetRetention(t *testing.T) {
 	js := newJobSet(3)
-	j1 := js.create("a", "d", "Send-V")
-	j2 := js.create("b", "d", "Send-V")
+	j1 := js.create("a", "d", "Send-V", ModeSimulated, nil)
+	j2 := js.create("b", "d", "Send-V", ModeSimulated, nil)
 	js.fail(j1, fmt.Errorf("x"))
 	js.finish(j2, &Entry{Version: 1}, 5, nil)
-	js.create("c", "d", "Send-V") // still running
-	js.create("e", "d", "Send-V") // 4th job: prune kicks in, drops j1
+	js.create("c", "d", "Send-V", ModeSimulated, nil) // still running
+	js.create("e", "d", "Send-V", ModeSimulated, nil) // 4th job: prune kicks in, drops j1
 	if _, ok := js.get(j1.ID); ok {
 		t.Fatal("oldest finished job not pruned")
 	}
 	if _, ok := js.get(j2.ID); !ok {
 		t.Fatal("pruned more than needed")
 	}
-	js.create("f", "d", "Send-V") // drops j2, but running jobs survive
+	js.create("f", "d", "Send-V", ModeSimulated, nil) // drops j2, but running jobs survive
 	if _, ok := js.get(j2.ID); ok {
 		t.Fatal("second finished job not pruned")
 	}

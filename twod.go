@@ -1,6 +1,7 @@
 package wavelethist
 
 import (
+	"context"
 	"fmt"
 
 	"wavelethist/internal/core"
@@ -143,6 +144,11 @@ type Result2D struct {
 
 // Build2D constructs a 2D wavelet histogram.
 func Build2D(d *Dataset2D, method Method2D, opts Options) (*Result2D, error) {
+	return Build2DContext(context.Background(), d, method, opts)
+}
+
+// Build2DContext is Build2D with cancellation.
+func Build2DContext(ctx context.Context, d *Dataset2D, method Method2D, opts Options) (*Result2D, error) {
 	if d == nil || d.file == nil {
 		return nil, fmt.Errorf("wavelethist: nil dataset")
 	}
@@ -151,11 +157,11 @@ func Build2D(d *Dataset2D, method Method2D, opts Options) (*Result2D, error) {
 	var err error
 	switch method {
 	case SendV2D:
-		out, err = core.NewSendV2D().Run(d.file, p)
+		out, err = core.NewSendV2D().Run(ctx, d.file, p)
 	case HWTopk2D:
-		out, err = core.NewHWTopk2D().Run(d.file, p)
+		out, err = core.NewHWTopk2D().Run(ctx, d.file, p)
 	case TwoLevelS2D:
-		out, err = core.NewTwoLevelS2D().Run(d.file, p)
+		out, err = core.NewTwoLevelS2D().Run(ctx, d.file, p)
 	default:
 		return nil, fmt.Errorf("wavelethist: unknown 2D method %q", method)
 	}

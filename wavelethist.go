@@ -27,6 +27,7 @@
 package wavelethist
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -154,16 +155,29 @@ func (h *Histogram) SSE(exact map[int64]float64) float64 {
 // efficiency metrics (communication and running time).
 type Result struct {
 	Histogram *Histogram
-	// CommBytes is the total intra-cluster communication: shuffled
-	// intermediate pairs plus coordinator broadcasts.
+	// CommBytes is the total intra-cluster communication. For simulated
+	// builds it is the modeled metric (shuffled intermediate pairs plus
+	// coordinator broadcasts, at the paper's wire widths); for distributed
+	// builds it is the real traffic measured on the coordinator↔worker
+	// RPCs (request plus response payload bytes).
 	CommBytes int64
+	// ModelCommBytes is the paper's modeled communication metric, computed
+	// with identical accounting in both modes — the field to compare when
+	// contrasting a simulated build with a distributed one.
+	ModelCommBytes int64
+	// WireBytes is the measured on-the-wire communication of a distributed
+	// build; zero for simulated builds.
+	WireBytes int64
+	// Distributed reports whether the build ran on a waveworker fleet
+	// (BuildDistributed) rather than the in-process simulated cluster.
+	Distributed bool
 	// Rounds is the number of MapReduce rounds (1 or 3).
 	Rounds int
 	// RecordsRead / BytesRead measure the map-side input scan (sampling
 	// methods read far less than the file size).
 	RecordsRead int64
 	BytesRead   int64
-	// WallTime is the real time of the in-process simulation.
+	// WallTime is the real end-to-end build time.
 	WallTime time.Duration
 
 	metrics core.Metrics
@@ -189,8 +203,15 @@ func (r *Result) SimulatedSecondsOn(c *cluster.Cluster) float64 {
 }
 
 // Build constructs a wavelet histogram of the dataset's key frequencies
-// with the chosen method.
+// with the chosen method on the in-process simulated cluster.
 func Build(d *Dataset, method Method, opts Options) (*Result, error) {
+	return BuildContext(context.Background(), d, method, opts)
+}
+
+// BuildContext is Build with cancellation: canceling ctx aborts the run
+// (between reducer batches and periodically inside map-side scans) and
+// returns ctx.Err().
+func BuildContext(ctx context.Context, d *Dataset, method Method, opts Options) (*Result, error) {
 	if d == nil || d.file == nil {
 		return nil, fmt.Errorf("wavelethist: nil dataset")
 	}
@@ -198,17 +219,18 @@ func Build(d *Dataset, method Method, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	out, err := alg.Run(d.file, opts.toParams(d.Domain()))
+	out, err := alg.Run(ctx, d.file, opts.toParams(d.Domain()))
 	if err != nil {
 		return nil, err
 	}
 	return &Result{
-		Histogram:   &Histogram{rep: out.Rep},
-		CommBytes:   out.Metrics.TotalCommBytes(),
-		Rounds:      out.Metrics.Rounds,
-		RecordsRead: out.Metrics.MapRecordsRead,
-		BytesRead:   out.Metrics.MapBytesRead,
-		WallTime:    out.Metrics.WallTime,
-		metrics:     out.Metrics,
+		Histogram:      &Histogram{rep: out.Rep},
+		CommBytes:      out.Metrics.TotalCommBytes(),
+		ModelCommBytes: out.Metrics.TotalCommBytes(),
+		Rounds:         out.Metrics.Rounds,
+		RecordsRead:    out.Metrics.MapRecordsRead,
+		BytesRead:      out.Metrics.MapBytesRead,
+		WallTime:       out.Metrics.WallTime,
+		metrics:        out.Metrics,
 	}, nil
 }
