@@ -5,7 +5,17 @@ import (
 	"fmt"
 
 	"wavelethist/dist"
+	"wavelethist/internal/core"
 )
+
+// ErrUnsupportedMethod reports a method that cannot run on the
+// distributed worker fleet; the error text lists the supported methods.
+// Match with errors.Is.
+var ErrUnsupportedMethod = core.ErrUnsupportedMethod
+
+// distRoundStats aliases the coordinator's per-round profile for the
+// Result conversion in wavelethist.go.
+type distRoundStats = dist.RoundStats
 
 // BuildDistributed constructs the histogram on a real multi-process
 // worker fleet instead of the in-process simulated cluster: the
@@ -17,7 +27,12 @@ import (
 // coordinator↔worker RPCs and Result.ModelCommBytes the paper's modeled
 // metric for comparison against simulated builds.
 //
-// All methods except the three-round H-WTopk are supported.
+// All seven methods are supported. The one-round methods fan out once;
+// the three-round H-WTopk runs the full two-sided-TPUT round barrier:
+// workers hold per-job state leases with the unsent coefficients, the
+// coordinator broadcasts T1/m before round 2 and the candidate set R
+// before round 3, and splits whose worker died mid-protocol are replayed
+// by their new owner. Result.PerRound carries the per-round profile.
 func BuildDistributed(ctx context.Context, d *Dataset, method Method, opts Options, coord *dist.Coordinator) (*Result, error) {
 	if d == nil || d.file == nil {
 		return nil, fmt.Errorf("wavelethist: nil dataset")
@@ -33,15 +48,17 @@ func BuildDistributed(ctx context.Context, d *Dataset, method Method, opts Optio
 		return nil, err
 	}
 	return &Result{
-		Histogram:      &Histogram{rep: out.Rep},
-		CommBytes:      stats.WireBytes,
-		ModelCommBytes: out.Metrics.TotalCommBytes(),
-		WireBytes:      stats.WireBytes,
-		Distributed:    true,
-		Rounds:         out.Metrics.Rounds,
-		RecordsRead:    out.Metrics.MapRecordsRead,
-		BytesRead:      out.Metrics.MapBytesRead,
-		WallTime:       out.Metrics.WallTime,
-		metrics:        out.Metrics,
+		Histogram:        &Histogram{rep: out.Rep},
+		CommBytes:        stats.WireBytes,
+		ModelCommBytes:   out.Metrics.TotalCommBytes(),
+		WireBytes:        stats.WireBytes,
+		Distributed:      true,
+		Rounds:           out.Metrics.Rounds,
+		PerRound:         perRoundStats(out.Metrics, stats.PerRound),
+		CandidateSetSize: stats.CandidateSetSize,
+		RecordsRead:      out.Metrics.MapRecordsRead,
+		BytesRead:        out.Metrics.MapBytesRead,
+		WallTime:         out.Metrics.WallTime,
+		metrics:          out.Metrics,
 	}, nil
 }

@@ -1,12 +1,13 @@
 // Command wavebench runs the benchmark matrix CI publishes as
 // BENCH_pr<N>.json: every construction method on a seeded Zipf dataset
 // (simulated cluster), plus distributed loopback builds of the methods
-// the acceptance gate tracks — method × comm-bytes × build-time, the
-// repo's perf trajectory over PRs.
+// the acceptance gate tracks — including the three-round H-WTopk on the
+// multi-round job engine — method × comm-bytes × build-time, the repo's
+// perf trajectory over PRs.
 //
 // Usage:
 //
-//	wavebench -out BENCH_pr2.json
+//	wavebench -out BENCH_pr3.json
 //	wavebench -records 1048576 -domain 65536 -workers 4 -out bench.json
 package main
 
@@ -24,16 +25,25 @@ import (
 
 // Row is one benchmark measurement.
 type Row struct {
-	Method           string  `json:"method"`
-	Mode             string  `json:"mode"` // "simulated" | "distributed"
-	CommBytes        int64   `json:"comm_bytes"`
-	ModelCommBytes   int64   `json:"model_comm_bytes"`
-	WireBytes        int64   `json:"wire_bytes,omitempty"`
-	Rounds           int     `json:"rounds"`
-	RecordsRead      int64   `json:"records_read"`
-	BytesRead        int64   `json:"bytes_read"`
-	WallMillis       int64   `json:"wall_millis"`
-	SimulatedSeconds float64 `json:"simulated_seconds"`
+	Method           string     `json:"method"`
+	Mode             string     `json:"mode"` // "simulated" | "distributed"
+	CommBytes        int64      `json:"comm_bytes"`
+	ModelCommBytes   int64      `json:"model_comm_bytes"`
+	WireBytes        int64      `json:"wire_bytes,omitempty"`
+	Rounds           int        `json:"rounds"`
+	CandidateSetSize int        `json:"candidate_set_size,omitempty"`
+	PerRound         []RoundRow `json:"per_round,omitempty"`
+	RecordsRead      int64      `json:"records_read"`
+	BytesRead        int64      `json:"bytes_read"`
+	WallMillis       int64      `json:"wall_millis"`
+	SimulatedSeconds float64    `json:"simulated_seconds"`
+}
+
+// RoundRow is one round's slice of a multi-round row.
+type RoundRow struct {
+	Round          int   `json:"round"`
+	ModelCommBytes int64 `json:"model_comm_bytes"`
+	WireBytes      int64 `json:"wire_bytes,omitempty"`
 }
 
 // Report is the file layout.
@@ -54,7 +64,7 @@ type Report struct {
 
 func main() {
 	var (
-		out     = flag.String("out", "BENCH_pr2.json", "output file")
+		out     = flag.String("out", "BENCH_pr3.json", "output file")
 		records = flag.Int64("records", 1<<19, "dataset records")
 		domain  = flag.Int64("domain", 1<<14, "key domain (power of two)")
 		alpha   = flag.Float64("alpha", 1.1, "zipf skew")
@@ -99,7 +109,7 @@ func run(out string, records, domain int64, alpha float64, seed uint64, k, worke
 	}
 
 	coord, _ := dist.NewLoopbackCluster(workers, 2, dist.Config{})
-	for _, m := range []wavelethist.Method{wavelethist.SendV, wavelethist.TwoLevelS} {
+	for _, m := range []wavelethist.Method{wavelethist.SendV, wavelethist.TwoLevelS, wavelethist.HWTopk} {
 		t0 := time.Now()
 		res, err := wavelethist.BuildDistributed(context.Background(), ds, m, opts, coord)
 		if err != nil {
@@ -122,16 +132,25 @@ func run(out string, records, domain int64, alpha float64, seed uint64, k, worke
 }
 
 func row(method, mode string, res *wavelethist.Result, wall time.Duration) Row {
-	return Row{
+	r := Row{
 		Method:           method,
 		Mode:             mode,
 		CommBytes:        res.CommBytes,
 		ModelCommBytes:   res.ModelCommBytes,
 		WireBytes:        res.WireBytes,
 		Rounds:           res.Rounds,
+		CandidateSetSize: res.CandidateSetSize,
 		RecordsRead:      res.RecordsRead,
 		BytesRead:        res.BytesRead,
 		WallMillis:       wall.Milliseconds(),
 		SimulatedSeconds: res.SimulatedSeconds(),
 	}
+	for _, pr := range res.PerRound {
+		r.PerRound = append(r.PerRound, RoundRow{
+			Round:          pr.Round,
+			ModelCommBytes: pr.ModelCommBytes,
+			WireBytes:      pr.WireBytes,
+		})
+	}
+	return r
 }

@@ -20,8 +20,11 @@
 //	     localhost:8080/v1/datasets
 //	curl -d '{"name":"h","dataset":"z","method":"TwoLevel-S","k":30,"distributed":true}' \
 //	     localhost:8080/v1/build
+//	curl -d '{"name":"hw","dataset":"z","method":"H-WTopk","k":30,"distributed":true}' \
+//	     localhost:8080/v1/build                       # three-round exact build on the fleet
 //	curl -X DELETE localhost:8080/v1/jobs/job-1        # cancel a running build
 //	curl localhost:8080/dist/v1/workers                # fleet status
+//	curl localhost:8080/dist/v1/fleet                  # queue depth + per-worker load
 //	curl -d '{"updates":[{"key":42,"delta":5}],"flush":true}' \
 //	     localhost:8080/v1/hist/h/updates
 //	curl localhost:8080/v1/stats

@@ -11,8 +11,12 @@
 // Each worker materializes registered datasets locally from their
 // deterministic generation recipes (the distributed analogue of HDFS
 // data locality), runs the assigned splits' map side, and returns
-// mergeable partial summaries. Kill a worker mid-build: the coordinator
-// re-assigns its splits and the build completes unchanged.
+// mergeable partial summaries. Multi-round builds (H-WTopk) additionally
+// persist per-job state leases between rounds — inspect them with
+// GET /dist/v1/state; they are dropped on the coordinator's release RPC
+// or after -lease-ttl of idleness. Kill a worker mid-build: the
+// coordinator re-assigns its splits (replaying earlier rounds on the new
+// owner when state was lost) and the build completes unchanged.
 package main
 
 import (
@@ -41,6 +45,7 @@ func main() {
 		advertise   = flag.String("advertise", "", "URL the coordinator should dial back (default http://<local-ip>:<port>)")
 		capacity    = flag.Int("capacity", 2, "concurrent map assignments served")
 		id          = flag.String("id", "", "worker id (default derived from the advertised address)")
+		leaseTTL    = flag.Duration("lease-ttl", dist.DefaultLeaseTTL, "idle multi-round state leases expire after this long")
 	)
 	flag.Parse()
 
@@ -59,6 +64,7 @@ func main() {
 	}
 
 	w := dist.NewWorker(wid, *capacity)
+	w.SetLeaseTTL(*leaseTTL)
 	srv := &http.Server{Handler: w.Handler(), ReadHeaderTimeout: 5 * time.Second}
 	go func() {
 		log.Printf("waveworker %s: serving on %s (advertised %s)", wid, ln.Addr(), self)

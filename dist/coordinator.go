@@ -2,11 +2,16 @@ package dist
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"os"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"wavelethist/internal/core"
@@ -23,8 +28,8 @@ type Config struct {
 	// the right setting for in-process loopback fleets, which do not
 	// heartbeat.
 	HeartbeatTimeout time.Duration
-	// MaxRetries bounds re-assignments per split before the build fails
-	// (default 3).
+	// MaxRetries bounds re-assignments per split per round before the
+	// build fails (default 3).
 	MaxRetries int
 	// SplitsPerCall is the assignment batch size (default 4). Smaller
 	// batches spread load and shrink the re-assignment unit; larger ones
@@ -59,6 +64,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxWorkerFailures <= 0 {
 		c.MaxWorkerFailures = 2
 	}
+	// A split's retry budget must outlive a dying worker: until a worker
+	// accrues MaxWorkerFailures it stays dispatchable, so a split can burn
+	// up to that many retries on it before re-assignment sticks elsewhere.
+	if c.MaxRetries < c.MaxWorkerFailures+1 {
+		c.MaxRetries = c.MaxWorkerFailures + 1
+	}
 	return c
 }
 
@@ -70,6 +81,10 @@ type WorkerInfo struct {
 	InFlight int       `json:"in_flight"`
 	Alive    bool      `json:"alive"`
 	LastSeen time.Time `json:"last_seen"`
+	// LastRPCMillis is the latency of the worker's most recent completed
+	// map RPC (0 until one completes) — the saturation signal /v1/stats
+	// surfaces per worker.
+	LastRPCMillis float64 `json:"last_rpc_millis,omitempty"`
 }
 
 type workerState struct {
@@ -80,6 +95,23 @@ type workerState struct {
 	failures int
 	dead     bool
 	lastSeen time.Time
+	lastRPC  time.Duration
+}
+
+// RoundStats is one round's execution profile within a build.
+type RoundStats struct {
+	Round int `json:"round"`
+	// WireBytes is the measured request+response payload of the round's
+	// map RPCs (including failed requests).
+	WireBytes int64 `json:"wire_bytes"`
+	// BroadcastBytes is the wire size of the coordinator's broadcast blob
+	// shipped inside each of the round's requests (0 in round 1).
+	BroadcastBytes int64 `json:"broadcast_bytes,omitempty"`
+	RPCs           int   `json:"rpcs"`
+	Retries        int   `json:"retries"`
+	// ReplayedSplits counts splits whose new owner had to replay earlier
+	// rounds after the original owner's death or lease loss.
+	ReplayedSplits int `json:"replayed_splits,omitempty"`
 }
 
 // BuildStats reports a distributed build's execution profile.
@@ -95,26 +127,74 @@ type BuildStats struct {
 	// partial; WorkerFailures counts failed RPCs.
 	WorkersUsed    int
 	WorkerFailures int
-	// Splits is the number of input splits processed.
+	// Splits is the number of input splits processed (per round).
 	Splits int
+	// Rounds is the protocol's round count (1, or 3 for H-WTopk).
+	Rounds int
+	// PerRound profiles each round (one entry per completed round).
+	PerRound []RoundStats
+	// CandidateSetSize is |R| — the candidate set broadcast before
+	// H-WTopk's round 3 (0 for one-round methods).
+	CandidateSetSize int
+}
+
+// buildTrack is the live progress of one in-flight build, read by
+// FleetStats without touching the build's goroutine.
+type buildTrack struct {
+	jobID    string
+	rounds   int32
+	round    atomic.Int32
+	pending  atomic.Int32
+	inflight atomic.Int32
+}
+
+// BuildProgress is one active build's queue depth in FleetStats.
+type BuildProgress struct {
+	JobID         string `json:"job_id"`
+	Round         int    `json:"round"`
+	Rounds        int    `json:"rounds"`
+	PendingSplits int    `json:"pending_splits"`
+	InFlightRPCs  int    `json:"in_flight_rpcs"`
+}
+
+// FleetStats is the coordinator's saturation snapshot: build queue depth
+// plus per-worker load — the first slice of autoscaling/backpressure.
+type FleetStats struct {
+	ActiveBuilds  int             `json:"active_builds"`
+	PendingSplits int             `json:"pending_splits"`
+	InFlightRPCs  int             `json:"in_flight_rpcs"`
+	Builds        []BuildProgress `json:"builds,omitempty"`
+	Workers       []WorkerInfo    `json:"workers"`
 }
 
 // Coordinator owns the worker fleet and runs distributed builds.
 type Coordinator struct {
-	cfg Config
-	tr  Transport
+	cfg      Config
+	tr       Transport
+	instance string
 
 	mu      sync.Mutex
 	workers map[string]*workerState
 	jobSeq  int
+	builds  map[string]*buildTrack
 }
 
 // NewCoordinator creates a coordinator dispatching over tr.
 func NewCoordinator(tr Transport, cfg Config) *Coordinator {
+	// The instance token namespaces job IDs across coordinator restarts
+	// and shared fleets: a collision would let a worker resurrect another
+	// job's state lease instead of replaying, so it must be unguessably
+	// unique, not clock-derived.
+	var buf [8]byte
+	if _, err := rand.Read(buf[:]); err != nil {
+		binary.LittleEndian.PutUint64(buf[:], uint64(time.Now().UnixNano())^uint64(os.Getpid())<<32)
+	}
 	return &Coordinator{
-		cfg:     cfg.withDefaults(),
-		tr:      tr,
-		workers: make(map[string]*workerState),
+		cfg:      cfg.withDefaults(),
+		tr:       tr,
+		instance: hex.EncodeToString(buf[:]),
+		workers:  make(map[string]*workerState),
+		builds:   make(map[string]*buildTrack),
 	}
 }
 
@@ -177,6 +257,7 @@ func (c *Coordinator) Workers() []WorkerInfo {
 		out = append(out, WorkerInfo{
 			ID: w.id, Addr: w.addr, Capacity: w.capacity,
 			InFlight: w.inflight, Alive: c.alive(w, now), LastSeen: w.lastSeen,
+			LastRPCMillis: float64(w.lastRPC.Nanoseconds()) / 1e6,
 		})
 	}
 	sort.Slice(out, func(a, b int) bool {
@@ -216,24 +297,33 @@ func (c *Coordinator) WaitForWorkers(ctx context.Context, n int) error {
 	}
 }
 
-// acquire picks the least-loaded live worker with a free slot.
-func (c *Coordinator) acquire() *workerState {
+// FleetStats snapshots fleet saturation: active builds with their queue
+// depth, total pending splits, and per-worker in-flight + latency.
+func (c *Coordinator) FleetStats() FleetStats {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	now := time.Now()
-	var best *workerState
-	for _, w := range c.workers {
-		if !c.alive(w, now) || w.inflight >= w.capacity {
-			continue
-		}
-		if best == nil || w.inflight < best.inflight || (w.inflight == best.inflight && w.id < best.id) {
-			best = w
-		}
+	tracks := make([]*buildTrack, 0, len(c.builds))
+	for _, t := range c.builds {
+		tracks = append(tracks, t)
 	}
-	if best != nil {
-		best.inflight++
+	c.mu.Unlock()
+	fs := FleetStats{Workers: c.Workers()}
+	for _, w := range fs.Workers {
+		fs.InFlightRPCs += w.InFlight
 	}
-	return best
+	for _, t := range tracks {
+		bp := BuildProgress{
+			JobID:         t.jobID,
+			Round:         int(t.round.Load()),
+			Rounds:        int(t.rounds),
+			PendingSplits: int(t.pending.Load()),
+			InFlightRPCs:  int(t.inflight.Load()),
+		}
+		fs.Builds = append(fs.Builds, bp)
+		fs.PendingSplits += bp.PendingSplits
+	}
+	sort.Slice(fs.Builds, func(a, b int) bool { return fs.Builds[a].JobID < fs.Builds[b].JobID })
+	fs.ActiveBuilds = len(fs.Builds)
+	return fs
 }
 
 // RPC outcomes for release: success absolves past failures, failure
@@ -247,10 +337,13 @@ const (
 	relNeutral
 )
 
-func (c *Coordinator) release(w *workerState, outcome rpcOutcome) {
+func (c *Coordinator) release(w *workerState, outcome rpcOutcome, latency time.Duration) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	w.inflight--
+	if latency > 0 {
+		w.lastRPC = latency
+	}
 	switch outcome {
 	case relOK:
 		w.failures = 0
@@ -264,37 +357,212 @@ func (c *Coordinator) release(w *workerState, outcome rpcOutcome) {
 }
 
 type rpcResult struct {
-	w      *workerState
-	splits []int
-	resp   *MapResponse
-	reqB   int64
-	respB  int64
-	err    error
+	w       *workerState
+	splits  []int
+	resp    *MapResponse
+	reqB    int64
+	respB   int64
+	latency time.Duration
+	err     error
 }
 
-// Build runs one distributed build: partition file into splits, fan the
-// splits out to the fleet as map RPCs (re-assigning on worker failure),
-// then merge the collected partials into the final output. The result is
+func (c *Coordinator) newJobID() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.jobSeq++
+	return fmt.Sprintf("build-%s-%d", c.instance, c.jobSeq)
+}
+
+func (c *Coordinator) trackBuild(jobID string, rounds int) *buildTrack {
+	t := &buildTrack{jobID: jobID, rounds: int32(rounds)}
+	c.mu.Lock()
+	c.builds[jobID] = t
+	c.mu.Unlock()
+	return t
+}
+
+func (c *Coordinator) untrackBuild(jobID string) {
+	c.mu.Lock()
+	delete(c.builds, jobID)
+	c.mu.Unlock()
+}
+
+// Build runs one distributed build and merges the result; it is
 // bit-identical to a single-process run of the same method, params and
-// seed.
+// seed. One-round methods fan out once; multi-round methods (H-WTopk) run
+// the full round barrier with per-job worker state leases. 2D methods go
+// through Build2D.
 func (c *Coordinator) Build(ctx context.Context, spec DatasetSpec, file *hdfs.File, method string, p core.Params) (*core.Output, *BuildStats, error) {
 	if file == nil {
 		return nil, nil, fmt.Errorf("dist: nil file")
 	}
-	if !core.Distributable(method) {
+	if method == core.MethodHWTopk2D {
+		return nil, nil, fmt.Errorf("%w: %s is 2D-only (use Build2D)", ErrUnsupportedMethod, method)
+	}
+	switch core.Rounds(method) {
+	case 0:
 		if _, err := core.ByName(method); err != nil {
 			return nil, nil, err
 		}
-		return nil, nil, fmt.Errorf("dist: method %s is multi-round and cannot run distributed (supported: %v)",
-			method, core.DistributableMethods())
+		return nil, nil, core.UnsupportedMethodError(method)
+	case 1:
+		return c.buildOneRound(ctx, spec, file, method, p)
+	default:
+		plan, stats, err := c.runMultiRound(ctx, spec, file, method, p)
+		if err != nil {
+			return nil, stats, err
+		}
+		out, err := plan.Output()
+		if err != nil {
+			return nil, stats, err
+		}
+		return out, stats, nil
 	}
+}
+
+// Build2D runs a distributed multi-round 2D build (H-WTopk-2D over packed
+// coefficient indices).
+func (c *Coordinator) Build2D(ctx context.Context, spec DatasetSpec, file *hdfs.File, method string, p core.Params) (*core.Output2D, *BuildStats, error) {
+	if file == nil {
+		return nil, nil, fmt.Errorf("dist: nil file")
+	}
+	if method != core.MethodHWTopk2D {
+		return nil, nil, fmt.Errorf("%w: %q (2D distributed builds support: %s)",
+			ErrUnsupportedMethod, method, core.MethodHWTopk2D)
+	}
+	plan, stats, err := c.runMultiRound(ctx, spec, file, method, p)
+	if err != nil {
+		return nil, stats, err
+	}
+	out, err := plan.Output2D()
+	if err != nil {
+		return nil, stats, err
+	}
+	return out, stats, nil
+}
+
+// buildOneRound is the single fan-out + merge path of PR 2.
+func (c *Coordinator) buildOneRound(ctx context.Context, spec DatasetSpec, file *hdfs.File, method string, p core.Params) (*core.Output, *BuildStats, error) {
 	start := time.Now()
 	m := core.NumSplits(file, p)
-	c.mu.Lock()
-	c.jobSeq++
-	jobID := fmt.Sprintf("build-%d", c.jobSeq)
-	c.mu.Unlock()
+	jobID := c.newJobID()
+	stats := &BuildStats{Splits: m, Rounds: 1}
+	track := c.trackBuild(jobID, 1)
+	defer c.untrackBuild(jobID)
+	responded := make(map[string]bool)
+	rc := &roundCall{
+		jobID: jobID, method: method, params: p, spec: spec,
+		round: 1, rounds: 1, m: m,
+		track: track, touched: make(map[string]string), responded: responded,
+	}
+	parts, err := c.runRound(ctx, rc, stats)
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.WorkersUsed = len(responded)
+	out, err := core.MergePartials(ctx, file, method, p, parts)
+	if err != nil {
+		return nil, stats, err
+	}
+	// The merge only times itself; report the whole fan-out + merge.
+	out.Metrics.WallTime = time.Since(start)
+	return out, stats, nil
+}
 
+// runMultiRound drives the round barrier: fan out round r, reduce it on
+// the coordinator, compute the next round's broadcast, repeat. Splits
+// stick to the worker that ran them in earlier rounds (it holds their
+// state); splits whose owner died are re-assigned, and the new owner
+// replays the earlier rounds locally. Worker state leases are released on
+// every exit path.
+func (c *Coordinator) runMultiRound(ctx context.Context, spec DatasetSpec, file *hdfs.File, method string, p core.Params) (*core.RoundPlan, *BuildStats, error) {
+	plan, err := core.NewRoundPlan(file, method, p)
+	if err != nil {
+		return nil, nil, err
+	}
+	m := plan.NumSplits()
+	jobID := c.newJobID()
+	stats := &BuildStats{Splits: m, Rounds: plan.NumRounds()}
+	track := c.trackBuild(jobID, plan.NumRounds())
+	defer c.untrackBuild(jobID)
+
+	owners := make([]string, m)
+	touched := make(map[string]string)
+	responded := make(map[string]bool)
+	defer func() { c.releaseLeases(jobID, touched) }()
+
+	for r := 1; r <= plan.NumRounds(); r++ {
+		track.round.Store(int32(r))
+		rc := &roundCall{
+			jobID: jobID, method: method, params: p, spec: spec,
+			round: r, rounds: plan.NumRounds(), bcast: plan.Broadcast(r), m: m,
+			owners: owners, track: track, touched: touched, responded: responded,
+		}
+		parts, err := c.runRound(ctx, rc, stats)
+		if err != nil {
+			return nil, stats, err
+		}
+		if err := plan.ReduceRound(ctx, r, parts); err != nil {
+			return nil, stats, err
+		}
+	}
+	stats.WorkersUsed = len(responded)
+	stats.CandidateSetSize = plan.Candidates()
+	return plan, stats, nil
+}
+
+// releaseLeases tells every live worker this job touched to drop its
+// state lease. Best-effort and concurrent; workers the coordinator
+// already knows are dead are skipped rather than dialed — a crashed or
+// partitioned worker would only stall the build's return here, and its
+// lease expires via the worker-side TTL anyway.
+func (c *Coordinator) releaseLeases(jobID string, touched map[string]string) {
+	c.mu.Lock()
+	now := time.Now()
+	addrs := make([]string, 0, len(touched))
+	for id, addr := range touched {
+		if w := c.workers[id]; w != nil && c.alive(w, now) {
+			addrs = append(addrs, addr)
+		}
+	}
+	c.mu.Unlock()
+	var wg sync.WaitGroup
+	for _, addr := range addrs {
+		addr := addr
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+			defer cancel()
+			_ = c.tr.Release(rctx, addr, &ReleaseRequest{JobID: jobID})
+		}()
+	}
+	wg.Wait()
+}
+
+// roundCall describes one round's fan-out.
+type roundCall struct {
+	jobID  string
+	method string
+	params core.Params
+	spec   DatasetSpec
+	round  int
+	rounds int
+	bcast  []byte
+	m      int
+	// owners is the split→worker stickiness map (nil for one-round
+	// builds): splits prefer the worker holding their state, and the map
+	// is updated with whoever actually served each split this round.
+	owners    []string
+	track     *buildTrack
+	touched   map[string]string
+	responded map[string]bool
+}
+
+// runRound fans one round's splits out to the fleet, re-assigning on
+// worker failure, and returns one partial per split (in split order).
+func (c *Coordinator) runRound(ctx context.Context, rc *roundCall, stats *BuildStats) ([]core.SplitPartial, error) {
+	m := rc.m
 	pending := make([]int, m)
 	for i := range pending {
 		pending[i] = i
@@ -303,32 +571,123 @@ func (c *Coordinator) Build(ctx context.Context, spec DatasetSpec, file *hdfs.Fi
 	partials := make([]*core.SplitPartial, m)
 	remaining := m
 	inflight := 0
-	stats := &BuildStats{Splits: m}
-	usedWorkers := make(map[string]bool)
+	rstats := RoundStats{Round: rc.round, BroadcastBytes: int64(len(rc.bcast))}
 	results := make(chan rpcResult, c.cfg.MaxInFlight)
 	retry := time.NewTicker(25 * time.Millisecond)
 	defer retry.Stop()
 
+	updateTrack := func() {
+		if rc.track != nil {
+			rc.track.pending.Store(int32(len(pending)))
+			rc.track.inflight.Store(int32(inflight))
+		}
+	}
+
 	dispatch := func(w *workerState, batch []int) {
 		req := &MapRequest{
-			JobID:   jobID,
-			Method:  method,
-			Params:  p,
-			Dataset: spec,
+			JobID:   rc.jobID,
+			Method:  rc.method,
+			Params:  rc.params,
+			Dataset: rc.spec,
 			Splits:  batch,
+		}
+		if rc.rounds > 1 {
+			req.Round, req.Rounds, req.Broadcast = rc.round, rc.rounds, rc.bcast
 		}
 		rctx, cancel := context.WithTimeout(ctx, c.cfg.RPCTimeout)
 		defer cancel()
+		t0 := time.Now()
 		resp, reqB, respB, err := c.tr.MapSplits(rctx, w.addr, req)
-		results <- rpcResult{w: w, splits: batch, resp: resp, reqB: reqB, respB: respB, err: err}
+		results <- rpcResult{w: w, splits: batch, resp: resp, reqB: reqB, respB: respB, latency: time.Since(t0), err: err}
+	}
+
+	// pick selects the next (worker, batch) under c.mu: splits stick to
+	// the live worker that owns their state from earlier rounds; splits
+	// with a dead or unset owner go to the least-loaded live worker.
+	// Splits whose owner is alive but at capacity wait for it — stealing
+	// them would force a replay the owner can avoid by just finishing.
+	pick := func() (*workerState, []int) {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		now := time.Now()
+		take := func(w *workerState, ids []int) (*workerState, []int) {
+			n := c.cfg.SplitsPerCall
+			if n > len(ids) {
+				n = len(ids)
+			}
+			batch := append([]int(nil), ids[:n]...)
+			inBatch := make(map[int]bool, n)
+			for _, id := range batch {
+				inBatch[id] = true
+			}
+			keep := pending[:0]
+			for _, id := range pending {
+				if !inBatch[id] {
+					keep = append(keep, id)
+				}
+			}
+			pending = keep
+			w.inflight++
+			return w, batch
+		}
+		if rc.owners != nil {
+			byOwner := make(map[string][]int)
+			for _, id := range pending {
+				o := rc.owners[id]
+				if o == "" {
+					continue
+				}
+				if w := c.workers[o]; w != nil && c.alive(w, now) {
+					byOwner[o] = append(byOwner[o], id)
+				}
+			}
+			ownerIDs := make([]string, 0, len(byOwner))
+			for o := range byOwner {
+				ownerIDs = append(ownerIDs, o)
+			}
+			sort.Strings(ownerIDs)
+			for _, o := range ownerIDs {
+				if w := c.workers[o]; w.inflight < w.capacity {
+					return take(w, byOwner[o])
+				}
+			}
+		}
+		var free []int
+		for _, id := range pending {
+			if rc.owners != nil {
+				if o := rc.owners[id]; o != "" {
+					if w := c.workers[o]; w != nil && c.alive(w, now) {
+						continue // owned by a live (busy) worker: wait for it
+					}
+				}
+			}
+			free = append(free, id)
+		}
+		if len(free) == 0 {
+			return nil, nil
+		}
+		var best *workerState
+		for _, w := range c.workers {
+			if !c.alive(w, now) || w.inflight >= w.capacity {
+				continue
+			}
+			if best == nil || w.inflight < best.inflight || (w.inflight == best.inflight && w.id < best.id) {
+				best = w
+			}
+		}
+		if best == nil {
+			return nil, nil
+		}
+		return take(best, free)
 	}
 
 	requeue := func(splits []int) error {
 		for _, id := range splits {
 			retries[id]++
 			stats.Retries++
+			rstats.Retries++
 			if retries[id] > c.cfg.MaxRetries {
-				return fmt.Errorf("dist: split %d failed %d times; giving up", id, retries[id])
+				return fmt.Errorf("dist: round %d: split %d failed %d times; giving up", rc.round, id, retries[id])
 			}
 			pending = append(pending, id)
 		}
@@ -336,7 +695,7 @@ func (c *Coordinator) Build(ctx context.Context, spec DatasetSpec, file *hdfs.Fi
 	}
 
 	// drain releases the worker slots of RPCs still in flight when the
-	// build returns early — the Coordinator and its workerStates outlive
+	// round returns early — the Coordinator and its workerStates outlive
 	// this build, so abandoning the results channel would leak inflight
 	// counts and permanently shrink fleet capacity. The results channel
 	// is buffered to MaxInFlight, so the dispatch goroutines never block.
@@ -355,39 +714,52 @@ func (c *Coordinator) Build(ctx context.Context, spec DatasetSpec, file *hdfs.Fi
 						outcome = relNeutral
 					}
 				}
-				c.release(r.w, outcome)
+				c.release(r.w, outcome, r.latency)
 			}
 		}()
+	}
+	finish := func(err error) ([]core.SplitPartial, error) {
+		drain(inflight)
+		updateTrack()
+		return nil, err
 	}
 
 	for remaining > 0 {
 		// Dispatch as much as fleet capacity and the in-flight bound allow.
-		for len(pending) > 0 && inflight < c.cfg.MaxInFlight {
-			w := c.acquire()
+		for inflight < c.cfg.MaxInFlight {
+			w, batch := pick()
 			if w == nil {
 				break
 			}
-			n := c.cfg.SplitsPerCall
-			if n > len(pending) {
-				n = len(pending)
-			}
-			batch := make([]int, n)
-			copy(batch, pending[:n])
-			pending = pending[n:]
+			rc.touched[w.id] = w.addr
 			inflight++
 			go dispatch(w, batch)
 		}
+		updateTrack()
 		if inflight == 0 && len(pending) > 0 && c.AliveWorkers() == 0 {
-			return nil, stats, fmt.Errorf("dist: no alive workers (%d splits unassigned)", len(pending))
+			return nil, fmt.Errorf("dist: no alive workers (%d splits unassigned in round %d)", len(pending), rc.round)
 		}
 
 		select {
 		case r := <-results:
 			inflight--
 			stats.WireBytes += r.reqB + r.respB
+			rstats.WireBytes += r.reqB + r.respB
 			fail := func(err error) error {
 				stats.WorkerFailures++
-				c.release(r.w, relFailed)
+				c.release(r.w, relFailed, r.latency)
+				// Orphan the failed splits this worker owned: a failed RPC
+				// makes its state suspect, and keeping them sticky would
+				// burn every per-split retry on the same worker before it
+				// accrues MaxWorkerFailures (the two limits must not be
+				// coupled). Orphans go to any live worker, which replays.
+				if rc.owners != nil {
+					for _, id := range r.splits {
+						if rc.owners[id] == r.w.id {
+							rc.owners[id] = ""
+						}
+					}
+				}
 				if rqErr := requeue(r.splits); rqErr != nil {
 					return fmt.Errorf("%v (last worker error: %v)", rqErr, err)
 				}
@@ -397,20 +769,17 @@ func (c *Coordinator) Build(ctx context.Context, spec DatasetSpec, file *hdfs.Fi
 			case r.err != nil:
 				if ctx.Err() != nil {
 					// Build canceled, not a worker fault.
-					c.release(r.w, relNeutral)
-					drain(inflight)
-					return nil, stats, ctx.Err()
+					c.release(r.w, relNeutral, 0)
+					return finish(ctx.Err())
 				}
 				if err := fail(r.err); err != nil {
-					drain(inflight)
-					return nil, stats, err
+					return finish(err)
 				}
 			case r.resp.Error != "":
 				// Application errors are deterministic (same request, same
 				// failure on any worker): fail the build, don't retry.
-				c.release(r.w, relOK)
-				drain(inflight)
-				return nil, stats, fmt.Errorf("dist: worker %s: %s", r.w.id, r.resp.Error)
+				c.release(r.w, relOK, r.latency)
+				return finish(fmt.Errorf("dist: worker %s: %s", r.w.id, r.resp.Error))
 			default:
 				parts, err := core.DecodePartials(r.resp.Partials)
 				if err == nil {
@@ -418,42 +787,41 @@ func (c *Coordinator) Build(ctx context.Context, spec DatasetSpec, file *hdfs.Fi
 				}
 				if err != nil {
 					if ferr := fail(err); ferr != nil {
-						drain(inflight)
-						return nil, stats, ferr
+						return finish(ferr)
 					}
 					break
 				}
-				c.release(r.w, relOK)
+				c.release(r.w, relOK, r.latency)
 				stats.RPCs++
-				usedWorkers[r.w.id] = true
+				rstats.RPCs++
+				rstats.ReplayedSplits += len(r.resp.Replayed)
+				rc.responded[r.w.id] = true
 				for i := range parts {
-					if partials[parts[i].SplitID] == nil {
+					id := parts[i].SplitID
+					if partials[id] == nil {
 						remaining--
 					}
-					partials[parts[i].SplitID] = &parts[i]
+					partials[id] = &parts[i]
+					if rc.owners != nil {
+						rc.owners[id] = r.w.id
+					}
 				}
 			}
 		case <-retry.C:
 			// Re-check dispatchability: workers may have registered,
 			// recovered, or freed capacity held by a concurrent build.
 		case <-ctx.Done():
-			drain(inflight)
-			return nil, stats, ctx.Err()
+			return finish(ctx.Err())
 		}
 	}
-	stats.WorkersUsed = len(usedWorkers)
+	updateTrack()
+	stats.PerRound = append(stats.PerRound, rstats)
 
 	flat := make([]core.SplitPartial, m)
 	for i, part := range partials {
 		flat[i] = *part
 	}
-	out, err := core.MergePartials(ctx, file, method, p, flat)
-	if err != nil {
-		return nil, stats, err
-	}
-	// The merge only times itself; report the whole fan-out + merge.
-	out.Metrics.WallTime = time.Since(start)
-	return out, stats, nil
+	return flat, nil
 }
 
 // checkCoverage verifies a response's partials are exactly the assigned
@@ -476,7 +844,8 @@ func checkCoverage(parts []core.SplitPartial, assigned []int) error {
 }
 
 // Handler returns the coordinator's HTTP surface: worker registration,
-// heartbeats, and fleet listing, mounted by wavehistd under /dist/v1/.
+// heartbeats, fleet listing and saturation stats, mounted by wavehistd
+// under /dist/v1/.
 func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST "+PathRegister, func(rw http.ResponseWriter, r *http.Request) {
@@ -505,6 +874,9 @@ func (c *Coordinator) Handler() http.Handler {
 	})
 	mux.HandleFunc("GET "+PathWorkers, func(rw http.ResponseWriter, r *http.Request) {
 		writeJSON(rw, http.StatusOK, &WorkersResponse{Workers: c.Workers()})
+	})
+	mux.HandleFunc("GET "+PathFleet, func(rw http.ResponseWriter, r *http.Request) {
+		writeJSON(rw, http.StatusOK, c.FleetStats())
 	})
 	return mux
 }

@@ -3,11 +3,13 @@ package dist_test
 import (
 	"context"
 	"errors"
+	"fmt"
 	"testing"
 	"time"
 
 	"wavelethist"
 	"wavelethist/dist"
+	"wavelethist/internal/core"
 )
 
 // zipfDS builds the shared test dataset: 64Ki records over u = 4096 with
@@ -136,14 +138,331 @@ func TestNoWorkers(t *testing.T) {
 	}
 }
 
-// TestHWTopkRejected: the three-round method cannot run distributed and
-// says so.
-func TestHWTopkRejected(t *testing.T) {
+// TestHWTopkParity: the three-round H-WTopk on a loopback fleet (the
+// multi-round engine: per-job state leases, T1/m and R broadcasts,
+// coordinator round barrier) is bit-identical to the single-process
+// three-round run, and reports per-round wire metrics.
+func TestHWTopkParity(t *testing.T) {
 	ds := zipfDS(t)
-	coord, _ := dist.NewLoopbackCluster(2, 1, dist.Config{})
-	_, err := wavelethist.BuildDistributed(context.Background(), ds, wavelethist.HWTopk, wavelethist.Options{K: 10}, coord)
+	opts := wavelethist.Options{K: 25, Seed: 7}
+	want, err := wavelethist.Build(ds, wavelethist.HWTopk, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Manual fleet so worker internals (leases) are observable.
+	lb := dist.NewLoopback()
+	coord := dist.NewCoordinator(lb, dist.Config{})
+	workers := make([]*dist.Worker, 3)
+	for i := range workers {
+		workers[i] = dist.NewWorker(fmt.Sprintf("local-%d", i), 2)
+		coord.Register(workers[i].ID(), lb.Add(workers[i]), 2)
+	}
+
+	got, err := wavelethist.BuildDistributed(context.Background(), ds, wavelethist.HWTopk, opts, coord)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameHistogram(t, want, got)
+	if !got.Distributed || got.Rounds != 3 {
+		t.Errorf("distributed=%v rounds=%d, want true/3", got.Distributed, got.Rounds)
+	}
+	if got.WireBytes <= 0 || got.CommBytes != got.WireBytes {
+		t.Errorf("wire bytes not measured: wire=%d comm=%d", got.WireBytes, got.CommBytes)
+	}
+	// Modeled metrics must match the simulated build exactly.
+	if got.ModelCommBytes != want.ModelCommBytes {
+		t.Errorf("modeled comm: got %d, want %d", got.ModelCommBytes, want.ModelCommBytes)
+	}
+	if got.RecordsRead != want.RecordsRead {
+		t.Errorf("records read: got %d, want %d", got.RecordsRead, want.RecordsRead)
+	}
+	if got.CandidateSetSize <= 0 || got.CandidateSetSize != want.CandidateSetSize {
+		t.Errorf("candidate set: got %d, want %d (>0)", got.CandidateSetSize, want.CandidateSetSize)
+	}
+	// Per-round profile: three rounds, each with measured traffic, model
+	// bytes summing to the total, and a broadcast-carrying round 2/3.
+	if len(got.PerRound) != 3 || len(want.PerRound) != 3 {
+		t.Fatalf("per-round stats: got %d, want %d, expected 3", len(got.PerRound), len(want.PerRound))
+	}
+	var modelSum int64
+	for i, r := range got.PerRound {
+		if r.Round != i+1 || r.WireBytes <= 0 || r.RPCs <= 0 {
+			t.Errorf("round %d stats malformed: %+v", i+1, r)
+		}
+		if r.ModelCommBytes != want.PerRound[i].ModelCommBytes {
+			t.Errorf("round %d model comm: got %d, want %d", i+1, r.ModelCommBytes, want.PerRound[i].ModelCommBytes)
+		}
+		modelSum += r.ModelCommBytes
+	}
+	if modelSum != got.ModelCommBytes {
+		t.Errorf("per-round model sum %d != total %d", modelSum, got.ModelCommBytes)
+	}
+	// The coordinator must have released every state lease at build end.
+	for _, w := range workers {
+		if n := len(w.Leases()); n != 0 {
+			t.Errorf("worker %s still holds %d leases after build", w.ID(), n)
+		}
+	}
+}
+
+// TestHWTopk2DParity: the packed-domain H-WTopk-2D runs the same engine
+// over a 2D dataset's key recipe and matches the simulated 2D build
+// bit-for-bit.
+func TestHWTopk2DParity(t *testing.T) {
+	const side = 64
+	n := 4096
+	xs := make([]int64, n)
+	ys := make([]int64, n)
+	for i := range xs {
+		// Deterministic correlated grid: hotspots on the diagonal.
+		xs[i] = int64(i*31%side) * int64(i%3) % side
+		ys[i] = (xs[i] + int64(i*17%7)) % side
+	}
+	ds, err := wavelethist.NewDataset2DFromPairs(xs, ys, side, 4<<10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := wavelethist.Options{K: 20, Seed: 11}
+	want, err := wavelethist.Build2D(ds, wavelethist.HWTopk2D, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, _ := dist.NewLoopbackCluster(2, 2, dist.Config{SplitsPerCall: 2})
+	got, err := wavelethist.BuildDistributed2D(context.Background(), ds, wavelethist.HWTopk2D, opts, coord)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc, gc := want.Histogram.Coefficients(), got.Histogram.Coefficients()
+	if len(wc) != len(gc) {
+		t.Fatalf("coefficient count: got %d, want %d", len(gc), len(wc))
+	}
+	for i := range wc {
+		if wc[i] != gc[i] {
+			t.Fatalf("coefficient %d: got %+v, want %+v", i, gc[i], wc[i])
+		}
+	}
+	if got.Rounds != 3 || got.WireBytes <= 0 || !got.Distributed {
+		t.Errorf("rounds=%d wire=%d distributed=%v", got.Rounds, got.WireBytes, got.Distributed)
+	}
+	if got.CandidateSetSize != want.CandidateSetSize {
+		t.Errorf("candidate set: got %d, want %d", got.CandidateSetSize, want.CandidateSetSize)
+	}
+	// One-round 2D methods are rejected with the typed error.
+	if _, err := wavelethist.BuildDistributed2D(context.Background(), ds, wavelethist.SendV2D, opts, coord); !errors.Is(err, wavelethist.ErrUnsupportedMethod) {
+		t.Errorf("Send-V-2D: want ErrUnsupportedMethod, got %v", err)
+	}
+}
+
+// TestUnsupportedMethodTyped: unknown/unsupported methods return the
+// typed ErrUnsupportedMethod listing supported methods.
+func TestUnsupportedMethodTyped(t *testing.T) {
+	ds := zipfDS(t)
+	coord, _ := dist.NewLoopbackCluster(1, 1, dist.Config{})
+	_, err := wavelethist.BuildDistributed(context.Background(), ds, wavelethist.Method("H-WTopk-2D"), wavelethist.Options{K: 10}, coord)
+	if err == nil || !errors.Is(err, wavelethist.ErrUnsupportedMethod) {
+		t.Fatalf("2D-only method via 1D Build: want ErrUnsupportedMethod, got %v", err)
+	}
+	_, err = wavelethist.BuildDistributed(context.Background(), ds, wavelethist.Method("no-such"), wavelethist.Options{K: 10}, coord)
 	if err == nil {
-		t.Fatal("expected H-WTopk rejection")
+		t.Fatal("unknown method accepted")
+	}
+}
+
+// TestHWTopkWorkerCrashMidRound kills a worker on its first round-2 (then
+// round-3) assignment: the coordinator must re-assign the dead worker's
+// splits, the new owners must replay the earlier rounds to rebuild the
+// lost state leases, and the result must stay bit-identical.
+func TestHWTopkWorkerCrashMidRound(t *testing.T) {
+	ds := zipfDS(t)
+	opts := wavelethist.Options{K: 25, Seed: 7}
+	want, err := wavelethist.Build(ds, wavelethist.HWTopk, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, crashRound := range []int{2, 3} {
+		t.Run(fmt.Sprintf("round-%d", crashRound), func(t *testing.T) {
+			coord, lb := dist.NewLoopbackCluster(3, 1, dist.Config{SplitsPerCall: 2, MaxWorkerFailures: 1})
+			lb.CrashWhen(dist.LoopbackScheme+"local-0", func(req *dist.MapRequest) bool {
+				return req.Round == crashRound
+			})
+			got, err := wavelethist.BuildDistributed(context.Background(), ds, wavelethist.HWTopk, opts, coord)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameHistogram(t, want, got)
+			if coord.AliveWorkers() != 2 {
+				t.Errorf("alive workers after crash: got %d, want 2", coord.AliveWorkers())
+			}
+			if len(got.PerRound) != 3 {
+				t.Fatalf("per-round stats: %d", len(got.PerRound))
+			}
+			rs := got.PerRound[crashRound-1]
+			if rs.Retries == 0 {
+				t.Errorf("round %d: no retries recorded after crash: %+v", crashRound, rs)
+			}
+			replayed := 0
+			for _, r := range got.PerRound {
+				replayed += r.ReplayedSplits
+			}
+			if replayed == 0 {
+				t.Errorf("no splits replayed after mid-round-%d crash", crashRound)
+			}
+		})
+	}
+}
+
+// TestHWTopkCrashSlowDeathDetection: with a high MaxWorkerFailures the
+// crashed worker stays "alive" (and owner-sticky) for many failed RPCs;
+// orphaning-on-failure plus the retry-budget clamp must still let the
+// build finish on the survivors.
+func TestHWTopkCrashSlowDeathDetection(t *testing.T) {
+	ds := zipfDS(t)
+	opts := wavelethist.Options{K: 25, Seed: 7}
+	want, err := wavelethist.Build(ds, wavelethist.HWTopk, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, lb := dist.NewLoopbackCluster(3, 1, dist.Config{
+		SplitsPerCall: 2, MaxWorkerFailures: 5, MaxRetries: 1, // clamped to 6
+	})
+	lb.CrashWhen(dist.LoopbackScheme+"local-0", func(req *dist.MapRequest) bool {
+		return req.Round == 2
+	})
+	got, err := wavelethist.BuildDistributed(context.Background(), ds, wavelethist.HWTopk, opts, coord)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameHistogram(t, want, got)
+}
+
+// TestLeaseExpiry: a worker whose coordinator went silent expires its
+// state lease after the TTL (the worker-side analogue of a heartbeat
+// timeout); a later round for those splits must replay rather than read
+// stale state, and Release drops leases explicitly.
+func TestLeaseExpiry(t *testing.T) {
+	ds := zipfDS(t)
+	p := core.Params{U: ds.Domain(), K: 25, Seed: 7}
+	file, _, err := ds.Spec().Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := core.NewRoundPlan(file, "H-WTopk", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := plan.NumSplits()
+	all := make([]int, m)
+	for i := range all {
+		all[i] = i
+	}
+
+	w := dist.NewWorker("w0", 2)
+	w.SetLeaseTTL(300 * time.Millisecond)
+	ctx := context.Background()
+	round := func(r int, bcast []byte) *dist.MapResponse {
+		t.Helper()
+		resp, err := w.HandleMap(ctx, &dist.MapRequest{
+			JobID: "job-lease", Method: "H-WTopk", Params: p, Dataset: *ds.Spec(),
+			Splits: all, Round: r, Rounds: 3, Broadcast: bcast,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Error != "" {
+			t.Fatal(resp.Error)
+		}
+		return resp
+	}
+
+	r1 := round(1, plan.Broadcast(1))
+	parts, err := core.DecodePartials(r1.Partials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.ReduceRound(ctx, 1, parts); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(w.Leases()); got != 1 {
+		t.Fatalf("leases after round 1: %d, want 1", got)
+	}
+
+	// Let the lease expire, then run round 2: every split must replay.
+	time.Sleep(time.Second)
+	r2 := round(2, plan.Broadcast(2))
+	if len(r2.Replayed) != m {
+		t.Errorf("replayed after lease expiry: %d, want all %d", len(r2.Replayed), m)
+	}
+	parts2, err := core.DecodePartials(r2.Partials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.ReduceRound(ctx, 2, parts2); err != nil {
+		t.Fatal(err)
+	}
+
+	// Round 3 right away: state is warm, nothing replays; the result
+	// matches the single-process run despite the mid-protocol expiry.
+	r3 := round(3, plan.Broadcast(3))
+	if len(r3.Replayed) != 0 {
+		t.Errorf("unexpected replays with warm lease: %v", r3.Replayed)
+	}
+	parts3, err := core.DecodePartials(r3.Partials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.ReduceRound(ctx, 3, parts3); err != nil {
+		t.Fatal(err)
+	}
+	out, err := plan.Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := wavelethist.Build(ds, wavelethist.HWTopk, wavelethist.Options{K: 25, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc := want.Histogram.Coefficients()
+	if len(out.Rep.Coefs) != len(wc) {
+		t.Fatalf("coefficient count: got %d, want %d", len(out.Rep.Coefs), len(wc))
+	}
+	for i := range wc {
+		if out.Rep.Coefs[i].Index != wc[i].Index || out.Rep.Coefs[i].Value != wc[i].Value {
+			t.Fatalf("coefficient %d: got %+v, want %+v", i, out.Rep.Coefs[i], wc[i])
+		}
+	}
+
+	// Explicit release drops the lease; releasing again is a no-op.
+	if !w.Release("job-lease") {
+		t.Error("release of live lease reported no lease")
+	}
+	if w.Release("job-lease") {
+		t.Error("double release reported a lease")
+	}
+	if got := len(w.Leases()); got != 0 {
+		t.Errorf("leases after release: %d, want 0", got)
+	}
+}
+
+// TestFleetStats: the saturation snapshot reports per-worker latency
+// after builds and an empty build queue at rest.
+func TestFleetStats(t *testing.T) {
+	ds := zipfDS(t)
+	coord, _ := dist.NewLoopbackCluster(2, 2, dist.Config{})
+	if _, err := wavelethist.BuildDistributed(context.Background(), ds, wavelethist.HWTopk, wavelethist.Options{K: 10, Seed: 1}, coord); err != nil {
+		t.Fatal(err)
+	}
+	fs := coord.FleetStats()
+	if fs.ActiveBuilds != 0 || fs.PendingSplits != 0 || fs.InFlightRPCs != 0 {
+		t.Errorf("fleet not idle after build: %+v", fs)
+	}
+	if len(fs.Workers) != 2 {
+		t.Fatalf("workers: %d", len(fs.Workers))
+	}
+	for _, w := range fs.Workers {
+		if w.LastRPCMillis <= 0 {
+			t.Errorf("worker %s has no last-RPC latency", w.ID)
+		}
 	}
 }
 

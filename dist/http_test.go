@@ -98,3 +98,61 @@ func TestHTTPFleet(t *testing.T) {
 		t.Fatalf("workers listing: got %d, want 2", len(list.Workers))
 	}
 }
+
+// TestHTTPFleetMultiRound runs the three-round H-WTopk over real sockets:
+// round broadcasts, state leases and the release RPC all cross HTTP, and
+// the result matches the simulated build bit-for-bit.
+func TestHTTPFleetMultiRound(t *testing.T) {
+	coord := dist.NewCoordinator(dist.NewHTTPTransport(), dist.Config{SplitsPerCall: 4})
+	coordSrv := httptest.NewServer(coord.Handler())
+	defer coordSrv.Close()
+
+	var workerSrvs []*httptest.Server
+	for _, id := range []string{"w0", "w1"} {
+		w := dist.NewWorker(id, 2)
+		wsrv := httptest.NewServer(w.Handler())
+		defer wsrv.Close()
+		workerSrvs = append(workerSrvs, wsrv)
+		var reg dist.RegisterResponse
+		if code := postJSON(t, coordSrv.URL+dist.PathRegister,
+			dist.RegisterRequest{ID: id, Addr: wsrv.URL, Capacity: 2}, &reg); code != http.StatusOK {
+			t.Fatalf("register %s: %d", id, code)
+		}
+	}
+
+	ds, err := wavelethist.NewZipfDataset(wavelethist.ZipfOptions{
+		Records: 1 << 14, Domain: 1 << 10, Alpha: 1.1, Seed: 3, ChunkSize: 8 << 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := wavelethist.Options{K: 20, Seed: 3}
+	want, err := wavelethist.Build(ds, wavelethist.HWTopk, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := wavelethist.BuildDistributed(context.Background(), ds, wavelethist.HWTopk, opts, coord)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameHistogram(t, want, got)
+	if got.Rounds != 3 || got.WireBytes <= 0 {
+		t.Errorf("rounds=%d wire=%d", got.Rounds, got.WireBytes)
+	}
+
+	// The release RPC crossed the wire too: no worker holds a lease.
+	for _, wsrv := range workerSrvs {
+		hres, err := http.Get(wsrv.URL + dist.PathState)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ws dist.WorkerStateResponse
+		if err := json.NewDecoder(hres.Body).Decode(&ws); err != nil {
+			t.Fatal(err)
+		}
+		hres.Body.Close()
+		if len(ws.Leases) != 0 {
+			t.Errorf("worker %s still holds %d leases", ws.ID, len(ws.Leases))
+		}
+	}
+}

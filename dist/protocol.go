@@ -18,13 +18,16 @@ package dist
 import "wavelethist/internal/core"
 
 // Protocol endpoints. The coordinator serves the register/heartbeat/
-// workers endpoints (mounted into wavehistd); each worker serves map and
-// ping.
+// workers/fleet endpoints (mounted into wavehistd); each worker serves
+// map, release, state and ping.
 const (
 	PathRegister  = "/dist/v1/register"
 	PathHeartbeat = "/dist/v1/heartbeat"
 	PathWorkers   = "/dist/v1/workers"
+	PathFleet     = "/dist/v1/fleet"
 	PathMap       = "/dist/v1/map"
+	PathRelease   = "/dist/v1/release"
+	PathState     = "/dist/v1/state"
 	PathPing      = "/dist/v1/ping"
 )
 
@@ -56,24 +59,71 @@ type HeartbeatResponse struct {
 }
 
 // MapRequest assigns a batch of splits to a worker: the dataset recipe,
-// the method, its parameters, and the split indices to run.
+// the method, its parameters, and the split indices to run. For
+// multi-round methods it additionally names the round, the job's total
+// round count (the worker's cue to open a per-job state lease), and the
+// coordinator's broadcast blob for the round — round 2 ships T1/m, round 3
+// ships T1/m plus the candidate set R (core's binary codec, base64 in
+// JSON). Round 0 means a one-round method (back-compat with the PR-2 wire
+// format).
 type MapRequest struct {
 	JobID   string      `json:"job_id"`
 	Method  string      `json:"method"`
 	Params  core.Params `json:"params"`
 	Dataset DatasetSpec `json:"dataset"`
 	Splits  []int       `json:"splits"`
+
+	Round     int    `json:"round,omitempty"`
+	Rounds    int    `json:"rounds,omitempty"`
+	Broadcast []byte `json:"broadcast,omitempty"`
 }
 
 // MapResponse returns the batch's mergeable partials
-// (core.EncodePartials, base64 in JSON) or an application error.
+// (core.EncodePartials, base64 in JSON) or an application error. Replayed
+// lists assigned splits whose earlier-round state this worker did not hold
+// (lost lease or new owner) and had to rebuild by replaying earlier
+// rounds locally.
 type MapResponse struct {
 	JobID    string `json:"job_id"`
 	Partials []byte `json:"partials,omitempty"`
+	Replayed []int  `json:"replayed,omitempty"`
 	Error    string `json:"error,omitempty"`
+}
+
+// ReleaseRequest drops a worker's state lease for a finished (or
+// canceled/failed) multi-round job.
+type ReleaseRequest struct {
+	JobID string `json:"job_id"`
+}
+
+// ReleaseResponse acknowledges a release; Released reports whether a
+// lease actually existed (false is normal: the worker never served the
+// job, or its lease already expired).
+type ReleaseResponse struct {
+	OK       bool `json:"ok"`
+	Released bool `json:"released"`
 }
 
 // WorkersResponse is the observability payload of GET /dist/v1/workers.
 type WorkersResponse struct {
 	Workers []WorkerInfo `json:"workers"`
+}
+
+// LeaseView describes one per-job state lease held by a worker
+// (GET /dist/v1/state on the worker).
+type LeaseView struct {
+	JobID      string `json:"job_id"`
+	Entries    int    `json:"entries"` // state files held (≈ splits × rounds)
+	Bytes      int64  `json:"bytes"`
+	AgeMillis  int64  `json:"age_millis"`
+	IdleMillis int64  `json:"idle_millis"`
+}
+
+// WorkerStateResponse is the payload of GET /dist/v1/state: the worker's
+// live leases and dataset cache occupancy.
+type WorkerStateResponse struct {
+	ID       string      `json:"id"`
+	Capacity int         `json:"capacity"`
+	Leases   []LeaseView `json:"leases"`
+	Datasets int         `json:"datasets"`
 }

@@ -6,10 +6,16 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"wavelethist/internal/core"
 	"wavelethist/internal/datagen"
 	"wavelethist/internal/hdfs"
 	"wavelethist/internal/wavelet"
 )
+
+// ErrUnsupportedMethod reports a method that cannot run on the
+// distributed fleet; the error text lists the supported methods. Match
+// with errors.Is.
+var ErrUnsupportedMethod = core.ErrUnsupportedMethod
 
 // DatasetSpec is the wire-shippable recipe for a dataset: everything a
 // worker needs to materialize an identical copy of the coordinator's

@@ -13,9 +13,11 @@ import (
 
 // Transport delivers coordinator→worker RPCs. MapSplits reports the
 // measured request and response payload sizes so the coordinator can
-// account real communication, not a model.
+// account real communication, not a model. Release frees a worker's
+// per-job state lease when a multi-round build ends.
 type Transport interface {
 	MapSplits(ctx context.Context, addr string, req *MapRequest) (resp *MapResponse, reqBytes, respBytes int64, err error)
+	Release(ctx context.Context, addr string, req *ReleaseRequest) error
 	Ping(ctx context.Context, addr string) error
 }
 
@@ -66,6 +68,29 @@ func (t *HTTPTransport) MapSplits(ctx context.Context, addr string, req *MapRequ
 	return &resp, int64(len(body)), int64(len(rb)), nil
 }
 
+// Release implements Transport.
+func (t *HTTPTransport) Release(ctx context.Context, addr string, req *ReleaseRequest) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, addr+PathRelease, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hres, err := t.client().Do(hreq)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, hres.Body)
+	hres.Body.Close()
+	if hres.StatusCode != http.StatusOK {
+		return fmt.Errorf("dist: worker %s: HTTP %d", addr, hres.StatusCode)
+	}
+	return nil
+}
+
 // Ping implements Transport.
 func (t *HTTPTransport) Ping(ctx context.Context, addr string) error {
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, addr+PathPing, nil)
@@ -111,14 +136,19 @@ type Loopback struct {
 	// killAt < 0 means alive; otherwise calls beyond killAt fail — the
 	// test harness for worker crashes mid-build.
 	killAt map[string]int
+	// crashWhen crashes addr permanently on the first map request the
+	// predicate matches — a surgical mid-round crash (e.g. "die on the
+	// first round-2 assignment").
+	crashWhen map[string]func(*MapRequest) bool
 }
 
 // NewLoopback returns an empty loopback transport.
 func NewLoopback() *Loopback {
 	return &Loopback{
-		workers: make(map[string]*Worker),
-		calls:   make(map[string]int),
-		killAt:  make(map[string]int),
+		workers:   make(map[string]*Worker),
+		calls:     make(map[string]int),
+		killAt:    make(map[string]int),
+		crashWhen: make(map[string]func(*MapRequest) bool),
 	}
 }
 
@@ -143,8 +173,18 @@ func (l *Loopback) KillAfter(addr string, n int) {
 	l.killAt[addr] = l.calls[addr] + n
 }
 
+// CrashWhen crashes addr — permanently, like a killed process — on the
+// first map request matching fn. Deterministic harness for mid-round
+// failures of multi-round builds.
+func (l *Loopback) CrashWhen(addr string, fn func(*MapRequest) bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.crashWhen[addr] = fn
+}
+
 // take resolves the worker for one call, applying crash simulation.
-func (l *Loopback) take(addr string) (*Worker, error) {
+// req is nil for non-map calls (ping/release).
+func (l *Loopback) take(addr string, req *MapRequest) (*Worker, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	w, ok := l.workers[addr]
@@ -153,6 +193,10 @@ func (l *Loopback) take(addr string) (*Worker, error) {
 	}
 	if at := l.killAt[addr]; at >= 0 && l.calls[addr] >= at {
 		return nil, fmt.Errorf("dist: worker %s: connection refused (killed)", addr)
+	}
+	if fn := l.crashWhen[addr]; fn != nil && req != nil && fn(req) {
+		l.killAt[addr] = 0 // crash now and stay down
+		return nil, fmt.Errorf("dist: worker %s: connection reset (crashed)", addr)
 	}
 	l.calls[addr]++
 	return w, nil
@@ -170,7 +214,7 @@ func (l *Loopback) MapSplits(ctx context.Context, addr string, req *MapRequest) 
 	if err != nil {
 		return nil, 0, 0, err
 	}
-	w, err := l.take(addr)
+	w, err := l.take(addr, req)
 	if err != nil {
 		return nil, int64(len(reqBody)), 0, err
 	}
@@ -185,6 +229,22 @@ func (l *Loopback) MapSplits(ctx context.Context, addr string, req *MapRequest) 
 	return resp, int64(len(reqBody)), int64(len(respBody)), nil
 }
 
+// Release implements Transport.
+func (l *Loopback) Release(ctx context.Context, addr string, req *ReleaseRequest) error {
+	if !strings.HasPrefix(addr, LoopbackScheme) {
+		if l.Fallback == nil {
+			return fmt.Errorf("dist: no transport for %s", addr)
+		}
+		return l.Fallback.Release(ctx, addr, req)
+	}
+	w, err := l.take(addr, nil)
+	if err != nil {
+		return err
+	}
+	w.Release(req.JobID)
+	return nil
+}
+
 // Ping implements Transport.
 func (l *Loopback) Ping(ctx context.Context, addr string) error {
 	if !strings.HasPrefix(addr, LoopbackScheme) {
@@ -193,6 +253,6 @@ func (l *Loopback) Ping(ctx context.Context, addr string) error {
 		}
 		return l.Fallback.Ping(ctx, addr)
 	}
-	_, err := l.take(addr)
+	_, err := l.take(addr, nil)
 	return err
 }

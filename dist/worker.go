@@ -5,7 +5,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"sort"
 	"sync"
+	"time"
 
 	"wavelethist/internal/core"
 	"wavelethist/internal/hdfs"
@@ -16,19 +18,42 @@ import (
 // grow without bound.
 const datasetCacheSize = 4
 
+// DefaultLeaseTTL is how long an idle per-job state lease survives before
+// the worker garbage-collects it. Multi-round builds refresh the lease on
+// every assignment; a coordinator that crashed (or partitioned away — the
+// worker-side analogue of a heartbeat timeout) stops refreshing, and the
+// orphaned state is dropped rather than pinned forever.
+const DefaultLeaseTTL = 5 * time.Minute
+
 // Worker executes map assignments: it materializes the dataset named by
 // the request's recipe (cached across requests), runs the method's map
-// side over the assigned splits, and returns the encoded partials. The
-// same Worker backs the waveworker binary's HTTP server and the loopback
+// side over the assigned splits, and returns the encoded partials. For
+// multi-round methods it additionally holds per-job state leases — the
+// persisted unsent coefficients H-WTopk's later rounds read — released on
+// job completion (coordinator Release RPC) or lease-TTL expiry. The same
+// Worker backs the waveworker binary's HTTP server and the loopback
 // transport's in-process fleet.
 type Worker struct {
 	id       string
 	capacity int
 	sem      chan struct{}
 
-	mu    sync.Mutex
-	files map[string]*dsEntry
-	order []string
+	mu     sync.Mutex
+	files  map[string]*dsEntry
+	order  []string
+	leases map[string]*jobLease
+	ttl    time.Duration
+}
+
+// jobLease is one job's state plus the bookkeeping expiry runs on.
+// active counts in-flight assignments using the lease; the sweep never
+// collects a pinned lease (idleness is measured from the last
+// completion, and a long map task must not lose its store mid-run).
+type jobLease struct {
+	state    *core.WorkerState
+	created  time.Time
+	lastUsed time.Time
+	active   int
 }
 
 // dsEntry is one cached dataset: a future so materialization happens
@@ -51,6 +76,8 @@ func NewWorker(id string, capacity int) *Worker {
 		capacity: capacity,
 		sem:      make(chan struct{}, capacity),
 		files:    make(map[string]*dsEntry),
+		leases:   make(map[string]*jobLease),
+		ttl:      DefaultLeaseTTL,
 	}
 }
 
@@ -59,6 +86,16 @@ func (w *Worker) ID() string { return w.id }
 
 // Capacity returns the concurrent-RPC bound.
 func (w *Worker) Capacity() int { return w.capacity }
+
+// SetLeaseTTL overrides the state-lease expiry (0 restores the default).
+func (w *Worker) SetLeaseTTL(d time.Duration) {
+	if d <= 0 {
+		d = DefaultLeaseTTL
+	}
+	w.mu.Lock()
+	w.ttl = d
+	w.mu.Unlock()
+}
 
 // HandleMap serves one map assignment.
 func (w *Worker) HandleMap(ctx context.Context, req *MapRequest) (*MapResponse, error) {
@@ -75,11 +112,90 @@ func (w *Worker) HandleMap(ctx context.Context, req *MapRequest) (*MapResponse, 
 	if err != nil {
 		return nil, err
 	}
-	parts, err := core.MapSplits(ctx, file, req.Method, req.Params, req.Splits)
+	if req.Rounds <= 1 && req.Round <= 1 {
+		// One-round method: stateless mergeable partials, no lease.
+		parts, err := core.MapSplits(ctx, file, req.Method, req.Params, req.Splits)
+		if err != nil {
+			return nil, err
+		}
+		return &MapResponse{JobID: req.JobID, Partials: core.EncodePartials(parts)}, nil
+	}
+	state, done := w.acquireLease(req.JobID)
+	defer done()
+	parts, replayed, err := core.MapRoundSplits(ctx, file, req.Method, req.Params, req.Round, req.Broadcast, req.Splits, state)
 	if err != nil {
 		return nil, err
 	}
-	return &MapResponse{JobID: req.JobID, Partials: core.EncodePartials(parts)}, nil
+	return &MapResponse{JobID: req.JobID, Partials: core.EncodePartials(parts), Replayed: replayed}, nil
+}
+
+// acquireLease returns (creating or refreshing) the job's state lease,
+// pinned against sweeping until the returned release runs; expired idle
+// leases of other jobs are swept while the lock is held.
+func (w *Worker) acquireLease(jobID string) (*core.WorkerState, func()) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	now := time.Now()
+	w.sweepLocked(now)
+	l, ok := w.leases[jobID]
+	if !ok {
+		l = &jobLease{state: core.NewWorkerState(), created: now}
+		w.leases[jobID] = l
+	}
+	l.lastUsed = now
+	l.active++
+	return l.state, func() {
+		w.mu.Lock()
+		defer w.mu.Unlock()
+		l.active--
+		l.lastUsed = time.Now()
+	}
+}
+
+// sweepLocked drops unpinned leases idle past the TTL. Caller holds w.mu.
+func (w *Worker) sweepLocked(now time.Time) {
+	for id, l := range w.leases {
+		if l.active <= 0 && now.Sub(l.lastUsed) > w.ttl {
+			delete(w.leases, id)
+		}
+	}
+}
+
+// Release drops a job's state lease (the coordinator calls this when a
+// multi-round build completes, fails, or is canceled). Reports whether a
+// lease existed.
+func (w *Worker) Release(jobID string) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.sweepLocked(time.Now())
+	_, ok := w.leases[jobID]
+	delete(w.leases, jobID)
+	return ok
+}
+
+// Leases reports the worker's live state leases, oldest first.
+func (w *Worker) Leases() []LeaseView {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	now := time.Now()
+	w.sweepLocked(now)
+	out := make([]LeaseView, 0, len(w.leases))
+	for id, l := range w.leases {
+		out = append(out, LeaseView{
+			JobID:      id,
+			Entries:    l.state.Entries(),
+			Bytes:      l.state.Bytes(),
+			AgeMillis:  now.Sub(l.created).Milliseconds(),
+			IdleMillis: now.Sub(l.lastUsed).Milliseconds(),
+		})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].AgeMillis != out[b].AgeMillis {
+			return out[a].AgeMillis > out[b].AgeMillis
+		}
+		return out[a].JobID < out[b].JobID
+	})
+	return out
 }
 
 // dataset returns the materialized file for a spec, generating and
@@ -123,8 +239,8 @@ func (w *Worker) dataset(spec DatasetSpec) (*hdfs.File, error) {
 	return e.file, e.err
 }
 
-// Handler returns the worker's HTTP surface: POST /dist/v1/map and
-// GET /dist/v1/ping.
+// Handler returns the worker's HTTP surface: POST /dist/v1/map,
+// POST /dist/v1/release, GET /dist/v1/state and GET /dist/v1/ping.
 func (w *Worker) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST "+PathMap, func(rw http.ResponseWriter, r *http.Request) {
@@ -139,6 +255,25 @@ func (w *Worker) Handler() http.Handler {
 			return
 		}
 		writeJSON(rw, http.StatusOK, resp)
+	})
+	mux.HandleFunc("POST "+PathRelease, func(rw http.ResponseWriter, r *http.Request) {
+		var req ReleaseRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.JobID == "" {
+			writeJSON(rw, http.StatusBadRequest, &ReleaseResponse{})
+			return
+		}
+		writeJSON(rw, http.StatusOK, &ReleaseResponse{OK: true, Released: w.Release(req.JobID)})
+	})
+	mux.HandleFunc("GET "+PathState, func(rw http.ResponseWriter, r *http.Request) {
+		w.mu.Lock()
+		datasets := len(w.files)
+		w.mu.Unlock()
+		writeJSON(rw, http.StatusOK, &WorkerStateResponse{
+			ID:       w.id,
+			Capacity: w.capacity,
+			Leases:   w.Leases(),
+			Datasets: datasets,
+		})
 	})
 	mux.HandleFunc("GET "+PathPing, func(rw http.ResponseWriter, r *http.Request) {
 		writeJSON(rw, http.StatusOK, map[string]any{"ok": true, "id": w.id})

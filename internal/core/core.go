@@ -89,6 +89,9 @@ type Metrics struct {
 	MapBytesRead   int64
 	RoundCosts     []cluster.RoundCost // feed to cluster.JobTime
 	WallTime       time.Duration       // real CPU time of the simulation
+	// CandidateSetSize is |R| — the candidate set H-WTopk broadcasts
+	// before round 3 (0 for one-round methods).
+	CandidateSetSize int
 }
 
 // TotalCommBytes is the paper's "communication" metric: all bytes that

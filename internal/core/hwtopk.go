@@ -10,6 +10,7 @@ import (
 	"wavelethist/internal/hdfs"
 	"wavelethist/internal/heap"
 	"wavelethist/internal/mapred"
+	"wavelethist/internal/topk"
 	"wavelethist/internal/wavelet"
 )
 
@@ -42,6 +43,17 @@ const (
 	confT1OverM = "hwtopk.t1.over.m"
 	cacheRName  = "hwtopk.candidates"
 )
+
+// Per-split state is round-versioned: round 1 writes its unsent
+// coefficients under hwStateR1, round 2 writes the post-filter remainder
+// under hwStateR2 and leaves the round-1 file intact. Re-running any
+// round's mapper is therefore idempotent — the property the distributed
+// engine relies on when an RPC fails after a worker already processed it,
+// and what lets a fresh worker replay earlier rounds for a split whose
+// original owner died. (Split ids are >= 0, so the keys 2i and 2i+1 never
+// collide with the reducer's mapred.ReducerState key.)
+func hwStateR1(split int) int { return 2 * split }
+func hwStateR2(split int) int { return 2*split + 1 }
 
 // ---------- Round 1 ----------
 
@@ -108,7 +120,7 @@ func (m *hwRound1Mapper) Close(ctx *mapred.TaskContext, out *mapred.Emitter) err
 		}
 	}
 	state := encodeCoefs(unsent)
-	ctx.State.Put(ctx.SplitID, state)
+	ctx.State.Put(hwStateR1(ctx.SplitID), state)
 	ctx.AddIOBytes(int64(len(state))) // local HDFS write (no network)
 	return nil
 }
@@ -171,7 +183,7 @@ func (r *hwRound1Reducer) Close(ctx *mapred.TaskContext) error {
 		})
 		tauPlus := e.wHat + hiMiss
 		tauMinus := e.wHat + loMiss
-		t1h.Push(heap.Item{ID: id, Score: magnitudeLowerBound(tauPlus, tauMinus)})
+		t1h.Push(heap.Item{ID: id, Score: topk.MagnitudeLowerBound(tauPlus, tauMinus)})
 		ctx.AddWork(float64(r.m) / 8)
 	}
 	if t1h.Full() {
@@ -183,19 +195,10 @@ func (r *hwRound1Reducer) Close(ctx *mapred.TaskContext) error {
 	return nil
 }
 
-// magnitudeLowerBound is τ(x): 0 when the bounds straddle zero, else the
-// smaller magnitude.
-func magnitudeLowerBound(tauPlus, tauMinus float64) float64 {
-	if (tauPlus >= 0) != (tauMinus >= 0) {
-		return 0
-	}
-	return math.Min(math.Abs(tauPlus), math.Abs(tauMinus))
-}
-
 // ---------- Round 2 ----------
 
-// hwRound2Mapper reads no input; it emits state coefficients above T1/m
-// and rewrites its state without them.
+// hwRound2Mapper reads no input; it emits round-1 state coefficients above
+// T1/m and writes the remainder as its round-2 state.
 type hwRound2Mapper struct{}
 
 func (hwRound2Mapper) Setup(*mapred.TaskContext) error { return nil }
@@ -208,13 +211,13 @@ func (hwRound2Mapper) Close(ctx *mapred.TaskContext, out *mapred.Emitter) error 
 	if err != nil {
 		return fmt.Errorf("hwtopk: missing %s: %w", confT1OverM, err)
 	}
-	state := ctx.State.Get(ctx.SplitID)
+	state := ctx.State.Get(hwStateR1(ctx.SplitID))
 	coefs, err := decodeCoefs(state)
 	if err != nil {
 		return err
 	}
 	ctx.AddIOBytes(int64(len(state))) // local state-file read
-	keep := coefs[:0]
+	keep := make([]wavelet.Coef, 0, len(coefs))
 	for _, c := range coefs {
 		if math.Abs(c.Value) > thresh {
 			out.Emit(mapred.KV{Key: c.Index, Val: c.Value, Src: int32(ctx.SplitID)})
@@ -223,7 +226,7 @@ func (hwRound2Mapper) Close(ctx *mapred.TaskContext, out *mapred.Emitter) error 
 		}
 	}
 	ctx.AddWork(float64(len(coefs)))
-	ctx.State.Put(ctx.SplitID, encodeCoefs(keep))
+	ctx.State.Put(hwStateR2(ctx.SplitID), encodeCoefs(keep))
 	return nil
 }
 
@@ -277,7 +280,7 @@ func (r *hwRound2Reducer) Close(ctx *mapred.TaskContext) error {
 		tp := e.wHat + missing*thresh
 		tm := e.wHat - missing*thresh
 		bounds[id] = refined{tp, tm}
-		t2h.Push(heap.Item{ID: id, Score: magnitudeLowerBound(tp, tm)})
+		t2h.Push(heap.Item{ID: id, Score: topk.MagnitudeLowerBound(tp, tm)})
 		ctx.AddWork(1)
 	}
 	var t2 float64
@@ -287,8 +290,7 @@ func (r *hwRound2Reducer) Close(ctx *mapred.TaskContext) error {
 	}
 	// Prune: drop x when even max(|τ⁺|, |τ⁻|) cannot reach T2.
 	for id, b := range bounds {
-		upper := math.Max(math.Abs(b.plus), math.Abs(b.minus))
-		if upper < t2 {
+		if topk.MagnitudeUpperBound(b.plus, b.minus) < t2 {
 			delete(r.cs.entries, id)
 		} else {
 			r.R = append(r.R, id)
@@ -314,7 +316,7 @@ func (hwRound3Mapper) Close(ctx *mapred.TaskContext, out *mapred.Emitter) error 
 	if err != nil {
 		return err
 	}
-	state := ctx.State.Get(ctx.SplitID)
+	state := ctx.State.Get(hwStateR2(ctx.SplitID))
 	coefs, err := decodeCoefs(state)
 	if err != nil {
 		return err
@@ -376,6 +378,100 @@ func (r *hwRound3Reducer) Close(ctx *mapred.TaskContext) error {
 	return nil
 }
 
+// ---------- Plan ----------
+
+// hwPlan holds the shared machinery of one H-WTopk execution: the three
+// round jobs over one Conf/Cache/State triple. Both the simulated driver
+// (runHWTopkRounds) and the distributed engine (RoundPlan / MapRoundSplits
+// in multiround.go) are built on it, so the in-process and fleet code
+// paths run the exact same mappers and reducers.
+type hwPlan struct {
+	splits []hdfs.Split
+	p      Params
+	domain int64
+	tf     coefTransform
+
+	conf  mapred.Conf
+	cache *mapred.DistCache
+	state *mapred.StateStore
+
+	red1 *hwRound1Reducer
+	red2 *hwRound2Reducer
+	red3 *hwRound3Reducer
+}
+
+// newHWPlan wires the plan. state is the split-state store: the simulated
+// runtime and the coordinator pass a fresh one; workers pass their per-job
+// lease store.
+func newHWPlan(file *hdfs.File, p Params, domain int64, tf coefTransform, state *mapred.StateStore) *hwPlan {
+	return &hwPlan{
+		splits: file.Splits(p.SplitSize),
+		p:      p,
+		domain: domain,
+		tf:     tf,
+		conf:   mapred.Conf{},
+		cache:  mapred.NewDistCache(),
+		state:  state,
+		red1:   &hwRound1Reducer{k: p.K},
+		red2:   &hwRound2Reducer{k: p.K},
+		red3:   &hwRound3Reducer{k: p.K},
+	}
+}
+
+// job builds round r's (1-based) mapred job.
+func (pl *hwPlan) job(r int) *mapred.Job {
+	j := &mapred.Job{
+		Name:      fmt.Sprintf("hwtopk-round%d", r),
+		Splits:    pl.splits,
+		PairBytes: func(mapred.KV) int { return 16 }, // (i, (j, w)): 4+4+8
+		Streaming: true,
+		Conf:      pl.conf, Cache: pl.cache, State: pl.state,
+		Seed:        pl.p.Seed,
+		Parallelism: pl.p.Parallelism,
+	}
+	switch r {
+	case 1:
+		j.Input = mapred.SequentialInput{}
+		j.NewMapper = func(hdfs.Split) mapred.Mapper {
+			return &hwRound1Mapper{domain: pl.domain, k: pl.p.K, transform: pl.tf}
+		}
+		j.Reducer = pl.red1
+	case 2:
+		j.Input = mapred.NoInput{}
+		j.NewMapper = func(hdfs.Split) mapred.Mapper { return hwRound2Mapper{} }
+		j.Reducer = pl.red2
+	case 3:
+		j.Input = mapred.NoInput{}
+		j.NewMapper = func(hdfs.Split) mapred.Mapper { return hwRound3Mapper{} }
+		j.Reducer = pl.red3
+	default:
+		panic(fmt.Sprintf("hwtopk: no round %d", r))
+	}
+	return j
+}
+
+// setThreshold installs T1/m into the Job Configuration (what the paper's
+// driver broadcasts before round 2; 8 modeled bytes).
+func (pl *hwPlan) setThreshold(t1OverM float64) {
+	pl.conf[confT1OverM] = strconv.FormatFloat(t1OverM, 'g', -1, 64)
+}
+
+// threshold reads T1/m back from the Job Configuration.
+func (pl *hwPlan) threshold() (float64, error) {
+	v, err := strconv.ParseFloat(pl.conf[confT1OverM], 64)
+	if err != nil {
+		return 0, fmt.Errorf("hwtopk: missing %s: %w", confT1OverM, err)
+	}
+	return v, nil
+}
+
+// publishR places the candidate set in the Distributed Cache and returns
+// its modeled broadcast byte count.
+func (pl *hwPlan) publishR(r []int64) int64 {
+	pl.cache.Put(cacheRName, encodeIndexSet(r))
+	return indexSetBytes(r)
+}
+
 // ---------- Driver ----------
 
 // Run implements Algorithm: three MapReduce rounds sharing Conf, Cache and
@@ -401,75 +497,35 @@ func (a *HWTopk) Run(ctx context.Context, file *hdfs.File, p Params) (*Output, e
 // runHWTopkRounds executes the three rounds for any dimensionality.
 func runHWTopkRounds(ctx context.Context, file *hdfs.File, p Params, domain int64, tf coefTransform) ([]wavelet.Coef, Metrics, error) {
 	var metrics Metrics
-	splits := file.Splits(p.SplitSize)
-	m := len(splits)
-	conf := mapred.Conf{}
-	cache := mapred.NewDistCache()
-	state := mapred.NewStateStore()
-	pairBytes := func(mapred.KV) int { return 16 } // (i, (j, w)): 4+4+8
-
-	red1 := &hwRound1Reducer{k: p.K}
-	round1 := &mapred.Job{
-		Name: "hwtopk-round1", Splits: splits, Input: mapred.SequentialInput{},
-		NewMapper: func(hdfs.Split) mapred.Mapper {
-			return &hwRound1Mapper{domain: domain, k: p.K, transform: tf}
-		},
-		Reducer:   red1,
-		PairBytes: pairBytes,
-		Streaming: true,
-		Conf:      conf, Cache: cache, State: state,
-		Seed:        p.Seed,
-		Parallelism: p.Parallelism,
-	}
-	red2 := &hwRound2Reducer{k: p.K}
-	round2 := &mapred.Job{
-		Name: "hwtopk-round2", Splits: splits, Input: mapred.NoInput{},
-		NewMapper: func(hdfs.Split) mapred.Mapper { return hwRound2Mapper{} },
-		Reducer:   red2,
-		PairBytes: pairBytes,
-		Streaming: true,
-		Conf:      conf, Cache: cache, State: state,
-		Seed:        p.Seed,
-		Parallelism: p.Parallelism,
-	}
-	red3 := &hwRound3Reducer{k: p.K}
-	round3 := &mapred.Job{
-		Name: "hwtopk-round3", Splits: splits, Input: mapred.NoInput{},
-		NewMapper: func(hdfs.Split) mapred.Mapper { return hwRound3Mapper{} },
-		Reducer:   red3,
-		PairBytes: pairBytes,
-		Streaming: true,
-		Conf:      conf, Cache: cache, State: state,
-		Seed:        p.Seed,
-		Parallelism: p.Parallelism,
-	}
+	pl := newHWPlan(file, p, domain, tf, mapred.NewStateStore())
+	m := len(pl.splits)
 
 	// Round 1.
-	res1, err := mapred.RunContext(ctx, round1)
+	res1, err := mapred.RunContext(ctx, pl.job(1))
 	if err != nil {
 		return nil, metrics, err
 	}
 	metrics.addRound(res1, 0)
 
 	// Coordinator -> mappers: T1/m via the Job Configuration (8 bytes).
-	conf[confT1OverM] = strconv.FormatFloat(red1.T1/float64(m), 'g', -1, 64)
+	pl.setThreshold(pl.red1.T1 / float64(m))
 
 	// Round 2.
-	res2, err := mapred.RunContext(ctx, round2)
+	res2, err := mapred.RunContext(ctx, pl.job(2))
 	if err != nil {
 		return nil, metrics, err
 	}
 	metrics.addRound(res2, 8) // the T1/m conf value
 
 	// Coordinator -> mappers: R via the Distributed Cache.
-	cache.Put(cacheRName, encodeIndexSet(red2.R))
-	rBytes := indexSetBytes(red2.R)
+	rBytes := pl.publishR(pl.red2.R)
+	metrics.CandidateSetSize = len(pl.red2.R)
 
 	// Round 3.
-	res3, err := mapred.RunContext(ctx, round3)
+	res3, err := mapred.RunContext(ctx, pl.job(3))
 	if err != nil {
 		return nil, metrics, err
 	}
 	metrics.addRound(res3, rBytes)
-	return red3.top, metrics, nil
+	return pl.red3.top, metrics, nil
 }

@@ -1,0 +1,395 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"wavelethist/internal/hdfs"
+	"wavelethist/internal/mapred"
+	"wavelethist/internal/wavelet"
+)
+
+// Multi-round distributed execution. The one-round methods decompose into
+// stateless mergeable partials (partial.go); H-WTopk is a three-round
+// protocol with coordinator feedback between rounds:
+//
+//	round 1  workers scan their splits, ship top/bottom-k pairs, and
+//	         persist unsent coefficients as per-job state
+//	round 2  the coordinator broadcasts T1/m; workers ship every held
+//	         coefficient above it and persist the remainder
+//	round 3  the coordinator broadcasts the candidate set R; workers ship
+//	         held coefficients for candidates; the coordinator finalizes
+//
+// The split between the two halves mirrors partial.go: MapRoundSplits is
+// the worker half (map side of one round over a per-job state lease),
+// RoundPlan is the coordinator half (reduce side, threshold math between
+// rounds, broadcast blobs). Because per-split state is round-versioned
+// (hwtopk.go) and the mappers are deterministic, any worker can recover a
+// split it never ran by replaying the earlier rounds' map side locally —
+// the coordinator re-runs only work, never loses it.
+
+// Multi-round method names (the 1D and packed-2D instantiations share the
+// protocol; only the transform and the final representation differ).
+const (
+	MethodHWTopk   = "H-WTopk"
+	MethodHWTopk2D = "H-WTopk-2D"
+)
+
+// ErrUnsupportedMethod reports a method that cannot run on the distributed
+// fleet. Match with errors.Is.
+var ErrUnsupportedMethod = errors.New("method does not support distributed execution")
+
+// UnsupportedMethodError builds the user-facing form of
+// ErrUnsupportedMethod, listing every supported method.
+func UnsupportedMethodError(name string) error {
+	return fmt.Errorf("%w: %q (supported: %s)",
+		ErrUnsupportedMethod, name, strings.Join(DistributableMethods(), ", "))
+}
+
+// Rounds reports how many distributed rounds a method needs: 1 for the
+// mergeable one-round methods, 3 for H-WTopk (1D and 2D), 0 when the
+// method is unknown or not distributable.
+func Rounds(method string) int {
+	switch method {
+	case MethodHWTopk, MethodHWTopk2D:
+		return 3
+	}
+	if a, err := ByName(method); err == nil {
+		if _, ok := a.(oneRounder); ok {
+			return 1
+		}
+	}
+	return 0
+}
+
+// hwSetup resolves a multi-round method to its defaulted params, key
+// domain and coefficient transform.
+func hwSetup(method string, p Params) (Params, int64, coefTransform, error) {
+	p = p.Defaults()
+	switch method {
+	case MethodHWTopk:
+		if err := p.validate(); err != nil {
+			return p, 0, nil, err
+		}
+		return p, p.U, transform1D(p.U), nil
+	case MethodHWTopk2D:
+		packed, err := check2DDomain(p.U)
+		if err != nil {
+			return p, 0, nil, err
+		}
+		// Validate k/epsilon independently of U (which is the grid side
+		// here, not the packed domain).
+		if err := (Params{U: 2, K: p.K, Epsilon: p.Epsilon}).Defaults().validate(); err != nil {
+			return p, 0, nil, err
+		}
+		return p, packed, transform2D(p.U), nil
+	default:
+		return p, 0, nil, UnsupportedMethodError(method)
+	}
+}
+
+// ---------- broadcast codec ----------
+
+// Round broadcasts are binary blobs shipped inside map RPCs: round 2
+// carries T1/m, round 3 carries T1/m plus the candidate set R. T1/m rides
+// along in round 3 (though the paper's drivers only ship it once) so a
+// fresh worker can replay round 2 for an orphaned split without any other
+// context — recovery is self-contained in the request.
+func encodeHWBroadcast(round int, t1OverM float64, r []int64) []byte {
+	b := mapred.AppendInt64(nil, int64(round))
+	b = mapred.AppendFloat64(b, t1OverM)
+	if round >= 3 {
+		b = append(b, encodeIndexSet(r)...)
+	}
+	return b
+}
+
+func decodeHWBroadcast(round int, b []byte) (t1OverM float64, rSet []byte, err error) {
+	if len(b) < 16 {
+		return 0, nil, fmt.Errorf("core: truncated round-%d broadcast", round)
+	}
+	tag, off := mapred.ReadInt64(b, 0)
+	if int(tag) != round {
+		return 0, nil, fmt.Errorf("core: broadcast is for round %d, want %d", tag, round)
+	}
+	t1OverM, off = mapred.ReadFloat64(b, off)
+	if round >= 3 {
+		if len(b) <= off {
+			return 0, nil, fmt.Errorf("core: round-3 broadcast missing candidate set")
+		}
+		rSet = b[off:]
+	}
+	return t1OverM, rSet, nil
+}
+
+// ---------- worker half ----------
+
+// WorkerState is a worker's per-job state lease: the round-versioned
+// per-split state files a multi-round method persists between rounds.
+// Safe for concurrent use (assignments for one job may run in parallel on
+// disjoint splits).
+type WorkerState struct {
+	store *mapred.StateStore
+}
+
+// NewWorkerState returns an empty lease store.
+func NewWorkerState() *WorkerState {
+	return &WorkerState{store: mapred.NewStateStore()}
+}
+
+// Entries reports how many state files the lease holds.
+func (ws *WorkerState) Entries() int { return ws.store.Len() }
+
+// Bytes reports the lease's total payload size.
+func (ws *WorkerState) Bytes() int64 { return ws.store.TotalBytes() }
+
+// MapRoundSplits runs one round's map side over the given splits — the
+// worker half of a multi-round distributed build. State produced by
+// earlier rounds is read from (and new state written to) ws. Splits whose
+// earlier-round state is missing — the worker never ran them, or its
+// lease expired — are recovered by replaying the earlier rounds' map side
+// locally (pairs discarded; determinism makes the replayed state
+// byte-identical to the lost original); their ids are returned in
+// replayed. bcast is the coordinator's broadcast blob for this round (nil
+// for round 1).
+func MapRoundSplits(ctx context.Context, file *hdfs.File, method string, p Params, round int, bcast []byte, splitIDs []int, ws *WorkerState) (parts []SplitPartial, replayed []int, err error) {
+	if Rounds(method) == 1 && round <= 1 {
+		parts, err = MapSplits(ctx, file, method, p, splitIDs)
+		return parts, nil, err
+	}
+	p, domain, tf, err := hwSetup(method, p)
+	if err != nil {
+		return nil, nil, err
+	}
+	if ws == nil {
+		return nil, nil, fmt.Errorf("core: %s round %d needs a worker state lease", method, round)
+	}
+	pl := newHWPlan(file, p, domain, tf, ws.store)
+	if round < 1 || round > 3 {
+		return nil, nil, fmt.Errorf("core: %s has no round %d", method, round)
+	}
+	if round >= 2 {
+		t1OverM, rSet, derr := decodeHWBroadcast(round, bcast)
+		if derr != nil {
+			return nil, nil, derr
+		}
+		pl.setThreshold(t1OverM)
+		if round == 3 {
+			pl.cache.Put(cacheRName, rSet)
+		}
+	}
+	m := len(pl.splits)
+	parts = make([]SplitPartial, 0, len(splitIDs))
+	for _, id := range splitIDs {
+		if id < 0 || id >= m {
+			return nil, nil, fmt.Errorf("core: %s: split %d out of range [0, %d)", method, id, m)
+		}
+		rep, rerr := pl.ensureSplitState(ctx, round, id)
+		if rerr != nil {
+			return nil, nil, rerr
+		}
+		if rep {
+			replayed = append(replayed, id)
+		}
+		r, rerr := mapred.RunMapSplit(ctx, pl.job(round), id)
+		if rerr != nil {
+			return nil, nil, rerr
+		}
+		parts = append(parts, SplitPartial{
+			SplitID:     id,
+			Node:        r.Metrics.Node,
+			Pairs:       r.Pairs,
+			RecordsRead: r.RecordsRead,
+			BytesRead:   r.BytesRead,
+			InputBytes:  r.Metrics.InputBytes,
+			CPUUnits:    r.Metrics.CPUUnits,
+		})
+	}
+	return parts, replayed, nil
+}
+
+// ensureSplitState replays earlier rounds' map side for a split whose
+// state this worker does not hold. Replay emissions are discarded — the
+// coordinator already received them from the split's original owner (the
+// round barrier guarantees every earlier round completed over all splits).
+func (pl *hwPlan) ensureSplitState(ctx context.Context, round, id int) (replayed bool, err error) {
+	if round >= 2 && pl.state.Get(hwStateR1(id)) == nil {
+		if round == 3 && pl.state.Get(hwStateR2(id)) != nil {
+			return false, nil // round-2 state survived; round 1's is not needed
+		}
+		if _, err := mapred.RunMapSplit(ctx, pl.job(1), id); err != nil {
+			return false, fmt.Errorf("replaying round 1 for split %d: %w", id, err)
+		}
+		replayed = true
+	}
+	if round == 3 && pl.state.Get(hwStateR2(id)) == nil {
+		if _, err := mapred.RunMapSplit(ctx, pl.job(2), id); err != nil {
+			return replayed, fmt.Errorf("replaying round 2 for split %d: %w", id, err)
+		}
+		replayed = true
+	}
+	return replayed, nil
+}
+
+// ---------- coordinator half ----------
+
+// RoundPlan drives a multi-round method from the coordinator: it owns the
+// reducer state across rounds, produces each round's broadcast blob, and
+// merges the workers' per-round partials. Usage, per round r = 1..NumRounds:
+//
+//	blob := plan.Broadcast(r)            // nil for round 1
+//	parts := <fan r out to the fleet with blob>
+//	plan.ReduceRound(ctx, r, parts)
+//
+// then Output (1D) or Output2D. Not safe for concurrent use.
+type RoundPlan struct {
+	method string
+	p      Params
+	pl     *hwPlan
+	m      int
+
+	start            time.Time
+	round            int // last reduced round
+	metrics          Metrics
+	pendingBroadcast int64 // modeled bytes charged to the next round
+	candidates       int
+	top              []wavelet.Coef
+}
+
+// NewRoundPlan prepares a multi-round distributed build of method over
+// file. Returns ErrUnsupportedMethod (wrapped) for non-multi-round
+// methods.
+func NewRoundPlan(file *hdfs.File, method string, p Params) (*RoundPlan, error) {
+	p, domain, tf, err := hwSetup(method, p)
+	if err != nil {
+		return nil, err
+	}
+	pl := newHWPlan(file, p, domain, tf, mapred.NewStateStore())
+	return &RoundPlan{
+		method: method,
+		p:      p,
+		pl:     pl,
+		m:      len(pl.splits),
+		start:  time.Now(),
+	}, nil
+}
+
+// NumRounds reports the protocol's round count.
+func (rp *RoundPlan) NumRounds() int { return 3 }
+
+// NumSplits reports the per-round assignment unit count.
+func (rp *RoundPlan) NumSplits() int { return rp.m }
+
+// Candidates reports |R| — the candidate-set size broadcast before round 3
+// (0 until round 2 has been reduced).
+func (rp *RoundPlan) Candidates() int { return rp.candidates }
+
+// Metrics returns the accumulated modeled metrics (valid after the final
+// ReduceRound).
+func (rp *RoundPlan) Metrics() Metrics { return rp.metrics }
+
+// Broadcast returns the blob workers need for round r (nil for round 1)
+// and records its modeled broadcast cost against that round. Call after
+// ReduceRound(r-1).
+func (rp *RoundPlan) Broadcast(round int) []byte {
+	switch round {
+	case 2:
+		t1OverM := rp.pl.red1.T1 / float64(rp.m)
+		rp.pl.setThreshold(t1OverM)
+		rp.pendingBroadcast = 8 // the T1/m conf value
+		return encodeHWBroadcast(2, t1OverM, nil)
+	case 3:
+		t1OverM, _ := rp.pl.threshold()
+		r := rp.pl.red2.R
+		rp.candidates = len(r)
+		rp.metrics.CandidateSetSize = len(r)
+		rp.pendingBroadcast = rp.pl.publishR(r)
+		return encodeHWBroadcast(3, t1OverM, r)
+	default:
+		return nil
+	}
+}
+
+// ReduceRound merges one round's partials — which must cover every split
+// exactly once — through the round's reducer, exactly as the simulated
+// runtime would (batches consumed in split order, so float accumulation is
+// bit-identical).
+func (rp *RoundPlan) ReduceRound(ctx context.Context, round int, parts []SplitPartial) error {
+	if round != rp.round+1 {
+		return fmt.Errorf("core: %s: reduce of round %d after round %d", rp.method, round, rp.round)
+	}
+	if len(parts) != rp.m {
+		return fmt.Errorf("core: %s round %d: have %d partials, want one per split (%d)",
+			rp.method, round, len(parts), rp.m)
+	}
+	ordered := make([]SplitPartial, len(parts))
+	copy(ordered, parts)
+	sort.Slice(ordered, func(a, b int) bool { return ordered[a].SplitID < ordered[b].SplitID })
+
+	batches := make([][]mapred.KV, rp.m)
+	res := &mapred.Result{MapTasks: make([]mapred.TaskMetrics, rp.m)}
+	for i, part := range ordered {
+		if part.SplitID != i {
+			return fmt.Errorf("core: %s round %d: partials do not cover split %d exactly once",
+				rp.method, round, i)
+		}
+		batches[i] = part.Pairs
+		res.MapTasks[i] = mapred.TaskMetrics{
+			SplitID:    part.SplitID,
+			Node:       part.Node,
+			InputBytes: part.InputBytes,
+			CPUUnits:   part.CPUUnits,
+		}
+		res.Counters.MapRecordsRead += part.RecordsRead
+		res.Counters.MapBytesRead += part.BytesRead
+	}
+	rres, err := mapred.RunReduce(ctx, rp.pl.job(round), batches)
+	if err != nil {
+		return err
+	}
+	res.ShuffleBytes = rres.ShuffleBytes
+	res.PairsShuffled = rres.PairsShuffled
+	res.ReduceCPU = rres.ReduceCPU
+	res.ReduceCalls = rres.ReduceCalls
+	rp.metrics.addRound(res, rp.pendingBroadcast)
+	rp.pendingBroadcast = 0
+	rp.round = round
+	if round == rp.NumRounds() {
+		rp.top = rp.pl.red3.top
+		rp.metrics.WallTime = time.Since(rp.start)
+	}
+	return nil
+}
+
+// Output wraps the finished 1D build.
+func (rp *RoundPlan) Output() (*Output, error) {
+	if err := rp.finished(); err != nil {
+		return nil, err
+	}
+	if rp.method != MethodHWTopk {
+		return nil, fmt.Errorf("core: %s is not a 1D method (use Output2D)", rp.method)
+	}
+	return &Output{Rep: wavelet.NewRepresentation(rp.p.U, rp.top), Metrics: rp.metrics}, nil
+}
+
+// Output2D wraps the finished 2D build.
+func (rp *RoundPlan) Output2D() (*Output2D, error) {
+	if err := rp.finished(); err != nil {
+		return nil, err
+	}
+	if rp.method != MethodHWTopk2D {
+		return nil, fmt.Errorf("core: %s is not a 2D method (use Output)", rp.method)
+	}
+	return &Output2D{Rep: wavelet.NewRepresentation2D(rp.p.U, rp.top), Metrics: rp.metrics}, nil
+}
+
+func (rp *RoundPlan) finished() error {
+	if rp.round != rp.NumRounds() {
+		return fmt.Errorf("core: %s: only %d of %d rounds reduced", rp.method, rp.round, rp.NumRounds())
+	}
+	return nil
+}

@@ -29,8 +29,10 @@ import (
 // from (seed, split id), and merging consumes partials in split order).
 //
 // H-WTopk is a three-round protocol with coordinator feedback between
-// rounds and is not expressible as one-shot mergeable partials; it stays
-// on the simulated runtime.
+// rounds and is not expressible as one-shot mergeable partials; it runs
+// distributed through the multi-round engine instead (multiround.go:
+// MapRoundSplits + RoundPlan), which reuses SplitPartial as the per-round
+// wire unit.
 
 // SplitPartial is one split's mergeable map-side summary.
 type SplitPartial struct {
@@ -47,8 +49,9 @@ type SplitPartial struct {
 	CPUUnits   float64
 }
 
-// DistributableMethods lists the methods supporting split-parallel
-// distributed execution (all but the multi-round H-WTopk).
+// DistributableMethods lists every method supporting distributed
+// execution: the six one-round methods plus the multi-round H-WTopk (1D
+// via Build, 2D via the packed-domain variant).
 func DistributableMethods() []string {
 	var out []string
 	for _, a := range Algorithms() {
@@ -56,19 +59,12 @@ func DistributableMethods() []string {
 			out = append(out, a.Name())
 		}
 	}
-	return out
+	return append(out, MethodHWTopk, MethodHWTopk2D)
 }
 
 // Distributable reports whether the named method supports distributed
 // execution.
-func Distributable(name string) bool {
-	a, err := ByName(name)
-	if err != nil {
-		return false
-	}
-	_, ok := a.(oneRounder)
-	return ok
-}
+func Distributable(name string) bool { return Rounds(name) >= 1 }
 
 // oneRoundByName resolves a method to its one-round decomposition.
 func oneRoundByName(name string) (oneRounder, error) {
@@ -78,8 +74,7 @@ func oneRoundByName(name string) (oneRounder, error) {
 	}
 	or, ok := a.(oneRounder)
 	if !ok {
-		return nil, fmt.Errorf("core: %s is multi-round and cannot run distributed (supported: %v)",
-			name, DistributableMethods())
+		return nil, fmt.Errorf("core: %s is multi-round; use MapRoundSplits/RoundPlan, not one-shot partials", name)
 	}
 	return or, nil
 }

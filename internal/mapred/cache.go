@@ -96,6 +96,25 @@ func (s *StateStore) Clear() {
 	s.state = make(map[int][]byte)
 }
 
+// Len reports how many keys hold state.
+func (s *StateStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.state)
+}
+
+// TotalBytes reports the stored payload size across all keys (worker
+// state-lease observability).
+func (s *StateStore) TotalBytes() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var n int64
+	for _, b := range s.state {
+		n += int64(len(b))
+	}
+	return n
+}
+
 // Binary encoding helpers for state files and distributed-cache payloads.
 // Layout conventions: little-endian, fixed width.
 

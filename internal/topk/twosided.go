@@ -7,6 +7,25 @@ import (
 	"wavelethist/internal/heap"
 )
 
+// MagnitudeLowerBound is the two-sided threshold τ(x): given the upper
+// bound τ⁺ and lower bound τ⁻ on an item's aggregate score, the provable
+// lower bound on |score| is 0 when the bounds straddle zero, else the
+// smaller magnitude. Shared by the reference protocol here and the
+// MapReduce instantiation in internal/core.
+func MagnitudeLowerBound(tauPlus, tauMinus float64) float64 {
+	if (tauPlus >= 0) != (tauMinus >= 0) {
+		return 0
+	}
+	return math.Min(math.Abs(tauPlus), math.Abs(tauMinus))
+}
+
+// MagnitudeUpperBound is the matching upper bound on |score|: the larger
+// magnitude of the two bounds. Candidates are pruned when it cannot reach
+// the round-2 threshold T2.
+func MagnitudeUpperBound(tauPlus, tauMinus float64) float64 {
+	return math.Max(math.Abs(tauPlus), math.Abs(tauMinus))
+}
+
 // TwoSided runs the paper's three-round modified TPUT (Section 3): exact
 // top-k items by aggregate *magnitude* over signed local scores. It can be
 // seen as interleaving two TPUT instances (one over the highest, one over
@@ -78,19 +97,13 @@ func TwoSided(nodes []Scores, k int) ([]Item, Stats) {
 		}
 		return
 	}
-	lowerBound := func(tauPlus, tauMinus float64) float64 {
-		if (tauPlus >= 0) != (tauMinus >= 0) {
-			return 0
-		}
-		return math.Min(math.Abs(tauPlus), math.Abs(tauMinus))
-	}
 
 	t1Heap := heap.NewTopK(k)
 	for id := range seen {
 		tp, tm := tau(id,
 			func(j int) float64 { return tildeHigh[j] },
 			func(j int) float64 { return tildeLow[j] })
-		t1Heap.Push(heap.Item{ID: id, Score: lowerBound(tp, tm)})
+		t1Heap.Push(heap.Item{ID: id, Score: MagnitudeLowerBound(tp, tm)})
 	}
 	var t1 float64
 	if t1Heap.Full() {
@@ -124,7 +137,7 @@ func TwoSided(nodes []Scores, k int) ([]Item, Stats) {
 			func(int) float64 { return thresh },
 			func(int) float64 { return -thresh })
 		refined[id] = bounds{tp, tm}
-		t2Heap.Push(heap.Item{ID: id, Score: lowerBound(tp, tm)})
+		t2Heap.Push(heap.Item{ID: id, Score: MagnitudeLowerBound(tp, tm)})
 	}
 	var t2 float64
 	if t2Heap.Full() {
@@ -133,8 +146,7 @@ func TwoSided(nodes []Scores, k int) ([]Item, Stats) {
 	}
 	candidates := make([]int64, 0, len(seen))
 	for id, b := range refined {
-		upper := math.Max(math.Abs(b.plus), math.Abs(b.minus))
-		if upper >= t2 {
+		if MagnitudeUpperBound(b.plus, b.minus) >= t2 {
 			candidates = append(candidates, id)
 		}
 	}

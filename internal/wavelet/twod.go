@@ -1,6 +1,9 @@
 package wavelet
 
-import "math"
+import (
+	"math"
+	"sort"
+)
 
 // The 2D extension (Section 2.1 / "Multi-dimensional wavelets"): a standard
 // 2D Haar transform applies the 1D transform to every row of the u×u
@@ -81,15 +84,25 @@ func SplitKey2D(key, u int64) (x, y int64) { return key / u, key % u }
 // SparseTransform2D computes non-zero 2D coefficients of a sparse 2D
 // frequency map (packed keys). Each cell contributes to (log2(u)+1)²
 // coefficients — its tensor path. Output is keyed by packed (i, j).
+// Cells are consumed in sorted key order so the floating-point
+// accumulation — and therefore every coefficient's exact bit pattern — is
+// independent of map iteration order, which the distributed engine's
+// bit-identical parity (and replay after worker loss) relies on.
 func SparseTransform2D(freq map[int64]float64, u int64) map[int64]float64 {
 	logu := Log2(u)
 	type pathEntry struct {
 		idx int64
 		val float64
 	}
+	keys := make([]int64, 0, len(freq))
+	for key := range freq {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
 	path := make([]pathEntry, 0, logu+1)
 	w := make(map[int64]float64)
-	for key, c := range freq {
+	for _, key := range keys {
+		c := freq[key]
 		if c == 0 {
 			continue
 		}

@@ -62,12 +62,26 @@ type Job struct {
 	modelCommBytes int64
 	wireBytes      int64
 	rounds         int
+	perRound       []RoundView
+	candidateSet   int
 	recordsRead    int64
 	bytesRead      int64
 	wallMillis     int64
 	simSeconds     float64
 
 	done chan struct{}
+}
+
+// RoundView is one round's profile in GET /v1/jobs/{id}: the modeled
+// communication per round in both modes, plus the measured wire traffic
+// and fan-out counters of distributed builds.
+type RoundView struct {
+	Round          int   `json:"round"`
+	ModelCommBytes int64 `json:"model_comm_bytes"`
+	WireBytes      int64 `json:"wire_bytes,omitempty"`
+	RPCs           int   `json:"rpcs,omitempty"`
+	Retries        int   `json:"retries,omitempty"`
+	ReplayedSplits int   `json:"replayed_splits,omitempty"`
 }
 
 // JobView is the JSON form of a job.
@@ -80,16 +94,18 @@ type JobView struct {
 	State   JobState `json:"state"`
 	Error   string   `json:"error,omitempty"`
 
-	Version          uint64  `json:"version,omitempty"`
-	K                int     `json:"k,omitempty"`
-	CommBytes        int64   `json:"comm_bytes,omitempty"`
-	ModelCommBytes   int64   `json:"model_comm_bytes,omitempty"`
-	WireBytes        int64   `json:"wire_bytes,omitempty"`
-	Rounds           int     `json:"rounds,omitempty"`
-	RecordsRead      int64   `json:"records_read,omitempty"`
-	BytesRead        int64   `json:"bytes_read,omitempty"`
-	WallMillis       int64   `json:"wall_millis,omitempty"`
-	SimulatedSeconds float64 `json:"simulated_seconds,omitempty"`
+	Version          uint64      `json:"version,omitempty"`
+	K                int         `json:"k,omitempty"`
+	CommBytes        int64       `json:"comm_bytes,omitempty"`
+	ModelCommBytes   int64       `json:"model_comm_bytes,omitempty"`
+	WireBytes        int64       `json:"wire_bytes,omitempty"`
+	Rounds           int         `json:"rounds,omitempty"`
+	PerRound         []RoundView `json:"per_round,omitempty"`
+	CandidateSetSize int         `json:"candidate_set_size,omitempty"`
+	RecordsRead      int64       `json:"records_read,omitempty"`
+	BytesRead        int64       `json:"bytes_read,omitempty"`
+	WallMillis       int64       `json:"wall_millis,omitempty"`
+	SimulatedSeconds float64     `json:"simulated_seconds,omitempty"`
 }
 
 type jobSet struct {
@@ -167,6 +183,8 @@ func (js *jobSet) view(j *Job) JobView {
 		ModelCommBytes:   j.modelCommBytes,
 		WireBytes:        j.wireBytes,
 		Rounds:           j.rounds,
+		PerRound:         j.perRound,
+		CandidateSetSize: j.candidateSet,
 		RecordsRead:      j.recordsRead,
 		BytesRead:        j.bytesRead,
 		WallMillis:       j.wallMillis,
@@ -195,6 +213,17 @@ func (js *jobSet) finish(j *Job, e *Entry, k int, res *wavelethist.Result) {
 		j.modelCommBytes = res.ModelCommBytes
 		j.wireBytes = res.WireBytes
 		j.rounds = res.Rounds
+		for _, r := range res.PerRound {
+			j.perRound = append(j.perRound, RoundView{
+				Round:          r.Round,
+				ModelCommBytes: r.ModelCommBytes,
+				WireBytes:      r.WireBytes,
+				RPCs:           r.RPCs,
+				Retries:        r.Retries,
+				ReplayedSplits: r.ReplayedSplits,
+			})
+		}
+		j.candidateSet = res.CandidateSetSize
 		j.recordsRead = res.RecordsRead
 		j.bytesRead = res.BytesRead
 		j.wallMillis = res.WallTime.Milliseconds()

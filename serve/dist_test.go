@@ -124,6 +124,95 @@ func TestDistributedBuildViaAPI(t *testing.T) {
 	}
 }
 
+// TestDistributedHWTopkViaAPI runs the three-round H-WTopk through
+// POST /v1/build on a loopback fleet: the job must report per-round
+// metrics (model + wire bytes, candidate-set size), match the simulated
+// build's modeled communication, and /v1/stats must expose fleet
+// saturation.
+func TestDistributedHWTopkViaAPI(t *testing.T) {
+	s, srv := newDistServer(t, 3)
+
+	simID := postBuild(t, srv.URL, `{"name":"hsim","dataset":"z","method":"H-WTopk","k":20,"seed":5}`)
+	distID := postBuild(t, srv.URL, `{"name":"hdist","dataset":"z","method":"H-WTopk","k":20,"seed":5,"distributed":true}`)
+	j1, _ := s.jobs.get(simID)
+	j2, _ := s.jobs.get(distID)
+	if !j1.Wait(60*time.Second) || !j2.Wait(60*time.Second) {
+		t.Fatal("jobs did not finish")
+	}
+	sim := getJob(t, srv.URL, simID)
+	dst := getJob(t, srv.URL, distID)
+	if sim.State != JobDone || dst.State != JobDone {
+		t.Fatalf("states: sim=%+v dist=%+v", sim, dst)
+	}
+	if sim.Rounds != 3 || dst.Rounds != 3 {
+		t.Fatalf("rounds: sim=%d dist=%d, want 3", sim.Rounds, dst.Rounds)
+	}
+	if sim.ModelCommBytes == 0 || sim.ModelCommBytes != dst.ModelCommBytes {
+		t.Errorf("model comm: sim=%d dist=%d", sim.ModelCommBytes, dst.ModelCommBytes)
+	}
+	if dst.WireBytes <= 0 || dst.CommBytes != dst.WireBytes {
+		t.Errorf("distributed wire bytes: wire=%d comm=%d", dst.WireBytes, dst.CommBytes)
+	}
+	if len(sim.PerRound) != 3 || len(dst.PerRound) != 3 {
+		t.Fatalf("per-round: sim=%d dist=%d entries", len(sim.PerRound), len(dst.PerRound))
+	}
+	for i := range dst.PerRound {
+		if dst.PerRound[i].ModelCommBytes != sim.PerRound[i].ModelCommBytes {
+			t.Errorf("round %d model comm: dist=%d sim=%d", i+1,
+				dst.PerRound[i].ModelCommBytes, sim.PerRound[i].ModelCommBytes)
+		}
+		if dst.PerRound[i].WireBytes <= 0 {
+			t.Errorf("round %d has no wire bytes", i+1)
+		}
+		if sim.PerRound[i].WireBytes != 0 {
+			t.Errorf("simulated round %d reports wire bytes", i+1)
+		}
+	}
+	if sim.CandidateSetSize <= 0 || sim.CandidateSetSize != dst.CandidateSetSize {
+		t.Errorf("candidate set: sim=%d dist=%d", sim.CandidateSetSize, dst.CandidateSetSize)
+	}
+
+	// Both publishes serve identical estimates (exact method, same seed).
+	e1, _ := s.reg.Lookup("hsim")
+	e2, _ := s.reg.Lookup("hdist")
+	v1, _ := e1.Range(0, 1<<10)
+	v2, _ := e2.Range(0, 1<<10)
+	if v1 != v2 {
+		t.Errorf("simulated and distributed estimates differ: %v vs %v", v1, v2)
+	}
+
+	// /v1/stats surfaces fleet saturation when a coordinator is configured.
+	res, err := http.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	var stats struct {
+		Fleet *dist.FleetStats `json:"fleet"`
+	}
+	if err := json.NewDecoder(res.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Fleet == nil {
+		t.Fatal("/v1/stats missing fleet section")
+	}
+	if len(stats.Fleet.Workers) != 3 {
+		t.Errorf("fleet workers: %d, want 3", len(stats.Fleet.Workers))
+	}
+	if stats.Fleet.ActiveBuilds != 0 || stats.Fleet.PendingSplits != 0 {
+		t.Errorf("fleet not idle after builds: %+v", stats.Fleet)
+	}
+	seenLatency := false
+	for _, w := range stats.Fleet.Workers {
+		if w.LastRPCMillis > 0 {
+			seenLatency = true
+		}
+	}
+	if !seenLatency {
+		t.Error("no worker reports last-RPC latency")
+	}
+}
+
 // TestDistributedRequiresCoordinator: "distributed": true without a
 // coordinator is a client error.
 func TestDistributedRequiresCoordinator(t *testing.T) {

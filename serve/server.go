@@ -534,10 +534,17 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"stats":   e.Stats.View(),
 		}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	out := map[string]any{
 		"registry_version": snap.Version(),
 		"histograms":       per,
-	})
+	}
+	// Fleet saturation (queue depth, per-worker in-flight and last-RPC
+	// latency) when distributed builds are enabled — the coordinator-side
+	// signal for autoscaling and backpressure.
+	if s.cfg.Coordinator != nil {
+		out["fleet"] = s.cfg.Coordinator.FleetStats()
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 // DatasetRequest creates a dataset via POST /v1/datasets.

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"wavelethist/dist"
 	"wavelethist/internal/core"
 	"wavelethist/internal/hdfs"
 	"wavelethist/internal/wavelet"
@@ -28,9 +29,11 @@ const (
 
 // Dataset2D is a grid-keyed dataset.
 type Dataset2D struct {
-	fs   *hdfs.FileSystem
 	file *hdfs.File
 	side int64
+	// spec is the deterministic packed-key recipe distributed builds ship
+	// to workers (nil when the dataset is not distributable).
+	spec *dist.DatasetSpec
 }
 
 // Side returns the grid side length u (domain is [0, u)²).
@@ -38,6 +41,10 @@ func (d *Dataset2D) Side() int64 { return d.side }
 
 // NumRecords returns the number of records.
 func (d *Dataset2D) NumRecords() int64 { return d.file.NumRecords }
+
+// Spec returns the dataset's generation recipe — what BuildDistributed2D
+// ships to workers so they can materialize an identical local copy.
+func (d *Dataset2D) Spec() *dist.DatasetSpec { return d.spec }
 
 // NewDataset2DFromPairs loads (x, y) key pairs over the [0, side)² grid.
 func NewDataset2DFromPairs(xs, ys []int64, side int64, chunkSize int64, seed uint64) (*Dataset2D, error) {
@@ -47,21 +54,33 @@ func NewDataset2DFromPairs(xs, ys []int64, side int64, chunkSize int64, seed uin
 	if !wavelet.IsPowerOfTwo(side) {
 		return nil, fmt.Errorf("wavelethist: grid side %d is not a power of two", side)
 	}
-	if chunkSize == 0 {
-		chunkSize = hdfs.DefaultChunkSize
-	}
-	fs := hdfs.NewFileSystem(15, chunkSize)
-	w, err := fs.Create("grid", 8)
-	if err != nil {
-		return nil, err
-	}
+	keys := make([]int64, len(xs))
 	for i := range xs {
 		if xs[i] < 0 || xs[i] >= side || ys[i] < 0 || ys[i] >= side {
 			return nil, fmt.Errorf("wavelethist: pair (%d, %d) outside [0, %d)²", xs[i], ys[i], side)
 		}
-		w.Append(wavelet.Key2D(xs[i], ys[i], side))
+		keys[i] = wavelet.Key2D(xs[i], ys[i], side)
 	}
-	return &Dataset2D{fs: fs, file: w.Close(), side: side}, nil
+	return newDataset2DFromKeys(keys, side, chunkSize, seed)
+}
+
+// newDataset2DFromKeys materializes a packed-key 2D dataset through its
+// distributable spec, so the local file and every worker's copy have
+// identical chunk and split structure by construction.
+func newDataset2DFromKeys(keys []int64, side, chunkSize int64, seed uint64) (*Dataset2D, error) {
+	spec := dist.DatasetSpec{
+		Kind:       "keys",
+		Domain:     side * side,
+		RecordSize: 8, // packed keys need 8-byte records
+		ChunkSize:  chunkSize,
+		Seed:       seed,
+		Keys:       keys,
+	}.Normalize()
+	file, _, err := spec.Materialize()
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset2D{file: file, side: side, spec: &spec}, nil
 }
 
 // ExactGrid scans the dataset and returns the ground-truth u×u frequency
@@ -99,11 +118,7 @@ func (d *Dataset2D) Coarsen(t int64) (*Dataset2D, error) {
 		return nil, fmt.Errorf("wavelethist: coarsening factor %d >= grid side %d", t, d.side)
 	}
 	newSide := d.side / t
-	fs := hdfs.NewFileSystem(15, hdfs.DefaultChunkSize)
-	w, err := fs.Create("grid-coarse", 8)
-	if err != nil {
-		return nil, err
-	}
+	keys := make([]int64, 0, d.file.NumRecords)
 	for _, split := range d.file.Splits(0) {
 		r := hdfs.NewSequentialReader(split)
 		for {
@@ -112,10 +127,10 @@ func (d *Dataset2D) Coarsen(t int64) (*Dataset2D, error) {
 				break
 			}
 			x, y := wavelet.SplitKey2D(rec.Key, d.side)
-			w.Append(wavelet.Key2D(x/t, y/t, newSide))
+			keys = append(keys, wavelet.Key2D(x/t, y/t, newSide))
 		}
 	}
-	return &Dataset2D{fs: fs, file: w.Close(), side: newSide}, nil
+	return newDataset2DFromKeys(keys, newSide, hdfs.DefaultChunkSize, 0)
 }
 
 // Histogram2D is a k-term 2D wavelet histogram.
@@ -129,6 +144,16 @@ func (h *Histogram2D) Side() int64 { return h.rep.U }
 // K returns the number of retained coefficients.
 func (h *Histogram2D) K() int { return len(h.rep.Coefs) }
 
+// Coefficients returns the retained packed-index coefficients, largest
+// magnitude first.
+func (h *Histogram2D) Coefficients() []Coefficient {
+	out := make([]Coefficient, len(h.rep.Coefs))
+	for i, c := range h.rep.Coefs {
+		out[i] = Coefficient{Index: c.Index, Value: c.Value}
+	}
+	return out
+}
+
 // PointEstimate returns the estimated frequency of cell (x, y).
 func (h *Histogram2D) PointEstimate(x, y int64) float64 { return h.rep.PointEstimate(x, y) }
 
@@ -140,6 +165,13 @@ type Result2D struct {
 	Histogram *Histogram2D
 	CommBytes int64
 	Rounds    int
+	// WireBytes is the measured RPC traffic of a distributed build (0
+	// when simulated); Distributed reports which mode ran.
+	WireBytes   int64
+	Distributed bool
+	// PerRound / CandidateSetSize profile multi-round builds (H-WTopk-2D).
+	PerRound         []RoundStat
+	CandidateSetSize int
 }
 
 // Build2D constructs a 2D wavelet histogram.
@@ -169,8 +201,47 @@ func Build2DContext(ctx context.Context, d *Dataset2D, method Method2D, opts Opt
 		return nil, err
 	}
 	return &Result2D{
-		Histogram: &Histogram2D{rep: out.Rep},
-		CommBytes: out.Metrics.TotalCommBytes(),
-		Rounds:    out.Metrics.Rounds,
+		Histogram:        &Histogram2D{rep: out.Rep},
+		CommBytes:        out.Metrics.TotalCommBytes(),
+		Rounds:           out.Metrics.Rounds,
+		PerRound:         perRoundStats(out.Metrics, nil),
+		CandidateSetSize: out.Metrics.CandidateSetSize,
+	}, nil
+}
+
+// BuildDistributed2D constructs a 2D wavelet histogram on the worker
+// fleet. Only the multi-round H-WTopk-2D is supported (the 2D one-round
+// baselines have no distributed decomposition yet); other methods return
+// ErrUnsupportedMethod. The result is bit-identical to Build2D with the
+// same seed.
+//
+// Caveat: 2D datasets ship as explicit key lists ("keys" recipes), and
+// the dist protocol embeds the dataset recipe in every map RPC, so large
+// 2D datasets inflate measured wire bytes (workers cache the
+// materialized dataset; only the payload is redundant). A one-time
+// dataset-install RPC is on the roadmap; until then prefer modest 2D
+// datasets for wire-byte comparisons.
+func BuildDistributed2D(ctx context.Context, d *Dataset2D, method Method2D, opts Options, coord *dist.Coordinator) (*Result2D, error) {
+	if d == nil || d.file == nil {
+		return nil, fmt.Errorf("wavelethist: nil dataset")
+	}
+	if coord == nil {
+		return nil, fmt.Errorf("wavelethist: nil coordinator")
+	}
+	if d.spec == nil {
+		return nil, fmt.Errorf("wavelethist: 2D dataset has no distributable spec")
+	}
+	out, stats, err := coord.Build2D(ctx, *d.spec, d.file, string(method), opts.toParams(d.side))
+	if err != nil {
+		return nil, err
+	}
+	return &Result2D{
+		Histogram:        &Histogram2D{rep: out.Rep},
+		CommBytes:        stats.WireBytes,
+		Rounds:           out.Metrics.Rounds,
+		WireBytes:        stats.WireBytes,
+		Distributed:      true,
+		PerRound:         perRoundStats(out.Metrics, stats.PerRound),
+		CandidateSetSize: stats.CandidateSetSize,
 	}, nil
 }

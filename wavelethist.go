@@ -151,6 +151,25 @@ func (h *Histogram) SSE(exact map[int64]float64) float64 {
 	return h.rep.SSEAgainst(v)
 }
 
+// RoundStat profiles one MapReduce round of a build.
+type RoundStat struct {
+	// Round is 1-based.
+	Round int
+	// ModelCommBytes is the round's modeled communication (shuffled pairs
+	// plus coordinator broadcast at the paper's wire widths).
+	ModelCommBytes int64
+	// WireBytes is the round's measured RPC traffic (distributed builds
+	// only).
+	WireBytes int64
+	// RPCs / Retries / ReplayedSplits profile the round's fan-out
+	// (distributed builds only). ReplayedSplits counts splits a new owner
+	// had to recover by replaying earlier rounds after a worker died or
+	// its state lease expired.
+	RPCs           int
+	Retries        int
+	ReplayedSplits int
+}
+
 // Result is a build's outcome: the histogram plus the paper's two
 // efficiency metrics (communication and running time).
 type Result struct {
@@ -173,6 +192,12 @@ type Result struct {
 	Distributed bool
 	// Rounds is the number of MapReduce rounds (1 or 3).
 	Rounds int
+	// PerRound profiles each round; always filled for multi-round builds
+	// and for all distributed builds.
+	PerRound []RoundStat
+	// CandidateSetSize is |R| — H-WTopk's candidate set broadcast before
+	// round 3 (0 for other methods).
+	CandidateSetSize int
 	// RecordsRead / BytesRead measure the map-side input scan (sampling
 	// methods read far less than the file size).
 	RecordsRead int64
@@ -224,13 +249,40 @@ func BuildContext(ctx context.Context, d *Dataset, method Method, opts Options) 
 		return nil, err
 	}
 	return &Result{
-		Histogram:      &Histogram{rep: out.Rep},
-		CommBytes:      out.Metrics.TotalCommBytes(),
-		ModelCommBytes: out.Metrics.TotalCommBytes(),
-		Rounds:         out.Metrics.Rounds,
-		RecordsRead:    out.Metrics.MapRecordsRead,
-		BytesRead:      out.Metrics.MapBytesRead,
-		WallTime:       out.Metrics.WallTime,
-		metrics:        out.Metrics,
+		Histogram:        &Histogram{rep: out.Rep},
+		CommBytes:        out.Metrics.TotalCommBytes(),
+		ModelCommBytes:   out.Metrics.TotalCommBytes(),
+		Rounds:           out.Metrics.Rounds,
+		PerRound:         perRoundStats(out.Metrics, nil),
+		CandidateSetSize: out.Metrics.CandidateSetSize,
+		RecordsRead:      out.Metrics.MapRecordsRead,
+		BytesRead:        out.Metrics.MapBytesRead,
+		WallTime:         out.Metrics.WallTime,
+		metrics:          out.Metrics,
 	}, nil
+}
+
+// perRoundStats merges the modeled per-round costs with (for distributed
+// builds) the measured per-round fan-out profile.
+func perRoundStats(m core.Metrics, dist []distRoundStats) []RoundStat {
+	if len(m.RoundCosts) <= 1 && dist == nil {
+		return nil // single-round simulated builds stay compact
+	}
+	out := make([]RoundStat, len(m.RoundCosts))
+	for i, rc := range m.RoundCosts {
+		out[i] = RoundStat{
+			Round:          i + 1,
+			ModelCommBytes: rc.ShuffleBytes + rc.BroadcastBytes,
+		}
+	}
+	for _, d := range dist {
+		if d.Round >= 1 && d.Round <= len(out) {
+			r := &out[d.Round-1]
+			r.WireBytes = d.WireBytes
+			r.RPCs = d.RPCs
+			r.Retries = d.Retries
+			r.ReplayedSplits = d.ReplayedSplits
+		}
+	}
+	return out
 }
