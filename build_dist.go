@@ -56,6 +56,7 @@ func BuildDistributed(ctx context.Context, d *Dataset, method Method, opts Optio
 		Rounds:           out.Metrics.Rounds,
 		PerRound:         perRoundStats(out.Metrics, stats.PerRound),
 		CandidateSetSize: stats.CandidateSetSize,
+		CachedSplits:     stats.CachedSplits,
 		RecordsRead:      out.Metrics.MapRecordsRead,
 		BytesRead:        out.Metrics.MapBytesRead,
 		WallTime:         out.Metrics.WallTime,

@@ -1,13 +1,17 @@
 // Command wavebench runs the benchmark matrix CI publishes as
 // BENCH_pr<N>.json: every construction method on a seeded Zipf dataset
 // (simulated cluster), plus distributed loopback builds of the methods
-// the acceptance gate tracks — including the three-round H-WTopk on the
-// multi-round job engine — method × comm-bytes × build-time, the repo's
-// perf trajectory over PRs.
+// the acceptance gate tracks — method × comm-bytes × build-time, the
+// repo's perf trajectory over PRs. Distributed rows carry the wire format
+// used for byte accounting ("binary" frames vs the legacy "json"
+// encoding), warm rows repeat a build against the same fleet to measure
+// the workers' partial cache (cached_splits == splits means zero
+// recomputation), and the parallel_map section times the worker map fan
+// (1 goroutine vs GOMAXPROCS) over one 32-split assignment.
 //
 // Usage:
 //
-//	wavebench -out BENCH_pr3.json
+//	wavebench -out BENCH_pr4.json
 //	wavebench -records 1048576 -domain 65536 -workers 4 -out bench.json
 package main
 
@@ -17,21 +21,27 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"wavelethist"
 	"wavelethist/dist"
+	"wavelethist/internal/core"
+	"wavelethist/internal/hdfs"
 )
 
 // Row is one benchmark measurement.
 type Row struct {
 	Method           string     `json:"method"`
 	Mode             string     `json:"mode"` // "simulated" | "distributed"
+	WireFormat       string     `json:"wire_format,omitempty"`
+	Warm             bool       `json:"warm,omitempty"`
 	CommBytes        int64      `json:"comm_bytes"`
 	ModelCommBytes   int64      `json:"model_comm_bytes"`
 	WireBytes        int64      `json:"wire_bytes,omitempty"`
 	Rounds           int        `json:"rounds"`
 	CandidateSetSize int        `json:"candidate_set_size,omitempty"`
+	CachedSplits     int        `json:"cached_splits,omitempty"`
 	PerRound         []RoundRow `json:"per_round,omitempty"`
 	RecordsRead      int64      `json:"records_read"`
 	BytesRead        int64      `json:"bytes_read"`
@@ -44,11 +54,27 @@ type RoundRow struct {
 	Round          int   `json:"round"`
 	ModelCommBytes int64 `json:"model_comm_bytes"`
 	WireBytes      int64 `json:"wire_bytes,omitempty"`
+	CachedSplits   int   `json:"cached_splits,omitempty"`
+}
+
+// ParallelMap profiles one worker-side map fan-out: the same 32-split
+// assignment run with 1 goroutine and with GOMAXPROCS goroutines. On a
+// single-core machine both passes run the identical serial path, so the
+// parallel pass is skipped and Note says why — publishing a "speedup"
+// that is pure scheduler noise would misread as a regression.
+type ParallelMap struct {
+	Method         string  `json:"method"`
+	Splits         int     `json:"splits"`
+	SerialMillis   int64   `json:"serial_millis"`
+	ParallelMillis int64   `json:"parallel_millis,omitempty"`
+	Speedup        float64 `json:"speedup,omitempty"`
+	Note           string  `json:"note,omitempty"`
 }
 
 // Report is the file layout.
 type Report struct {
 	GeneratedUnix int64 `json:"generated_unix"`
+	GoMaxProcs    int   `json:"gomaxprocs"`
 	Dataset       struct {
 		Kind    string  `json:"kind"`
 		Records int64   `json:"records"`
@@ -57,14 +83,15 @@ type Report struct {
 		Seed    uint64  `json:"seed"`
 		Splits  int     `json:"splits"`
 	} `json:"dataset"`
-	K       int   `json:"k"`
-	Workers int   `json:"workers"`
-	Results []Row `json:"results"`
+	K           int          `json:"k"`
+	Workers     int          `json:"workers"`
+	Results     []Row        `json:"results"`
+	ParallelMap *ParallelMap `json:"parallel_map,omitempty"`
 }
 
 func main() {
 	var (
-		out     = flag.String("out", "BENCH_pr3.json", "output file")
+		out     = flag.String("out", "BENCH_pr4.json", "output file")
 		records = flag.Int64("records", 1<<19, "dataset records")
 		domain  = flag.Int64("domain", 1<<14, "key domain (power of two)")
 		alpha   = flag.Float64("alpha", 1.1, "zipf skew")
@@ -88,6 +115,7 @@ func run(out string, records, domain int64, alpha float64, seed uint64, k, worke
 	}
 	var rep Report
 	rep.GeneratedUnix = time.Now().Unix()
+	rep.GoMaxProcs = runtime.GOMAXPROCS(0)
 	rep.Dataset.Kind = "zipf"
 	rep.Dataset.Records = records
 	rep.Dataset.Domain = domain
@@ -104,19 +132,57 @@ func run(out string, records, domain int64, alpha float64, seed uint64, k, worke
 		if err != nil {
 			return fmt.Errorf("%s: %w", m, err)
 		}
-		rep.Results = append(rep.Results, row(string(m), "simulated", res, time.Since(t0)))
+		rep.Results = append(rep.Results, row(string(m), "simulated", "", false, res, time.Since(t0)))
 		fmt.Printf("%-12s simulated    comm=%-10d wall=%v\n", m, res.CommBytes, time.Since(t0).Round(time.Millisecond))
 	}
 
+	// Distributed rows on the binary wire format; Send-V and H-WTopk run
+	// twice against the same fleet — the repeat ("warm") build is served
+	// from the workers' partial caches.
 	coord, _ := dist.NewLoopbackCluster(workers, 2, dist.Config{})
-	for _, m := range []wavelethist.Method{wavelethist.SendV, wavelethist.TwoLevelS, wavelethist.HWTopk} {
+	distRow := func(m wavelethist.Method, c *dist.Coordinator, format string, warm bool) error {
 		t0 := time.Now()
-		res, err := wavelethist.BuildDistributed(context.Background(), ds, m, opts, coord)
+		res, err := wavelethist.BuildDistributed(context.Background(), ds, m, opts, c)
 		if err != nil {
 			return fmt.Errorf("%s distributed: %w", m, err)
 		}
-		rep.Results = append(rep.Results, row(string(m), "distributed", res, time.Since(t0)))
-		fmt.Printf("%-12s distributed  wire=%-10d wall=%v\n", m, res.WireBytes, time.Since(t0).Round(time.Millisecond))
+		rep.Results = append(rep.Results, row(string(m), "distributed", format, warm, res, time.Since(t0)))
+		label := "distributed"
+		if warm {
+			label = "dist-warm"
+		}
+		fmt.Printf("%-12s %-12s wire=%-9d cached=%-3d wall=%v (%s)\n",
+			m, label, res.WireBytes, res.CachedSplits, time.Since(t0).Round(time.Millisecond), format)
+		return nil
+	}
+	for _, m := range []wavelethist.Method{wavelethist.SendV, wavelethist.TwoLevelS, wavelethist.HWTopk} {
+		if err := distRow(m, coord, "binary", false); err != nil {
+			return err
+		}
+	}
+	for _, m := range []wavelethist.Method{wavelethist.SendV, wavelethist.HWTopk} {
+		if err := distRow(m, coord, "binary", true); err != nil {
+			return err
+		}
+	}
+	// JSON baseline on a fresh fleet (separate caches), for the wire-
+	// format comparison.
+	jsonCoord, lb := dist.NewLoopbackCluster(workers, 2, dist.Config{})
+	lb.JSONWire = true
+	if err := distRow(wavelethist.SendV, jsonCoord, "json", false); err != nil {
+		return err
+	}
+
+	pm, err := parallelMap(ds, k, alpha, seed)
+	if err != nil {
+		return err
+	}
+	rep.ParallelMap = pm
+	if pm.Note != "" {
+		fmt.Printf("parallel map: %d splits, serial=%dms — %s\n", pm.Splits, pm.SerialMillis, pm.Note)
+	} else {
+		fmt.Printf("parallel map: %d splits, serial=%dms parallel=%dms speedup=%.2fx (GOMAXPROCS=%d)\n",
+			pm.Splits, pm.SerialMillis, pm.ParallelMillis, pm.Speedup, rep.GoMaxProcs)
 	}
 
 	b, err := json.MarshalIndent(&rep, "", "  ")
@@ -131,15 +197,67 @@ func run(out string, records, domain int64, alpha float64, seed uint64, k, worke
 	return nil
 }
 
-func row(method, mode string, res *wavelethist.Result, wall time.Duration) Row {
+// parallelMap times one worker-shaped map fan: every split of the bench
+// dataset mapped in a single assignment, serially vs across GOMAXPROCS.
+func parallelMap(ds *wavelethist.Dataset, k int, alpha float64, seed uint64) (*ParallelMap, error) {
+	spec := dist.DatasetSpec{
+		Kind: "zipf", Records: ds.NumRecords(), Domain: ds.Domain(),
+		Alpha: alpha, Seed: seed,
+	}
+	file, _, err := spec.Materialize()
+	if err != nil {
+		return nil, err
+	}
+	p := core.Params{U: ds.Domain(), K: k, Seed: seed}
+	splits := make([]int, core.NumSplits(file, p))
+	for i := range splits {
+		splits[i] = i
+	}
+	time1, err := timeMap(file, p, splits, 1)
+	if err != nil {
+		return nil, err
+	}
+	pm := &ParallelMap{
+		Method:       string(wavelethist.SendV),
+		Splits:       len(splits),
+		SerialMillis: time1.Milliseconds(),
+	}
+	if runtime.GOMAXPROCS(0) < 2 {
+		pm.Note = "GOMAXPROCS=1: parallel pass skipped (no cores to fan across; both passes would run the serial path)"
+		return pm, nil
+	}
+	timeN, err := timeMap(file, p, splits, 0) // 0 = GOMAXPROCS
+	if err != nil {
+		return nil, err
+	}
+	pm.ParallelMillis = timeN.Milliseconds()
+	if timeN > 0 {
+		pm.Speedup = float64(time1) / float64(timeN)
+	}
+	return pm, nil
+}
+
+func timeMap(file *hdfs.File, p core.Params, splits []int, parallelism int) (time.Duration, error) {
+	p.Parallelism = parallelism
+	t0 := time.Now()
+	if _, err := core.MapSplits(context.Background(), file, string(wavelethist.SendV), p, splits); err != nil {
+		return 0, err
+	}
+	return time.Since(t0), nil
+}
+
+func row(method, mode, format string, warm bool, res *wavelethist.Result, wall time.Duration) Row {
 	r := Row{
 		Method:           method,
 		Mode:             mode,
+		WireFormat:       format,
+		Warm:             warm,
 		CommBytes:        res.CommBytes,
 		ModelCommBytes:   res.ModelCommBytes,
 		WireBytes:        res.WireBytes,
 		Rounds:           res.Rounds,
 		CandidateSetSize: res.CandidateSetSize,
+		CachedSplits:     res.CachedSplits,
 		RecordsRead:      res.RecordsRead,
 		BytesRead:        res.BytesRead,
 		WallMillis:       wall.Milliseconds(),
@@ -150,6 +268,7 @@ func row(method, mode string, res *wavelethist.Result, wall time.Duration) Row {
 			Round:          pr.Round,
 			ModelCommBytes: pr.ModelCommBytes,
 			WireBytes:      pr.WireBytes,
+			CachedSplits:   pr.CachedSplits,
 		})
 	}
 	return r

@@ -20,12 +20,10 @@
 package main
 
 import (
-	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
-	"io"
 	"log"
 	"net"
 	"net/http"
@@ -46,6 +44,7 @@ func main() {
 		capacity    = flag.Int("capacity", 2, "concurrent map assignments served")
 		id          = flag.String("id", "", "worker id (default derived from the advertised address)")
 		leaseTTL    = flag.Duration("lease-ttl", dist.DefaultLeaseTTL, "idle multi-round state leases expire after this long")
+		cacheBytes  = flag.Int64("cache-bytes", dist.DefaultPartialCacheBytes, "partial-cache size bound (0 disables caching)")
 	)
 	flag.Parse()
 
@@ -65,6 +64,7 @@ func main() {
 
 	w := dist.NewWorker(wid, *capacity)
 	w.SetLeaseTTL(*leaseTTL)
+	w.SetPartialCacheBytes(*cacheBytes)
 	srv := &http.Server{Handler: w.Handler(), ReadHeaderTimeout: 5 * time.Second}
 	go func() {
 		log.Printf("waveworker %s: serving on %s (advertised %s)", wid, ln.Addr(), self)
@@ -121,7 +121,7 @@ func outboundIP() string {
 // restarted). Returns when ctx is canceled; a non-nil error means
 // registration never succeeded and ctx ended some other way.
 func keepRegistered(ctx context.Context, coordinator string, req dist.RegisterRequest) error {
-	client := &http.Client{Timeout: 5 * time.Second}
+	client := &dist.NegotiatingClient{Client: &http.Client{Timeout: 5 * time.Second}}
 	interval, err := register(ctx, client, coordinator, req)
 	for err != nil {
 		log.Printf("waveworker %s: register: %v (retrying)", req.ID, err)
@@ -155,14 +155,39 @@ func keepRegistered(ctx context.Context, coordinator string, req dist.RegisterRe
 	}
 }
 
-func register(ctx context.Context, client *http.Client, coordinator string, req dist.RegisterRequest) (time.Duration, error) {
-	var resp dist.RegisterResponse
-	code, err := postJSON(ctx, client, coordinator+dist.PathRegister, req, &resp)
+// register announces the worker via dist.NegotiatingClient, which
+// handles the binary-first wire format with sticky JSON fallback for old
+// coordinators.
+func register(ctx context.Context, c *dist.NegotiatingClient, coordinator string, req dist.RegisterRequest) (time.Duration, error) {
+	jsonBody, err := json.Marshal(req)
 	if err != nil {
 		return 0, err
 	}
-	if code != http.StatusOK || !resp.OK {
+	code, raw, usedJSON, err := c.Post(ctx, coordinator+dist.PathRegister,
+		dist.EncodeRegisterRequest(&req), jsonBody, func(b []byte) bool {
+			_, derr := dist.DecodeRegisterResponse(b)
+			return derr == nil
+		})
+	if err != nil {
+		return 0, err
+	}
+	if code != http.StatusOK {
 		return 0, fmt.Errorf("register rejected (HTTP %d)", code)
+	}
+	var resp dist.RegisterResponse
+	if usedJSON {
+		if err := json.Unmarshal(raw, &resp); err != nil {
+			return 0, fmt.Errorf("bad response: %w", err)
+		}
+	} else {
+		pr, derr := dist.DecodeRegisterResponse(raw)
+		if derr != nil {
+			return 0, derr
+		}
+		resp = *pr
+	}
+	if !resp.OK {
+		return 0, fmt.Errorf("register rejected")
 	}
 	interval := time.Duration(resp.HeartbeatMillis) * time.Millisecond
 	if interval <= 0 {
@@ -171,38 +196,31 @@ func register(ctx context.Context, client *http.Client, coordinator string, req 
 	return interval, nil
 }
 
-func heartbeat(ctx context.Context, client *http.Client, coordinator, id string) (known bool, err error) {
-	var resp dist.HeartbeatResponse
-	code, err := postJSON(ctx, client, coordinator+dist.PathHeartbeat, dist.HeartbeatRequest{ID: id}, &resp)
+func heartbeat(ctx context.Context, c *dist.NegotiatingClient, coordinator, id string) (known bool, err error) {
+	hb := dist.HeartbeatRequest{ID: id}
+	jsonBody, err := json.Marshal(hb)
 	if err != nil {
 		return false, err
 	}
-	return code == http.StatusOK && resp.OK, nil
-}
-
-func postJSON(ctx context.Context, client *http.Client, url string, req, resp any) (int, error) {
-	body, err := json.Marshal(req)
+	code, raw, usedJSON, err := c.Post(ctx, coordinator+dist.PathHeartbeat,
+		dist.EncodeHeartbeatRequest(&hb), jsonBody, func(b []byte) bool {
+			_, derr := dist.DecodeHeartbeatResponse(b)
+			return derr == nil
+		})
 	if err != nil {
-		return 0, err
+		return false, err
 	}
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
-	if err != nil {
-		return 0, err
-	}
-	hreq.Header.Set("Content-Type", "application/json")
-	hres, err := client.Do(hreq)
-	if err != nil {
-		return 0, err
-	}
-	defer hres.Body.Close()
-	raw, err := io.ReadAll(hres.Body)
-	if err != nil {
-		return hres.StatusCode, err
-	}
-	if resp != nil {
-		if err := json.Unmarshal(raw, resp); err != nil {
-			return hres.StatusCode, fmt.Errorf("bad response: %w", err)
+	var resp dist.HeartbeatResponse
+	if usedJSON {
+		if err := json.Unmarshal(raw, &resp); err != nil {
+			return false, fmt.Errorf("bad response: %w", err)
 		}
+	} else {
+		pr, derr := dist.DecodeHeartbeatResponse(raw)
+		if derr != nil {
+			return false, derr
+		}
+		resp = *pr
 	}
-	return hres.StatusCode, nil
+	return code == http.StatusOK && resp.OK, nil
 }

@@ -1,0 +1,83 @@
+package dist
+
+import (
+	"testing"
+
+	"wavelethist/internal/core"
+	"wavelethist/internal/mapred"
+)
+
+// Fuzz targets for the binary wire codec: arbitrary bytes must never
+// panic a decoder, and whatever decodes must re-encode to something that
+// decodes to the same value (up to the frame's compression choice).
+
+func FuzzDecodeMapRequest(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(EncodeMapRequest(&MapRequest{JobID: "j", Method: "Send-V", Splits: []int{0}}))
+	f.Add(EncodeMapRequest(&MapRequest{
+		JobID: "j2", Method: "H-WTopk", Round: 3, Rounds: 3,
+		Broadcast: []byte{9, 9, 9},
+		Dataset:   DatasetSpec{Kind: "keys", Domain: 16, Keys: []int64{1, 2, 3}},
+		Splits:    []int{5, 6},
+	}))
+	seed := EncodeMapRequest(&MapRequest{JobID: "t", Method: "Send-V", Splits: []int{1, 2, 3}})
+	for i := 0; i < len(seed); i += 7 {
+		mut := append([]byte{}, seed...)
+		mut[i] ^= 0xff
+		f.Add(mut)
+	}
+	f.Fuzz(func(t *testing.T, b []byte) {
+		req, err := DecodeMapRequest(b)
+		if err != nil {
+			return
+		}
+		again, err := DecodeMapRequest(EncodeMapRequest(req))
+		if err != nil {
+			t.Fatalf("re-encode of decoded request failed: %v", err)
+		}
+		if again.JobID != req.JobID || again.Method != req.Method || len(again.Splits) != len(req.Splits) {
+			t.Fatalf("re-encode changed request: %+v vs %+v", again, req)
+		}
+	})
+}
+
+func FuzzDecodeMapResponse(f *testing.F) {
+	f.Add([]byte{})
+	parts := []core.SplitPartial{{SplitID: 1, Pairs: []mapred.KV{{Key: 3, Val: 1.5}}}}
+	good := EncodeMapResponse(&MapResponse{
+		JobID: "j", Partials: core.EncodePartials(parts), Replayed: []int{1}, Cached: []int{2},
+	})
+	f.Add(good)
+	for i := 0; i < len(good); i += 5 {
+		mut := append([]byte{}, good...)
+		mut[i] ^= 0x10
+		f.Add(mut)
+	}
+	f.Fuzz(func(t *testing.T, b []byte) {
+		resp, err := DecodeMapResponse(b)
+		if err != nil {
+			return
+		}
+		// The partial payload inside is attacker-controlled too; its
+		// decoder must be equally robust.
+		_, _ = core.DecodePartials(resp.Partials)
+		if _, err := DecodeMapResponse(EncodeMapResponse(resp)); err != nil {
+			t.Fatalf("re-encode of decoded response failed: %v", err)
+		}
+	})
+}
+
+func FuzzDecodeFrame(f *testing.F) {
+	f.Add(EncodeReleaseRequest(&ReleaseRequest{JobID: "j"}))
+	f.Add(EncodeHeartbeatRequest(&HeartbeatRequest{ID: "w"}))
+	f.Add(EncodeRegisterRequest(&RegisterRequest{ID: "w", Addr: "http://x", Capacity: 1}))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		// None of the small-message decoders may panic on arbitrary input.
+		_, _ = DecodeRegisterRequest(b)
+		_, _ = DecodeRegisterResponse(b)
+		_, _ = DecodeHeartbeatRequest(b)
+		_, _ = DecodeHeartbeatResponse(b)
+		_, _ = DecodeReleaseRequest(b)
+		_, _ = DecodeReleaseResponse(b)
+	})
+}

@@ -7,6 +7,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"sort"
@@ -73,6 +74,12 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// rpcEWMAAlpha weights the newest map-RPC latency sample in the
+// per-worker EWMA: high enough to track load shifts within a few RPCs,
+// low enough that one slow split doesn't look like a saturated worker the
+// way the old last-sample-wins signal did.
+const rpcEWMAAlpha = 0.2
+
 // WorkerInfo describes one registered worker.
 type WorkerInfo struct {
 	ID       string    `json:"id"`
@@ -81,10 +88,10 @@ type WorkerInfo struct {
 	InFlight int       `json:"in_flight"`
 	Alive    bool      `json:"alive"`
 	LastSeen time.Time `json:"last_seen"`
-	// LastRPCMillis is the latency of the worker's most recent completed
-	// map RPC (0 until one completes) — the saturation signal /v1/stats
-	// surfaces per worker.
-	LastRPCMillis float64 `json:"last_rpc_millis,omitempty"`
+	// RPCEWMAMillis is an exponentially weighted moving average of the
+	// worker's completed map-RPC latencies (0 until one completes) — the
+	// saturation signal /v1/stats surfaces per worker.
+	RPCEWMAMillis float64 `json:"rpc_ewma_millis,omitempty"`
 }
 
 type workerState struct {
@@ -95,7 +102,7 @@ type workerState struct {
 	failures int
 	dead     bool
 	lastSeen time.Time
-	lastRPC  time.Duration
+	ewmaRPC  float64 // milliseconds
 }
 
 // RoundStats is one round's execution profile within a build.
@@ -112,6 +119,9 @@ type RoundStats struct {
 	// ReplayedSplits counts splits whose new owner had to replay earlier
 	// rounds after the original owner's death or lease loss.
 	ReplayedSplits int `json:"replayed_splits,omitempty"`
+	// CachedSplits counts splits served from workers' partial caches —
+	// re-shipped without recomputation.
+	CachedSplits int `json:"cached_splits,omitempty"`
 }
 
 // BuildStats reports a distributed build's execution profile.
@@ -131,6 +141,10 @@ type BuildStats struct {
 	Splits int
 	// Rounds is the protocol's round count (1, or 3 for H-WTopk).
 	Rounds int
+	// CachedSplits counts split results served from workers' partial
+	// caches across all rounds (a fully warm one-round build has
+	// CachedSplits == Splits and recomputed nothing).
+	CachedSplits int
 	// PerRound profiles each round (one entry per completed round).
 	PerRound []RoundStats
 	// CandidateSetSize is |R| — the candidate set broadcast before
@@ -163,8 +177,12 @@ type FleetStats struct {
 	ActiveBuilds  int             `json:"active_builds"`
 	PendingSplits int             `json:"pending_splits"`
 	InFlightRPCs  int             `json:"in_flight_rpcs"`
+	AliveWorkers  int             `json:"alive_workers"`
 	Builds        []BuildProgress `json:"builds,omitempty"`
 	Workers       []WorkerInfo    `json:"workers"`
+	// CachedSplitsTotal counts split results served from workers'
+	// partial caches across this coordinator's lifetime.
+	CachedSplitsTotal int64 `json:"cached_splits_total"`
 }
 
 // Coordinator owns the worker fleet and runs distributed builds.
@@ -177,6 +195,70 @@ type Coordinator struct {
 	workers map[string]*workerState
 	jobSeq  int
 	builds  map[string]*buildTrack
+
+	// cachedSplits accumulates partial-cache hits across builds
+	// (FleetStats.CachedSplitsTotal).
+	cachedSplits atomic.Int64
+
+	// affinity remembers, per build shape (dataset fingerprint, method,
+	// params), which worker served each split — seeded into the next
+	// build of the same shape so repeat builds land splits on the worker
+	// whose partial cache holds them. Bounded FIFO.
+	affMu    sync.Mutex
+	affinity map[string][]string
+	affOrder []string
+}
+
+// affinityKeys bounds the affinity map (one entry per distinct build
+// shape; each holds one worker id per split).
+const affinityKeys = 128
+
+// affinityOwners returns the remembered split→worker map for a build
+// shape (and whether one existed), or a fresh one of length m.
+func (c *Coordinator) affinityOwners(key string, m int) ([]string, bool) {
+	c.affMu.Lock()
+	defer c.affMu.Unlock()
+	if prev, ok := c.affinity[key]; ok && len(prev) == m {
+		owners := make([]string, m)
+		copy(owners, prev)
+		return owners, true
+	}
+	return make([]string, m), false
+}
+
+// storeAffinity remembers a finished build's split→worker map. A repeat
+// build that got ZERO cache hits despite being routed by affinity proves
+// the owners' caches are cold (evicted, disabled, or the worker
+// restarted) — the entry is dropped instead, so the next build
+// load-balances freely rather than staying pinned to cold owners.
+func (c *Coordinator) storeAffinity(key string, owners []string, seeded bool, cacheHits int) {
+	c.affMu.Lock()
+	defer c.affMu.Unlock()
+	if seeded && cacheHits == 0 {
+		if _, ok := c.affinity[key]; ok {
+			delete(c.affinity, key)
+			for i, o := range c.affOrder {
+				if o == key {
+					c.affOrder = append(c.affOrder[:i], c.affOrder[i+1:]...)
+					break
+				}
+			}
+		}
+		return
+	}
+	if c.affinity == nil {
+		c.affinity = make(map[string][]string)
+	}
+	if _, ok := c.affinity[key]; !ok {
+		c.affOrder = append(c.affOrder, key)
+		for len(c.affOrder) > affinityKeys {
+			delete(c.affinity, c.affOrder[0])
+			c.affOrder = c.affOrder[1:]
+		}
+	}
+	cp := make([]string, len(owners))
+	copy(cp, owners)
+	c.affinity[key] = cp
 }
 
 // NewCoordinator creates a coordinator dispatching over tr.
@@ -257,7 +339,7 @@ func (c *Coordinator) Workers() []WorkerInfo {
 		out = append(out, WorkerInfo{
 			ID: w.id, Addr: w.addr, Capacity: w.capacity,
 			InFlight: w.inflight, Alive: c.alive(w, now), LastSeen: w.lastSeen,
-			LastRPCMillis: float64(w.lastRPC.Nanoseconds()) / 1e6,
+			RPCEWMAMillis: w.ewmaRPC,
 		})
 	}
 	sort.Slice(out, func(a, b int) bool {
@@ -306,9 +388,12 @@ func (c *Coordinator) FleetStats() FleetStats {
 		tracks = append(tracks, t)
 	}
 	c.mu.Unlock()
-	fs := FleetStats{Workers: c.Workers()}
+	fs := FleetStats{Workers: c.Workers(), CachedSplitsTotal: c.cachedSplits.Load()}
 	for _, w := range fs.Workers {
 		fs.InFlightRPCs += w.InFlight
+		if w.Alive {
+			fs.AliveWorkers++
+		}
 	}
 	for _, t := range tracks {
 		bp := BuildProgress{
@@ -342,7 +427,12 @@ func (c *Coordinator) release(w *workerState, outcome rpcOutcome, latency time.D
 	defer c.mu.Unlock()
 	w.inflight--
 	if latency > 0 {
-		w.lastRPC = latency
+		sample := float64(latency.Nanoseconds()) / 1e6
+		if w.ewmaRPC == 0 {
+			w.ewmaRPC = sample
+		} else {
+			w.ewmaRPC = rpcEWMAAlpha*sample + (1-rpcEWMAAlpha)*w.ewmaRPC
+		}
 	}
 	switch outcome {
 	case relOK:
@@ -441,7 +531,10 @@ func (c *Coordinator) Build2D(ctx context.Context, spec DatasetSpec, file *hdfs.
 	return out, stats, nil
 }
 
-// buildOneRound is the single fan-out + merge path of PR 2.
+// buildOneRound is the single fan-out + merge path of PR 2. Splits
+// prefer the worker that served them in the last build of the same shape
+// (cache affinity): its partial cache holds their results, so repeat
+// builds re-ship instead of recomputing.
 func (c *Coordinator) buildOneRound(ctx context.Context, spec DatasetSpec, file *hdfs.File, method string, p core.Params) (*core.Output, *BuildStats, error) {
 	start := time.Now()
 	m := core.NumSplits(file, p)
@@ -449,16 +542,23 @@ func (c *Coordinator) buildOneRound(ctx context.Context, spec DatasetSpec, file 
 	stats := &BuildStats{Splits: m, Rounds: 1}
 	track := c.trackBuild(jobID, 1)
 	defer c.untrackBuild(jobID)
+	affKey := partialCacheKey(spec.Fingerprint(), method, p, 0, nil)
+	owners, seeded := c.affinityOwners(affKey, m)
 	responded := make(map[string]bool)
 	rc := &roundCall{
 		jobID: jobID, method: method, params: p, spec: spec,
-		round: 1, rounds: 1, m: m,
+		round: 1, rounds: 1, m: m, owners: owners,
 		track: track, touched: make(map[string]string), responded: responded,
 	}
 	parts, err := c.runRound(ctx, rc, stats)
 	if err != nil {
 		return nil, stats, err
 	}
+	// Remember ownership only for completed rounds: a canceled or failed
+	// build has zero (or partial) hits for reasons other than cold
+	// caches, and must neither drop a valid entry nor overwrite a
+	// complete map with a partially-filled one.
+	c.storeAffinity(affKey, owners, seeded, stats.CachedSplits)
 	stats.WorkersUsed = len(responded)
 	out, err := core.MergePartials(ctx, file, method, p, parts)
 	if err != nil {
@@ -486,7 +586,12 @@ func (c *Coordinator) runMultiRound(ctx context.Context, spec DatasetSpec, file 
 	track := c.trackBuild(jobID, plan.NumRounds())
 	defer c.untrackBuild(jobID)
 
-	owners := make([]string, m)
+	// Seed round-1 stickiness from the last build of the same shape: the
+	// prior owner's cache holds every round's partials, so a repeat build
+	// hits in all rounds; within a build, ownership then follows the
+	// round barrier's state-lease stickiness as before.
+	affKey := partialCacheKey(spec.Fingerprint(), method, p, 0, nil)
+	owners, seeded := c.affinityOwners(affKey, m)
 	touched := make(map[string]string)
 	responded := make(map[string]bool)
 	defer func() { c.releaseLeases(jobID, touched) }()
@@ -506,6 +611,10 @@ func (c *Coordinator) runMultiRound(ctx context.Context, spec DatasetSpec, file 
 			return nil, stats, err
 		}
 	}
+	// Only a build that completed every round records its ownership map
+	// (see buildOneRound: failures and cancellations prove nothing about
+	// the workers' caches).
+	c.storeAffinity(affKey, owners, seeded, stats.CachedSplits)
 	stats.WorkersUsed = len(responded)
 	stats.CandidateSetSize = plan.Candidates()
 	return plan, stats, nil
@@ -550,9 +659,17 @@ type roundCall struct {
 	rounds int
 	bcast  []byte
 	m      int
-	// owners is the split→worker stickiness map (nil for one-round
-	// builds): splits prefer the worker holding their state, and the map
-	// is updated with whoever actually served each split this round.
+	// owners is the split→worker stickiness map: for multi-round builds
+	// it tracks which worker holds each split's state lease; for
+	// one-round builds it is seeded from cross-build cache affinity
+	// (the worker whose partial cache holds the split). Updated with
+	// whoever actually served each split this round. Splits wait for a
+	// live-but-busy owner rather than spilling: for multi-round state a
+	// non-owner must replay, and for cache affinity a spill turns a
+	// cheap hit into a recompute. The pathological pin — every split
+	// owned by one worker whose cache turns out cold — is healed by the
+	// zero-hit affinity drop in buildOneRound/runMultiRound, not by
+	// spilling here.
 	owners    []string
 	track     *buildTrack
 	touched   map[string]string
@@ -795,6 +912,9 @@ func (c *Coordinator) runRound(ctx context.Context, rc *roundCall, stats *BuildS
 				stats.RPCs++
 				rstats.RPCs++
 				rstats.ReplayedSplits += len(r.resp.Replayed)
+				rstats.CachedSplits += len(r.resp.Cached)
+				stats.CachedSplits += len(r.resp.Cached)
+				c.cachedSplits.Add(int64(len(r.resp.Cached)))
 				rc.responded[r.w.id] = true
 				for i := range parts {
 					id := parts[i].SplitID
@@ -845,11 +965,32 @@ func checkCoverage(parts []core.SplitPartial, assigned []int) error {
 
 // Handler returns the coordinator's HTTP surface: worker registration,
 // heartbeats, fleet listing and saturation stats, mounted by wavehistd
-// under /dist/v1/.
+// under /dist/v1/. Registration and heartbeats negotiate by Content-Type
+// like the worker endpoints: binary frames answered with binary frames,
+// JSON with JSON.
 func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST "+PathRegister, func(rw http.ResponseWriter, r *http.Request) {
 		var req RegisterRequest
+		if isBinary(r) {
+			frame, err := io.ReadAll(r.Body)
+			if err == nil {
+				var preq *RegisterRequest
+				if preq, err = DecodeRegisterRequest(frame); err == nil {
+					req = *preq
+				}
+			}
+			if err != nil || req.ID == "" || req.Addr == "" {
+				writeFrame(rw, http.StatusBadRequest, EncodeRegisterResponse(&RegisterResponse{}))
+				return
+			}
+			c.Register(req.ID, req.Addr, req.Capacity)
+			writeFrame(rw, http.StatusOK, EncodeRegisterResponse(&RegisterResponse{
+				OK:              true,
+				HeartbeatMillis: c.cfg.HeartbeatEvery.Milliseconds(),
+			}))
+			return
+		}
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.ID == "" || req.Addr == "" {
 			writeJSON(rw, http.StatusBadRequest, map[string]string{"error": "register needs id and addr"})
 			return
@@ -862,6 +1003,26 @@ func (c *Coordinator) Handler() http.Handler {
 	})
 	mux.HandleFunc("POST "+PathHeartbeat, func(rw http.ResponseWriter, r *http.Request) {
 		var req HeartbeatRequest
+		if isBinary(r) {
+			frame, err := io.ReadAll(r.Body)
+			if err == nil {
+				var preq *HeartbeatRequest
+				if preq, err = DecodeHeartbeatRequest(frame); err == nil {
+					req = *preq
+				}
+			}
+			if err != nil || req.ID == "" {
+				writeFrame(rw, http.StatusBadRequest, EncodeHeartbeatResponse(&HeartbeatResponse{}))
+				return
+			}
+			code := http.StatusOK
+			ok := c.Heartbeat(req.ID)
+			if !ok {
+				code = http.StatusNotFound
+			}
+			writeFrame(rw, code, EncodeHeartbeatResponse(&HeartbeatResponse{OK: ok}))
+			return
+		}
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.ID == "" {
 			writeJSON(rw, http.StatusBadRequest, map[string]string{"error": "heartbeat needs id"})
 			return

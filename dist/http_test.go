@@ -99,6 +99,135 @@ func TestHTTPFleet(t *testing.T) {
 	}
 }
 
+// legacyJSONHandler replicates the PR-3 worker HTTP surface: JSON only,
+// with a 400 for anything its JSON decoder cannot parse — which is what a
+// binary frame looks like to an old worker. The mixed-fleet test drives
+// it next to a current binary worker.
+func legacyJSONHandler(w *dist.Worker) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST "+dist.PathMap, func(rw http.ResponseWriter, r *http.Request) {
+		var req dist.MapRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			rw.Header().Set("Content-Type", "application/json")
+			rw.WriteHeader(http.StatusBadRequest)
+			json.NewEncoder(rw).Encode(&dist.MapResponse{Error: "bad map request"})
+			return
+		}
+		resp, err := w.HandleMap(r.Context(), &req)
+		if err != nil {
+			resp = &dist.MapResponse{JobID: req.JobID, Error: err.Error()}
+		}
+		rw.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(rw).Encode(resp)
+	})
+	mux.HandleFunc("POST "+dist.PathRelease, func(rw http.ResponseWriter, r *http.Request) {
+		var req dist.ReleaseRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.JobID == "" {
+			rw.WriteHeader(http.StatusBadRequest)
+			return
+		}
+		json.NewEncoder(rw).Encode(&dist.ReleaseResponse{OK: true, Released: w.Release(req.JobID)})
+	})
+	mux.HandleFunc("GET "+dist.PathPing, func(rw http.ResponseWriter, r *http.Request) {
+		rw.Write([]byte(`{"ok":true}`))
+	})
+	return mux
+}
+
+// TestHTTPMixedFleet: one JSON-only legacy worker and one binary worker
+// serve the same build. The transport probes binary, downgrades the
+// legacy address stickily, and the merged result still matches the
+// simulated build bit-for-bit.
+func TestHTTPMixedFleet(t *testing.T) {
+	coord := dist.NewCoordinator(dist.NewHTTPTransport(), dist.Config{SplitsPerCall: 2})
+	coordSrv := httptest.NewServer(coord.Handler())
+	defer coordSrv.Close()
+
+	modern := dist.NewWorker("modern", 2)
+	modernSrv := httptest.NewServer(modern.Handler())
+	defer modernSrv.Close()
+	legacy := dist.NewWorker("legacy", 2)
+	legacySrv := httptest.NewServer(legacyJSONHandler(legacy))
+	defer legacySrv.Close()
+
+	coord.Register("modern", modernSrv.URL, 2)
+	coord.Register("legacy", legacySrv.URL, 2)
+
+	ds, err := wavelethist.NewZipfDataset(wavelethist.ZipfOptions{
+		Records: 1 << 14, Domain: 1 << 10, Alpha: 1.1, Seed: 3, ChunkSize: 4 << 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := wavelethist.Options{K: 20, Seed: 3}
+	want, err := wavelethist.Build(ds, wavelethist.SendV, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := wavelethist.BuildDistributed(context.Background(), ds, wavelethist.SendV, opts, coord)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameHistogram(t, want, got)
+	// Multi-round across the mixed fleet too: broadcasts and releases
+	// take both encodings.
+	wantHW, err := wavelethist.Build(ds, wavelethist.HWTopk, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotHW, err := wavelethist.BuildDistributed(context.Background(), ds, wavelethist.HWTopk, opts, coord)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameHistogram(t, wantHW, gotHW)
+	// Both workers must actually have served splits for the downgrade
+	// path to have been exercised.
+	if modern.CacheStats().Misses == 0 || legacy.CacheStats().Misses == 0 {
+		t.Errorf("fleet imbalance: modern=%v legacy=%v", modern.CacheStats(), legacy.CacheStats())
+	}
+}
+
+// TestHTTPWarmBuild: a repeat build over real sockets is served from the
+// workers' partial caches — zero splits recomputed — and the binary wire
+// bytes stay within 1.2× of the modeled communication.
+func TestHTTPWarmBuild(t *testing.T) {
+	coord := dist.NewCoordinator(dist.NewHTTPTransport(), dist.Config{SplitsPerCall: 2})
+	coordSrv := httptest.NewServer(coord.Handler())
+	defer coordSrv.Close()
+	for _, id := range []string{"w0", "w1"} {
+		w := dist.NewWorker(id, 2)
+		wsrv := httptest.NewServer(w.Handler())
+		defer wsrv.Close()
+		coord.Register(id, wsrv.URL, 2)
+	}
+	ds, err := wavelethist.NewZipfDataset(wavelethist.ZipfOptions{
+		Records: 1 << 15, Domain: 1 << 10, Alpha: 1.1, Seed: 3, ChunkSize: 8 << 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := wavelethist.Options{K: 20, Seed: 3}
+	cold, err := wavelethist.BuildDistributed(context.Background(), ds, wavelethist.SendV, opts, coord)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.CachedSplits != 0 {
+		t.Fatalf("cold build cached %d splits", cold.CachedSplits)
+	}
+	if float64(cold.WireBytes) > 1.2*float64(cold.ModelCommBytes) {
+		t.Errorf("binary wire bytes %d exceed 1.2x model %d", cold.WireBytes, cold.ModelCommBytes)
+	}
+	warm, err := wavelethist.BuildDistributed(context.Background(), ds, wavelethist.SendV, opts, coord)
+	if err != nil {
+		t.Fatal(err)
+	}
+	splits := ds.NumSplits(0)
+	if warm.CachedSplits != splits {
+		t.Errorf("warm build cached %d of %d splits", warm.CachedSplits, splits)
+	}
+	sameHistogram(t, cold, warm)
+}
+
 // TestHTTPFleetMultiRound runs the three-round H-WTopk over real sockets:
 // round broadcasts, state leases and the release RPC all cross HTTP, and
 // the result matches the simulated build bit-for-bit.

@@ -1,10 +1,12 @@
 // Package dist executes wavelet-histogram builds across real processes:
 // a coordinator partitions a dataset into splits, assigns them to a fleet
-// of worker processes over a stdlib-only HTTP/JSON protocol, and merges
-// the workers' mergeable partial summaries (internal/core.SplitPartial)
-// into the final histogram — the paper's Map/Shuffle/Reduce made
-// multi-process, with communication measured on the actual request and
-// response payloads instead of modeled.
+// of worker processes over a stdlib-only HTTP protocol — length-prefixed
+// binary frames by default (codec.go), with JSON retained as a negotiated
+// fallback for old workers — and merges the workers' mergeable partial
+// summaries (internal/core.SplitPartial) into the final histogram: the
+// paper's Map/Shuffle/Reduce made multi-process, with communication
+// measured on the actual request and response payloads instead of
+// modeled.
 //
 // The fleet is dynamic: workers register with the coordinator and keep a
 // heartbeat; splits assigned to a worker that crashes or goes silent are
@@ -82,11 +84,13 @@ type MapRequest struct {
 // (core.EncodePartials, base64 in JSON) or an application error. Replayed
 // lists assigned splits whose earlier-round state this worker did not hold
 // (lost lease or new owner) and had to rebuild by replaying earlier
-// rounds locally.
+// rounds locally. Cached lists assigned splits served from the worker's
+// partial cache — re-shipped without recomputation.
 type MapResponse struct {
 	JobID    string `json:"job_id"`
 	Partials []byte `json:"partials,omitempty"`
 	Replayed []int  `json:"replayed,omitempty"`
+	Cached   []int  `json:"cached,omitempty"`
 	Error    string `json:"error,omitempty"`
 }
 
@@ -120,10 +124,11 @@ type LeaseView struct {
 }
 
 // WorkerStateResponse is the payload of GET /dist/v1/state: the worker's
-// live leases and dataset cache occupancy.
+// live leases, dataset cache occupancy, and partial-cache effectiveness.
 type WorkerStateResponse struct {
-	ID       string      `json:"id"`
-	Capacity int         `json:"capacity"`
-	Leases   []LeaseView `json:"leases"`
-	Datasets int         `json:"datasets"`
+	ID       string         `json:"id"`
+	Capacity int            `json:"capacity"`
+	Leases   []LeaseView    `json:"leases"`
+	Datasets int            `json:"datasets"`
+	Cache    CacheStatsView `json:"cache"`
 }

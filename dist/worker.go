@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"sort"
 	"sync"
@@ -27,16 +28,21 @@ const DefaultLeaseTTL = 5 * time.Minute
 
 // Worker executes map assignments: it materializes the dataset named by
 // the request's recipe (cached across requests), runs the method's map
-// side over the assigned splits, and returns the encoded partials. For
-// multi-round methods it additionally holds per-job state leases — the
-// persisted unsent coefficients H-WTopk's later rounds read — released on
-// job completion (coordinator Release RPC) or lease-TTL expiry. The same
-// Worker backs the waveworker binary's HTTP server and the loopback
-// transport's in-process fleet.
+// side over the assigned splits — fanned across GOMAXPROCS goroutines by
+// core.MapSplits — and returns the encoded partials. Computed partials
+// are kept in a fingerprint-keyed LRU (cache.go), so a repeat build of
+// the same (dataset, method, params) re-ships them without recomputing;
+// the response's Cached field tells the coordinator which splits hit. For
+// multi-round methods the worker additionally holds per-job state
+// leases — the persisted unsent coefficients H-WTopk's later rounds
+// read — released on job completion (coordinator Release RPC) or
+// lease-TTL expiry. The same Worker backs the waveworker binary's HTTP
+// server and the loopback transport's in-process fleet.
 type Worker struct {
 	id       string
 	capacity int
 	sem      chan struct{}
+	cache    *partialCache
 
 	mu     sync.Mutex
 	files  map[string]*dsEntry
@@ -75,11 +81,19 @@ func NewWorker(id string, capacity int) *Worker {
 		id:       id,
 		capacity: capacity,
 		sem:      make(chan struct{}, capacity),
+		cache:    newPartialCache(DefaultPartialCacheBytes),
 		files:    make(map[string]*dsEntry),
 		leases:   make(map[string]*jobLease),
 		ttl:      DefaultLeaseTTL,
 	}
 }
+
+// SetPartialCacheBytes re-bounds the worker's partial cache (0 disables
+// it).
+func (w *Worker) SetPartialCacheBytes(n int64) { w.cache.setMax(n) }
+
+// CacheStats reports the partial cache's occupancy and hit/miss counters.
+func (w *Worker) CacheStats() CacheStatsView { return w.cache.stats() }
 
 // ID returns the worker id.
 func (w *Worker) ID() string { return w.id }
@@ -97,7 +111,11 @@ func (w *Worker) SetLeaseTTL(d time.Duration) {
 	w.mu.Unlock()
 }
 
-// HandleMap serves one map assignment.
+// HandleMap serves one map assignment. Assigned splits whose result is
+// already in the partial cache are re-shipped without recomputation (and
+// without even materializing the dataset when every split hits); the rest
+// are mapped — concurrently, across GOMAXPROCS goroutines — and cached
+// for the next build of the same shape.
 func (w *Worker) HandleMap(ctx context.Context, req *MapRequest) (*MapResponse, error) {
 	select {
 	case w.sem <- struct{}{}:
@@ -108,25 +126,52 @@ func (w *Worker) HandleMap(ctx context.Context, req *MapRequest) (*MapResponse, 
 	if len(req.Splits) == 0 {
 		return nil, fmt.Errorf("dist: empty split assignment")
 	}
-	file, err := w.dataset(req.Dataset)
-	if err != nil {
-		return nil, err
+	base := partialCacheKey(req.Dataset.Fingerprint(), req.Method, req.Params, req.Round, req.Broadcast)
+	parts := make([]core.SplitPartial, len(req.Splits))
+	var cached, missing []int
+	missingAt := make(map[int]int, len(req.Splits)) // split id -> slot
+	for i, id := range req.Splits {
+		if part, ok := w.cache.get(base, id); ok {
+			parts[i] = part
+			cached = append(cached, id)
+		} else {
+			missing = append(missing, id)
+			missingAt[id] = i
+		}
 	}
-	if req.Rounds <= 1 && req.Round <= 1 {
-		// One-round method: stateless mergeable partials, no lease.
-		parts, err := core.MapSplits(ctx, file, req.Method, req.Params, req.Splits)
+	resp := &MapResponse{JobID: req.JobID, Cached: cached}
+	if len(missing) > 0 {
+		file, err := w.dataset(req.Dataset)
 		if err != nil {
 			return nil, err
 		}
-		return &MapResponse{JobID: req.JobID, Partials: core.EncodePartials(parts)}, nil
+		var computed []core.SplitPartial
+		if req.Rounds <= 1 && req.Round <= 1 {
+			// One-round method: stateless mergeable partials, no lease.
+			computed, err = core.MapSplits(ctx, file, req.Method, req.Params, missing)
+		} else {
+			state, done := w.acquireLease(req.JobID)
+			computed, resp.Replayed, err = core.MapRoundSplits(ctx, file, req.Method, req.Params, req.Round, req.Broadcast, missing, state)
+			done()
+		}
+		if err != nil {
+			return nil, err
+		}
+		for _, part := range computed {
+			parts[missingAt[part.SplitID]] = part
+			w.cache.put(base, part.SplitID, part)
+		}
 	}
-	state, done := w.acquireLease(req.JobID)
-	defer done()
-	parts, replayed, err := core.MapRoundSplits(ctx, file, req.Method, req.Params, req.Round, req.Broadcast, req.Splits, state)
-	if err != nil {
-		return nil, err
+	resp.Partials = core.EncodePartials(parts)
+	if len(resp.Partials) > maxPartialsPayload {
+		// The frame header's length field is a uint32 and decoders cap
+		// payloads at maxFramePayload; past that an encoded response
+		// would be rejected (or silently wrap) on the coordinator as a
+		// corrupt frame. Fail loudly with the actual cause instead —
+		// it's deterministic, so the coordinator won't retry it.
+		return nil, fmt.Errorf("dist: encoded partials (%d bytes) exceed the %d-byte frame limit; lower SplitsPerCall or use smaller splits", len(resp.Partials), maxPartialsPayload)
 	}
-	return &MapResponse{JobID: req.JobID, Partials: core.EncodePartials(parts), Replayed: replayed}, nil
+	return resp, nil
 }
 
 // acquireLease returns (creating or refreshing) the job's state lease,
@@ -240,10 +285,31 @@ func (w *Worker) dataset(spec DatasetSpec) (*hdfs.File, error) {
 }
 
 // Handler returns the worker's HTTP surface: POST /dist/v1/map,
-// POST /dist/v1/release, GET /dist/v1/state and GET /dist/v1/ping.
+// POST /dist/v1/release, GET /dist/v1/state and GET /dist/v1/ping. The
+// POST endpoints negotiate by Content-Type — binary frames are answered
+// with binary frames, JSON with JSON — so one worker serves new binary
+// coordinators and old JSON ones alike.
 func (w *Worker) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST "+PathMap, func(rw http.ResponseWriter, r *http.Request) {
+		if isBinary(r) {
+			frame, err := io.ReadAll(r.Body)
+			if err != nil {
+				writeFrame(rw, http.StatusBadRequest, EncodeMapResponse(&MapResponse{Error: err.Error()}))
+				return
+			}
+			req, err := DecodeMapRequest(frame)
+			if err != nil {
+				writeFrame(rw, http.StatusBadRequest, EncodeMapResponse(&MapResponse{Error: fmt.Sprintf("bad map request: %v", err)}))
+				return
+			}
+			resp, err := w.HandleMap(r.Context(), req)
+			if err != nil {
+				resp = &MapResponse{JobID: req.JobID, Error: err.Error()}
+			}
+			writeFrame(rw, http.StatusOK, EncodeMapResponse(resp))
+			return
+		}
 		var req MapRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 			writeJSON(rw, http.StatusBadRequest, &MapResponse{Error: fmt.Sprintf("bad map request: %v", err)})
@@ -257,6 +323,20 @@ func (w *Worker) Handler() http.Handler {
 		writeJSON(rw, http.StatusOK, resp)
 	})
 	mux.HandleFunc("POST "+PathRelease, func(rw http.ResponseWriter, r *http.Request) {
+		if isBinary(r) {
+			frame, err := io.ReadAll(r.Body)
+			if err != nil {
+				writeFrame(rw, http.StatusBadRequest, EncodeReleaseResponse(&ReleaseResponse{}))
+				return
+			}
+			req, err := DecodeReleaseRequest(frame)
+			if err != nil || req.JobID == "" {
+				writeFrame(rw, http.StatusBadRequest, EncodeReleaseResponse(&ReleaseResponse{}))
+				return
+			}
+			writeFrame(rw, http.StatusOK, EncodeReleaseResponse(&ReleaseResponse{OK: true, Released: w.Release(req.JobID)}))
+			return
+		}
 		var req ReleaseRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.JobID == "" {
 			writeJSON(rw, http.StatusBadRequest, &ReleaseResponse{})
@@ -273,6 +353,7 @@ func (w *Worker) Handler() http.Handler {
 			Capacity: w.capacity,
 			Leases:   w.Leases(),
 			Datasets: datasets,
+			Cache:    w.CacheStats(),
 		})
 	})
 	mux.HandleFunc("GET "+PathPing, func(rw http.ResponseWriter, r *http.Request) {
@@ -281,8 +362,19 @@ func (w *Worker) Handler() http.Handler {
 	return mux
 }
 
+// isBinary reports whether a request carries a binary protocol frame.
+func isBinary(r *http.Request) bool {
+	return r.Header.Get("Content-Type") == ContentTypeBinary
+}
+
 func writeJSON(rw http.ResponseWriter, code int, v any) {
 	rw.Header().Set("Content-Type", "application/json")
 	rw.WriteHeader(code)
 	json.NewEncoder(rw).Encode(v)
+}
+
+func writeFrame(rw http.ResponseWriter, code int, frame []byte) {
+	rw.Header().Set("Content-Type", ContentTypeBinary)
+	rw.WriteHeader(code)
+	rw.Write(frame)
 }

@@ -155,10 +155,14 @@ func transformWork(nk int, u int64) float64 {
 type coefTransform func(ctx *mapred.TaskContext, freq map[int64]float64) []wavelet.Coef
 
 // transform1D is the O(|v_j| log u) sorted-streaming transform of
-// Appendix A.
+// Appendix A. The sorted (keys, counts) scratch is pooled: with many
+// mapper goroutines transforming splits concurrently, per-call slices
+// were a dominant allocation.
 func transform1D(u int64) coefTransform {
 	return func(ctx *mapred.TaskContext, freq map[int64]float64) []wavelet.Coef {
-		keys, counts := wavelet.SortFreq(freq)
+		buf := wavelet.GetFreqBuffers()
+		defer wavelet.PutFreqBuffers(buf)
+		keys, counts := buf.Load(freq)
 		ctx.AddWork(transformWork(len(freq), u))
 		return wavelet.SparseTransformSorted(keys, counts, u)
 	}
@@ -171,7 +175,9 @@ func transform2D(u int64) coefTransform {
 		logu := float64(wavelet.Log2(u) + 1)
 		ctx.AddWork(float64(len(freq)) * logu * logu)
 		w := wavelet.SparseTransform2D(freq, u)
-		keys, vals := wavelet.SortFreq(w)
+		buf := wavelet.GetFreqBuffers()
+		defer wavelet.PutFreqBuffers(buf)
+		keys, vals := buf.Load(w)
 		coefs := make([]wavelet.Coef, len(keys))
 		for i := range keys {
 			coefs[i] = wavelet.Coef{Index: keys[i], Value: vals[i]}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sort"
 	"strconv"
 	"time"
 
@@ -296,6 +297,11 @@ func (r *hwRound2Reducer) Close(ctx *mapred.TaskContext) error {
 			r.R = append(r.R, id)
 		}
 	}
+	// Canonical order: bounds is a map, and an iteration-ordered R would
+	// make the round-3 broadcast bytes vary run to run — breaking both
+	// broadcast-size determinism and the workers' broadcast-hashed
+	// partial-cache keys.
+	sort.Slice(r.R, func(a, b int) bool { return r.R[a] < r.R[b] })
 	ctx.State.Put(mapred.ReducerState, r.cs.encode())
 	return nil
 }
@@ -371,6 +377,15 @@ func (r *hwRound3Reducer) Reduce(_ *mapred.TaskContext, key int64, vals []mapred
 func (r *hwRound3Reducer) Close(ctx *mapred.TaskContext) error {
 	coefs := make([]wavelet.Coef, 0, len(r.cs.entries))
 	for id, e := range r.cs.entries {
+		// Round 3 made candidate sums exact (every split's score was
+		// either shipped in rounds 1-3 or is zero), so ŵ = 0 is a true
+		// zero coefficient. Drop it: Send-V's sparse transform never
+		// emits zeros, and padding the top-k with one would otherwise
+		// make the two exact methods disagree when k exceeds the number
+		// of non-zero coefficients.
+		if e.wHat == 0 {
+			continue
+		}
 		coefs = append(coefs, wavelet.Coef{Index: id, Value: e.wHat})
 	}
 	ctx.AddWork(float64(len(coefs)))

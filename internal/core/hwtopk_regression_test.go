@@ -1,0 +1,41 @@
+package core
+
+import (
+	"context"
+	"testing"
+)
+
+// Regression: when k exceeds the number of non-zero coefficients, H-WTopk
+// must not pad the top-k with exact-zero candidate coefficients — Send-V's
+// sparse transform never emits zeros, and the two exact methods must agree
+// (TestHWTopkEquivalenceQuick flaked on exactly such inputs).
+func TestHWTopkNoZeroPadding(t *testing.T) {
+	rawKeys := []uint16{0x4792, 0x4a87, 0xc23c, 0xe766, 0xabe4, 0xd473, 0x2645, 0x16e5, 0x9010, 0x8757, 0x5a75, 0x99be, 0x3a26, 0x3ea0, 0xe0ad, 0xca70, 0xa6a3, 0x1926, 0xbb20, 0xaa4b, 0x1952, 0x7777, 0xe25a, 0x7c3f, 0x24f9}
+	const u, k = 16, 10 // the domain has only 9 non-zero coefficients
+	fs := newTestFS(64)
+	w, err := fs.Create("d", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rk := range rawKeys {
+		w.Append(int64(rk) % u)
+	}
+	f := w.Close()
+	p := Params{U: u, K: k, Seed: 9}
+	sv, err := NewSendV().Run(context.Background(), f, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw, err := NewHWTopk().Run(context.Background(), f, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sv.Rep.Coefs) != len(hw.Rep.Coefs) {
+		t.Fatalf("Send-V kept %d coefficients, H-WTopk %d", len(sv.Rep.Coefs), len(hw.Rep.Coefs))
+	}
+	for _, c := range hw.Rep.Coefs {
+		if c.Value == 0 {
+			t.Fatalf("H-WTopk kept zero coefficient at index %d", c.Index)
+		}
+	}
+}

@@ -183,23 +183,30 @@ func MapRoundSplits(ctx context.Context, file *hdfs.File, method string, p Param
 		}
 	}
 	m := len(pl.splits)
-	parts = make([]SplitPartial, 0, len(splitIDs))
 	for _, id := range splitIDs {
 		if id < 0 || id >= m {
 			return nil, nil, fmt.Errorf("core: %s: split %d out of range [0, %d)", method, id, m)
 		}
-		rep, rerr := pl.ensureSplitState(ctx, round, id)
+	}
+	// Fan the assigned splits out across GOMAXPROCS goroutines, like
+	// MapSplits: each goroutine builds its own round Job (they share the
+	// plan's mutex-guarded Conf/Cache/State triple), results land in
+	// position-indexed slots, and per-split state writes are disjoint, so
+	// the output is bit-identical to a serial pass.
+	parts = make([]SplitPartial, len(splitIDs))
+	rep := make([]bool, len(splitIDs))
+	err = forEachSplit(ctx, p, len(splitIDs), func(ctx context.Context, i int) error {
+		id := splitIDs[i]
+		replay, rerr := pl.ensureSplitState(ctx, round, id)
 		if rerr != nil {
-			return nil, nil, rerr
+			return rerr
 		}
-		if rep {
-			replayed = append(replayed, id)
-		}
+		rep[i] = replay
 		r, rerr := mapred.RunMapSplit(ctx, pl.job(round), id)
 		if rerr != nil {
-			return nil, nil, rerr
+			return rerr
 		}
-		parts = append(parts, SplitPartial{
+		parts[i] = SplitPartial{
 			SplitID:     id,
 			Node:        r.Metrics.Node,
 			Pairs:       r.Pairs,
@@ -207,7 +214,16 @@ func MapRoundSplits(ctx context.Context, file *hdfs.File, method string, p Param
 			BytesRead:   r.BytesRead,
 			InputBytes:  r.Metrics.InputBytes,
 			CPUUnits:    r.Metrics.CPUUnits,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for i, id := range splitIDs {
+		if rep[i] {
+			replayed = append(replayed, id)
+		}
 	}
 	return parts, replayed, nil
 }

@@ -3,7 +3,10 @@ package core
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"wavelethist/internal/cluster"
@@ -81,7 +84,10 @@ func oneRoundByName(name string) (oneRounder, error) {
 
 // MapSplits runs method's map side over the given split indices of file,
 // returning one mergeable partial per split. This is the worker half of a
-// distributed build.
+// distributed build. Splits are mapped concurrently across up to
+// p.Parallelism goroutines (0 = GOMAXPROCS); the result order matches
+// splitIDs and every per-split output is bit-identical to a serial run
+// (per-split RNG derivation makes tasks independent of scheduling).
 func MapSplits(ctx context.Context, file *hdfs.File, method string, p Params, splitIDs []int) ([]SplitPartial, error) {
 	or, err := oneRoundByName(method)
 	if err != nil {
@@ -92,27 +98,89 @@ func MapSplits(ctx context.Context, file *hdfs.File, method string, p Params, sp
 		return nil, err
 	}
 	job, _ := or.makeJob(file, p)
+	if err := job.Prepare(); err != nil {
+		return nil, err
+	}
 	m := len(job.Splits)
-	parts := make([]SplitPartial, 0, len(splitIDs))
 	for _, id := range splitIDs {
 		if id < 0 || id >= m {
 			return nil, fmt.Errorf("core: %s: split %d out of range [0, %d)", method, id, m)
 		}
-		r, err := mapred.RunMapSplit(ctx, job, id)
+	}
+	parts := make([]SplitPartial, len(splitIDs))
+	err = forEachSplit(ctx, p, len(splitIDs), func(ctx context.Context, i int) error {
+		r, err := mapred.RunMapSplit(ctx, job, splitIDs[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
-		parts = append(parts, SplitPartial{
-			SplitID:     id,
+		parts[i] = SplitPartial{
+			SplitID:     splitIDs[i],
 			Node:        r.Metrics.Node,
 			Pairs:       r.Pairs,
 			RecordsRead: r.RecordsRead,
 			BytesRead:   r.BytesRead,
 			InputBytes:  r.Metrics.InputBytes,
 			CPUUnits:    r.Metrics.CPUUnits,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return parts, nil
+}
+
+// forEachSplit fans fn(i) for i in [0, n) out across a bounded goroutine
+// pool: p.Parallelism workers (0 = GOMAXPROCS), context-cancellable, first
+// error wins and cancels the siblings. Callers write results into
+// position-indexed slots, so merge order is deterministic regardless of
+// scheduling.
+func forEachSplit(ctx context.Context, p Params, n int, fn func(ctx context.Context, i int) error) error {
+	workers := p.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(ctx, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	fctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		next    atomic.Int64
+		wg      sync.WaitGroup
+		errOnce sync.Once
+		firstEr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || fctx.Err() != nil {
+					return
+				}
+				if err := fn(fctx, i); err != nil {
+					errOnce.Do(func() { firstEr = err })
+					cancel()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstEr != nil {
+		return firstEr
+	}
+	return ctx.Err()
 }
 
 // MergePartials runs method's reduce side over partials covering every
@@ -186,21 +254,42 @@ func SimulatedSecondsOn(m Metrics, c *cluster.Cluster) float64 { return m.Simula
 // EncodePartials serializes partials for the dist wire protocol:
 // [count] then per partial [splitID][node][recordsRead][bytesRead]
 // [inputBytes][cpuUnits][npairs] and per pair [key][val][src:4][tag:1].
+// The output buffer is allocated once at its exact final size (the layout
+// is fixed-width), so encoding never re-grows or over-allocates — the hot
+// path of every map RPC response.
 func EncodePartials(parts []SplitPartial) []byte {
-	b := mapred.AppendInt64(nil, int64(len(parts)))
-	for _, part := range parts {
-		b = mapred.AppendInt64(b, int64(part.SplitID))
-		b = mapred.AppendInt64(b, int64(part.Node))
-		b = mapred.AppendInt64(b, part.RecordsRead)
-		b = mapred.AppendInt64(b, part.BytesRead)
-		b = mapred.AppendInt64(b, part.InputBytes)
-		b = mapred.AppendFloat64(b, part.CPUUnits)
-		b = mapred.AppendInt64(b, int64(len(part.Pairs)))
-		for _, kv := range part.Pairs {
-			b = mapred.AppendInt64(b, kv.Key)
-			b = mapred.AppendFloat64(b, kv.Val)
-			b = append(b, byte(kv.Src), byte(kv.Src>>8), byte(kv.Src>>16), byte(kv.Src>>24), kv.Tag)
-		}
+	b := make([]byte, 0, PartialsWireBytes(parts))
+	b = mapred.AppendInt64(b, int64(len(parts)))
+	for i := range parts {
+		b = appendPartial(b, &parts[i])
+	}
+	return b
+}
+
+// PartialsWireBytes returns the exact encoded size of EncodePartials'
+// output without encoding.
+func PartialsWireBytes(parts []SplitPartial) int {
+	n := 8
+	for i := range parts {
+		n += partialHeaderBytes + len(parts[i].Pairs)*pairWireBytes
+	}
+	return n
+}
+
+const partialHeaderBytes = 56 // 5 int64 + 1 float64 + npairs
+
+func appendPartial(b []byte, part *SplitPartial) []byte {
+	b = mapred.AppendInt64(b, int64(part.SplitID))
+	b = mapred.AppendInt64(b, int64(part.Node))
+	b = mapred.AppendInt64(b, part.RecordsRead)
+	b = mapred.AppendInt64(b, part.BytesRead)
+	b = mapred.AppendInt64(b, part.InputBytes)
+	b = mapred.AppendFloat64(b, part.CPUUnits)
+	b = mapred.AppendInt64(b, int64(len(part.Pairs)))
+	for _, kv := range part.Pairs {
+		b = mapred.AppendInt64(b, kv.Key)
+		b = mapred.AppendFloat64(b, kv.Val)
+		b = append(b, byte(kv.Src), byte(kv.Src>>8), byte(kv.Src>>16), byte(kv.Src>>24), kv.Tag)
 	}
 	return b
 }

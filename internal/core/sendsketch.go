@@ -2,7 +2,6 @@ package core
 
 import (
 	"context"
-	"math"
 
 	"wavelethist/internal/hdfs"
 	"wavelethist/internal/mapred"
@@ -44,13 +43,23 @@ func sketchBudget(p Params) int64 {
 // sketchSeed must be shared by all splits so local sketches merge.
 func sketchSeed(p Params) uint64 { return p.Seed ^ 0x5ce7c4b5ce7c4b13 }
 
+// denseFreqMax gates the mapper's dense frequency accumulator: domains at
+// or under it use a flat []float64 (one add per record, naturally sorted
+// iteration, no per-record map hashing); larger domains keep the map.
+const denseFreqMax = 1 << 20
+
 type sendSketchMapper struct {
-	p    Params
-	freq map[int64]float64
+	p     Params
+	freq  map[int64]float64
+	dense []float64 // non-nil iff p.U <= denseFreqMax
 }
 
 func (m *sendSketchMapper) Setup(*mapred.TaskContext) error {
-	m.freq = make(map[int64]float64)
+	if m.p.U <= denseFreqMax {
+		m.dense = make([]float64, m.p.U)
+	} else {
+		m.freq = make(map[int64]float64)
+	}
 	return nil
 }
 
@@ -58,38 +67,52 @@ func (m *sendSketchMapper) Map(ctx *mapred.TaskContext, rec hdfs.Record, _ *mapr
 	if err := checkDomain(rec.Key, m.p.U); err != nil {
 		return err
 	}
-	m.freq[rec.Key]++
+	if m.dense != nil {
+		m.dense[rec.Key]++
+	} else {
+		m.freq[rec.Key]++
+	}
 	return nil
 }
 
 func (m *sendSketchMapper) Close(ctx *mapred.TaskContext, out *mapred.Emitter) error {
 	g := sketch.NewGCSWithBudget(m.p.U, m.p.SketchDegree, sketchBudget(m.p), sketchSeed(m.p))
 	u := m.p.U
-	logu := wavelet.Log2(u)
-	sqrtU := math.Sqrt(float64(u))
-	// Stream each distinct key's wavelet-path contributions into the
-	// sketch (the coefficient vector is linear in the keys, so updating
-	// along root-to-leaf paths sketches the local coefficient vector).
-	// Sorted iteration keeps cell accumulation order — and therefore the
-	// exact float bits of shipped entries — deterministic.
-	keys, counts := wavelet.SortFreq(m.freq)
-	updates := 0
-	for i, x := range keys {
-		c := counts[i]
-		g.Update(0, c/sqrtU)
-		updates++
-		for j := uint(0); j < logu; j++ {
-			rangeLen := u >> j
-			kk := x / rangeLen
-			contrib := c / math.Sqrt(float64(rangeLen))
-			if x-kk*rangeLen < rangeLen/2 {
-				contrib = -contrib
+	// Aggregate the split's sparse coefficient vector first (the same
+	// O(|v_j| log u) streaming transform the exact methods use), then
+	// sketch each distinct non-zero coefficient once. The sketch is linear,
+	// so this is Section 5's "aggregate before updating" optimization
+	// carried from keys to coefficients: per-key root-to-leaf streaming
+	// touched levels×depth cells for every (key, level) pair, while the
+	// union of the paths has at most min(|v_j|·(log u+1), 2u) distinct
+	// nodes — far fewer under skew, where paths share prefixes.
+	// Sorted feeding keeps coefficient accumulation order, and therefore
+	// the shipped float bits, deterministic.
+	var (
+		keys   []int64
+		counts []float64
+		nk     int
+	)
+	buf := wavelet.GetFreqBuffers()
+	defer wavelet.PutFreqBuffers(buf)
+	if m.dense != nil {
+		for x, c := range m.dense {
+			if c != 0 {
+				buf.Keys = append(buf.Keys, int64(x))
+				buf.Counts = append(buf.Counts, c)
 			}
-			g.Update(int64(1)<<j+kk, contrib)
-			updates++
 		}
+		keys, counts = buf.Keys, buf.Counts
+	} else {
+		keys, counts = buf.Load(m.freq)
 	}
-	ctx.AddWork(float64(updates * g.UpdateCost()))
+	nk = len(keys)
+	coefs := wavelet.SparseTransformSorted(keys, counts, u)
+	ctx.AddWork(transformWork(nk, u))
+	for _, c := range coefs {
+		g.Update(c.Index, c.Value)
+	}
+	ctx.AddWork(float64(len(coefs) * g.UpdateCost()))
 	n := 0
 	g.NonZeroEntries(func(idx int64, v float64) {
 		out.Emit(mapred.KV{Key: idx, Val: v, Src: int32(ctx.SplitID)})

@@ -267,6 +267,18 @@ func (j *Job) fillDefaults() {
 	}
 }
 
+// Prepare validates the job and materializes its lazily created shared
+// stores (Conf, Cache, State). Callers that fan RunMapSplit out across
+// goroutines must Prepare the job once up front: the per-call
+// fillDefaults would otherwise race on the nil fields.
+func (j *Job) Prepare() error {
+	if err := j.validate(); err != nil {
+		return err
+	}
+	j.fillDefaults()
+	return nil
+}
+
 func (j *Job) numReducers() int {
 	if j.NumReducers <= 1 {
 		return 1

@@ -119,22 +119,27 @@ func (g *GCS) UpdateCost() int {
 	return len(g.levels) * g.depth
 }
 
-// Update adds v to coefficient i.
+// Update adds v to coefficient i. The loop body is kept tight — locals
+// hoisted, one bounds-checked slice per level — because this is the map
+// side's dominant cost for Send-Sketch (levels × depth cell updates per
+// distinct coefficient).
 func (g *GCS) Update(i int64, v float64) {
 	if i < 0 || i >= g.u {
 		panic(fmt.Sprintf("sketch: GCS update %d out of domain %d", i, g.u))
 	}
 	item := uint64(i)
-	gid := i
+	gid := uint64(i)
+	bux, sub, depth := g.bux, g.sub, g.depth
+	deg := uint64(g.degree)
 	for l := range g.levels {
 		lv := &g.levels[l]
-		for d := 0; d < g.depth; d++ {
-			b := lv.groupHash[d].bucket(uint64(gid), g.bux)
-			s := lv.itemHash[d].bucket(item, g.sub)
-			cell := (d*g.bux+b)*g.sub + s
-			lv.cells[cell] += lv.signHash[d].sign(item) * v
+		cells := lv.cells
+		for d := 0; d < depth; d++ {
+			b := lv.groupHash[d].bucket(gid, bux)
+			s := lv.itemHash[d].bucket(item, sub)
+			cells[(d*bux+b)*sub+s] += lv.signHash[d].sign(item) * v
 		}
-		gid /= int64(g.degree)
+		gid /= deg
 	}
 }
 

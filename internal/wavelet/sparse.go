@@ -3,6 +3,7 @@ package wavelet
 import (
 	"math"
 	"sort"
+	"sync"
 )
 
 // SparseTransform computes all non-zero Haar coefficients of the sparse
@@ -168,4 +169,43 @@ func SortFreq(freq map[int64]float64) (keys []int64, counts []float64) {
 		counts[i] = freq[x]
 	}
 	return keys, counts
+}
+
+// FreqBuffers is a reusable (keys, counts) scratch pair for transforms
+// that sort a frequency map, convert it, and discard the sorted form.
+// Acquire with GetFreqBuffers, return with PutFreqBuffers; the slices
+// returned by Load are only valid until the buffers are put back.
+type FreqBuffers struct {
+	Keys   []int64
+	Counts []float64
+}
+
+var freqPool = sync.Pool{New: func() any { return new(FreqBuffers) }}
+
+// GetFreqBuffers fetches a pooled scratch pair.
+func GetFreqBuffers() *FreqBuffers { return freqPool.Get().(*FreqBuffers) }
+
+// PutFreqBuffers returns a scratch pair to the pool.
+func PutFreqBuffers(b *FreqBuffers) {
+	b.Keys = b.Keys[:0]
+	b.Counts = b.Counts[:0]
+	freqPool.Put(b)
+}
+
+// Load fills the buffers with freq's sorted (key, count) pairs — the same
+// output as SortFreq, without allocating when the buffers have capacity.
+func (b *FreqBuffers) Load(freq map[int64]float64) (keys []int64, counts []float64) {
+	b.Keys = b.Keys[:0]
+	for x := range freq {
+		b.Keys = append(b.Keys, x)
+	}
+	sort.Slice(b.Keys, func(i, j int) bool { return b.Keys[i] < b.Keys[j] })
+	if cap(b.Counts) < len(b.Keys) {
+		b.Counts = make([]float64, len(b.Keys))
+	}
+	b.Counts = b.Counts[:len(b.Keys)]
+	for i, x := range b.Keys {
+		b.Counts[i] = freq[x]
+	}
+	return b.Keys, b.Counts
 }

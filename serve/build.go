@@ -64,6 +64,7 @@ type Job struct {
 	rounds         int
 	perRound       []RoundView
 	candidateSet   int
+	cachedSplits   int
 	recordsRead    int64
 	bytesRead      int64
 	wallMillis     int64
@@ -82,6 +83,7 @@ type RoundView struct {
 	RPCs           int   `json:"rpcs,omitempty"`
 	Retries        int   `json:"retries,omitempty"`
 	ReplayedSplits int   `json:"replayed_splits,omitempty"`
+	CachedSplits   int   `json:"cached_splits,omitempty"`
 }
 
 // JobView is the JSON form of a job.
@@ -102,6 +104,7 @@ type JobView struct {
 	Rounds           int         `json:"rounds,omitempty"`
 	PerRound         []RoundView `json:"per_round,omitempty"`
 	CandidateSetSize int         `json:"candidate_set_size,omitempty"`
+	CachedSplits     int         `json:"cached_splits,omitempty"`
 	RecordsRead      int64       `json:"records_read,omitempty"`
 	BytesRead        int64       `json:"bytes_read,omitempty"`
 	WallMillis       int64       `json:"wall_millis,omitempty"`
@@ -185,6 +188,7 @@ func (js *jobSet) view(j *Job) JobView {
 		Rounds:           j.rounds,
 		PerRound:         j.perRound,
 		CandidateSetSize: j.candidateSet,
+		CachedSplits:     j.cachedSplits,
 		RecordsRead:      j.recordsRead,
 		BytesRead:        j.bytesRead,
 		WallMillis:       j.wallMillis,
@@ -221,9 +225,11 @@ func (js *jobSet) finish(j *Job, e *Entry, k int, res *wavelethist.Result) {
 				RPCs:           r.RPCs,
 				Retries:        r.Retries,
 				ReplayedSplits: r.ReplayedSplits,
+				CachedSplits:   r.CachedSplits,
 			})
 		}
 		j.candidateSet = res.CandidateSetSize
+		j.cachedSplits = res.CachedSplits
 		j.recordsRead = res.RecordsRead
 		j.bytesRead = res.BytesRead
 		j.wallMillis = res.WallTime.Milliseconds()

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -204,12 +205,12 @@ func TestDistributedHWTopkViaAPI(t *testing.T) {
 	}
 	seenLatency := false
 	for _, w := range stats.Fleet.Workers {
-		if w.LastRPCMillis > 0 {
+		if w.RPCEWMAMillis > 0 {
 			seenLatency = true
 		}
 	}
 	if !seenLatency {
-		t.Error("no worker reports last-RPC latency")
+		t.Error("no worker reports an RPC-latency EWMA")
 	}
 }
 
@@ -321,4 +322,72 @@ func TestServerCloseCancelsJobs(t *testing.T) {
 	if v := s.jobs.view(j); v.State != JobCanceled && v.State != JobDone {
 		t.Fatalf("state after Close: %q", v.State)
 	}
+}
+
+// stallTransport blocks every map RPC until released, so builds pile up
+// pending splits — the harness for the backpressure shed.
+type stallTransport struct {
+	release chan struct{}
+}
+
+func (s *stallTransport) MapSplits(ctx context.Context, addr string, req *dist.MapRequest) (*dist.MapResponse, int64, int64, error) {
+	select {
+	case <-s.release:
+	case <-ctx.Done():
+	}
+	return nil, 0, 0, ctx.Err()
+}
+func (s *stallTransport) Release(context.Context, string, *dist.ReleaseRequest) error { return nil }
+func (s *stallTransport) Ping(context.Context, string) error                          { return nil }
+
+// TestBuildBackpressure: distributed POST /v1/build is shed with 429 +
+// Retry-After once pending splits per alive worker cross the threshold.
+func TestBuildBackpressure(t *testing.T) {
+	tr := &stallTransport{release: make(chan struct{})}
+	coord := dist.NewCoordinator(tr, dist.Config{SplitsPerCall: 1})
+	coord.Register("w0", "fake://w0", 1)
+	s, err := NewServer(Config{Coordinator: coord, MaxPendingPerWorker: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	defer close(tr.release)
+	ds, err := wavelethist.NewZipfDataset(wavelethist.ZipfOptions{
+		Records: 1 << 15, Domain: 1 << 10, Alpha: 1.1, Seed: 9, ChunkSize: 4 << 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumSplits(0) < 4 {
+		t.Fatalf("want >= 4 splits, have %d", ds.NumSplits(0))
+	}
+	s.RegisterDataset("z", ds)
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	// First build is admitted and stalls with most splits pending.
+	postBuild(t, srv.URL, `{"name":"h1","dataset":"z","method":"Send-V","distributed":true}`)
+	deadline := time.Now().Add(10 * time.Second)
+	for coord.FleetStats().PendingSplits/1 < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("fleet never saturated: %+v", coord.FleetStats())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Second distributed build is shed.
+	res, err := http.Post(srv.URL+"/v1/build", "application/json",
+		bytes.NewBufferString(`{"name":"h2","dataset":"z","method":"Send-V","distributed":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated build: HTTP %d, want 429", res.StatusCode)
+	}
+	if res.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	// Simulated builds are not shed by fleet saturation.
+	postBuild(t, srv.URL, `{"name":"h3","dataset":"z","method":"TwoLevel-S"}`)
 }

@@ -45,6 +45,12 @@ type Config struct {
 	// registration, heartbeats, fleet listing) are mounted on the server.
 	// Nil keeps every build on the in-process simulated cluster.
 	Coordinator *dist.Coordinator
+	// MaxPendingPerWorker sheds distributed POST /v1/build requests with
+	// 429 + Retry-After while the fleet's pending splits per alive worker
+	// are at or above this threshold — backpressure so a saturated fleet
+	// queues at the clients, not in the coordinator. 0 = default (64);
+	// negative disables shedding.
+	MaxPendingPerWorker int
 }
 
 func (c Config) withDefaults() Config {
@@ -68,6 +74,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxJobs <= 0 {
 		c.MaxJobs = 1024
+	}
+	if c.MaxPendingPerWorker == 0 {
+		c.MaxPendingPerWorker = 64
 	}
 	return c
 }
@@ -679,6 +688,12 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusBadRequest, "distributed builds are not enabled (start wavehistd with -workers or -dist)")
 			return
 		}
+		if retryAfter, shed := s.fleetSaturated(); shed {
+			w.Header().Set("Retry-After", retryAfter)
+			writeErr(w, http.StatusTooManyRequests,
+				"fleet saturated (pending splits per alive worker >= %d); retry later", s.cfg.MaxPendingPerWorker)
+			return
+		}
 		mode = ModeDistributed
 	}
 	select {
@@ -695,6 +710,35 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 		"job":        job.ID,
 		"status_url": "/v1/jobs/" + job.ID,
 	})
+}
+
+// fleetSaturated applies the distributed-build admission check: shed when
+// the queue depth per alive worker crosses the configured threshold. The
+// Retry-After hint scales with how deep the backlog already is, capped so
+// clients re-probe within a minute.
+func (s *Server) fleetSaturated() (retryAfter string, shed bool) {
+	if s.cfg.MaxPendingPerWorker < 0 || s.cfg.Coordinator == nil {
+		return "", false
+	}
+	fs := s.cfg.Coordinator.FleetStats()
+	if fs.AliveWorkers == 0 {
+		// No workers at all is reported by the build itself (or the
+		// fleet is mid-registration); shedding here would mask the
+		// clearer error.
+		return "", false
+	}
+	perWorker := fs.PendingSplits / fs.AliveWorkers
+	if perWorker < s.cfg.MaxPendingPerWorker {
+		return "", false
+	}
+	wait := perWorker / s.cfg.MaxPendingPerWorker
+	if wait < 1 {
+		wait = 1
+	}
+	if wait > 60 {
+		wait = 60
+	}
+	return strconv.Itoa(wait), true
 }
 
 func (s *Server) runBuild(ctx context.Context, cancel context.CancelFunc, job *Job, ds *wavelethist.Dataset, req BuildRequest) {

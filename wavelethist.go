@@ -168,6 +168,9 @@ type RoundStat struct {
 	RPCs           int
 	Retries        int
 	ReplayedSplits int
+	// CachedSplits counts splits served from workers' partial caches —
+	// re-shipped without recomputation (distributed builds only).
+	CachedSplits int
 }
 
 // Result is a build's outcome: the histogram plus the paper's two
@@ -198,6 +201,11 @@ type Result struct {
 	// CandidateSetSize is |R| — H-WTopk's candidate set broadcast before
 	// round 3 (0 for other methods).
 	CandidateSetSize int
+	// CachedSplits counts split results served from workers' partial
+	// caches instead of recomputed (distributed builds only): a warm
+	// repeat of a one-round build has CachedSplits equal to the split
+	// count and recomputes nothing.
+	CachedSplits int
 	// RecordsRead / BytesRead measure the map-side input scan (sampling
 	// methods read far less than the file size).
 	RecordsRead int64
@@ -282,6 +290,7 @@ func perRoundStats(m core.Metrics, dist []distRoundStats) []RoundStat {
 			r.RPCs = d.RPCs
 			r.Retries = d.Retries
 			r.ReplayedSplits = d.ReplayedSplits
+			r.CachedSplits = d.CachedSplits
 		}
 	}
 	return out
