@@ -9,25 +9,37 @@
 // recomputation), and the parallel_map section times the worker map fan
 // (1 goroutine vs GOMAXPROCS) over one 32-split assignment.
 //
+// The -queries pass benchmarks the query plane: point/range/batch (1D),
+// 2D point, and maintainer update/read traffic, each with a
+// query_engine dimension contrasting the O(k) linear scan with the
+// error-tree index ("scan" vs "errtree"), plus an end-to-end HTTP batch
+// row — ns/op and allocs/op land in the queries section of the report.
+//
 // Usage:
 //
-//	wavebench -out BENCH_pr4.json
+//	wavebench -out BENCH_pr5.json
 //	wavebench -records 1048576 -domain 65536 -workers 4 -out bench.json
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http/httptest"
 	"os"
 	"runtime"
+	"testing"
 	"time"
 
 	"wavelethist"
 	"wavelethist/dist"
 	"wavelethist/internal/core"
 	"wavelethist/internal/hdfs"
+	"wavelethist/internal/wavelet"
+	"wavelethist/internal/zipf"
+	"wavelethist/serve"
 )
 
 // Row is one benchmark measurement.
@@ -71,6 +83,20 @@ type ParallelMap struct {
 	Note           string  `json:"note,omitempty"`
 }
 
+// QueryRow is one query-plane measurement: an operation × engine cell of
+// the scan-vs-errtree comparison, in ns/op and allocs/op.
+type QueryRow struct {
+	Op          string  `json:"op"`           // point | range | batch | point2d | maintain_update_read | maintain_read | http_batch
+	Engine      string  `json:"query_engine"` // "scan" | "errtree"
+	Dim         int     `json:"dim"`
+	K           int     `json:"k"`
+	Domain      int64   `json:"domain"` // grid side for dim == 2
+	Batch       int     `json:"batch,omitempty"`
+	Maintainer  string  `json:"maintainer,omitempty"` // "cold" (update between reads) | "warm" (cached)
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
 // Report is the file layout.
 type Report struct {
 	GeneratedUnix int64 `json:"generated_unix"`
@@ -87,26 +113,30 @@ type Report struct {
 	Workers     int          `json:"workers"`
 	Results     []Row        `json:"results"`
 	ParallelMap *ParallelMap `json:"parallel_map,omitempty"`
+	Queries     []QueryRow   `json:"queries,omitempty"`
 }
 
 func main() {
 	var (
-		out     = flag.String("out", "BENCH_pr4.json", "output file")
+		out     = flag.String("out", "BENCH_pr5.json", "output file")
 		records = flag.Int64("records", 1<<19, "dataset records")
 		domain  = flag.Int64("domain", 1<<14, "key domain (power of two)")
 		alpha   = flag.Float64("alpha", 1.1, "zipf skew")
 		seed    = flag.Uint64("seed", 42, "seed")
 		k       = flag.Int("k", 30, "retained coefficients")
 		workers = flag.Int("workers", 3, "loopback workers for distributed rows")
+		queries = flag.Bool("queries", true, "run the query-plane pass (scan vs errtree)")
+		qk      = flag.Int("qk", 2048, "retained coefficients for the query pass")
+		qdomain = flag.Int64("qdomain", 1<<20, "key domain for the query pass (power of two)")
 	)
 	flag.Parse()
-	if err := run(*out, *records, *domain, *alpha, *seed, *k, *workers); err != nil {
+	if err := run(*out, *records, *domain, *alpha, *seed, *k, *workers, *queries, *qk, *qdomain); err != nil {
 		fmt.Fprintln(os.Stderr, "wavebench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out string, records, domain int64, alpha float64, seed uint64, k, workers int) error {
+func run(out string, records, domain int64, alpha float64, seed uint64, k, workers int, queries bool, qk int, qdomain int64) error {
 	ds, err := wavelethist.NewZipfDataset(wavelethist.ZipfOptions{
 		Records: records, Domain: domain, Alpha: alpha, Seed: seed,
 	})
@@ -183,6 +213,18 @@ func run(out string, records, domain int64, alpha float64, seed uint64, k, worke
 	} else {
 		fmt.Printf("parallel map: %d splits, serial=%dms parallel=%dms speedup=%.2fx (GOMAXPROCS=%d)\n",
 			pm.Splits, pm.SerialMillis, pm.ParallelMillis, pm.Speedup, rep.GoMaxProcs)
+	}
+
+	if queries {
+		qrows, err := queryPass(records, alpha, seed, qk, qdomain)
+		if err != nil {
+			return err
+		}
+		rep.Queries = qrows
+		for _, q := range qrows {
+			fmt.Printf("query %-22s %-8s dim=%d k=%-5d u=%-8d %12.1f ns/op %4d allocs/op\n",
+				q.Op+maintLabel(q), q.Engine, q.Dim, q.K, q.Domain, q.NsPerOp, q.AllocsPerOp)
+		}
 	}
 
 	b, err := json.MarshalIndent(&rep, "", "  ")
@@ -272,4 +314,173 @@ func row(method, mode, format string, warm bool, res *wavelethist.Result, wall t
 		})
 	}
 	return r
+}
+
+func maintLabel(q QueryRow) string {
+	if q.Maintainer == "" {
+		return ""
+	}
+	return "(" + q.Maintainer + ")"
+}
+
+// queryPass benchmarks the query plane: the same estimates answered by
+// the O(k) linear scan and by the error-tree index, over a real build at
+// serving-scale k and domain, plus the batch path through serve.Entry
+// (allocation-free on reused buffers), 2D points, the incremental
+// maintainer under interleaved update/read traffic, and one end-to-end
+// HTTP batch row.
+func queryPass(records int64, alpha float64, seed uint64, qk int, qdomain int64) ([]QueryRow, error) {
+	ds, err := wavelethist.NewZipfDataset(wavelethist.ZipfOptions{
+		Records: records, Domain: qdomain, Alpha: alpha, Seed: seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res, err := wavelethist.Build(ds, wavelethist.SendV, wavelethist.Options{K: qk, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	h := res.Histogram
+	coefs := make([]wavelet.Coef, 0, h.K())
+	for _, c := range h.Coefficients() {
+		coefs = append(coefs, wavelet.Coef{Index: c.Index, Value: c.Value})
+	}
+	rep1 := wavelet.NewRepresentation(qdomain, coefs)
+	k := rep1.K()
+
+	bench := func(row QueryRow, fn func(i int)) QueryRow {
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				fn(i)
+			}
+		})
+		row.NsPerOp = float64(r.NsPerOp())
+		row.AllocsPerOp = r.AllocsPerOp()
+		return row
+	}
+	var rows []QueryRow
+	var sink float64
+	mask := qdomain - 1
+
+	rows = append(rows,
+		bench(QueryRow{Op: "point", Engine: "scan", Dim: 1, K: k, Domain: qdomain}, func(i int) {
+			sink += rep1.ScanPointEstimate((int64(i) * 2654435761) & mask)
+		}),
+		bench(QueryRow{Op: "point", Engine: "errtree", Dim: 1, K: k, Domain: qdomain}, func(i int) {
+			sink += rep1.PointEstimate((int64(i) * 2654435761) & mask)
+		}),
+		bench(QueryRow{Op: "range", Engine: "scan", Dim: 1, K: k, Domain: qdomain}, func(i int) {
+			lo := (int64(i) * 2654435761) & (mask >> 1)
+			sink += rep1.ScanRangeSum(lo, lo+qdomain/4)
+		}),
+		bench(QueryRow{Op: "range", Engine: "errtree", Dim: 1, K: k, Domain: qdomain}, func(i int) {
+			lo := (int64(i) * 2654435761) & (mask >> 1)
+			sink += rep1.RangeSum(lo, lo+qdomain/4)
+		}),
+	)
+
+	// Batch rows: 256 mixed point/range sub-queries per op, answered
+	// through serve.Entry with reused buffers (the HTTP handler's pooled
+	// path) and, as the scan baseline, the same loop over the linear scan.
+	const batchN = 256
+	bqs := make([]serve.BatchQuery, batchN)
+	for i := range bqs {
+		if i%2 == 0 {
+			bqs[i] = serve.BatchQuery{Op: "point", Key: (int64(i) * 7919) & mask}
+		} else {
+			bqs[i] = serve.BatchQuery{Op: "range", Lo: int64(i * 1024), Hi: (int64(i) * 1024) + qdomain/8}
+		}
+	}
+	brs := make([]serve.BatchResult, batchN)
+	reg := serve.NewRegistry()
+	entry, err := reg.Publish("bench", h)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows,
+		bench(QueryRow{Op: "batch", Engine: "scan", Dim: 1, K: k, Domain: qdomain, Batch: batchN}, func(i int) {
+			for _, q := range bqs {
+				if q.Op == "point" {
+					sink += rep1.ScanPointEstimate(q.Key)
+				} else {
+					sink += rep1.ScanRangeSum(q.Lo, q.Hi)
+				}
+			}
+		}),
+		bench(QueryRow{Op: "batch", Engine: "errtree", Dim: 1, K: k, Domain: qdomain, Batch: batchN}, func(i int) {
+			entry.Batch(bqs, brs)
+		}),
+	)
+
+	// 2D points on a synthesized representation (side² cells; a real 2D
+	// build at this k would dominate the pass's runtime without changing
+	// what is measured).
+	const side = int64(1 << 10)
+	rng := zipf.NewRNG(seed)
+	coefs2 := make([]wavelet.Coef, 1024)
+	for i := range coefs2 {
+		coefs2[i] = wavelet.Coef{Index: rng.Int63n(side * side), Value: (rng.Float64() - 0.5) * 1000}
+	}
+	rep2 := wavelet.NewRepresentation2D(side, coefs2)
+	rows = append(rows,
+		bench(QueryRow{Op: "point2d", Engine: "scan", Dim: 2, K: len(coefs2), Domain: side}, func(i int) {
+			sink += rep2.ScanPointEstimate((int64(i)*31)&(side-1), (int64(i)*17)&(side-1))
+		}),
+		bench(QueryRow{Op: "point2d", Engine: "errtree", Dim: 2, K: len(coefs2), Domain: side}, func(i int) {
+			sink += rep2.PointEstimate((int64(i)*31)&(side-1), (int64(i)*17)&(side-1))
+		}),
+	)
+
+	// Maintainer rows: "cold" interleaves one update with one read — the
+	// serve updates→point pattern. The scan baseline re-selects top-k over
+	// the tracked set per read (the pre-errtree behavior); the errtree
+	// engine repairs the partition incrementally and patches the snapshot.
+	mkMaint := func() *wavelet.Maintainer {
+		return wavelet.NewMaintainer(qdomain, coefs, qk, 0)
+	}
+	mScan, mInc := mkMaint(), mkMaint()
+	warm := mkMaint()
+	warm.Representation()
+	rows = append(rows,
+		bench(QueryRow{Op: "maintain_update_read", Engine: "scan", Dim: 1, K: qk, Domain: qdomain, Maintainer: "cold"}, func(i int) {
+			mScan.Update((int64(i)*2654435761)&mask, 1)
+			r := wavelet.NewRepresentation(qdomain, wavelet.SelectTopK(mScan.TrackedCoefs(), qk))
+			sink += r.PointEstimate(int64(i) & mask)
+		}),
+		bench(QueryRow{Op: "maintain_update_read", Engine: "errtree", Dim: 1, K: qk, Domain: qdomain, Maintainer: "cold"}, func(i int) {
+			mInc.Update((int64(i)*2654435761)&mask, 1)
+			sink += mInc.Representation().PointEstimate(int64(i) & mask)
+		}),
+		bench(QueryRow{Op: "maintain_read", Engine: "errtree", Dim: 1, K: qk, Domain: qdomain, Maintainer: "warm"}, func(i int) {
+			sink += warm.Representation().PointEstimate(int64(i) & mask)
+		}),
+	)
+
+	// End-to-end HTTP: the batch endpoint through JSON decode, pooled
+	// buffers, the shared index, and JSON encode.
+	srv, err := serve.NewServer(serve.Config{})
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+	if _, err := srv.Registry().Publish("bench", h); err != nil {
+		return nil, err
+	}
+	body, err := json.Marshal(map[string]any{"queries": bqs})
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows,
+		bench(QueryRow{Op: "http_batch", Engine: "errtree", Dim: 1, K: k, Domain: qdomain, Batch: batchN}, func(i int) {
+			req := httptest.NewRequest("POST", "/v1/hist/bench/query", bytes.NewReader(body))
+			w := httptest.NewRecorder()
+			srv.ServeHTTP(w, req)
+			if w.Code != 200 {
+				panic(fmt.Sprintf("http batch returned %d", w.Code))
+			}
+		}),
+	)
+	_ = sink
+	return rows, nil
 }

@@ -15,11 +15,16 @@ type Item struct {
 	Score float64
 }
 
-// TopK maintains the k items with the largest Score seen so far.
+// TopK maintains the k items with the largest Score seen so far, under
+// the strict total order "larger Score first, ties by ascending ID" — so
+// the retained set (not just its sorted presentation) is deterministic
+// even when equal scores straddle the admission boundary. Incremental
+// maintainers that repair a top-k partition in place rely on agreeing
+// with this selection exactly.
 // The zero value is not usable; construct with NewTopK.
 type TopK struct {
 	k    int
-	data []Item // min-heap on Score: data[0] is the smallest retained score
+	data []Item // min-heap: data[0] is the weakest retained item
 }
 
 // NewTopK returns a TopK retaining the k largest-scored items.
@@ -44,11 +49,20 @@ func (h *TopK) Push(it Item) {
 		h.siftUp(len(h.data) - 1)
 		return
 	}
-	if it.Score <= h.data[0].Score {
+	if !weakerItem(h.data[0], it) {
 		return
 	}
 	h.data[0] = it
 	h.siftDown(0)
+}
+
+// weakerItem reports whether a sorts strictly after b under the total
+// order (Score desc, ID asc) — i.e. a loses the retention tie-break.
+func weakerItem(a, b Item) bool {
+	if a.Score != b.Score {
+		return a.Score < b.Score
+	}
+	return a.ID > b.ID
 }
 
 // Min returns the smallest retained score and whether the heap is non-empty.
@@ -82,7 +96,7 @@ func (h *TopK) Sorted() []Item {
 func (h *TopK) siftUp(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
-		if h.data[parent].Score <= h.data[i].Score {
+		if !weakerItem(h.data[i], h.data[parent]) {
 			return
 		}
 		h.data[parent], h.data[i] = h.data[i], h.data[parent]
@@ -95,10 +109,10 @@ func (h *TopK) siftDown(i int) {
 	for {
 		l, r := 2*i+1, 2*i+2
 		small := i
-		if l < n && h.data[l].Score < h.data[small].Score {
+		if l < n && weakerItem(h.data[l], h.data[small]) {
 			small = l
 		}
-		if r < n && h.data[r].Score < h.data[small].Score {
+		if r < n && weakerItem(h.data[r], h.data[small]) {
 			small = r
 		}
 		if small == i {

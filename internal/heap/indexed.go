@@ -1,0 +1,161 @@
+package heap
+
+// Indexed is a binary heap over scored items that additionally tracks each
+// item's position by ID, so membership queries, score adjustments and
+// removals of arbitrary items run in O(log n) — the repair operations an
+// incrementally maintained top-k partition needs (the retained set as a
+// weakest-at-root heap, the shadow set as a strongest-at-root heap, with
+// boundary swaps when an update reorders them).
+//
+// The ordering is supplied as a less function; less(a, b) reports whether
+// a sorts toward the root. Callers must use a strict total order (break
+// score ties on ID) if they need deterministic selection.
+type Indexed struct {
+	less  func(a, b Item) bool
+	data  []Item
+	pos   map[int64]int
+	moves int64
+}
+
+// NewIndexed returns an empty indexed heap with the given root-ward order.
+func NewIndexed(less func(a, b Item) bool) *Indexed {
+	return &Indexed{less: less, pos: make(map[int64]int)}
+}
+
+// Len returns the number of items.
+func (h *Indexed) Len() int { return len(h.data) }
+
+// Has reports whether an item with the given ID is present.
+func (h *Indexed) Has(id int64) bool {
+	_, ok := h.pos[id]
+	return ok
+}
+
+// Score returns the item's current score.
+func (h *Indexed) Score(id int64) (float64, bool) {
+	i, ok := h.pos[id]
+	if !ok {
+		return 0, false
+	}
+	return h.data[i].Score, true
+}
+
+// Root returns the root item (the one that sorts first) without removing it.
+func (h *Indexed) Root() (Item, bool) {
+	if len(h.data) == 0 {
+		return Item{}, false
+	}
+	return h.data[0], true
+}
+
+// Push inserts an item. The ID must not already be present.
+func (h *Indexed) Push(it Item) {
+	if _, ok := h.pos[it.ID]; ok {
+		panic("heap: duplicate ID pushed into Indexed")
+	}
+	h.data = append(h.data, it)
+	h.pos[it.ID] = len(h.data) - 1
+	h.moves++
+	h.siftUp(len(h.data) - 1)
+}
+
+// PopRoot removes and returns the root item.
+func (h *Indexed) PopRoot() (Item, bool) {
+	if len(h.data) == 0 {
+		return Item{}, false
+	}
+	return h.removeAt(0), true
+}
+
+// Fix updates the score of an existing item and restores heap order.
+// It reports whether the ID was present.
+func (h *Indexed) Fix(id int64, score float64) bool {
+	i, ok := h.pos[id]
+	if !ok {
+		return false
+	}
+	h.data[i].Score = score
+	h.moves++
+	if !h.siftDown(i) {
+		h.siftUp(i)
+	}
+	return true
+}
+
+// Remove deletes the item with the given ID.
+func (h *Indexed) Remove(id int64) (Item, bool) {
+	i, ok := h.pos[id]
+	if !ok {
+		return Item{}, false
+	}
+	return h.removeAt(i), true
+}
+
+// Items returns a copy of the retained items in unspecified order.
+func (h *Indexed) Items() []Item {
+	out := make([]Item, len(h.data))
+	copy(out, h.data)
+	return out
+}
+
+// Moves returns the cumulative number of item moves performed by heap
+// repairs — the telemetry incremental-maintenance tests bound to prove
+// per-update work stays O(log u · log n) rather than O(n).
+func (h *Indexed) Moves() int64 { return h.moves }
+
+func (h *Indexed) removeAt(i int) Item {
+	it := h.data[i]
+	last := len(h.data) - 1
+	h.moves++
+	if i != last {
+		h.data[i] = h.data[last]
+		h.pos[h.data[i].ID] = i
+	}
+	h.data = h.data[:last]
+	delete(h.pos, it.ID)
+	if i < last {
+		if !h.siftDown(i) {
+			h.siftUp(i)
+		}
+	}
+	return it
+}
+
+func (h *Indexed) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(h.data[i], h.data[parent]) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+// siftDown restores order below i, reporting whether anything moved.
+func (h *Indexed) siftDown(i int) bool {
+	moved := false
+	n := len(h.data)
+	for {
+		c := 2*i + 1
+		if c >= n {
+			return moved
+		}
+		if r := c + 1; r < n && h.less(h.data[r], h.data[c]) {
+			c = r
+		}
+		if !h.less(h.data[c], h.data[i]) {
+			return moved
+		}
+		h.swap(i, c)
+		i = c
+		moved = true
+	}
+}
+
+func (h *Indexed) swap(i, j int) {
+	h.data[i], h.data[j] = h.data[j], h.data[i]
+	h.pos[h.data[i].ID] = i
+	h.pos[h.data[j].ID] = j
+	h.moves++
+}

@@ -1,0 +1,90 @@
+package heap
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func indexedLess(a, b Item) bool {
+	if a.Score != b.Score {
+		return a.Score < b.Score
+	}
+	return a.ID > b.ID
+}
+
+// TestIndexedAgainstReference drives an Indexed heap with a random
+// push/fix/remove/pop workload and checks the root and membership against
+// a plain sorted reference after every operation.
+func TestIndexedAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	h := NewIndexed(indexedLess)
+	ref := map[int64]float64{}
+	check := func(op string) {
+		t.Helper()
+		if h.Len() != len(ref) {
+			t.Fatalf("%s: Len() = %d, reference %d", op, h.Len(), len(ref))
+		}
+		if len(ref) == 0 {
+			if _, ok := h.Root(); ok {
+				t.Fatalf("%s: Root() on empty heap", op)
+			}
+			return
+		}
+		items := make([]Item, 0, len(ref))
+		for id, sc := range ref {
+			items = append(items, Item{ID: id, Score: sc})
+		}
+		sort.Slice(items, func(i, j int) bool { return indexedLess(items[i], items[j]) })
+		root, _ := h.Root()
+		if root != items[0] {
+			t.Fatalf("%s: Root() = %+v, reference %+v", op, root, items[0])
+		}
+	}
+	for step := 0; step < 20000; step++ {
+		id := rng.Int63n(64)
+		switch rng.Intn(4) {
+		case 0: // push or fix
+			sc := float64(rng.Intn(16))
+			if h.Has(id) {
+				h.Fix(id, sc)
+				ref[id] = sc
+			} else {
+				h.Push(Item{ID: id, Score: sc})
+				ref[id] = sc
+			}
+			check("push/fix")
+		case 1:
+			if it, ok := h.Remove(id); ok {
+				if ref[id] != it.Score {
+					t.Fatalf("Remove(%d) returned score %v, reference %v", id, it.Score, ref[id])
+				}
+				delete(ref, id)
+			}
+			check("remove")
+		case 2:
+			if it, ok := h.PopRoot(); ok {
+				delete(ref, it.ID)
+			}
+			check("pop")
+		default:
+			if sc, ok := h.Score(id); ok && sc != ref[id] {
+				t.Fatalf("Score(%d) = %v, reference %v", id, sc, ref[id])
+			}
+		}
+	}
+	if h.Moves() == 0 {
+		t.Error("Moves() telemetry never advanced")
+	}
+}
+
+func TestIndexedDuplicatePushPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on duplicate push")
+		}
+	}()
+	h := NewIndexed(indexedLess)
+	h.Push(Item{ID: 1, Score: 1})
+	h.Push(Item{ID: 1, Score: 2})
+}

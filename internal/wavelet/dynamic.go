@@ -2,6 +2,7 @@ package wavelet
 
 import (
 	"math"
+	"sort"
 
 	"wavelethist/internal/heap"
 )
@@ -12,13 +13,35 @@ import (
 // following the shadow-coefficient approach of Matias, Vitter, Wang [27]:
 // keep the retained top-k set plus a larger shadow set of runner-up
 // coefficients; apply each update's O(log u) path contributions to
-// whichever tracked coefficients it touches; periodically promote shadow
-// coefficients that have outgrown retained ones.
+// whichever tracked coefficients it touches; promote shadow coefficients
+// the moment they outgrow retained ones.
 //
 // The maintained histogram is exact on every tracked coefficient; error
 // creeps in only when an untracked coefficient grows past the shadow
 // threshold between rebuilds, which the shadow margin makes unlikely for
 // skewed workloads (the same argument as [27]).
+//
+// The retained/shadow partition is maintained *incrementally*: the
+// retained set lives in a weakest-at-root indexed heap, the shadow set in
+// a strongest-at-root one, and each update repairs only the ≤ log2(u)+1
+// coefficients on the touched path (O(log u · log(k+shadow)) heap moves).
+// Reads never re-select top-k over the whole tracked set: while retained
+// membership is unchanged, Representation snapshots copy the previous
+// coefficient array, patch just the values that moved, and share the
+// previous snapshot's error-tree index.
+
+// stronger is the total order the partition lives under: larger magnitude
+// first, ties broken by ascending coefficient index — the same order
+// SelectTopK and SortCoefsByMagnitude use, so the incremental partition
+// selects exactly the coefficients a full re-selection would.
+func stronger(a, b heap.Item) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	return a.ID < b.ID
+}
+
+func weaker(a, b heap.Item) bool { return stronger(b, a) }
 
 // Maintainer incrementally maintains a k-term representation.
 type Maintainer struct {
@@ -28,8 +51,30 @@ type Maintainer struct {
 	shadow int // tracked coefficients beyond k
 
 	coefs map[int64]float64 // tracked coefficient values (exact)
-	dirty bool
-	rep   *Representation // cached current top-k; rebuilt lazily
+
+	// The incrementally maintained partition. Invariant: ret holds the
+	// top-min(k, tracked) coefficients under the `stronger` order (its
+	// root is the weakest retained one), sha holds the rest (its root is
+	// the strongest shadow one), and every retained coefficient is
+	// stronger than every shadow one.
+	ret *heap.Indexed
+	sha *heap.Indexed
+
+	// Snapshot machinery. rep is the last representation handed out and
+	// is immutable from that moment on (registry snapshots may hold it
+	// forever). While retained membership is unchanged, the next read
+	// copies rep's coefficient array, patches only the slots listed in
+	// dirtyIdx (or all of them once the list would outgrow k), and
+	// shares rep's error-tree index — the index stores positions, not
+	// values. A membership change invalidates slots and forces a full
+	// rebuild on the next read.
+	rep         *Representation
+	slots       map[int64]int32 // coefficient index -> slot in rep.Coefs
+	dirtyIdx    []int64         // retained coefficients whose values moved
+	patchAll    bool
+	memberDirty bool
+
+	opsBase int64 // heap moves accumulated before a shadow-heap rebuild
 }
 
 // NewMaintainer starts maintenance from a full coefficient set (e.g. the
@@ -45,17 +90,28 @@ func NewMaintainer(u int64, initial []Coef, k, shadow int) *Maintainer {
 		shadow = 4 * k
 	}
 	m := &Maintainer{
-		u:      u,
-		logu:   Log2(u),
-		k:      k,
-		shadow: shadow,
-		coefs:  make(map[int64]float64),
-		dirty:  true,
+		u:           u,
+		logu:        Log2(u),
+		k:           k,
+		shadow:      shadow,
+		coefs:       make(map[int64]float64),
+		ret:         heap.NewIndexed(weaker),
+		sha:         heap.NewIndexed(stronger),
+		memberDirty: true,
 	}
-	// Track the top (k + shadow) initial coefficients.
-	top := SelectTopK(initial, k+shadow)
-	for _, c := range top {
+	// Track the top (k + shadow) initial coefficients; SelectTopK returns
+	// them strongest-first, so the first k seed the retained set.
+	for _, c := range SelectTopK(initial, k+shadow) {
+		if _, dup := m.coefs[c.Index]; dup || c.Value == 0 {
+			continue
+		}
 		m.coefs[c.Index] = c.Value
+		it := heap.Item{ID: c.Index, Score: math.Abs(c.Value)}
+		if m.ret.Len() < k {
+			m.ret.Push(it)
+		} else {
+			m.sha.Push(it)
+		}
 	}
 	return m
 }
@@ -69,13 +125,32 @@ func (m *Maintainer) Domain() int64 { return m.u }
 // Tracked returns the number of tracked (retained + shadow) coefficients.
 func (m *Maintainer) Tracked() int { return len(m.coefs) }
 
+// TrackedCoefs returns a copy of the tracked coefficient set (retained
+// and shadow, unspecified order) — the state a caller would persist or
+// re-seed a maintainer from.
+func (m *Maintainer) TrackedCoefs() []Coef {
+	out := make([]Coef, 0, len(m.coefs))
+	for idx, v := range m.coefs {
+		out = append(out, Coef{Index: idx, Value: v})
+	}
+	return out
+}
+
+// RepairOps returns the cumulative number of heap item moves performed by
+// incremental partition repairs. Regression tests bound its growth per
+// update to O(log u · log(k+shadow)) — independent of the tracked-set
+// size — to prove updates never re-heapify the whole tracked set.
+func (m *Maintainer) RepairOps() int64 {
+	return m.opsBase + m.ret.Moves() + m.sha.Moves()
+}
+
 // Update applies delta occurrences of key x (delta may be negative for
-// deletions). O(log u): the update touches exactly the log2(u)+1
-// coefficients on x's root-to-leaf path; tracked ones are adjusted
-// exactly, and any path coefficient that becomes large enough to matter
-// is newly tracked (it starts from the correct current value only if it
-// was tracked before — untracked path coefficients are adopted with just
-// this update's contribution, the [27] approximation).
+// deletions). O(log u) path coefficients touched, each repaired with
+// O(log(k+shadow)) heap moves: tracked ones are adjusted exactly, and any
+// path coefficient that becomes large enough to matter is newly tracked
+// (it starts from the correct current value only if it was tracked before
+// — untracked path coefficients are adopted with just this update's
+// contribution, the [27] approximation).
 func (m *Maintainer) Update(x int64, delta float64) {
 	if x < 0 || x >= m.u {
 		panic("wavelet: update key out of domain")
@@ -83,8 +158,7 @@ func (m *Maintainer) Update(x int64, delta float64) {
 	if delta == 0 {
 		return
 	}
-	m.dirty = true
-	m.apply(0, delta/math.Sqrt(float64(m.u)))
+	m.applyCoef(0, delta/math.Sqrt(float64(m.u)))
 	for j := uint(0); j < m.logu; j++ {
 		rangeLen := m.u >> j
 		k := x / rangeLen
@@ -92,43 +166,174 @@ func (m *Maintainer) Update(x int64, delta float64) {
 		if x-k*rangeLen < rangeLen/2 {
 			contrib = -contrib
 		}
-		m.apply(int64(1)<<j+k, contrib)
+		m.applyCoef(int64(1)<<j+k, contrib)
 	}
 	// Bound memory: when tracking grows well past k+shadow, drop the
-	// smallest-magnitude tail.
+	// weakest shadow tail.
 	if len(m.coefs) > 2*(m.k+m.shadow) {
 		m.compact()
 	}
 }
 
-func (m *Maintainer) apply(idx int64, contrib float64) {
-	nv := m.coefs[idx] + contrib
+// applyCoef adds contrib to one tracked-or-adopted coefficient and
+// repairs the retained/shadow partition around it.
+func (m *Maintainer) applyCoef(idx int64, contrib float64) {
+	old, tracked := m.coefs[idx]
+	nv := old + contrib
 	if nv == 0 {
+		if !tracked {
+			return
+		}
 		delete(m.coefs, idx)
-	} else {
-		m.coefs[idx] = nv
+		if _, ok := m.ret.Remove(idx); ok {
+			m.markMemberDirty()
+			// Refill the freed retained slot with the strongest shadow.
+			if it, ok := m.sha.PopRoot(); ok {
+				m.ret.Push(it)
+			}
+		} else {
+			m.sha.Remove(idx)
+		}
+		return
+	}
+	m.coefs[idx] = nv
+	it := heap.Item{ID: idx, Score: math.Abs(nv)}
+	switch {
+	case m.ret.Has(idx):
+		m.ret.Fix(idx, it.Score)
+		m.markValueDirty(idx)
+		// The changed coefficient may now be weaker than the strongest
+		// shadow; swap across the boundary until the invariant holds.
+		for {
+			rr, _ := m.ret.Root()
+			sr, ok := m.sha.Root()
+			if !ok || !stronger(sr, rr) {
+				break
+			}
+			m.sha.PopRoot()
+			m.ret.PopRoot()
+			m.ret.Push(sr)
+			m.sha.Push(rr)
+			m.markMemberDirty()
+		}
+	case m.sha.Has(idx):
+		// Decide promotion on the new score first; Remove works off the
+		// position map, so a promoted coefficient never pays a Fix sift
+		// it is about to undo.
+		if m.ret.Len() < m.k {
+			m.sha.Remove(idx)
+			m.ret.Push(it)
+			m.markMemberDirty()
+		} else if rr, _ := m.ret.Root(); stronger(it, rr) {
+			m.sha.Remove(idx)
+			m.ret.PopRoot()
+			m.ret.Push(it)
+			m.sha.Push(rr)
+			m.markMemberDirty()
+		} else {
+			m.sha.Fix(idx, it.Score)
+		}
+	default:
+		// Untracked path coefficient: adopt it (the [27] rule).
+		if m.ret.Len() < m.k {
+			m.ret.Push(it)
+			m.markMemberDirty()
+		} else if rr, _ := m.ret.Root(); stronger(it, rr) {
+			m.ret.PopRoot()
+			m.ret.Push(it)
+			m.sha.Push(rr)
+			m.markMemberDirty()
+		} else {
+			m.sha.Push(it)
+		}
 	}
 }
 
-// compact trims tracked coefficients back to k+shadow by magnitude.
+func (m *Maintainer) markMemberDirty() {
+	m.memberDirty = true
+	m.dirtyIdx = m.dirtyIdx[:0]
+	m.patchAll = false
+}
+
+func (m *Maintainer) markValueDirty(idx int64) {
+	if m.memberDirty || m.rep == nil || m.patchAll {
+		return
+	}
+	if len(m.dirtyIdx) >= m.k {
+		m.patchAll = true
+		m.dirtyIdx = m.dirtyIdx[:0]
+		return
+	}
+	m.dirtyIdx = append(m.dirtyIdx, idx)
+}
+
+// compact trims the shadow set back so tracked coefficients total
+// k+shadow, dropping the weakest. Amortized: it runs at most once per
+// ~(k+shadow)/log2(u) updates, since each update adopts at most
+// log2(u)+1 new coefficients.
 func (m *Maintainer) compact() {
-	h := heap.NewTopK(m.k + m.shadow)
-	for idx, v := range m.coefs {
-		h.Push(heap.Item{ID: idx, Score: math.Abs(v)})
+	keep := m.k + m.shadow - m.ret.Len()
+	if keep < 0 {
+		keep = 0
 	}
-	kept := make(map[int64]float64, m.k+m.shadow)
-	for _, it := range h.Items() {
-		kept[it.ID] = m.coefs[it.ID]
+	items := m.sha.Items()
+	if len(items) <= keep {
+		return
 	}
-	m.coefs = kept
+	sort.Slice(items, func(i, j int) bool { return stronger(items[i], items[j]) })
+	m.opsBase += m.sha.Moves()
+	m.sha = heap.NewIndexed(stronger)
+	for _, it := range items[:keep] {
+		m.sha.Push(it)
+	}
+	for _, it := range items[keep:] {
+		delete(m.coefs, it.ID)
+	}
 }
 
-// Representation returns the current k-term representation (top-k of the
-// tracked set). The result is cached until the next Update.
+// Representation returns the current k-term representation (the retained
+// set). The returned value is immutable and safe to publish; the result
+// is cached until the next Update. After value-only changes the snapshot
+// is a copy-and-patch of the previous one sharing its error-tree index;
+// only a retained-membership change rebuilds the array and index.
 func (m *Maintainer) Representation() *Representation {
-	if m.dirty || m.rep == nil {
-		m.rep = NewRepresentation(m.u, SelectTopKMap(m.coefs, m.k))
-		m.dirty = false
+	if m.rep == nil || m.memberDirty {
+		m.rebuildRep()
+	} else if m.patchAll || len(m.dirtyIdx) > 0 {
+		m.patchRep()
 	}
 	return m.rep
+}
+
+func (m *Maintainer) rebuildRep() {
+	items := m.ret.Items()
+	sort.Slice(items, func(i, j int) bool { return stronger(items[i], items[j]) })
+	cs := make([]Coef, len(items))
+	slots := make(map[int64]int32, len(items))
+	for i, it := range items {
+		cs[i] = Coef{Index: it.ID, Value: m.coefs[it.ID]}
+		slots[it.ID] = int32(i)
+	}
+	m.rep = &Representation{U: m.u, Coefs: cs, tree: newErrTree(m.u, cs)}
+	m.slots = slots
+	m.memberDirty = false
+	m.dirtyIdx = m.dirtyIdx[:0]
+	m.patchAll = false
+}
+
+func (m *Maintainer) patchRep() {
+	cs := make([]Coef, len(m.rep.Coefs))
+	copy(cs, m.rep.Coefs)
+	if m.patchAll {
+		for i := range cs {
+			cs[i].Value = m.coefs[cs[i].Index]
+		}
+	} else {
+		for _, idx := range m.dirtyIdx {
+			cs[m.slots[idx]].Value = m.coefs[idx]
+		}
+	}
+	m.rep = &Representation{U: m.u, Coefs: cs, tree: m.rep.tree}
+	m.dirtyIdx = m.dirtyIdx[:0]
+	m.patchAll = false
 }

@@ -153,3 +153,153 @@ func TestMaintainerZeroDeltaNoop(t *testing.T) {
 		t.Errorf("zero delta created %d tracked coefficients", m.Tracked())
 	}
 }
+
+// TestMaintainerMatchesFullReselection pins the incremental partition to
+// the legacy semantics: at any point in an arbitrary update stream, the
+// maintained representation must be exactly what a full top-k re-selection
+// over the tracked set would produce — same coefficients, same order,
+// bit-identical values.
+func TestMaintainerMatchesFullReselection(t *testing.T) {
+	const u = 1 << 12
+	const k = 24
+	r := zipf.NewRNG(21)
+	m := NewMaintainer(u, nil, k, 64)
+	for step := 0; step < 8000; step++ {
+		delta := float64(1 + r.Int63n(4))
+		if r.Bernoulli(0.4) {
+			delta = -delta
+		}
+		m.Update(r.Int63n(u), delta)
+		if step%613 != 0 {
+			continue
+		}
+		got := m.Representation()
+		tracked := make(map[int64]float64, m.Tracked())
+		for _, c := range m.TrackedCoefs() {
+			tracked[c.Index] = c.Value
+		}
+		want := NewRepresentation(u, SelectTopKMap(tracked, k))
+		if len(got.Coefs) != len(want.Coefs) {
+			t.Fatalf("step %d: incremental kept %d coefs, reselection %d", step, len(got.Coefs), len(want.Coefs))
+		}
+		for i := range want.Coefs {
+			g, w := got.Coefs[i], want.Coefs[i]
+			if g.Index != w.Index || math.Float64bits(g.Value) != math.Float64bits(w.Value) {
+				t.Fatalf("step %d slot %d: incremental (%d, %x), reselection (%d, %x)",
+					step, i, g.Index, math.Float64bits(g.Value), w.Index, math.Float64bits(w.Value))
+			}
+		}
+	}
+}
+
+// TestMaintainerSnapshotsImmutable: a handed-out representation must never
+// change, even as updates keep patching the maintainer's internal state —
+// registry snapshots may hold it forever.
+func TestMaintainerSnapshotsImmutable(t *testing.T) {
+	const u = 1 << 10
+	r := zipf.NewRNG(22)
+	m := NewMaintainer(u, nil, 16, 64)
+	for i := 0; i < 2000; i++ {
+		m.Update(r.Int63n(u), 1)
+	}
+	rep1 := m.Representation()
+	frozen := make([]Coef, len(rep1.Coefs))
+	copy(frozen, rep1.Coefs)
+	est1 := rep1.PointEstimate(123)
+	for i := 0; i < 2000; i++ {
+		m.Update(r.Int63n(u), 2)
+		if i%100 == 0 {
+			m.Representation()
+		}
+	}
+	for i, c := range rep1.Coefs {
+		if c != frozen[i] {
+			t.Fatalf("snapshot coefficient %d mutated: %+v -> %+v", i, frozen[i], c)
+		}
+	}
+	if got := rep1.PointEstimate(123); math.Float64bits(got) != math.Float64bits(est1) {
+		t.Fatalf("snapshot estimate drifted: %v -> %v", est1, got)
+	}
+	rep2 := m.Representation()
+	if rep2 == rep1 {
+		t.Fatal("maintainer returned a stale snapshot after updates")
+	}
+}
+
+// TestMaintainerPatchedSnapshotEquivalence: copy-and-patch snapshots share
+// the previous snapshot's error-tree index; their indexed estimates must
+// stay bit-identical to the linear scan through arbitrary interleavings.
+func TestMaintainerPatchedSnapshotEquivalence(t *testing.T) {
+	const u = 1 << 14
+	r := zipf.NewRNG(23)
+	m := NewMaintainer(u, nil, 32, 128)
+	for i := 0; i < 6000; i++ {
+		m.Update(r.Int63n(u), float64(1+r.Int63n(3)))
+		if i%37 != 0 {
+			continue
+		}
+		rep := m.Representation()
+		for j := 0; j < 10; j++ {
+			x := r.Int63n(u)
+			if g, w := rep.PointEstimate(x), rep.ScanPointEstimate(x); math.Float64bits(g) != math.Float64bits(w) {
+				t.Fatalf("patched snapshot PointEstimate(%d) = %v, scan %v", x, g, w)
+			}
+			lo, hi := r.Int63n(u), r.Int63n(u)
+			if g, w := rep.RangeSum(lo, hi), rep.ScanRangeSum(lo, hi); math.Float64bits(g) != math.Float64bits(w) {
+				t.Fatalf("patched snapshot RangeSum(%d, %d) = %v, scan %v", lo, hi, g, w)
+			}
+		}
+	}
+}
+
+// TestMaintainerNoRebuildStorm is the rebuild-storm regression test: a
+// workload alternating one Update with one Representation() read must not
+// re-heapify (or re-allocate proportionally to) the whole tracked set per
+// read. Guarded two ways: per-pair allocations stay a small constant, and
+// the maintainer's own repair-op telemetry stays O(log u · log tracked)
+// per update — both independent of how many coefficients are tracked.
+func TestMaintainerNoRebuildStorm(t *testing.T) {
+	const u = 1 << 16
+	const k = 128
+	const shadow = 2048
+	r := zipf.NewRNG(24)
+	m := NewMaintainer(u, nil, k, shadow)
+	// Populate a large tracked set, then hammer one hot key so its path
+	// coefficients are firmly retained and reads take the patch path.
+	for i := 0; i < 4*(k+shadow); i++ {
+		m.Update(r.Int63n(u), 1)
+	}
+	const hot = 31337
+	for i := 0; i < 200; i++ {
+		m.Update(hot, 5)
+		m.Representation()
+	}
+	if got := m.Tracked(); got < k+shadow/2 {
+		t.Fatalf("tracked set too small (%d) for the regression to be meaningful", got)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		m.Update(hot, 5)
+		m.Representation()
+	})
+	// The patch path costs one coefficient-array copy and one snapshot
+	// struct; the old path allocated a fresh map + heap + two sorted
+	// slices over all tracked coefficients on every read.
+	if allocs > 8 {
+		t.Errorf("update+read pair allocates %.1f objects; the tracked set is being rebuilt per read", allocs)
+	}
+	opsBefore := m.RepairOps()
+	const pairs = 500
+	for i := 0; i < pairs; i++ {
+		m.Update(hot, 5)
+		m.Representation()
+	}
+	perUpdate := float64(m.RepairOps()-opsBefore) / pairs
+	logu := float64(Log2(u)) + 1
+	// ~log2(k+shadow) heap moves per touched path coefficient, with slack;
+	// a tracked-set re-heapify would cost >= k+shadow = 2176 moves.
+	bound := logu * 24
+	if perUpdate > bound {
+		t.Errorf("%.1f repair ops per update (bound %.0f, tracked %d): partition repair is not incremental",
+			perUpdate, bound, m.Tracked())
+	}
+}

@@ -1,0 +1,231 @@
+package wavelet
+
+import (
+	"math"
+	"testing"
+
+	"wavelethist/internal/zipf"
+)
+
+// randomRep builds a randomized representation: indices drawn from [0, u)
+// (with deliberate duplicates), values signed, and a sprinkling of exact
+// zeros — the shapes the equivalence properties must hold for.
+func randomRep(r *zipf.RNG, u int64, k int) *Representation {
+	coefs := make([]Coef, 0, k)
+	for i := 0; i < k; i++ {
+		idx := r.Int63n(u)
+		if i > 0 && r.Bernoulli(0.15) {
+			idx = coefs[r.Int63n(int64(len(coefs)))].Index // duplicate
+		}
+		v := (r.Float64() - 0.5) * 1000
+		if r.Bernoulli(0.05) {
+			v = 0
+		}
+		coefs = append(coefs, Coef{Index: idx, Value: v})
+	}
+	return NewRepresentation(u, coefs)
+}
+
+// bitEq demands bit-level equality, the property the error-tree index
+// guarantees against the linear scan.
+func bitEq(a, b float64) bool { return math.Float64bits(a) == math.Float64bits(b) }
+
+func TestErrTreePointEquivalence(t *testing.T) {
+	r := zipf.NewRNG(7)
+	for _, u := range []int64{1, 2, 4, 64, 1 << 12, 1 << 20} {
+		for _, k := range []int{0, 1, 7, 64, 300} {
+			rep := randomRep(r, u, k)
+			xs := []int64{-1, 0, 1, u - 1, u, u + 17, math.MinInt64, math.MaxInt64}
+			for i := 0; i < 200; i++ {
+				xs = append(xs, r.Int63n(u))
+			}
+			for _, x := range xs {
+				got, want := rep.PointEstimate(x), rep.ScanPointEstimate(x)
+				if !bitEq(got, want) {
+					t.Fatalf("u=%d k=%d PointEstimate(%d) = %x, scan %x", u, k, x,
+						math.Float64bits(got), math.Float64bits(want))
+				}
+			}
+		}
+	}
+}
+
+func TestErrTreeRangeEquivalence(t *testing.T) {
+	r := zipf.NewRNG(8)
+	for _, u := range []int64{1, 2, 64, 1 << 12, 1 << 20} {
+		rep := randomRep(r, u, 256)
+		type bounds struct{ lo, hi int64 }
+		cases := []bounds{
+			{0, u - 1}, // full domain
+			{0, 0}, {u - 1, u - 1},
+			{5, 2},         // empty (lo > hi)
+			{-100, u + 50}, // clamps both sides
+			{-10, -5},      // entirely below the domain
+			{u, u + 100},   // entirely above the domain
+			{math.MinInt64, math.MaxInt64},
+		}
+		for i := 0; i < 300; i++ {
+			lo := r.Int63n(3*u) - u
+			hi := r.Int63n(3*u) - u
+			cases = append(cases, bounds{lo, hi})
+		}
+		for _, c := range cases {
+			got, want := rep.RangeSum(c.lo, c.hi), rep.ScanRangeSum(c.lo, c.hi)
+			if !bitEq(got, want) {
+				t.Fatalf("u=%d RangeSum(%d, %d) = %x, scan %x", u, c.lo, c.hi,
+					math.Float64bits(got), math.Float64bits(want))
+			}
+		}
+		// The clamp contract itself: empty intersections are exactly 0.
+		for _, c := range []bounds{{5, 2}, {-10, -5}, {u, u + 100}} {
+			if got := rep.RangeSum(c.lo, c.hi); got != 0 {
+				t.Fatalf("u=%d RangeSum(%d, %d) = %v, want 0 for empty range", u, c.lo, c.hi, got)
+			}
+		}
+	}
+}
+
+func TestErrTree2DPointEquivalence(t *testing.T) {
+	r := zipf.NewRNG(9)
+	for _, u := range []int64{1, 2, 16, 256, 1 << 10} {
+		for _, k := range []int{0, 1, 40, 300} {
+			coefs := make([]Coef, 0, k)
+			for i := 0; i < k; i++ {
+				idx := r.Int63n(u * u)
+				if i > 0 && r.Bernoulli(0.15) {
+					idx = coefs[r.Int63n(int64(len(coefs)))].Index
+				}
+				v := (r.Float64() - 0.5) * 1000
+				if r.Bernoulli(0.05) {
+					v = 0
+				}
+				coefs = append(coefs, Coef{Index: idx, Value: v})
+			}
+			rep := NewRepresentation2D(u, coefs)
+			type cell struct{ x, y int64 }
+			cells := []cell{{-1, 0}, {0, -1}, {u, 0}, {0, u}, {0, 0}, {u - 1, u - 1}}
+			for i := 0; i < 150; i++ {
+				cells = append(cells, cell{r.Int63n(u), r.Int63n(u)})
+			}
+			for _, c := range cells {
+				got, want := rep.PointEstimate(c.x, c.y), rep.ScanPointEstimate(c.x, c.y)
+				if !bitEq(got, want) {
+					t.Fatalf("u=%d k=%d PointEstimate(%d, %d) = %x, scan %x", u, k, c.x, c.y,
+						math.Float64bits(got), math.Float64bits(want))
+				}
+			}
+		}
+	}
+}
+
+// TestErrTreeQueriesAllocationFree pins the steady-state serving property:
+// indexed point and range queries do not allocate.
+func TestErrTreeQueriesAllocationFree(t *testing.T) {
+	r := zipf.NewRNG(10)
+	const u = 1 << 20
+	rep := randomRep(r, u, 2048)
+	var sink float64
+	if a := testing.AllocsPerRun(200, func() { sink += rep.PointEstimate(12345) }); a != 0 {
+		t.Errorf("PointEstimate allocates %v per op", a)
+	}
+	if a := testing.AllocsPerRun(200, func() { sink += rep.RangeSum(1000, 900000) }); a != 0 {
+		t.Errorf("RangeSum allocates %v per op", a)
+	}
+	coefs2 := make([]Coef, 512)
+	for i := range coefs2 {
+		coefs2[i] = Coef{Index: r.Int63n(256 * 256), Value: r.Float64()}
+	}
+	rep2 := NewRepresentation2D(256, coefs2)
+	if a := testing.AllocsPerRun(200, func() { sink += rep2.PointEstimate(17, 200) }); a != 0 {
+		t.Errorf("2D PointEstimate allocates %v per op", a)
+	}
+	_ = sink
+}
+
+// FuzzRangeSumBounds fuzzes RangeSum's bound clamping: arbitrary (lo, hi)
+// — including wildly out-of-domain and inverted bounds — must agree
+// bit-for-bit with the linear scan, equal the explicitly clamped query,
+// and estimate exactly 0 on empty intersections.
+func FuzzRangeSumBounds(f *testing.F) {
+	const u = 1 << 16
+	r := zipf.NewRNG(11)
+	rep := randomRep(r, u, 512)
+	f.Add(int64(0), int64(u-1))
+	f.Add(int64(5), int64(2))
+	f.Add(int64(-1000), int64(u+1000))
+	f.Add(int64(math.MinInt64), int64(math.MaxInt64))
+	f.Add(int64(u), int64(u))
+	f.Fuzz(func(t *testing.T, lo, hi int64) {
+		got := rep.RangeSum(lo, hi)
+		if want := rep.ScanRangeSum(lo, hi); !bitEq(got, want) {
+			t.Fatalf("RangeSum(%d, %d) = %x, scan %x", lo, hi,
+				math.Float64bits(got), math.Float64bits(want))
+		}
+		clo, chi := lo, hi
+		if clo < 0 {
+			clo = 0
+		}
+		if chi >= u {
+			chi = u - 1
+		}
+		if clo > chi {
+			if got != 0 {
+				t.Fatalf("empty range [%d, %d] estimated %v, want 0", lo, hi, got)
+			}
+			return
+		}
+		if want := rep.RangeSum(clo, chi); !bitEq(got, want) {
+			t.Fatalf("RangeSum(%d, %d) != clamped RangeSum(%d, %d)", lo, hi, clo, chi)
+		}
+	})
+}
+
+func benchRep(b *testing.B, u int64, k int) *Representation {
+	b.Helper()
+	r := zipf.NewRNG(12)
+	coefs := make([]Coef, k)
+	seen := map[int64]bool{}
+	for i := range coefs {
+		idx := r.Int63n(u)
+		for seen[idx] {
+			idx = r.Int63n(u)
+		}
+		seen[idx] = true
+		coefs[i] = Coef{Index: idx, Value: (r.Float64() - 0.5) * 1000}
+	}
+	return NewRepresentation(u, coefs)
+}
+
+func BenchmarkQueryPoint(b *testing.B) {
+	rep := benchRep(b, 1<<20, 2048)
+	b.Run("scan", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = rep.ScanPointEstimate(int64(i) & (1<<20 - 1))
+		}
+	})
+	b.Run("errtree", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = rep.PointEstimate(int64(i) & (1<<20 - 1))
+		}
+	})
+}
+
+func BenchmarkQueryRange(b *testing.B) {
+	rep := benchRep(b, 1<<20, 2048)
+	b.Run("scan", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			lo := int64(i) & (1<<19 - 1)
+			_ = rep.ScanRangeSum(lo, lo+1<<18)
+		}
+	})
+	b.Run("errtree", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			lo := int64(i) & (1<<19 - 1)
+			_ = rep.RangeSum(lo, lo+1<<18)
+		}
+	})
+}

@@ -64,13 +64,22 @@ func SortCoefsByMagnitude(coefs []Coef) {
 }
 
 // Representation is a k-term wavelet representation: a small set of
-// retained coefficients over domain [0, u).
+// retained coefficients over domain [0, u), plus an immutable error-tree
+// index (built once, shared by snapshot copies) that answers point and
+// range queries in O(log u) coefficient touches instead of O(k).
 type Representation struct {
 	U     int64
 	Coefs []Coef
+
+	// tree is the error-tree index over Coefs. It stores positions, not
+	// values, so snapshots that patch values in place (the incremental
+	// Maintainer) share one tree. Nil only for hand-rolled struct
+	// literals, which fall back to the linear scan.
+	tree *errTree
 }
 
-// NewRepresentation validates and wraps a coefficient set.
+// NewRepresentation validates and wraps a coefficient set, building its
+// error-tree query index.
 func NewRepresentation(u int64, coefs []Coef) *Representation {
 	if !IsPowerOfTwo(u) {
 		panic("wavelet: representation domain must be a power of two")
@@ -78,7 +87,7 @@ func NewRepresentation(u int64, coefs []Coef) *Representation {
 	cs := make([]Coef, len(coefs))
 	copy(cs, coefs)
 	SortCoefsByMagnitude(cs)
-	return &Representation{U: u, Coefs: cs}
+	return &Representation{U: u, Coefs: cs, tree: newErrTree(u, cs)}
 }
 
 // K returns the number of retained coefficients.
@@ -117,8 +126,19 @@ func addBasis(v []float64, c Coef, u int64) {
 	}
 }
 
-// PointEstimate returns v̂(x) in O(k) time.
+// PointEstimate returns v̂(x), touching only the ≤ log2(u)+1 error-tree
+// ancestors of x — O(log u) coefficient visits via the index, bit-identical
+// to ScanPointEstimate. Keys outside [0, u) estimate 0.
 func (r *Representation) PointEstimate(x int64) float64 {
+	if r.tree == nil {
+		return r.ScanPointEstimate(x)
+	}
+	return r.tree.pointEstimate(r.Coefs, x)
+}
+
+// ScanPointEstimate is the O(k) linear-scan reference evaluation of v̂(x),
+// retained for equivalence tests and benchmarks against the indexed path.
+func (r *Representation) ScanPointEstimate(x int64) float64 {
 	var s float64
 	for _, c := range r.Coefs {
 		s += c.Value * BasisAt(c.Index, x, r.U)
@@ -126,18 +146,32 @@ func (r *Representation) PointEstimate(x int64) float64 {
 	return s
 }
 
-// RangeSum estimates Σ_{x=lo..hi} v(x) (inclusive bounds) in O(k) time.
-// This is the selectivity-estimation query wavelet histograms exist for
-// (Matias et al. [26]).
+// RangeSum estimates Σ_{x=lo..hi} v(x) (inclusive bounds), touching only
+// the error-tree ancestors of the two boundaries — interior ψ terms cancel
+// exactly — so O(log u) coefficient visits, bit-identical to ScanRangeSum.
+//
+// Bound contract (shared by the serving layer): lo and hi are clamped to
+// [0, u-1]; a range whose intersection with the domain is empty (lo > hi,
+// or the whole range off-domain) estimates 0. Never an error.
 func (r *Representation) RangeSum(lo, hi int64) float64 {
-	if lo > hi {
-		return 0
+	if r.tree == nil {
+		return r.ScanRangeSum(lo, hi)
 	}
+	return r.tree.rangeSum(r.Coefs, lo, hi)
+}
+
+// ScanRangeSum is the O(k) linear-scan reference evaluation of RangeSum
+// (Matias et al. [26]'s selectivity estimate), with the same bound
+// clamping.
+func (r *Representation) ScanRangeSum(lo, hi int64) float64 {
 	if lo < 0 {
 		lo = 0
 	}
 	if hi >= r.U {
 		hi = r.U - 1
+	}
+	if lo > hi {
+		return 0
 	}
 	var s float64
 	for _, c := range r.Coefs {

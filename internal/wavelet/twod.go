@@ -159,13 +159,18 @@ func Basis2DAt(packed, x, y, u int64) float64 {
 }
 
 // Representation2D is a k-term 2D wavelet representation with packed
-// coefficient indices.
+// coefficient indices and an error-tree index for O(log²u) point queries.
 type Representation2D struct {
 	U     int64
 	Coefs []Coef
+
+	// tree indexes Coefs by packed error-tree position (see errTree2D);
+	// nil only for hand-rolled literals, which fall back to the scan.
+	tree *errTree2D
 }
 
-// NewRepresentation2D wraps and magnitude-sorts a 2D coefficient set.
+// NewRepresentation2D wraps and magnitude-sorts a 2D coefficient set,
+// building its error-tree query index.
 func NewRepresentation2D(u int64, coefs []Coef) *Representation2D {
 	if !IsPowerOfTwo(u) {
 		panic("wavelet: representation domain must be a power of two")
@@ -173,11 +178,22 @@ func NewRepresentation2D(u int64, coefs []Coef) *Representation2D {
 	cs := make([]Coef, len(coefs))
 	copy(cs, coefs)
 	SortCoefsByMagnitude(cs)
-	return &Representation2D{U: u, Coefs: cs}
+	return &Representation2D{U: u, Coefs: cs, tree: newErrTree2D(u, cs)}
 }
 
-// PointEstimate returns v̂(x, y) in O(k).
+// PointEstimate returns v̂(x, y), evaluating only the (log2(u)+1)²
+// ancestor pairs of the cell via the index — O(log²u) instead of O(k),
+// bit-identical to ScanPointEstimate. Off-grid cells estimate 0.
 func (r *Representation2D) PointEstimate(x, y int64) float64 {
+	if r.tree == nil {
+		return r.ScanPointEstimate(x, y)
+	}
+	return r.tree.pointEstimate(r.Coefs, x, y)
+}
+
+// ScanPointEstimate is the O(k) linear-scan reference evaluation of
+// v̂(x, y), retained for equivalence tests and benchmarks.
+func (r *Representation2D) ScanPointEstimate(x, y int64) float64 {
 	var s float64
 	for _, c := range r.Coefs {
 		s += c.Value * Basis2DAt(c.Index, x, y, r.U)

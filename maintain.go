@@ -74,12 +74,18 @@ func MaintainHistogram(h *Histogram, k, shadow int) (*MaintainedHistogram, error
 }
 
 // Update applies delta occurrences of key x (negative = deletions).
-// O(log u).
+// O(log u) path coefficients touched, each repaired in the maintained
+// retained/shadow partition with O(log(k+shadow)) heap moves — the
+// tracked set is never re-heapified.
 func (h *MaintainedHistogram) Update(x int64, delta float64) {
 	h.m.Update(x, delta)
 }
 
-// Histogram returns the current k-term histogram.
+// Histogram returns the current k-term histogram. The result is an
+// immutable snapshot, safe to publish to a serving registry; while
+// retained membership is unchanged between calls, successive snapshots
+// share one error-tree query index and differ only in patched values, so
+// interleaved update/query traffic never pays a top-k re-selection.
 func (h *MaintainedHistogram) Histogram() *Histogram {
 	return &Histogram{rep: h.m.Representation()}
 }

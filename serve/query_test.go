@@ -1,0 +1,265 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+// TestEntryBatchAllocationFree pins the batch serving path's steady-state
+// guarantee: with reused query/result slices — what the pooled HTTP
+// handler and any embedding caller do — answering a batch performs zero
+// allocations per sub-query.
+func TestEntryBatchAllocationFree(t *testing.T) {
+	r := NewRegistry()
+	h := buildHist(t, 200000, 1<<14, 256, 3)
+	e, err := r.Publish("zipf", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := make([]BatchQuery, 256)
+	for i := range queries {
+		if i%2 == 0 {
+			queries[i] = BatchQuery{Op: "point", Key: int64(i * 13 % (1 << 14))}
+		} else {
+			queries[i] = BatchQuery{Op: "range", Lo: int64(i), Hi: int64(i + 500)}
+		}
+	}
+	results := make([]BatchResult, len(queries))
+	if a := testing.AllocsPerRun(100, func() { e.Batch(queries, results) }); a != 0 {
+		t.Errorf("Batch of %d queries allocates %.1f objects per call; want 0", len(queries), a)
+	}
+	if n := e.Stats.BatchQueries.View().Count; n == 0 {
+		t.Error("batch sub-query stat not recorded")
+	}
+}
+
+// TestRangeClampContract covers the unified bound semantics at every
+// layer: library RangeCount, Entry.Range, and the HTTP range + batch
+// endpoints all clamp bounds to the domain and estimate 0 for an empty
+// intersection — no layer rejects lo > hi anymore.
+func TestRangeClampContract(t *testing.T) {
+	h := buildHist(t, 100000, 1<<12, 64, 4)
+	dom := h.Domain()
+
+	full := h.RangeCount(0, dom-1)
+	if got := h.RangeCount(-500, dom+500); got != full {
+		t.Errorf("library clamp: RangeCount(-500, dom+500) = %v, want full-domain %v", got, full)
+	}
+	if got := h.RangeCount(10, 3); got != 0 {
+		t.Errorf("library clamp: RangeCount(10, 3) = %v, want 0", got)
+	}
+	if got := h.RangeCount(dom+5, dom+9); got != 0 {
+		t.Errorf("library clamp: off-domain range = %v, want 0", got)
+	}
+
+	r := NewRegistry()
+	e, err := r.Publish("zipf", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := e.Range(10, 3); err != nil || got != 0 {
+		t.Errorf("Entry.Range(10, 3) = (%v, %v), want (0, nil)", got, err)
+	}
+	if got, err := e.Range(-500, dom+500); err != nil || got != full {
+		t.Errorf("Entry.Range clamp = (%v, %v), want (%v, nil)", got, err, full)
+	}
+
+	srv, err := NewServer(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if _, err := srv.Registry().Publish("zipf", h); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	get := func(url string) map[string]any {
+		t.Helper()
+		resp, err := http.Get(ts.URL + url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s = %d", url, resp.StatusCode)
+		}
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	if got := get("/v1/hist/zipf/range?lo=10&hi=3")["estimate"].(float64); got != 0 {
+		t.Errorf("HTTP empty range estimate = %v, want 0", got)
+	}
+	if got := get(fmt.Sprintf("/v1/hist/zipf/range?lo=-500&hi=%d", dom+500))["estimate"].(float64); got != full {
+		t.Errorf("HTTP clamped range estimate = %v, want %v", got, full)
+	}
+}
+
+// TestConcurrentQueriesUnderUpdateLoad is the query-plane race smoke CI
+// promotes to a dedicated step: many goroutines hammer point/range/batch
+// queries (exercising the shared error-tree index of each published
+// snapshot) while an updater streams key updates through the incremental
+// maintainer, forcing frequent republishes of patched snapshots.
+func TestConcurrentQueriesUnderUpdateLoad(t *testing.T) {
+	srv, err := NewServer(Config{RepublishEvery: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	h := buildHist(t, 100000, 1<<12, 128, 5)
+	if _, err := srv.Registry().Publish("hot", h); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	const queriers = 4
+	const updates = 40
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < queriers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			queries := make([]BatchQuery, 32)
+			for i := range queries {
+				queries[i] = BatchQuery{Op: "point", Key: int64((g*37 + i) % (1 << 12))}
+				if i%3 == 0 {
+					queries[i] = BatchQuery{Op: "range", Lo: int64(i), Hi: int64(i + 999)}
+				}
+			}
+			body, _ := json.Marshal(map[string]any{"queries": queries})
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var resp *http.Response
+				var err error
+				switch i % 3 {
+				case 0:
+					resp, err = http.Get(ts.URL + fmt.Sprintf("/v1/hist/hot/point?key=%d", (g+i)%(1<<12)))
+				case 1:
+					resp, err = http.Get(ts.URL + fmt.Sprintf("/v1/hist/hot/range?lo=%d&hi=%d", i%100, i%100+500))
+				default:
+					resp, err = http.Post(ts.URL+"/v1/hist/hot/query", "application/json", bytes.NewReader(body))
+				}
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("query returned %d", resp.StatusCode)
+					resp.Body.Close()
+					return
+				}
+				resp.Body.Close()
+			}
+		}(g)
+	}
+	for i := 0; i < updates; i++ {
+		ups := make([]KeyUpdate, 8)
+		for j := range ups {
+			ups[j] = KeyUpdate{Key: int64((i*8 + j) % (1 << 12)), Delta: 2}
+		}
+		body, _ := json.Marshal(map[string]any{"updates": ups})
+		resp, err := http.Post(ts.URL+"/v1/hist/hot/updates", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("updates returned %d", resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// BenchmarkHTTPBatch measures the end-to-end HTTP batch path — JSON
+// decode through pooled buffers, the shared-index query loop, JSON encode
+// — per 256-query batch.
+func BenchmarkHTTPBatch(b *testing.B) {
+	srv, err := NewServer(Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	h := buildHist(b, 500000, 1<<16, 1024, 6)
+	if _, err := srv.Registry().Publish("bench", h); err != nil {
+		b.Fatal(err)
+	}
+	queries := make([]BatchQuery, 256)
+	for i := range queries {
+		if i%2 == 0 {
+			queries[i] = BatchQuery{Op: "point", Key: int64(i * 251 % (1 << 16))}
+		} else {
+			queries[i] = BatchQuery{Op: "range", Lo: int64(i * 100), Hi: int64(i*100 + 4096)}
+		}
+	}
+	body, _ := json.Marshal(map[string]any{"queries": queries})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest("POST", "/v1/hist/bench/query", bytes.NewReader(body))
+		w := httptest.NewRecorder()
+		srv.ServeHTTP(w, req)
+		if w.Code != http.StatusOK {
+			b.Fatalf("status %d", w.Code)
+		}
+	}
+}
+
+// TestBatchPoolDoesNotLeakAcrossRequests pins the pooled-buffer hygiene
+// of the batch handler: a request that omits fields (omitempty zero
+// values) must not inherit values a previous request left in the
+// recycled decode buffers.
+func TestBatchPoolDoesNotLeakAcrossRequests(t *testing.T) {
+	srv, err := NewServer(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	h := buildHist(t, 100000, 1<<12, 64, 7)
+	if _, err := srv.Registry().Publish("zipf", h); err != nil {
+		t.Fatal(err)
+	}
+	post := func(body string) []any {
+		t.Helper()
+		req := httptest.NewRequest("POST", "/v1/hist/zipf/query", bytes.NewReader([]byte(body)))
+		w := httptest.NewRecorder()
+		srv.ServeHTTP(w, req)
+		if w.Code != http.StatusOK {
+			t.Fatalf("batch returned %d: %s", w.Code, w.Body)
+		}
+		var out map[string]any
+		if err := json.Unmarshal(w.Body.Bytes(), &out); err != nil {
+			t.Fatal(err)
+		}
+		return out["results"].([]any)
+	}
+	// Request A populates the pooled buffers with a wide range and a key.
+	post(`{"queries":[{"op":"range","lo":1,"hi":4000},{"op":"point","key":99}]}`)
+	// Request B omits hi (and key): the range is [5, 0] — empty, so the
+	// clamp contract demands exactly 0; the point must be key 0, not 99.
+	for i := 0; i < 10; i++ { // several rounds so a pooled object is reused
+		results := post(`{"queries":[{"op":"range","lo":5},{"op":"point"}]}`)
+		if got := results[0].(map[string]any)["estimate"].(float64); got != 0 {
+			t.Fatalf("omitted hi inherited a stale value: estimate %v, want 0", got)
+		}
+		want := h.PointEstimate(0)
+		if got := results[1].(map[string]any)["estimate"].(float64); got != want {
+			t.Fatalf("omitted key inherited a stale value: estimate %v, want %v", got, want)
+		}
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"wavelethist"
 )
@@ -75,10 +76,69 @@ func (e *Entry) Point2D(x, y int64) (float64, error) {
 }
 
 // Range returns the estimated number of records with keys in [lo, hi]
-// (inclusive), recording stats.
+// (inclusive), recording stats. Bounds follow the library-wide clamp
+// contract (see Histogram.RangeCount): lo and hi are clamped to the
+// domain, and a range with an empty domain intersection — including
+// lo > hi — estimates 0 rather than erroring.
 func (e *Entry) Range(lo, hi int64) (float64, error) {
 	defer e.Stats.Range.Start()()
 	return e.batchRange(lo, hi)
+}
+
+// BatchQuery is one query in a batch request (POST /v1/hist/{name}/query).
+type BatchQuery struct {
+	Op  string `json:"op"` // "point" | "range"
+	Key int64  `json:"key,omitempty"`
+	X   int64  `json:"x,omitempty"`
+	Y   int64  `json:"y,omitempty"`
+	Lo  int64  `json:"lo,omitempty"`
+	Hi  int64  `json:"hi,omitempty"`
+}
+
+// BatchResult is one per-query outcome.
+type BatchResult struct {
+	Estimate float64 `json:"estimate"`
+	Error    string  `json:"error,omitempty"`
+}
+
+// Batch answers queries[i] into results[i] (the slices must have equal
+// length), recording one Batch stat for the whole call. Every sub-query
+// resolves against this entry's immutable histogram snapshot, off its
+// shared error-tree index; on the steady state (well-formed queries) the
+// loop performs no allocations, so callers that reuse their slices — the
+// HTTP batch handler's pooled buffers, benchmark loops — serve batches
+// allocation-free.
+func (e *Entry) Batch(queries []BatchQuery, results []BatchResult) {
+	if len(results) != len(queries) {
+		panic("serve: Batch slice length mismatch")
+	}
+	t0 := time.Now()
+	for i := range queries {
+		q := &queries[i]
+		var (
+			est float64
+			err error
+		)
+		switch q.Op {
+		case "point":
+			if e.Is2D() {
+				est, err = e.batchPoint2D(q.X, q.Y)
+			} else {
+				est, err = e.batchPoint(q.Key)
+			}
+		case "range":
+			est, err = e.batchRange(q.Lo, q.Hi)
+		default:
+			err = fmt.Errorf("unknown op %q (want point or range)", q.Op)
+		}
+		if err != nil {
+			results[i] = BatchResult{Error: err.Error()}
+		} else {
+			results[i] = BatchResult{Estimate: est}
+		}
+	}
+	e.Stats.Batch.Add(1, time.Since(t0))
+	e.Stats.BatchQueries.Add(int64(len(queries)), 0)
 }
 
 // batchPoint / batchPoint2D / batchRange are the stats-free estimate
@@ -110,9 +170,9 @@ func (e *Entry) batchRange(lo, hi int64) (float64, error) {
 	if e.Is2D() {
 		return 0, fmt.Errorf("serve: %q is 2D; range queries are 1D-only", e.Name)
 	}
-	if lo > hi {
-		return 0, fmt.Errorf("serve: empty range [%d, %d]", lo, hi)
-	}
+	// One contract at every layer (Representation.RangeSum, Histogram.
+	// RangeCount, this handler): bounds are clamped to the domain and an
+	// empty intersection estimates 0 — never an error.
 	return e.H.RangeCount(lo, hi), nil
 }
 

@@ -129,11 +129,12 @@ func TestWavehistdEndToEnd(t *testing.T) {
 		t.Fatalf("range estimate implausibly small: %v", est)
 	}
 
-	// Batch endpoint: mixed ops, per-query errors isolated.
+	// Batch endpoint: mixed ops, per-query errors isolated. Empty ranges
+	// follow the clamp contract (estimate 0, not an error).
 	queries := []BatchQuery{
 		{Op: "point", Key: 5},
 		{Op: "range", Lo: 0, Hi: 8191},
-		{Op: "range", Lo: 10, Hi: 3}, // per-query error
+		{Op: "range", Lo: 10, Hi: 3}, // empty range: clamps to estimate 0
 		{Op: "point", Key: 1 << 20},  // out of domain
 		{Op: "sketch"},               // unknown op
 	}
@@ -148,7 +149,10 @@ func TestWavehistdEndToEnd(t *testing.T) {
 	if results[1].(map[string]any)["estimate"].(float64) != est {
 		t.Fatal("batch range disagrees with single range")
 	}
-	for i := 2; i < 5; i++ {
+	if r2 := results[2].(map[string]any); r2["error"] != nil || r2["estimate"].(float64) != 0 {
+		t.Fatalf("empty range should clamp to estimate 0, got %v", r2)
+	}
+	for i := 3; i < 5; i++ {
 		if results[i].(map[string]any)["error"] == nil {
 			t.Fatalf("batch query %d should have errored", i)
 		}

@@ -49,10 +49,11 @@ type OpStatsView struct {
 // carried across republishes of a name, so counts reflect the histogram's
 // whole serving lifetime, not just the latest version.
 type Stats struct {
-	Point  OpStats
-	Range  OpStats
-	Batch  OpStats // batch requests (each may hold many queries)
-	Update OpStats // individual key updates applied
+	Point        OpStats
+	Range        OpStats
+	Batch        OpStats // batch requests (each may hold many queries)
+	BatchQueries OpStats // individual sub-queries answered inside batches
+	Update       OpStats // individual key updates applied
 }
 
 // NewStats returns zeroed stats.
@@ -61,17 +62,19 @@ func NewStats() *Stats { return &Stats{} }
 // View returns the JSON form.
 func (s *Stats) View() StatsView {
 	return StatsView{
-		Point:  s.Point.View(),
-		Range:  s.Range.View(),
-		Batch:  s.Batch.View(),
-		Update: s.Update.View(),
+		Point:        s.Point.View(),
+		Range:        s.Range.View(),
+		Batch:        s.Batch.View(),
+		BatchQueries: s.BatchQueries.View(),
+		Update:       s.Update.View(),
 	}
 }
 
 // StatsView is the JSON form of Stats.
 type StatsView struct {
-	Point  OpStatsView `json:"point"`
-	Range  OpStatsView `json:"range"`
-	Batch  OpStatsView `json:"batch"`
-	Update OpStatsView `json:"update"`
+	Point        OpStatsView `json:"point"`
+	Range        OpStatsView `json:"range"`
+	Batch        OpStatsView `json:"batch"`
+	BatchQueries OpStatsView `json:"batch_queries"`
+	Update       OpStatsView `json:"update"`
 }

@@ -147,14 +147,19 @@ func (h *Histogram2D) K() int { return len(h.rep.Coefs) }
 // Coefficients returns the retained packed-index coefficients, largest
 // magnitude first.
 func (h *Histogram2D) Coefficients() []Coefficient {
-	out := make([]Coefficient, len(h.rep.Coefs))
-	for i, c := range h.rep.Coefs {
+	cs := make([]wavelet.Coef, len(h.rep.Coefs))
+	copy(cs, h.rep.Coefs)
+	wavelet.SortCoefsByMagnitude(cs)
+	out := make([]Coefficient, len(cs))
+	for i, c := range cs {
 		out[i] = Coefficient{Index: c.Index, Value: c.Value}
 	}
 	return out
 }
 
-// PointEstimate returns the estimated frequency of cell (x, y).
+// PointEstimate returns the estimated frequency of cell (x, y) in
+// O(log²u): only the cell's error-tree ancestor pairs are evaluated.
+// Off-grid cells estimate 0.
 func (h *Histogram2D) PointEstimate(x, y int64) float64 { return h.rep.PointEstimate(x, y) }
 
 // Reconstruct materializes the estimated grid (O(k·u²)).

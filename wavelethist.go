@@ -121,19 +121,31 @@ func (h *Histogram) K() int { return h.rep.K() }
 
 // Coefficients returns the retained coefficients, largest magnitude first.
 func (h *Histogram) Coefficients() []Coefficient {
-	out := make([]Coefficient, len(h.rep.Coefs))
-	for i, c := range h.rep.Coefs {
+	cs := make([]wavelet.Coef, len(h.rep.Coefs))
+	copy(cs, h.rep.Coefs)
+	// Maintained histograms patch coefficient values in place between
+	// snapshots, so re-establish the documented order on the copy.
+	wavelet.SortCoefsByMagnitude(cs)
+	out := make([]Coefficient, len(cs))
+	for i, c := range cs {
 		out[i] = Coefficient{Index: c.Index, Value: c.Value}
 	}
 	return out
 }
 
-// PointEstimate returns the estimated frequency of key x in O(k).
+// PointEstimate returns the estimated frequency of key x in O(log u):
+// only the error-tree ancestors of x are touched. Keys outside [0, u)
+// estimate 0.
 func (h *Histogram) PointEstimate(x int64) float64 { return h.rep.PointEstimate(x) }
 
 // RangeCount estimates the number of records with keys in [lo, hi]
-// (inclusive) in O(k) — range-selectivity estimation, the histogram's
-// primary application.
+// (inclusive) in O(log u) — range-selectivity estimation, the histogram's
+// primary application; only the error-tree ancestors of the two bounds
+// contribute.
+//
+// Bound contract (shared with the serve layer): lo and hi are clamped to
+// the domain, and a range with an empty domain intersection — including
+// lo > hi — estimates 0. Never an error.
 func (h *Histogram) RangeCount(lo, hi int64) float64 { return h.rep.RangeSum(lo, hi) }
 
 // Reconstruct materializes the full estimated frequency vector (O(k·u)).
