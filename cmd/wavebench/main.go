@@ -15,9 +15,16 @@
 // error-tree index ("scan" vs "errtree"), plus an end-to-end HTTP batch
 // row — ns/op and allocs/op land in the queries section of the report.
 //
+// The -cluster pass stands up an in-process sharded cluster (two shards,
+// each a primary plus a synced read replica, fronted by the consistent-
+// hash router) and samples end-to-end routed latency: single point reads
+// through the router, the cross-shard scatter-gather batch, and reads
+// after a primary is killed (served by the replica via router failover)
+// — p50/p99 land in the cluster section.
+//
 // Usage:
 //
-//	wavebench -out BENCH_pr5.json
+//	wavebench -out BENCH_pr6.json
 //	wavebench -records 1048576 -domain 65536 -workers 4 -out bench.json
 package main
 
@@ -27,14 +34,18 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"runtime"
+	"sort"
 	"testing"
 	"time"
 
 	"wavelethist"
 	"wavelethist/dist"
+	"wavelethist/ha"
 	"wavelethist/internal/core"
 	"wavelethist/internal/hdfs"
 	"wavelethist/internal/wavelet"
@@ -97,6 +108,18 @@ type QueryRow struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 }
 
+// ClusterRow is one serving-tier latency measurement through the
+// router, in wall-clock microseconds at the labeled percentiles.
+type ClusterRow struct {
+	Op        string  `json:"op"` // routed_point | cross_batch | routed_point_failover
+	Shards    int     `json:"shards"`
+	Replicas  int     `json:"replicas_per_shard"`
+	Batch     int     `json:"batch,omitempty"`
+	Samples   int     `json:"samples"`
+	P50Micros float64 `json:"p50_micros"`
+	P99Micros float64 `json:"p99_micros"`
+}
+
 // Report is the file layout.
 type Report struct {
 	GeneratedUnix int64 `json:"generated_unix"`
@@ -114,11 +137,12 @@ type Report struct {
 	Results     []Row        `json:"results"`
 	ParallelMap *ParallelMap `json:"parallel_map,omitempty"`
 	Queries     []QueryRow   `json:"queries,omitempty"`
+	Cluster     []ClusterRow `json:"cluster,omitempty"`
 }
 
 func main() {
 	var (
-		out     = flag.String("out", "BENCH_pr5.json", "output file")
+		out     = flag.String("out", "BENCH_pr6.json", "output file")
 		records = flag.Int64("records", 1<<19, "dataset records")
 		domain  = flag.Int64("domain", 1<<14, "key domain (power of two)")
 		alpha   = flag.Float64("alpha", 1.1, "zipf skew")
@@ -128,15 +152,16 @@ func main() {
 		queries = flag.Bool("queries", true, "run the query-plane pass (scan vs errtree)")
 		qk      = flag.Int("qk", 2048, "retained coefficients for the query pass")
 		qdomain = flag.Int64("qdomain", 1<<20, "key domain for the query pass (power of two)")
+		cluster = flag.Bool("cluster", true, "run the serving-tier pass (routed p50/p99 through the sharded cluster)")
 	)
 	flag.Parse()
-	if err := run(*out, *records, *domain, *alpha, *seed, *k, *workers, *queries, *qk, *qdomain); err != nil {
+	if err := run(*out, *records, *domain, *alpha, *seed, *k, *workers, *queries, *qk, *qdomain, *cluster); err != nil {
 		fmt.Fprintln(os.Stderr, "wavebench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out string, records, domain int64, alpha float64, seed uint64, k, workers int, queries bool, qk int, qdomain int64) error {
+func run(out string, records, domain int64, alpha float64, seed uint64, k, workers int, queries bool, qk int, qdomain int64, cluster bool) error {
 	ds, err := wavelethist.NewZipfDataset(wavelethist.ZipfOptions{
 		Records: records, Domain: domain, Alpha: alpha, Seed: seed,
 	})
@@ -224,6 +249,18 @@ func run(out string, records, domain int64, alpha float64, seed uint64, k, worke
 		for _, q := range qrows {
 			fmt.Printf("query %-22s %-8s dim=%d k=%-5d u=%-8d %12.1f ns/op %4d allocs/op\n",
 				q.Op+maintLabel(q), q.Engine, q.Dim, q.K, q.Domain, q.NsPerOp, q.AllocsPerOp)
+		}
+	}
+
+	if cluster {
+		crows, err := clusterPass(records, domain, alpha, seed, k)
+		if err != nil {
+			return err
+		}
+		rep.Cluster = crows
+		for _, c := range crows {
+			fmt.Printf("cluster %-22s shards=%d samples=%-5d p50=%8.1fµs p99=%8.1fµs\n",
+				c.Op, c.Shards, c.Samples, c.P50Micros, c.P99Micros)
 		}
 	}
 
@@ -482,5 +519,200 @@ func queryPass(records int64, alpha float64, seed uint64, qk int, qdomain int64)
 		}),
 	)
 	_ = sink
+	return rows, nil
+}
+
+// clusterPass measures the serving tier end to end: real HTTP through
+// the router to an in-process cluster of two shards, each a primary and
+// one synced read replica. Latency is sampled per request (not averaged
+// by testing.Benchmark) because the serving tier's contract is a tail —
+// p99 through the router is what a query optimizer's planning budget
+// sees — and the failover row deliberately pays the dead-primary retry
+// on every read, which is the degraded steady state until promotion.
+func clusterPass(records, domain int64, alpha float64, seed uint64, k int) ([]ClusterRow, error) {
+	const (
+		shards       = 2
+		pointSamples = 2000
+		batchSamples = 300
+		batchN       = 64
+	)
+	type shardNode struct {
+		primary *serve.Server
+		pTS     *httptest.Server
+		replica *serve.Server
+		rTS     *httptest.Server
+		rep     *ha.Replica
+	}
+	var (
+		nodes []shardNode
+		spec  []ha.Shard
+	)
+	defer func() {
+		for _, n := range nodes {
+			if n.pTS != nil {
+				n.pTS.Close()
+			}
+			if n.rTS != nil {
+				n.rTS.Close()
+			}
+		}
+	}()
+	for i := 0; i < shards; i++ {
+		pSrv, err := serve.NewServer(serve.Config{Shard: fmt.Sprintf("s%d", i)})
+		if err != nil {
+			return nil, err
+		}
+		pTS := httptest.NewServer(pSrv)
+		rSrv, err := serve.NewServer(serve.Config{ReadOnly: true, Shard: fmt.Sprintf("s%d", i)})
+		if err != nil {
+			pTS.Close()
+			return nil, err
+		}
+		rTS := httptest.NewServer(rSrv)
+		nodes = append(nodes, shardNode{
+			primary: pSrv, pTS: pTS,
+			replica: rSrv, rTS: rTS,
+			rep: ha.NewReplica(rSrv, pTS.URL, time.Second),
+		})
+		spec = append(spec, ha.Shard{
+			ID: fmt.Sprintf("s%d", i), Primary: pTS.URL, Replicas: []string{rTS.URL},
+		})
+	}
+	router, err := ha.NewRouter(spec)
+	if err != nil {
+		return nil, err
+	}
+	rtTS := httptest.NewServer(router)
+	defer rtTS.Close()
+
+	// One histogram per shard, built once and published directly, then
+	// pulled onto the replicas so failover reads have data to serve.
+	ds, err := wavelethist.NewZipfDataset(wavelethist.ZipfOptions{
+		Records: records, Domain: domain, Alpha: alpha, Seed: seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, shards)
+	for i := range names {
+		id := fmt.Sprintf("s%d", i)
+		for c := 0; c < 256 && names[i] == ""; c++ {
+			if n := fmt.Sprintf("bench-%d", c); router.Shard(n).ID == id {
+				names[i] = n
+			}
+		}
+		if names[i] == "" {
+			return nil, fmt.Errorf("no bench name lands on shard %s", id)
+		}
+		res, err := wavelethist.Build(ds, wavelethist.SendV, wavelethist.Options{K: k, Seed: seed + uint64(i)})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := nodes[i].primary.Registry().Publish(names[i], res.Histogram); err != nil {
+			return nil, err
+		}
+		if err := nodes[i].rep.SyncOnce(context.Background()); err != nil {
+			return nil, err
+		}
+	}
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	get := func(url string) error {
+		resp, err := client.Get(url)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("GET %s: HTTP %d", url, resp.StatusCode)
+		}
+		return nil
+	}
+	sample := func(n int, fn func(i int) error) ([]time.Duration, error) {
+		for i := 0; i < 16; i++ { // warm connections and pools
+			if err := fn(i); err != nil {
+				return nil, err
+			}
+		}
+		lat := make([]time.Duration, n)
+		for i := range lat {
+			t0 := time.Now()
+			if err := fn(i); err != nil {
+				return nil, err
+			}
+			lat[i] = time.Since(t0)
+		}
+		sort.Slice(lat, func(a, b int) bool { return lat[a] < lat[b] })
+		return lat, nil
+	}
+	pctl := func(lat []time.Duration, p float64) float64 {
+		idx := int(p * float64(len(lat)-1))
+		return float64(lat[idx].Nanoseconds()) / 1e3
+	}
+	mask := domain - 1
+
+	var rows []ClusterRow
+	// Routed point reads, alternating shards — the healthy path.
+	lat, err := sample(pointSamples, func(i int) error {
+		return get(fmt.Sprintf("%s/v1/hist/%s/point?key=%d", rtTS.URL, names[i%shards], (int64(i)*2654435761)&mask))
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, ClusterRow{
+		Op: "routed_point", Shards: shards, Replicas: 1, Samples: pointSamples,
+		P50Micros: pctl(lat, 0.50), P99Micros: pctl(lat, 0.99),
+	})
+
+	// Cross-shard batch: one scatter-gather round trip spanning both shards.
+	queries := make([]map[string]any, batchN)
+	for i := range queries {
+		queries[i] = map[string]any{
+			"name": names[i%shards], "op": "point", "key": (int64(i) * 7919) & mask,
+		}
+	}
+	payload, err := json.Marshal(map[string]any{"queries": queries})
+	if err != nil {
+		return nil, err
+	}
+	lat, err = sample(batchSamples, func(i int) error {
+		resp, err := client.Post(rtTS.URL+"/v1/query", "application/json", bytes.NewReader(payload))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("cross batch: HTTP %d", resp.StatusCode)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, ClusterRow{
+		Op: "cross_batch", Shards: shards, Replicas: 1, Batch: batchN, Samples: batchSamples,
+		P50Micros: pctl(lat, 0.50), P99Micros: pctl(lat, 0.99),
+	})
+
+	// Kill shard 0's primary: every read now pays the router's detect-and-
+	// retry against the replica.
+	nodes[0].pTS.Close()
+	nodes[0].pTS = nil
+	lat, err = sample(pointSamples, func(i int) error {
+		return get(fmt.Sprintf("%s/v1/hist/%s/point?key=%d", rtTS.URL, names[0], (int64(i)*2654435761)&mask))
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, ClusterRow{
+		Op: "routed_point_failover", Shards: shards, Replicas: 1, Samples: pointSamples,
+		P50Micros: pctl(lat, 0.50), P99Micros: pctl(lat, 0.99),
+	})
 	return rows, nil
 }

@@ -45,24 +45,38 @@ import (
 
 	"wavelethist"
 	"wavelethist/dist"
+	"wavelethist/ha"
 	"wavelethist/serve"
 )
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		snapshots = flag.String("snapshots", "", "snapshot directory (persists published histograms; empty = in-memory)")
-		republish = flag.Int("republish-every", 256, "updates between automatic maintainer republishes")
-		demo      = flag.Bool("demo", false, "register a demo Zipf dataset and publish a 'demo' histogram at startup")
-		workers   = flag.Int("workers", 0, "spawn N in-process loopback workers for distributed builds")
-		distMode  = flag.Bool("dist", false, "accept remote waveworker registrations on /dist/v1/register")
+		addr        = flag.String("addr", ":8080", "listen address")
+		snapshots   = flag.String("snapshots", "", "snapshot directory (persists published histograms; empty = in-memory)")
+		republish   = flag.Int("republish-every", 256, "updates between automatic maintainer republishes")
+		demo        = flag.Bool("demo", false, "register a demo Zipf dataset and publish a 'demo' histogram at startup")
+		workers     = flag.Int("workers", 0, "spawn N in-process loopback workers for distributed builds")
+		distMode    = flag.Bool("dist", false, "accept remote waveworker registrations on /dist/v1/register")
+		replicaOf   = flag.String("replica-of", "", "run as a read replica following the primary wavehistd at this base URL")
+		syncEvery   = flag.Duration("sync-every", time.Second, "replica pull interval (with -replica-of)")
+		shard       = flag.String("shard", "", "shard label reported in /v1/stats (informational)")
+		checkpoints = flag.String("checkpoints", "", "coordinator checkpoint directory: multi-round distributed builds resume at the last round barrier after a daemon restart")
 	)
 	flag.Parse()
 
-	srv, s, err := newDaemonDist(*addr, *snapshots, *republish, *demo, *workers, *distMode)
+	srv, s, rep, err := newDaemonCfg(daemonConfig{
+		addr: *addr, snapshots: *snapshots, republish: *republish, demo: *demo,
+		workers: *workers, distMode: *distMode,
+		replicaOf: *replicaOf, syncEvery: *syncEvery,
+		shard: *shard, checkpoints: *checkpoints,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wavehistd:", err)
 		os.Exit(1)
+	}
+	if rep != nil {
+		rep.Start()
+		log.Printf("wavehistd: read replica following %s (pull every %s)", *replicaOf, *syncEvery)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -82,6 +96,9 @@ func main() {
 		}
 	case <-ctx.Done():
 		log.Print("wavehistd: shutting down")
+		if rep != nil {
+			rep.Stop()
+		}
 		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(shutCtx); err != nil {
@@ -91,6 +108,18 @@ func main() {
 		// shutdown strands nothing.
 		s.Close()
 	}
+}
+
+// daemonConfig is the resolved flag set.
+type daemonConfig struct {
+	addr, snapshots    string
+	republish          int
+	demo               bool
+	workers            int
+	distMode           bool
+	replicaOf          string
+	syncEvery          time.Duration
+	shard, checkpoints string
 }
 
 // newDaemon assembles the HTTP server (split from main so tests can run
@@ -105,37 +134,57 @@ func newDaemon(addr, snapshots string, republish int, demo bool) (*http.Server, 
 // accepts remote waveworker registrations. Either enables
 // "distributed": true builds and the /dist/v1/* endpoints.
 func newDaemonDist(addr, snapshots string, republish int, demo bool, workers int, distMode bool) (*http.Server, *serve.Server, error) {
+	srv, s, _, err := newDaemonCfg(daemonConfig{
+		addr: addr, snapshots: snapshots, republish: republish, demo: demo,
+		workers: workers, distMode: distMode,
+	})
+	return srv, s, err
+}
+
+// newDaemonCfg is the full assembly: coordinator (with optional
+// checkpoint directory), serving layer (optionally read-only), and — in
+// -replica-of mode — the follower that keeps the registry synced to a
+// primary. The caller starts/stops the returned replica around the HTTP
+// server's lifetime.
+func newDaemonCfg(c daemonConfig) (*http.Server, *serve.Server, *ha.Replica, error) {
 	var coord *dist.Coordinator
 	switch {
-	case workers > 0:
+	case c.workers > 0:
 		// Loopback fleets don't heartbeat: leave expiry off. Remote
 		// workers can still join via the HTTP fallback transport.
-		coord, _ = dist.NewLoopbackCluster(workers, 0, dist.Config{})
-		log.Printf("wavehistd: distributed builds over %d in-process workers", workers)
-	case distMode:
+		coord, _ = dist.NewLoopbackCluster(c.workers, 0, dist.Config{CheckpointDir: c.checkpoints})
+		log.Printf("wavehistd: distributed builds over %d in-process workers", c.workers)
+	case c.distMode:
 		coord = dist.NewCoordinator(dist.NewHTTPTransport(), dist.Config{
 			HeartbeatTimeout: 15 * time.Second,
+			CheckpointDir:    c.checkpoints,
 		})
 		log.Print("wavehistd: accepting waveworker registrations on /dist/v1/register")
 	}
 	s, err := serve.NewServer(serve.Config{
-		SnapshotDir:    snapshots,
-		RepublishEvery: republish,
+		SnapshotDir:    c.snapshots,
+		RepublishEvery: c.republish,
 		Coordinator:    coord,
+		ReadOnly:       c.replicaOf != "",
+		Shard:          c.shard,
 	})
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	if demo {
+	if c.demo {
 		if err := bootstrapDemo(s); err != nil {
-			return nil, nil, fmt.Errorf("demo bootstrap: %w", err)
+			return nil, nil, nil, fmt.Errorf("demo bootstrap: %w", err)
 		}
 	}
+	var rep *ha.Replica
+	if c.replicaOf != "" {
+		rep = ha.NewReplica(s, c.replicaOf, c.syncEvery)
+	}
 	return &http.Server{
-		Addr:              addr,
+		Addr:              c.addr,
 		Handler:           s,
 		ReadHeaderTimeout: 5 * time.Second,
-	}, s, nil
+	}, s, rep, nil
 }
 
 // bootstrapDemo registers a Zipf dataset and publishes a histogram so a

@@ -1,0 +1,155 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"wavelethist/internal/core"
+	"wavelethist/internal/hdfs"
+)
+
+func checkpointDataset(t testing.TB) (DatasetSpec, *hdfs.File) {
+	t.Helper()
+	spec := DatasetSpec{Kind: "zipf", Domain: 1 << 10, Records: 1 << 13, Alpha: 1.1, Seed: 5, ChunkSize: 4 << 10}.Normalize()
+	file, _, err := spec.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec, file
+}
+
+func newCheckpointCluster(n int, dir string) (*Coordinator, *Loopback) {
+	lb := NewLoopback()
+	lb.Fallback = NewHTTPTransport()
+	c := NewCoordinator(lb, Config{SplitsPerCall: 2, CheckpointDir: dir})
+	for i := 0; i < n; i++ {
+		w := NewWorker(fmt.Sprintf("ck-%d", i), 2)
+		addr := lb.Add(w)
+		c.Register(w.ID(), addr, w.Capacity())
+	}
+	return c, lb
+}
+
+// TestCheckpointResume kills the whole fleet on the first round-3
+// assignment of a distributed H-WTopk build — the coordinator "dies" at
+// the round-2 barrier with its checkpoint on disk — then resumes on a
+// fresh coordinator and fleet. The resumed build must restore rounds 1–2
+// from the checkpoint (zero RPCs, Restored flag) and produce a result
+// bit-identical to an uninterrupted run.
+func TestCheckpointResume(t *testing.T) {
+	spec, file := checkpointDataset(t)
+	p := core.Params{U: 1 << 10, K: 25, Seed: 7}
+	ctx := context.Background()
+	dir := t.TempDir()
+
+	// Reference: an uninterrupted build (no checkpointing involved).
+	ref, _ := NewLoopbackCluster(3, 2, Config{SplitsPerCall: 2})
+	want, wantStats, err := ref.Build(ctx, spec, file, core.MethodHWTopk, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted run: every worker crashes when round 3 reaches it, so
+	// the build fails after the round-2 barrier was checkpointed.
+	c1, lb1 := newCheckpointCluster(3, dir)
+	for i := 0; i < 3; i++ {
+		lb1.CrashWhen(LoopbackScheme+fmt.Sprintf("ck-%d", i), func(req *MapRequest) bool {
+			return req.Round == 3
+		})
+	}
+	if _, _, err := c1.Build(ctx, spec, file, core.MethodHWTopk, p); err == nil {
+		t.Fatal("build survived a fleet-wide round-3 crash")
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "*.wckpt"))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("want 1 checkpoint file after the crash, have %v (err %v)", files, err)
+	}
+
+	// Resume: a new coordinator (new instance, new job IDs) with a fresh
+	// fleet restores rounds 1–2 from the checkpoint and runs only round 3.
+	c2, _ := newCheckpointCluster(3, dir)
+	got, stats, err := c2.Build(ctx, spec, file, core.MethodHWTopk, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Rep.Coefs) != len(want.Rep.Coefs) {
+		t.Fatalf("coef count: got %d, want %d", len(got.Rep.Coefs), len(want.Rep.Coefs))
+	}
+	for i := range want.Rep.Coefs {
+		if got.Rep.Coefs[i] != want.Rep.Coefs[i] {
+			t.Fatalf("coef %d: got %+v, want %+v", i, got.Rep.Coefs[i], want.Rep.Coefs[i])
+		}
+	}
+	if stats.CandidateSetSize != wantStats.CandidateSetSize {
+		t.Errorf("candidate set: got %d, want %d", stats.CandidateSetSize, wantStats.CandidateSetSize)
+	}
+	if len(stats.PerRound) != 3 {
+		t.Fatalf("want 3 per-round entries, have %d", len(stats.PerRound))
+	}
+	for r := 0; r < 2; r++ {
+		rs := stats.PerRound[r]
+		if !rs.Restored || rs.RPCs != 0 || rs.WireBytes != 0 {
+			t.Errorf("round %d should be checkpoint-restored with no RPCs: %+v", r+1, rs)
+		}
+	}
+	r3 := stats.PerRound[2]
+	if r3.Restored || r3.RPCs == 0 {
+		t.Errorf("round 3 should have run live: %+v", r3)
+	}
+	// The fresh fleet held no leases, so round 3's owners replayed the
+	// earlier rounds' map side locally for every split.
+	if r3.ReplayedSplits != stats.Splits {
+		t.Errorf("round 3 replayed %d of %d splits", r3.ReplayedSplits, stats.Splits)
+	}
+
+	// A completed build removes its checkpoint.
+	files, _ = filepath.Glob(filepath.Join(dir, "*.wckpt"))
+	if len(files) != 0 {
+		t.Errorf("checkpoint not removed after completion: %v", files)
+	}
+}
+
+// TestCheckpointRoundTrip: the checkpoint codec survives encode → decode,
+// and loadCheckpoint rejects mismatched shapes instead of failing builds.
+func TestCheckpointRoundTrip(t *testing.T) {
+	_, file := checkpointDataset(t)
+	p := core.Params{U: 1 << 10, K: 10, Seed: 3}
+	parts, err := core.MapSplits(context.Background(), file, "Send-V", p, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck := &checkpoint{Key: "shape-key", Method: core.MethodHWTopk, Splits: 2, Rounds: [][]core.SplitPartial{parts}}
+	dir := t.TempDir()
+	if err := saveCheckpoint(dir, ck); err != nil {
+		t.Fatal(err)
+	}
+	got := loadCheckpoint(dir, "shape-key", core.MethodHWTopk, 2, 3)
+	if got == nil {
+		t.Fatal("checkpoint did not load")
+	}
+	if got.Method != ck.Method || got.Splits != 2 || len(got.Rounds) != 1 || len(got.Rounds[0]) != 2 {
+		t.Fatalf("round-trip mismatch: %+v", got)
+	}
+	for i := range parts {
+		if len(got.Rounds[0][i].Pairs) != len(parts[i].Pairs) || got.Rounds[0][i].SplitID != parts[i].SplitID {
+			t.Fatalf("partial %d mismatch", i)
+		}
+	}
+	if loadCheckpoint(dir, "other-key", core.MethodHWTopk, 2, 3) != nil {
+		t.Error("loaded under the wrong key")
+	}
+	if loadCheckpoint(dir, "shape-key", core.MethodHWTopk, 5, 3) != nil {
+		t.Error("loaded with the wrong split count")
+	}
+	// Corrupt file: treated as no checkpoint.
+	path := checkpointPath(dir, "shape-key")
+	if err := os.WriteFile(path, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if loadCheckpoint(dir, "shape-key", core.MethodHWTopk, 2, 3) != nil {
+		t.Error("loaded a corrupt checkpoint")
+	}
+}

@@ -76,6 +76,9 @@ const (
 	msgHeartbeatResponse
 	msgReleaseRequest
 	msgReleaseResponse
+	msgReplPullRequest  // replication catch-up pull (replcodec.go)
+	msgReplPullResponse //
+	msgCheckpoint       // coordinator round-barrier checkpoint (checkpoint.go)
 )
 
 const (

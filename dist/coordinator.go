@@ -44,6 +44,14 @@ type Config struct {
 	// MaxWorkerFailures is the consecutive-failure count that marks a
 	// worker dead (default 2).
 	MaxWorkerFailures int
+	// CheckpointDir, when non-empty, persists multi-round build state
+	// after each round barrier (partials via the partial codec, atomically
+	// tmp+renamed), keyed by build shape. A coordinator restarted
+	// mid-build replays the checkpointed rounds through the reducer
+	// locally — zero map RPCs, bit-identical state — and resumes the
+	// fan-out at the first incomplete round. Checkpoints are removed when
+	// their build completes.
+	CheckpointDir string
 }
 
 func (c Config) withDefaults() Config {
@@ -122,6 +130,10 @@ type RoundStats struct {
 	// CachedSplits counts splits served from workers' partial caches —
 	// re-shipped without recomputation.
 	CachedSplits int `json:"cached_splits,omitempty"`
+	// Restored marks a round whose partials were replayed from a
+	// checkpoint after a coordinator restart: no map RPCs were issued
+	// (RPCs and WireBytes are 0), only the local reduce re-ran.
+	Restored bool `json:"restored,omitempty"`
 }
 
 // BuildStats reports a distributed build's execution profile.
@@ -486,7 +498,7 @@ func (c *Coordinator) Build(ctx context.Context, spec DatasetSpec, file *hdfs.Fi
 	if file == nil {
 		return nil, nil, fmt.Errorf("dist: nil file")
 	}
-	if method == core.MethodHWTopk2D {
+	if method == core.MethodHWTopk2D || core.OneRound2D(method) {
 		return nil, nil, fmt.Errorf("%w: %s is 2D-only (use Build2D)", ErrUnsupportedMethod, method)
 	}
 	switch core.Rounds(method) {
@@ -510,33 +522,37 @@ func (c *Coordinator) Build(ctx context.Context, spec DatasetSpec, file *hdfs.Fi
 	}
 }
 
-// Build2D runs a distributed multi-round 2D build (H-WTopk-2D over packed
-// coefficient indices).
+// Build2D runs a distributed 2D build: the one-round baselines
+// (Send-V-2D, TwoLevel-S-2D) through the single fan-out + merge path,
+// H-WTopk-2D through the multi-round engine.
 func (c *Coordinator) Build2D(ctx context.Context, spec DatasetSpec, file *hdfs.File, method string, p core.Params) (*core.Output2D, *BuildStats, error) {
 	if file == nil {
 		return nil, nil, fmt.Errorf("dist: nil file")
 	}
-	if method != core.MethodHWTopk2D {
-		return nil, nil, fmt.Errorf("%w: %q (2D distributed builds support: %s)",
-			ErrUnsupportedMethod, method, core.MethodHWTopk2D)
+	switch {
+	case core.OneRound2D(method):
+		return c.buildOneRound2D(ctx, spec, file, method, p)
+	case method == core.MethodHWTopk2D:
+		plan, stats, err := c.runMultiRound(ctx, spec, file, method, p)
+		if err != nil {
+			return nil, stats, err
+		}
+		out, err := plan.Output2D()
+		if err != nil {
+			return nil, stats, err
+		}
+		return out, stats, nil
+	default:
+		return nil, nil, fmt.Errorf("%w: %q (2D distributed builds support: %s, %s, %s)",
+			ErrUnsupportedMethod, method, core.MethodSendV2D, core.MethodTwoLevelS2D, core.MethodHWTopk2D)
 	}
-	plan, stats, err := c.runMultiRound(ctx, spec, file, method, p)
-	if err != nil {
-		return nil, stats, err
-	}
-	out, err := plan.Output2D()
-	if err != nil {
-		return nil, stats, err
-	}
-	return out, stats, nil
 }
 
-// buildOneRound is the single fan-out + merge path of PR 2. Splits
-// prefer the worker that served them in the last build of the same shape
-// (cache affinity): its partial cache holds their results, so repeat
-// builds re-ship instead of recomputing.
-func (c *Coordinator) buildOneRound(ctx context.Context, spec DatasetSpec, file *hdfs.File, method string, p core.Params) (*core.Output, *BuildStats, error) {
-	start := time.Now()
+// oneRoundPartials is the single fan-out of a one-round build (1D or 2D):
+// splits prefer the worker that served them in the last build of the same
+// shape (cache affinity): its partial cache holds their results, so
+// repeat builds re-ship instead of recomputing.
+func (c *Coordinator) oneRoundPartials(ctx context.Context, spec DatasetSpec, file *hdfs.File, method string, p core.Params) ([]core.SplitPartial, *BuildStats, error) {
 	m := core.NumSplits(file, p)
 	jobID := c.newJobID()
 	stats := &BuildStats{Splits: m, Rounds: 1}
@@ -560,11 +576,36 @@ func (c *Coordinator) buildOneRound(ctx context.Context, spec DatasetSpec, file 
 	// complete map with a partially-filled one.
 	c.storeAffinity(affKey, owners, seeded, stats.CachedSplits)
 	stats.WorkersUsed = len(responded)
+	return parts, stats, nil
+}
+
+// buildOneRound is the single fan-out + merge path of PR 2.
+func (c *Coordinator) buildOneRound(ctx context.Context, spec DatasetSpec, file *hdfs.File, method string, p core.Params) (*core.Output, *BuildStats, error) {
+	start := time.Now()
+	parts, stats, err := c.oneRoundPartials(ctx, spec, file, method, p)
+	if err != nil {
+		return nil, stats, err
+	}
 	out, err := core.MergePartials(ctx, file, method, p, parts)
 	if err != nil {
 		return nil, stats, err
 	}
 	// The merge only times itself; report the whole fan-out + merge.
+	out.Metrics.WallTime = time.Since(start)
+	return out, stats, nil
+}
+
+// buildOneRound2D is buildOneRound with the 2D merge.
+func (c *Coordinator) buildOneRound2D(ctx context.Context, spec DatasetSpec, file *hdfs.File, method string, p core.Params) (*core.Output2D, *BuildStats, error) {
+	start := time.Now()
+	parts, stats, err := c.oneRoundPartials(ctx, spec, file, method, p)
+	if err != nil {
+		return nil, stats, err
+	}
+	out, err := core.MergePartials2D(ctx, file, method, p, parts)
+	if err != nil {
+		return nil, stats, err
+	}
 	out.Metrics.WallTime = time.Since(start)
 	return out, stats, nil
 }
@@ -596,7 +637,41 @@ func (c *Coordinator) runMultiRound(ctx context.Context, spec DatasetSpec, file 
 	responded := make(map[string]bool)
 	defer func() { c.releaseLeases(jobID, touched) }()
 
-	for r := 1; r <= plan.NumRounds(); r++ {
+	// Resume from a checkpoint when one matches this build shape: replay
+	// each checkpointed round's partials through the reducer — the exact
+	// state the crashed coordinator held at the barrier, reconstructed
+	// with zero map RPCs — then fan out only the remaining rounds.
+	ckDir := c.cfg.CheckpointDir
+	var ckRounds [][]core.SplitPartial
+	startRound := 1
+	if ckDir != "" {
+		if ck := loadCheckpoint(ckDir, affKey, method, m, plan.NumRounds()); ck != nil {
+			replayed := true
+			for r := 1; r <= len(ck.Rounds); r++ {
+				track.round.Store(int32(r))
+				plan.Broadcast(r)
+				if err := plan.ReduceRound(ctx, r, ck.Rounds[r-1]); err != nil {
+					replayed = false
+					break
+				}
+				stats.PerRound = append(stats.PerRound, RoundStats{Round: r, Restored: true})
+			}
+			if replayed {
+				startRound = len(ck.Rounds) + 1
+				ckRounds = ck.Rounds
+			} else {
+				// A checkpoint the reducer rejects is stale or corrupt:
+				// drop it and run the build from scratch.
+				removeCheckpoint(ckDir, affKey)
+				stats.PerRound = nil
+				if plan, err = core.NewRoundPlan(file, method, p); err != nil {
+					return nil, stats, err
+				}
+			}
+		}
+	}
+
+	for r := startRound; r <= plan.NumRounds(); r++ {
 		track.round.Store(int32(r))
 		rc := &roundCall{
 			jobID: jobID, method: method, params: p, spec: spec,
@@ -610,6 +685,14 @@ func (c *Coordinator) runMultiRound(ctx context.Context, spec DatasetSpec, file 
 		if err := plan.ReduceRound(ctx, r, parts); err != nil {
 			return nil, stats, err
 		}
+		if ckDir != "" && r < plan.NumRounds() {
+			// Persist the barrier (best-effort: a failed write only costs
+			// re-running rounds after a crash, never the build).
+			ckRounds = append(ckRounds, parts)
+			_ = saveCheckpoint(ckDir, &checkpoint{
+				Key: affKey, Method: method, Splits: m, Rounds: ckRounds,
+			})
+		}
 	}
 	// Only a build that completed every round records its ownership map
 	// (see buildOneRound: failures and cancellations prove nothing about
@@ -617,6 +700,9 @@ func (c *Coordinator) runMultiRound(ctx context.Context, spec DatasetSpec, file 
 	c.storeAffinity(affKey, owners, seeded, stats.CachedSplits)
 	stats.WorkersUsed = len(responded)
 	stats.CandidateSetSize = plan.Candidates()
+	if ckDir != "" {
+		removeCheckpoint(ckDir, affKey)
+	}
 	return plan, stats, nil
 }
 

@@ -248,9 +248,33 @@ func TestHWTopk2DParity(t *testing.T) {
 	if got.CandidateSetSize != want.CandidateSetSize {
 		t.Errorf("candidate set: got %d, want %d", got.CandidateSetSize, want.CandidateSetSize)
 	}
-	// One-round 2D methods are rejected with the typed error.
-	if _, err := wavelethist.BuildDistributed2D(context.Background(), ds, wavelethist.SendV2D, opts, coord); !errors.Is(err, wavelethist.ErrUnsupportedMethod) {
-		t.Errorf("Send-V-2D: want ErrUnsupportedMethod, got %v", err)
+	// The one-round 2D baselines distribute through the single fan-out
+	// path, bit-identical to their simulated runs.
+	for _, m2d := range []wavelethist.Method2D{wavelethist.SendV2D, wavelethist.TwoLevelS2D} {
+		want2, err := wavelethist.Build2D(ds, m2d, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got2, err := wavelethist.BuildDistributed2D(context.Background(), ds, m2d, opts, coord)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wc2, gc2 := want2.Histogram.Coefficients(), got2.Histogram.Coefficients()
+		if len(wc2) != len(gc2) {
+			t.Fatalf("%s coefficient count: got %d, want %d", m2d, len(gc2), len(wc2))
+		}
+		for i := range wc2 {
+			if wc2[i] != gc2[i] {
+				t.Fatalf("%s coefficient %d: got %+v, want %+v", m2d, i, gc2[i], wc2[i])
+			}
+		}
+		if got2.Rounds != 1 || !got2.Distributed || got2.WireBytes <= 0 {
+			t.Errorf("%s: rounds=%d wire=%d distributed=%v", m2d, got2.Rounds, got2.WireBytes, got2.Distributed)
+		}
+	}
+	// An unknown 2D method still gets the typed error.
+	if _, err := wavelethist.BuildDistributed2D(context.Background(), ds, wavelethist.Method2D("no-such-2d"), opts, coord); !errors.Is(err, wavelethist.ErrUnsupportedMethod) {
+		t.Errorf("unknown 2D method: want ErrUnsupportedMethod, got %v", err)
 	}
 }
 

@@ -1,0 +1,122 @@
+package dist
+
+// Replication frames. A read replica catches up by pulling: it sends the
+// highest registry version it has applied (ReplPullRequest.Since) and the
+// primary answers with every entry published after that version plus the
+// full current name set (ReplPullResponse.Names), which lets the replica
+// detect drops without a tombstone log. Entry.Version is the registry
+// version at which the entry was installed and is strictly monotonic, so
+// it doubles as the replication cursor — the same role an LSN plays in
+// log shipping, without keeping a log: the registry snapshot IS the
+// materialized log tail.
+//
+// The frames ride the same WDF1 envelope as the job wire (deflate over
+// threshold, crc-free length-prefixed body) so replicas and primaries
+// reuse the transport's content negotiation unchanged.
+
+// Replication entry kinds.
+const (
+	ReplKind1D byte = 1 // blob is a "WHST" 1D histogram
+	ReplKind2D byte = 2 // blob is a "WH2D" 2D histogram
+)
+
+// ReplPullRequest asks a primary for all registry changes after Since
+// (0 = full snapshot).
+type ReplPullRequest struct {
+	Since uint64 `json:"since"`
+}
+
+// ReplEntry is one histogram the replica must (re)install: the wire-format
+// blob plus the registry version to advance the cursor to.
+type ReplEntry struct {
+	Name    string `json:"name"`
+	Kind    byte   `json:"kind"` // ReplKind1D | ReplKind2D
+	Version uint64 `json:"version"`
+	Blob    []byte `json:"blob"`
+}
+
+// ReplPullResponse carries the primary's current registry version, the
+// complete set of live names (for drop detection), and the entries newer
+// than the request's Since, in version order.
+type ReplPullResponse struct {
+	Version uint64      `json:"version"`
+	Names   []string    `json:"names"`
+	Entries []ReplEntry `json:"entries"`
+}
+
+// EncodeReplPullRequest serializes a pull request as one WDF1 frame.
+func EncodeReplPullRequest(req *ReplPullRequest) []byte {
+	return encodeFrame(msgReplPullRequest, appendUvarint(nil, req.Since))
+}
+
+// DecodeReplPullRequest is the inverse of EncodeReplPullRequest.
+func DecodeReplPullRequest(frame []byte) (*ReplPullRequest, error) {
+	body, err := decodeFrame(frame, msgReplPullRequest)
+	if err != nil {
+		return nil, err
+	}
+	r := &breader{b: body}
+	req := &ReplPullRequest{Since: r.uvarint()}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return req, nil
+}
+
+// EncodeReplPullResponse serializes a pull response as one WDF1 frame.
+// Histogram blobs dominate the payload; the envelope's deflate pass
+// compresses them together with the framing.
+func EncodeReplPullResponse(resp *ReplPullResponse) []byte {
+	b := appendUvarint(nil, resp.Version)
+	b = appendUvarint(b, uint64(len(resp.Names)))
+	for _, n := range resp.Names {
+		b = appendStr(b, n)
+	}
+	b = appendUvarint(b, uint64(len(resp.Entries)))
+	for i := range resp.Entries {
+		e := &resp.Entries[i]
+		b = appendStr(b, e.Name)
+		b = append(b, e.Kind)
+		b = appendUvarint(b, e.Version)
+		b = appendBlob(b, e.Blob)
+	}
+	return encodeFrame(msgReplPullResponse, b)
+}
+
+// DecodeReplPullResponse is the inverse of EncodeReplPullResponse.
+func DecodeReplPullResponse(frame []byte) (*ReplPullResponse, error) {
+	body, err := decodeFrame(frame, msgReplPullResponse)
+	if err != nil {
+		return nil, err
+	}
+	r := &breader{b: body}
+	resp := &ReplPullResponse{Version: r.uvarint()}
+	nNames := r.length(1)
+	for i := 0; i < nNames && r.err == nil; i++ {
+		resp.Names = append(resp.Names, r.str())
+	}
+	nEnts := r.length(4)
+	for i := 0; i < nEnts && r.err == nil; i++ {
+		e := ReplEntry{Name: r.str()}
+		if r.err != nil {
+			break
+		}
+		if len(r.b)-r.off < 1 {
+			r.fail("repl entry kind: truncated")
+			break
+		}
+		e.Kind = r.b[r.off]
+		r.off++
+		e.Version = r.uvarint()
+		e.Blob = r.blob()
+		if e.Kind != ReplKind1D && e.Kind != ReplKind2D {
+			r.fail("repl entry %q: unknown kind %d", e.Name, e.Kind)
+			break
+		}
+		resp.Entries = append(resp.Entries, e)
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}

@@ -1,0 +1,207 @@
+package ha
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wavelethist"
+	"wavelethist/dist"
+	"wavelethist/serve"
+)
+
+// Replica keeps a read-only serve.Server following a primary: a pull
+// loop asks the primary for every registry entry newer than the version
+// the replica has applied (the catch-up protocol in dist's replication
+// frames) and installs the histograms locally. Because registry versions
+// are strictly monotonic and entries arrive in version order, one uint64
+// cursor is the whole replication state — a replica that restarts from
+// zero simply pulls a full snapshot.
+type Replica struct {
+	srv      *serve.Server
+	primary  string // base URL, no trailing slash
+	client   *http.Client
+	interval time.Duration
+
+	version atomic.Uint64 // last fully-applied primary version
+
+	mu      sync.Mutex
+	stop    chan struct{}
+	done    chan struct{}
+	stopped bool
+}
+
+// NewReplica wraps a (normally read-only) server as a follower of the
+// primary at primaryURL, pulling every interval (<= 0 = 1s).
+func NewReplica(srv *serve.Server, primaryURL string, interval time.Duration) *Replica {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	return &Replica{
+		srv:      srv,
+		primary:  trimSlash(primaryURL),
+		client:   &http.Client{Timeout: 30 * time.Second},
+		interval: interval,
+	}
+}
+
+// Version returns the primary registry version this replica has applied.
+func (r *Replica) Version() uint64 { return r.version.Load() }
+
+// SyncOnce performs one pull-and-apply cycle against the primary and
+// updates the server's replication status either way. A cycle with no
+// new entries costs one small round trip.
+func (r *Replica) SyncOnce(ctx context.Context) error {
+	resp, err := r.pull(ctx, r.version.Load())
+	if err != nil {
+		st := r.srv.ReplStatus()
+		st.Primary = r.primary
+		st.Error = err.Error()
+		r.srv.SetReplStatus(st)
+		return err
+	}
+	if err := r.apply(resp); err != nil {
+		st := r.srv.ReplStatus()
+		st.Primary = r.primary
+		st.Error = err.Error()
+		r.srv.SetReplStatus(st)
+		return err
+	}
+	r.version.Store(resp.Version)
+	r.srv.SetReplStatus(serve.ReplStatus{
+		Primary:  r.primary,
+		Version:  resp.Version,
+		SyncedAt: time.Now(),
+	})
+	return nil
+}
+
+// pull posts one binary ReplPullRequest to the primary.
+func (r *Replica) pull(ctx context.Context, since uint64) (*dist.ReplPullResponse, error) {
+	frame := dist.EncodeReplPullRequest(&dist.ReplPullRequest{Since: since})
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, r.primary+"/v1/repl/pull", bytes.NewReader(frame))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", dist.ContentTypeBinary)
+	hres, err := r.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer hres.Body.Close()
+	body, err := io.ReadAll(hres.Body)
+	if err != nil {
+		return nil, err
+	}
+	if hres.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("ha: pull from %s: HTTP %d: %s", r.primary, hres.StatusCode, truncate(body))
+	}
+	return dist.DecodeReplPullResponse(body)
+}
+
+// apply installs a pull response into the local registry: publish every
+// new entry in version order, then drop local names the primary no
+// longer has.
+func (r *Replica) apply(resp *dist.ReplPullResponse) error {
+	reg := r.srv.Registry()
+	for _, e := range resp.Entries {
+		switch e.Kind {
+		case dist.ReplKind1D:
+			h, err := wavelethist.UnmarshalHistogram(e.Blob)
+			if err != nil {
+				return fmt.Errorf("ha: replicate %q: %w", e.Name, err)
+			}
+			if _, err := reg.Publish(e.Name, h); err != nil {
+				return fmt.Errorf("ha: replicate %q: %w", e.Name, err)
+			}
+		case dist.ReplKind2D:
+			h, err := wavelethist.UnmarshalHistogram2D(e.Blob)
+			if err != nil {
+				return fmt.Errorf("ha: replicate %q: %w", e.Name, err)
+			}
+			if _, err := reg.Publish2D(e.Name, h); err != nil {
+				return fmt.Errorf("ha: replicate %q: %w", e.Name, err)
+			}
+		default:
+			return fmt.Errorf("ha: replicate %q: unknown kind %d", e.Name, e.Kind)
+		}
+	}
+	live := make(map[string]bool, len(resp.Names))
+	for _, n := range resp.Names {
+		live[n] = true
+	}
+	for _, n := range reg.Snapshot().Names() {
+		if !live[n] {
+			reg.Drop(n)
+		}
+	}
+	return nil
+}
+
+// Start launches the background follow loop. Stop (or Promote) ends it.
+func (r *Replica) Start() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.stop != nil || r.stopped {
+		return
+	}
+	r.stop = make(chan struct{})
+	r.done = make(chan struct{})
+	go func(stop, done chan struct{}) {
+		defer close(done)
+		t := time.NewTicker(r.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				ctx, cancel := context.WithTimeout(context.Background(), r.interval*4+time.Second)
+				_ = r.SyncOnce(ctx) // errors land in ReplStatus; keep following
+				cancel()
+			}
+		}
+	}(r.stop, r.done)
+}
+
+// Stop ends the follow loop and waits for it to drain.
+func (r *Replica) Stop() {
+	r.mu.Lock()
+	stop, done := r.stop, r.done
+	r.stop, r.done = nil, nil
+	r.stopped = true
+	r.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+}
+
+// Promote stops following the (presumably dead) primary and flips the
+// local server writable — the failover path. The replica serves whatever
+// it had replicated as the new authoritative state; with monotonic pulls
+// that is always a prefix-consistent view of the old primary's registry.
+func (r *Replica) Promote() {
+	r.Stop()
+	r.srv.Promote()
+}
+
+func trimSlash(s string) string {
+	for len(s) > 0 && s[len(s)-1] == '/' {
+		s = s[:len(s)-1]
+	}
+	return s
+}
+
+func truncate(b []byte) string {
+	const max = 200
+	if len(b) > max {
+		b = b[:max]
+	}
+	return string(bytes.TrimSpace(b))
+}

@@ -1,0 +1,64 @@
+package ha
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingPlacement(t *testing.T) {
+	r, err := NewRing([]string{"s0", "s1", "s2"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic: same name, same shard, every time.
+	for i := 0; i < 50; i++ {
+		name := fmt.Sprintf("hist-%d", i)
+		first := r.Shard(name)
+		if again := r.Shard(name); again != first {
+			t.Fatalf("%s moved from %s to %s", name, first, again)
+		}
+	}
+	// Every shard owns a reasonable chunk of a large name population.
+	counts := map[string]int{}
+	const n = 3000
+	for i := 0; i < n; i++ {
+		counts[r.Shard(fmt.Sprintf("name-%d", i))]++
+	}
+	for _, id := range r.Shards() {
+		if c := counts[id]; c < n/3/3 || c > n {
+			t.Fatalf("shard %s owns %d of %d names — badly unbalanced: %v", id, c, n, counts)
+		}
+	}
+
+	// Consistency: adding a shard relocates only a bounded fraction.
+	r2, err := NewRing([]string{"s0", "s1", "s2", "s3"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("name-%d", i)
+		if a, b := r.Shard(name), r2.Shard(name); a != b {
+			if b != "s3" {
+				t.Fatalf("%s moved between surviving shards (%s → %s)", name, a, b)
+			}
+			moved++
+		}
+	}
+	// Expected ~n/4; allow generous slack for hash variance.
+	if moved == 0 || moved > n/2 {
+		t.Fatalf("adding a shard moved %d of %d names", moved, n)
+	}
+}
+
+func TestRingValidation(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Error("empty ring accepted")
+	}
+	if _, err := NewRing([]string{"a", "a"}, 0); err == nil {
+		t.Error("duplicate shard accepted")
+	}
+	if _, err := NewRing([]string{""}, 0); err == nil {
+		t.Error("empty shard ID accepted")
+	}
+}

@@ -1,0 +1,515 @@
+package ha
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wavelethist/serve"
+)
+
+// Shard is one shard's endpoints: the writable primary plus zero or more
+// read replicas (in retry order).
+type Shard struct {
+	ID       string   `json:"id"`
+	Primary  string   `json:"primary"`
+	Replicas []string `json:"replicas,omitempty"`
+}
+
+// Router is the stateless front door of a sharded wavehistd cluster. It
+// owns no histogram state — placement is recomputed per request from the
+// consistent-hash ring — so any number of routers can run behind a load
+// balancer with zero coordination.
+//
+// Routing policy:
+//   - Per-name requests (point, range, batch, updates, build) go to the
+//     owning shard. Reads that fail against the primary (network error
+//     or 5xx) retry against its replicas in order; mutations never fail
+//     over, because a replica cannot accept writes.
+//   - GET /v1/hist and /v1/stats fan out to every shard and merge.
+//   - POST /v1/query is the cross-shard batch endpoint: queries naming
+//     different histograms are grouped per name, dispatched to their
+//     shards concurrently, and reassembled in request order.
+//   - POST /v1/datasets broadcasts to every primary, so a later build
+//     can land on whichever shard owns the histogram name.
+type Router struct {
+	ring   *Ring
+	shards map[string]*Shard
+	client *http.Client
+	mux    *http.ServeMux
+
+	maxBody int64
+
+	proxied   atomic.Uint64 // requests forwarded upstream
+	failovers atomic.Uint64 // retries against a further target
+}
+
+// NewRouter builds a router over the given shards (at least one, unique
+// IDs, each with a primary).
+func NewRouter(shards []Shard) (*Router, error) {
+	ids := make([]string, 0, len(shards))
+	byID := make(map[string]*Shard, len(shards))
+	for i := range shards {
+		sh := shards[i]
+		if sh.Primary == "" {
+			return nil, fmt.Errorf("ha: shard %q has no primary", sh.ID)
+		}
+		sh.Primary = trimSlash(sh.Primary)
+		for j, rep := range sh.Replicas {
+			sh.Replicas[j] = trimSlash(rep)
+		}
+		ids = append(ids, sh.ID)
+		byID[sh.ID] = &sh
+	}
+	ring, err := NewRing(ids, 0)
+	if err != nil {
+		return nil, err
+	}
+	rt := &Router{
+		ring:    ring,
+		shards:  byID,
+		client:  &http.Client{Timeout: 60 * time.Second},
+		mux:     http.NewServeMux(),
+		maxBody: 8 << 20,
+	}
+	rt.routes()
+	return rt, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	rt.mux.ServeHTTP(w, r)
+}
+
+// Shard returns the shard owning a histogram name.
+func (rt *Router) Shard(name string) *Shard { return rt.shards[rt.ring.Shard(name)] }
+
+func (rt *Router) routes() {
+	rt.mux.HandleFunc("GET /healthz", rt.handleHealth)
+	rt.mux.HandleFunc("GET /v1/router", rt.handleTopology)
+	rt.mux.HandleFunc("GET /v1/hist", rt.handleList)
+	rt.mux.HandleFunc("GET /v1/hist/{name}/point", rt.handleNamedRead)
+	rt.mux.HandleFunc("GET /v1/hist/{name}/range", rt.handleNamedRead)
+	rt.mux.HandleFunc("POST /v1/hist/{name}/query", rt.handleNamedRead)
+	rt.mux.HandleFunc("POST /v1/hist/{name}/updates", rt.handleNamedWrite)
+	rt.mux.HandleFunc("POST /v1/query", rt.handleCrossBatch)
+	rt.mux.HandleFunc("GET /v1/stats", rt.handleStats)
+	rt.mux.HandleFunc("POST /v1/datasets", rt.handleDatasets)
+	rt.mux.HandleFunc("POST /v1/build", rt.handleBuild)
+	rt.mux.HandleFunc("GET /v1/jobs/{id}", rt.handleJob)
+}
+
+// --- upstream plumbing ---
+
+type upstream struct {
+	status      int
+	contentType string
+	body        []byte
+}
+
+func (rt *Router) do(ctx context.Context, method, url, contentType string, body []byte) (*upstream, error) {
+	rt.proxied.Add(1)
+	req, err := http.NewRequestWithContext(ctx, method, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	res, err := rt.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer res.Body.Close()
+	b, err := io.ReadAll(res.Body)
+	if err != nil {
+		return nil, err
+	}
+	return &upstream{status: res.StatusCode, contentType: res.Header.Get("Content-Type"), body: b}, nil
+}
+
+// readShard sends a read to the shard, retrying replicas when the
+// primary is unreachable or failing (network error or 5xx). 4xx answers
+// are returned as-is — they are the shard's verdict, not its health.
+func (rt *Router) readShard(ctx context.Context, sh *Shard, method, pathAndQuery, contentType string, body []byte) (*upstream, error) {
+	var (
+		last    *upstream
+		lastErr error
+	)
+	for i, target := range append([]string{sh.Primary}, sh.Replicas...) {
+		if i > 0 {
+			rt.failovers.Add(1)
+		}
+		resp, err := rt.do(ctx, method, target+pathAndQuery, contentType, body)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.status >= 500 {
+			last, lastErr = resp, nil
+			continue
+		}
+		return resp, nil
+	}
+	if last != nil {
+		return last, nil
+	}
+	return nil, lastErr
+}
+
+func writeUpstream(w http.ResponseWriter, u *upstream) {
+	if u.contentType != "" {
+		w.Header().Set("Content-Type", u.contentType)
+	}
+	w.WriteHeader(u.status)
+	w.Write(u.body)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (rt *Router) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	b, err := io.ReadAll(http.MaxBytesReader(w, r.Body, rt.maxBody))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "read body: %v", err)
+		return nil, false
+	}
+	return b, true
+}
+
+// --- handlers ---
+
+func (rt *Router) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "shards": len(rt.shards)})
+}
+
+func (rt *Router) handleTopology(w http.ResponseWriter, r *http.Request) {
+	shards := make([]*Shard, 0, len(rt.shards))
+	for _, id := range rt.ring.Shards() {
+		shards = append(shards, rt.shards[id])
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"shards":    shards,
+		"proxied":   rt.proxied.Load(),
+		"failovers": rt.failovers.Load(),
+	})
+}
+
+// handleNamedRead proxies a per-name read to the owning shard with
+// replica failover.
+func (rt *Router) handleNamedRead(w http.ResponseWriter, r *http.Request) {
+	sh := rt.Shard(r.PathValue("name"))
+	var body []byte
+	if r.Method == http.MethodPost {
+		var ok bool
+		if body, ok = rt.readBody(w, r); !ok {
+			return
+		}
+	}
+	resp, err := rt.readShard(r.Context(), sh, r.Method, r.URL.RequestURI(), r.Header.Get("Content-Type"), body)
+	if err != nil {
+		writeErr(w, http.StatusBadGateway, "shard %q unreachable: %v", sh.ID, err)
+		return
+	}
+	writeUpstream(w, resp)
+}
+
+// handleNamedWrite proxies a per-name mutation to the owning shard's
+// primary. No failover: replicas reject writes by design, and blindly
+// retrying a write elsewhere would fork the lineage.
+func (rt *Router) handleNamedWrite(w http.ResponseWriter, r *http.Request) {
+	sh := rt.Shard(r.PathValue("name"))
+	body, ok := rt.readBody(w, r)
+	if !ok {
+		return
+	}
+	resp, err := rt.do(r.Context(), r.Method, sh.Primary+r.URL.RequestURI(), r.Header.Get("Content-Type"), body)
+	if err != nil {
+		writeErr(w, http.StatusBadGateway, "shard %q primary unreachable: %v", sh.ID, err)
+		return
+	}
+	writeUpstream(w, resp)
+}
+
+// handleList fans GET /v1/hist out to every shard and merges the
+// histogram lists. A fully-unreachable shard is reported under its ID
+// instead of failing the whole listing — partial visibility beats none.
+func (rt *Router) handleList(w http.ResponseWriter, r *http.Request) {
+	type shardList struct {
+		RegistryVersion uint64            `json:"registry_version"`
+		Histograms      []json.RawMessage `json:"histograms"`
+	}
+	var (
+		mu     sync.Mutex
+		merged []json.RawMessage
+		per    = map[string]any{}
+		wg     sync.WaitGroup
+	)
+	for id, sh := range rt.shards {
+		wg.Add(1)
+		go func(id string, sh *Shard) {
+			defer wg.Done()
+			resp, err := rt.readShard(r.Context(), sh, http.MethodGet, "/v1/hist", "", nil)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				per[id] = map[string]string{"error": err.Error()}
+				return
+			}
+			var sl shardList
+			if resp.status != http.StatusOK || json.Unmarshal(resp.body, &sl) != nil {
+				per[id] = map[string]any{"error": fmt.Sprintf("HTTP %d", resp.status)}
+				return
+			}
+			per[id] = map[string]any{"registry_version": sl.RegistryVersion}
+			merged = append(merged, sl.Histograms...)
+		}(id, sh)
+	}
+	wg.Wait()
+	// Stable output: sort merged entries by their "name" field.
+	sort.Slice(merged, func(i, j int) bool {
+		var a, b struct {
+			Name string `json:"name"`
+		}
+		json.Unmarshal(merged[i], &a)
+		json.Unmarshal(merged[j], &b)
+		return a.Name < b.Name
+	})
+	if merged == nil {
+		merged = []json.RawMessage{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"shards": per, "histograms": merged})
+}
+
+// handleStats fans GET /v1/stats out and nests each shard's stats under
+// its ID, plus the router's own counters.
+func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
+	var (
+		mu  sync.Mutex
+		per = map[string]any{}
+		wg  sync.WaitGroup
+	)
+	for id, sh := range rt.shards {
+		wg.Add(1)
+		go func(id string, sh *Shard) {
+			defer wg.Done()
+			resp, err := rt.readShard(r.Context(), sh, http.MethodGet, "/v1/stats", "", nil)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				per[id] = map[string]string{"error": err.Error()}
+				return
+			}
+			per[id] = json.RawMessage(resp.body)
+		}(id, sh)
+	}
+	wg.Wait()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"shards": per,
+		"router": map[string]uint64{"proxied": rt.proxied.Load(), "failovers": rt.failovers.Load()},
+	})
+}
+
+// handleDatasets broadcasts dataset creation to every primary so a
+// subsequent build can run on whichever shard owns its histogram name.
+func (rt *Router) handleDatasets(w http.ResponseWriter, r *http.Request) {
+	body, ok := rt.readBody(w, r)
+	if !ok {
+		return
+	}
+	ct := r.Header.Get("Content-Type")
+	var (
+		mu       sync.Mutex
+		firstErr *upstream
+		errShard string
+		netErr   error
+		wg       sync.WaitGroup
+	)
+	for id, sh := range rt.shards {
+		wg.Add(1)
+		go func(id string, sh *Shard) {
+			defer wg.Done()
+			resp, err := rt.do(r.Context(), http.MethodPost, sh.Primary+"/v1/datasets", ct, body)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil && netErr == nil {
+				netErr, errShard = err, id
+				return
+			}
+			if err == nil && resp.status != http.StatusCreated && firstErr == nil {
+				firstErr, errShard = resp, id
+			}
+		}(id, sh)
+	}
+	wg.Wait()
+	if netErr != nil {
+		writeErr(w, http.StatusBadGateway, "shard %q primary unreachable: %v", errShard, netErr)
+		return
+	}
+	if firstErr != nil {
+		writeUpstream(w, firstErr)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{"shards": len(rt.shards)})
+}
+
+// handleBuild routes a build to the shard owning the histogram name in
+// the request body, tagging the accepted-job response with the shard ID
+// so clients know where the job lives.
+func (rt *Router) handleBuild(w http.ResponseWriter, r *http.Request) {
+	body, ok := rt.readBody(w, r)
+	if !ok {
+		return
+	}
+	var req struct {
+		Name string `json:"name"`
+	}
+	if err := json.Unmarshal(body, &req); err != nil || req.Name == "" {
+		writeErr(w, http.StatusBadRequest, "build request needs a histogram name")
+		return
+	}
+	sh := rt.Shard(req.Name)
+	resp, err := rt.do(r.Context(), http.MethodPost, sh.Primary+"/v1/build", r.Header.Get("Content-Type"), body)
+	if err != nil {
+		writeErr(w, http.StatusBadGateway, "shard %q primary unreachable: %v", sh.ID, err)
+		return
+	}
+	var accepted map[string]any
+	if resp.status == http.StatusAccepted && json.Unmarshal(resp.body, &accepted) == nil {
+		accepted["shard"] = sh.ID
+		writeJSON(w, http.StatusAccepted, accepted)
+		return
+	}
+	writeUpstream(w, resp)
+}
+
+// handleJob resolves a job ID. Shards number their jobs independently
+// ("job-1" exists on every shard that has built something), so the
+// build response tags the owning shard and clients pass it back as
+// ?shard=ID for an exact lookup. Without the tag, every shard is asked
+// and the first non-404 answer wins — unambiguous only while job IDs
+// happen not to collide.
+func (rt *Router) handleJob(w http.ResponseWriter, r *http.Request) {
+	if id := r.URL.Query().Get("shard"); id != "" {
+		sh, ok := rt.shards[id]
+		if !ok {
+			writeErr(w, http.StatusBadRequest, "unknown shard %q", id)
+			return
+		}
+		resp, err := rt.readShard(r.Context(), sh, http.MethodGet, r.URL.RequestURI(), "", nil)
+		if err != nil {
+			writeErr(w, http.StatusBadGateway, "shard %q unreachable: %v", id, err)
+			return
+		}
+		writeUpstream(w, resp)
+		return
+	}
+	for _, sh := range rt.shards {
+		resp, err := rt.readShard(r.Context(), sh, http.MethodGet, r.URL.RequestURI(), "", nil)
+		if err != nil || resp.status == http.StatusNotFound {
+			continue
+		}
+		writeUpstream(w, resp)
+		return
+	}
+	writeErr(w, http.StatusNotFound, "no shard knows job %q", r.PathValue("id"))
+}
+
+// NamedQuery is one entry of the cross-shard batch endpoint
+// POST /v1/query: a histogram name plus a standard batch query.
+type NamedQuery struct {
+	Name string `json:"name"`
+	serve.BatchQuery
+}
+
+// handleCrossBatch groups a mixed-name batch by histogram, dispatches
+// each group to its owning shard concurrently (with replica failover),
+// and reassembles per-query results in request order — the scatter-
+// gather a dashboard issuing one round trip for many histograms needs.
+func (rt *Router) handleCrossBatch(w http.ResponseWriter, r *http.Request) {
+	body, ok := rt.readBody(w, r)
+	if !ok {
+		return
+	}
+	var req struct {
+		Queries []NamedQuery `json:"queries"`
+	}
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeErr(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	// Group query indexes by name; one upstream call per distinct name.
+	groups := map[string][]int{}
+	for i, q := range req.Queries {
+		if q.Name == "" {
+			writeErr(w, http.StatusBadRequest, "query %d has no histogram name", i)
+			return
+		}
+		groups[q.Name] = append(groups[q.Name], i)
+	}
+	results := make([]serve.BatchResult, len(req.Queries))
+	var wg sync.WaitGroup
+	for name, idxs := range groups {
+		wg.Add(1)
+		go func(name string, idxs []int) {
+			defer wg.Done()
+			sub := struct {
+				Queries []serve.BatchQuery `json:"queries"`
+			}{Queries: make([]serve.BatchQuery, len(idxs))}
+			for j, i := range idxs {
+				sub.Queries[j] = req.Queries[i].BatchQuery
+			}
+			payload, _ := json.Marshal(&sub)
+			sh := rt.Shard(name)
+			resp, err := rt.readShard(r.Context(), sh, http.MethodPost,
+				"/v1/hist/"+name+"/query", "application/json", payload)
+			if err != nil {
+				for _, i := range idxs {
+					results[i] = serve.BatchResult{Error: fmt.Sprintf("shard %q unreachable: %v", sh.ID, err)}
+				}
+				return
+			}
+			var out struct {
+				Results []serve.BatchResult `json:"results"`
+				Error   string              `json:"error"`
+			}
+			if jerr := json.Unmarshal(resp.body, &out); jerr != nil || (resp.status != http.StatusOK && out.Error == "") {
+				for _, i := range idxs {
+					results[i] = serve.BatchResult{Error: fmt.Sprintf("shard %q: HTTP %d", sh.ID, resp.status)}
+				}
+				return
+			}
+			if out.Error != "" {
+				for _, i := range idxs {
+					results[i] = serve.BatchResult{Error: out.Error}
+				}
+				return
+			}
+			for j, i := range idxs {
+				if j < len(out.Results) {
+					results[i] = out.Results[j]
+				}
+			}
+		}(name, idxs)
+	}
+	wg.Wait()
+	writeJSON(w, http.StatusOK, map[string]any{"results": results})
+}

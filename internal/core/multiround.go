@@ -51,8 +51,8 @@ func UnsupportedMethodError(name string) error {
 }
 
 // Rounds reports how many distributed rounds a method needs: 1 for the
-// mergeable one-round methods, 3 for H-WTopk (1D and 2D), 0 when the
-// method is unknown or not distributable.
+// mergeable one-round methods (1D and 2D), 3 for H-WTopk (1D and 2D), 0
+// when the method is unknown or not distributable.
 func Rounds(method string) int {
 	switch method {
 	case MethodHWTopk, MethodHWTopk2D:
@@ -62,6 +62,9 @@ func Rounds(method string) int {
 		if _, ok := a.(oneRounder); ok {
 			return 1
 		}
+	}
+	if OneRound2D(method) {
+		return 1
 	}
 	return 0
 }

@@ -53,8 +53,9 @@ type SplitPartial struct {
 }
 
 // DistributableMethods lists every method supporting distributed
-// execution: the six one-round methods plus the multi-round H-WTopk (1D
-// via Build, 2D via the packed-domain variant).
+// execution: the six one-round 1D methods, the one-round 2D baselines,
+// and the multi-round H-WTopk (1D via Build, 2D via the packed-domain
+// variant).
 func DistributableMethods() []string {
 	var out []string
 	for _, a := range Algorithms() {
@@ -62,7 +63,7 @@ func DistributableMethods() []string {
 			out = append(out, a.Name())
 		}
 	}
-	return append(out, MethodHWTopk, MethodHWTopk2D)
+	return append(out, MethodHWTopk, MethodSendV2D, MethodTwoLevelS2D, MethodHWTopk2D)
 }
 
 // Distributable reports whether the named method supports distributed
@@ -89,6 +90,9 @@ func oneRoundByName(name string) (oneRounder, error) {
 // splitIDs and every per-split output is bit-identical to a serial run
 // (per-split RNG derivation makes tasks independent of scheduling).
 func MapSplits(ctx context.Context, file *hdfs.File, method string, p Params, splitIDs []int) ([]SplitPartial, error) {
+	if or2, err := oneRound2DByName(method); err == nil {
+		return mapSplits2D(ctx, file, or2, p, splitIDs)
+	}
 	or, err := oneRoundByName(method)
 	if err != nil {
 		return nil, err
@@ -98,6 +102,12 @@ func MapSplits(ctx context.Context, file *hdfs.File, method string, p Params, sp
 		return nil, err
 	}
 	job, _ := or.makeJob(file, p)
+	return mapJobSplits(ctx, job, method, p, splitIDs)
+}
+
+// mapJobSplits runs a prepared-one-round job's map side over splitIDs —
+// the shared body of the 1D and 2D worker halves.
+func mapJobSplits(ctx context.Context, job *mapred.Job, method string, p Params, splitIDs []int) ([]SplitPartial, error) {
 	if err := job.Prepare(); err != nil {
 		return nil, err
 	}
@@ -108,7 +118,7 @@ func MapSplits(ctx context.Context, file *hdfs.File, method string, p Params, sp
 		}
 	}
 	parts := make([]SplitPartial, len(splitIDs))
-	err = forEachSplit(ctx, p, len(splitIDs), func(ctx context.Context, i int) error {
+	err := forEachSplit(ctx, p, len(splitIDs), func(ctx context.Context, i int) error {
 		r, err := mapred.RunMapSplit(ctx, job, splitIDs[i])
 		if err != nil {
 			return err
@@ -198,6 +208,20 @@ func MergePartials(ctx context.Context, file *hdfs.File, method string, p Params
 	}
 	start := time.Now()
 	job, red := or.makeJob(file, p)
+	res, err := reducePartials(ctx, job, method, parts)
+	if err != nil {
+		return nil, err
+	}
+	out := &Output{Rep: red.representation()}
+	out.Metrics.addRound(res, 0)
+	out.Metrics.WallTime = time.Since(start)
+	return out, nil
+}
+
+// reducePartials checks one-per-split coverage and runs a one-round job's
+// reduce side over the partials in split order — the shared body of
+// MergePartials and MergePartials2D.
+func reducePartials(ctx context.Context, job *mapred.Job, method string, parts []SplitPartial) (*mapred.Result, error) {
 	m := len(job.Splits)
 	if len(parts) != m {
 		return nil, fmt.Errorf("core: %s: have %d partials, want one per split (%d)", method, len(parts), m)
@@ -232,11 +256,7 @@ func MergePartials(ctx context.Context, file *hdfs.File, method string, p Params
 	res.PairsShuffled = rres.PairsShuffled
 	res.ReduceCPU = rres.ReduceCPU
 	res.ReduceCalls = rres.ReduceCalls
-
-	out := &Output{Rep: red.representation()}
-	out.Metrics.addRound(res, 0)
-	out.Metrics.WallTime = time.Since(start)
-	return out, nil
+	return res, nil
 }
 
 // NumSplits reports how many splits a build of file at the given params

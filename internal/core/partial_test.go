@@ -26,8 +26,8 @@ func TestMapMergeMatchesRun(t *testing.T) {
 	f := partialTestFile(t)
 	ctx := context.Background()
 	for _, name := range DistributableMethods() {
-		if Rounds(name) != 1 {
-			continue // multi-round methods: see multiround_test.go
+		if Rounds(name) != 1 || OneRound2D(name) {
+			continue // multi-round: multiround_test.go; 2D: round2d_test.go
 		}
 		t.Run(name, func(t *testing.T) {
 			p := Params{U: 1 << 10, K: 15, Epsilon: 0.01, Seed: 5}

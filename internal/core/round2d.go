@@ -1,0 +1,109 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"wavelethist/internal/hdfs"
+	"wavelethist/internal/mapred"
+	"wavelethist/internal/wavelet"
+)
+
+// One-round 2D decompositions. Send-V-2D and TwoLevel-S-2D are, like their
+// 1D twins, single map/reduce passes over mergeable partials — only the
+// key packing and the final transform differ — so they distribute through
+// exactly the same worker/coordinator halves (MapSplits / MergePartials2D)
+// as the 1D one-round methods. H-WTopk-2D stays on the multi-round engine.
+
+// One-round 2D method names.
+const (
+	MethodSendV2D     = "Send-V-2D"
+	MethodTwoLevelS2D = "TwoLevel-S-2D"
+)
+
+// repReducer2D is a Reducer that yields the final k-term 2D representation.
+type repReducer2D interface {
+	mapred.Reducer
+	representation2D() *wavelet.Representation2D
+}
+
+// oneRounder2D is implemented by the single-round 2D methods. makeJob2D
+// expects p to already be defaulted; it validates the 2D domain itself
+// (the grid side is p.U, the packed key domain p.U²).
+type oneRounder2D interface {
+	Name() string
+	makeJob2D(file *hdfs.File, p Params) (*mapred.Job, repReducer2D, error)
+}
+
+// oneRound2DByName resolves a 2D method to its one-round decomposition.
+func oneRound2DByName(name string) (oneRounder2D, error) {
+	switch name {
+	case MethodSendV2D:
+		return NewSendV2D(), nil
+	case MethodTwoLevelS2D:
+		return NewTwoLevelS2D(), nil
+	}
+	return nil, fmt.Errorf("core: %q has no one-round 2D decomposition", name)
+}
+
+// OneRound2D reports whether method is a one-round 2D method (routes
+// through Build2D's single fan-out, not Build or the multi-round engine).
+func OneRound2D(method string) bool {
+	_, err := oneRound2DByName(method)
+	return err == nil
+}
+
+// runOneRound2D is the shared simulated Run of a one-round 2D method.
+func runOneRound2D(ctx context.Context, a oneRounder2D, file *hdfs.File, p Params) (*Output2D, error) {
+	p = p.Defaults()
+	start := time.Now()
+	job, red, err := a.makeJob2D(file, p)
+	if err != nil {
+		return nil, err
+	}
+	res, err := mapred.RunContext(ctx, job)
+	if err != nil {
+		return nil, err
+	}
+	out := &Output2D{Rep: red.representation2D()}
+	out.Metrics.addRound(res, 0)
+	out.Metrics.WallTime = time.Since(start)
+	return out, nil
+}
+
+// mapSplits2D is the worker half of a one-round 2D distributed build
+// (MapSplits routes 2D method names here).
+func mapSplits2D(ctx context.Context, file *hdfs.File, or oneRounder2D, p Params, splitIDs []int) ([]SplitPartial, error) {
+	p = p.Defaults()
+	job, _, err := or.makeJob2D(file, p)
+	if err != nil {
+		return nil, err
+	}
+	return mapJobSplits(ctx, job, or.Name(), p, splitIDs)
+}
+
+// MergePartials2D runs a 2D method's reduce side over partials covering
+// every split of file exactly once, producing the same Output2D a
+// single-process run with the same seed would — the coordinator half of a
+// one-round 2D distributed build.
+func MergePartials2D(ctx context.Context, file *hdfs.File, method string, p Params, parts []SplitPartial) (*Output2D, error) {
+	or, err := oneRound2DByName(method)
+	if err != nil {
+		return nil, err
+	}
+	p = p.Defaults()
+	start := time.Now()
+	job, red, err := or.makeJob2D(file, p)
+	if err != nil {
+		return nil, err
+	}
+	res, err := reducePartials(ctx, job, method, parts)
+	if err != nil {
+		return nil, err
+	}
+	out := &Output2D{Rep: red.representation2D()}
+	out.Metrics.addRound(res, 0)
+	out.Metrics.WallTime = time.Since(start)
+	return out, nil
+}

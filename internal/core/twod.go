@@ -47,15 +47,15 @@ func NewSendV2D() *SendV2D { return &SendV2D{} }
 // Name implements the naming convention.
 func (*SendV2D) Name() string { return "Send-V-2D" }
 
-// Run builds the best k-term 2D representation exactly.
-func (a *SendV2D) Run(ctx context.Context, file *hdfs.File, p Params) (*Output2D, error) {
-	p = p.Defaults()
+// makeJob2D exposes Send-V-2D's one-round decomposition — the packed-key
+// twin of sendv.go's makeJob — shared by Run and the distributed
+// subsystem (MapSplits / MergePartials2D). p must already be defaulted.
+func (a *SendV2D) makeJob2D(file *hdfs.File, p Params) (*mapred.Job, repReducer2D, error) {
 	packed, err := check2DDomain(p.U)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	start := time.Now()
-	red := &coefAggReducer{k: p.K, transform: transform2D(p.U)}
+	red := &coefAggReducer{u: p.U, k: p.K, transform: transform2D(p.U)}
 	job := &mapred.Job{
 		Name:      "send-v-2d",
 		Splits:    file.Splits(p.SplitSize),
@@ -68,24 +68,27 @@ func (a *SendV2D) Run(ctx context.Context, file *hdfs.File, p Params) (*Output2D
 		Seed:        p.Seed,
 		Parallelism: p.Parallelism,
 	}
-	res, err := mapred.RunContext(ctx, job)
-	if err != nil {
-		return nil, err
-	}
-	out := &Output2D{Rep: wavelet.NewRepresentation2D(p.U, red.top)}
-	out.Metrics.addRound(res, 0)
-	out.Metrics.WallTime = time.Since(start)
-	return out, nil
+	return job, red, nil
+}
+
+// Run builds the best k-term 2D representation exactly.
+func (a *SendV2D) Run(ctx context.Context, file *hdfs.File, p Params) (*Output2D, error) {
+	return runOneRound2D(ctx, a, file, p)
 }
 
 // coefAggReducer aggregates a frequency map and, at Close, applies a
 // transform and selects the top-k (shared by 2D Send-V and TwoLevel-S-2D
 // after estimator scaling).
 type coefAggReducer struct {
+	u         int64 // grid side, for the final representation
 	k         int
 	transform coefTransform
 	freq      map[int64]float64
 	top       []wavelet.Coef
+}
+
+func (r *coefAggReducer) representation2D() *wavelet.Representation2D {
+	return wavelet.NewRepresentation2D(r.u, r.top)
 }
 
 func (r *coefAggReducer) Setup(*mapred.TaskContext) error {
@@ -161,6 +164,10 @@ type twoLevel2DReducer struct {
 	top      []wavelet.Coef
 }
 
+func (r *twoLevel2DReducer) representation2D() *wavelet.Representation2D {
+	return wavelet.NewRepresentation2D(r.u, r.top)
+}
+
 func (r *twoLevel2DReducer) Setup(*mapred.TaskContext) error {
 	r.rho = make(map[int64]float64)
 	r.nulls = make(map[int64]int64)
@@ -195,17 +202,16 @@ func (r *twoLevel2DReducer) Close(ctx *mapred.TaskContext) error {
 	return nil
 }
 
-// Run computes the approximate 2D top-k by two-level sampling.
-func (a *TwoLevelS2D) Run(ctx context.Context, file *hdfs.File, p Params) (*Output2D, error) {
-	p = p.Defaults()
+// makeJob2D exposes TwoLevel-S-2D's one-round decomposition, shared by
+// Run and the distributed subsystem. p must already be defaulted.
+func (a *TwoLevelS2D) makeJob2D(file *hdfs.File, p Params) (*mapred.Job, repReducer2D, error) {
 	packed, err := check2DDomain(p.U)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if p.Epsilon <= 0 || p.Epsilon >= 1 {
-		return nil, fmt.Errorf("core: epsilon %v out of (0,1)", p.Epsilon)
+		return nil, nil, fmt.Errorf("core: epsilon %v out of (0,1)", p.Epsilon)
 	}
-	start := time.Now()
 	splits := file.Splits(p.SplitSize)
 	m := len(splits)
 	prob := sampleProb(p.Epsilon, file.NumRecords)
@@ -232,12 +238,10 @@ func (a *TwoLevelS2D) Run(ctx context.Context, file *hdfs.File, p Params) (*Outp
 		Seed:        p.Seed,
 		Parallelism: p.Parallelism,
 	}
-	res, err := mapred.RunContext(ctx, job)
-	if err != nil {
-		return nil, err
-	}
-	out := &Output2D{Rep: wavelet.NewRepresentation2D(p.U, red.top)}
-	out.Metrics.addRound(res, 0)
-	out.Metrics.WallTime = time.Since(start)
-	return out, nil
+	return job, red, nil
+}
+
+// Run computes the approximate 2D top-k by two-level sampling.
+func (a *TwoLevelS2D) Run(ctx context.Context, file *hdfs.File, p Params) (*Output2D, error) {
+	return runOneRound2D(ctx, a, file, p)
 }

@@ -101,19 +101,38 @@ func NewMaintainer(u int64, initial []Coef, k, shadow int) *Maintainer {
 	}
 	// Track the top (k + shadow) initial coefficients; SelectTopK returns
 	// them strongest-first, so the first k seed the retained set.
-	for _, c := range SelectTopK(initial, k+shadow) {
+	m.seed(SelectTopK(initial, k+shadow))
+	return m
+}
+
+// RestoreMaintainer rebuilds a maintainer from a persisted tracked set
+// (the slice TrackedCoefs returned). Unlike NewMaintainer it tracks every
+// given coefficient — a live maintainer adopts coefficients beyond
+// k+shadow between compactions, and truncating them on restore would
+// diverge from the saved state. Because the retained/shadow partition is
+// a pure function of the tracked set under the `stronger` order, the
+// restored maintainer is state-identical to the one that was saved.
+func RestoreMaintainer(u int64, tracked []Coef, k, shadow int) *Maintainer {
+	m := NewMaintainer(u, nil, k, shadow)
+	m.seed(SelectTopK(tracked, len(tracked)))
+	return m
+}
+
+// seed installs coefficients (given strongest-first) into the empty
+// partition: the first k retained, the rest shadow.
+func (m *Maintainer) seed(coefs []Coef) {
+	for _, c := range coefs {
 		if _, dup := m.coefs[c.Index]; dup || c.Value == 0 {
 			continue
 		}
 		m.coefs[c.Index] = c.Value
 		it := heap.Item{ID: c.Index, Score: math.Abs(c.Value)}
-		if m.ret.Len() < k {
+		if m.ret.Len() < m.k {
 			m.ret.Push(it)
 		} else {
 			m.sha.Push(it)
 		}
 	}
-	return m
 }
 
 // K returns the maintained representation size.
@@ -121,6 +140,9 @@ func (m *Maintainer) K() int { return m.k }
 
 // Domain returns the key-domain size u.
 func (m *Maintainer) Domain() int64 { return m.u }
+
+// Shadow returns the configured shadow-set size (tracked slots beyond k).
+func (m *Maintainer) Shadow() int { return m.shadow }
 
 // Tracked returns the number of tracked (retained + shadow) coefficients.
 func (m *Maintainer) Tracked() int { return len(m.coefs) }

@@ -93,6 +93,12 @@ func (h *MaintainedHistogram) Histogram() *Histogram {
 // Domain returns the key-domain size u.
 func (h *MaintainedHistogram) Domain() int64 { return h.m.Domain() }
 
+// K returns the maintained representation size.
+func (h *MaintainedHistogram) K() int { return h.m.K() }
+
+// Shadow returns the shadow-set size (tracked slots beyond k).
+func (h *MaintainedHistogram) Shadow() int { return h.m.Shadow() }
+
 // Tracked reports how many coefficients are currently tracked
 // (retained + shadow).
 func (h *MaintainedHistogram) Tracked() int { return h.m.Tracked() }

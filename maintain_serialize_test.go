@@ -1,0 +1,114 @@
+package wavelethist
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// TestMaintainedMarshalRoundTrip: a maintainer snapshot restores to a
+// state-identical maintainer — same reported histogram now, and same
+// histogram after an identical stream of further updates (the partition
+// is a pure function of the tracked set, so restore is exact, not
+// approximate).
+func TestMaintainedMarshalRoundTrip(t *testing.T) {
+	ds := zipfDS(t, 20000, 1<<12)
+	mh, err := NewMaintainedHistogram(ds, 20, 60, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drift the tracked set away from the initial build.
+	for i := int64(0); i < 500; i++ {
+		mh.Update((i*37)%ds.Domain(), float64(1+i%5))
+		mh.Update((i*11)%ds.Domain(), -1)
+	}
+	b, err := mh.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != 24+12*mh.Tracked() {
+		t.Fatalf("snapshot size %d, want %d", len(b), 24+12*mh.Tracked())
+	}
+	got, err := UnmarshalMaintainedHistogram(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.K() != mh.K() || got.Shadow() != mh.Shadow() || got.Domain() != mh.Domain() || got.Tracked() != mh.Tracked() {
+		t.Fatalf("shape mismatch: got k=%d shadow=%d u=%d tracked=%d", got.K(), got.Shadow(), got.Domain(), got.Tracked())
+	}
+	same := func(a, b *MaintainedHistogram) {
+		t.Helper()
+		ca, cb := a.Histogram().Coefficients(), b.Histogram().Coefficients()
+		if len(ca) != len(cb) {
+			t.Fatalf("coef count: %d vs %d", len(ca), len(cb))
+		}
+		for i := range ca {
+			if ca[i] != cb[i] {
+				t.Fatalf("coef %d: %+v vs %+v", i, ca[i], cb[i])
+			}
+		}
+	}
+	same(mh, got)
+	// Identical future updates must produce identical histograms.
+	for i := int64(0); i < 300; i++ {
+		k := (i*i + 7) % ds.Domain()
+		mh.Update(k, 2)
+		got.Update(k, 2)
+	}
+	same(mh, got)
+
+	// A second marshal of equal state is byte-identical (deterministic
+	// index-ordered encoding).
+	b2, err := got.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := mh.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b1) != string(b2) {
+		t.Fatal("equal maintainer states serialized differently")
+	}
+}
+
+func TestUnmarshalMaintainedRejectsCorrupt(t *testing.T) {
+	ds := zipfDS(t, 5000, 1<<10)
+	mh, err := NewMaintainedHistogram(ds, 10, 20, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, err := mh.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnmarshalMaintainedHistogram(good); err != nil {
+		t.Fatal(err)
+	}
+	bad := func(name string, mutate func([]byte) []byte) {
+		t.Helper()
+		b := append([]byte(nil), good...)
+		if _, err := UnmarshalMaintainedHistogram(mutate(b)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	bad("truncated", func(b []byte) []byte { return b[:20] })
+	bad("wrong magic", func(b []byte) []byte { b[0] ^= 0xff; return b })
+	bad("trailing bytes", func(b []byte) []byte { return append(b, 0) })
+	bad("k=0", func(b []byte) []byte { binary.LittleEndian.PutUint32(b[4:], 0); return b })
+	bad("non-pow2 domain", func(b []byte) []byte { binary.LittleEndian.PutUint64(b[16:], 1000); return b })
+	bad("index out of domain", func(b []byte) []byte {
+		binary.LittleEndian.PutUint32(b[24:], uint32(1<<20))
+		return b
+	})
+	bad("unsorted indexes", func(b []byte) []byte {
+		if len(b) < 24+24 {
+			t.Skip("need two coefs")
+		}
+		// Swap the first two coefficient records.
+		tmp := make([]byte, 12)
+		copy(tmp, b[24:36])
+		copy(b[24:36], b[36:48])
+		copy(b[36:48], tmp)
+		return b
+	})
+}

@@ -1,0 +1,81 @@
+package serve
+
+import (
+	"net/http"
+	"strconv"
+	"sync"
+)
+
+// Allocation-free JSON encoding for the single-query endpoints (point,
+// range, 2D point). These are the latency-sensitive hot path a query
+// optimizer hits per plan candidate; going through encoding/json +
+// map[string]any cost ~20 allocations per request. Instead the response
+// is appended into a pooled byte buffer with strconv primitives — the
+// same recycled-buffer discipline the batch endpoint already uses — so
+// the steady state allocates nothing.
+
+// estBufPool recycles response buffers across requests. 256 bytes covers
+// every single-estimate response (name <= 128 bytes plus four numbers).
+var estBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 256)
+	return &b
+}}
+
+// appendEstimate builds {"name":…,"version":…,<n1>:<v1>[,<n2>:<v2>],
+// "estimate":…}. Field names are compile-time literals and histogram
+// names are ValidName-constrained (no characters needing JSON escaping),
+// so plain quoting is exact. n2 == "" omits the second field.
+func appendEstimate(b []byte, name string, version uint64, est float64, n1 string, v1 int64, n2 string, v2 int64) []byte {
+	b = append(b, `{"name":"`...)
+	b = append(b, name...)
+	b = append(b, `","version":`...)
+	b = strconv.AppendUint(b, version, 10)
+	b = append(b, ',', '"')
+	b = append(b, n1...)
+	b = append(b, '"', ':')
+	b = strconv.AppendInt(b, v1, 10)
+	if n2 != "" {
+		b = append(b, ',', '"')
+		b = append(b, n2...)
+		b = append(b, '"', ':')
+		b = strconv.AppendInt(b, v2, 10)
+	}
+	b = append(b, `,"estimate":`...)
+	b = appendJSONFloat(b, est)
+	b = append(b, '}', '\n')
+	return b
+}
+
+// appendJSONFloat appends a float byte-for-byte the way encoding/json
+// renders float64s: shortest round-trippable form, fixed notation for
+// typical estimate magnitudes, scientific outside [1e-6, 1e21), with
+// json's "e-09" → "e-9" exponent cleanup.
+func appendJSONFloat(b []byte, f float64) []byte {
+	abs := f
+	if abs < 0 {
+		abs = -abs
+	}
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	b = strconv.AppendFloat(b, f, format, -1, 64)
+	if format == 'e' {
+		if n := len(b); n >= 4 && b[n-4] == 'e' && b[n-3] == '-' && b[n-2] == '0' {
+			b[n-2] = b[n-1]
+			b = b[:n-1]
+		}
+	}
+	return b
+}
+
+// writeEstimate sends an appendEstimate response from a pooled buffer.
+func writeEstimate(w http.ResponseWriter, name string, version uint64, est float64, n1 string, v1 int64, n2 string, v2 int64) {
+	bp := estBufPool.Get().(*[]byte)
+	b := appendEstimate((*bp)[:0], name, version, est, n1, v1, n2, v2)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(b)
+	*bp = b
+	estBufPool.Put(bp)
+}

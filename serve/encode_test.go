@@ -1,0 +1,102 @@
+package serve
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestEstimateEncodingMatchesJSON: the hand-rolled single-query encoder
+// produces output encoding/json parses back to exactly the same values,
+// across tricky floats.
+func TestEstimateEncodingMatchesJSON(t *testing.T) {
+	for _, est := range []float64{0, 1, -1, 3.5, 1234567.25, 1e-9, -2.5e-9, 4.9e21, 0.1, math.MaxFloat64} {
+		b := appendEstimate(nil, "my.hist-1", 42, est, "lo", -5, "hi", 1<<40)
+		var out struct {
+			Name     string  `json:"name"`
+			Version  uint64  `json:"version"`
+			Lo       int64   `json:"lo"`
+			Hi       int64   `json:"hi"`
+			Estimate float64 `json:"estimate"`
+		}
+		if err := json.Unmarshal(b, &out); err != nil {
+			t.Fatalf("est %g: invalid JSON %q: %v", est, b, err)
+		}
+		if out.Name != "my.hist-1" || out.Version != 42 || out.Lo != -5 || out.Hi != 1<<40 || out.Estimate != est {
+			t.Fatalf("est %g: round-tripped to %+v (%s)", est, out, b)
+		}
+		// And byte-compatibility of the float with encoding/json itself.
+		std, _ := json.Marshal(est)
+		if got := string(appendJSONFloat(nil, est)); got != string(std) {
+			t.Errorf("float %g: encoded %q, encoding/json says %q", est, got, std)
+		}
+	}
+	// Single-field form (1D point).
+	b := appendEstimate(nil, "h", 1, 2.5, "key", 7, "", 0)
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil || len(m) != 4 || m["key"].(float64) != 7 {
+		t.Fatalf("point form: %s (%v)", b, err)
+	}
+}
+
+// TestPointRangeEndpointsStillServe: the rewritten handlers answer with
+// the same fields the JSON-encoder versions did.
+func TestPointRangeEndpoints(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	h := buildHist(t, 20000, 1<<10, 30, 8)
+	e, err := s.Registry().Publish("p", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := getJSON(t, ts.URL+"/v1/hist/p/point?key=3", http.StatusOK)
+	if pt["name"] != "p" || uint64(pt["version"].(float64)) != e.Version || pt["key"].(float64) != 3 {
+		t.Fatalf("point response: %v", pt)
+	}
+	if pt["estimate"].(float64) != h.PointEstimate(3) {
+		t.Fatalf("point estimate %v, want %v", pt["estimate"], h.PointEstimate(3))
+	}
+	rg := getJSON(t, ts.URL+"/v1/hist/p/range?lo=10&hi=200", http.StatusOK)
+	if rg["lo"].(float64) != 10 || rg["hi"].(float64) != 200 || rg["estimate"].(float64) != h.RangeCount(10, 200) {
+		t.Fatalf("range response: %v", rg)
+	}
+	// Error paths unchanged.
+	getJSON(t, ts.URL+"/v1/hist/p/point?key=notanint", http.StatusBadRequest)
+	getJSON(t, ts.URL+"/v1/hist/p/range?lo=1", http.StatusBadRequest)
+}
+
+// TestAppendEstimateAllocFree: steady-state single-query encoding does
+// not allocate once the pooled buffer has warmed up.
+func TestAppendEstimateAllocFree(t *testing.T) {
+	buf := make([]byte, 0, 256)
+	allocs := testing.AllocsPerRun(1000, func() {
+		buf = appendEstimate(buf[:0], "some-histogram", 123456, 42.75, "lo", 17, "hi", 92233720368)
+	})
+	if allocs != 0 {
+		t.Fatalf("appendEstimate allocates %v times per call", allocs)
+	}
+}
+
+// BenchmarkPointEndpoint measures the full handler path of the alloc-free
+// single-query encoder.
+func BenchmarkPointEndpoint(b *testing.B) {
+	s, err := NewServer(Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := buildHist(b, 100000, 1<<12, 64, 9)
+	if _, err := s.Registry().Publish("bench", h); err != nil {
+		b.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodGet, "/v1/hist/bench/point?key=17", nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatal(rec.Code)
+		}
+	}
+}

@@ -204,6 +204,21 @@ func (s *Snapshot) Names() []string {
 	return names
 }
 
+// EntriesSince returns the entries installed after registry version since,
+// ordered by install version — the payload of a replication pull. Dropped
+// names never appear here; replicas detect drops by diffing the snapshot's
+// full name set against their own.
+func (s *Snapshot) EntriesSince(since uint64) []*Entry {
+	var out []*Entry
+	for _, e := range s.entries {
+		if e.Version > since {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Version < out[j].Version })
+	return out
+}
+
 // Registry is a versioned, concurrent histogram registry. Reads are
 // lock-free; writes (Publish, Drop) serialize on an internal mutex,
 // copy the entry map, and swap in the new snapshot atomically.

@@ -1,0 +1,139 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"time"
+
+	"wavelethist/dist"
+)
+
+// Replication surface. A primary wavehistd exposes POST /v1/repl/pull:
+// replicas send the highest registry version they have applied and get
+// back every entry published after it (full histogram blobs — summaries
+// are kilobytes, so "log shipping" degenerates to shipping the changed
+// snapshots) plus the complete live name set for drop detection. The
+// endpoint negotiates by Content-Type exactly like the worker wire:
+// binary WDF1 frames in → frames out, JSON in → JSON out.
+//
+// A server started read-only (Config.ReadOnly, the -replica-of mode)
+// rejects every mutating endpoint with 403 until POST /v1/promote flips
+// it writable — the failover path when the primary dies.
+
+// ReplStatus is a replica's view of its sync progress, reported under
+// "replication" in GET /v1/stats. The ha.Replica sync loop installs it
+// after every pull.
+type ReplStatus struct {
+	// Primary is the upstream base URL this server replicates from.
+	Primary string `json:"primary"`
+	// Version is the primary registry version this replica has fully
+	// applied — the replication cursor.
+	Version uint64 `json:"version"`
+	// SyncedAt is when the last successful pull completed.
+	SyncedAt time.Time `json:"synced_at"`
+	// Error is the last sync failure ("" while healthy). A stale
+	// SyncedAt plus a non-empty Error is the "primary is down" signal.
+	Error string `json:"error,omitempty"`
+}
+
+// ReadOnly reports whether the server is in replica mode (mutations 403).
+func (s *Server) ReadOnly() bool { return s.readOnly.Load() }
+
+// Promote flips a read-only replica writable, reporting whether a
+// promotion happened (false = already writable). Promotion is one atomic
+// bit: the replica's registry already holds the replicated histograms, so
+// there is no catch-up phase — reads never pause and writes are accepted
+// from the next request on.
+func (s *Server) Promote() bool { return s.readOnly.CompareAndSwap(true, false) }
+
+// SetReplStatus installs the replica's sync progress for /v1/stats.
+func (s *Server) SetReplStatus(st ReplStatus) { s.repl.Store(&st) }
+
+// ReplStatus returns the last installed sync status (zero value if this
+// server never synced — i.e. it is a primary).
+func (s *Server) ReplStatus() ReplStatus {
+	if st := s.repl.Load(); st != nil {
+		return *st
+	}
+	return ReplStatus{}
+}
+
+// writable guards mutating handlers: a read replica refuses writes so the
+// replicated registry stays a pure function of the primary's.
+func (s *Server) writable(w http.ResponseWriter) bool {
+	if s.readOnly.Load() {
+		writeErr(w, http.StatusForbidden,
+			"server is a read replica; send writes to the primary or POST /v1/promote")
+		return false
+	}
+	return true
+}
+
+// pullResponse assembles the catch-up payload for a replica at version
+// since. One registry snapshot resolution; entries come back in install-
+// version order so a replica that applies them sequentially is always at
+// a prefix-consistent version.
+func (s *Server) pullResponse(since uint64) *dist.ReplPullResponse {
+	snap := s.reg.Snapshot()
+	resp := &dist.ReplPullResponse{Version: snap.Version(), Names: snap.Names()}
+	for _, e := range snap.EntriesSince(since) {
+		var (
+			blob []byte
+			err  error
+			kind byte
+		)
+		if e.Is2D() {
+			blob, err = e.H2D.MarshalBinary()
+			kind = dist.ReplKind2D
+		} else {
+			blob, err = e.H.MarshalBinary()
+			kind = dist.ReplKind1D
+		}
+		if err != nil {
+			// A published histogram always marshals (it was validated on
+			// the way in); skip defensively rather than torn-replicate.
+			continue
+		}
+		resp.Entries = append(resp.Entries, dist.ReplEntry{
+			Name: e.Name, Kind: kind, Version: e.Version, Blob: blob,
+		})
+	}
+	return resp
+}
+
+func (s *Server) handleReplPull(w http.ResponseWriter, r *http.Request) {
+	if r.Header.Get("Content-Type") == dist.ContentTypeBinary {
+		frame, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "read body: %v", err)
+			return
+		}
+		req, err := dist.DecodeReplPullRequest(frame)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "bad pull request: %v", err)
+			return
+		}
+		w.Header().Set("Content-Type", dist.ContentTypeBinary)
+		w.WriteHeader(http.StatusOK)
+		w.Write(dist.EncodeReplPullResponse(s.pullResponse(req.Since)))
+		return
+	}
+	var req dist.ReplPullRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad pull request: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.pullResponse(req.Since))
+}
+
+func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
+	if !s.Promote() {
+		writeErr(w, http.StatusConflict, "server is already writable (not a replica)")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"promoted": true,
+		"version":  s.reg.Version(),
+	})
+}

@@ -1,0 +1,178 @@
+package serve
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"testing"
+
+	"wavelethist/dist"
+)
+
+func pullBinary(t *testing.T, base string, since uint64) *dist.ReplPullResponse {
+	t.Helper()
+	frame := dist.EncodeReplPullRequest(&dist.ReplPullRequest{Since: since})
+	resp, err := http.Post(base+"/v1/repl/pull", dist.ContentTypeBinary, bytes.NewReader(frame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pull: HTTP %d: %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != dist.ContentTypeBinary {
+		t.Fatalf("pull content type %q", ct)
+	}
+	out, err := dist.DecodeReplPullResponse(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestReplPull: the catch-up endpoint ships exactly the entries newer
+// than the caller's cursor, in version order, plus the full live name
+// set for drop detection — over both wire encodings.
+func TestReplPull(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	if _, err := s.Registry().Publish("a", buildHist(t, 10000, 1<<10, 20, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Registry().Publish("b", buildHist(t, 10000, 1<<10, 20, 2)); err != nil {
+		t.Fatal(err)
+	}
+
+	full := pullBinary(t, ts.URL, 0)
+	if full.Version != s.Registry().Version() || len(full.Entries) != 2 || len(full.Names) != 2 {
+		t.Fatalf("full pull: %+v", full)
+	}
+	if full.Entries[0].Version >= full.Entries[1].Version {
+		t.Fatalf("entries out of version order: %d, %d", full.Entries[0].Version, full.Entries[1].Version)
+	}
+
+	// Incremental: from the current version there is nothing to ship.
+	if inc := pullBinary(t, ts.URL, full.Version); len(inc.Entries) != 0 {
+		t.Fatalf("incremental pull shipped %d entries", len(inc.Entries))
+	}
+
+	// One republish → exactly one entry newer than the old cursor.
+	if _, err := s.Registry().Publish("a", buildHist(t, 10000, 1<<10, 20, 3)); err != nil {
+		t.Fatal(err)
+	}
+	inc := pullBinary(t, ts.URL, full.Version)
+	if len(inc.Entries) != 1 || inc.Entries[0].Name != "a" {
+		t.Fatalf("incremental pull: %+v", inc.Entries)
+	}
+
+	// Drop detection: the name set shrinks even though no entry ships.
+	s.Registry().Drop("b")
+	after := pullBinary(t, ts.URL, inc.Version)
+	if len(after.Entries) != 0 || len(after.Names) != 1 || after.Names[0] != "a" {
+		t.Fatalf("post-drop pull: entries=%v names=%v", after.Entries, after.Names)
+	}
+
+	// JSON negotiation: same payload, JSON encoding.
+	var jr dist.ReplPullResponse
+	out := postJSON(t, ts.URL+"/v1/repl/pull", dist.ReplPullRequest{Since: 0}, http.StatusOK)
+	if uint64(out["version"].(float64)) != after.Version {
+		t.Fatalf("JSON pull version %v, want %d", out["version"], after.Version)
+	}
+	_ = jr
+}
+
+// TestReadOnlyReplicaMode: a ReadOnly server rejects every mutation with
+// 403, keeps serving reads, and accepts writes after promotion.
+func TestReadOnlyReplicaMode(t *testing.T) {
+	s, ts := newTestServer(t, Config{ReadOnly: true})
+	if _, err := s.Registry().Publish("r", buildHist(t, 10000, 1<<10, 20, 4)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reads work.
+	getJSON(t, ts.URL+"/v1/hist/r/point?key=5", http.StatusOK)
+	getJSON(t, ts.URL+"/v1/hist/r/range?lo=0&hi=100", http.StatusOK)
+
+	// Mutations are refused.
+	postJSON(t, ts.URL+"/v1/hist/r/updates", map[string]any{
+		"updates": []map[string]any{{"key": 1, "delta": 1}},
+	}, http.StatusForbidden)
+	postJSON(t, ts.URL+"/v1/datasets", map[string]any{
+		"name": "z", "kind": "zipf", "records": 1000, "domain": 1024,
+	}, http.StatusForbidden)
+	postJSON(t, ts.URL+"/v1/build", map[string]any{
+		"name": "x", "dataset": "z", "method": "Send-V",
+	}, http.StatusForbidden)
+
+	// Stats expose the read-only posture.
+	stats := getJSON(t, ts.URL+"/v1/stats", http.StatusOK)
+	repl, ok := stats["replication"].(map[string]any)
+	if !ok || repl["read_only"] != true {
+		t.Fatalf("stats replication section: %v", stats["replication"])
+	}
+
+	// Promote: exactly once, then mutations flow.
+	out := postJSON(t, ts.URL+"/v1/promote", nil, http.StatusOK)
+	if out["promoted"] != true {
+		t.Fatalf("promote: %v", out)
+	}
+	postJSON(t, ts.URL+"/v1/promote", nil, http.StatusConflict)
+	postJSON(t, ts.URL+"/v1/hist/r/updates", map[string]any{
+		"updates": []map[string]any{{"key": 1, "delta": 1}},
+	}, http.StatusOK)
+}
+
+// TestMaintainerPersistence: maintainer state (the full tracked set, not
+// just the published top-k) survives a server restart through the .wmnt
+// snapshot written at each republish.
+func TestMaintainerPersistence(t *testing.T) {
+	dir := t.TempDir()
+	s1, ts1 := newTestServer(t, Config{SnapshotDir: dir, RepublishEvery: 4})
+	if _, err := s1.Registry().Publish("m", buildHist(t, 20000, 1<<12, 30, 5)); err != nil {
+		t.Fatal(err)
+	}
+	// Apply updates; the flush forces a republish, which persists .wmnt.
+	postJSON(t, ts1.URL+"/v1/hist/m/updates", map[string]any{
+		"updates": []map[string]any{
+			{"key": 42, "delta": 500}, {"key": 99, "delta": -3}, {"key": 7, "delta": 12},
+		},
+		"flush": true,
+	}, http.StatusOK)
+
+	s1.mu.Lock()
+	m1 := s1.maints["m"]
+	s1.mu.Unlock()
+	if m1 == nil {
+		t.Fatal("no live maintainer after updates")
+	}
+	want, err := m1.mh.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart on the same directory: the maintainer is re-seeded from
+	// disk with byte-identical state (deterministic WMNT encoding).
+	s2, ts2 := newTestServer(t, Config{SnapshotDir: dir, RepublishEvery: 4})
+	s2.mu.Lock()
+	m2 := s2.maints["m"]
+	s2.mu.Unlock()
+	if m2 == nil {
+		t.Fatal("maintainer not restored from snapshot dir")
+	}
+	got, err := m2.mh.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("restored maintainer state differs from saved state")
+	}
+	if m2.base != func() uint64 { e, _ := s2.Registry().Lookup("m"); return e.Version }() {
+		t.Fatal("restored maintainer base does not match registry entry version")
+	}
+
+	// The restored lineage keeps accepting updates and republishing.
+	postJSON(t, ts2.URL+"/v1/hist/m/updates", map[string]any{
+		"updates": []map[string]any{{"key": 42, "delta": 1}},
+		"flush":   true,
+	}, http.StatusOK)
+}

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"wavelethist"
@@ -51,6 +52,15 @@ type Config struct {
 	// queues at the clients, not in the coordinator. 0 = default (64);
 	// negative disables shedding.
 	MaxPendingPerWorker int
+	// ReadOnly starts the server as a read replica: every mutating
+	// endpoint (builds, updates, dataset creation) answers 403 until
+	// POST /v1/promote flips it writable. The ha.Replica sync loop keeps
+	// a read-only server's registry following a primary.
+	ReadOnly bool
+	// Shard is an informational label ("" = unsharded) reported in
+	// /v1/stats and /healthz so operators and the router can tell which
+	// shard a process serves.
+	Shard string
 }
 
 func (c Config) withDefaults() Config {
@@ -110,6 +120,11 @@ type Server struct {
 	baseCancel context.CancelFunc
 	jobWG      sync.WaitGroup
 
+	// readOnly is the replica-mode latch (see Config.ReadOnly, Promote);
+	// repl holds the latest sync status a replica follower installed.
+	readOnly atomic.Bool
+	repl     atomic.Pointer[ReplStatus]
+
 	mu       sync.Mutex
 	datasets map[string]*wavelethist.Dataset
 	maints   map[string]*maintained
@@ -142,6 +157,8 @@ func NewServer(cfg Config) (*Server, error) {
 		datasets:   map[string]*wavelethist.Dataset{},
 		maints:     map[string]*maintained{},
 	}
+	s.readOnly.Store(cfg.ReadOnly)
+	s.loadMaints()
 	s.routes()
 	return s, nil
 }
@@ -199,6 +216,8 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/build", s.handleBuild)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
+	s.mux.HandleFunc("POST /v1/repl/pull", s.handleReplPull)
+	s.mux.HandleFunc("POST /v1/promote", s.handlePromote)
 	if s.cfg.Coordinator != nil {
 		s.mux.Handle("/dist/v1/", s.cfg.Coordinator.Handler())
 	}
@@ -288,11 +307,6 @@ func (s *Server) handlePoint(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	var (
-		est float64
-		err error
-	)
-	resp := map[string]any{"name": e.Name, "version": e.Version}
 	if e.Is2D() {
 		x, errX := queryInt64(r, "x")
 		y, errY := queryInt64(r, "y")
@@ -300,24 +314,25 @@ func (s *Server) handlePoint(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusBadRequest, "2D point query needs integer x and y")
 			return
 		}
-		est, err = e.Point2D(x, y)
-		resp["x"], resp["y"] = x, y
-	} else {
-		var key int64
-		key, err = queryInt64(r, "key")
+		est, err := e.Point2D(x, y)
 		if err != nil {
 			writeErr(w, http.StatusBadRequest, "%v", err)
 			return
 		}
-		est, err = e.Point(key)
-		resp["key"] = key
+		writeEstimate(w, e.Name, e.Version, est, "x", x, "y", y)
+		return
 	}
+	key, err := queryInt64(r, "key")
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	resp["estimate"] = est
-	writeJSON(w, http.StatusOK, resp)
+	est, err := e.Point(key)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeEstimate(w, e.Name, e.Version, est, "key", key, "", 0)
 }
 
 func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
@@ -336,9 +351,7 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"name": e.Name, "version": e.Version, "lo": lo, "hi": hi, "estimate": est,
-	})
+	writeEstimate(w, e.Name, e.Version, est, "lo", lo, "hi", hi)
 }
 
 // batchBuffers is one batch request's reusable state: the decoded query
@@ -409,6 +422,9 @@ type KeyUpdate struct {
 }
 
 func (s *Server) handleUpdates(w http.ResponseWriter, r *http.Request) {
+	if !s.writable(w) {
+		return
+	}
 	e, ok := s.entry(w, r)
 	if !ok {
 		return
@@ -485,6 +501,10 @@ func (s *Server) handleUpdates(w http.ResponseWriter, r *http.Request) {
 		version = ne.Version
 		m.base = ne.Version
 		m.pending = 0
+		// The published histogram and the saved maintainer state now
+		// describe the same lineage point; persist them together so a
+		// restart resumes exactly here.
+		s.persistMaint(e.Name, m.mh)
 	} else {
 		version = s.reg.Version()
 	}
@@ -522,6 +542,7 @@ func (s *Server) maintainer(e *Entry) (*maintained, error) {
 	}
 	m := &maintained{mh: mh, base: cur.Version}
 	s.maints[e.Name] = m
+	s.persistMaint(e.Name, mh)
 	return m, nil
 }
 
@@ -541,11 +562,28 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"registry_version": snap.Version(),
 		"histograms":       per,
 	}
+	if s.cfg.Shard != "" {
+		out["shard"] = s.cfg.Shard
+	}
 	// Fleet saturation (queue depth, per-worker in-flight and last-RPC
 	// latency) when distributed builds are enabled — the coordinator-side
 	// signal for autoscaling and backpressure.
 	if s.cfg.Coordinator != nil {
 		out["fleet"] = s.cfg.Coordinator.FleetStats()
+	}
+	// Replication posture: present whenever the server is (or was) a
+	// replica, so operators see read-only state and sync lag in one place.
+	if st := s.repl.Load(); st != nil || s.readOnly.Load() {
+		repl := map[string]any{"read_only": s.readOnly.Load()}
+		if st != nil {
+			repl["primary"] = st.Primary
+			repl["version"] = st.Version
+			repl["synced_at"] = st.SyncedAt
+			if st.Error != "" {
+				repl["error"] = st.Error
+			}
+		}
+		out["replication"] = repl
 	}
 	writeJSON(w, http.StatusOK, out)
 }
@@ -570,6 +608,9 @@ type DatasetRequest struct {
 }
 
 func (s *Server) handleCreateDataset(w http.ResponseWriter, r *http.Request) {
+	if !s.writable(w) {
+		return
+	}
 	var req DatasetRequest
 	if !s.decode(w, r, &req) {
 		return
@@ -652,6 +693,9 @@ type BuildRequest struct {
 }
 
 func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
+	if !s.writable(w) {
+		return
+	}
 	var req BuildRequest
 	if !s.decode(w, r, &req) {
 		return
@@ -762,6 +806,7 @@ func (s *Server) runBuild(ctx context.Context, cancel context.CancelFunc, job *J
 	s.mu.Lock()
 	delete(s.maints, req.Name)
 	s.mu.Unlock()
+	s.removeMaintFile(req.Name)
 	e, err := s.reg.Publish(req.Name, res.Histogram)
 	if err != nil {
 		s.jobs.fail(job, err)
@@ -776,6 +821,7 @@ func (s *Server) runBuild(ctx context.Context, cancel context.CancelFunc, job *J
 		s.mu.Lock()
 		s.maints[req.Name] = &maintained{mh: mh, base: e.Version}
 		s.mu.Unlock()
+		s.persistMaint(req.Name, mh)
 	}
 	s.jobs.finish(job, e, res.Histogram.K(), res)
 }

@@ -215,10 +215,10 @@ func Build2DContext(ctx context.Context, d *Dataset2D, method Method2D, opts Opt
 }
 
 // BuildDistributed2D constructs a 2D wavelet histogram on the worker
-// fleet. Only the multi-round H-WTopk-2D is supported (the 2D one-round
-// baselines have no distributed decomposition yet); other methods return
-// ErrUnsupportedMethod. The result is bit-identical to Build2D with the
-// same seed.
+// fleet. All three 2D methods are distributable: Send-V-2D and
+// TwoLevel-S-2D as one-round jobs (per-split partials merged in split
+// order), H-WTopk-2D as the three-round two-sided TPUT exchange. The
+// result is bit-identical to Build2D with the same seed.
 //
 // Caveat: 2D datasets ship as explicit key lists ("keys" recipes), and
 // the dist protocol embeds the dataset recipe in every map RPC, so large
