@@ -49,6 +49,7 @@ func BuildDistributed(ctx context.Context, d *Dataset, method Method, opts Optio
 	}
 	return &Result{
 		Histogram:        &Histogram{rep: out.Rep},
+		DistJobID:        stats.JobID,
 		CommBytes:        stats.WireBytes,
 		ModelCommBytes:   out.Metrics.TotalCommBytes(),
 		WireBytes:        stats.WireBytes,

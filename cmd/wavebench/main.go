@@ -20,11 +20,15 @@
 // hash router) and samples end-to-end routed latency: single point reads
 // through the router, the cross-shard scatter-gather batch, and reads
 // after a primary is killed (served by the replica via router failover)
-// — p50/p99 land in the cluster section.
+// — p50/p99 land in the cluster section. The -qps-workers sweep adds
+// sustained-throughput rows: W concurrent clients per level hammer routed
+// point reads, reporting achieved QPS plus client-side AND server-side
+// p50/p99 (the latter read back from the shard's own latency histograms
+// via /v1/stats, so router overhead is separable from serving cost).
 //
 // Usage:
 //
-//	wavebench -out BENCH_pr6.json
+//	wavebench -out BENCH_pr7.json
 //	wavebench -records 1048576 -domain 65536 -workers 4 -out bench.json
 package main
 
@@ -40,6 +44,9 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strconv"
+	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -110,14 +117,23 @@ type QueryRow struct {
 
 // ClusterRow is one serving-tier latency measurement through the
 // router, in wall-clock microseconds at the labeled percentiles.
+// Sustained-QPS rows (op routed_point_qps) additionally report the
+// concurrency level, the achieved throughput, and the server-side
+// quantiles read back from the shard's own latency histograms via
+// /v1/stats — client-side tail minus server-side tail isolates the
+// router+transport overhead from serving cost.
 type ClusterRow struct {
-	Op        string  `json:"op"` // routed_point | cross_batch | routed_point_failover
-	Shards    int     `json:"shards"`
-	Replicas  int     `json:"replicas_per_shard"`
-	Batch     int     `json:"batch,omitempty"`
-	Samples   int     `json:"samples"`
-	P50Micros float64 `json:"p50_micros"`
-	P99Micros float64 `json:"p99_micros"`
+	Op              string  `json:"op"` // routed_point | cross_batch | routed_point_failover | routed_point_qps
+	Shards          int     `json:"shards"`
+	Replicas        int     `json:"replicas_per_shard"`
+	Batch           int     `json:"batch,omitempty"`
+	Workers         int     `json:"workers,omitempty"` // concurrent client goroutines
+	Samples         int     `json:"samples"`
+	QPS             float64 `json:"qps,omitempty"` // achieved sustained throughput
+	P50Micros       float64 `json:"p50_micros"`
+	P99Micros       float64 `json:"p99_micros"`
+	ServerP50Micros float64 `json:"server_p50_micros,omitempty"`
+	ServerP99Micros float64 `json:"server_p99_micros,omitempty"`
 }
 
 // Report is the file layout.
@@ -142,26 +158,51 @@ type Report struct {
 
 func main() {
 	var (
-		out     = flag.String("out", "BENCH_pr6.json", "output file")
-		records = flag.Int64("records", 1<<19, "dataset records")
-		domain  = flag.Int64("domain", 1<<14, "key domain (power of two)")
-		alpha   = flag.Float64("alpha", 1.1, "zipf skew")
-		seed    = flag.Uint64("seed", 42, "seed")
-		k       = flag.Int("k", 30, "retained coefficients")
-		workers = flag.Int("workers", 3, "loopback workers for distributed rows")
-		queries = flag.Bool("queries", true, "run the query-plane pass (scan vs errtree)")
-		qk      = flag.Int("qk", 2048, "retained coefficients for the query pass")
-		qdomain = flag.Int64("qdomain", 1<<20, "key domain for the query pass (power of two)")
-		cluster = flag.Bool("cluster", true, "run the serving-tier pass (routed p50/p99 through the sharded cluster)")
+		out        = flag.String("out", "BENCH_pr7.json", "output file")
+		records    = flag.Int64("records", 1<<19, "dataset records")
+		domain     = flag.Int64("domain", 1<<14, "key domain (power of two)")
+		alpha      = flag.Float64("alpha", 1.1, "zipf skew")
+		seed       = flag.Uint64("seed", 42, "seed")
+		k          = flag.Int("k", 30, "retained coefficients")
+		workers    = flag.Int("workers", 3, "loopback workers for distributed rows")
+		queries    = flag.Bool("queries", true, "run the query-plane pass (scan vs errtree)")
+		qk         = flag.Int("qk", 2048, "retained coefficients for the query pass")
+		qdomain    = flag.Int64("qdomain", 1<<20, "key domain for the query pass (power of two)")
+		cluster    = flag.Bool("cluster", true, "run the serving-tier pass (routed p50/p99 through the sharded cluster)")
+		qpsWorkers = flag.String("qps-workers", "1,4,16", "comma-separated concurrency levels for the sustained-QPS sweep in the cluster pass (empty = skip)")
 	)
 	flag.Parse()
-	if err := run(*out, *records, *domain, *alpha, *seed, *k, *workers, *queries, *qk, *qdomain, *cluster); err != nil {
+	levels, err := parseLevels(*qpsWorkers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wavebench: -qps-workers:", err)
+		os.Exit(1)
+	}
+	if err := run(*out, *records, *domain, *alpha, *seed, *k, *workers, *queries, *qk, *qdomain, *cluster, levels); err != nil {
 		fmt.Fprintln(os.Stderr, "wavebench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out string, records, domain int64, alpha float64, seed uint64, k, workers int, queries bool, qk int, qdomain int64, cluster bool) error {
+// parseLevels parses the -qps-workers list ("1,4,16") into sorted
+// positive concurrency levels.
+func parseLevels(spec string) ([]int, error) {
+	var levels []int
+	for _, f := range strings.Split(spec, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		n, err := strconv.Atoi(f)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad concurrency level %q", f)
+		}
+		levels = append(levels, n)
+	}
+	sort.Ints(levels)
+	return levels, nil
+}
+
+func run(out string, records, domain int64, alpha float64, seed uint64, k, workers int, queries bool, qk int, qdomain int64, cluster bool, qpsLevels []int) error {
 	ds, err := wavelethist.NewZipfDataset(wavelethist.ZipfOptions{
 		Records: records, Domain: domain, Alpha: alpha, Seed: seed,
 	})
@@ -253,12 +294,17 @@ func run(out string, records, domain int64, alpha float64, seed uint64, k, worke
 	}
 
 	if cluster {
-		crows, err := clusterPass(records, domain, alpha, seed, k)
+		crows, err := clusterPass(records, domain, alpha, seed, k, qpsLevels)
 		if err != nil {
 			return err
 		}
 		rep.Cluster = crows
 		for _, c := range crows {
+			if c.Op == "routed_point_qps" {
+				fmt.Printf("cluster %-22s workers=%-3d qps=%-8.0f p50=%8.1fµs p99=%8.1fµs server p50=%8.1fµs p99=%8.1fµs\n",
+					c.Op, c.Workers, c.QPS, c.P50Micros, c.P99Micros, c.ServerP50Micros, c.ServerP99Micros)
+				continue
+			}
 			fmt.Printf("cluster %-22s shards=%d samples=%-5d p50=%8.1fµs p99=%8.1fµs\n",
 				c.Op, c.Shards, c.Samples, c.P50Micros, c.P99Micros)
 		}
@@ -529,7 +575,7 @@ func queryPass(records int64, alpha float64, seed uint64, qk int, qdomain int64)
 // p99 through the router is what a query optimizer's planning budget
 // sees — and the failover row deliberately pays the dead-primary retry
 // on every read, which is the degraded steady state until promotion.
-func clusterPass(records, domain int64, alpha float64, seed uint64, k int) ([]ClusterRow, error) {
+func clusterPass(records, domain int64, alpha float64, seed uint64, k int, qpsLevels []int) ([]ClusterRow, error) {
 	const (
 		shards       = 2
 		pointSamples = 2000
@@ -700,6 +746,79 @@ func clusterPass(records, domain int64, alpha float64, seed uint64, k int) ([]Cl
 		P50Micros: pctl(lat, 0.50), P99Micros: pctl(lat, 0.99),
 	})
 
+	// Sustained-QPS sweep: W concurrent clients hammer routed point reads
+	// against a dedicated histogram per level (fresh per-entry stats, so
+	// the server-side quantiles reflect only this level's traffic and the
+	// sequential rows above don't contaminate them). Client-side p50/p99
+	// come from per-request timing; server-side p50/p99 are read back from
+	// the owning primary's /v1/stats — the gap is router + HTTP overhead.
+	for _, workers := range qpsLevels {
+		qpsName := ""
+		for c := 0; c < 1024 && qpsName == ""; c++ {
+			if n := fmt.Sprintf("qps-%d-%d", workers, c); router.Shard(n).ID == "s0" {
+				qpsName = n
+			}
+		}
+		if qpsName == "" {
+			return nil, fmt.Errorf("no qps bench name lands on shard s0")
+		}
+		res, err := wavelethist.Build(ds, wavelethist.SendV, wavelethist.Options{K: k, Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := nodes[0].primary.Registry().Publish(qpsName, res.Histogram); err != nil {
+			return nil, err
+		}
+		perWorker := 2000 / workers
+		if perWorker < 50 {
+			perWorker = 50
+		}
+		total := perWorker * workers
+		lats := make([][]time.Duration, workers)
+		errs := make([]error, workers)
+		var wg sync.WaitGroup
+		t0 := time.Now()
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				lats[w] = make([]time.Duration, 0, perWorker)
+				for i := 0; i < perWorker; i++ {
+					key := (int64(w*perWorker+i) * 2654435761) & mask
+					q0 := time.Now()
+					if err := get(fmt.Sprintf("%s/v1/hist/%s/point?key=%d", rtTS.URL, qpsName, key)); err != nil {
+						errs[w] = err
+						return
+					}
+					lats[w] = append(lats[w], time.Since(q0))
+				}
+			}(w)
+		}
+		wg.Wait()
+		elapsed := time.Since(t0)
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		var all []time.Duration
+		for _, l := range lats {
+			all = append(all, l...)
+		}
+		sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
+		sp50, sp99, err := serverQuantiles(client, nodes[0].pTS.URL, qpsName)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, ClusterRow{
+			Op: "routed_point_qps", Shards: shards, Replicas: 1,
+			Workers: workers, Samples: total,
+			QPS:       float64(total) / elapsed.Seconds(),
+			P50Micros: pctl(all, 0.50), P99Micros: pctl(all, 0.99),
+			ServerP50Micros: sp50, ServerP99Micros: sp99,
+		})
+	}
+
 	// Kill shard 0's primary: every read now pays the router's detect-and-
 	// retry against the replica.
 	nodes[0].pTS.Close()
@@ -715,4 +834,33 @@ func clusterPass(records, domain int64, alpha float64, seed uint64, k int) ([]Cl
 		P50Micros: pctl(lat, 0.50), P99Micros: pctl(lat, 0.99),
 	})
 	return rows, nil
+}
+
+// serverQuantiles reads one histogram's server-side point-query p50/p99
+// (microseconds, derived from the serving histograms) out of /v1/stats.
+func serverQuantiles(client *http.Client, base, name string) (p50, p99 float64, err error) {
+	resp, err := client.Get(base + "/v1/stats")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		Histograms map[string]struct {
+			Stats struct {
+				Point struct {
+					Count     int64   `json:"count"`
+					P50Micros float64 `json:"p50_micros"`
+					P99Micros float64 `json:"p99_micros"`
+				} `json:"point"`
+			} `json:"stats"`
+		} `json:"histograms"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		return 0, 0, err
+	}
+	h, ok := stats.Histograms[name]
+	if !ok || h.Stats.Point.Count == 0 {
+		return 0, 0, fmt.Errorf("no server-side point stats for %q", name)
+	}
+	return h.Stats.Point.P50Micros, h.Stats.Point.P99Micros, nil
 }

@@ -46,6 +46,7 @@ import (
 	"wavelethist"
 	"wavelethist/dist"
 	"wavelethist/ha"
+	"wavelethist/internal/obs"
 	"wavelethist/serve"
 )
 
@@ -61,6 +62,9 @@ func main() {
 		syncEvery   = flag.Duration("sync-every", time.Second, "replica pull interval (with -replica-of)")
 		shard       = flag.String("shard", "", "shard label reported in /v1/stats (informational)")
 		checkpoints = flag.String("checkpoints", "", "coordinator checkpoint directory: multi-round distributed builds resume at the last round barrier after a daemon restart")
+		slowQuery   = flag.Duration("slow-query", 0, "log queries slower than this threshold (0 disables the slow-query log)")
+		traceDir    = flag.String("trace-dir", "", "dump per-build distributed trace spans as JSONL into this directory")
+		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof on this separate address (empty = off)")
 	)
 	flag.Parse()
 
@@ -69,11 +73,13 @@ func main() {
 		workers: *workers, distMode: *distMode,
 		replicaOf: *replicaOf, syncEvery: *syncEvery,
 		shard: *shard, checkpoints: *checkpoints,
+		slowQuery: *slowQuery, traceDir: *traceDir,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wavehistd:", err)
 		os.Exit(1)
 	}
+	obs.ServeDebug(*debugAddr, log.Printf)
 	if rep != nil {
 		rep.Start()
 		log.Printf("wavehistd: read replica following %s (pull every %s)", *replicaOf, *syncEvery)
@@ -120,6 +126,8 @@ type daemonConfig struct {
 	replicaOf          string
 	syncEvery          time.Duration
 	shard, checkpoints string
+	slowQuery          time.Duration
+	traceDir           string
 }
 
 // newDaemon assembles the HTTP server (split from main so tests can run
@@ -152,21 +160,23 @@ func newDaemonCfg(c daemonConfig) (*http.Server, *serve.Server, *ha.Replica, err
 	case c.workers > 0:
 		// Loopback fleets don't heartbeat: leave expiry off. Remote
 		// workers can still join via the HTTP fallback transport.
-		coord, _ = dist.NewLoopbackCluster(c.workers, 0, dist.Config{CheckpointDir: c.checkpoints})
+		coord, _ = dist.NewLoopbackCluster(c.workers, 0, dist.Config{CheckpointDir: c.checkpoints, TraceDir: c.traceDir})
 		log.Printf("wavehistd: distributed builds over %d in-process workers", c.workers)
 	case c.distMode:
 		coord = dist.NewCoordinator(dist.NewHTTPTransport(), dist.Config{
 			HeartbeatTimeout: 15 * time.Second,
 			CheckpointDir:    c.checkpoints,
+			TraceDir:         c.traceDir,
 		})
 		log.Print("wavehistd: accepting waveworker registrations on /dist/v1/register")
 	}
 	s, err := serve.NewServer(serve.Config{
-		SnapshotDir:    c.snapshots,
-		RepublishEvery: c.republish,
-		Coordinator:    coord,
-		ReadOnly:       c.replicaOf != "",
-		Shard:          c.shard,
+		SnapshotDir:        c.snapshots,
+		RepublishEvery:     c.republish,
+		Coordinator:        coord,
+		ReadOnly:           c.replicaOf != "",
+		Shard:              c.shard,
+		SlowQueryThreshold: c.slowQuery,
 	})
 	if err != nil {
 		return nil, nil, nil, err

@@ -10,6 +10,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"wavelethist/internal/obs"
 )
 
 // TestDaemonServesDemo boots the daemon on a loopback listener with the
@@ -171,4 +173,58 @@ func TestDaemonRejectsBadSnapshotDir(t *testing.T) {
 
 func writeFile(path string) error {
 	return os.WriteFile(path, []byte("x"), 0o644)
+}
+
+// TestDaemonMetricsEndpoint boots the daemon with an in-process worker
+// fleet, drives a query and a distributed build, and checks GET /metrics
+// serves a lint-clean exposition covering query, build, cache, and
+// replication families.
+func TestDaemonMetricsEndpoint(t *testing.T) {
+	srv, s, err := newDaemonDist("127.0.0.1:0", "", 256, true, 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go serveOn(srv, ln)
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+
+	var resp *http.Response
+	for i := 0; ; i++ {
+		resp, err = http.Get(base + "/v1/hist/demo/point?key=1")
+		if err == nil {
+			break
+		}
+		if i > 50 {
+			t.Fatal(err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	resp.Body.Close()
+
+	mres, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mres.Body.Close()
+	body, _ := io.ReadAll(mres.Body)
+	if mres.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics = %d: %s", mres.StatusCode, body)
+	}
+	fams, err := obs.Lint(string(body))
+	if err != nil {
+		t.Fatalf("lint: %v\n%s", err, body)
+	}
+	if err := obs.RequireFamilies(fams,
+		"wavehist_query_duration_seconds", "wavehist_queries_total",
+		"wavehist_builds_total", "wavehist_registry_version",
+		"wavehist_read_only", "wavehist_repl_lag_versions",
+		"wavehist_dist_alive_workers", "wavehist_dist_builds_total",
+	); err != nil {
+		t.Fatal(err)
+	}
 }

@@ -38,12 +38,14 @@ import (
 	"time"
 
 	"wavelethist/ha"
+	"wavelethist/internal/obs"
 )
 
 func main() {
 	var (
-		addr   = flag.String("addr", ":8080", "listen address")
-		shards = flag.String("shards", "", "cluster topology: shards separated by ';', URLs within a shard by ',' (first = primary, rest = replicas)")
+		addr      = flag.String("addr", ":8080", "listen address")
+		shards    = flag.String("shards", "", "cluster topology: shards separated by ';', URLs within a shard by ',' (first = primary, rest = replicas)")
+		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof on this separate address (empty = off)")
 	)
 	flag.Parse()
 
@@ -52,6 +54,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "waverouter:", err)
 		os.Exit(1)
 	}
+	obs.ServeDebug(*debugAddr, log.Printf)
 
 	srv := &http.Server{
 		Addr:              *addr,

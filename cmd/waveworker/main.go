@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"wavelethist/dist"
+	"wavelethist/internal/obs"
 )
 
 func main() {
@@ -45,8 +46,10 @@ func main() {
 		id          = flag.String("id", "", "worker id (default derived from the advertised address)")
 		leaseTTL    = flag.Duration("lease-ttl", dist.DefaultLeaseTTL, "idle multi-round state leases expire after this long")
 		cacheBytes  = flag.Int64("cache-bytes", dist.DefaultPartialCacheBytes, "partial-cache size bound (0 disables caching)")
+		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof on this separate address (empty = off)")
 	)
 	flag.Parse()
+	obs.ServeDebug(*debugAddr, log.Printf)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

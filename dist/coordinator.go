@@ -17,6 +17,7 @@ import (
 
 	"wavelethist/internal/core"
 	"wavelethist/internal/hdfs"
+	"wavelethist/internal/obs"
 )
 
 // Config tunes a Coordinator. The zero value is usable.
@@ -52,6 +53,10 @@ type Config struct {
 	// fan-out at the first incomplete round. Checkpoints are removed when
 	// their build completes.
 	CheckpointDir string
+	// TraceDir, when non-empty, dumps every finished build's span trace
+	// as JSONL (<jobID>.jsonl) — the durable form of GET /dist/v1/trace.
+	// Best-effort: a failed dump never fails the build.
+	TraceDir string
 }
 
 func (c Config) withDefaults() Config {
@@ -162,6 +167,9 @@ type BuildStats struct {
 	// CandidateSetSize is |R| — the candidate set broadcast before
 	// H-WTopk's round 3 (0 for one-round methods).
 	CandidateSetSize int
+	// JobID is the coordinator-assigned build identifier ("build-…"),
+	// the key for GET /dist/v1/trace/{id}.
+	JobID string
 }
 
 // buildTrack is the live progress of one in-flight build, read by
@@ -211,6 +219,22 @@ type Coordinator struct {
 	// cachedSplits accumulates partial-cache hits across builds
 	// (FleetStats.CachedSplitsTotal).
 	cachedSplits atomic.Int64
+
+	// traces retains span traces for recent builds (GET /dist/v1/trace).
+	traces traceStore
+
+	// Lifetime observability totals, exposed by Collect as
+	// wavehist_dist_* metric families.
+	buildsStarted obs.Counter
+	buildsDone    obs.Counter
+	buildsFailed  obs.Counter
+	rpcsTotal     obs.Counter
+	retriesTotal  obs.Counter
+	failuresTotal obs.Counter
+	wireBytes     obs.Counter
+	bcastBytes    obs.Counter
+	roundDur      obs.Histogram
+	rpcDur        obs.Histogram
 
 	// affinity remembers, per build shape (dataset fingerprint, method,
 	// params), which worker served each split — seeded into the next
@@ -552,12 +576,23 @@ func (c *Coordinator) Build2D(ctx context.Context, spec DatasetSpec, file *hdfs.
 // splits prefer the worker that served them in the last build of the same
 // shape (cache affinity): its partial cache holds their results, so
 // repeat builds re-ship instead of recomputing.
-func (c *Coordinator) oneRoundPartials(ctx context.Context, spec DatasetSpec, file *hdfs.File, method string, p core.Params) ([]core.SplitPartial, *BuildStats, error) {
+func (c *Coordinator) oneRoundPartials(ctx context.Context, spec DatasetSpec, file *hdfs.File, method string, p core.Params) (_ []core.SplitPartial, _ *BuildStats, retErr error) {
 	m := core.NumSplits(file, p)
 	jobID := c.newJobID()
-	stats := &BuildStats{Splits: m, Rounds: 1}
+	notifyJobID(ctx, jobID)
+	stats := &BuildStats{Splits: m, Rounds: 1, JobID: jobID}
 	track := c.trackBuild(jobID, 1)
 	defer c.untrackBuild(jobID)
+	c.beginTrace(jobID, method, m, 1)
+	c.buildsStarted.Inc()
+	defer func() {
+		c.endTrace(jobID, retErr)
+		if retErr != nil {
+			c.buildsFailed.Inc()
+		} else {
+			c.buildsDone.Inc()
+		}
+	}()
 	affKey := partialCacheKey(spec.Fingerprint(), method, p, 0, nil)
 	owners, seeded := c.affinityOwners(affKey, m)
 	responded := make(map[string]bool)
@@ -616,16 +651,27 @@ func (c *Coordinator) buildOneRound2D(ctx context.Context, spec DatasetSpec, fil
 // state); splits whose owner died are re-assigned, and the new owner
 // replays the earlier rounds locally. Worker state leases are released on
 // every exit path.
-func (c *Coordinator) runMultiRound(ctx context.Context, spec DatasetSpec, file *hdfs.File, method string, p core.Params) (*core.RoundPlan, *BuildStats, error) {
+func (c *Coordinator) runMultiRound(ctx context.Context, spec DatasetSpec, file *hdfs.File, method string, p core.Params) (_ *core.RoundPlan, _ *BuildStats, retErr error) {
 	plan, err := core.NewRoundPlan(file, method, p)
 	if err != nil {
 		return nil, nil, err
 	}
 	m := plan.NumSplits()
 	jobID := c.newJobID()
-	stats := &BuildStats{Splits: m, Rounds: plan.NumRounds()}
+	notifyJobID(ctx, jobID)
+	stats := &BuildStats{Splits: m, Rounds: plan.NumRounds(), JobID: jobID}
 	track := c.trackBuild(jobID, plan.NumRounds())
 	defer c.untrackBuild(jobID)
+	c.beginTrace(jobID, method, m, plan.NumRounds())
+	c.buildsStarted.Inc()
+	defer func() {
+		c.endTrace(jobID, retErr)
+		if retErr != nil {
+			c.buildsFailed.Inc()
+		} else {
+			c.buildsDone.Inc()
+		}
+	}()
 
 	// Seed round-1 stickiness from the last build of the same shape: the
 	// prior owner's cache holds every round's partials, so a repeat build
@@ -655,6 +701,8 @@ func (c *Coordinator) runMultiRound(ctx context.Context, spec DatasetSpec, file 
 					break
 				}
 				stats.PerRound = append(stats.PerRound, RoundStats{Round: r, Restored: true})
+				c.recordSpan(jobID, Span{Round: r, Restored: true,
+					StartUnixMicros: time.Now().UnixMicro()})
 			}
 			if replayed {
 				startRound = len(ck.Rounds) + 1
@@ -765,6 +813,8 @@ type roundCall struct {
 // runRound fans one round's splits out to the fleet, re-assigning on
 // worker failure, and returns one partial per split (in split order).
 func (c *Coordinator) runRound(ctx context.Context, rc *roundCall, stats *BuildStats) ([]core.SplitPartial, error) {
+	roundStart := time.Now()
+	defer func() { c.roundDur.Observe(time.Since(roundStart)) }()
 	m := rc.m
 	pending := make([]int, m)
 	for i := range pending {
@@ -775,6 +825,7 @@ func (c *Coordinator) runRound(ctx context.Context, rc *roundCall, stats *BuildS
 	remaining := m
 	inflight := 0
 	rstats := RoundStats{Round: rc.round, BroadcastBytes: int64(len(rc.bcast))}
+	c.bcastBytes.Add(int64(len(rc.bcast)))
 	results := make(chan rpcResult, c.cfg.MaxInFlight)
 	retry := time.NewTicker(25 * time.Millisecond)
 	defer retry.Stop()
@@ -889,6 +940,7 @@ func (c *Coordinator) runRound(ctx context.Context, rc *roundCall, stats *BuildS
 			retries[id]++
 			stats.Retries++
 			rstats.Retries++
+			c.retriesTotal.Inc()
 			if retries[id] > c.cfg.MaxRetries {
 				return fmt.Errorf("dist: round %d: split %d failed %d times; giving up", rc.round, id, retries[id])
 			}
@@ -948,8 +1000,27 @@ func (c *Coordinator) runRound(ctx context.Context, rc *roundCall, stats *BuildS
 			inflight--
 			stats.WireBytes += r.reqB + r.respB
 			rstats.WireBytes += r.reqB + r.respB
+			c.wireBytes.Add(r.reqB + r.respB)
+			c.rpcDur.Observe(r.latency)
+			// One span per split-batch RPC, whatever its outcome. Retry
+			// marks a batch carrying at least one re-dispatched split.
+			span := Span{
+				Round:           rc.round,
+				Worker:          r.w.id,
+				Splits:          append([]int(nil), r.splits...),
+				StartUnixMicros: time.Now().Add(-r.latency).UnixMicro(),
+				DurMicros:       r.latency.Microseconds(),
+				WireBytes:       r.reqB + r.respB,
+			}
+			for _, id := range r.splits {
+				if retries[id] > 0 {
+					span.Retry = true
+					break
+				}
+			}
 			fail := func(err error) error {
 				stats.WorkerFailures++
+				c.failuresTotal.Inc()
 				c.release(r.w, relFailed, r.latency)
 				// Orphan the failed splits this worker owned: a failed RPC
 				// makes its state suspect, and keeping them sticky would
@@ -975,12 +1046,16 @@ func (c *Coordinator) runRound(ctx context.Context, rc *roundCall, stats *BuildS
 					c.release(r.w, relNeutral, 0)
 					return finish(ctx.Err())
 				}
+				span.Error = r.err.Error()
+				c.recordSpan(rc.jobID, span)
 				if err := fail(r.err); err != nil {
 					return finish(err)
 				}
 			case r.resp.Error != "":
 				// Application errors are deterministic (same request, same
 				// failure on any worker): fail the build, don't retry.
+				span.Error = r.resp.Error
+				c.recordSpan(rc.jobID, span)
 				c.release(r.w, relOK, r.latency)
 				return finish(fmt.Errorf("dist: worker %s: %s", r.w.id, r.resp.Error))
 			default:
@@ -989,6 +1064,8 @@ func (c *Coordinator) runRound(ctx context.Context, rc *roundCall, stats *BuildS
 					err = checkCoverage(parts, r.splits)
 				}
 				if err != nil {
+					span.Error = err.Error()
+					c.recordSpan(rc.jobID, span)
 					if ferr := fail(err); ferr != nil {
 						return finish(ferr)
 					}
@@ -997,10 +1074,14 @@ func (c *Coordinator) runRound(ctx context.Context, rc *roundCall, stats *BuildS
 				c.release(r.w, relOK, r.latency)
 				stats.RPCs++
 				rstats.RPCs++
+				c.rpcsTotal.Inc()
 				rstats.ReplayedSplits += len(r.resp.Replayed)
 				rstats.CachedSplits += len(r.resp.Cached)
 				stats.CachedSplits += len(r.resp.Cached)
 				c.cachedSplits.Add(int64(len(r.resp.Cached)))
+				span.Cached = append([]int(nil), r.resp.Cached...)
+				span.Replayed = append([]int(nil), r.resp.Replayed...)
+				c.recordSpan(rc.jobID, span)
 				rc.responded[r.w.id] = true
 				for i := range parts {
 					id := parts[i].SplitID
@@ -1125,7 +1206,42 @@ func (c *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("GET "+PathFleet, func(rw http.ResponseWriter, r *http.Request) {
 		writeJSON(rw, http.StatusOK, c.FleetStats())
 	})
+	mux.HandleFunc("GET "+PathTrace+"{id}", func(rw http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		v, ok := c.Trace(id)
+		if !ok {
+			writeJSON(rw, http.StatusNotFound, map[string]string{"error": "no trace for build " + id})
+			return
+		}
+		writeJSON(rw, http.StatusOK, v)
+	})
 	return mux
+}
+
+// Collect emits the coordinator's metric families through an obs.Writer:
+// lifetime build/RPC/retry/wire counters, round and RPC latency
+// histograms, and scrape-time fleet gauges. Mounted into the owning
+// daemon's /metrics registry via Registry.Collect.
+func (c *Coordinator) Collect(w *obs.Writer) {
+	w.Counter("wavehist_dist_builds_total", "Distributed builds by outcome.",
+		float64(c.buildsStarted.Value()), obs.L("state", "started"))
+	w.Counter("wavehist_dist_builds_total", "Distributed builds by outcome.",
+		float64(c.buildsDone.Value()), obs.L("state", "done"))
+	w.Counter("wavehist_dist_builds_total", "Distributed builds by outcome.",
+		float64(c.buildsFailed.Value()), obs.L("state", "failed"))
+	w.Counter("wavehist_dist_map_rpcs_total", "Successful map RPCs.", float64(c.rpcsTotal.Value()))
+	w.Counter("wavehist_dist_retries_total", "Split re-assignments after failures.", float64(c.retriesTotal.Value()))
+	w.Counter("wavehist_dist_worker_failures_total", "Failed map RPCs.", float64(c.failuresTotal.Value()))
+	w.Counter("wavehist_dist_wire_bytes_total", "Measured map RPC request+response bytes.", float64(c.wireBytes.Value()))
+	w.Counter("wavehist_dist_broadcast_bytes_total", "Coordinator broadcast blob bytes per round.", float64(c.bcastBytes.Value()))
+	w.Counter("wavehist_dist_cached_splits_total", "Split results served from worker partial caches.", float64(c.cachedSplits.Load()))
+	w.Histogram("wavehist_dist_round_duration_seconds", "Build round wall time (fan-out to barrier).", c.roundDur.View())
+	w.Histogram("wavehist_dist_rpc_duration_seconds", "Map RPC latency.", c.rpcDur.View())
+	fs := c.FleetStats()
+	w.Gauge("wavehist_dist_alive_workers", "Workers currently alive.", float64(fs.AliveWorkers))
+	w.Gauge("wavehist_dist_pending_splits", "Splits queued across active builds.", float64(fs.PendingSplits))
+	w.Gauge("wavehist_dist_inflight_rpcs", "Map RPCs currently in flight.", float64(fs.InFlightRPCs))
+	w.Gauge("wavehist_dist_active_builds", "Builds currently running.", float64(fs.ActiveBuilds))
 }
 
 // NewLoopbackCluster builds a coordinator with n in-process workers on a

@@ -31,6 +31,8 @@ const (
 	PathRelease   = "/dist/v1/release"
 	PathState     = "/dist/v1/state"
 	PathPing      = "/dist/v1/ping"
+	// PathTrace prefixes GET /dist/v1/trace/{jobID} on the coordinator.
+	PathTrace = "/dist/v1/trace/"
 )
 
 // RegisterRequest announces a worker to the coordinator. Addr is the URL

@@ -12,6 +12,7 @@ import (
 
 	"wavelethist/internal/core"
 	"wavelethist/internal/hdfs"
+	"wavelethist/internal/obs"
 )
 
 // datasetCacheSize bounds how many materialized datasets a worker keeps
@@ -49,6 +50,17 @@ type Worker struct {
 	order  []string
 	leases map[string]*jobLease
 	ttl    time.Duration
+
+	// Observability (GET /metrics on the waveworker daemon).
+	metrics        *obs.Registry
+	mapReqs        *obs.Counter
+	mapErrs        *obs.Counter
+	mapDur         *obs.Histogram
+	splitsComputed *obs.Counter
+	splitsCached   *obs.Counter
+	splitsReplayed *obs.Counter
+	wireIn         *obs.Counter
+	wireOut        *obs.Counter
 }
 
 // jobLease is one job's state plus the bookkeeping expiry runs on.
@@ -77,7 +89,7 @@ func NewWorker(id string, capacity int) *Worker {
 	if capacity <= 0 {
 		capacity = 2
 	}
-	return &Worker{
+	w := &Worker{
 		id:       id,
 		capacity: capacity,
 		sem:      make(chan struct{}, capacity),
@@ -86,7 +98,42 @@ func NewWorker(id string, capacity int) *Worker {
 		leases:   make(map[string]*jobLease),
 		ttl:      DefaultLeaseTTL,
 	}
+	w.initMetrics()
+	return w
 }
+
+func (w *Worker) initMetrics() {
+	m := obs.NewRegistry()
+	w.metrics = m
+	w.mapReqs = m.Counter("waveworker_map_requests_total", "Map RPCs served (including failed ones).")
+	w.mapErrs = m.Counter("waveworker_map_errors_total", "Map RPCs that returned an error.")
+	w.mapDur = m.Histogram("waveworker_map_duration_seconds", "Map RPC service time, including capacity queueing.")
+	w.splitsComputed = m.Counter("waveworker_splits_total", "Splits served, by how the result was produced.", obs.L("source", "computed"))
+	w.splitsCached = m.Counter("waveworker_splits_total", "Splits served, by how the result was produced.", obs.L("source", "cached"))
+	w.splitsReplayed = m.Counter("waveworker_replayed_splits_total", "Splits whose earlier rounds were replayed after an ownership change.")
+	w.wireIn = m.Counter("waveworker_wire_bytes_total", "Map endpoint payload bytes by direction.", obs.L("dir", "in"))
+	w.wireOut = m.Counter("waveworker_wire_bytes_total", "Map endpoint payload bytes by direction.", obs.L("dir", "out"))
+	m.Collect(func(mw *obs.Writer) {
+		cs := w.CacheStats()
+		mw.Counter("waveworker_cache_hits_total", "Partial-cache hits.", float64(cs.Hits))
+		mw.Counter("waveworker_cache_misses_total", "Partial-cache misses.", float64(cs.Misses))
+		mw.Counter("waveworker_cache_evictions_total", "Partial-cache evictions.", float64(cs.Evictions))
+		mw.Gauge("waveworker_cache_entries", "Partials currently cached.", float64(cs.Entries))
+		mw.Gauge("waveworker_cache_bytes", "Bytes of cached partials.", float64(cs.Bytes))
+		mw.Gauge("waveworker_cache_capacity_bytes", "Partial-cache capacity.", float64(cs.CapacityBytes))
+		w.mu.Lock()
+		leases, datasets := len(w.leases), len(w.files)
+		w.mu.Unlock()
+		mw.Gauge("waveworker_leases", "Live per-job state leases.", float64(leases))
+		mw.Gauge("waveworker_datasets", "Materialized datasets cached.", float64(datasets))
+		mw.Gauge("waveworker_capacity", "Concurrent map RPC bound.", float64(w.capacity))
+		mw.Gauge("waveworker_inflight", "Map RPCs currently holding a capacity slot.", float64(len(w.sem)))
+	})
+}
+
+// Metrics exposes the worker's metrics registry (mounted at GET /metrics
+// by Handler; the waveworker daemon adds nothing on top).
+func (w *Worker) Metrics() *obs.Registry { return w.metrics }
 
 // SetPartialCacheBytes re-bounds the worker's partial cache (0 disables
 // it).
@@ -117,6 +164,21 @@ func (w *Worker) SetLeaseTTL(d time.Duration) {
 // are mapped — concurrently, across GOMAXPROCS goroutines — and cached
 // for the next build of the same shape.
 func (w *Worker) HandleMap(ctx context.Context, req *MapRequest) (*MapResponse, error) {
+	t0 := time.Now()
+	w.mapReqs.Inc()
+	resp, err := w.handleMap(ctx, req)
+	w.mapDur.Observe(time.Since(t0))
+	if err != nil {
+		w.mapErrs.Inc()
+		return nil, err
+	}
+	w.splitsCached.Add(int64(len(resp.Cached)))
+	w.splitsReplayed.Add(int64(len(resp.Replayed)))
+	w.splitsComputed.Add(int64(len(req.Splits) - len(resp.Cached)))
+	return resp, nil
+}
+
+func (w *Worker) handleMap(ctx context.Context, req *MapRequest) (*MapResponse, error) {
 	select {
 	case w.sem <- struct{}{}:
 		defer func() { <-w.sem }()
@@ -303,12 +365,18 @@ func (w *Worker) Handler() http.Handler {
 				writeFrame(rw, http.StatusBadRequest, EncodeMapResponse(&MapResponse{Error: fmt.Sprintf("bad map request: %v", err)}))
 				return
 			}
+			w.wireIn.Add(int64(len(frame)))
 			resp, err := w.HandleMap(r.Context(), req)
 			if err != nil {
 				resp = &MapResponse{JobID: req.JobID, Error: err.Error()}
 			}
-			writeFrame(rw, http.StatusOK, EncodeMapResponse(resp))
+			out := EncodeMapResponse(resp)
+			w.wireOut.Add(int64(len(out)))
+			writeFrame(rw, http.StatusOK, out)
 			return
+		}
+		if r.ContentLength > 0 {
+			w.wireIn.Add(r.ContentLength)
 		}
 		var req MapRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -359,6 +427,7 @@ func (w *Worker) Handler() http.Handler {
 	mux.HandleFunc("GET "+PathPing, func(rw http.ResponseWriter, r *http.Request) {
 		writeJSON(rw, http.StatusOK, map[string]any{"ok": true, "id": w.id})
 	})
+	mux.Handle("GET /metrics", w.metrics.Handler())
 	return mux
 }
 

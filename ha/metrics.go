@@ -1,0 +1,43 @@
+package ha
+
+import (
+	"net/http"
+	"time"
+
+	"wavelethist/internal/obs"
+)
+
+// Router observability: every route is wrapped in a latency histogram and
+// request counter (label route), and the router's forwarding counters are
+// collected at scrape time. Exposed at GET /metrics on the router itself —
+// a stateless front door still has health worth watching (failover rate is
+// the earliest "a primary is down" signal in the cluster).
+
+func (rt *Router) initMetrics() {
+	m := obs.NewRegistry()
+	rt.metrics = m
+	m.Collect(func(w *obs.Writer) {
+		w.Counter("waverouter_proxied_total", "Requests forwarded to an upstream daemon.", float64(rt.proxied.Load()))
+		w.Counter("waverouter_failovers_total", "Read retries against a replica after a primary failed.", float64(rt.failovers.Load()))
+		w.Gauge("waverouter_shards", "Shards in the routing ring.", float64(len(rt.shards)))
+	})
+}
+
+// Metrics exposes the router's metrics registry (GET /metrics).
+func (rt *Router) Metrics() *obs.Registry { return rt.metrics }
+
+// timed wraps a handler with a per-route latency histogram and request
+// counter. The route label is a fixed name, not the raw path, so
+// cardinality stays bounded.
+func (rt *Router) timed(route string, h http.HandlerFunc) http.HandlerFunc {
+	dur := rt.metrics.Histogram("waverouter_request_duration_seconds",
+		"Router-side request latency by route (including upstream time).", obs.L("route", route))
+	total := rt.metrics.Counter("waverouter_requests_total",
+		"Requests handled by route.", obs.L("route", route))
+	return func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		h(w, r)
+		dur.Observe(time.Since(t0))
+		total.Inc()
+	}
+}

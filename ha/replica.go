@@ -57,7 +57,8 @@ func (r *Replica) Version() uint64 { return r.version.Load() }
 // updates the server's replication status either way. A cycle with no
 // new entries costs one small round trip.
 func (r *Replica) SyncOnce(ctx context.Context) error {
-	resp, err := r.pull(ctx, r.version.Load())
+	since := r.version.Load()
+	resp, err := r.pull(ctx, since)
 	if err != nil {
 		st := r.srv.ReplStatus()
 		st.Primary = r.primary
@@ -73,10 +74,15 @@ func (r *Replica) SyncOnce(ctx context.Context) error {
 		return err
 	}
 	r.version.Store(resp.Version)
+	var lag uint64
+	if resp.Version > since {
+		lag = resp.Version - since
+	}
 	r.srv.SetReplStatus(serve.ReplStatus{
-		Primary:  r.primary,
-		Version:  resp.Version,
-		SyncedAt: time.Now(),
+		Primary:     r.primary,
+		Version:     resp.Version,
+		SyncedAt:    time.Now(),
+		LagVersions: lag,
 	})
 	return nil
 }

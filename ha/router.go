@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"wavelethist/internal/obs"
 	"wavelethist/serve"
 )
 
@@ -47,6 +48,8 @@ type Router struct {
 
 	maxBody int64
 
+	metrics *obs.Registry
+
 	proxied   atomic.Uint64 // requests forwarded upstream
 	failovers atomic.Uint64 // retries against a further target
 }
@@ -79,6 +82,7 @@ func NewRouter(shards []Shard) (*Router, error) {
 		mux:     http.NewServeMux(),
 		maxBody: 8 << 20,
 	}
+	rt.initMetrics()
 	rt.routes()
 	return rt, nil
 }
@@ -94,16 +98,17 @@ func (rt *Router) Shard(name string) *Shard { return rt.shards[rt.ring.Shard(nam
 func (rt *Router) routes() {
 	rt.mux.HandleFunc("GET /healthz", rt.handleHealth)
 	rt.mux.HandleFunc("GET /v1/router", rt.handleTopology)
-	rt.mux.HandleFunc("GET /v1/hist", rt.handleList)
-	rt.mux.HandleFunc("GET /v1/hist/{name}/point", rt.handleNamedRead)
-	rt.mux.HandleFunc("GET /v1/hist/{name}/range", rt.handleNamedRead)
-	rt.mux.HandleFunc("POST /v1/hist/{name}/query", rt.handleNamedRead)
-	rt.mux.HandleFunc("POST /v1/hist/{name}/updates", rt.handleNamedWrite)
-	rt.mux.HandleFunc("POST /v1/query", rt.handleCrossBatch)
-	rt.mux.HandleFunc("GET /v1/stats", rt.handleStats)
-	rt.mux.HandleFunc("POST /v1/datasets", rt.handleDatasets)
-	rt.mux.HandleFunc("POST /v1/build", rt.handleBuild)
-	rt.mux.HandleFunc("GET /v1/jobs/{id}", rt.handleJob)
+	rt.mux.HandleFunc("GET /v1/hist", rt.timed("list", rt.handleList))
+	rt.mux.HandleFunc("GET /v1/hist/{name}/point", rt.timed("point", rt.handleNamedRead))
+	rt.mux.HandleFunc("GET /v1/hist/{name}/range", rt.timed("range", rt.handleNamedRead))
+	rt.mux.HandleFunc("POST /v1/hist/{name}/query", rt.timed("batch", rt.handleNamedRead))
+	rt.mux.HandleFunc("POST /v1/hist/{name}/updates", rt.timed("updates", rt.handleNamedWrite))
+	rt.mux.HandleFunc("POST /v1/query", rt.timed("cross_batch", rt.handleCrossBatch))
+	rt.mux.HandleFunc("GET /v1/stats", rt.timed("stats", rt.handleStats))
+	rt.mux.HandleFunc("POST /v1/datasets", rt.timed("datasets", rt.handleDatasets))
+	rt.mux.HandleFunc("POST /v1/build", rt.timed("build", rt.handleBuild))
+	rt.mux.HandleFunc("GET /v1/jobs/{id}", rt.timed("job", rt.handleJob))
+	rt.mux.Handle("GET /metrics", rt.metrics.Handler())
 }
 
 // --- upstream plumbing ---

@@ -1,0 +1,35 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugHandler returns the net/http/pprof surface on a private mux, so
+// daemons can serve profiling on a separate -debug-addr listener without
+// registering anything on http.DefaultServeMux (and without exposing
+// pprof on the public API port).
+func DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ServeDebug serves DebugHandler on addr in a goroutine (no-op when addr
+// is empty). Errors are reported through logf; the debug listener is
+// best-effort and never takes the daemon down.
+func ServeDebug(addr string, logf func(format string, args ...any)) {
+	if addr == "" {
+		return
+	}
+	go func() {
+		logf("debug server (pprof) on %s", addr)
+		if err := http.ListenAndServe(addr, DebugHandler()); err != nil {
+			logf("debug server: %v", err)
+		}
+	}()
+}

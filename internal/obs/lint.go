@@ -1,0 +1,358 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// A tiny exposition-format parser + linter. CI smoke tests curl
+// GET /metrics on each daemon and run the payload through Lint so a
+// renamed, dropped, or structurally broken metric fails the build
+// without needing a real Prometheus binary in the container.
+
+// Sample is one parsed exposition line.
+type Sample struct {
+	Name   string            // full sample name, e.g. "foo_bucket"
+	Labels map[string]string // nil when unlabeled
+	Value  float64
+}
+
+// Family is one declared metric family and its samples.
+type Family struct {
+	Name    string
+	Type    string
+	Help    string
+	Samples []Sample
+}
+
+var (
+	nameRe  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelRe = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// ParseExposition parses Prometheus text format 0.0.4 into families
+// keyed by family name. Samples named <fam>_bucket/_sum/_count attach to
+// a histogram family <fam>.
+func ParseExposition(text string) (map[string]*Family, error) {
+	fams := map[string]*Family{}
+	for ln, raw := range strings.Split(text, "\n") {
+		line := strings.TrimRight(raw, "\r")
+		if line == "" {
+			continue
+		}
+		lineNo := ln + 1
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("line %d: malformed comment %q", lineNo, line)
+			}
+			switch fields[1] {
+			case "HELP":
+				f := getFam(fams, fields[2])
+				if len(fields) == 4 {
+					f.Help = fields[3]
+				}
+			case "TYPE":
+				if len(fields) != 4 {
+					return nil, fmt.Errorf("line %d: malformed TYPE line %q", lineNo, line)
+				}
+				typ := fields[3]
+				if typ != TypeCounter && typ != TypeGauge && typ != TypeHistogram && typ != "summary" && typ != "untyped" {
+					return nil, fmt.Errorf("line %d: unknown metric type %q", lineNo, typ)
+				}
+				f := getFam(fams, fields[2])
+				if f.Type != "" && f.Type != typ {
+					return nil, fmt.Errorf("line %d: family %s re-typed %s -> %s", lineNo, f.Name, f.Type, typ)
+				}
+				f.Type = typ
+			default:
+				// other comments are legal and ignored
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		fam := familyOf(fams, s.Name)
+		if fam == nil {
+			return nil, fmt.Errorf("line %d: sample %s has no preceding # TYPE declaration", lineNo, s.Name)
+		}
+		fam.Samples = append(fam.Samples, s)
+	}
+	return fams, nil
+}
+
+func getFam(fams map[string]*Family, name string) *Family {
+	f, ok := fams[name]
+	if !ok {
+		f = &Family{Name: name}
+		fams[name] = f
+	}
+	return f
+}
+
+// familyOf resolves a sample name to its declared family, honoring the
+// histogram _bucket/_sum/_count suffixes.
+func familyOf(fams map[string]*Family, sample string) *Family {
+	if f, ok := fams[sample]; ok && f.Type != "" {
+		return f
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(sample, suf)
+		if base == sample {
+			continue
+		}
+		if f, ok := fams[base]; ok && f.Type == TypeHistogram {
+			return f
+		}
+	}
+	return nil
+}
+
+func parseSample(line string) (Sample, error) {
+	s := Sample{}
+	i := strings.IndexAny(line, "{ ")
+	if i < 0 {
+		return s, fmt.Errorf("malformed sample %q", line)
+	}
+	s.Name = line[:i]
+	if !nameRe.MatchString(s.Name) {
+		return s, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	rest := line[i:]
+	if rest[0] == '{' {
+		end, labels, err := parseLabels(rest)
+		if err != nil {
+			return s, fmt.Errorf("sample %s: %v", s.Name, err)
+		}
+		s.Labels = labels
+		rest = rest[end:]
+	}
+	rest = strings.TrimSpace(rest)
+	// drop an optional timestamp
+	if j := strings.IndexByte(rest, ' '); j >= 0 {
+		rest = rest[:j]
+	}
+	v, err := strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return s, fmt.Errorf("sample %s: bad value %q", s.Name, rest)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels parses a {k="v",...} block starting at in[0] == '{' and
+// returns the index one past the closing brace.
+func parseLabels(in string) (int, map[string]string, error) {
+	labels := map[string]string{}
+	i := 1
+	for {
+		for i < len(in) && (in[i] == ',' || in[i] == ' ') {
+			i++
+		}
+		if i < len(in) && in[i] == '}' {
+			return i + 1, labels, nil
+		}
+		eq := strings.IndexByte(in[i:], '=')
+		if eq < 0 {
+			return 0, nil, fmt.Errorf("unterminated label block")
+		}
+		name := in[i : i+eq]
+		if !labelRe.MatchString(name) {
+			return 0, nil, fmt.Errorf("invalid label name %q", name)
+		}
+		i += eq + 1
+		if i >= len(in) || in[i] != '"' {
+			return 0, nil, fmt.Errorf("label %s: value not quoted", name)
+		}
+		i++
+		var b strings.Builder
+		for {
+			if i >= len(in) {
+				return 0, nil, fmt.Errorf("label %s: unterminated value", name)
+			}
+			c := in[i]
+			if c == '\\' {
+				if i+1 >= len(in) {
+					return 0, nil, fmt.Errorf("label %s: dangling escape", name)
+				}
+				switch in[i+1] {
+				case '\\':
+					b.WriteByte('\\')
+				case '"':
+					b.WriteByte('"')
+				case 'n':
+					b.WriteByte('\n')
+				default:
+					return 0, nil, fmt.Errorf("label %s: bad escape \\%c", name, in[i+1])
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				i++
+				break
+			}
+			b.WriteByte(c)
+			i++
+		}
+		if _, dup := labels[name]; dup {
+			return 0, nil, fmt.Errorf("duplicate label %q", name)
+		}
+		labels[name] = b.String()
+	}
+}
+
+// Lint parses text and applies structural checks: every sample belongs
+// to a declared family, no duplicate (name, labels) samples, and every
+// histogram has cumulative non-decreasing buckets ending in le="+Inf"
+// whose value matches _count, plus a _sum. Returns the parsed families
+// on success so callers can additionally assert required names.
+func Lint(text string) (map[string]*Family, error) {
+	fams, err := ParseExposition(text)
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range fams {
+		if f.Type == "" {
+			if len(f.Samples) > 0 {
+				return nil, fmt.Errorf("family %s: samples without # TYPE", f.Name)
+			}
+			continue
+		}
+		seen := map[string]bool{}
+		for _, s := range f.Samples {
+			key := sampleKey(s)
+			if seen[key] {
+				return nil, fmt.Errorf("family %s: duplicate sample %s", f.Name, key)
+			}
+			seen[key] = true
+		}
+		if f.Type == TypeHistogram {
+			if err := lintHistogram(f); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return fams, nil
+}
+
+func sampleKey(s Sample) string {
+	keys := make([]string, 0, len(s.Labels))
+	for k := range s.Labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(s.Name)
+	for _, k := range keys {
+		b.WriteString("|")
+		b.WriteString(k)
+		b.WriteString("=")
+		b.WriteString(s.Labels[k])
+	}
+	return b.String()
+}
+
+// lintHistogram groups bucket/sum/count samples by their non-le label
+// set and checks each series' shape.
+func lintHistogram(f *Family) error {
+	type series struct {
+		bounds  []float64
+		cums    []float64
+		sum     bool
+		count   float64
+		hasCnt  bool
+		infSeen bool
+		inf     float64
+	}
+	groups := map[string]*series{}
+	group := func(s Sample) *series {
+		cp := Sample{Name: f.Name, Labels: map[string]string{}}
+		for k, v := range s.Labels {
+			if k != "le" {
+				cp.Labels[k] = v
+			}
+		}
+		key := sampleKey(cp)
+		g, ok := groups[key]
+		if !ok {
+			g = &series{}
+			groups[key] = g
+		}
+		return g
+	}
+	for _, s := range f.Samples {
+		switch s.Name {
+		case f.Name + "_bucket":
+			le, ok := s.Labels["le"]
+			if !ok {
+				return fmt.Errorf("family %s: _bucket sample missing le label", f.Name)
+			}
+			g := group(s)
+			if le == "+Inf" {
+				g.infSeen = true
+				g.inf = s.Value
+				g.bounds = append(g.bounds, math.Inf(1))
+			} else {
+				b, err := strconv.ParseFloat(le, 64)
+				if err != nil {
+					return fmt.Errorf("family %s: bad le %q", f.Name, le)
+				}
+				g.bounds = append(g.bounds, b)
+			}
+			g.cums = append(g.cums, s.Value)
+		case f.Name + "_sum":
+			group(s).sum = true
+		case f.Name + "_count":
+			g := group(s)
+			g.hasCnt = true
+			g.count = s.Value
+		default:
+			return fmt.Errorf("family %s: unexpected histogram sample %s", f.Name, s.Name)
+		}
+	}
+	for key, g := range groups {
+		if !g.infSeen {
+			return fmt.Errorf("family %s (%s): no le=\"+Inf\" bucket", f.Name, key)
+		}
+		if !g.sum {
+			return fmt.Errorf("family %s (%s): missing _sum", f.Name, key)
+		}
+		if !g.hasCnt {
+			return fmt.Errorf("family %s (%s): missing _count", f.Name, key)
+		}
+		if g.count != g.inf {
+			return fmt.Errorf("family %s (%s): _count %v != +Inf bucket %v", f.Name, key, g.count, g.inf)
+		}
+		for i := 1; i < len(g.bounds); i++ {
+			if g.bounds[i] <= g.bounds[i-1] {
+				return fmt.Errorf("family %s (%s): le bounds not increasing", f.Name, key)
+			}
+			if g.cums[i] < g.cums[i-1] {
+				return fmt.Errorf("family %s (%s): bucket counts not cumulative", f.Name, key)
+			}
+		}
+	}
+	return nil
+}
+
+// RequireFamilies asserts each named family exists with at least one
+// sample; returns an error naming the first miss. A smoke-test helper.
+func RequireFamilies(fams map[string]*Family, names ...string) error {
+	for _, n := range names {
+		f, ok := fams[n]
+		if !ok || f.Type == "" {
+			return fmt.Errorf("required metric family %s missing", n)
+		}
+		if len(f.Samples) == 0 {
+			return fmt.Errorf("required metric family %s has no samples", n)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,223 @@
+// Package obs is the shared observability plane: lock-free counters,
+// gauges, and fixed-boundary log₂-bucket latency histograms, plus a
+// registry that renders them in the Prometheus text exposition format
+// (version 0.0.4). Every daemon (wavehistd, waveworker, waverouter)
+// mounts a Registry at GET /metrics; serve's per-op query stats are
+// built on Histogram so p50/p99 come from the same buckets a scraper
+// would derive them from.
+//
+// All instruments are safe for concurrent use without locks on the hot
+// path: counters and gauges are single atomics, histograms are an array
+// of atomic buckets. Reads (View, Value) never block writers.
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram buckets are powers of two in nanoseconds: bucket i counts
+// observations with d <= 2^i ns for i in [0, NumFiniteBuckets), and the
+// last bucket is the +Inf overflow. 2^39 ns ≈ 9.2 minutes, far beyond
+// any RPC or query this system serves, so the overflow bucket is only
+// reachable by pathological stalls.
+const (
+	// NumFiniteBuckets is the number of finite le bounds (2^0 .. 2^39 ns).
+	NumFiniteBuckets = 40
+	// NumBuckets includes the +Inf overflow bucket.
+	NumBuckets = NumFiniteBuckets + 1
+)
+
+// BucketBoundNanos returns the inclusive upper bound of finite bucket i
+// in nanoseconds. i must be in [0, NumFiniteBuckets).
+func BucketBoundNanos(i int) int64 { return int64(1) << uint(i) }
+
+// bucketIndex maps a non-negative duration in nanoseconds to its bucket.
+func bucketIndex(ns int64) int {
+	if ns <= 1 {
+		return 0 // 0ns and 1ns both land in the le=1ns bucket
+	}
+	i := bits.Len64(uint64(ns - 1)) // smallest i with 2^i >= ns
+	if i >= NumFiniteBuckets {
+		return NumFiniteBuckets // +Inf
+	}
+	return i
+}
+
+// Counter is a monotonically increasing metric.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (negative n is ignored — counters only go up).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the value by n.
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a lock-free latency histogram with fixed log₂ bucket
+// boundaries. The zero value is ready to use.
+//
+// Write ordering: Observe updates buckets, then sum, then count. View
+// loads count, then sum, then buckets. With Go's sequentially consistent
+// atomics this guarantees that any snapshot's sum covers at least every
+// observation included in its count — a mean computed as sum/count can
+// overshoot slightly under concurrent writes but never undershoot, and
+// never pairs a count with a sum from fewer observations (the torn-read
+// bug the old serve.OpStats had).
+type Histogram struct {
+	buckets [NumBuckets]atomic.Uint64
+	sum     atomic.Int64 // total observed nanoseconds
+	count   atomic.Uint64
+}
+
+// Observe records one duration. Negative durations are clamped to 0.
+func (h *Histogram) Observe(d time.Duration) { h.ObserveNanos(int64(d)) }
+
+// ObserveNanos records one duration given in nanoseconds.
+func (h *Histogram) ObserveNanos(ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	h.buckets[bucketIndex(ns)].Add(1)
+	h.sum.Add(ns)
+	h.count.Add(1)
+}
+
+// ObserveBatch records n observations that together took total: each is
+// credited as total/n so batch endpoints can feed per-item latencies
+// without timing every item. No-op when n <= 0; total < 0 is clamped.
+func (h *Histogram) ObserveBatch(n int64, total time.Duration) {
+	if n <= 0 {
+		return
+	}
+	ns := int64(total)
+	if ns < 0 {
+		ns = 0
+	}
+	h.buckets[bucketIndex(ns/n)].Add(uint64(n))
+	h.sum.Add(ns)
+	h.count.Add(uint64(n))
+}
+
+// View returns a consistent-enough snapshot (see type comment for the
+// ordering guarantee).
+func (h *Histogram) View() HistView {
+	var v HistView
+	v.Count = h.count.Load()
+	v.SumNanos = h.sum.Load()
+	for i := range h.buckets {
+		v.Buckets[i] = h.buckets[i].Load()
+	}
+	return v
+}
+
+// HistView is a point-in-time copy of a Histogram, mergeable across
+// instances (e.g. per-registry-entry stats folded into one per-op-class
+// family at /metrics time).
+type HistView struct {
+	Buckets  [NumBuckets]uint64
+	Count    uint64
+	SumNanos int64
+}
+
+// Merge adds o into v.
+func (v *HistView) Merge(o HistView) {
+	for i := range v.Buckets {
+		v.Buckets[i] += o.Buckets[i]
+	}
+	v.Count += o.Count
+	v.SumNanos += o.SumNanos
+}
+
+// MeanNanos returns the mean observation, or 0 when empty.
+func (v *HistView) MeanNanos() float64 {
+	if v.Count == 0 {
+		return 0
+	}
+	return float64(v.SumNanos) / float64(v.Count)
+}
+
+// total returns the bucket total, which can briefly exceed Count under
+// concurrent writes (buckets are updated before count).
+func (v *HistView) total() uint64 {
+	var t uint64
+	for i := range v.Buckets {
+		t += v.Buckets[i]
+	}
+	return t
+}
+
+// Quantile returns an estimate of the p-quantile (p in [0,1]) in
+// nanoseconds, linearly interpolated within the winning bucket. Returns
+// 0 for an empty view. Observations in the overflow bucket report the
+// largest finite bound — quantiles saturate rather than invent values.
+func (v *HistView) Quantile(p float64) float64 {
+	total := v.total()
+	if total == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	rank := p * float64(total)
+	var cum uint64
+	for i := 0; i < NumBuckets; i++ {
+		n := v.Buckets[i]
+		if n == 0 {
+			continue
+		}
+		if float64(cum+n) >= rank {
+			if i >= NumFiniteBuckets {
+				return float64(BucketBoundNanos(NumFiniteBuckets - 1))
+			}
+			hi := float64(BucketBoundNanos(i))
+			lo := 0.0
+			if i > 0 {
+				lo = float64(BucketBoundNanos(i - 1))
+			}
+			frac := (rank - float64(cum)) / float64(n)
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			return lo + (hi-lo)*frac
+		}
+		cum += n
+	}
+	return float64(BucketBoundNanos(NumFiniteBuckets - 1))
+}
+
+// QuantileMicros is Quantile scaled to microseconds — the unit the JSON
+// surfaces report.
+func (v *HistView) QuantileMicros(p float64) float64 {
+	q := v.Quantile(p) / 1e3
+	if math.IsNaN(q) || math.IsInf(q, 0) {
+		return 0
+	}
+	return q
+}

@@ -1,0 +1,301 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBucketIndexBoundaries(t *testing.T) {
+	cases := []struct {
+		ns   int64
+		want int
+	}{
+		{0, 0},          // 0ns lands in the first bucket
+		{1, 0},          // le=1ns exactly
+		{2, 1},          // le=2ns exactly on boundary
+		{3, 2},          // just past a boundary rounds up
+		{1024, 10},      // exactly 2^10
+		{1025, 11},      // one past 2^10
+		{1 << 39, 39},   // last finite bound, inclusive
+		{1<<39 + 1, 40}, // overflow
+		{1 << 62, 40},   // deep overflow
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.ns); got != c.want {
+			t.Errorf("bucketIndex(%d) = %d, want %d", c.ns, got, c.want)
+		}
+	}
+}
+
+func TestHistogramObserveAndQuantile(t *testing.T) {
+	var h Histogram
+	h.ObserveNanos(0)
+	h.ObserveNanos(1024) // exactly on the 2^10 boundary
+	h.Observe(-time.Second)
+	v := h.View()
+	if v.Count != 3 {
+		t.Fatalf("count = %d, want 3", v.Count)
+	}
+	if v.Buckets[0] != 2 || v.Buckets[10] != 1 {
+		t.Fatalf("buckets: %v", v.Buckets[:12])
+	}
+	if v.SumNanos != 1024 {
+		t.Fatalf("sum = %d, want 1024", v.SumNanos)
+	}
+	// p=1 must land in the highest occupied bucket (512, 1024].
+	q := v.Quantile(1)
+	if q <= 512 || q > 1024 {
+		t.Fatalf("Quantile(1) = %v, want in (512, 1024]", q)
+	}
+	if got := v.Quantile(0); got != 0 {
+		t.Fatalf("Quantile(0) = %v, want 0", got)
+	}
+}
+
+func TestQuantileEmptyAndOverflow(t *testing.T) {
+	var empty HistView
+	if q := empty.Quantile(0.5); q != 0 {
+		t.Fatalf("empty quantile = %v, want 0", q)
+	}
+	var h Histogram
+	h.ObserveNanos(1<<39 + 5) // overflow bucket
+	v := h.View()
+	if v.Buckets[NumFiniteBuckets] != 1 {
+		t.Fatalf("overflow bucket = %d", v.Buckets[NumFiniteBuckets])
+	}
+	// Quantiles saturate at the largest finite bound rather than inventing
+	// a value inside +Inf.
+	want := float64(BucketBoundNanos(NumFiniteBuckets - 1))
+	if q := v.Quantile(0.99); q != want {
+		t.Fatalf("overflow quantile = %v, want %v", q, want)
+	}
+	if m := v.MeanNanos(); m != float64(1<<39+5) {
+		t.Fatalf("mean = %v", m)
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.ObserveNanos(1000) // all in bucket (512, 1024]
+	}
+	v := h.View()
+	q50, q99 := v.Quantile(0.50), v.Quantile(0.99)
+	if q50 < 512 || q50 > 1024 || q99 < 512 || q99 > 1024 {
+		t.Fatalf("quantiles escaped the occupied bucket: p50=%v p99=%v", q50, q99)
+	}
+	if q99 < q50 {
+		t.Fatalf("p99 %v < p50 %v", q99, q50)
+	}
+}
+
+func TestObserveBatch(t *testing.T) {
+	var h Histogram
+	h.ObserveBatch(10, 10*time.Microsecond) // 1µs each
+	h.ObserveBatch(0, time.Second)          // no-op
+	h.ObserveBatch(-3, time.Second)         // no-op
+	v := h.View()
+	if v.Count != 10 {
+		t.Fatalf("count = %d, want 10", v.Count)
+	}
+	if v.SumNanos != 10000 {
+		t.Fatalf("sum = %d, want 10000", v.SumNanos)
+	}
+	if got := bucketIndex(1000); v.Buckets[got] != 10 {
+		t.Fatalf("per-item bucket %d = %d, want 10", got, v.Buckets[got])
+	}
+}
+
+// TestMergeAssociativity checks (a+b)+c == a+(b+c) == c+(b+a) across
+// buckets, count, and sum.
+func TestMergeAssociativity(t *testing.T) {
+	mk := func(vals ...int64) HistView {
+		var h Histogram
+		for _, v := range vals {
+			h.ObserveNanos(v)
+		}
+		return h.View()
+	}
+	a := mk(1, 5, 1<<20)
+	b := mk(0, 1<<39+1, 700)
+	c := mk(42, 42, 42, 9999999)
+
+	ab := a
+	ab.Merge(b)
+	abc1 := ab
+	abc1.Merge(c)
+
+	bc := b
+	bc.Merge(c)
+	abc2 := a
+	abc2.Merge(bc)
+
+	ba := b
+	ba.Merge(a)
+	abc3 := c
+	abc3.Merge(ba)
+
+	for _, o := range []HistView{abc2, abc3} {
+		if o != abc1 {
+			t.Fatalf("merge not associative/commutative:\n%+v\n%+v", abc1, o)
+		}
+	}
+	if abc1.Count != 10 {
+		t.Fatalf("merged count = %d, want 10", abc1.Count)
+	}
+}
+
+// TestConcurrentObserveDeterministic hammers one histogram from many
+// goroutines and checks the final totals are exact — lock-free must not
+// mean lossy. Run under -race this also proves the atomics are clean.
+func TestConcurrentObserveDeterministic(t *testing.T) {
+	const workers, perWorker = 8, 5000
+	var h Histogram
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				h.ObserveNanos(seed) // every op in one known bucket per worker
+			}
+		}(int64(1) << uint(w))
+	}
+	// Concurrent readers: every snapshot must satisfy sum >= count (all
+	// observations are >= 1ns) — the write-ordering guarantee.
+	stop := make(chan struct{})
+	var rg sync.WaitGroup
+	rg.Add(1)
+	go func() {
+		defer rg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			v := h.View()
+			if v.SumNanos < int64(v.Count) {
+				t.Errorf("torn snapshot: sum %d < count %d", v.SumNanos, v.Count)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	rg.Wait()
+
+	v := h.View()
+	if v.Count != workers*perWorker {
+		t.Fatalf("count = %d, want %d", v.Count, workers*perWorker)
+	}
+	for w := 0; w < workers; w++ {
+		b := bucketIndex(int64(1) << uint(w))
+		if v.Buckets[b] != perWorker {
+			t.Fatalf("bucket %d = %d, want %d", b, v.Buckets[b], perWorker)
+		}
+	}
+}
+
+func TestRegistryExposeAndLint(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_ops_total", "ops served", L("op", "point"))
+	c.Add(7)
+	r.Counter("test_ops_total", "ops served", L("op", "range")).Inc()
+	g := r.Gauge("test_queue_depth", "pending items")
+	g.Set(3)
+	g.Add(-1)
+	h := r.Histogram("test_latency_seconds", "latency", L("op", "point"))
+	h.Observe(100 * time.Microsecond)
+	h.Observe(2 * time.Millisecond)
+	r.Collect(func(w *Writer) {
+		w.Gauge("test_dynamic", "scrape-time value", 1.5)
+		w.Counter("test_ops_total", "ops served", 9, L("op", "batch"))
+		var v HistView
+		v.Buckets[5] = 2
+		v.Count = 2
+		v.SumNanos = 60
+		w.Histogram("test_latency_seconds", "latency", v, L("op", "merged"))
+	})
+
+	var b strings.Builder
+	if err := r.Expose(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	fams, err := Lint(out)
+	if err != nil {
+		t.Fatalf("lint rejected own output:\n%s\nerr: %v", out, err)
+	}
+	if err := RequireFamilies(fams, "test_ops_total", "test_queue_depth", "test_latency_seconds", "test_dynamic"); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(fams["test_ops_total"].Samples); got != 3 {
+		t.Fatalf("test_ops_total samples = %d, want 3", got)
+	}
+	// The two histogram label sets both carry full bucket series.
+	if got := len(fams["test_latency_seconds"].Samples); got != 2*(NumBuckets+2) {
+		t.Fatalf("histogram samples = %d, want %d", got, 2*(NumBuckets+2))
+	}
+	// Same (name, labels) re-registration returns the same instrument.
+	if c2 := r.Counter("test_ops_total", "ops served", L("op", "point")); c2 != c {
+		t.Fatal("re-registration returned a new counter")
+	}
+}
+
+func TestRegistryHandlerAndTypeConflict(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on type conflict")
+		}
+	}()
+	r.Gauge("x_total", "x as gauge")
+}
+
+func TestLintRejectsBroken(t *testing.T) {
+	bad := []string{
+		// sample without TYPE
+		"foo 1\n",
+		// non-cumulative buckets
+		"# HELP h h\n# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+		// missing +Inf
+		"# HELP h h\n# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_sum 1\nh_count 5\n",
+		// count mismatch
+		"# HELP h h\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 4\n",
+		// duplicate sample
+		"# HELP g g\n# TYPE g gauge\ng{a=\"1\"} 1\ng{a=\"1\"} 2\n",
+		// unparsable value
+		"# HELP g g\n# TYPE g gauge\ng one\n",
+		// bad label syntax
+		"# HELP g g\n# TYPE g gauge\ng{a=1} 1\n",
+	}
+	for i, text := range bad {
+		if _, err := Lint(text); err == nil {
+			t.Errorf("case %d: lint accepted broken exposition:\n%s", i, text)
+		}
+	}
+}
+
+func TestLintAcceptsLabelEscapes(t *testing.T) {
+	text := "# HELP g g\n# TYPE g gauge\ng{path=\"a\\\\b\\\"c\\nd\"} 1\n"
+	fams, err := Lint(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := fams["g"].Samples[0].Labels["path"]
+	if got != "a\\b\"c\nd" {
+		t.Fatalf("unescaped label = %q", got)
+	}
+}
+
+func TestQuantileMicrosFinite(t *testing.T) {
+	var v HistView
+	if q := v.QuantileMicros(0.5); q != 0 || math.IsNaN(q) {
+		t.Fatalf("empty QuantileMicros = %v", q)
+	}
+}

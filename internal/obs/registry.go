@@ -1,0 +1,291 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Label is one name="value" pair on a metric.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(name, value string) Label { return Label{Name: name, Value: value} }
+
+// Metric types in the exposition output.
+const (
+	TypeCounter   = "counter"
+	TypeGauge     = "gauge"
+	TypeHistogram = "histogram"
+)
+
+type metric struct {
+	name   string
+	help   string
+	typ    string
+	labels []Label
+
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+}
+
+// Registry owns a set of named instruments plus collector callbacks for
+// metrics derived at scrape time (registry snapshots, fleet state, cache
+// stats). Instrument lookup takes the registry mutex; the instruments
+// themselves are lock-free, so registration happens at setup time and
+// the hot path only touches atomics.
+type Registry struct {
+	mu         sync.Mutex
+	metrics    []*metric
+	byKey      map[string]*metric
+	collectors []func(*Writer)
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byKey: map[string]*metric{}}
+}
+
+func metricKey(name string, labels []Label) string {
+	var b strings.Builder
+	b.WriteString(name)
+	for _, l := range labels {
+		b.WriteByte(0)
+		b.WriteString(l.Name)
+		b.WriteByte(0)
+		b.WriteString(l.Value)
+	}
+	return b.String()
+}
+
+func (r *Registry) register(name, help, typ string, labels []Label) *metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	key := metricKey(name, labels)
+	if m, ok := r.byKey[key]; ok {
+		if m.typ != typ {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %s (was %s)", name, typ, m.typ))
+		}
+		return m
+	}
+	m := &metric{name: name, help: help, typ: typ, labels: labels}
+	switch typ {
+	case TypeCounter:
+		m.counter = &Counter{}
+	case TypeGauge:
+		m.gauge = &Gauge{}
+	case TypeHistogram:
+		m.hist = &Histogram{}
+	}
+	r.metrics = append(r.metrics, m)
+	r.byKey[key] = m
+	return m
+}
+
+// Counter registers (or returns the existing) counter with the given
+// name and label set.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	return r.register(name, help, TypeCounter, labels).counter
+}
+
+// Gauge registers (or returns the existing) gauge.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	return r.register(name, help, TypeGauge, labels).gauge
+}
+
+// Histogram registers (or returns the existing) histogram.
+func (r *Registry) Histogram(name, help string, labels ...Label) *Histogram {
+	return r.register(name, help, TypeHistogram, labels).hist
+}
+
+// Collect adds a callback invoked at every scrape; it emits derived
+// metrics through the Writer. Collectors run after static instruments,
+// and samples for the same family name are grouped in the output.
+func (r *Registry) Collect(fn func(*Writer)) {
+	r.mu.Lock()
+	r.collectors = append(r.collectors, fn)
+	r.mu.Unlock()
+}
+
+// Expose writes the full exposition to w.
+func (r *Registry) Expose(w io.Writer) error {
+	r.mu.Lock()
+	metrics := make([]*metric, len(r.metrics))
+	copy(metrics, r.metrics)
+	collectors := make([]func(*Writer), len(r.collectors))
+	copy(collectors, r.collectors)
+	r.mu.Unlock()
+
+	ew := newWriter()
+	for _, m := range metrics {
+		switch m.typ {
+		case TypeCounter:
+			ew.Counter(m.name, m.help, float64(m.counter.Value()), m.labels...)
+		case TypeGauge:
+			ew.Gauge(m.name, m.help, float64(m.gauge.Value()), m.labels...)
+		case TypeHistogram:
+			v := m.hist.View()
+			ew.Histogram(m.name, m.help, v, m.labels...)
+		}
+	}
+	for _, fn := range collectors {
+		fn(ew)
+	}
+	return ew.flush(w)
+}
+
+// Handler returns an http.Handler serving GET /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if req.Method == http.MethodHead {
+			return
+		}
+		bw := bufio.NewWriter(w)
+		_ = r.Expose(bw)
+		_ = bw.Flush()
+	})
+}
+
+// family accumulates one metric family's samples so # HELP / # TYPE are
+// emitted exactly once even when static metrics and collectors both
+// contribute samples to the same name.
+type family struct {
+	help  string
+	typ   string
+	lines []string
+}
+
+// Writer is handed to Collect callbacks (and used internally for static
+// instruments) to build the exposition output family by family.
+type Writer struct {
+	fams  map[string]*family
+	order []string
+}
+
+func newWriter() *Writer { return &Writer{fams: map[string]*family{}} }
+
+func (w *Writer) fam(name, help, typ string) *family {
+	f, ok := w.fams[name]
+	if !ok {
+		f = &family{help: help, typ: typ}
+		w.fams[name] = f
+		w.order = append(w.order, name)
+	}
+	return f
+}
+
+func formatValue(v float64) string {
+	if v == float64(int64(v)) && v < 1e15 && v > -1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+func renderSample(name string, labels []Label, value string) string {
+	var b strings.Builder
+	b.WriteString(name)
+	if len(labels) > 0 {
+		b.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(l.Name)
+			b.WriteString(`="`)
+			b.WriteString(escapeLabel(l.Value))
+			b.WriteString(`"`)
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(value)
+	return b.String()
+}
+
+// Counter emits one counter sample.
+func (w *Writer) Counter(name, help string, v float64, labels ...Label) {
+	f := w.fam(name, help, TypeCounter)
+	f.lines = append(f.lines, renderSample(name, labels, formatValue(v)))
+}
+
+// Gauge emits one gauge sample.
+func (w *Writer) Gauge(name, help string, v float64, labels ...Label) {
+	f := w.fam(name, help, TypeGauge)
+	f.lines = append(f.lines, renderSample(name, labels, formatValue(v)))
+}
+
+// Histogram emits the full bucket/sum/count series for one histogram.
+// Bucket bounds are rendered in seconds (le="0.001" is 2^20 ns ≈ 1.05ms
+// … bounds are exact powers of two, printed with full precision).
+func (w *Writer) Histogram(name, help string, v HistView, labels ...Label) {
+	f := w.fam(name, help, TypeHistogram)
+	var cum uint64
+	for i := 0; i < NumFiniteBuckets; i++ {
+		cum += v.Buckets[i]
+		le := strconv.FormatFloat(float64(BucketBoundNanos(i))/1e9, 'g', -1, 64)
+		ls := append(append([]Label{}, labels...), Label{Name: "le", Value: le})
+		f.lines = append(f.lines, renderSample(name+"_bucket", ls, strconv.FormatUint(cum, 10)))
+	}
+	cum += v.Buckets[NumFiniteBuckets]
+	ls := append(append([]Label{}, labels...), Label{Name: "le", Value: "+Inf"})
+	f.lines = append(f.lines, renderSample(name+"_bucket", ls, strconv.FormatUint(cum, 10)))
+	f.lines = append(f.lines, renderSample(name+"_sum", labels, strconv.FormatFloat(float64(v.SumNanos)/1e9, 'g', -1, 64)))
+	// _count reports the bucket total: under concurrent writes the atomic
+	// count can momentarily trail the buckets, and exposition-format
+	// linters require _count == the +Inf bucket.
+	f.lines = append(f.lines, renderSample(name+"_count", labels, strconv.FormatUint(cum, 10)))
+}
+
+func (w *Writer) flush(out io.Writer) error {
+	names := make([]string, len(w.order))
+	copy(names, w.order)
+	sort.Strings(names)
+	for _, name := range names {
+		f := w.fams[name]
+		help := strings.ReplaceAll(strings.ReplaceAll(f.help, `\`, `\\`), "\n", `\n`)
+		if _, err := fmt.Fprintf(out, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, f.typ); err != nil {
+			return err
+		}
+		for _, line := range f.lines {
+			if _, err := io.WriteString(out, line+"\n"); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -48,6 +48,11 @@ type Job struct {
 	state JobState
 	err   string
 
+	// distJobID is the coordinator-assigned build ID of a distributed
+	// job, installed by the job-ID sink as soon as the fan-out starts —
+	// the key for GET /v1/jobs/{id}/trace.
+	distJobID string
+
 	cancel context.CancelFunc
 
 	// Build outcome, valid once state == JobDone. Metrics are recorded
@@ -96,6 +101,9 @@ type JobView struct {
 	Mode    string   `json:"mode"`
 	State   JobState `json:"state"`
 	Error   string   `json:"error,omitempty"`
+	// DistJobID is the coordinator's build identifier for distributed
+	// jobs ("build-…"); the span trace lives at /v1/jobs/{id}/trace.
+	DistJobID string `json:"dist_job_id,omitempty"`
 
 	Version          uint64      `json:"version,omitempty"`
 	K                int         `json:"k,omitempty"`
@@ -181,6 +189,7 @@ func (js *jobSet) view(j *Job) JobView {
 		Mode:             j.mode,
 		State:            j.state,
 		Error:            j.err,
+		DistJobID:        j.distJobID,
 		Version:          j.version,
 		K:                j.k,
 		CommBytes:        j.commBytes,
@@ -197,15 +206,46 @@ func (js *jobSet) view(j *Job) JobView {
 	}
 }
 
-func (js *jobSet) fail(j *Job, err error) {
+// fail finishes a job unsuccessfully and returns the state it landed in
+// (JobCanceled when the error is the context's own cancellation).
+func (js *jobSet) fail(j *Job, err error) JobState {
 	js.mu.Lock()
 	j.state = JobFailed
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 		j.state = JobCanceled
 	}
 	j.err = err.Error()
+	st := j.state
 	js.mu.Unlock()
 	close(j.done)
+	return st
+}
+
+// setDistJobID installs the coordinator-assigned build ID (job-ID sink
+// callback; safe from the build goroutine while views are served).
+func (js *jobSet) setDistJobID(j *Job, distID string) {
+	js.mu.Lock()
+	j.distJobID = distID
+	js.mu.Unlock()
+}
+
+func (js *jobSet) distJobID(j *Job) string {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	return j.distJobID
+}
+
+// running counts jobs currently in JobRunning (the jobs-running gauge).
+func (js *jobSet) running() int {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	n := 0
+	for _, j := range js.jobs {
+		if j.state == JobRunning {
+			n++
+		}
+	}
+	return n
 }
 
 func (js *jobSet) finish(j *Job, e *Entry, k int, res *wavelethist.Result) {

@@ -32,6 +32,10 @@ type ReplStatus struct {
 	Version uint64 `json:"version"`
 	// SyncedAt is when the last successful pull completed.
 	SyncedAt time.Time `json:"synced_at"`
+	// LagVersions is how many registry versions the primary was ahead of
+	// this replica's cursor when the last pull started (0 when caught
+	// up) — the wavehist_repl_lag_versions gauge.
+	LagVersions uint64 `json:"lag_versions"`
 	// Error is the last sync failure ("" while healthy). A stale
 	// SyncedAt plus a non-empty Error is the "primary is down" signal.
 	Error string `json:"error,omitempty"`

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log"
 	"net/http"
 	"strconv"
 	"sync"
@@ -12,6 +13,7 @@ import (
 
 	"wavelethist"
 	"wavelethist/dist"
+	"wavelethist/internal/obs"
 )
 
 // Config tunes a Server. The zero value is usable: in-memory registry,
@@ -61,6 +63,12 @@ type Config struct {
 	// /v1/stats and /healthz so operators and the router can tell which
 	// shard a process serves.
 	Shard string
+	// SlowQueryThreshold logs a structured one-line record (op, name,
+	// micros, batch size) for every query slower than this, and counts it
+	// in wavehist_slow_queries_total. 0 (the default) disables the log.
+	SlowQueryThreshold time.Duration
+	// SlowQueryLog receives slow-query lines (nil = log.Default()).
+	SlowQueryLog *log.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -125,6 +133,15 @@ type Server struct {
 	readOnly atomic.Bool
 	repl     atomic.Pointer[ReplStatus]
 
+	// Observability plane (metrics.go): the /metrics registry plus the
+	// static instruments the job runner and slow-query log record into.
+	metrics        *obs.Registry
+	buildsDone     *obs.Counter
+	buildsFailed   *obs.Counter
+	buildsCanceled *obs.Counter
+	buildDur       *obs.Histogram
+	slowQueries    *obs.Counter
+
 	mu       sync.Mutex
 	datasets map[string]*wavelethist.Dataset
 	maints   map[string]*maintained
@@ -158,6 +175,7 @@ func NewServer(cfg Config) (*Server, error) {
 		maints:     map[string]*maintained{},
 	}
 	s.readOnly.Store(cfg.ReadOnly)
+	s.initMetrics()
 	s.loadMaints()
 	s.routes()
 	return s, nil
@@ -211,6 +229,8 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/hist/{name}/query", s.handleBatch)
 	s.mux.HandleFunc("POST /v1/hist/{name}/updates", s.handleUpdates)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.Handle("GET /metrics", s.metrics.Handler())
+	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
 	s.mux.HandleFunc("GET /v1/datasets", s.handleListDatasets)
 	s.mux.HandleFunc("POST /v1/datasets", s.handleCreateDataset)
 	s.mux.HandleFunc("POST /v1/build", s.handleBuild)
@@ -303,10 +323,12 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handlePoint(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
 	e, ok := s.entry(w, r)
 	if !ok {
 		return
 	}
+	defer func() { s.slowQuery("point", e.Name, 1, time.Since(t0)) }()
 	if e.Is2D() {
 		x, errX := queryInt64(r, "x")
 		y, errY := queryInt64(r, "y")
@@ -336,10 +358,12 @@ func (s *Server) handlePoint(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
 	e, ok := s.entry(w, r)
 	if !ok {
 		return
 	}
+	defer func() { s.slowQuery("range", e.Name, 1, time.Since(t0)) }()
 	lo, errLo := queryInt64(r, "lo")
 	hi, errHi := queryInt64(r, "hi")
 	if errLo != nil || errHi != nil {
@@ -377,6 +401,7 @@ type batchResponse struct {
 var batchPool = sync.Pool{New: func() any { return new(batchBuffers) }}
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
 	e, ok := s.entry(w, r)
 	if !ok {
 		return
@@ -413,6 +438,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	bb.Resp.Name = e.Name
 	bb.Resp.Version = e.Version
 	writeJSON(w, http.StatusOK, &bb.Resp)
+	s.slowQuery("batch", e.Name, n, time.Since(t0))
 }
 
 // KeyUpdate is one insertion/deletion in POST /v1/hist/{name}/updates.
@@ -510,6 +536,7 @@ func (s *Server) handleUpdates(w http.ResponseWriter, r *http.Request) {
 	}
 	m.mu.Unlock()
 	e.Stats.Update.Add(int64(len(req.Updates)), time.Since(t0))
+	s.slowQuery("updates", e.Name, len(req.Updates), time.Since(t0))
 
 	writeJSON(w, http.StatusOK, map[string]any{
 		"name":        e.Name,
@@ -579,6 +606,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			repl["primary"] = st.Primary
 			repl["version"] = st.Version
 			repl["synced_at"] = st.SyncedAt
+			repl["lag_versions"] = st.LagVersions
 			if st.Error != "" {
 				repl["error"] = st.Error
 			}
@@ -783,18 +811,27 @@ func (s *Server) runBuild(ctx context.Context, cancel context.CancelFunc, job *J
 	defer s.jobWG.Done()
 	defer cancel()
 	defer func() { <-s.buildSem }()
+	t0 := time.Now()
+	defer func() { s.buildDur.Observe(time.Since(t0)) }()
 	opts := wavelethist.Options{K: req.K, Epsilon: req.Epsilon, Seed: req.Seed}
 	var (
 		res *wavelethist.Result
 		err error
 	)
 	if req.Distributed {
-		res, err = wavelethist.BuildDistributed(ctx, ds, wavelethist.Method(req.Method), opts, s.cfg.Coordinator)
+		// The sink learns the coordinator-assigned build ID as soon as it
+		// exists, so GET /v1/jobs/{id}/trace works while the build runs.
+		bctx := dist.WithJobIDSink(ctx, func(distID string) { s.jobs.setDistJobID(job, distID) })
+		res, err = wavelethist.BuildDistributed(bctx, ds, wavelethist.Method(req.Method), opts, s.cfg.Coordinator)
 	} else {
 		res, err = wavelethist.BuildContext(ctx, ds, wavelethist.Method(req.Method), opts)
 	}
 	if err != nil {
-		s.jobs.fail(job, err)
+		if s.jobs.fail(job, err) == JobCanceled {
+			s.buildsCanceled.Inc()
+		} else {
+			s.buildsFailed.Inc()
+		}
 		return
 	}
 	// A fresh build supersedes any maintainer state accumulated against
@@ -810,12 +847,14 @@ func (s *Server) runBuild(ctx context.Context, cancel context.CancelFunc, job *J
 	e, err := s.reg.Publish(req.Name, res.Histogram)
 	if err != nil {
 		s.jobs.fail(job, err)
+		s.buildsFailed.Inc()
 		return
 	}
 	if req.Maintain {
 		mh, merr := wavelethist.MaintainHistogram(res.Histogram, res.Histogram.K(), req.Shadow)
 		if merr != nil {
 			s.jobs.fail(job, fmt.Errorf("histogram published at version %d, but maintainer setup failed: %w", e.Version, merr))
+			s.buildsFailed.Inc()
 			return
 		}
 		s.mu.Lock()
@@ -824,6 +863,41 @@ func (s *Server) runBuild(ctx context.Context, cancel context.CancelFunc, job *J
 		s.persistMaint(req.Name, mh)
 	}
 	s.jobs.finish(job, e, res.Histogram.K(), res)
+	s.buildsDone.Inc()
+}
+
+// handleJobTrace serves the distributed build's span trace for a serve
+// job: the coordinator records one span per split-batch RPC (worker,
+// timing, wire bytes, cached/replayed splits, retry/restored flags),
+// live while the build runs and retained after it finishes. Simulated
+// builds have no fan-out and therefore no trace.
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := s.jobs.get(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no job %q", id)
+		return
+	}
+	view := s.jobs.view(j)
+	if view.Mode != ModeDistributed {
+		writeErr(w, http.StatusNotFound, "job %q is %s; traces are recorded for distributed builds only", id, view.Mode)
+		return
+	}
+	if s.cfg.Coordinator == nil {
+		writeErr(w, http.StatusNotFound, "no coordinator configured")
+		return
+	}
+	distID := s.jobs.distJobID(j)
+	if distID == "" {
+		writeErr(w, http.StatusNotFound, "job %q has not fanned out yet; retry shortly", id)
+		return
+	}
+	tv, ok := s.cfg.Coordinator.Trace(distID)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "trace for job %q (build %s) has been evicted", id, distID)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"job": j.ID, "trace": tv})
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {

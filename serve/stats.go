@@ -3,13 +3,27 @@ package serve
 import (
 	"sync/atomic"
 	"time"
+
+	"wavelethist/internal/obs"
 )
 
 // OpStats is a lock-free counter/latency accumulator for one operation
-// class. Safe for concurrent use from any number of query goroutines.
+// class, backed by an obs.Histogram so p50/p99 come from the same
+// buckets /metrics exposes. Safe for concurrent use from any number of
+// query goroutines.
+//
+// Consistency: Add writes the histogram (buckets, sum, histogram count)
+// before incrementing count; View loads count before reading the
+// histogram. Go's sequentially consistent atomics then guarantee the
+// snapshot's nanos cover every operation included in its count, so the
+// reported mean can never be computed from fewer nanos than counted ops
+// — the torn-read pairing the old two-independent-atomics View had.
 type OpStats struct {
+	// count is the total operations recorded, including untimed ones
+	// (Add with d <= 0, e.g. per-query counts inside batches) that the
+	// histogram never sees.
 	count atomic.Int64
-	nanos atomic.Int64
+	hist  obs.Histogram
 }
 
 // Start records one operation and returns the function that stops its
@@ -17,32 +31,58 @@ type OpStats struct {
 func (o *OpStats) Start() func() {
 	t0 := time.Now()
 	return func() {
+		o.hist.Observe(time.Since(t0))
 		o.count.Add(1)
-		o.nanos.Add(int64(time.Since(t0)))
 	}
 }
 
-// Add records n operations that took a combined d.
+// Add records n operations that took a combined d. With d <= 0 only the
+// count moves — the operations are tallied but not timed, and they do
+// not dilute the latency quantiles.
 func (o *OpStats) Add(n int64, d time.Duration) {
+	if n <= 0 {
+		return
+	}
+	if d > 0 {
+		o.hist.ObserveBatch(n, d)
+	}
 	o.count.Add(n)
-	o.nanos.Add(int64(d))
 }
 
-// View returns a consistent-enough copy for reporting.
+// Count returns the total operations recorded.
+func (o *OpStats) Count() int64 { return o.count.Load() }
+
+// HistView snapshots the latency histogram (timed operations only) for
+// merging into /metrics families.
+func (o *OpStats) HistView() obs.HistView { return o.hist.View() }
+
+// View returns a consistent snapshot for reporting (see the type comment
+// for the ordering guarantee).
 func (o *OpStats) View() OpStatsView {
 	n := o.count.Load()
-	ns := o.nanos.Load()
+	hv := o.hist.View()
 	v := OpStatsView{Count: n}
 	if n > 0 {
-		v.MeanMicros = float64(ns) / float64(n) / 1e3
+		v.MeanMicros = float64(hv.SumNanos) / float64(n) / 1e3
+	}
+	if hv.Count > 0 {
+		v.P50Micros = hv.QuantileMicros(0.50)
+		v.P95Micros = hv.QuantileMicros(0.95)
+		v.P99Micros = hv.QuantileMicros(0.99)
 	}
 	return v
 }
 
-// OpStatsView is the JSON form of OpStats.
+// OpStatsView is the JSON form of OpStats. Count and MeanMicros are the
+// pre-existing fields older consumers rely on; the quantiles are
+// histogram-derived (log₂ buckets, interpolated) and 0 until the first
+// timed operation.
 type OpStatsView struct {
 	Count      int64   `json:"count"`
 	MeanMicros float64 `json:"mean_micros"`
+	P50Micros  float64 `json:"p50_micros,omitempty"`
+	P95Micros  float64 `json:"p95_micros,omitempty"`
+	P99Micros  float64 `json:"p99_micros,omitempty"`
 }
 
 // Stats aggregates per-histogram serving counters. The same *Stats is

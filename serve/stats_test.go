@@ -1,0 +1,102 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestOpStatsViewNoTornReads hammers one OpStats with fixed-duration
+// adds while a reader snapshots it. The old implementation loaded count
+// and nanos as two independent atomics, so a reader could pair a fresh
+// count with a stale nanos sum and report a mean below the true per-op
+// duration. The histogram-backed version orders writes (nanos before
+// count) against reads (count before nanos), so every snapshot's mean
+// must be >= the uniform per-op duration. Run with -race.
+func TestOpStatsViewNoTornReads(t *testing.T) {
+	const (
+		workers = 8
+		perOp   = time.Millisecond
+		iters   = 3000
+	)
+	var o OpStats
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				o.Add(1, perOp)
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+
+	wantMicros := float64(perOp) / 1e3
+	for {
+		v := o.View()
+		if v.Count > 0 && v.MeanMicros < wantMicros {
+			t.Fatalf("torn read: count=%d mean=%.3fµs < %.3fµs", v.Count, v.MeanMicros, wantMicros)
+		}
+		select {
+		case <-done:
+			v := o.View()
+			if v.Count != workers*iters {
+				t.Fatalf("count = %d, want %d", v.Count, workers*iters)
+			}
+			if v.MeanMicros != wantMicros {
+				t.Fatalf("final mean = %v, want %v", v.MeanMicros, wantMicros)
+			}
+			if v.P50Micros <= 0 || v.P99Micros < v.P50Micros {
+				t.Fatalf("quantiles: p50=%v p99=%v", v.P50Micros, v.P99Micros)
+			}
+			return
+		default:
+		}
+	}
+}
+
+// TestOpStatsUntimedAddsSkipQuantiles: Add with d=0 (per-query tallies
+// inside batches) counts ops but must not pollute latency quantiles.
+func TestOpStatsUntimedAddsSkipQuantiles(t *testing.T) {
+	var o OpStats
+	o.Add(100, 0)
+	v := o.View()
+	if v.Count != 100 {
+		t.Fatalf("count = %d", v.Count)
+	}
+	if v.MeanMicros != 0 || v.P50Micros != 0 || v.P99Micros != 0 {
+		t.Fatalf("untimed adds leaked into latency stats: %+v", v)
+	}
+	if hv := o.HistView(); hv.Count != 0 {
+		t.Fatalf("histogram saw %d untimed ops", hv.Count)
+	}
+	o.Add(1, 2*time.Millisecond)
+	v = o.View()
+	// Mean still averages over all counted ops (2ms / 101 ops).
+	want := 2000.0 / 101
+	if v.MeanMicros < want-0.01 || v.MeanMicros > want+0.01 {
+		t.Fatalf("mean = %v, want ~%v", v.MeanMicros, want)
+	}
+	if v.P50Micros <= 0 {
+		t.Fatalf("p50 = %v after a timed op", v.P50Micros)
+	}
+}
+
+func TestOpStatsStart(t *testing.T) {
+	var o OpStats
+	stop := o.Start()
+	time.Sleep(2 * time.Millisecond)
+	stop()
+	v := o.View()
+	if v.Count != 1 {
+		t.Fatalf("count = %d", v.Count)
+	}
+	if v.MeanMicros < 1000 {
+		t.Fatalf("mean = %vµs, want >= 1000", v.MeanMicros)
+	}
+	if v.P99Micros < 1000 {
+		t.Fatalf("p99 = %vµs, want >= 1000", v.P99Micros)
+	}
+}

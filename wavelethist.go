@@ -208,6 +208,10 @@ type Result struct {
 	// Distributed reports whether the build ran on a waveworker fleet
 	// (BuildDistributed) rather than the in-process simulated cluster.
 	Distributed bool
+	// DistJobID is the coordinator-assigned build identifier of a
+	// distributed build ("build-…") — the key for its span trace at
+	// GET /dist/v1/trace/{id}; empty for simulated builds.
+	DistJobID string
 	// Rounds is the number of MapReduce rounds (1 or 3).
 	Rounds int
 	// PerRound profiles each round; always filled for multi-round builds
