@@ -63,6 +63,7 @@ func main() {
 		shard       = flag.String("shard", "", "shard label reported in /v1/stats (informational)")
 		checkpoints = flag.String("checkpoints", "", "coordinator checkpoint directory: multi-round distributed builds resume at the last round barrier after a daemon restart")
 		slowQuery   = flag.Duration("slow-query", 0, "log queries slower than this threshold (0 disables the slow-query log)")
+		slowDir     = flag.String("slow-query-dir", "", "append slow queries as JSONL records (slow-queries.jsonl) into this directory")
 		traceDir    = flag.String("trace-dir", "", "dump per-build distributed trace spans as JSONL into this directory")
 		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof on this separate address (empty = off)")
 	)
@@ -73,7 +74,7 @@ func main() {
 		workers: *workers, distMode: *distMode,
 		replicaOf: *replicaOf, syncEvery: *syncEvery,
 		shard: *shard, checkpoints: *checkpoints,
-		slowQuery: *slowQuery, traceDir: *traceDir,
+		slowQuery: *slowQuery, slowQueryDir: *slowDir, traceDir: *traceDir,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wavehistd:", err)
@@ -127,6 +128,7 @@ type daemonConfig struct {
 	syncEvery          time.Duration
 	shard, checkpoints string
 	slowQuery          time.Duration
+	slowQueryDir       string
 	traceDir           string
 }
 
@@ -177,6 +179,7 @@ func newDaemonCfg(c daemonConfig) (*http.Server, *serve.Server, *ha.Replica, err
 		ReadOnly:           c.replicaOf != "",
 		Shard:              c.shard,
 		SlowQueryThreshold: c.slowQuery,
+		SlowQueryDir:       c.slowQueryDir,
 	})
 	if err != nil {
 		return nil, nil, nil, err

@@ -1,0 +1,129 @@
+// Package deploy ships operational config. The only Go code here is this
+// test, which keeps deploy/prometheus-rules.yml honest: every metric
+// family an alert expression references must exist in a live exposition
+// scraped from the components the rules cover — a renamed or dropped
+// metric fails CI instead of silently blanking an alert.
+package deploy
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"wavelethist/dist"
+	"wavelethist/ha"
+	"wavelethist/internal/obs"
+	"wavelethist/serve"
+)
+
+var familyRe = regexp.MustCompile(`\b(?:wavehist|waverouter|waveworker)_[a-z0-9_]+`)
+
+// exprFamilies extracts the metric families referenced by expr blocks in
+// the rules file, normalizing histogram series suffixes to their family
+// name.
+func exprFamilies(t *testing.T, rules string) []string {
+	t.Helper()
+	set := map[string]bool{}
+	lines := strings.Split(rules, "\n")
+	inExpr := false
+	exprIndent := 0
+	indentOf := func(s string) int { return len(s) - len(strings.TrimLeft(s, " ")) }
+	for _, line := range lines {
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" {
+			continue
+		}
+		if strings.HasPrefix(trimmed, "expr:") {
+			inExpr = true
+			exprIndent = indentOf(line)
+		} else if inExpr && indentOf(line) <= exprIndent {
+			inExpr = false
+		}
+		if !inExpr {
+			continue
+		}
+		for _, m := range familyRe.FindAllString(line, -1) {
+			for _, suf := range []string{"_bucket", "_sum", "_count"} {
+				if base := strings.TrimSuffix(m, suf); base != m {
+					m = base
+					break
+				}
+			}
+			set[m] = true
+		}
+	}
+	fams := make([]string, 0, len(set))
+	for f := range set {
+		fams = append(fams, f)
+	}
+	sort.Strings(fams)
+	return fams
+}
+
+func TestPrometheusRulesReferenceLiveFamilies(t *testing.T) {
+	raw, err := os.ReadFile("prometheus-rules.yml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	referenced := exprFamilies(t, string(raw))
+	if len(referenced) < 10 {
+		t.Fatalf("extracted only %d families from the rules — extraction broken?\n%v", len(referenced), referenced)
+	}
+
+	merged := map[string]*obs.Family{}
+	addExposition := func(src, text string) {
+		t.Helper()
+		fams, err := obs.Lint(text)
+		if err != nil {
+			t.Fatalf("%s exposition fails lint: %v", src, err)
+		}
+		obs.MergeFamilies(merged, fams)
+	}
+
+	// Daemon families, scraped from a live serve.Server registry.
+	s, err := serve.NewServer(serve.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var daemonBuf bytes.Buffer
+	if err := s.Metrics().Expose(&daemonBuf); err != nil {
+		t.Fatal(err)
+	}
+	addExposition("daemon", daemonBuf.String())
+
+	// Router families, including the aggregation-only waverouter_shard_up,
+	// via the router's real GET /metrics with a live shard behind it.
+	shardSrv := httptest.NewServer(s)
+	defer shardSrv.Close()
+	rt, err := ha.NewRouter([]ha.Shard{{ID: "s0", Primary: shardSrv.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtSrv := httptest.NewServer(rt)
+	defer rtSrv.Close()
+	resp, err := http.Get(rtSrv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	addExposition("router", string(body))
+
+	// Worker families from a live dist.Worker registry.
+	var workerBuf bytes.Buffer
+	if err := dist.NewWorker("w0", 2).Metrics().Expose(&workerBuf); err != nil {
+		t.Fatal(err)
+	}
+	addExposition("worker", workerBuf.String())
+
+	if err := obs.RequireFamilies(merged, referenced...); err != nil {
+		t.Fatalf("prometheus-rules.yml references a family no component exposes: %v", err)
+	}
+}

@@ -1,0 +1,105 @@
+package ha
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"testing"
+
+	"wavelethist/serve"
+)
+
+// TestCrossBatchStraddlesShardsVectorized: one POST /v1/query whose
+// queries straddle shard boundaries — per-shard groups large enough that
+// every shard answers through the vectorized batch executor — comes back
+// reassembled in request order with every estimate bit-identical to the
+// owning entry's scalar answer.
+func TestCrossBatchStraddlesShardsVectorized(t *testing.T) {
+	s0, ts0 := newNode(t, serve.Config{Shard: "s0"})
+	s1, ts1 := newNode(t, serve.Config{Shard: "s1"})
+	defer s0.Close()
+	defer s1.Close()
+	rt, err := NewRouter([]Shard{
+		{ID: "s0", Primary: ts0.URL},
+		{ID: "s1", Primary: ts1.URL},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := map[string]*serve.Server{"s0": s0, "s1": s1}
+
+	// Find histogram names on both sides of the shard boundary and
+	// publish each to its owning shard.
+	byShard := map[string][]string{}
+	for i := 0; len(byShard["s0"]) < 2 || len(byShard["s1"]) < 2; i++ {
+		name := fmt.Sprintf("hist-%d", i)
+		id := rt.Shard(name).ID
+		if len(byShard[id]) >= 2 {
+			continue
+		}
+		if _, err := nodes[id].Registry().Publish(name, buildTestHist(t, uint64(i+1))); err != nil {
+			t.Fatal(err)
+		}
+		byShard[id] = append(byShard[id], name)
+	}
+	names := append(append([]string{}, byShard["s0"]...), byShard["s1"]...)
+
+	rtSrv := httptest.NewServer(rt)
+	defer rtSrv.Close()
+
+	// 30 queries per name (well past the vectorized threshold per shard
+	// group), interleaved round-robin so adjacent request indexes land on
+	// different shards — reassembly order is actually exercised.
+	const perName = 30
+	var queries []NamedQuery
+	for j := 0; j < perName; j++ {
+		for _, name := range names {
+			q := NamedQuery{Name: name}
+			if j%3 == 0 {
+				q.Op = "range"
+				q.Lo = int64(j * 5)
+				q.Hi = int64(j*5 + 300)
+			} else {
+				q.Op = "point"
+				q.Key = int64((j * 37) % (1 << 12))
+			}
+			queries = append(queries, q)
+		}
+	}
+	if perName < vecMinForTest {
+		t.Fatalf("per-name groups of %d are under the vectorized threshold", perName)
+	}
+
+	out := postJSON(t, rtSrv.URL+"/v1/query", map[string]any{"queries": queries}, 200)
+	results := out["results"].([]any)
+	if len(results) != len(queries) {
+		t.Fatalf("got %d results for %d queries", len(results), len(queries))
+	}
+	for i, rr := range results {
+		res := rr.(map[string]any)
+		if e, ok := res["error"]; ok && e != "" {
+			t.Fatalf("query %d errored: %v", i, e)
+		}
+		q := queries[i]
+		entry, ok := nodes[rt.Shard(q.Name).ID].Registry().Lookup(q.Name)
+		if !ok {
+			t.Fatalf("entry %q missing", q.Name)
+		}
+		var want float64
+		var err error
+		if q.Op == "point" {
+			want, err = entry.Point(q.Key)
+		} else {
+			want, err = entry.Range(q.Lo, q.Hi)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := res["estimate"].(float64); got != want {
+			t.Fatalf("query %d (%+v): router %v, direct %v", i, q, got, want)
+		}
+	}
+}
+
+// vecMinForTest mirrors serve.vecBatchMin (unexported) so this test
+// fails loudly if the threshold ever outgrows the per-shard group size.
+const vecMinForTest = 16

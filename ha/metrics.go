@@ -1,7 +1,10 @@
 package ha
 
 import (
+	"bytes"
 	"net/http"
+	"sort"
+	"sync"
 	"time"
 
 	"wavelethist/internal/obs"
@@ -23,8 +26,77 @@ func (rt *Router) initMetrics() {
 	})
 }
 
-// Metrics exposes the router's metrics registry (GET /metrics).
+// Metrics exposes the router's metrics registry. Note GET /metrics on
+// the router serves more than this registry: see handleMetrics.
 func (rt *Router) Metrics() *obs.Registry { return rt.metrics }
+
+// handleMetrics serves the aggregated cluster exposition: the router's
+// own families plus every shard's /metrics page re-labeled with
+// shard="<id>" — one scrape target covering the whole fleet, no
+// Prometheus federation required. A shard that is unreachable (primary
+// and all replicas) or returns an unparsable page contributes only
+// waverouter_shard_up{shard} = 0; everything else keeps flowing.
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	merged := map[string]*obs.Family{}
+	var buf bytes.Buffer
+	if err := rt.metrics.Expose(&buf); err == nil {
+		if own, err := obs.ParseExposition(buf.String()); err == nil {
+			obs.MergeFamilies(merged, own)
+		}
+	}
+
+	type shardFams struct {
+		id   string
+		fams map[string]*obs.Family
+	}
+	results := make([]shardFams, 0, len(rt.shards))
+	var (
+		mu sync.Mutex
+		wg sync.WaitGroup
+	)
+	for id, sh := range rt.shards {
+		wg.Add(1)
+		go func(id string, sh *Shard) {
+			defer wg.Done()
+			var fams map[string]*obs.Family
+			if resp, err := rt.readShard(r.Context(), sh, http.MethodGet, "/metrics", "", nil); err == nil && resp.status == http.StatusOK {
+				fams, _ = obs.ParseExposition(string(resp.body))
+			}
+			mu.Lock()
+			results = append(results, shardFams{id: id, fams: fams})
+			mu.Unlock()
+		}(id, sh)
+	}
+	wg.Wait()
+	sort.Slice(results, func(i, j int) bool { return results[i].id < results[j].id })
+
+	up := &obs.Family{
+		Name: "waverouter_shard_up",
+		Type: obs.TypeGauge,
+		Help: "1 when the shard's /metrics was scraped and parsed on this request.",
+	}
+	for _, res := range results {
+		v := 0.0
+		if res.fams != nil {
+			obs.MergeFamilies(merged, res.fams, obs.L("shard", res.id))
+			v = 1
+		}
+		up.Samples = append(up.Samples, obs.Sample{
+			Name:   "waverouter_shard_up",
+			Labels: map[string]string{"shard": res.id},
+			Value:  v,
+		})
+	}
+	merged["waverouter_shard_up"] = up
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	var out bytes.Buffer
+	if err := obs.RenderFamilies(&out, merged); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Write(out.Bytes())
+}
 
 // timed wraps a handler with a per-route latency histogram and request
 // counter. The route label is a fixed name, not the raw path, so

@@ -1,0 +1,136 @@
+package ha
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"wavelethist/internal/obs"
+	"wavelethist/serve"
+)
+
+// TestRouterMetricsAggregation: the router's GET /metrics is one scrape
+// for the whole fleet — every reachable shard's families appear
+// re-labeled with shard="<id>", the router's own families stay
+// unlabeled, a down shard degrades to waverouter_shard_up 0 without
+// poisoning the page, and the merged exposition passes the lint the CI
+// smoke runs on single-daemon pages.
+func TestRouterMetricsAggregation(t *testing.T) {
+	s0, ts0 := newNode(t, serve.Config{Shard: "s0"})
+	s1, ts1 := newNode(t, serve.Config{Shard: "s1"})
+	defer s0.Close()
+	defer s1.Close()
+	for i, s := range []*serve.Server{s0, s1} {
+		if _, err := s.Registry().Publish(fmt.Sprintf("h%d", i), buildTestHist(t, uint64(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// s2 is configured but not running: its scrape must fail cleanly.
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close()
+
+	rt, err := NewRouter([]Shard{
+		{ID: "s0", Primary: ts0.URL},
+		{ID: "s1", Primary: ts1.URL},
+		{ID: "s2", Primary: dead.URL},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtSrv := httptest.NewServer(rt)
+	defer rtSrv.Close()
+
+	// Drive one request through the router so its own counters are live.
+	getJSON(t, rtSrv.URL+"/v1/hist", http.StatusOK)
+
+	resp, err := http.Get(rtSrv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics = %d: %s", resp.StatusCode, body)
+	}
+	fams, err := obs.Lint(string(body))
+	if err != nil {
+		t.Fatalf("aggregated exposition fails lint: %v\n%s", err, body)
+	}
+	if err := obs.RequireFamilies(fams,
+		"waverouter_proxied_total", "waverouter_shards", "waverouter_shard_up",
+		"wavehist_registry_version", "wavehist_queries_total", "wavehist_query_duration_seconds",
+	); err != nil {
+		t.Fatal(err)
+	}
+
+	// Shard families carry exactly the shard label per contributing shard.
+	seen := map[string]bool{}
+	for _, sm := range fams["wavehist_registry_version"].Samples {
+		seen[sm.Labels["shard"]] = true
+		if sm.Value != 1 {
+			t.Errorf("shard %q registry version %v, want 1", sm.Labels["shard"], sm.Value)
+		}
+	}
+	if !seen["s0"] || !seen["s1"] || len(seen) != 2 {
+		t.Fatalf("wavehist_registry_version shards = %v, want s0+s1", seen)
+	}
+	// Router-own families stay unlabeled by shard.
+	for _, sm := range fams["waverouter_proxied_total"].Samples {
+		if _, ok := sm.Labels["shard"]; ok {
+			t.Fatalf("router-own sample grew a shard label: %v", sm)
+		}
+	}
+	// Up gauge: 1 for live shards, 0 for the dead one.
+	ups := map[string]float64{}
+	for _, sm := range fams["waverouter_shard_up"].Samples {
+		ups[sm.Labels["shard"]] = sm.Value
+	}
+	if ups["s0"] != 1 || ups["s1"] != 1 || ups["s2"] != 0 {
+		t.Fatalf("waverouter_shard_up = %v, want s0:1 s1:1 s2:0", ups)
+	}
+}
+
+// TestMergeRenderRoundTrip pins the obs fan-in helpers the aggregation
+// is built on: parse → merge with label injection → render must produce
+// lintable text whose samples carry the injected label, and re-parsing
+// the rendered page yields the same sample values.
+func TestMergeRenderRoundTrip(t *testing.T) {
+	page := "# HELP x_total things\n# TYPE x_total counter\nx_total{op=\"a\"} 3\nx_total 4\n" +
+		"# HELP y_seconds lat\n# TYPE y_seconds histogram\n" +
+		"y_seconds_bucket{le=\"0.5\"} 1\ny_seconds_bucket{le=\"+Inf\"} 2\ny_seconds_sum 0.75\ny_seconds_count 2\n"
+	src, err := obs.ParseExposition(page)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged := map[string]*obs.Family{}
+	obs.MergeFamilies(merged, src, obs.L("shard", "s0"))
+	src2, _ := obs.ParseExposition(page)
+	obs.MergeFamilies(merged, src2, obs.L("shard", "s1"))
+
+	var out strings.Builder
+	if err := obs.RenderFamilies(&out, merged); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := obs.Lint(out.String())
+	if err != nil {
+		t.Fatalf("rendered merge fails lint: %v\n%s", err, out.String())
+	}
+	if got := len(fams["x_total"].Samples); got != 4 {
+		t.Fatalf("x_total has %d samples, want 4:\n%s", got, out.String())
+	}
+	var s0a float64
+	for _, sm := range fams["x_total"].Samples {
+		if sm.Labels["shard"] == "s0" && sm.Labels["op"] == "a" {
+			s0a = sm.Value
+		}
+	}
+	if s0a != 3 {
+		t.Fatalf("x_total{op=a,shard=s0} = %v, want 3", s0a)
+	}
+	if got := len(fams["y_seconds"].Samples); got != 8 {
+		t.Fatalf("y_seconds has %d samples, want 8", got)
+	}
+}

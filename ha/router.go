@@ -108,7 +108,7 @@ func (rt *Router) routes() {
 	rt.mux.HandleFunc("POST /v1/datasets", rt.timed("datasets", rt.handleDatasets))
 	rt.mux.HandleFunc("POST /v1/build", rt.timed("build", rt.handleBuild))
 	rt.mux.HandleFunc("GET /v1/jobs/{id}", rt.timed("job", rt.handleJob))
-	rt.mux.Handle("GET /metrics", rt.metrics.Handler())
+	rt.mux.Handle("GET /metrics", http.HandlerFunc(rt.handleMetrics))
 }
 
 // --- upstream plumbing ---

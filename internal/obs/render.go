@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Re-rendering parsed expositions: the fan-in half of the scrape plane.
+// A router that aggregates its shards' /metrics pages parses each one
+// (ParseExposition), injects a per-shard label (MergeFamilies), and
+// serializes the union back to valid text format (RenderFamilies) — so
+// one scrape of the router covers the whole fleet without a Prometheus
+// federation layer.
+
+// MergeFamilies folds src's families into dst, adding extra labels to
+// every sample (e.g. shard="s0"). A family already in dst keeps its
+// Help/Type; src samples are appended in order. Samples whose label set
+// already contains one of the extra names are skipped rather than
+// silently double-labeled.
+func MergeFamilies(dst, src map[string]*Family, extra ...Label) {
+	names := make([]string, 0, len(src))
+	for n := range src {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		sf := src[n]
+		if sf.Type == "" && len(sf.Samples) == 0 {
+			continue
+		}
+		df, ok := dst[n]
+		if !ok {
+			df = &Family{Name: n, Type: sf.Type, Help: sf.Help}
+			dst[n] = df
+		}
+	samples:
+		for _, s := range sf.Samples {
+			labels := make(map[string]string, len(s.Labels)+len(extra))
+			for k, v := range s.Labels {
+				labels[k] = v
+			}
+			for _, l := range extra {
+				if _, clash := labels[l.Name]; clash {
+					continue samples
+				}
+				labels[l.Name] = l.Value
+			}
+			df.Samples = append(df.Samples, Sample{Name: s.Name, Labels: labels, Value: s.Value})
+		}
+	}
+}
+
+// RenderFamilies writes fams back out in text format 0.0.4: families
+// sorted by name with one # HELP / # TYPE pair each, samples in stored
+// order with deterministically sorted label sets.
+func RenderFamilies(w io.Writer, fams map[string]*Family) error {
+	names := make([]string, 0, len(fams))
+	for n := range fams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		f := fams[n]
+		if f.Type == "" {
+			continue
+		}
+		help := f.Help
+		if help == "" {
+			help = n
+		}
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", n, help, n, f.Type); err != nil {
+			return err
+		}
+		for _, s := range f.Samples {
+			keys := make([]string, 0, len(s.Labels))
+			for k := range s.Labels {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			labels := make([]Label, len(keys))
+			for i, k := range keys {
+				labels[i] = Label{Name: k, Value: s.Labels[k]}
+			}
+			if _, err := io.WriteString(w, renderSample(s.Name, labels, formatValue(s.Value))+"\n"); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,505 @@
+package wavelet
+
+import (
+	"slices"
+	"sync"
+)
+
+// The vectorized batch executor.
+//
+// A scalar point estimate walks the query key's root-to-leaf ancestor
+// path, binary-searching each error-tree level for the one coefficient
+// index that can contribute — O(log u · log k) data-dependent loads per
+// query. For a batch of n queries that search repeats per query, even
+// though at level j the batch's n ancestor targets are a monotone
+// function of the sorted keys and level j's coefficient indices are
+// already stored sorted (errTree.ord / errTree.idxs).
+//
+// The batch executor exploits that: sort the query keys once, then sweep
+// every level exactly once with a merge join — one forward cursor over
+// the level's sorted index array, advanced monotonically as the sorted
+// queries' ancestor targets increase. Each level costs O(n + k_level)
+// sequential comparisons instead of n binary searches, ancestor targets
+// come from shifts instead of divisions, and adjacent queries sharing an
+// ancestor (the common case in the dense top levels) reuse the matched
+// run without rescanning. Range queries walk the same sweep with two
+// sorted boundary walkers per query (2n walkers), mirroring rangeSum's
+// kLo/kHi probes including its "probe kHi only when it differs" dedup.
+//
+// # Bit-identical to the scalar path
+//
+// PointEstimate / RangeSum stay the oracle. Per query the sweep matches
+// exactly the term multiset the scalar walk matches (same levels, same
+// targets, same duplicate runs) and computes each term with the same
+// arithmetic — precomputed ±1/sqrt and /sqrt factors that are bitwise
+// equal to the scalar path's per-query derivations (math.Sqrt is
+// correctly rounded, so caching a root changes nothing). Matched terms
+// are collected per query in a linked-list arena and finished with the
+// same sumByPos the scalar path uses; a query's matched coefficient
+// positions are distinct, so the position-sorted summation order — and
+// therefore every partial sum's rounding — is identical no matter what
+// order the sweep discovered the terms in.
+//
+// All scratch state lives in a pooled arena, so steady-state batches
+// allocate nothing.
+
+// batchScratch is one batch's reusable state: the sorted query order,
+// the per-query term linked lists (a flat arena + next pointers + per-
+// query heads), clamped range bounds, and the sort buffer handed to
+// sumByPos. Pooled; every slice is length-reset per use.
+type batchScratch struct {
+	qord  []int32   // in-domain query indexes, sorted by key
+	word  []int32   // range boundary walkers (query<<1 | isHi), sorted by boundary
+	pk    []int64   // packed key<<shift|index sort buffer (comparator-free sort)
+	head  []int32   // per-query arena list head, -1 = no terms
+	terms []posTerm // term arena
+	next  []int32   // arena linked-list next pointers, parallel to terms
+	buf   []posTerm // per-query collection buffer for sumByPos
+	klo   []int64   // clamped range lows, indexed by query
+	khi   []int64   // clamped range highs, indexed by query
+}
+
+var batchScratchPool = sync.Pool{New: func() any { return new(batchScratch) }}
+
+// resetHeads sizes head to n and fills it with -1.
+func (sc *batchScratch) resetHeads(n int) {
+	if cap(sc.head) < n {
+		sc.head = make([]int32, n)
+	}
+	sc.head = sc.head[:n]
+	for i := range sc.head {
+		sc.head[i] = -1
+	}
+}
+
+// push appends one matched term to query qi's list.
+func (sc *batchScratch) push(qi int32, p int32, term float64) {
+	sc.terms = append(sc.terms, posTerm{p, term})
+	sc.next = append(sc.next, sc.head[qi])
+	sc.head[qi] = int32(len(sc.terms) - 1)
+}
+
+// finish sums each listed query's terms in scan order into out.
+func (sc *batchScratch) finish(order []int32, out []float64) {
+	for _, qi := range order {
+		buf := sc.buf[:0]
+		for li := sc.head[qi]; li >= 0; li = sc.next[li] {
+			buf = append(buf, sc.terms[li])
+		}
+		sc.buf = buf
+		out[qi] = sumByPos(buf)
+	}
+}
+
+// BatchPoints answers n point queries at once: out[i] = PointEstimate
+// of xs[i], bit for bit. len(out) must equal len(xs). Keys may repeat
+// and arrive in any order; keys outside [0, u) estimate 0, exactly as
+// the scalar path does. Steady-state calls are allocation-free.
+func (r *Representation) BatchPoints(xs []int64, out []float64) {
+	if len(out) != len(xs) {
+		panic("wavelet: BatchPoints slice length mismatch")
+	}
+	if r.tree == nil {
+		for i, x := range xs {
+			out[i] = r.PointEstimate(x)
+		}
+		return
+	}
+	r.tree.batchPoints(r.Coefs, xs, out)
+}
+
+func (t *errTree) batchPoints(coefs []Coef, xs []int64, out []float64) {
+	n := len(xs)
+	if n == 0 {
+		return
+	}
+	sc := batchScratchPool.Get().(*batchScratch)
+	sc.resetHeads(n)
+	qord := sc.qord[:0]
+	if t.u <= 1<<31 {
+		// Comparator-free sort: pack key<<31|index into one int64 so
+		// slices.Sort runs without closure calls. Equal keys tie-break
+		// by index; per-query sums are order-independent (sumByPos
+		// canonicalizes), so the result is still bit-identical.
+		pk := sc.pk[:0]
+		for i, x := range xs {
+			out[i] = 0
+			if x >= 0 && x < t.u {
+				pk = append(pk, x<<31|int64(i))
+			}
+		}
+		slices.Sort(pk)
+		for _, v := range pk {
+			qord = append(qord, int32(v&(1<<31-1)))
+		}
+		sc.pk = pk
+	} else {
+		for i, x := range xs {
+			out[i] = 0
+			if x >= 0 && x < t.u {
+				qord = append(qord, int32(i))
+			}
+		}
+		slices.SortFunc(qord, func(a, b int32) int {
+			xa, xb := xs[a], xs[b]
+			switch {
+			case xa < xb:
+				return -1
+			case xa > xb:
+				return 1
+			}
+			return 0
+		})
+	}
+	sc.terms, sc.next = sc.terms[:0], sc.next[:0]
+
+	// Level 0: every in-domain query matches the average coefficient(s).
+	if s0, e0 := int(t.off[0]), int(t.off[1]); s0 < e0 {
+		b := t.invSqrtU // == 1/math.Sqrt(float64(t.u)), the scalar factor
+		for _, qi := range qord {
+			for i := s0; i < e0; i++ {
+				p := t.ord[i]
+				sc.push(qi, p, coefs[p].Value*b)
+			}
+		}
+	}
+
+	// Detail levels: one merge join per level. A query's ancestor target
+	// at detail level j is 2^j + x>>(logu-j) — non-decreasing in sorted
+	// key order — so a single forward cursor replaces per-query searches.
+	for j := uint(0); j < t.logu; j++ {
+		s, e := int(t.off[j+1]), int(t.off[j+2])
+		if s == e {
+			continue
+		}
+		shift := t.logu - j // rangeLen = 1<<shift
+		base := int64(1) << j
+		val := t.invSqrtLen[j]
+		cur := s
+		for _, qi := range qord {
+			x := xs[qi]
+			target := base + x>>shift
+			for cur < e && t.idxs[cur] < target {
+				cur++
+			}
+			if cur == e {
+				break // later queries have even larger targets
+			}
+			if t.idxs[cur] != target {
+				continue
+			}
+			// basisAtLevel's sign: negative iff x mod rangeLen lands in
+			// the first half, i.e. bit shift-1 of x is clear.
+			b := val
+			if x>>(shift-1)&1 == 0 {
+				b = -val
+			}
+			// The cursor stays at the run start so a following query with
+			// the same ancestor rematches it without rescanning.
+			for m := cur; m < e && t.idxs[m] == target; m++ {
+				p := t.ord[m]
+				sc.push(qi, p, coefs[p].Value*b)
+			}
+		}
+	}
+
+	sc.finish(qord, out)
+	sc.qord = qord
+	batchScratchPool.Put(sc)
+}
+
+// BatchRanges answers n range-sum queries at once: out[i] = RangeSum of
+// [los[i], his[i]], bit for bit, with the scalar path's clamp contract
+// (bounds clamped to the domain, empty intersection estimates 0).
+// len(los), len(his) and len(out) must match. Steady-state calls are
+// allocation-free.
+func (r *Representation) BatchRanges(los, his []int64, out []float64) {
+	if len(his) != len(los) || len(out) != len(los) {
+		panic("wavelet: BatchRanges slice length mismatch")
+	}
+	if r.tree == nil {
+		for i := range los {
+			out[i] = r.RangeSum(los[i], his[i])
+		}
+		return
+	}
+	r.tree.batchRanges(r.Coefs, los, his, out)
+}
+
+func (t *errTree) batchRanges(coefs []Coef, los, his []int64, out []float64) {
+	n := len(los)
+	if n == 0 {
+		return
+	}
+	sc := batchScratchPool.Get().(*batchScratch)
+	sc.resetHeads(n)
+	if cap(sc.klo) < n {
+		sc.klo = make([]int64, n)
+		sc.khi = make([]int64, n)
+	}
+	klo, khi := sc.klo[:n], sc.khi[:n]
+	// Clamp per query; non-empty ranges contribute two boundary walkers
+	// (query<<1 for lo, query<<1|1 for hi), sorted by boundary key so each
+	// level's walker targets are monotone.
+	word := sc.word[:0]
+	if t.u <= 1<<31 {
+		// Same comparator-free packed sort as batchPoints: boundary
+		// key<<31 over the walker id (query<<1|isHi) in the low bits.
+		pk := sc.pk[:0]
+		for i := 0; i < n; i++ {
+			out[i] = 0
+			lo, hi := los[i], his[i]
+			if lo < 0 {
+				lo = 0
+			}
+			if hi >= t.u {
+				hi = t.u - 1
+			}
+			if lo > hi {
+				continue
+			}
+			klo[i], khi[i] = lo, hi
+			pk = append(pk, lo<<31|int64(i)<<1, hi<<31|int64(i)<<1|1)
+		}
+		slices.Sort(pk)
+		for _, v := range pk {
+			word = append(word, int32(v&(1<<31-1)))
+		}
+		sc.pk = pk
+	} else {
+		for i := 0; i < n; i++ {
+			out[i] = 0
+			lo, hi := los[i], his[i]
+			if lo < 0 {
+				lo = 0
+			}
+			if hi >= t.u {
+				hi = t.u - 1
+			}
+			if lo > hi {
+				continue
+			}
+			klo[i], khi[i] = lo, hi
+			word = append(word, int32(i)<<1, int32(i)<<1|1)
+		}
+		slices.SortFunc(word, func(a, b int32) int {
+			ka, kb := klo[a>>1], klo[b>>1]
+			if a&1 != 0 {
+				ka = khi[a>>1]
+			}
+			if b&1 != 0 {
+				kb = khi[b>>1]
+			}
+			switch {
+			case ka < kb:
+				return -1
+			case ka > kb:
+				return 1
+			}
+			return 0
+		})
+	}
+	sc.terms, sc.next = sc.terms[:0], sc.next[:0]
+
+	// Level 0: every active query (enumerated by its lo walker) matches
+	// the average coefficient(s) with the scalar factor (hi-lo+1)/sqrt(u).
+	if s0, e0 := int(t.off[0]), int(t.off[1]); s0 < e0 {
+		for _, w := range word {
+			if w&1 != 0 {
+				continue
+			}
+			qi := w >> 1
+			b := float64(khi[qi]-klo[qi]+1) / t.sqrtU
+			for i := s0; i < e0; i++ {
+				p := t.ord[i]
+				sc.push(qi, p, coefs[p].Value*b)
+			}
+		}
+	}
+
+	// Detail levels: merge join of sorted boundary walkers against the
+	// level's index array, mirroring rangeSum — the lo walker always
+	// probes its dyadic cell, the hi walker only when it differs (the
+	// scalar path's double-count guard).
+	for j := uint(0); j < t.logu; j++ {
+		s, e := int(t.off[j+1]), int(t.off[j+2])
+		if s == e {
+			continue
+		}
+		shift := t.logu - j
+		base := int64(1) << j
+		rangeLen := t.u >> j
+		sq := t.sqrtLen[j]
+		cur := s
+		for _, w := range word {
+			qi := w >> 1
+			lo, hi := klo[qi], khi[qi]
+			var k int64
+			if w&1 != 0 {
+				k = hi >> shift
+				if k == lo>>shift {
+					continue
+				}
+			} else {
+				k = lo >> shift
+			}
+			target := base + k
+			for cur < e && t.idxs[cur] < target {
+				cur++
+			}
+			if cur == e {
+				break
+			}
+			if t.idxs[cur] != target {
+				continue
+			}
+			// appendRangeTerms' arithmetic, with the cached level root.
+			start := k << shift
+			mid := start + rangeLen/2
+			end := start + rangeLen
+			neg := overlap(lo, hi+1, start, mid)
+			pos := overlap(lo, hi+1, mid, end)
+			b := float64(pos-neg) / sq
+			for m := cur; m < e && t.idxs[m] == target; m++ {
+				p := t.ord[m]
+				sc.push(qi, p, coefs[p].Value*b)
+			}
+		}
+	}
+
+	// Sum each active query once (its lo walker).
+	for _, w := range word {
+		if w&1 != 0 {
+			continue
+		}
+		qi := w >> 1
+		buf := sc.buf[:0]
+		for li := sc.head[qi]; li >= 0; li = sc.next[li] {
+			buf = append(buf, sc.terms[li])
+		}
+		sc.buf = buf
+		out[qi] = sumByPos(buf)
+	}
+	sc.word = word
+	batchScratchPool.Put(sc)
+}
+
+// BatchPoints answers n 2D point queries at once: out[i] = PointEstimate
+// of (xs[i], ys[i]), bit for bit. len(xs), len(ys) and len(out) must
+// match; off-grid cells estimate 0. Steady-state calls are
+// allocation-free.
+func (r *Representation2D) BatchPoints(xs, ys []int64, out []float64) {
+	if len(ys) != len(xs) || len(out) != len(xs) {
+		panic("wavelet: BatchPoints slice length mismatch")
+	}
+	if r.tree == nil {
+		for i := range xs {
+			out[i] = r.PointEstimate(xs[i], ys[i])
+		}
+		return
+	}
+	r.tree.batchPoints(r.Coefs, xs, ys, out)
+}
+
+func (t *errTree2D) batchPoints(coefs []Coef, xs, ys []int64, out []float64) {
+	n := len(xs)
+	if n == 0 {
+		return
+	}
+	sc := batchScratchPool.Get().(*batchScratch)
+	sc.resetHeads(n)
+	qord := sc.qord[:0]
+	for i := range xs {
+		out[i] = 0
+		if xs[i] >= 0 && xs[i] < t.u && ys[i] >= 0 && ys[i] < t.u {
+			qord = append(qord, int32(i))
+		}
+	}
+	// Sort by (x, y): queries sharing an x-run compute the x ancestor path
+	// once, and within a run the ascending y keys make each (x-level,
+	// y-level) pair's packed targets monotone for the merge join.
+	slices.SortFunc(qord, func(a, b int32) int {
+		switch {
+		case xs[a] < xs[b]:
+			return -1
+		case xs[a] > xs[b]:
+			return 1
+		case ys[a] < ys[b]:
+			return -1
+		case ys[a] > ys[b]:
+			return 1
+		}
+		return 0
+	})
+	sc.terms, sc.next = sc.terms[:0], sc.next[:0]
+
+	// Per-x-level cursors into the row-group table: for a fixed x-level a,
+	// the row index xi[a] is non-decreasing as x increases, so each
+	// cursor only moves forward across the whole batch.
+	var gcur [66]int
+	var xi [64]int64
+	var xb [64]float64
+	nq := len(qord)
+	for i := 0; i < nq; {
+		x := xs[qord[i]]
+		j := i + 1
+		for j < nq && xs[qord[j]] == x {
+			j++
+		}
+		run := qord[i:j]
+		nx := t.ancestorPaths(x, &xi, &xb)
+		for a := 0; a < nx; a++ {
+			for gcur[a] < len(t.gkey) && t.gkey[gcur[a]] < xi[a] {
+				gcur[a]++
+			}
+			if gcur[a] == len(t.gkey) || t.gkey[gcur[a]] != xi[a] {
+				continue
+			}
+			g := gcur[a]
+			glo, ghi := int(t.goff[g]), int(t.goff[g+1])
+			base := xi[a] * t.u
+			bxa := xb[a]
+			// One merge join per y-level within this row group; the run's
+			// ascending y keys keep each join's targets monotone.
+			for b := uint(0); b <= t.logu; b++ {
+				cur := glo
+				for _, qi := range run {
+					y := ys[qi]
+					var target int64
+					var by float64
+					if b == 0 {
+						target = base
+						by = t.invSqrtU
+					} else {
+						jj := b - 1
+						shift := t.logu - jj
+						target = base + int64(1)<<jj + y>>shift
+						by = t.invSqrtLen[jj]
+						if y>>(shift-1)&1 == 0 {
+							by = -by
+						}
+					}
+					for cur < ghi && t.idxs[cur] < target {
+						cur++
+					}
+					if cur == ghi {
+						break
+					}
+					if t.idxs[cur] != target {
+						continue
+					}
+					bv := bxa * by
+					for m := cur; m < ghi && t.idxs[m] == target; m++ {
+						p := t.ord[m]
+						sc.push(qi, p, coefs[p].Value*bv)
+					}
+				}
+			}
+		}
+		i = j
+	}
+
+	sc.finish(qord, out)
+	sc.qord = qord
+	batchScratchPool.Put(sc)
+}

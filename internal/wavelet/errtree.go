@@ -50,6 +50,23 @@ type errTree struct {
 	off  []int32 // level L entries are ord[off[L]:off[L+1]]; L=0 is the
 	// average coefficient, L=j+1 is detail level j, L=logu+1 is
 	// the overflow bucket for out-of-domain indices.
+
+	// idxs[i] == coefs[ord[i]].Index, materialized at build time so the
+	// batch executor's per-level merge joins compare against one flat
+	// sorted array instead of chasing ord into Coefs. Indices never change
+	// across value-patched snapshots (only values do), so caching them is
+	// as safe as caching ord itself.
+	idxs []int64
+
+	// Precomputed basis factors, bit-identical to what the scalar path
+	// derives per query: sqrtU = math.Sqrt(float64(u)); sqrtLen[j] =
+	// math.Sqrt(float64(u>>j)) and invSqrtLen[j] = 1/sqrtLen[j] for detail
+	// level j. math.Sqrt is correctly rounded, so dividing by (or negating)
+	// a cached root gives the same bits as recomputing it per term.
+	sqrtU      float64
+	invSqrtU   float64
+	sqrtLen    []float64
+	invSqrtLen []float64
 }
 
 // posTerm is one matched ancestor's contribution, tagged with its position
@@ -106,6 +123,18 @@ func newErrTree(u int64, coefs []Coef) *errTree {
 			}
 			cur = l
 		}
+	}
+	t.idxs = make([]int64, n)
+	for i, p := range t.ord {
+		t.idxs[i] = coefs[p].Index
+	}
+	t.sqrtU = math.Sqrt(float64(u))
+	t.invSqrtU = 1 / t.sqrtU
+	t.sqrtLen = make([]float64, logu)
+	t.invSqrtLen = make([]float64, logu)
+	for j := uint(0); j < logu; j++ {
+		t.sqrtLen[j] = math.Sqrt(float64(u >> j))
+		t.invSqrtLen[j] = 1 / t.sqrtLen[j]
 	}
 	return t
 }
@@ -266,6 +295,16 @@ type errTree2D struct {
 	ord  []int32 // in-domain positions, sorted by (packed index, position)
 	gkey []int64 // distinct row index i per group, ascending
 	goff []int32 // group g entries are ord[goff[g]:goff[g+1]]
+
+	// idxs[i] == coefs[ord[i]].Index — flat packed-index mirror for the
+	// batch executor's merge joins (see errTree.idxs).
+	idxs []int64
+
+	// Precomputed y-axis basis factors (see errTree): invSqrtU matches
+	// ancestorPaths' 1/math.Sqrt(float64(u)); invSqrtLen[j] matches
+	// basisAtLevel's 1/math.Sqrt(float64(u>>j)), bit for bit.
+	invSqrtU   float64
+	invSqrtLen []float64
 }
 
 // newErrTree2D indexes coefs (packed 2D indices) over the u×u grid.
@@ -294,6 +333,15 @@ func newErrTree2D(u int64, coefs []Coef) *errTree2D {
 		}
 	}
 	t.goff = append(t.goff, int32(len(t.ord)))
+	t.idxs = make([]int64, len(t.ord))
+	for i, p := range t.ord {
+		t.idxs[i] = coefs[p].Index
+	}
+	t.invSqrtU = 1 / math.Sqrt(float64(t.u))
+	t.invSqrtLen = make([]float64, t.logu)
+	for j := uint(0); j < t.logu; j++ {
+		t.invSqrtLen[j] = 1 / math.Sqrt(float64(t.u>>j))
+	}
 	return t
 }
 

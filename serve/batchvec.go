@@ -1,0 +1,119 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+)
+
+// The vectorized batch dispatch: above vecBatchMin queries, Entry.Batch
+// stops answering sub-queries one scalar walk at a time and instead
+// gathers each op class into key arrays, hands them to the wavelet
+// layer's shared-walk executors (Histogram.BatchPoints / BatchRanges /
+// Histogram2D.BatchPoints), and scatters the answers back in request
+// order. Results are bit-identical to the scalar loop — the executors
+// guarantee bitwise equality with PointEstimate / RangeCount, and
+// malformed queries are validated (with the scalar path's exact error
+// strings) before anything reaches an executor. Scratch lives in a pool
+// so the steady state stays allocation-free on the handler's reused
+// slices.
+
+// vecBatchMin is the dispatch threshold: below it, per-query sort and
+// sweep setup costs more than the scalar walks it saves.
+const vecBatchMin = 16
+
+type vecScratch struct {
+	keys []int64 // 1D point keys
+	kidx []int32 // their positions in the request
+	rlo  []int64 // range bounds
+	rhi  []int64
+	ridx []int32
+	x2   []int64 // 2D cell coordinates
+	y2   []int64
+	gidx []int32
+	out  []float64
+}
+
+var vecScratchPool = sync.Pool{New: func() any { return new(vecScratch) }}
+
+func (sc *vecScratch) ensureOut(n int) []float64 {
+	if cap(sc.out) < n {
+		sc.out = make([]float64, n)
+	}
+	sc.out = sc.out[:n]
+	return sc.out
+}
+
+// batchVectorized is Batch's body for large batches. Phase 1 validates
+// every query — reusing the scalar helpers so error strings match bit
+// for bit — and gathers the valid ones per op class; phase 2 runs one
+// shared-walk executor per class and scatters results.
+func (e *Entry) batchVectorized(queries []BatchQuery, results []BatchResult) {
+	sc := vecScratchPool.Get().(*vecScratch)
+	keys, kidx := sc.keys[:0], sc.kidx[:0]
+	rlo, rhi, ridx := sc.rlo[:0], sc.rhi[:0], sc.ridx[:0]
+	x2, y2, gidx := sc.x2[:0], sc.y2[:0], sc.gidx[:0]
+	is2D := e.Is2D()
+	for i := range queries {
+		q := &queries[i]
+		switch q.Op {
+		case "point":
+			if is2D {
+				s := e.H2D.Side()
+				if q.X < 0 || q.X >= s || q.Y < 0 || q.Y >= s {
+					_, err := e.batchPoint2D(q.X, q.Y)
+					results[i] = BatchResult{Error: err.Error()}
+					continue
+				}
+				x2 = append(x2, q.X)
+				y2 = append(y2, q.Y)
+				gidx = append(gidx, int32(i))
+			} else {
+				if q.Key < 0 || q.Key >= e.H.Domain() {
+					_, err := e.batchPoint(q.Key)
+					results[i] = BatchResult{Error: err.Error()}
+					continue
+				}
+				keys = append(keys, q.Key)
+				kidx = append(kidx, int32(i))
+			}
+		case "range":
+			if is2D {
+				_, err := e.batchRange(q.Lo, q.Hi)
+				results[i] = BatchResult{Error: err.Error()}
+				continue
+			}
+			// Ranges are never rejected (the clamp contract); all go to
+			// the executor.
+			rlo = append(rlo, q.Lo)
+			rhi = append(rhi, q.Hi)
+			ridx = append(ridx, int32(i))
+		default:
+			results[i] = BatchResult{Error: fmt.Sprintf("unknown op %q (want point or range)", q.Op)}
+		}
+	}
+	if len(keys) > 0 {
+		out := sc.ensureOut(len(keys))
+		e.H.BatchPoints(keys, out)
+		for m, i := range kidx {
+			results[i] = BatchResult{Estimate: out[m]}
+		}
+	}
+	if len(rlo) > 0 {
+		out := sc.ensureOut(len(rlo))
+		e.H.BatchRanges(rlo, rhi, out)
+		for m, i := range ridx {
+			results[i] = BatchResult{Estimate: out[m]}
+		}
+	}
+	if len(x2) > 0 {
+		out := sc.ensureOut(len(x2))
+		e.H2D.BatchPoints(x2, y2, out)
+		for m, i := range gidx {
+			results[i] = BatchResult{Estimate: out[m]}
+		}
+	}
+	sc.keys, sc.kidx = keys, kidx
+	sc.rlo, sc.rhi, sc.ridx = rlo, rhi, ridx
+	sc.x2, sc.y2, sc.gidx = x2, y2, gidx
+	vecScratchPool.Put(sc)
+}

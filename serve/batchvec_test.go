@@ -1,0 +1,251 @@
+package serve
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+
+	"wavelethist"
+)
+
+func buildHist2D(t testing.TB, side int64, k int, seed uint64) *wavelethist.Histogram2D {
+	t.Helper()
+	rng := rand.New(rand.NewSource(int64(seed)))
+	n := 4000
+	xs := make([]int64, n)
+	ys := make([]int64, n)
+	for i := range xs {
+		xs[i] = rng.Int63n(side)
+		ys[i] = rng.Int63n(side)
+	}
+	ds, err := wavelethist.NewDataset2DFromPairs(xs, ys, side, 0, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := wavelethist.Build2D(ds, wavelethist.SendV2D, wavelethist.Options{K: k, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Histogram
+}
+
+// requireBatchEq runs the same queries through the scalar reference loop
+// and the public Batch dispatch and demands bit-identical results —
+// estimates AND error strings.
+func requireBatchEq(t *testing.T, e *Entry, queries []BatchQuery) {
+	t.Helper()
+	want := make([]BatchResult, len(queries))
+	e.batchScalar(queries, want)
+	got := make([]BatchResult, len(queries))
+	e.Batch(queries, got)
+	for i := range queries {
+		if got[i] != want[i] {
+			t.Fatalf("query %d (%+v): vectorized %+v, scalar %+v", i, queries[i], got[i], want[i])
+		}
+	}
+}
+
+// TestBatchVectorizedMatchesScalar pins the serve-layer dispatch contract:
+// above the vecBatchMin threshold, Entry.Batch routes through the
+// shared-walk executors and every result — estimate or error string —
+// is bit-identical to the scalar per-query loop, across mixed op
+// classes, duplicates, out-of-domain keys, degenerate ranges, and
+// malformed ops.
+func TestBatchVectorizedMatchesScalar(t *testing.T) {
+	r := NewRegistry()
+	h := buildHist(t, 150000, 1<<13, 192, 11)
+	e, err := r.Publish("zipf", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dom := h.Domain()
+	rng := rand.New(rand.NewSource(11))
+
+	t.Run("mixed", func(t *testing.T) {
+		queries := make([]BatchQuery, 300)
+		for i := range queries {
+			switch i % 5 {
+			case 0:
+				queries[i] = BatchQuery{Op: "point", Key: rng.Int63n(dom)}
+			case 1:
+				lo := rng.Int63n(dom)
+				queries[i] = BatchQuery{Op: "range", Lo: lo, Hi: lo + rng.Int63n(2000)}
+			case 2: // duplicates and boundary keys
+				queries[i] = BatchQuery{Op: "point", Key: []int64{0, dom - 1, 42, 42}[i%4]}
+			case 3: // degenerate / clamped ranges
+				queries[i] = BatchQuery{Op: "range", Lo: int64(10 - i), Hi: int64(3 - i%7)}
+			default:
+				queries[i] = BatchQuery{Op: "point", Key: rng.Int63n(3*dom) - dom} // often off-domain
+			}
+		}
+		requireBatchEq(t, e, queries)
+	})
+
+	t.Run("errors", func(t *testing.T) {
+		queries := make([]BatchQuery, vecBatchMin+4)
+		for i := range queries {
+			queries[i] = BatchQuery{Op: "point", Key: int64(i)}
+		}
+		queries[1] = BatchQuery{Op: "point", Key: -1}
+		queries[3] = BatchQuery{Op: "point", Key: dom}
+		queries[5] = BatchQuery{Op: "frobnicate"}
+		queries[7] = BatchQuery{Op: ""}
+		requireBatchEq(t, e, queries)
+	})
+
+	t.Run("all-invalid", func(t *testing.T) {
+		queries := make([]BatchQuery, vecBatchMin)
+		for i := range queries {
+			queries[i] = BatchQuery{Op: "nope", Key: int64(i)}
+		}
+		requireBatchEq(t, e, queries)
+	})
+}
+
+// TestBatchVectorizedMatchesScalar2D is the 2D analogue: cell batches
+// with shared-x runs, duplicates, off-grid cells, and the op-mismatch
+// errors (range against a 2D entry).
+func TestBatchVectorizedMatchesScalar2D(t *testing.T) {
+	r := NewRegistry()
+	h := buildHist2D(t, 64, 128, 13)
+	e, err := r.Publish2D("grid", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := h.Side()
+	rng := rand.New(rand.NewSource(13))
+	queries := make([]BatchQuery, 200)
+	for i := range queries {
+		switch i % 4 {
+		case 0:
+			queries[i] = BatchQuery{Op: "point", X: rng.Int63n(s), Y: rng.Int63n(s)}
+		case 1: // shared-x runs and exact duplicates
+			queries[i] = BatchQuery{Op: "point", X: 7, Y: int64(i % 5)}
+		case 2: // off-grid
+			queries[i] = BatchQuery{Op: "point", X: rng.Int63n(2*s) - s/2, Y: rng.Int63n(2*s) - s/2}
+		default: // ranges are 1D-only — must error identically
+			queries[i] = BatchQuery{Op: "range", Lo: 0, Hi: int64(i)}
+		}
+	}
+	requireBatchEq(t, e, queries)
+}
+
+// TestConcurrentVectorBatchUnderUpdateLoad is the vectorized-path race
+// smoke CI runs with -race: querier goroutines drive large (vectorized)
+// batches straight through Entry.Batch and the registry's striped
+// snapshot reads while a writer republishes patched histograms, so the
+// detector sees the pooled scratch, the per-core snapshot slots, and
+// snapshot swaps all interleaving.
+func TestConcurrentVectorBatchUnderUpdateLoad(t *testing.T) {
+	r := NewRegistry()
+	base := buildHist(t, 100000, 1<<12, 128, 17)
+	if _, err := r.Publish("hot", base); err != nil {
+		t.Fatal(err)
+	}
+
+	queriers := runtime.GOMAXPROCS(0)
+	if queriers < 4 {
+		queriers = 4
+	}
+	const republishes = 60
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < queriers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			queries := make([]BatchQuery, 128)
+			for i := range queries {
+				if i%3 == 0 {
+					queries[i] = BatchQuery{Op: "range", Lo: int64(i * 7), Hi: int64(i*7 + 900)}
+				} else {
+					queries[i] = BatchQuery{Op: "point", Key: int64((g*131 + i*17) % (1 << 12))}
+				}
+			}
+			results := make([]BatchResult, len(queries))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				e, ok := r.Lookup("hot")
+				if !ok {
+					t.Error("entry vanished mid-run")
+					return
+				}
+				e.Batch(queries, results)
+				for i := range results {
+					if results[i].Error != "" {
+						t.Errorf("query %d errored: %s", i, results[i].Error)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	for i := 0; i < republishes; i++ {
+		h := buildHist(t, 50000, 1<<12, 128, uint64(100+i))
+		if _, err := r.Publish("hot", h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if v := r.Version(); v != republishes+1 {
+		t.Fatalf("registry version = %d, want %d", v, republishes+1)
+	}
+}
+
+// TestRegistryStripesConsistency pins the striping contracts: a writer
+// reads its own publish immediately afterwards (all stripes refreshed
+// before Publish returns), every stripe count is usable, and the n<=1
+// constructor degrades to the single-pointer registry.
+func TestRegistryStripesConsistency(t *testing.T) {
+	for _, stripes := range []int{0, 1, 2, 3, 8} {
+		t.Run(fmt.Sprintf("stripes=%d", stripes), func(t *testing.T) {
+			r := NewRegistryStripes(stripes)
+			if stripes <= 1 && r.stripes != nil {
+				t.Fatal("n<=1 should select single-pointer mode")
+			}
+			if stripes > 1 && len(r.stripes)&(len(r.stripes)-1) != 0 {
+				t.Fatalf("stripe count %d is not a power of two", len(r.stripes))
+			}
+			h := buildHist(t, 20000, 1<<10, 16, 19)
+			for v := 1; v <= 5; v++ {
+				if _, err := r.Publish("a", h); err != nil {
+					t.Fatal(err)
+				}
+				// Read-your-writes through every surface.
+				if got := r.Snapshot().Version(); got != uint64(v) {
+					t.Fatalf("Snapshot after publish %d reads version %d", v, got)
+				}
+				if got := r.Version(); got != uint64(v) {
+					t.Fatalf("Version after publish %d = %d", v, got)
+				}
+				if _, ok := r.Lookup("a"); !ok {
+					t.Fatal("Lookup missed own publish")
+				}
+				// Every stripe slot carries the fresh snapshot.
+				for i := range r.stripes {
+					if sv := r.stripes[i].p.Load().Version(); sv != uint64(v) {
+						t.Fatalf("stripe %d at version %d after publish %d", i, sv, v)
+					}
+				}
+			}
+			if !r.Drop("a") {
+				t.Fatal("drop failed")
+			}
+			if _, ok := r.Lookup("a"); ok {
+				t.Fatal("Lookup sees dropped entry")
+			}
+			for i := range r.stripes {
+				if _, ok := r.stripes[i].p.Load().Lookup("a"); ok {
+					t.Fatalf("stripe %d still sees dropped entry", i)
+				}
+			}
+		})
+	}
+}

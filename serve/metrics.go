@@ -95,4 +95,7 @@ func (s *Server) slowQuery(op, name string, batch int, d time.Duration) {
 		logger = log.Default()
 	}
 	logger.Printf("slow-query op=%s name=%s micros=%d batch=%d", op, name, d.Microseconds(), batch)
+	if s.slowLog != nil {
+		s.slowLog.record(op, name, batch, d)
+	}
 }

@@ -2,9 +2,12 @@ package serve
 
 import (
 	"bytes"
+	"encoding/json"
 	"io"
 	"log"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -176,6 +179,76 @@ func TestSlowQueryLog(t *testing.T) {
 	getJSON(t, srv2.URL+"/v1/hist/x/point?key=3", http.StatusOK)
 	if quiet.Len() != 0 {
 		t.Fatalf("slow-query log written with threshold 0: %q", quiet.String())
+	}
+}
+
+// TestSlowQuerySinkJSONL: with SlowQueryDir set, every slow query lands
+// as one structured JSON line in slow-queries.jsonl — parseable records
+// with op/name/micros/batch — while the log line and counter keep their
+// existing behavior; without the dir no file appears.
+func TestSlowQuerySinkJSONL(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	s, srv := newTestServer(t, Config{
+		SlowQueryThreshold: time.Nanosecond, // everything is slow
+		SlowQueryLog:       log.New(&buf, "", 0),
+		SlowQueryDir:       dir,
+	})
+	if _, err := s.Registry().Publish("x", buildHist(t, 5000, 1<<10, 20, 1)); err != nil {
+		t.Fatal(err)
+	}
+	getJSON(t, srv.URL+"/v1/hist/x/point?key=3", http.StatusOK)
+	getJSON(t, srv.URL+"/v1/hist/x/range?lo=0&hi=100", http.StatusOK)
+	postJSON(t, srv.URL+"/v1/hist/x/query", json.RawMessage(`{"queries":[{"op":"point","key":1},{"op":"point","key":2}]}`), http.StatusOK)
+
+	b, err := os.ReadFile(filepath.Join(dir, "slow-queries.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(b)), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("sink holds %d records, want 3:\n%s", len(lines), b)
+	}
+	wantOps := []string{"point", "range", "batch"}
+	for i, line := range lines {
+		var rec struct {
+			TS     string `json:"ts"`
+			Op     string `json:"op"`
+			Name   string `json:"name"`
+			Micros int64  `json:"micros"`
+			Batch  int    `json:"batch"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("record %d is not JSON: %q: %v", i, line, err)
+		}
+		if rec.Op != wantOps[i] || rec.Name != "x" || rec.Micros < 0 {
+			t.Fatalf("record %d = %+v, want op %q name x", i, rec, wantOps[i])
+		}
+		if ts, err := time.Parse(time.RFC3339Nano, rec.TS); err != nil || ts.IsZero() {
+			t.Fatalf("record %d timestamp %q: %v", i, rec.TS, err)
+		}
+		if rec.Op == "batch" && rec.Batch != 2 {
+			t.Fatalf("batch record = %+v, want batch=2", rec)
+		}
+	}
+	if !strings.Contains(buf.String(), "slow-query op=point") {
+		t.Fatal("human-readable log line suppressed by the sink")
+	}
+	if got := s.slowQueries.Value(); got < 3 {
+		t.Fatalf("slow query counter = %d, want >= 3", got)
+	}
+
+	// No dir configured: no sink file, even with slow queries firing.
+	s2, srv2 := newTestServer(t, Config{
+		SlowQueryThreshold: time.Nanosecond,
+		SlowQueryLog:       log.New(io.Discard, "", 0),
+	})
+	if _, err := s2.Registry().Publish("x", buildHist(t, 5000, 1<<10, 20, 1)); err != nil {
+		t.Fatal(err)
+	}
+	getJSON(t, srv2.URL+"/v1/hist/x/point?key=3", http.StatusOK)
+	if s2.slowLog != nil {
+		t.Fatal("sink constructed without SlowQueryDir")
 	}
 }
 

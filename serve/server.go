@@ -69,6 +69,11 @@ type Config struct {
 	SlowQueryThreshold time.Duration
 	// SlowQueryLog receives slow-query lines (nil = log.Default()).
 	SlowQueryLog *log.Logger
+	// SlowQueryDir additionally appends each slow query as one JSON line
+	// to slow-queries.jsonl under this directory (created on first use) —
+	// the same pattern as the build tracer's trace dir. Empty disables
+	// the structured sink; the log line and counter are unaffected.
+	SlowQueryDir string
 }
 
 func (c Config) withDefaults() Config {
@@ -141,6 +146,7 @@ type Server struct {
 	buildsCanceled *obs.Counter
 	buildDur       *obs.Histogram
 	slowQueries    *obs.Counter
+	slowLog        *slowLogSink // nil unless Config.SlowQueryDir is set
 
 	mu       sync.Mutex
 	datasets map[string]*wavelethist.Dataset
@@ -175,6 +181,9 @@ func NewServer(cfg Config) (*Server, error) {
 		maints:     map[string]*maintained{},
 	}
 	s.readOnly.Store(cfg.ReadOnly)
+	if cfg.SlowQueryDir != "" {
+		s.slowLog = newSlowLogSink(cfg.SlowQueryDir)
+	}
 	s.initMetrics()
 	s.loadMaints()
 	s.routes()
@@ -193,6 +202,9 @@ func (s *Server) Coordinator() *dist.Coordinator { return s.cfg.Coordinator }
 func (s *Server) Close() {
 	s.baseCancel()
 	s.jobWG.Wait()
+	if s.slowLog != nil {
+		s.slowLog.close()
+	}
 }
 
 // RegisterDataset makes a dataset buildable by name via POST /v1/build.

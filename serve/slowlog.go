@@ -1,0 +1,83 @@
+package serve
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// The slow-query sink: when Config.SlowQueryDir is set, every query over
+// the slow threshold appends one JSON line to slow-queries.jsonl in that
+// directory — the same capture-to-directory pattern as the build tracer's
+// -trace-dir — so slow spells survive process restarts and feed offline
+// analysis without scraping process logs. The human-readable log line
+// and the wavehist_slow_queries_total counter are unchanged; the sink is
+// purely additive and best-effort (a failed write never fails a query).
+
+// slowQueryRecord is one JSONL line in slow-queries.jsonl.
+type slowQueryRecord struct {
+	TS     string `json:"ts"` // RFC3339Nano, UTC
+	Op     string `json:"op"`
+	Name   string `json:"name"`
+	Micros int64  `json:"micros"`
+	Batch  int    `json:"batch"`
+}
+
+// slowLogSink serializes appends to the JSONL file. The file is opened
+// lazily on the first slow query and held open for the server's life.
+type slowLogSink struct {
+	dir string
+
+	mu     sync.Mutex
+	f      *os.File
+	failed bool // a sink that can't open its file stays silent
+}
+
+func newSlowLogSink(dir string) *slowLogSink {
+	return &slowLogSink{dir: dir}
+}
+
+func (k *slowLogSink) record(op, name string, batch int, d time.Duration) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if k.f == nil {
+		if k.failed {
+			return
+		}
+		if err := os.MkdirAll(k.dir, 0o755); err != nil {
+			k.failed = true
+			return
+		}
+		f, err := os.OpenFile(filepath.Join(k.dir, "slow-queries.jsonl"),
+			os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			k.failed = true
+			return
+		}
+		k.f = f
+	}
+	rec := slowQueryRecord{
+		TS:     time.Now().UTC().Format(time.RFC3339Nano),
+		Op:     op,
+		Name:   name,
+		Micros: d.Microseconds(),
+		Batch:  batch,
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	k.f.Write(append(b, '\n'))
+}
+
+func (k *slowLogSink) close() {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if k.f != nil {
+		k.f.Close()
+		k.f = nil
+	}
+	k.failed = true // no reopens after shutdown
+}

@@ -162,6 +162,13 @@ func (h *Histogram2D) Coefficients() []Coefficient {
 // Off-grid cells estimate 0.
 func (h *Histogram2D) PointEstimate(x, y int64) float64 { return h.rep.PointEstimate(x, y) }
 
+// BatchPoints answers n cell queries in one shared walk of the 2D error
+// tree: queries are sorted by (x, y), each distinct x computes its
+// ancestor path once, and every row group is merge-joined instead of
+// binary-searched per query. out[i] is bit-identical to
+// PointEstimate(xs[i], ys[i]); slice lengths must match.
+func (h *Histogram2D) BatchPoints(xs, ys []int64, out []float64) { h.rep.BatchPoints(xs, ys, out) }
+
 // Reconstruct materializes the estimated grid (O(k·u²)).
 func (h *Histogram2D) Reconstruct() [][]float64 { return h.rep.Reconstruct() }
 

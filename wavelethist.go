@@ -148,6 +148,18 @@ func (h *Histogram) PointEstimate(x int64) float64 { return h.rep.PointEstimate(
 // lo > hi — estimates 0. Never an error.
 func (h *Histogram) RangeCount(lo, hi int64) float64 { return h.rep.RangeSum(lo, hi) }
 
+// BatchPoints answers n point queries in one shared walk of the error
+// tree — the keys are sorted and every tree level swept exactly once, so
+// a large batch costs far less than n independent PointEstimate calls.
+// out[i] is bit-identical to PointEstimate(xs[i]); len(out) must equal
+// len(xs). Steady-state calls are allocation-free.
+func (h *Histogram) BatchPoints(xs []int64, out []float64) { h.rep.BatchPoints(xs, out) }
+
+// BatchRanges answers n range queries in one shared walk (see
+// BatchPoints): out[i] is bit-identical to RangeCount(los[i], his[i]),
+// including the bound-clamp contract. Slice lengths must match.
+func (h *Histogram) BatchRanges(los, his []int64, out []float64) { h.rep.BatchRanges(los, his, out) }
+
 // Reconstruct materializes the full estimated frequency vector (O(k·u)).
 func (h *Histogram) Reconstruct() []float64 { return h.rep.Reconstruct() }
 
