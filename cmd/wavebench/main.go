@@ -17,7 +17,13 @@
 // The batch_scalar vs batch_vec rows isolate the vectorized executor:
 // the same 256-query batch answered by independent scalar tree walks
 // and by the shared-walk merge-join (bit-identical results). The
-// registry section compares snapshot-read QPS through the single
+// vec_threshold sweep brackets the dispatch crossover behind
+// serve.Config.VecBatchMin, batch_arena contrasts the flat SoA term
+// arena with the retired linked-list one, batch_par times the per-core
+// parallel segment executors against the serial shared walk on a
+// 4096-query batch (annotated, not skipped, on one core), and range2d
+// compares the 2D rectangle sum through the error tree with the scan.
+// The registry section compares snapshot-read QPS through the single
 // atomic-pointer registry against the per-core striped one, at
 // GOMAXPROCS concurrent readers.
 //
@@ -30,11 +36,14 @@
 // sustained-throughput rows: W concurrent clients per level hammer routed
 // point reads, reporting achieved QPS plus client-side AND server-side
 // p50/p99 (the latter read back from the shard's own latency histograms
-// via /v1/stats, so router overhead is separable from serving cost).
+// via /v1/stats, so router overhead is separable from serving cost). The
+// sweep then repeats through a second router with query coalescing on
+// (-coalesce-wait style config), so the wait-window latency tax and the
+// batching throughput win are both on the record.
 //
 // Usage:
 //
-//	wavebench -out BENCH_pr8.json
+//	wavebench -out BENCH_pr9.json
 //	wavebench -records 1048576 -domain 65536 -workers 4 -out bench.json
 package main
 
@@ -111,15 +120,17 @@ type ParallelMap struct {
 // QueryRow is one query-plane measurement: an operation × engine cell of
 // the scan-vs-errtree comparison, in ns/op and allocs/op.
 type QueryRow struct {
-	Op          string  `json:"op"`           // point | range | batch | point2d | maintain_update_read | maintain_read | http_batch
-	Engine      string  `json:"query_engine"` // "scan" | "errtree"
+	Op          string  `json:"op"`           // point | range | range2d | batch | batch_scalar | batch_vec | batch_arena | batch_par | vec_threshold | point2d | maintain_update_read | maintain_read | http_batch
+	Engine      string  `json:"query_engine"` // "scan" | "errtree" | "vec" | "scalar" | "flat" | "linked"
 	Dim         int     `json:"dim"`
 	K           int     `json:"k"`
 	Domain      int64   `json:"domain"` // grid side for dim == 2
 	Batch       int     `json:"batch,omitempty"`
+	Workers     int     `json:"workers,omitempty"`    // parallel executor fan width (batch_par rows)
 	Maintainer  string  `json:"maintainer,omitempty"` // "cold" (update between reads) | "warm" (cached)
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+	Note        string  `json:"note,omitempty"`
 }
 
 // RegistryRow is one registry snapshot-read throughput measurement:
@@ -143,7 +154,7 @@ type RegistryRow struct {
 // /v1/stats — client-side tail minus server-side tail isolates the
 // router+transport overhead from serving cost.
 type ClusterRow struct {
-	Op              string  `json:"op"` // routed_point | cross_batch | routed_point_failover | routed_point_qps
+	Op              string  `json:"op"` // routed_point | cross_batch | routed_point_failover | routed_point_qps | coalesced_point_qps
 	Shards          int     `json:"shards"`
 	Replicas        int     `json:"replicas_per_shard"`
 	Batch           int     `json:"batch,omitempty"`
@@ -168,8 +179,8 @@ type Report struct {
 		Seed    uint64  `json:"seed"`
 		Splits  int     `json:"splits"`
 	} `json:"dataset"`
-	K           int          `json:"k"`
-	Workers     int          `json:"workers"`
+	K           int           `json:"k"`
+	Workers     int           `json:"workers"`
 	Results     []Row         `json:"results"`
 	ParallelMap *ParallelMap  `json:"parallel_map,omitempty"`
 	Queries     []QueryRow    `json:"queries,omitempty"`
@@ -179,7 +190,7 @@ type Report struct {
 
 func main() {
 	var (
-		out        = flag.String("out", "BENCH_pr8.json", "output file")
+		out        = flag.String("out", "BENCH_pr9.json", "output file")
 		records    = flag.Int64("records", 1<<19, "dataset records")
 		domain     = flag.Int64("domain", 1<<14, "key domain (power of two)")
 		alpha      = flag.Float64("alpha", 1.1, "zipf skew")
@@ -332,9 +343,13 @@ func run(out string, records, domain int64, alpha float64, seed uint64, k, worke
 		}
 		rep.Cluster = crows
 		for _, c := range crows {
-			if c.Op == "routed_point_qps" {
-				fmt.Printf("cluster %-22s workers=%-3d qps=%-8.0f p50=%8.1fµs p99=%8.1fµs server p50=%8.1fµs p99=%8.1fµs\n",
-					c.Op, c.Workers, c.QPS, c.P50Micros, c.P99Micros, c.ServerP50Micros, c.ServerP99Micros)
+			if c.QPS != 0 {
+				line := fmt.Sprintf("cluster %-22s workers=%-3d qps=%-8.0f p50=%8.1fµs p99=%8.1fµs",
+					c.Op, c.Workers, c.QPS, c.P50Micros, c.P99Micros)
+				if c.ServerP50Micros != 0 {
+					line += fmt.Sprintf(" server p50=%8.1fµs p99=%8.1fµs", c.ServerP50Micros, c.ServerP99Micros)
+				}
+				fmt.Println(line)
 				continue
 			}
 			fmt.Printf("cluster %-22s shards=%d samples=%-5d p50=%8.1fµs p99=%8.1fµs\n",
@@ -566,6 +581,79 @@ func queryPass(records int64, alpha float64, seed uint64, qk int, qdomain int64)
 		}),
 	)
 
+	// vec_threshold: the crossover sweep behind serve.Config.VecBatchMin —
+	// the same n-point batch answered by n independent scalar walks and by
+	// the shared-walk executor, at sizes bracketing the default threshold
+	// (16). Below the crossover the executor's sort-and-park setup costs
+	// more than the walks it merges; the published rows are the evidence
+	// for the default.
+	threshKeys := make([]int64, 64)
+	for i := range threshKeys {
+		threshKeys[i] = (int64(i) * 2654435761) & mask
+	}
+	threshOut := make([]float64, len(threshKeys))
+	for _, n := range []int{4, 8, 16, 32, 64} {
+		keys, tOut := threshKeys[:n], threshOut[:n]
+		rows = append(rows,
+			bench(QueryRow{Op: "vec_threshold", Engine: "scalar", Dim: 1, K: k, Domain: qdomain, Batch: n}, func(i int) {
+				for m, x := range keys {
+					tOut[m] = rep1.PointEstimate(x)
+				}
+			}),
+			bench(QueryRow{Op: "vec_threshold", Engine: "vec", Dim: 1, K: k, Domain: qdomain, Batch: n}, func(i int) {
+				rep1.BatchPoints(keys, tOut)
+			}),
+		)
+	}
+
+	// batch_arena isolates the flat SoA term arena: the identical shared
+	// walk run against the retired linked-list arena (kept as a baseline)
+	// and against the contiguous one — the gap is pure memory layout.
+	// batch_par then takes the flat executor and fans it across the
+	// per-core segment workers on a batch big enough to cross the
+	// serve-layer parBatchMin; outputs are bit-identical at any width, so
+	// the rows measure cost only. On a one-core runner the parallel row
+	// still runs (segmentation overhead is real data) but carries a note
+	// so nobody reads scheduler noise as a speedup regression.
+	const parN = 4096
+	parKeys := make([]int64, parN)
+	parLos := make([]int64, parN)
+	parHis := make([]int64, parN)
+	for i := range parKeys {
+		parKeys[i] = (int64(i) * 2654435761) & mask
+		parLos[i] = (int64(i) * 40503) & (mask >> 1)
+		parHis[i] = parLos[i] + qdomain/8
+	}
+	parPOut := make([]float64, parN)
+	parROut := make([]float64, parN)
+	rows = append(rows,
+		bench(QueryRow{Op: "batch_arena", Engine: "linked", Dim: 1, K: k, Domain: qdomain, Batch: parN}, func(i int) {
+			rep1.BatchPointsLinkedArena(parKeys, parPOut)
+		}),
+		bench(QueryRow{Op: "batch_arena", Engine: "flat", Dim: 1, K: k, Domain: qdomain, Batch: parN}, func(i int) {
+			rep1.BatchPoints(parKeys, parPOut)
+		}),
+		bench(QueryRow{Op: "batch_par", Engine: "errtree", Dim: 1, K: k, Domain: qdomain, Batch: parN, Workers: 1}, func(i int) {
+			rep1.BatchPoints(parKeys, parPOut)
+			rep1.BatchRanges(parLos, parHis, parROut)
+		}),
+	)
+	procs := runtime.GOMAXPROCS(0)
+	parLevels := []int{2}
+	if procs > 2 {
+		parLevels = append(parLevels, procs)
+	}
+	for _, w := range parLevels {
+		r := bench(QueryRow{Op: "batch_par", Engine: "errtree", Dim: 1, K: k, Domain: qdomain, Batch: parN, Workers: w}, func(i int) {
+			rep1.BatchPointsParallel(parKeys, parPOut, w)
+			rep1.BatchRangesParallel(parLos, parHis, parROut, w)
+		})
+		if procs < 2 {
+			r.Note = "GOMAXPROCS=1: parallel executors timed on one core — the row prices segmentation overhead, speedup needs multiple cores"
+		}
+		rows = append(rows, r)
+	}
+
 	// 2D points on a synthesized representation (side² cells; a real 2D
 	// build at this k would dominate the pass's runtime without changing
 	// what is measured).
@@ -582,6 +670,16 @@ func queryPass(records int64, alpha float64, seed uint64, qk int, qdomain int64)
 		}),
 		bench(QueryRow{Op: "point2d", Engine: "errtree", Dim: 2, K: len(coefs2), Domain: side}, func(i int) {
 			sink += rep2.PointEstimate((int64(i)*31)&(side-1), (int64(i)*17)&(side-1))
+		}),
+		bench(QueryRow{Op: "range2d", Engine: "scan", Dim: 2, K: len(coefs2), Domain: side}, func(i int) {
+			xlo := (int64(i) * 31) & (side/2 - 1)
+			ylo := (int64(i) * 17) & (side/2 - 1)
+			sink += rep2.ScanRangeSum(xlo, xlo+side/4, ylo, ylo+side/4)
+		}),
+		bench(QueryRow{Op: "range2d", Engine: "errtree", Dim: 2, K: len(coefs2), Domain: side}, func(i int) {
+			xlo := (int64(i) * 31) & (side/2 - 1)
+			ylo := (int64(i) * 17) & (side/2 - 1)
+			sink += rep2.RangeSum(xlo, xlo+side/4, ylo, ylo+side/4)
 		}),
 	)
 
@@ -891,71 +989,100 @@ func clusterPass(records, domain int64, alpha float64, seed uint64, k int, qpsLe
 	// sequential rows above don't contaminate them). Client-side p50/p99
 	// come from per-request timing; server-side p50/p99 are read back from
 	// the owning primary's /v1/stats — the gap is router + HTTP overhead.
-	for _, workers := range qpsLevels {
-		qpsName := ""
-		for c := 0; c < 1024 && qpsName == ""; c++ {
-			if n := fmt.Sprintf("qps-%d-%d", workers, c); router.Shard(n).ID == "s0" {
-				qpsName = n
-			}
-		}
-		if qpsName == "" {
-			return nil, fmt.Errorf("no qps bench name lands on shard s0")
-		}
-		res, err := wavelethist.Build(ds, wavelethist.SendV, wavelethist.Options{K: k, Seed: seed})
-		if err != nil {
-			return nil, err
-		}
-		if _, err := nodes[0].primary.Registry().Publish(qpsName, res.Histogram); err != nil {
-			return nil, err
-		}
-		perWorker := 2000 / workers
-		if perWorker < 50 {
-			perWorker = 50
-		}
-		total := perWorker * workers
-		lats := make([][]time.Duration, workers)
-		errs := make([]error, workers)
-		var wg sync.WaitGroup
-		t0 := time.Now()
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func(w int) {
-				defer wg.Done()
-				lats[w] = make([]time.Duration, 0, perWorker)
-				for i := 0; i < perWorker; i++ {
-					key := (int64(w*perWorker+i) * 2654435761) & mask
-					q0 := time.Now()
-					if err := get(fmt.Sprintf("%s/v1/hist/%s/point?key=%d", rtTS.URL, qpsName, key)); err != nil {
-						errs[w] = err
-						return
-					}
-					lats[w] = append(lats[w], time.Since(q0))
+	qpsSweep := func(baseURL, prefix, op string, serverStats bool) error {
+		for _, workers := range qpsLevels {
+			qpsName := ""
+			for c := 0; c < 1024 && qpsName == ""; c++ {
+				if n := fmt.Sprintf("%s-%d-%d", prefix, workers, c); router.Shard(n).ID == "s0" {
+					qpsName = n
 				}
-			}(w)
-		}
-		wg.Wait()
-		elapsed := time.Since(t0)
-		for _, err := range errs {
-			if err != nil {
-				return nil, err
 			}
+			if qpsName == "" {
+				return fmt.Errorf("no %s bench name lands on shard s0", prefix)
+			}
+			res, err := wavelethist.Build(ds, wavelethist.SendV, wavelethist.Options{K: k, Seed: seed})
+			if err != nil {
+				return err
+			}
+			if _, err := nodes[0].primary.Registry().Publish(qpsName, res.Histogram); err != nil {
+				return err
+			}
+			perWorker := 2000 / workers
+			if perWorker < 50 {
+				perWorker = 50
+			}
+			total := perWorker * workers
+			lats := make([][]time.Duration, workers)
+			errs := make([]error, workers)
+			var wg sync.WaitGroup
+			t0 := time.Now()
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					lats[w] = make([]time.Duration, 0, perWorker)
+					for i := 0; i < perWorker; i++ {
+						key := (int64(w*perWorker+i) * 2654435761) & mask
+						q0 := time.Now()
+						if err := get(fmt.Sprintf("%s/v1/hist/%s/point?key=%d", baseURL, qpsName, key)); err != nil {
+							errs[w] = err
+							return
+						}
+						lats[w] = append(lats[w], time.Since(q0))
+					}
+				}(w)
+			}
+			wg.Wait()
+			elapsed := time.Since(t0)
+			for _, err := range errs {
+				if err != nil {
+					return err
+				}
+			}
+			var all []time.Duration
+			for _, l := range lats {
+				all = append(all, l...)
+			}
+			sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
+			row := ClusterRow{
+				Op: op, Shards: shards, Replicas: 1,
+				Workers: workers, Samples: total,
+				QPS:       float64(total) / elapsed.Seconds(),
+				P50Micros: pctl(all, 0.50), P99Micros: pctl(all, 0.99),
+			}
+			if serverStats {
+				sp50, sp99, err := serverQuantiles(client, nodes[0].pTS.URL, qpsName)
+				if err != nil {
+					return err
+				}
+				row.ServerP50Micros, row.ServerP99Micros = sp50, sp99
+			}
+			rows = append(rows, row)
 		}
-		var all []time.Duration
-		for _, l := range lats {
-			all = append(all, l...)
-		}
-		sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
-		sp50, sp99, err := serverQuantiles(client, nodes[0].pTS.URL, qpsName)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, ClusterRow{
-			Op: "routed_point_qps", Shards: shards, Replicas: 1,
-			Workers: workers, Samples: total,
-			QPS:       float64(total) / elapsed.Seconds(),
-			P50Micros: pctl(all, 0.50), P99Micros: pctl(all, 0.99),
-			ServerP50Micros: sp50, ServerP99Micros: sp99,
-		})
+		return nil
+	}
+	if err := qpsSweep(rtTS.URL, "qps", "routed_point_qps", true); err != nil {
+		return nil, err
+	}
+
+	// The same sweep through a coalescing router over the identical
+	// topology: single-query GETs arriving within the wait window are
+	// merged into one vectorized shard batch. At workers=1 the rows price
+	// the wait-window latency tax (every lone query waits out the window);
+	// at higher concurrency they show the batching win. Server-side
+	// quantiles are skipped — coalesced reads land on the shard as batch
+	// POSTs, so per-point serving stats never accrue for these names.
+	coalRouter, err := ha.NewRouterConfig(spec, ha.RouterConfig{
+		CoalesceWait: 250 * time.Microsecond,
+		CoalesceMax:  256,
+	})
+	if err != nil {
+		return nil, err
+	}
+	coalTS := httptest.NewServer(coalRouter)
+	defer coalTS.Close()
+	if err := qpsSweep(coalTS.URL, "qpsc", "coalesced_point_qps", false); err != nil {
+		return nil, err
 	}
 
 	// Kill shard 0's primary: every read now pays the router's detect-and-

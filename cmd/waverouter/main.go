@@ -43,13 +43,18 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		shards    = flag.String("shards", "", "cluster topology: shards separated by ';', URLs within a shard by ',' (first = primary, rest = replicas)")
-		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof on this separate address (empty = off)")
+		addr         = flag.String("addr", ":8080", "listen address")
+		shards       = flag.String("shards", "", "cluster topology: shards separated by ';', URLs within a shard by ',' (first = primary, rest = replicas)")
+		debugAddr    = flag.String("debug-addr", "", "serve net/http/pprof on this separate address (empty = off)")
+		coalesceWait = flag.Duration("coalesce-wait", 250*time.Microsecond, "merge single-query GETs for the same histogram arriving within this window into one vectorized shard batch (0 = off)")
+		coalesceMax  = flag.Int("coalesce-max", 256, "dispatch a coalesced batch immediately once it holds this many queries")
 	)
 	flag.Parse()
 
-	rt, err := newRouter(*shards)
+	rt, err := newRouter(*shards, ha.RouterConfig{
+		CoalesceWait: *coalesceWait,
+		CoalesceMax:  *coalesceMax,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "waverouter:", err)
 		os.Exit(1)
@@ -90,7 +95,7 @@ func main() {
 // newRouter parses the -shards topology into a ha.Router. Shard IDs are
 // s0, s1, … in flag order, so placement is stable as long as the flag
 // lists shards in the same order on every router.
-func newRouter(spec string) (*ha.Router, error) {
+func newRouter(spec string, cfg ha.RouterConfig) (*ha.Router, error) {
 	if strings.TrimSpace(spec) == "" {
 		return nil, fmt.Errorf("-shards is required (e.g. 'http://p1,http://r1;http://p2')")
 	}
@@ -115,5 +120,5 @@ func newRouter(spec string) (*ha.Router, error) {
 			Replicas: urls[1:],
 		})
 	}
-	return ha.NewRouter(shards)
+	return ha.NewRouterConfig(shards, cfg)
 }

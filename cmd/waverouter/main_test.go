@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"wavelethist"
+	"wavelethist/ha"
 	"wavelethist/internal/obs"
 	"wavelethist/serve"
 )
@@ -15,7 +16,7 @@ import (
 // TestNewRouterParsesTopology checks the -shards spec parser: ';' between
 // shards, ',' between a shard's primary and replicas, whitespace ignored.
 func TestNewRouterParsesTopology(t *testing.T) {
-	rt, err := newRouter("http://p1, http://r1 ; http://p2")
+	rt, err := newRouter("http://p1, http://r1 ; http://p2", ha.RouterConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -23,10 +24,10 @@ func TestNewRouterParsesTopology(t *testing.T) {
 	if sh == nil || sh.Primary == "" {
 		t.Fatalf("no shard resolved: %+v", sh)
 	}
-	if _, err := newRouter("  "); err == nil {
+	if _, err := newRouter("  ", ha.RouterConfig{}); err == nil {
 		t.Fatal("empty -shards accepted")
 	}
-	if _, err := newRouter(";;;"); err == nil {
+	if _, err := newRouter(";;;", ha.RouterConfig{}); err == nil {
 		t.Fatal("spec with no shards accepted")
 	}
 }
@@ -56,7 +57,7 @@ func TestRouterMetricsEndpoint(t *testing.T) {
 	shardSrv := httptest.NewServer(s)
 	defer shardSrv.Close()
 
-	rt, err := newRouter(shardSrv.URL)
+	rt, err := newRouter(shardSrv.URL, ha.RouterConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}

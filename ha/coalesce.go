@@ -1,0 +1,239 @@
+package ha
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/url"
+	"strconv"
+	"sync"
+	"time"
+
+	"wavelethist/serve"
+)
+
+// Router-side query coalescing: single-query GETs (point, range) that
+// arrive for the same histogram within a short window are merged into
+// one POST /v1/hist/{name}/query batch — so the shard answers them with
+// its vectorized shared-walk executors instead of one tree walk per
+// request — and the estimates are scattered back to the waiting
+// requests in arrival order. Responses are byte-identical to the
+// shard's own single-query endpoints (serve.AppendEstimate renders
+// both), so clients cannot tell whether their GET was coalesced.
+//
+// Trade-off: a query waits at most CoalesceWait before its batch
+// dispatches (a full batch of CoalesceMax dispatches immediately), so
+// p50 latency rises by up to the window in exchange for shard-side
+// throughput. One deliberate divergence: a query using the wrong
+// dimensional form for its histogram (e.g. ?key= against a 2D entry)
+// gets the batch API's semantics — fields interpreted per the entry's
+// dimension, missing ones defaulting to 0 — instead of the direct
+// endpoint's 400, because the router does not know entry
+// dimensionality. Queries whose parameters don't parse as a single
+// unambiguous form fall through to the direct proxy path untouched.
+
+// coalescer accumulates pending single queries per histogram name.
+type coalescer struct {
+	rt   *Router
+	wait time.Duration
+	max  int
+
+	mu      sync.Mutex
+	pending map[string]*pendingBatch
+}
+
+// pendingBatch is one open window's worth of queries for one histogram.
+type pendingBatch struct {
+	queries []serve.BatchQuery
+	waiters []chan coalesceResult
+	timer   *time.Timer
+}
+
+// coalesceResult is what dispatch hands each waiter: exactly one of the
+// four outcome fields is meaningful.
+type coalesceResult struct {
+	est     float64 // estimate, when errMsg == "" and raw == nil and netErr == nil
+	version uint64
+	errMsg  string    // per-query error from the shard's batch result
+	raw     *upstream // non-200 shard response, passed through verbatim
+	netErr  error     // shard unreachable (primary and all replicas)
+	shardID string
+}
+
+func newCoalescer(rt *Router, wait time.Duration, max int) *coalescer {
+	return &coalescer{rt: rt, wait: wait, max: max, pending: map[string]*pendingBatch{}}
+}
+
+// enqueue parks one query under its histogram name. The first query of
+// a window arms the dispatch timer; the CoalesceMax-th dispatches the
+// batch inline (the timer's flush finds the window already gone and
+// does nothing).
+func (c *coalescer) enqueue(name string, q serve.BatchQuery) chan coalesceResult {
+	ch := make(chan coalesceResult, 1)
+	c.mu.Lock()
+	b := c.pending[name]
+	if b == nil {
+		b = &pendingBatch{}
+		b.timer = time.AfterFunc(c.wait, func() { c.flush(name, b) })
+		c.pending[name] = b
+	}
+	b.queries = append(b.queries, q)
+	b.waiters = append(b.waiters, ch)
+	full := len(b.queries) >= c.max
+	if full {
+		delete(c.pending, name)
+		b.timer.Stop()
+	}
+	c.rt.coalesceDepth.Add(1)
+	c.mu.Unlock()
+	if full {
+		c.dispatch(name, b)
+	}
+	return ch
+}
+
+// flush is the timer path: dispatch the window unless a size-triggered
+// dispatch already claimed it (identity check — a new window for the
+// same name must not be stolen by a stale timer).
+func (c *coalescer) flush(name string, b *pendingBatch) {
+	c.mu.Lock()
+	if c.pending[name] != b {
+		c.mu.Unlock()
+		return
+	}
+	delete(c.pending, name)
+	c.mu.Unlock()
+	c.dispatch(name, b)
+}
+
+// dispatch sends the merged batch to the owning shard (with replica
+// failover) and scatters per-query outcomes back to the waiters in
+// arrival order. The upstream call uses the router's client timeout,
+// not any single waiter's context: one canceled client must not fail
+// the queries it was batched with.
+func (c *coalescer) dispatch(name string, b *pendingBatch) {
+	n := len(b.queries)
+	c.rt.coalesceDepth.Add(int64(-n))
+	c.rt.coalesced.Add(int64(n))
+	c.rt.coalesceSize.ObserveNanos(int64(n))
+
+	payload, _ := json.Marshal(struct {
+		Queries []serve.BatchQuery `json:"queries"`
+	}{b.queries})
+	sh := c.rt.Shard(name)
+	resp, err := c.rt.readShard(context.Background(), sh, http.MethodPost,
+		"/v1/hist/"+url.PathEscape(name)+"/query", "application/json", payload,
+		"X-Wavehist-Coalesced", strconv.Itoa(n))
+	if err != nil {
+		for _, ch := range b.waiters {
+			ch <- coalesceResult{netErr: err, shardID: sh.ID}
+		}
+		return
+	}
+	var out struct {
+		Version uint64              `json:"version"`
+		Results []serve.BatchResult `json:"results"`
+	}
+	if resp.status != http.StatusOK || json.Unmarshal(resp.body, &out) != nil || len(out.Results) != n {
+		// The shard's verdict (404 for an unknown name, 400 for a
+		// malformed batch, …) passes through verbatim to every waiter.
+		for _, ch := range b.waiters {
+			ch <- coalesceResult{raw: resp, shardID: sh.ID}
+		}
+		return
+	}
+	for i, ch := range b.waiters {
+		r := out.Results[i]
+		if r.Error != "" {
+			ch <- coalesceResult{errMsg: r.Error, shardID: sh.ID}
+		} else {
+			ch <- coalesceResult{est: r.Estimate, version: out.Version, shardID: sh.ID}
+		}
+	}
+}
+
+// maybeCoalesce wraps a single-query GET route with the coalescing
+// intercept. With coalescing off (or parameters that don't form one
+// unambiguous query) the request takes the direct proxy path.
+func (rt *Router) maybeCoalesce(route string, fallback http.HandlerFunc) http.HandlerFunc {
+	if rt.coal == nil {
+		return fallback
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		q, fields, ok := coalesceQuery(route, r.URL.Query())
+		if !ok {
+			fallback(w, r)
+			return
+		}
+		name := r.PathValue("name")
+		ch := rt.coal.enqueue(name, q)
+		select {
+		case res := <-ch:
+			switch {
+			case res.netErr != nil:
+				writeErr(w, http.StatusBadGateway, "shard %q unreachable: %v", res.shardID, res.netErr)
+			case res.raw != nil:
+				writeUpstream(w, res.raw)
+			case res.errMsg != "":
+				writeErr(w, http.StatusBadRequest, "%s", res.errMsg)
+			default:
+				b := serve.AppendEstimate(nil, name, res.version, res.est, fields...)
+				w.Header().Set("Content-Type", "application/json")
+				w.WriteHeader(http.StatusOK)
+				w.Write(b)
+			}
+		case <-r.Context().Done():
+			// Client gone; its slot in the batch still dispatches (the
+			// buffered channel absorbs the unclaimed result).
+		}
+	}
+}
+
+// coalesceQuery parses a single-query GET's parameters into the batch
+// form, plus the echo fields the response renders. ok is false when the
+// parameters are not one unambiguous, fully-parsed query — those fall
+// through to the direct proxy so error responses stay byte-identical
+// with an uncoalesced router.
+func coalesceQuery(route string, vals url.Values) (serve.BatchQuery, []serve.EstimateField, bool) {
+	get := func(key string) (int64, bool) {
+		s := vals.Get(key)
+		if s == "" {
+			return 0, false
+		}
+		v, err := strconv.ParseInt(s, 10, 64)
+		return v, err == nil
+	}
+	switch route {
+	case "point":
+		key, okKey := get("key")
+		x, okX := get("x")
+		y, okY := get("y")
+		switch {
+		case okKey && !vals.Has("x") && !vals.Has("y"):
+			return serve.BatchQuery{Op: "point", Key: key},
+				[]serve.EstimateField{{Name: "key", Value: key}}, true
+		case okX && okY && !vals.Has("key"):
+			return serve.BatchQuery{Op: "point", X: x, Y: y},
+				[]serve.EstimateField{{Name: "x", Value: x}, {Name: "y", Value: y}}, true
+		}
+	case "range":
+		lo, okLo := get("lo")
+		hi, okHi := get("hi")
+		xlo, okXLo := get("xlo")
+		xhi, okXHi := get("xhi")
+		ylo, okYLo := get("ylo")
+		yhi, okYHi := get("yhi")
+		switch {
+		case okLo && okHi && !vals.Has("xlo") && !vals.Has("xhi") && !vals.Has("ylo") && !vals.Has("yhi"):
+			return serve.BatchQuery{Op: "range", Lo: lo, Hi: hi},
+				[]serve.EstimateField{{Name: "lo", Value: lo}, {Name: "hi", Value: hi}}, true
+		case okXLo && okXHi && okYLo && okYHi && !vals.Has("lo") && !vals.Has("hi"):
+			return serve.BatchQuery{Op: "range", XLo: xlo, XHi: xhi, YLo: ylo, YHi: yhi},
+				[]serve.EstimateField{
+					{Name: "xlo", Value: xlo}, {Name: "xhi", Value: xhi},
+					{Name: "ylo", Value: ylo}, {Name: "yhi", Value: yhi},
+				}, true
+		}
+	}
+	return serve.BatchQuery{}, nil, false
+}

@@ -1,0 +1,248 @@
+package ha
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"wavelethist/serve"
+)
+
+// coalesceFixture stands up one real shard behind two routers over the
+// same topology: one coalescing, one direct. Byte-comparing their
+// responses is the core contract check — clients must not be able to
+// tell whether their GET was coalesced.
+type coalesceFixture struct {
+	shard    *serve.Server
+	coalComp *Router
+	coalTS   *httptest.Server
+	directTS *httptest.Server
+}
+
+func newCoalesceFixture(t *testing.T, cfg RouterConfig) *coalesceFixture {
+	t.Helper()
+	s, shardTS := newNode(t, serve.Config{})
+	h := buildTestHist(t, 51)
+	if _, err := s.Registry().Publish("demo", h); err != nil {
+		t.Fatal(err)
+	}
+	shards := []Shard{{ID: "s0", Primary: shardTS.URL}}
+	coal, err := NewRouterConfig(shards, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := NewRouter([]Shard{{ID: "s0", Primary: shardTS.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coalTS := httptest.NewServer(coal)
+	t.Cleanup(coalTS.Close)
+	directTS := httptest.NewServer(direct)
+	t.Cleanup(directTS.Close)
+	return &coalesceFixture{shard: s, coalComp: coal, coalTS: coalTS, directTS: directTS}
+}
+
+func getBody(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(b)
+}
+
+// TestCoalesceScatterOrder: concurrent single-query GETs merged into one
+// batch come back byte-identical to the direct (uncoalesced) router —
+// each waiter receives its own query's estimate, echo fields included,
+// across points, 1D ranges, and mixed off-domain keys.
+func TestCoalesceScatterOrder(t *testing.T) {
+	f := newCoalesceFixture(t, RouterConfig{CoalesceWait: 20 * time.Millisecond, CoalesceMax: 512})
+	paths := make([]string, 48)
+	for i := range paths {
+		switch i % 3 {
+		case 0:
+			paths[i] = fmt.Sprintf("/v1/hist/demo/point?key=%d", i*37%(1<<12))
+		case 1:
+			paths[i] = fmt.Sprintf("/v1/hist/demo/range?lo=%d&hi=%d", i, i+500)
+		default:
+			paths[i] = fmt.Sprintf("/v1/hist/demo/point?key=%d", 1<<12+i) // off-domain → 400
+		}
+	}
+	want := make([]string, len(paths))
+	wantCode := make([]int, len(paths))
+	for i, p := range paths {
+		wantCode[i], want[i] = getBody(t, f.directTS.URL+p)
+	}
+	got := make([]string, len(paths))
+	gotCode := make([]int, len(paths))
+	var wg sync.WaitGroup
+	for i, p := range paths {
+		wg.Add(1)
+		go func(i int, p string) {
+			defer wg.Done()
+			gotCode[i], got[i] = getBody(t, f.coalTS.URL+p)
+		}(i, p)
+	}
+	wg.Wait()
+	for i := range paths {
+		if gotCode[i] != wantCode[i] || got[i] != want[i] {
+			t.Errorf("%s:\n  coalesced: %d %q\n  direct:    %d %q",
+				paths[i], gotCode[i], got[i], wantCode[i], want[i])
+		}
+	}
+	if n := f.coalComp.coalesced.Value(); n < int64(len(paths)) {
+		t.Errorf("coalesced counter = %d, want >= %d", n, len(paths))
+	}
+	if d := f.coalComp.coalesceDepth.Load(); d != 0 {
+		t.Errorf("queue depth = %d after drain, want 0", d)
+	}
+}
+
+// TestCoalesceMaxDispatch: a full batch dispatches immediately — with a
+// wait window far longer than the test, CoalesceMax concurrent queries
+// must still come back promptly via the size trigger.
+func TestCoalesceMaxDispatch(t *testing.T) {
+	f := newCoalesceFixture(t, RouterConfig{CoalesceWait: time.Hour, CoalesceMax: 4})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var wg sync.WaitGroup
+		for i := 0; i < 4; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				if code, body := getBody(t, f.coalTS.URL+fmt.Sprintf("/v1/hist/demo/point?key=%d", i)); code != http.StatusOK {
+					t.Errorf("key=%d: HTTP %d: %s", i, code, body)
+				}
+			}(i)
+		}
+		wg.Wait()
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("full batch did not dispatch before the wait window")
+	}
+}
+
+// TestCoalesceLatencyBudget: a lone query never waits longer than
+// roughly the configured window before its batch-of-one dispatches.
+func TestCoalesceLatencyBudget(t *testing.T) {
+	f := newCoalesceFixture(t, RouterConfig{CoalesceWait: 50 * time.Millisecond, CoalesceMax: 256})
+	t0 := time.Now()
+	code, body := getBody(t, f.coalTS.URL+"/v1/hist/demo/point?key=7")
+	elapsed := time.Since(t0)
+	if code != http.StatusOK {
+		t.Fatalf("HTTP %d: %s", code, body)
+	}
+	if elapsed < 40*time.Millisecond {
+		t.Errorf("lone query returned in %v — did not wait out the window", elapsed)
+	}
+	if elapsed > 5*time.Second {
+		t.Errorf("lone query took %v, far beyond the window", elapsed)
+	}
+	if n := f.coalComp.coalesced.Value(); n != 1 {
+		t.Errorf("coalesced counter = %d, want 1", n)
+	}
+}
+
+// TestCoalesceErrorPassthrough: shard verdicts survive coalescing — an
+// unknown name's 404 passes through verbatim, and ambiguous or
+// unparsable parameters fall through to the direct proxy path with its
+// exact error responses.
+func TestCoalesceErrorPassthrough(t *testing.T) {
+	f := newCoalesceFixture(t, RouterConfig{CoalesceWait: 5 * time.Millisecond})
+	for _, path := range []string{
+		"/v1/hist/ghost/point?key=1",          // unknown name: shard 404 via batch passthrough
+		"/v1/hist/demo/point?key=notanint",    // unparsable: falls through to direct proxy
+		"/v1/hist/demo/point?key=1&x=2&y=3",   // ambiguous form: falls through
+		"/v1/hist/demo/range?lo=1",            // half a range: falls through (400)
+		"/v1/hist/demo/range?lo=1&hi=2&xlo=0", // mixed 1D/2D params: falls through
+		"/v1/hist/demo/point?key=999999999",   // off-domain: per-query 400
+	} {
+		wantCode, wantBody := getBody(t, f.directTS.URL+path)
+		gotCode, gotBody := getBody(t, f.coalTS.URL+path)
+		if gotCode != wantCode || gotBody != wantBody {
+			t.Errorf("%s:\n  coalesced: %d %q\n  direct:    %d %q", path, gotCode, gotBody, wantCode, wantBody)
+		}
+	}
+
+	// Documented divergence (see coalesce.go): a wrong-dimensional form
+	// that IS a complete, parseable query takes the batch API's
+	// semantics — here a 2D rectangle against a 1D entry becomes
+	// RangeCount(0, 0) — where the direct endpoint answers 400. Pin it
+	// so a behaviour change is a conscious one.
+	code, _ := getBody(t, f.coalTS.URL+"/v1/hist/demo/range?xlo=1&xhi=2&ylo=0&yhi=3")
+	if code != http.StatusOK {
+		t.Errorf("2D form on 1D entry through coalescer: HTTP %d, want 200 (batch semantics)", code)
+	}
+}
+
+// TestCoalesceShardDown: with every target unreachable the waiters get
+// the router's 502, not a hang.
+func TestCoalesceShardDown(t *testing.T) {
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close() // nothing listens anymore
+	rt, err := NewRouterConfig([]Shard{{ID: "s0", Primary: dead.URL}},
+		RouterConfig{CoalesceWait: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(rt)
+	defer ts.Close()
+	code, body := getBody(t, ts.URL+"/v1/hist/demo/point?key=1")
+	if code != http.StatusBadGateway {
+		t.Fatalf("HTTP %d: %s", code, body)
+	}
+}
+
+// TestCoalesceUnderUpdateLoad is the race smoke CI runs with -race:
+// concurrent coalesced reads race maintainer updates (and the
+// republishes they trigger) flowing through the same router, exercising
+// the pending-map locking, timer/size dispatch races, and the shard's
+// snapshot swaps together.
+func TestCoalesceUnderUpdateLoad(t *testing.T) {
+	f := newCoalesceFixture(t, RouterConfig{CoalesceWait: 2 * time.Millisecond, CoalesceMax: 8})
+	const readers = 4
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var path string
+				if i%2 == 0 {
+					path = fmt.Sprintf("/v1/hist/demo/point?key=%d", (g*131+i)%(1<<12))
+				} else {
+					path = fmt.Sprintf("/v1/hist/demo/range?lo=%d&hi=%d", i%100, i%100+900)
+				}
+				if code, body := getBody(t, f.coalTS.URL+path); code != http.StatusOK {
+					t.Errorf("%s: HTTP %d: %s", path, code, body)
+					return
+				}
+			}
+		}(g)
+	}
+	for i := 0; i < 25; i++ {
+		updates := make([]map[string]any, 40)
+		for j := range updates {
+			updates[j] = map[string]any{"key": int64((i*40 + j) % (1 << 12)), "delta": 1.0}
+		}
+		postJSON(t, f.coalTS.URL+"/v1/hist/demo/updates",
+			map[string]any{"updates": updates}, http.StatusOK)
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -19,10 +19,19 @@ import (
 func (rt *Router) initMetrics() {
 	m := obs.NewRegistry()
 	rt.metrics = m
+	// The coalescer instruments are registered unconditionally so the
+	// families exist (at zero) on routers running with coalescing off —
+	// dashboards and alert rules need no config-conditional queries.
+	rt.coalesced = m.Counter("waverouter_coalesced_queries_total",
+		"Single-query GETs merged into shard batches by the router-side coalescer.")
+	rt.coalesceSize = m.Histogram("waverouter_coalesce_batch_size",
+		"Coalesced batch sizes, recorded as size in nanoseconds: a bucket boundary of s seconds covers batches up to s*1e9 queries.")
 	m.Collect(func(w *obs.Writer) {
 		w.Counter("waverouter_proxied_total", "Requests forwarded to an upstream daemon.", float64(rt.proxied.Load()))
 		w.Counter("waverouter_failovers_total", "Read retries against a replica after a primary failed.", float64(rt.failovers.Load()))
 		w.Gauge("waverouter_shards", "Shards in the routing ring.", float64(len(rt.shards)))
+		w.Gauge("waverouter_coalesce_queue_depth",
+			"Queries currently parked in the coalescer awaiting batch dispatch.", float64(rt.coalesceDepth.Load()))
 	})
 }
 

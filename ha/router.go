@@ -52,11 +52,38 @@ type Router struct {
 
 	proxied   atomic.Uint64 // requests forwarded upstream
 	failovers atomic.Uint64 // retries against a further target
+
+	// Query coalescing (coalesce.go): nil unless RouterConfig.CoalesceWait
+	// is set. The depth gauge and the dispatch instruments live on the
+	// Router so the metric families exist even with coalescing off.
+	coal          *coalescer
+	coalesceDepth atomic.Int64
+	coalesced     *obs.Counter
+	coalesceSize  *obs.Histogram
+}
+
+// RouterConfig tunes the router's optional behaviours; the zero value
+// matches NewRouter.
+type RouterConfig struct {
+	// CoalesceWait enables router-side query coalescing: single-query
+	// GETs (point, range) arriving for the same histogram within this
+	// window are merged into one vectorized shard batch and scattered
+	// back in arrival order. 0 disables coalescing.
+	CoalesceWait time.Duration
+	// CoalesceMax caps how many queries one coalesced batch may carry; a
+	// full batch dispatches immediately instead of waiting out the
+	// window. 0 = default (256).
+	CoalesceMax int
 }
 
 // NewRouter builds a router over the given shards (at least one, unique
-// IDs, each with a primary).
+// IDs, each with a primary) with default configuration.
 func NewRouter(shards []Shard) (*Router, error) {
+	return NewRouterConfig(shards, RouterConfig{})
+}
+
+// NewRouterConfig builds a router with explicit configuration.
+func NewRouterConfig(shards []Shard, cfg RouterConfig) (*Router, error) {
 	ids := make([]string, 0, len(shards))
 	byID := make(map[string]*Shard, len(shards))
 	for i := range shards {
@@ -83,6 +110,13 @@ func NewRouter(shards []Shard) (*Router, error) {
 		maxBody: 8 << 20,
 	}
 	rt.initMetrics()
+	if cfg.CoalesceWait > 0 {
+		max := cfg.CoalesceMax
+		if max <= 0 {
+			max = 256
+		}
+		rt.coal = newCoalescer(rt, cfg.CoalesceWait, max)
+	}
 	rt.routes()
 	return rt, nil
 }
@@ -99,8 +133,8 @@ func (rt *Router) routes() {
 	rt.mux.HandleFunc("GET /healthz", rt.handleHealth)
 	rt.mux.HandleFunc("GET /v1/router", rt.handleTopology)
 	rt.mux.HandleFunc("GET /v1/hist", rt.timed("list", rt.handleList))
-	rt.mux.HandleFunc("GET /v1/hist/{name}/point", rt.timed("point", rt.handleNamedRead))
-	rt.mux.HandleFunc("GET /v1/hist/{name}/range", rt.timed("range", rt.handleNamedRead))
+	rt.mux.HandleFunc("GET /v1/hist/{name}/point", rt.timed("point", rt.maybeCoalesce("point", rt.handleNamedRead)))
+	rt.mux.HandleFunc("GET /v1/hist/{name}/range", rt.timed("range", rt.maybeCoalesce("range", rt.handleNamedRead)))
 	rt.mux.HandleFunc("POST /v1/hist/{name}/query", rt.timed("batch", rt.handleNamedRead))
 	rt.mux.HandleFunc("POST /v1/hist/{name}/updates", rt.timed("updates", rt.handleNamedWrite))
 	rt.mux.HandleFunc("POST /v1/query", rt.timed("cross_batch", rt.handleCrossBatch))
@@ -119,7 +153,7 @@ type upstream struct {
 	body        []byte
 }
 
-func (rt *Router) do(ctx context.Context, method, url, contentType string, body []byte) (*upstream, error) {
+func (rt *Router) do(ctx context.Context, method, url, contentType string, body []byte, hdr ...string) (*upstream, error) {
 	rt.proxied.Add(1)
 	req, err := http.NewRequestWithContext(ctx, method, url, bytes.NewReader(body))
 	if err != nil {
@@ -127,6 +161,9 @@ func (rt *Router) do(ctx context.Context, method, url, contentType string, body 
 	}
 	if contentType != "" {
 		req.Header.Set("Content-Type", contentType)
+	}
+	for i := 0; i+1 < len(hdr); i += 2 {
+		req.Header.Set(hdr[i], hdr[i+1])
 	}
 	res, err := rt.client.Do(req)
 	if err != nil {
@@ -143,7 +180,7 @@ func (rt *Router) do(ctx context.Context, method, url, contentType string, body 
 // readShard sends a read to the shard, retrying replicas when the
 // primary is unreachable or failing (network error or 5xx). 4xx answers
 // are returned as-is — they are the shard's verdict, not its health.
-func (rt *Router) readShard(ctx context.Context, sh *Shard, method, pathAndQuery, contentType string, body []byte) (*upstream, error) {
+func (rt *Router) readShard(ctx context.Context, sh *Shard, method, pathAndQuery, contentType string, body []byte, hdr ...string) (*upstream, error) {
 	var (
 		last    *upstream
 		lastErr error
@@ -152,7 +189,7 @@ func (rt *Router) readShard(ctx context.Context, sh *Shard, method, pathAndQuery
 		if i > 0 {
 			rt.failovers.Add(1)
 		}
-		resp, err := rt.do(ctx, method, target+pathAndQuery, contentType, body)
+		resp, err := rt.do(ctx, method, target+pathAndQuery, contentType, body, hdr...)
 		if err != nil {
 			lastErr = err
 			continue

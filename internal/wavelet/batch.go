@@ -2,6 +2,7 @@ package wavelet
 
 import (
 	"slices"
+	"sort"
 	"sync"
 )
 
@@ -25,6 +26,15 @@ import (
 // run without rescanning. Range queries walk the same sweep with two
 // sorted boundary walkers per query (2n walkers), mirroring rangeSum's
 // kLo/kHi probes including its "probe kHi only when it differs" dedup.
+// 2D ranges sweep the row-group table with the same walker scheme on the
+// x axis and probe each matched row's y-axis boundary candidates.
+//
+// Every level sweep parks its cursor with one binary search at the first
+// query's target instead of scanning from the level start. For a
+// full-batch sweep that changes nothing (the linear scan would stop at
+// the same place); it exists so a sweep over any contiguous segment of
+// the sorted queries costs only its own share of the level — the
+// property the parallel executors in parallel.go split batches on.
 //
 // # Bit-identical to the scalar path
 //
@@ -34,32 +44,94 @@ import (
 // arithmetic — precomputed ±1/sqrt and /sqrt factors that are bitwise
 // equal to the scalar path's per-query derivations (math.Sqrt is
 // correctly rounded, so caching a root changes nothing). Matched terms
-// are collected per query in a linked-list arena and finished with the
-// same sumByPos the scalar path uses; a query's matched coefficient
-// positions are distinct, so the position-sorted summation order — and
-// therefore every partial sum's rounding — is identical no matter what
-// order the sweep discovered the terms in.
+// are collected in a flat structure-of-arrays arena (parallel tq/terms
+// columns), grouped per query with one counting-sort scatter, and each
+// query's group is finished with the same sumByPos the scalar path uses;
+// a query's matched coefficient positions are distinct, so the
+// position-sorted summation order — and therefore every partial sum's
+// rounding — is identical no matter what order the sweep discovered the
+// terms in.
 //
 // All scratch state lives in a pooled arena, so steady-state batches
 // allocate nothing.
 
 // batchScratch is one batch's reusable state: the sorted query order,
-// the per-query term linked lists (a flat arena + next pointers + per-
-// query heads), clamped range bounds, and the sort buffer handed to
-// sumByPos. Pooled; every slice is length-reset per use.
+// the flat term arena and its per-query offset table, clamped range
+// bounds, and the legacy linked-list columns kept for the arena
+// benchmark baseline. Pooled; every slice is length-reset per use.
 type batchScratch struct {
 	qord  []int32   // in-domain query indexes, sorted by key
 	word  []int32   // range boundary walkers (query<<1 | isHi), sorted by boundary
 	pk    []int64   // packed key<<shift|index sort buffer (comparator-free sort)
-	head  []int32   // per-query arena list head, -1 = no terms
-	terms []posTerm // term arena
-	next  []int32   // arena linked-list next pointers, parallel to terms
-	buf   []posTerm // per-query collection buffer for sumByPos
-	klo   []int64   // clamped range lows, indexed by query
-	khi   []int64   // clamped range highs, indexed by query
+	tq    []int32   // arena column: owning query index per term
+	terms []posTerm // arena column: the matched terms, sweep order
+	qoff  []int32   // counting-sort offsets, len n+1
+	flat  []posTerm // terms scattered contiguously per query
+	klo   []int64   // clamped range lows (x axis in 2D), indexed by query
+	khi   []int64   // clamped range highs (x axis in 2D), indexed by query
+	kylo  []int64   // clamped 2D range lows, y axis
+	kyhi  []int64   // clamped 2D range highs, y axis
+
+	// Linked-arena baseline state (BatchPointsLinkedArena only).
+	head []int32   // per-query list head, -1 = no terms
+	next []int32   // linked-list next pointers, parallel to terms
+	buf  []posTerm // per-query collection buffer for sumByPos
 }
 
 var batchScratchPool = sync.Pool{New: func() any { return new(batchScratch) }}
+
+// resetArena clears the term arena and zeroes the offset table for a
+// batch of n queries.
+func (sc *batchScratch) resetArena(n int) {
+	sc.tq = sc.tq[:0]
+	sc.terms = sc.terms[:0]
+	if cap(sc.qoff) < n+1 {
+		sc.qoff = make([]int32, n+1)
+	}
+	sc.qoff = sc.qoff[:n+1]
+	for i := range sc.qoff {
+		sc.qoff[i] = 0
+	}
+}
+
+// push appends one matched term owned by query qi.
+func (sc *batchScratch) push(qi int32, p int32, term float64) {
+	sc.tq = append(sc.tq, qi)
+	sc.terms = append(sc.terms, posTerm{p, term})
+}
+
+// finishFlat groups the arena by query with one counting-sort scatter —
+// count into qoff, prefix-sum, then one sequential pass moving each term
+// into its query's contiguous run in flat — and sums each active query's
+// run in scan order into out. Two branch-free sequential passes over the
+// arena replace the linked list's per-term pointer chase.
+func (sc *batchScratch) finishFlat(active []int32, out []float64) {
+	qoff := sc.qoff
+	for _, qi := range sc.tq {
+		qoff[qi+1]++
+	}
+	for i := 1; i < len(qoff); i++ {
+		qoff[i] += qoff[i-1]
+	}
+	if cap(sc.flat) < len(sc.terms) {
+		sc.flat = make([]posTerm, len(sc.terms))
+	}
+	flat := sc.flat[:cap(sc.flat)]
+	for i, qi := range sc.tq {
+		flat[qoff[qi]] = sc.terms[i]
+		qoff[qi]++
+	}
+	sc.flat = flat
+	// The scatter advanced qoff[qi] to the end of query qi's run; its
+	// start is the previous query's end.
+	for _, qi := range active {
+		s := int32(0)
+		if qi > 0 {
+			s = qoff[qi-1]
+		}
+		out[qi] = sumByPos(flat[s:qoff[qi]])
+	}
+}
 
 // resetHeads sizes head to n and fills it with -1.
 func (sc *batchScratch) resetHeads(n int) {
@@ -72,18 +144,24 @@ func (sc *batchScratch) resetHeads(n int) {
 	}
 }
 
-// push appends one matched term to query qi's list.
-func (sc *batchScratch) push(qi int32, p int32, term float64) {
-	sc.terms = append(sc.terms, posTerm{p, term})
-	sc.next = append(sc.next, sc.head[qi])
-	sc.head[qi] = int32(len(sc.terms) - 1)
-}
-
-// finish sums each listed query's terms in scan order into out.
-func (sc *batchScratch) finish(order []int32, out []float64) {
-	for _, qi := range order {
+// finishLinked is the pre-flat-arena finisher kept as a benchmark
+// baseline: it threads the arena into per-query linked lists and sums
+// each list with a pointer chase — the data-dependent loads finishFlat's
+// counting sort eliminates.
+func (sc *batchScratch) finishLinked(n int, active []int32, out []float64) {
+	sc.resetHeads(n)
+	if cap(sc.next) < len(sc.tq) {
+		sc.next = make([]int32, len(sc.tq))
+	}
+	next := sc.next[:len(sc.tq)]
+	for i, qi := range sc.tq {
+		next[i] = sc.head[qi]
+		sc.head[qi] = int32(i)
+	}
+	sc.next = next
+	for _, qi := range active {
 		buf := sc.buf[:0]
-		for li := sc.head[qi]; li >= 0; li = sc.next[li] {
+		for li := sc.head[qi]; li >= 0; li = next[li] {
 			buf = append(buf, sc.terms[li])
 		}
 		sc.buf = buf
@@ -91,30 +169,9 @@ func (sc *batchScratch) finish(order []int32, out []float64) {
 	}
 }
 
-// BatchPoints answers n point queries at once: out[i] = PointEstimate
-// of xs[i], bit for bit. len(out) must equal len(xs). Keys may repeat
-// and arrive in any order; keys outside [0, u) estimate 0, exactly as
-// the scalar path does. Steady-state calls are allocation-free.
-func (r *Representation) BatchPoints(xs []int64, out []float64) {
-	if len(out) != len(xs) {
-		panic("wavelet: BatchPoints slice length mismatch")
-	}
-	if r.tree == nil {
-		for i, x := range xs {
-			out[i] = r.PointEstimate(x)
-		}
-		return
-	}
-	r.tree.batchPoints(r.Coefs, xs, out)
-}
-
-func (t *errTree) batchPoints(coefs []Coef, xs []int64, out []float64) {
-	n := len(xs)
-	if n == 0 {
-		return
-	}
-	sc := batchScratchPool.Get().(*batchScratch)
-	sc.resetHeads(n)
+// sortPointQueries zeroes out, drops out-of-domain keys, and returns the
+// surviving query indexes sorted by key (stored in sc.qord).
+func (t *errTree) sortPointQueries(sc *batchScratch, xs []int64, out []float64) []int32 {
 	qord := sc.qord[:0]
 	if t.u <= 1<<31 {
 		// Comparator-free sort: pack key<<31|index into one int64 so
@@ -151,8 +208,20 @@ func (t *errTree) batchPoints(coefs []Coef, xs []int64, out []float64) {
 			return 0
 		})
 	}
-	sc.terms, sc.next = sc.terms[:0], sc.next[:0]
+	sc.qord = qord
+	return qord
+}
 
+// sweepPoints runs the per-level merge joins for a key-sorted slice of
+// point queries, pushing every matched term into sc's arena. qord may be
+// any contiguous segment of a sorted batch: each level's cursor is
+// binary-searched to the segment's first target, which parks it exactly
+// where a linear advance from the level start would — later targets are
+// monotone, so every walker still lands on its full duplicate run.
+func (t *errTree) sweepPoints(sc *batchScratch, coefs []Coef, xs []int64, qord []int32) {
+	if len(qord) == 0 {
+		return
+	}
 	// Level 0: every in-domain query matches the average coefficient(s).
 	if s0, e0 := int(t.off[0]), int(t.off[1]); s0 < e0 {
 		b := t.invSqrtU // == 1/math.Sqrt(float64(t.u)), the scalar factor
@@ -175,7 +244,8 @@ func (t *errTree) batchPoints(coefs []Coef, xs []int64, out []float64) {
 		shift := t.logu - j // rangeLen = 1<<shift
 		base := int64(1) << j
 		val := t.invSqrtLen[j]
-		cur := s
+		first := base + xs[qord[0]]>>shift
+		cur := s + sort.Search(e-s, func(i int) bool { return t.idxs[s+i] >= first })
 		for _, qi := range qord {
 			x := xs[qi]
 			target := base + x>>shift
@@ -202,64 +272,104 @@ func (t *errTree) batchPoints(coefs []Coef, xs []int64, out []float64) {
 			}
 		}
 	}
-
-	sc.finish(qord, out)
-	sc.qord = qord
-	batchScratchPool.Put(sc)
 }
 
-// BatchRanges answers n range-sum queries at once: out[i] = RangeSum of
-// [los[i], his[i]], bit for bit, with the scalar path's clamp contract
-// (bounds clamped to the domain, empty intersection estimates 0).
-// len(los), len(his) and len(out) must match. Steady-state calls are
-// allocation-free.
-func (r *Representation) BatchRanges(los, his []int64, out []float64) {
-	if len(his) != len(los) || len(out) != len(los) {
-		panic("wavelet: BatchRanges slice length mismatch")
+// BatchPoints answers n point queries at once: out[i] = PointEstimate
+// of xs[i], bit for bit. len(out) must equal len(xs). Keys may repeat
+// and arrive in any order; keys outside [0, u) estimate 0, exactly as
+// the scalar path does. Steady-state calls are allocation-free.
+func (r *Representation) BatchPoints(xs []int64, out []float64) {
+	if len(out) != len(xs) {
+		panic("wavelet: BatchPoints slice length mismatch")
 	}
 	if r.tree == nil {
-		for i := range los {
-			out[i] = r.RangeSum(los[i], his[i])
+		for i, x := range xs {
+			out[i] = r.PointEstimate(x)
 		}
 		return
 	}
-	r.tree.batchRanges(r.Coefs, los, his, out)
+	r.tree.batchPoints(r.Coefs, xs, out)
 }
 
-func (t *errTree) batchRanges(coefs []Coef, los, his []int64, out []float64) {
-	n := len(los)
+func (t *errTree) batchPoints(coefs []Coef, xs []int64, out []float64) {
+	n := len(xs)
 	if n == 0 {
 		return
 	}
 	sc := batchScratchPool.Get().(*batchScratch)
-	sc.resetHeads(n)
+	qord := t.sortPointQueries(sc, xs, out)
+	sc.resetArena(n)
+	t.sweepPoints(sc, coefs, xs, qord)
+	sc.finishFlat(qord, out)
+	batchScratchPool.Put(sc)
+}
+
+// BatchPointsLinkedArena is BatchPoints finished through the linked-list
+// term arena the executor used before the flat structure-of-arrays
+// layout. Results are bit-identical; it exists so wavebench can measure
+// the flat arena's win and will go away once that comparison stops being
+// interesting.
+func (r *Representation) BatchPointsLinkedArena(xs []int64, out []float64) {
+	if len(out) != len(xs) {
+		panic("wavelet: BatchPointsLinkedArena slice length mismatch")
+	}
+	if r.tree == nil {
+		r.BatchPoints(xs, out)
+		return
+	}
+	n := len(xs)
+	if n == 0 {
+		return
+	}
+	sc := batchScratchPool.Get().(*batchScratch)
+	qord := r.tree.sortPointQueries(sc, xs, out)
+	sc.resetArena(n)
+	r.tree.sweepPoints(sc, r.Coefs, xs, qord)
+	sc.finishLinked(n, qord, out)
+	batchScratchPool.Put(sc)
+}
+
+// clampRangeQueries zeroes out, clamps each [los[i], his[i]] to [0, u)
+// into sc.klo/sc.khi, and returns the non-empty query indexes in input
+// order (stored in sc.qord).
+func clampRangeQueries(sc *batchScratch, u int64, los, his []int64, out []float64) []int32 {
+	n := len(los)
 	if cap(sc.klo) < n {
 		sc.klo = make([]int64, n)
 		sc.khi = make([]int64, n)
 	}
-	klo, khi := sc.klo[:n], sc.khi[:n]
-	// Clamp per query; non-empty ranges contribute two boundary walkers
-	// (query<<1 for lo, query<<1|1 for hi), sorted by boundary key so each
-	// level's walker targets are monotone.
+	sc.klo, sc.khi = sc.klo[:n], sc.khi[:n]
+	qis := sc.qord[:0]
+	for i := 0; i < n; i++ {
+		out[i] = 0
+		lo, hi := los[i], his[i]
+		if lo < 0 {
+			lo = 0
+		}
+		if hi >= u {
+			hi = u - 1
+		}
+		if lo > hi {
+			continue
+		}
+		sc.klo[i], sc.khi[i] = lo, hi
+		qis = append(qis, int32(i))
+	}
+	sc.qord = qis
+	return qis
+}
+
+// buildBoundaryWalkers packs each listed query's two boundary walkers
+// (query<<1 for lo, query<<1|1 for hi) and sorts them by boundary key so
+// each level's walker targets are monotone. packed selects the
+// comparator-free key<<31|walker sort (valid when the domain fits 31
+// bits). The sorted walkers are stored in sc.word and returned.
+func buildBoundaryWalkers(sc *batchScratch, qis []int32, klo, khi []int64, packed bool) []int32 {
 	word := sc.word[:0]
-	if t.u <= 1<<31 {
-		// Same comparator-free packed sort as batchPoints: boundary
-		// key<<31 over the walker id (query<<1|isHi) in the low bits.
+	if packed {
 		pk := sc.pk[:0]
-		for i := 0; i < n; i++ {
-			out[i] = 0
-			lo, hi := los[i], his[i]
-			if lo < 0 {
-				lo = 0
-			}
-			if hi >= t.u {
-				hi = t.u - 1
-			}
-			if lo > hi {
-				continue
-			}
-			klo[i], khi[i] = lo, hi
-			pk = append(pk, lo<<31|int64(i)<<1, hi<<31|int64(i)<<1|1)
+		for _, qi := range qis {
+			pk = append(pk, klo[qi]<<31|int64(qi)<<1, khi[qi]<<31|int64(qi)<<1|1)
 		}
 		slices.Sort(pk)
 		for _, v := range pk {
@@ -267,20 +377,8 @@ func (t *errTree) batchRanges(coefs []Coef, los, his []int64, out []float64) {
 		}
 		sc.pk = pk
 	} else {
-		for i := 0; i < n; i++ {
-			out[i] = 0
-			lo, hi := los[i], his[i]
-			if lo < 0 {
-				lo = 0
-			}
-			if hi >= t.u {
-				hi = t.u - 1
-			}
-			if lo > hi {
-				continue
-			}
-			klo[i], khi[i] = lo, hi
-			word = append(word, int32(i)<<1, int32(i)<<1|1)
+		for _, qi := range qis {
+			word = append(word, qi<<1, qi<<1|1)
 		}
 		slices.SortFunc(word, func(a, b int32) int {
 			ka, kb := klo[a>>1], klo[b>>1]
@@ -299,16 +397,23 @@ func (t *errTree) batchRanges(coefs []Coef, los, his []int64, out []float64) {
 			return 0
 		})
 	}
-	sc.terms, sc.next = sc.terms[:0], sc.next[:0]
+	sc.word = word
+	return word
+}
 
-	// Level 0: every active query (enumerated by its lo walker) matches
-	// the average coefficient(s) with the scalar factor (hi-lo+1)/sqrt(u).
+// sweepRangeLevels runs the per-level merge joins for a set of clamped
+// range queries (qis) and their sorted boundary walkers (word), pushing
+// every matched term into sc's arena. Like sweepPoints it accepts any
+// contiguous segment of a klo-sorted batch; each level's cursor is
+// binary-searched to the first walker's target.
+func (t *errTree) sweepRangeLevels(sc *batchScratch, coefs []Coef, qis, word []int32, klo, khi []int64) {
+	if len(word) == 0 {
+		return
+	}
+	// Level 0: every active query matches the average coefficient(s) with
+	// the scalar factor (hi-lo+1)/sqrt(u).
 	if s0, e0 := int(t.off[0]), int(t.off[1]); s0 < e0 {
-		for _, w := range word {
-			if w&1 != 0 {
-				continue
-			}
-			qi := w >> 1
+		for _, qi := range qis {
 			b := float64(khi[qi]-klo[qi]+1) / t.sqrtU
 			for i := s0; i < e0; i++ {
 				p := t.ord[i]
@@ -330,7 +435,13 @@ func (t *errTree) batchRanges(coefs []Coef, los, his []int64, out []float64) {
 		base := int64(1) << j
 		rangeLen := t.u >> j
 		sq := t.sqrtLen[j]
-		cur := s
+		w0 := word[0]
+		k0 := klo[w0>>1] >> shift
+		if w0&1 != 0 {
+			k0 = khi[w0>>1] >> shift
+		}
+		first := base + k0
+		cur := s + sort.Search(e-s, func(i int) bool { return t.idxs[s+i] >= first })
 		for _, w := range word {
 			qi := w >> 1
 			lo, hi := klo[qi], khi[qi]
@@ -366,48 +477,45 @@ func (t *errTree) batchRanges(coefs []Coef, los, his []int64, out []float64) {
 			}
 		}
 	}
-
-	// Sum each active query once (its lo walker).
-	for _, w := range word {
-		if w&1 != 0 {
-			continue
-		}
-		qi := w >> 1
-		buf := sc.buf[:0]
-		for li := sc.head[qi]; li >= 0; li = sc.next[li] {
-			buf = append(buf, sc.terms[li])
-		}
-		sc.buf = buf
-		out[qi] = sumByPos(buf)
-	}
-	sc.word = word
-	batchScratchPool.Put(sc)
 }
 
-// BatchPoints answers n 2D point queries at once: out[i] = PointEstimate
-// of (xs[i], ys[i]), bit for bit. len(xs), len(ys) and len(out) must
-// match; off-grid cells estimate 0. Steady-state calls are
+// BatchRanges answers n range-sum queries at once: out[i] = RangeSum of
+// [los[i], his[i]], bit for bit, with the scalar path's clamp contract
+// (bounds clamped to the domain, empty intersection estimates 0).
+// len(los), len(his) and len(out) must match. Steady-state calls are
 // allocation-free.
-func (r *Representation2D) BatchPoints(xs, ys []int64, out []float64) {
-	if len(ys) != len(xs) || len(out) != len(xs) {
-		panic("wavelet: BatchPoints slice length mismatch")
+func (r *Representation) BatchRanges(los, his []int64, out []float64) {
+	if len(his) != len(los) || len(out) != len(los) {
+		panic("wavelet: BatchRanges slice length mismatch")
 	}
 	if r.tree == nil {
-		for i := range xs {
-			out[i] = r.PointEstimate(xs[i], ys[i])
+		for i := range los {
+			out[i] = r.RangeSum(los[i], his[i])
 		}
 		return
 	}
-	r.tree.batchPoints(r.Coefs, xs, ys, out)
+	r.tree.batchRanges(r.Coefs, los, his, out)
 }
 
-func (t *errTree2D) batchPoints(coefs []Coef, xs, ys []int64, out []float64) {
-	n := len(xs)
+func (t *errTree) batchRanges(coefs []Coef, los, his []int64, out []float64) {
+	n := len(los)
 	if n == 0 {
 		return
 	}
 	sc := batchScratchPool.Get().(*batchScratch)
-	sc.resetHeads(n)
+	qis := clampRangeQueries(sc, t.u, los, his, out)
+	sc.resetArena(n)
+	word := buildBoundaryWalkers(sc, qis, sc.klo, sc.khi, t.u <= 1<<31)
+	t.sweepRangeLevels(sc, coefs, qis, word, sc.klo, sc.khi)
+	sc.finishFlat(qis, out)
+	batchScratchPool.Put(sc)
+}
+
+// sortPointQueries2D zeroes out, drops off-grid cells, and returns the
+// surviving query indexes sorted by (x, y): queries sharing an x-run
+// compute the x ancestor path once, and within a run the ascending y
+// keys make each (x-level, y-level) pair's packed targets monotone.
+func (t *errTree2D) sortPointQueries2D(sc *batchScratch, xs, ys []int64, out []float64) []int32 {
 	qord := sc.qord[:0]
 	for i := range xs {
 		out[i] = 0
@@ -415,9 +523,6 @@ func (t *errTree2D) batchPoints(coefs []Coef, xs, ys []int64, out []float64) {
 			qord = append(qord, int32(i))
 		}
 	}
-	// Sort by (x, y): queries sharing an x-run compute the x ancestor path
-	// once, and within a run the ascending y keys make each (x-level,
-	// y-level) pair's packed targets monotone for the merge join.
 	slices.SortFunc(qord, func(a, b int32) int {
 		switch {
 		case xs[a] < xs[b]:
@@ -431,12 +536,23 @@ func (t *errTree2D) batchPoints(coefs []Coef, xs, ys []int64, out []float64) {
 		}
 		return 0
 	})
-	sc.terms, sc.next = sc.terms[:0], sc.next[:0]
+	sc.qord = qord
+	return qord
+}
 
+// sweepPoints2D runs the row-group merge joins for an (x, y)-sorted
+// slice of 2D point queries. Like the 1D sweeps it accepts any
+// contiguous segment of a sorted batch: each x-level's row cursor is
+// lazily binary-searched to its first row target instead of scanning
+// the row table from the start.
+func (t *errTree2D) sweepPoints2D(sc *batchScratch, coefs []Coef, xs, ys []int64, qord []int32) {
 	// Per-x-level cursors into the row-group table: for a fixed x-level a,
 	// the row index xi[a] is non-decreasing as x increases, so each
-	// cursor only moves forward across the whole batch.
+	// cursor only moves forward across the whole segment. -1 = unparked.
 	var gcur [66]int
+	for i := range gcur {
+		gcur[i] = -1
+	}
 	var xi [64]int64
 	var xb [64]float64
 	nq := len(qord)
@@ -449,6 +565,10 @@ func (t *errTree2D) batchPoints(coefs []Coef, xs, ys []int64, out []float64) {
 		run := qord[i:j]
 		nx := t.ancestorPaths(x, &xi, &xb)
 		for a := 0; a < nx; a++ {
+			if gcur[a] < 0 {
+				xt := xi[a]
+				gcur[a] = sort.Search(len(t.gkey), func(g int) bool { return t.gkey[g] >= xt })
+			}
 			for gcur[a] < len(t.gkey) && t.gkey[gcur[a]] < xi[a] {
 				gcur[a]++
 			}
@@ -498,8 +618,210 @@ func (t *errTree2D) batchPoints(coefs []Coef, xs, ys []int64, out []float64) {
 		}
 		i = j
 	}
+}
 
-	sc.finish(qord, out)
-	sc.qord = qord
+// BatchPoints answers n 2D point queries at once: out[i] = PointEstimate
+// of (xs[i], ys[i]), bit for bit. len(xs), len(ys) and len(out) must
+// match; off-grid cells estimate 0. Steady-state calls are
+// allocation-free.
+func (r *Representation2D) BatchPoints(xs, ys []int64, out []float64) {
+	if len(ys) != len(xs) || len(out) != len(xs) {
+		panic("wavelet: BatchPoints slice length mismatch")
+	}
+	if r.tree == nil {
+		for i := range xs {
+			out[i] = r.PointEstimate(xs[i], ys[i])
+		}
+		return
+	}
+	r.tree.batchPoints(r.Coefs, xs, ys, out)
+}
+
+func (t *errTree2D) batchPoints(coefs []Coef, xs, ys []int64, out []float64) {
+	n := len(xs)
+	if n == 0 {
+		return
+	}
+	sc := batchScratchPool.Get().(*batchScratch)
+	qord := t.sortPointQueries2D(sc, xs, ys, out)
+	sc.resetArena(n)
+	t.sweepPoints2D(sc, coefs, xs, ys, qord)
+	sc.finishFlat(qord, out)
+	batchScratchPool.Put(sc)
+}
+
+// clampRangeQueries2D zeroes out, clamps each query's x bounds into
+// sc.klo/sc.khi and y bounds into sc.kylo/sc.kyhi, and returns the query
+// indexes whose clamped rectangle is non-empty on both axes.
+func (t *errTree2D) clampRangeQueries2D(sc *batchScratch, xlos, xhis, ylos, yhis []int64, out []float64) []int32 {
+	n := len(xlos)
+	if cap(sc.klo) < n {
+		sc.klo = make([]int64, n)
+		sc.khi = make([]int64, n)
+	}
+	if cap(sc.kylo) < n {
+		sc.kylo = make([]int64, n)
+		sc.kyhi = make([]int64, n)
+	}
+	sc.klo, sc.khi = sc.klo[:n], sc.khi[:n]
+	sc.kylo, sc.kyhi = sc.kylo[:n], sc.kyhi[:n]
+	qis := sc.qord[:0]
+	for i := 0; i < n; i++ {
+		out[i] = 0
+		xlo, xhi := xlos[i], xhis[i]
+		if xlo < 0 {
+			xlo = 0
+		}
+		if xhi >= t.u {
+			xhi = t.u - 1
+		}
+		ylo, yhi := ylos[i], yhis[i]
+		if ylo < 0 {
+			ylo = 0
+		}
+		if yhi >= t.u {
+			yhi = t.u - 1
+		}
+		if xlo > xhi || ylo > yhi {
+			continue
+		}
+		sc.klo[i], sc.khi[i] = xlo, xhi
+		sc.kylo[i], sc.kyhi[i] = ylo, yhi
+		qis = append(qis, int32(i))
+	}
+	sc.qord = qis
+	return qis
+}
+
+// push2DTarget pushes the (possibly duplicated) coefficients whose
+// packed index equals target within row group [glo, ghi), scaled by bv,
+// into query qi's terms.
+func (t *errTree2D) push2DTarget(sc *batchScratch, coefs []Coef, qi int32, glo, ghi int, target int64, bv float64) {
+	lo, hi := glo, ghi
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if t.idxs[mid] < target {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	for lo < ghi && t.idxs[lo] == target {
+		p := t.ord[lo]
+		sc.push(qi, p, coefs[p].Value*bv)
+		lo++
+	}
+}
+
+// pushRangeRow pushes one matched x-axis row's contributions to query
+// qi: the y-axis average plus each y-level's boundary cell(s), scaled by
+// the row's x factor bx — the same candidate set and arithmetic as the
+// scalar rangeSum's rangeCandidates pass.
+func (t *errTree2D) pushRangeRow(sc *batchScratch, coefs []Coef, qi int32, glo, ghi int, base int64, bx float64, ylo, yhi int64) {
+	by := float64(yhi-ylo+1) / t.sqrtU
+	t.push2DTarget(sc, coefs, qi, glo, ghi, base, bx*by)
+	for j := uint(0); j < t.logu; j++ {
+		rangeLen := t.u >> j
+		kLo, kHi := ylo/rangeLen, yhi/rangeLen
+		t.push2DTarget(sc, coefs, qi, glo, ghi, base+int64(1)<<j+kLo, bx*t.rangeFactor(j, kLo, ylo, yhi))
+		if kHi != kLo {
+			t.push2DTarget(sc, coefs, qi, glo, ghi, base+int64(1)<<j+kHi, bx*t.rangeFactor(j, kHi, ylo, yhi))
+		}
+	}
+}
+
+// sweepRanges2D runs the x-axis walker sweep over the row-group table
+// for a set of clamped 2D range queries: the x average row and, per
+// x-level, each walker's boundary row; every matched row probes the
+// query's y-axis candidates within that row group. Accepts any
+// contiguous segment of an x-lo-sorted batch (walkers are rebuilt and
+// cursors binary-parked per segment).
+func (t *errTree2D) sweepRanges2D(sc *batchScratch, coefs []Coef, qis, word []int32, xlo, xhi, ylo, yhi []int64) {
+	if len(word) == 0 {
+		return
+	}
+	// x-average row (row index 0, first in the ascending row table).
+	if len(t.gkey) > 0 && t.gkey[0] == 0 {
+		glo, ghi := int(t.goff[0]), int(t.goff[1])
+		for _, qi := range qis {
+			bx := float64(xhi[qi]-xlo[qi]+1) / t.sqrtU
+			t.pushRangeRow(sc, coefs, qi, glo, ghi, 0, bx, ylo[qi], yhi[qi])
+		}
+	}
+	// x detail levels: the 1D boundary-walker merge join, against the
+	// row-group table instead of a coefficient level.
+	for j := uint(0); j < t.logu; j++ {
+		shift := t.logu - j
+		base := int64(1) << j
+		rangeLen := t.u >> j
+		w0 := word[0]
+		k0 := xlo[w0>>1] >> shift
+		if w0&1 != 0 {
+			k0 = xhi[w0>>1] >> shift
+		}
+		first := base + k0
+		cur := sort.Search(len(t.gkey), func(g int) bool { return t.gkey[g] >= first })
+		for _, w := range word {
+			qi := w >> 1
+			lo, hi := xlo[qi], xhi[qi]
+			var k int64
+			if w&1 != 0 {
+				k = hi >> shift
+				if k == lo>>shift {
+					continue
+				}
+			} else {
+				k = lo >> shift
+			}
+			row := base + k
+			for cur < len(t.gkey) && t.gkey[cur] < row {
+				cur++
+			}
+			if cur == len(t.gkey) {
+				break
+			}
+			if t.gkey[cur] != row {
+				continue
+			}
+			start := k << shift
+			mid := start + rangeLen/2
+			end := start + rangeLen
+			neg := overlap(lo, hi+1, start, mid)
+			pos := overlap(lo, hi+1, mid, end)
+			bx := float64(pos-neg) / t.sqrtLen[j]
+			t.pushRangeRow(sc, coefs, qi, int(t.goff[cur]), int(t.goff[cur+1]), row*t.u, bx, ylo[qi], yhi[qi])
+		}
+	}
+}
+
+// BatchRanges answers n 2D range-sum queries at once: out[i] = RangeSum
+// of [xlos[i], xhis[i]] × [ylos[i], yhis[i]], bit for bit, with the
+// scalar path's per-axis clamp contract. All five slice lengths must
+// match. Steady-state calls are allocation-free.
+func (r *Representation2D) BatchRanges(xlos, xhis, ylos, yhis []int64, out []float64) {
+	n := len(xlos)
+	if len(xhis) != n || len(ylos) != n || len(yhis) != n || len(out) != n {
+		panic("wavelet: BatchRanges slice length mismatch")
+	}
+	if r.tree == nil {
+		for i := range xlos {
+			out[i] = r.RangeSum(xlos[i], xhis[i], ylos[i], yhis[i])
+		}
+		return
+	}
+	r.tree.batchRanges(r.Coefs, xlos, xhis, ylos, yhis, out)
+}
+
+func (t *errTree2D) batchRanges(coefs []Coef, xlos, xhis, ylos, yhis []int64, out []float64) {
+	n := len(xlos)
+	if n == 0 {
+		return
+	}
+	sc := batchScratchPool.Get().(*batchScratch)
+	qis := t.clampRangeQueries2D(sc, xlos, xhis, ylos, yhis, out)
+	sc.resetArena(n)
+	word := buildBoundaryWalkers(sc, qis, sc.klo, sc.khi, t.u <= 1<<31)
+	t.sweepRanges2D(sc, coefs, qis, word, sc.klo, sc.khi, sc.kylo, sc.kyhi)
+	sc.finishFlat(qis, out)
 	batchScratchPool.Put(sc)
 }

@@ -300,10 +300,16 @@ type errTree2D struct {
 	// batch executor's merge joins (see errTree.idxs).
 	idxs []int64
 
-	// Precomputed y-axis basis factors (see errTree): invSqrtU matches
+	// Precomputed basis factors (see errTree): invSqrtU matches
 	// ancestorPaths' 1/math.Sqrt(float64(u)); invSqrtLen[j] matches
-	// basisAtLevel's 1/math.Sqrt(float64(u>>j)), bit for bit.
+	// basisAtLevel's 1/math.Sqrt(float64(u>>j)), bit for bit. sqrtU and
+	// sqrtLen are the roots themselves for the range path's divisions —
+	// dividing by a cached correctly-rounded root gives the same bits as
+	// recomputing math.Sqrt per term (and is NOT the same as multiplying
+	// by the cached inverse, which rounds differently).
+	sqrtU      float64
 	invSqrtU   float64
+	sqrtLen    []float64
 	invSqrtLen []float64
 }
 
@@ -337,10 +343,13 @@ func newErrTree2D(u int64, coefs []Coef) *errTree2D {
 	for i, p := range t.ord {
 		t.idxs[i] = coefs[p].Index
 	}
-	t.invSqrtU = 1 / math.Sqrt(float64(t.u))
+	t.sqrtU = math.Sqrt(float64(t.u))
+	t.invSqrtU = 1 / t.sqrtU
+	t.sqrtLen = make([]float64, t.logu)
 	t.invSqrtLen = make([]float64, t.logu)
 	for j := uint(0); j < t.logu; j++ {
-		t.invSqrtLen[j] = 1 / math.Sqrt(float64(t.u>>j))
+		t.sqrtLen[j] = math.Sqrt(float64(t.u >> j))
+		t.invSqrtLen[j] = 1 / t.sqrtLen[j]
 	}
 	return t
 }
@@ -397,6 +406,110 @@ func (t *errTree2D) pointEstimate(coefs []Coef, x, y int64) float64 {
 				terms = append(terms, posTerm{p, coefs[p].Value * bv})
 				lo++
 			}
+		}
+	}
+	return sumByPos(terms)
+}
+
+// rangeFactor is Σ_{x=lo..hi} ψ over detail level j, dyadic position k —
+// basisRangeSum's arithmetic with the cached level root, so indexed and
+// scan range sums round identically.
+func (t *errTree2D) rangeFactor(j uint, k, lo, hi int64) float64 {
+	rangeLen := t.u >> j
+	start := k * rangeLen
+	mid := start + rangeLen/2
+	end := start + rangeLen
+	neg := overlap(lo, hi+1, start, mid)
+	pos := overlap(lo, hi+1, mid, end)
+	return float64(pos-neg) / t.sqrtLen[j]
+}
+
+// rangeCandidates fills the ≤ 2·log2(u)+1 error-tree candidates of a
+// clamped 1D range [lo, hi]: the average component plus, per detail
+// level, the cell containing lo and (when it differs) the cell containing
+// hi — every other cell's positive and negative ψ halves cancel exactly.
+// row[c] is the coefficient index, fac[c] the summed basis factor.
+// Returns the candidate count.
+func (t *errTree2D) rangeCandidates(lo, hi int64, row *[128]int64, fac *[128]float64) int {
+	row[0] = 0
+	fac[0] = float64(hi-lo+1) / t.sqrtU
+	n := 1
+	for j := uint(0); j < t.logu; j++ {
+		rangeLen := t.u >> j
+		kLo, kHi := lo/rangeLen, hi/rangeLen
+		row[n] = int64(1)<<j + kLo
+		fac[n] = t.rangeFactor(j, kLo, lo, hi)
+		n++
+		if kHi != kLo {
+			row[n] = int64(1)<<j + kHi
+			fac[n] = t.rangeFactor(j, kHi, lo, hi)
+			n++
+		}
+	}
+	return n
+}
+
+// append2DTarget appends the (possibly duplicated) coefficients whose
+// packed index equals target within row group [glo, ghi), each scaled by
+// the combined basis factor bv.
+func (t *errTree2D) append2DTarget(coefs []Coef, terms []posTerm, glo, ghi int, target int64, bv float64) []posTerm {
+	lo, hi := glo, ghi
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if t.idxs[mid] < target {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	for lo < ghi && t.idxs[lo] == target {
+		p := t.ord[lo]
+		terms = append(terms, posTerm{p, coefs[p].Value * bv})
+		lo++
+	}
+	return terms
+}
+
+// rangeSum evaluates Σ_{x=xlo..xhi, y=ylo..yhi} v̂(x, y) touching only the
+// tensor products of the two axes' boundary candidates — O(log²u · log k)
+// instead of the O(k) scan, bit-identical to it: per axis only the
+// average and boundary-straddling components have a non-zero summed
+// basis factor (interior cells cancel exactly, and a cell containing the
+// whole range is an ancestor of both bounds), and the factor arithmetic
+// matches basisRangeSum term for term. Bounds are clamped per axis; an
+// empty intersection returns 0.
+func (t *errTree2D) rangeSum(coefs []Coef, xlo, xhi, ylo, yhi int64) float64 {
+	if xlo < 0 {
+		xlo = 0
+	}
+	if xhi >= t.u {
+		xhi = t.u - 1
+	}
+	if ylo < 0 {
+		ylo = 0
+	}
+	if yhi >= t.u {
+		yhi = t.u - 1
+	}
+	if xlo > xhi || ylo > yhi {
+		return 0
+	}
+	var xrow, yrow [128]int64
+	var xfac, yfac [128]float64
+	nx := t.rangeCandidates(xlo, xhi, &xrow, &xfac)
+	ny := t.rangeCandidates(ylo, yhi, &yrow, &yfac)
+	var stack [288]posTerm
+	terms := stack[:0]
+	for a := 0; a < nx; a++ {
+		g := sort.Search(len(t.gkey), func(i int) bool { return t.gkey[i] >= xrow[a] })
+		if g == len(t.gkey) || t.gkey[g] != xrow[a] {
+			continue
+		}
+		glo, ghi := int(t.goff[g]), int(t.goff[g+1])
+		base := xrow[a] * t.u
+		bx := xfac[a]
+		for b := 0; b < ny; b++ {
+			terms = t.append2DTarget(coefs, terms, glo, ghi, base+yrow[b], bx*yfac[b])
 		}
 	}
 	return sumByPos(terms)

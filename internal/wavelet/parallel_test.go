@@ -1,0 +1,402 @@
+package wavelet
+
+import (
+	"math"
+	"testing"
+
+	"wavelethist/internal/zipf"
+)
+
+// randomRep2D builds a randomized 2D representation with duplicate and
+// exact-zero coefficients, mirroring randomRep.
+func randomRep2D(r *zipf.RNG, u int64, k int) *Representation2D {
+	coefs := make([]Coef, 0, k)
+	for i := 0; i < k; i++ {
+		idx := r.Int63n(u * u)
+		if i > 0 && r.Bernoulli(0.15) {
+			idx = coefs[r.Int63n(int64(len(coefs)))].Index
+		}
+		v := (r.Float64() - 0.5) * 1000
+		if r.Bernoulli(0.05) {
+			v = 0
+		}
+		coefs = append(coefs, Coef{Index: idx, Value: v})
+	}
+	return NewRepresentation2D(u, coefs)
+}
+
+// workerGrid is the worker counts every parallel equivalence property
+// runs at: serial, small fan-outs that leave segment boundaries inside
+// duplicate runs, and more workers than most batches have queries.
+var workerGrid = []int{1, 2, 3, 8}
+
+// TestBatchPointsParallelMatchesScalar is the parallel half of the
+// tentpole equivalence property: for every worker count, a batch of
+// duplicated / unsorted / partly out-of-domain keys must answer
+// bit-identically to both the serial vectorized walk and the scalar
+// oracle.
+func TestBatchPointsParallelMatchesScalar(t *testing.T) {
+	r := zipf.NewRNG(31)
+	for _, u := range []int64{1, 4, 64, 1 << 12, 1 << 20} {
+		for _, k := range []int{0, 1, 64, 1024} {
+			rep := randomRep(r, u, k)
+			for _, n := range []int{0, 1, 5, 129, 1024} {
+				xs := make([]int64, 0, n)
+				for len(xs) < n {
+					switch {
+					case r.Bernoulli(0.1):
+						xs = append(xs, r.Int63n(3*u)-u)
+					case len(xs) > 0 && r.Bernoulli(0.2):
+						xs = append(xs, xs[r.Int63n(int64(len(xs)))])
+					default:
+						xs = append(xs, r.Int63n(u))
+					}
+				}
+				serial := make([]float64, n)
+				rep.BatchPoints(xs, serial)
+				out := make([]float64, n)
+				for _, w := range workerGrid {
+					rep.BatchPointsParallel(xs, out, w)
+					for i := range xs {
+						if !bitEq(out[i], serial[i]) {
+							t.Fatalf("u=%d k=%d n=%d w=%d: parallel[%d] = %x, serial %x",
+								u, k, n, w, i, math.Float64bits(out[i]), math.Float64bits(serial[i]))
+						}
+						if want := rep.PointEstimate(xs[i]); !bitEq(out[i], want) {
+							t.Fatalf("u=%d k=%d n=%d w=%d: parallel[%d] = %x, scalar %x",
+								u, k, n, w, i, math.Float64bits(out[i]), math.Float64bits(want))
+						}
+					}
+				}
+				rep.BatchPointsParallel(xs, out, 0) // automatic worker policy
+				for i := range xs {
+					if !bitEq(out[i], serial[i]) {
+						t.Fatalf("u=%d k=%d n=%d auto: parallel[%d] = %x, serial %x",
+							u, k, n, i, math.Float64bits(out[i]), math.Float64bits(serial[i]))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBatchRangesParallelMatchesScalar covers per-query segmentation of
+// the two-walker range sweep: both walkers of a query must travel
+// together, for every worker count, under clamped / inverted / empty
+// bounds.
+func TestBatchRangesParallelMatchesScalar(t *testing.T) {
+	r := zipf.NewRNG(32)
+	for _, u := range []int64{1, 2, 64, 1 << 12, 1 << 20} {
+		for _, k := range []int{0, 1, 64, 512} {
+			rep := randomRep(r, u, k)
+			n := 300
+			los := make([]int64, n)
+			his := make([]int64, n)
+			for i := 0; i < n; i++ {
+				switch {
+				case i < 8:
+					edge := [][2]int64{
+						{0, u - 1}, {0, 0}, {u - 1, u - 1}, {5, 2},
+						{-100, u + 50}, {-10, -5}, {u, u + 100},
+						{math.MinInt64, math.MaxInt64},
+					}[i]
+					los[i], his[i] = edge[0], edge[1]
+				case r.Bernoulli(0.3):
+					lo := r.Int63n(u)
+					los[i], his[i] = lo, lo+r.Int63n(4)
+				default:
+					los[i] = r.Int63n(3*u) - u
+					his[i] = r.Int63n(3*u) - u
+				}
+			}
+			serial := make([]float64, n)
+			rep.BatchRanges(los, his, serial)
+			out := make([]float64, n)
+			for _, w := range workerGrid {
+				rep.BatchRangesParallel(los, his, out, w)
+				for i := range los {
+					if !bitEq(out[i], serial[i]) {
+						t.Fatalf("u=%d k=%d w=%d: parallel[%d] (%d,%d) = %x, serial %x",
+							u, k, w, i, los[i], his[i], math.Float64bits(out[i]), math.Float64bits(serial[i]))
+					}
+					if want := rep.RangeSum(los[i], his[i]); !bitEq(out[i], want) {
+						t.Fatalf("u=%d k=%d w=%d: parallel[%d] (%d,%d) = %x, scalar %x",
+							u, k, w, i, los[i], his[i], math.Float64bits(out[i]), math.Float64bits(want))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBatch2DRangeSumMatchesScan pins the new scalar 2D range engine:
+// the tensor-candidate walk must reproduce the O(k) scan bit for bit,
+// including clamped, inverted, single-cell, and full-grid rectangles.
+func TestBatch2DRangeSumMatchesScan(t *testing.T) {
+	r := zipf.NewRNG(33)
+	for _, u := range []int64{1, 2, 16, 256, 1 << 10} {
+		for _, k := range []int{0, 1, 40, 300} {
+			rep := randomRep2D(r, u, k)
+			type rect struct{ xlo, xhi, ylo, yhi int64 }
+			cases := []rect{
+				{0, u - 1, 0, u - 1},
+				{0, 0, 0, 0},
+				{u - 1, u - 1, u - 1, u - 1},
+				{5, 2, 0, u - 1}, // empty x
+				{0, u - 1, 7, 3}, // empty y
+				{-100, u + 50, -100, u + 50},
+				{u, u + 10, 0, u - 1},
+				{math.MinInt64, math.MaxInt64, math.MinInt64, math.MaxInt64},
+			}
+			for i := 0; i < 200; i++ {
+				cases = append(cases, rect{
+					r.Int63n(3*u) - u, r.Int63n(3*u) - u,
+					r.Int63n(3*u) - u, r.Int63n(3*u) - u,
+				})
+			}
+			for _, c := range cases {
+				got := rep.RangeSum(c.xlo, c.xhi, c.ylo, c.yhi)
+				want := rep.ScanRangeSum(c.xlo, c.xhi, c.ylo, c.yhi)
+				if !bitEq(got, want) {
+					t.Fatalf("u=%d k=%d RangeSum(%d,%d,%d,%d) = %x, scan %x",
+						u, k, c.xlo, c.xhi, c.ylo, c.yhi, math.Float64bits(got), math.Float64bits(want))
+				}
+			}
+		}
+	}
+}
+
+// TestBatch2DRangesMatchesScalar covers the vectorized 2D range sweep
+// (x-axis walkers over the row table, y candidates per matched row) and
+// its parallel fan-out against the scalar engine.
+func TestBatch2DRangesMatchesScalar(t *testing.T) {
+	r := zipf.NewRNG(34)
+	for _, u := range []int64{1, 2, 16, 256, 1 << 10} {
+		for _, k := range []int{0, 1, 40, 300} {
+			rep := randomRep2D(r, u, k)
+			n := 180
+			xlos := make([]int64, n)
+			xhis := make([]int64, n)
+			ylos := make([]int64, n)
+			yhis := make([]int64, n)
+			for i := 0; i < n; i++ {
+				xlos[i] = r.Int63n(3*u) - u
+				xhis[i] = r.Int63n(3*u) - u
+				ylos[i] = r.Int63n(3*u) - u
+				yhis[i] = r.Int63n(3*u) - u
+				if r.Bernoulli(0.25) { // narrow rectangles inside one cell pair
+					xlos[i] = r.Int63n(u)
+					xhis[i] = xlos[i] + r.Int63n(3)
+					ylos[i] = r.Int63n(u)
+					yhis[i] = ylos[i] + r.Int63n(3)
+				}
+			}
+			out := make([]float64, n)
+			rep.BatchRanges(xlos, xhis, ylos, yhis, out)
+			for i := range xlos {
+				if want := rep.RangeSum(xlos[i], xhis[i], ylos[i], yhis[i]); !bitEq(out[i], want) {
+					t.Fatalf("u=%d k=%d: BatchRanges[%d] = %x, scalar %x",
+						u, k, i, math.Float64bits(out[i]), math.Float64bits(want))
+				}
+			}
+			par := make([]float64, n)
+			for _, w := range workerGrid {
+				rep.BatchRangesParallel(xlos, xhis, ylos, yhis, par, w)
+				for i := range xlos {
+					if !bitEq(par[i], out[i]) {
+						t.Fatalf("u=%d k=%d w=%d: parallel 2D BatchRanges[%d] = %x, serial %x",
+							u, k, w, i, math.Float64bits(par[i]), math.Float64bits(out[i]))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBatchPoints2DParallelMatchesSerial covers segment boundaries that
+// split shared-x runs: every worker count must reproduce the serial 2D
+// point sweep bit for bit.
+func TestBatchPoints2DParallelMatchesSerial(t *testing.T) {
+	r := zipf.NewRNG(35)
+	for _, u := range []int64{1, 16, 256, 1 << 10} {
+		rep := randomRep2D(r, u, 200)
+		n := 500
+		xs := make([]int64, n)
+		ys := make([]int64, n)
+		for i := 0; i < n; i++ {
+			xs[i] = r.Int63n(3*u) - u
+			ys[i] = r.Int63n(3*u) - u
+			if i > 0 && r.Bernoulli(0.4) {
+				xs[i] = xs[r.Int63n(int64(i))] // long shared-x runs
+			}
+		}
+		serial := make([]float64, n)
+		rep.BatchPoints(xs, ys, serial)
+		out := make([]float64, n)
+		for _, w := range workerGrid {
+			rep.BatchPointsParallel(xs, ys, out, w)
+			for i := range xs {
+				if !bitEq(out[i], serial[i]) {
+					t.Fatalf("u=%d w=%d: parallel 2D BatchPoints[%d] = %x, serial %x",
+						u, w, i, math.Float64bits(out[i]), math.Float64bits(serial[i]))
+				}
+			}
+		}
+	}
+}
+
+// TestBatchPointsLinkedArenaMatches pins the benchmark baseline: the
+// retained linked-list finisher must still agree with the flat arena.
+func TestBatchPointsLinkedArenaMatches(t *testing.T) {
+	r := zipf.NewRNG(36)
+	for _, u := range []int64{1, 64, 1 << 16} {
+		rep := randomRep(r, u, 512)
+		n := 300
+		xs := make([]int64, n)
+		for i := range xs {
+			xs[i] = r.Int63n(3*u) - u
+		}
+		flat := make([]float64, n)
+		linked := make([]float64, n)
+		rep.BatchPoints(xs, flat)
+		rep.BatchPointsLinkedArena(xs, linked)
+		for i := range xs {
+			if !bitEq(flat[i], linked[i]) {
+				t.Fatalf("u=%d: linked arena [%d] = %x, flat %x",
+					u, i, math.Float64bits(linked[i]), math.Float64bits(flat[i]))
+			}
+		}
+	}
+}
+
+// TestBatch2DAllocationFree extends the steady-state pool property to
+// the new 2D range executor.
+func TestBatch2DAllocationFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation makes sync.Pool allocate")
+	}
+	r := zipf.NewRNG(37)
+	const u = 1 << 10
+	rep := randomRep2D(r, u, 512)
+	n := 256
+	xlos := make([]int64, n)
+	xhis := make([]int64, n)
+	ylos := make([]int64, n)
+	yhis := make([]int64, n)
+	for i := 0; i < n; i++ {
+		xlos[i] = r.Int63n(u)
+		xhis[i] = xlos[i] + r.Int63n(u/4)
+		ylos[i] = r.Int63n(u)
+		yhis[i] = ylos[i] + r.Int63n(u/4)
+	}
+	out := make([]float64, n)
+	rep.BatchRanges(xlos, xhis, ylos, yhis, out) // warm the pool
+	if a := testing.AllocsPerRun(100, func() { rep.BatchRanges(xlos, xhis, ylos, yhis, out) }); a != 0 {
+		t.Errorf("2D BatchRanges allocates %v per call, want 0", a)
+	}
+}
+
+// FuzzBatchPointsParallel fuzzes key bytes and the worker count together:
+// any fan-out must agree bit for bit with the scalar oracle.
+func FuzzBatchPointsParallel(f *testing.F) {
+	const u = 1 << 16
+	r := zipf.NewRNG(38)
+	rep := randomRep(r, u, 512)
+	f.Add(uint8(2), []byte{0, 0, 0, 0, 0, 0, 0, 1})
+	f.Add(uint8(7), []byte{255, 255, 255, 255, 255, 255, 255, 255, 0, 0, 0, 0, 0, 0, 255, 255})
+	f.Add(uint8(0), []byte{1, 2, 3, 4, 5, 6, 7, 8, 1, 2, 3, 4, 5, 6, 7, 8})
+	f.Fuzz(func(t *testing.T, wb uint8, data []byte) {
+		n := len(data) / 8
+		if n > 1024 {
+			n = 1024
+		}
+		xs := make([]int64, n)
+		for i := 0; i < n; i++ {
+			var v uint64
+			for b := 0; b < 8; b++ {
+				v = v<<8 | uint64(data[i*8+b])
+			}
+			xs[i] = int64(v)
+			if i%3 == 0 {
+				xs[i] = int64(v % (3 * u))
+			}
+		}
+		out := make([]float64, n)
+		rep.BatchPointsParallel(xs, out, int(wb%9))
+		for i, x := range xs {
+			if want := rep.PointEstimate(x); !bitEq(out[i], want) {
+				t.Fatalf("w=%d BatchPointsParallel[%d] key %d = %x, scalar %x", wb%9, i, x,
+					math.Float64bits(out[i]), math.Float64bits(want))
+			}
+		}
+	})
+}
+
+// FuzzBatch2DRanges fuzzes rectangle bounds through the 2D batch
+// executor against the scalar engine (itself pinned to the scan).
+func FuzzBatch2DRanges(f *testing.F) {
+	const u = 1 << 8
+	r := zipf.NewRNG(39)
+	rep := randomRep2D(r, u, 256)
+	f.Add([]byte{0, 1, 0, 200, 3, 3, 9, 9})
+	f.Add([]byte{255, 255, 0, 0, 128, 7, 7, 128, 1, 2, 3, 4, 5, 6, 7, 8})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n := len(data) / 8
+		if n > 512 {
+			n = 512
+		}
+		xlos := make([]int64, n)
+		xhis := make([]int64, n)
+		ylos := make([]int64, n)
+		yhis := make([]int64, n)
+		for i := 0; i < n; i++ {
+			b := data[i*8 : i*8+8]
+			xlos[i] = int64(uint64(b[0])<<8|uint64(b[1]))%(3*u) - u
+			xhis[i] = int64(uint64(b[2])<<8|uint64(b[3]))%(3*u) - u
+			ylos[i] = int64(uint64(b[4])<<8|uint64(b[5]))%(3*u) - u
+			yhis[i] = int64(uint64(b[6])<<8|uint64(b[7]))%(3*u) - u
+		}
+		out := make([]float64, n)
+		rep.BatchRanges(xlos, xhis, ylos, yhis, out)
+		for i := range xlos {
+			if want := rep.RangeSum(xlos[i], xhis[i], ylos[i], yhis[i]); !bitEq(out[i], want) {
+				t.Fatalf("BatchRanges[%d] = %x, scalar %x", i,
+					math.Float64bits(out[i]), math.Float64bits(want))
+			}
+		}
+	})
+}
+
+func BenchmarkBatchPointsParallel(b *testing.B) {
+	rep := benchRep(b, 1<<20, 2048)
+	r := zipf.NewRNG(40)
+	n := 4096
+	xs := make([]int64, n)
+	for i := range xs {
+		xs[i] = r.Int63n(1 << 20)
+	}
+	out := make([]float64, n)
+	rep.BatchPointsParallel(xs, out, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep.BatchPointsParallel(xs, out, 0)
+	}
+}
+
+func BenchmarkBatchPointsLinkedArena(b *testing.B) {
+	rep := benchRep(b, 1<<20, 2048)
+	r := zipf.NewRNG(41)
+	n := 4096
+	xs := make([]int64, n)
+	for i := range xs {
+		xs[i] = r.Int63n(1 << 20)
+	}
+	out := make([]float64, n)
+	rep.BatchPointsLinkedArena(xs, out)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep.BatchPointsLinkedArena(xs, out)
+	}
+}

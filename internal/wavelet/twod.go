@@ -201,6 +201,44 @@ func (r *Representation2D) ScanPointEstimate(x, y int64) float64 {
 	return s
 }
 
+// RangeSum returns Σ_{x=xlo..xhi, y=ylo..yhi} v̂(x, y), evaluating only
+// the tensor products of the two axes' boundary candidates via the index
+// — O(log²u) instead of O(k), bit-identical to ScanRangeSum. Bounds are
+// clamped to the grid per axis; an empty intersection returns 0.
+func (r *Representation2D) RangeSum(xlo, xhi, ylo, yhi int64) float64 {
+	if r.tree == nil {
+		return r.ScanRangeSum(xlo, xhi, ylo, yhi)
+	}
+	return r.tree.rangeSum(r.Coefs, xlo, xhi, ylo, yhi)
+}
+
+// ScanRangeSum is the O(k) linear-scan reference evaluation of RangeSum,
+// with the same per-axis clamp contract: Σ_c w_c · (Σψ_i over the x
+// range) · (Σψ_j over the y range).
+func (r *Representation2D) ScanRangeSum(xlo, xhi, ylo, yhi int64) float64 {
+	if xlo < 0 {
+		xlo = 0
+	}
+	if xhi >= r.U {
+		xhi = r.U - 1
+	}
+	if ylo < 0 {
+		ylo = 0
+	}
+	if yhi >= r.U {
+		yhi = r.U - 1
+	}
+	if xlo > xhi || ylo > yhi {
+		return 0
+	}
+	var s float64
+	for _, c := range r.Coefs {
+		i, j := SplitKey2D(c.Index, r.U)
+		s += c.Value * (basisRangeSum(i, xlo, xhi, r.U) * basisRangeSum(j, ylo, yhi, r.U))
+	}
+	return s
+}
+
 // Reconstruct materializes the dense u×u estimate. O(k·u²) worst case;
 // intended for the small domains of tests and examples.
 func (r *Representation2D) Reconstruct() [][]float64 {

@@ -1,0 +1,227 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestBatchParallelDispatchMatchesScalar pins the parallel dispatch
+// contract: once a gathered op class reaches parBatchMin, Entry.batch
+// fans it across the parallel segment executors, and every result is
+// still bit-identical to the scalar reference loop at every worker
+// count (including 0 = automatic).
+func TestBatchParallelDispatchMatchesScalar(t *testing.T) {
+	r := NewRegistry()
+	h := buildHist(t, 150000, 1<<13, 192, 23)
+	e, err := r.Publish("zipf", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dom := h.Domain()
+	rng := rand.New(rand.NewSource(23))
+	n := 2*parBatchMin + 37 // both classes clear the parallel threshold
+	queries := make([]BatchQuery, n)
+	for i := range queries {
+		switch i % 3 {
+		case 0:
+			queries[i] = BatchQuery{Op: "point", Key: rng.Int63n(2*dom) - dom/2}
+		case 1:
+			lo := rng.Int63n(dom)
+			queries[i] = BatchQuery{Op: "range", Lo: lo, Hi: lo + rng.Int63n(2000)}
+		default:
+			queries[i] = BatchQuery{Op: "point", Key: int64(i % 7)} // duplicates
+		}
+	}
+	want := make([]BatchResult, n)
+	e.batchScalar(queries, want)
+	for _, workers := range []int{0, 1, 2, 3, 8} {
+		got := make([]BatchResult, n)
+		e.batch(queries, got, batchTuning{vecMin: vecBatchMin, workers: workers})
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d query %d (%+v): got %+v, want %+v",
+					workers, i, queries[i], got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestBatchParallelDispatch2D is the 2D analogue over cells and
+// rectangles at the parallel batch size.
+func TestBatchParallelDispatch2D(t *testing.T) {
+	r := NewRegistry()
+	h := buildHist2D(t, 128, 256, 29)
+	e, err := r.Publish2D("grid", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := h.Side()
+	rng := rand.New(rand.NewSource(29))
+	n := 2*parBatchMin + 11
+	queries := make([]BatchQuery, n)
+	for i := range queries {
+		if i%2 == 0 {
+			queries[i] = BatchQuery{Op: "point", X: rng.Int63n(s), Y: rng.Int63n(s)}
+		} else {
+			queries[i] = BatchQuery{
+				Op:  "range",
+				XLo: rng.Int63n(2*s) - s/2, XHi: rng.Int63n(2*s) - s/2,
+				YLo: rng.Int63n(s), YHi: rng.Int63n(2 * s),
+			}
+		}
+	}
+	want := make([]BatchResult, n)
+	e.batchScalar(queries, want)
+	for _, workers := range []int{0, 2, 5} {
+		got := make([]BatchResult, n)
+		e.batch(queries, got, batchTuning{vecMin: vecBatchMin, workers: workers})
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d query %d (%+v): got %+v, want %+v",
+					workers, i, queries[i], got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestBatchTuningKnobs: Config.VecBatchMin resolves 0 to the default,
+// keeps positive overrides, and a negative value pins every batch to
+// the scalar loop (bit-identical results, by the executor contract).
+func TestBatchTuningKnobs(t *testing.T) {
+	if got := (Config{}).withDefaults().VecBatchMin; got != vecBatchMin {
+		t.Fatalf("default VecBatchMin = %d, want %d", got, vecBatchMin)
+	}
+	if got := (Config{VecBatchMin: 64}).withDefaults().VecBatchMin; got != 64 {
+		t.Fatalf("explicit VecBatchMin = %d, want 64", got)
+	}
+	if tn := (Config{VecBatchMin: -7}.withDefaults()).tuning(); tn.vecMin != -1 {
+		t.Fatalf("negative VecBatchMin resolved to %d, want -1", tn.vecMin)
+	}
+	if tn := (Config{BatchWorkers: 4}.withDefaults()).tuning(); tn.workers != 4 {
+		t.Fatalf("BatchWorkers resolved to %d, want 4", tn.workers)
+	}
+
+	// Scalar-only tuning still answers a large batch correctly.
+	r := NewRegistry()
+	h := buildHist(t, 40000, 1<<10, 64, 31)
+	e, err := r.Publish("h", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := make([]BatchQuery, 200)
+	for i := range queries {
+		queries[i] = BatchQuery{Op: "point", Key: int64(i % int(h.Domain()))}
+	}
+	want := make([]BatchResult, len(queries))
+	e.batchScalar(queries, want)
+	got := make([]BatchResult, len(queries))
+	e.batch(queries, got, batchTuning{vecMin: -1})
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("scalar-only query %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestRange2DEndpoint: GET /v1/hist/{name}/range on a 2D entry takes
+// xlo/xhi/ylo/yhi, echoes them, and returns RangeCount; missing
+// parameters and 1D-style lo/hi are a 400.
+func TestRange2DEndpoint(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	h := buildHist2D(t, 64, 128, 37)
+	e, err := s.Registry().Publish2D("grid", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rg := getJSON(t, ts.URL+"/v1/hist/grid/range?xlo=3&xhi=40&ylo=0&yhi=63", http.StatusOK)
+	if rg["xlo"].(float64) != 3 || rg["xhi"].(float64) != 40 ||
+		rg["ylo"].(float64) != 0 || rg["yhi"].(float64) != 63 {
+		t.Fatalf("2D range response: %v", rg)
+	}
+	if uint64(rg["version"].(float64)) != e.Version {
+		t.Fatalf("version %v, want %d", rg["version"], e.Version)
+	}
+	if rg["estimate"].(float64) != h.RangeCount(3, 40, 0, 63) {
+		t.Fatalf("estimate %v, want %v", rg["estimate"], h.RangeCount(3, 40, 0, 63))
+	}
+	getJSON(t, ts.URL+"/v1/hist/grid/range?lo=1&hi=5", http.StatusBadRequest)
+	getJSON(t, ts.URL+"/v1/hist/grid/range?xlo=1&xhi=5&ylo=2", http.StatusBadRequest)
+}
+
+// TestSlowLogCoalescedField: slow batch records carry the router's
+// coalesced count — present when the X-Wavehist-Coalesced header marked
+// the batch as merged, omitted from the JSON otherwise.
+func TestSlowLogCoalescedField(t *testing.T) {
+	dir := t.TempDir()
+	s, ts := newTestServer(t, Config{
+		SlowQueryThreshold: time.Nanosecond, // everything is slow
+		SlowQueryDir:       dir,
+	})
+	h := buildHist(t, 20000, 1<<10, 30, 41)
+	if _, err := s.Registry().Publish("p", h); err != nil {
+		t.Fatal(err)
+	}
+	var queries []string
+	for i := 0; i < 20; i++ {
+		queries = append(queries, fmt.Sprintf(`{"op":"point","key":%d}`, i))
+	}
+	body := `{"queries":[` + strings.Join(queries, ",") + `]}`
+	post := func(coalesced string) {
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/hist/p/query", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if coalesced != "" {
+			req.Header.Set("X-Wavehist-Coalesced", coalesced)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("batch POST = %d", resp.StatusCode)
+		}
+	}
+	post("")
+	post("17")
+	s.Close() // flush and close the sink
+
+	f, err := os.Open(filepath.Join(dir, "slow-queries.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var recs []map[string]any
+	scan := bufio.NewScanner(f)
+	for scan.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(scan.Bytes(), &m); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", scan.Text(), err)
+		}
+		if m["op"] == "batch" {
+			recs = append(recs, m)
+		}
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d batch records, want 2", len(recs))
+	}
+	if _, present := recs[0]["coalesced"]; present {
+		t.Fatalf("direct batch record has coalesced field: %v", recs[0])
+	}
+	if recs[1]["coalesced"].(float64) != 17 {
+		t.Fatalf("coalesced batch record: %v", recs[1])
+	}
+	if recs[0]["batch"].(float64) != 20 || recs[1]["batch"].(float64) != 20 {
+		t.Fatalf("batch sizes: %v / %v", recs[0], recs[1])
+	}
+}

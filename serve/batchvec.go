@@ -9,28 +9,41 @@ import (
 // stops answering sub-queries one scalar walk at a time and instead
 // gathers each op class into key arrays, hands them to the wavelet
 // layer's shared-walk executors (Histogram.BatchPoints / BatchRanges /
-// Histogram2D.BatchPoints), and scatters the answers back in request
-// order. Results are bit-identical to the scalar loop — the executors
-// guarantee bitwise equality with PointEstimate / RangeCount, and
-// malformed queries are validated (with the scalar path's exact error
-// strings) before anything reaches an executor. Scratch lives in a pool
-// so the steady state stays allocation-free on the handler's reused
-// slices.
+// Histogram2D.BatchPoints / BatchRanges), and scatters the answers back
+// in request order. Results are bit-identical to the scalar loop — the
+// executors guarantee bitwise equality with PointEstimate / RangeCount,
+// and malformed queries are validated (with the scalar path's exact
+// error strings) before anything reaches an executor. Scratch lives in
+// a pool so the steady state stays allocation-free on the handler's
+// reused slices. Classes that gather parBatchMin or more queries
+// additionally fan across the wavelet layer's parallel segment
+// executors (bit-identical by construction).
 
-// vecBatchMin is the dispatch threshold: below it, per-query sort and
-// sweep setup costs more than the scalar walks it saves.
+// vecBatchMin is the default dispatch threshold: below it, per-query
+// sort and sweep setup costs more than the scalar walks it saves.
+// Config.VecBatchMin overrides it per server.
 const vecBatchMin = 16
 
+// parBatchMin is the per-class size at which the vectorized executors
+// fan out across the parallel worker pool: below it, goroutine
+// scheduling costs more than the sweep it splits.
+const parBatchMin = 1024
+
 type vecScratch struct {
-	keys []int64 // 1D point keys
-	kidx []int32 // their positions in the request
-	rlo  []int64 // range bounds
-	rhi  []int64
-	ridx []int32
-	x2   []int64 // 2D cell coordinates
-	y2   []int64
-	gidx []int32
-	out  []float64
+	keys  []int64 // 1D point keys
+	kidx  []int32 // their positions in the request
+	rlo   []int64 // 1D range bounds
+	rhi   []int64
+	ridx  []int32
+	x2    []int64 // 2D cell coordinates
+	y2    []int64
+	gidx  []int32
+	rx2lo []int64 // 2D rectangle bounds
+	rx2hi []int64
+	ry2lo []int64
+	ry2hi []int64
+	r2idx []int32
+	out   []float64
 }
 
 var vecScratchPool = sync.Pool{New: func() any { return new(vecScratch) }}
@@ -46,12 +59,15 @@ func (sc *vecScratch) ensureOut(n int) []float64 {
 // batchVectorized is Batch's body for large batches. Phase 1 validates
 // every query — reusing the scalar helpers so error strings match bit
 // for bit — and gathers the valid ones per op class; phase 2 runs one
-// shared-walk executor per class and scatters results.
-func (e *Entry) batchVectorized(queries []BatchQuery, results []BatchResult) {
+// shared-walk executor per class (parallel once the class reaches
+// parBatchMin, unless workers pins it to 1) and scatters results.
+func (e *Entry) batchVectorized(queries []BatchQuery, results []BatchResult, workers int) {
 	sc := vecScratchPool.Get().(*vecScratch)
 	keys, kidx := sc.keys[:0], sc.kidx[:0]
 	rlo, rhi, ridx := sc.rlo[:0], sc.rhi[:0], sc.ridx[:0]
 	x2, y2, gidx := sc.x2[:0], sc.y2[:0], sc.gidx[:0]
+	rx2lo, rx2hi := sc.rx2lo[:0], sc.rx2hi[:0]
+	ry2lo, ry2hi, r2idx := sc.ry2lo[:0], sc.ry2hi[:0], sc.r2idx[:0]
 	is2D := e.Is2D()
 	for i := range queries {
 		q := &queries[i]
@@ -77,43 +93,74 @@ func (e *Entry) batchVectorized(queries []BatchQuery, results []BatchResult) {
 				kidx = append(kidx, int32(i))
 			}
 		case "range":
-			if is2D {
-				_, err := e.batchRange(q.Lo, q.Hi)
-				results[i] = BatchResult{Error: err.Error()}
-				continue
-			}
 			// Ranges are never rejected (the clamp contract); all go to
-			// the executor.
-			rlo = append(rlo, q.Lo)
-			rhi = append(rhi, q.Hi)
-			ridx = append(ridx, int32(i))
+			// the executor of the entry's dimensionality.
+			if is2D {
+				rx2lo = append(rx2lo, q.XLo)
+				rx2hi = append(rx2hi, q.XHi)
+				ry2lo = append(ry2lo, q.YLo)
+				ry2hi = append(ry2hi, q.YHi)
+				r2idx = append(r2idx, int32(i))
+			} else {
+				rlo = append(rlo, q.Lo)
+				rhi = append(rhi, q.Hi)
+				ridx = append(ridx, int32(i))
+			}
 		default:
 			results[i] = BatchResult{Error: fmt.Sprintf("unknown op %q (want point or range)", q.Op)}
 		}
 	}
+	// parallelOK gates each class on size: the segment executors are
+	// bit-identical at any worker count, so this is purely a cost call.
+	parallelOK := func(n int) bool { return workers != 1 && n >= parBatchMin }
 	if len(keys) > 0 {
 		out := sc.ensureOut(len(keys))
-		e.H.BatchPoints(keys, out)
+		if parallelOK(len(keys)) {
+			e.H.BatchPointsParallel(keys, out, workers)
+		} else {
+			e.H.BatchPoints(keys, out)
+		}
 		for m, i := range kidx {
 			results[i] = BatchResult{Estimate: out[m]}
 		}
 	}
 	if len(rlo) > 0 {
 		out := sc.ensureOut(len(rlo))
-		e.H.BatchRanges(rlo, rhi, out)
+		if parallelOK(len(rlo)) {
+			e.H.BatchRangesParallel(rlo, rhi, out, workers)
+		} else {
+			e.H.BatchRanges(rlo, rhi, out)
+		}
 		for m, i := range ridx {
 			results[i] = BatchResult{Estimate: out[m]}
 		}
 	}
 	if len(x2) > 0 {
 		out := sc.ensureOut(len(x2))
-		e.H2D.BatchPoints(x2, y2, out)
+		if parallelOK(len(x2)) {
+			e.H2D.BatchPointsParallel(x2, y2, out, workers)
+		} else {
+			e.H2D.BatchPoints(x2, y2, out)
+		}
 		for m, i := range gidx {
+			results[i] = BatchResult{Estimate: out[m]}
+		}
+	}
+	if len(rx2lo) > 0 {
+		out := sc.ensureOut(len(rx2lo))
+		if parallelOK(len(rx2lo)) {
+			e.H2D.BatchRangesParallel(rx2lo, rx2hi, ry2lo, ry2hi, out, workers)
+		} else {
+			e.H2D.BatchRanges(rx2lo, rx2hi, ry2lo, ry2hi, out)
+		}
+		for m, i := range r2idx {
 			results[i] = BatchResult{Estimate: out[m]}
 		}
 	}
 	sc.keys, sc.kidx = keys, kidx
 	sc.rlo, sc.rhi, sc.ridx = rlo, rhi, ridx
 	sc.x2, sc.y2, sc.gidx = x2, y2, gidx
+	sc.rx2lo, sc.rx2hi = rx2lo, rx2hi
+	sc.ry2lo, sc.ry2hi, sc.r2idx = ry2lo, ry2hi, r2idx
 	vecScratchPool.Put(sc)
 }

@@ -105,8 +105,9 @@ func TestBatchVectorizedMatchesScalar(t *testing.T) {
 }
 
 // TestBatchVectorizedMatchesScalar2D is the 2D analogue: cell batches
-// with shared-x runs, duplicates, off-grid cells, and the op-mismatch
-// errors (range against a 2D entry).
+// with shared-x runs, duplicates, off-grid cells, and rectangle ranges
+// (including inverted and off-grid bounds, which clamp rather than
+// error).
 func TestBatchVectorizedMatchesScalar2D(t *testing.T) {
 	r := NewRegistry()
 	h := buildHist2D(t, 64, 128, 13)
@@ -125,8 +126,12 @@ func TestBatchVectorizedMatchesScalar2D(t *testing.T) {
 			queries[i] = BatchQuery{Op: "point", X: 7, Y: int64(i % 5)}
 		case 2: // off-grid
 			queries[i] = BatchQuery{Op: "point", X: rng.Int63n(2*s) - s/2, Y: rng.Int63n(2*s) - s/2}
-		default: // ranges are 1D-only — must error identically
-			queries[i] = BatchQuery{Op: "range", Lo: 0, Hi: int64(i)}
+		default: // rectangles, incl. inverted / clamped bounds
+			queries[i] = BatchQuery{
+				Op:  "range",
+				XLo: rng.Int63n(2*s) - s/2, XHi: rng.Int63n(2*s) - s/2,
+				YLo: int64(5 - i%9), YHi: rng.Int63n(s),
+			}
 		}
 	}
 	requireBatchEq(t, e, queries)

@@ -7,38 +7,44 @@ import (
 )
 
 // Allocation-free JSON encoding for the single-query endpoints (point,
-// range, 2D point). These are the latency-sensitive hot path a query
-// optimizer hits per plan candidate; going through encoding/json +
-// map[string]any cost ~20 allocations per request. Instead the response
-// is appended into a pooled byte buffer with strconv primitives — the
-// same recycled-buffer discipline the batch endpoint already uses — so
-// the steady state allocates nothing.
+// range, 2D point and rectangle). These are the latency-sensitive hot
+// path a query optimizer hits per plan candidate; going through
+// encoding/json + map[string]any cost ~20 allocations per request.
+// Instead the response is appended into a pooled byte buffer with
+// strconv primitives — the same recycled-buffer discipline the batch
+// endpoint already uses — so the steady state allocates nothing.
 
 // estBufPool recycles response buffers across requests. 256 bytes covers
-// every single-estimate response (name <= 128 bytes plus four numbers).
+// every single-estimate response (name <= 128 bytes plus six numbers).
 var estBufPool = sync.Pool{New: func() any {
 	b := make([]byte, 0, 256)
 	return &b
 }}
 
-// appendEstimate builds {"name":…,"version":…,<n1>:<v1>[,<n2>:<v2>],
-// "estimate":…}. Field names are compile-time literals and histogram
-// names are ValidName-constrained (no characters needing JSON escaping),
-// so plain quoting is exact. n2 == "" omits the second field.
-func appendEstimate(b []byte, name string, version uint64, est float64, n1 string, v1 int64, n2 string, v2 int64) []byte {
+// EstimateField is one echoed query parameter in a single-estimate
+// response (see AppendEstimate).
+type EstimateField struct {
+	Name  string
+	Value int64
+}
+
+// AppendEstimate builds {"name":…,"version":…,<f1>,…,<fn>,"estimate":…}
+// — the exact bytes the single-query endpoints serve. It is exported so
+// the router's coalescer can render byte-identical responses from batch
+// results. Field names are compile-time literals and histogram names
+// are ValidName-constrained (no characters needing JSON escaping), so
+// plain quoting is exact. The variadic slice never escapes, so literal
+// call sites stay allocation-free.
+func AppendEstimate(b []byte, name string, version uint64, est float64, fields ...EstimateField) []byte {
 	b = append(b, `{"name":"`...)
 	b = append(b, name...)
 	b = append(b, `","version":`...)
 	b = strconv.AppendUint(b, version, 10)
-	b = append(b, ',', '"')
-	b = append(b, n1...)
-	b = append(b, '"', ':')
-	b = strconv.AppendInt(b, v1, 10)
-	if n2 != "" {
+	for _, f := range fields {
 		b = append(b, ',', '"')
-		b = append(b, n2...)
+		b = append(b, f.Name...)
 		b = append(b, '"', ':')
-		b = strconv.AppendInt(b, v2, 10)
+		b = strconv.AppendInt(b, f.Value, 10)
 	}
 	b = append(b, `,"estimate":`...)
 	b = appendJSONFloat(b, est)
@@ -69,10 +75,10 @@ func appendJSONFloat(b []byte, f float64) []byte {
 	return b
 }
 
-// writeEstimate sends an appendEstimate response from a pooled buffer.
-func writeEstimate(w http.ResponseWriter, name string, version uint64, est float64, n1 string, v1 int64, n2 string, v2 int64) {
+// writeEstimate sends an AppendEstimate response from a pooled buffer.
+func writeEstimate(w http.ResponseWriter, name string, version uint64, est float64, fields ...EstimateField) {
 	bp := estBufPool.Get().(*[]byte)
-	b := appendEstimate((*bp)[:0], name, version, est, n1, v1, n2, v2)
+	b := AppendEstimate((*bp)[:0], name, version, est, fields...)
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
 	w.Write(b)

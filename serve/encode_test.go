@@ -13,7 +13,8 @@ import (
 // across tricky floats.
 func TestEstimateEncodingMatchesJSON(t *testing.T) {
 	for _, est := range []float64{0, 1, -1, 3.5, 1234567.25, 1e-9, -2.5e-9, 4.9e21, 0.1, math.MaxFloat64} {
-		b := appendEstimate(nil, "my.hist-1", 42, est, "lo", -5, "hi", 1<<40)
+		b := AppendEstimate(nil, "my.hist-1", 42, est,
+			EstimateField{"lo", -5}, EstimateField{"hi", 1 << 40})
 		var out struct {
 			Name     string  `json:"name"`
 			Version  uint64  `json:"version"`
@@ -34,7 +35,7 @@ func TestEstimateEncodingMatchesJSON(t *testing.T) {
 		}
 	}
 	// Single-field form (1D point).
-	b := appendEstimate(nil, "h", 1, 2.5, "key", 7, "", 0)
+	b := AppendEstimate(nil, "h", 1, 2.5, EstimateField{"key", 7})
 	var m map[string]any
 	if err := json.Unmarshal(b, &m); err != nil || len(m) != 4 || m["key"].(float64) != 7 {
 		t.Fatalf("point form: %s (%v)", b, err)
@@ -71,10 +72,11 @@ func TestPointRangeEndpoints(t *testing.T) {
 func TestAppendEstimateAllocFree(t *testing.T) {
 	buf := make([]byte, 0, 256)
 	allocs := testing.AllocsPerRun(1000, func() {
-		buf = appendEstimate(buf[:0], "some-histogram", 123456, 42.75, "lo", 17, "hi", 92233720368)
+		buf = AppendEstimate(buf[:0], "some-histogram", 123456, 42.75,
+			EstimateField{"lo", 17}, EstimateField{"hi", 92233720368})
 	})
 	if allocs != 0 {
-		t.Fatalf("appendEstimate allocates %v times per call", allocs)
+		t.Fatalf("AppendEstimate allocates %v times per call", allocs)
 	}
 }
 

@@ -85,7 +85,9 @@ func (s *Server) collectMetrics(w *obs.Writer) {
 
 // slowQuery logs one structured line (and counts) when a query exceeded
 // the configured threshold. Off unless Config.SlowQueryThreshold > 0.
-func (s *Server) slowQuery(op, name string, batch int, d time.Duration) {
+// coalesced is the number of original client queries the router's
+// coalescer folded into this request (0 for direct traffic).
+func (s *Server) slowQuery(op, name string, batch, coalesced int, d time.Duration) {
 	if s.cfg.SlowQueryThreshold <= 0 || d < s.cfg.SlowQueryThreshold {
 		return
 	}
@@ -94,8 +96,12 @@ func (s *Server) slowQuery(op, name string, batch int, d time.Duration) {
 	if logger == nil {
 		logger = log.Default()
 	}
-	logger.Printf("slow-query op=%s name=%s micros=%d batch=%d", op, name, d.Microseconds(), batch)
+	if coalesced > 0 {
+		logger.Printf("slow-query op=%s name=%s micros=%d batch=%d coalesced=%d", op, name, d.Microseconds(), batch, coalesced)
+	} else {
+		logger.Printf("slow-query op=%s name=%s micros=%d batch=%d", op, name, d.Microseconds(), batch)
+	}
 	if s.slowLog != nil {
-		s.slowLog.record(op, name, batch, d)
+		s.slowLog.record(op, name, batch, coalesced, d)
 	}
 }

@@ -87,7 +87,19 @@ func (e *Entry) Range(lo, hi int64) (float64, error) {
 	return e.batchRange(lo, hi)
 }
 
+// Range2D returns the estimated number of records in the rectangle
+// [xlo, xhi] × [ylo, yhi], recording stats. Both axes follow the same
+// clamp contract as Range: bounds clamp to the grid, and an empty
+// intersection on either axis estimates 0 rather than erroring.
+func (e *Entry) Range2D(xlo, xhi, ylo, yhi int64) (float64, error) {
+	defer e.Stats.Range.Start()()
+	return e.batchRange2D(xlo, xhi, ylo, yhi)
+}
+
 // BatchQuery is one query in a batch request (POST /v1/hist/{name}/query).
+// Point queries address 1D histograms by Key and 2D ones by (X, Y); range
+// queries address 1D histograms by [Lo, Hi] and 2D ones by the rectangle
+// [XLo, XHi] × [YLo, YHi].
 type BatchQuery struct {
 	Op  string `json:"op"` // "point" | "range"
 	Key int64  `json:"key,omitempty"`
@@ -95,6 +107,10 @@ type BatchQuery struct {
 	Y   int64  `json:"y,omitempty"`
 	Lo  int64  `json:"lo,omitempty"`
 	Hi  int64  `json:"hi,omitempty"`
+	XLo int64  `json:"xlo,omitempty"`
+	XHi int64  `json:"xhi,omitempty"`
+	YLo int64  `json:"ylo,omitempty"`
+	YHi int64  `json:"yhi,omitempty"`
 }
 
 // BatchResult is one per-query outcome.
@@ -103,23 +119,45 @@ type BatchResult struct {
 	Error    string  `json:"error,omitempty"`
 }
 
+// batchTuning selects a batch execution strategy. The zero-config
+// defaultTuning matches the historical behaviour: vectorize at
+// vecBatchMin queries and size the parallel pool automatically.
+type batchTuning struct {
+	// vecMin is the batch size at which the vectorized shared-walk
+	// executor takes over from the scalar loop; negative disables
+	// vectorization entirely (scalar-only, for baselining).
+	vecMin int
+	// workers bounds the parallel executor's pool once a gathered query
+	// class reaches parBatchMin: 0 = automatic (GOMAXPROCS-capped),
+	// 1 = always serial vectorized.
+	workers int
+}
+
+var defaultTuning = batchTuning{vecMin: vecBatchMin}
+
 // Batch answers queries[i] into results[i] (the slices must have equal
 // length), recording one Batch stat for the whole call. Every sub-query
 // resolves against this entry's immutable histogram snapshot, off its
 // shared error-tree index. Batches of vecBatchMin or more dispatch to
 // the vectorized shared-walk executor (batchvec.go) — one sorted sweep
 // per tree level instead of one walk per query, bit-identical results —
-// and smaller ones run the scalar loop. Either way the steady state
-// (well-formed queries) performs no allocations, so callers that reuse
-// their slices — the HTTP batch handler's pooled buffers, benchmark
-// loops — serve batches allocation-free.
+// and smaller ones run the scalar loop; gathered classes of parBatchMin
+// or more additionally fan across the parallel segment executors.
+// Either way the steady state (well-formed queries) performs no
+// allocations, so callers that reuse their slices — the HTTP batch
+// handler's pooled buffers, benchmark loops — serve batches
+// allocation-free.
 func (e *Entry) Batch(queries []BatchQuery, results []BatchResult) {
+	e.batch(queries, results, defaultTuning)
+}
+
+func (e *Entry) batch(queries []BatchQuery, results []BatchResult, tn batchTuning) {
 	if len(results) != len(queries) {
 		panic("serve: Batch slice length mismatch")
 	}
 	t0 := time.Now()
-	if len(queries) >= vecBatchMin {
-		e.batchVectorized(queries, results)
+	if tn.vecMin >= 0 && len(queries) >= tn.vecMin {
+		e.batchVectorized(queries, results, tn.workers)
 	} else {
 		e.batchScalar(queries, results)
 	}
@@ -144,7 +182,11 @@ func (e *Entry) batchScalar(queries []BatchQuery, results []BatchResult) {
 				est, err = e.batchPoint(q.Key)
 			}
 		case "range":
-			est, err = e.batchRange(q.Lo, q.Hi)
+			if e.Is2D() {
+				est, err = e.batchRange2D(q.XLo, q.XHi, q.YLo, q.YHi)
+			} else {
+				est, err = e.batchRange(q.Lo, q.Hi)
+			}
 		default:
 			err = fmt.Errorf("unknown op %q (want point or range)", q.Op)
 		}
@@ -183,12 +225,21 @@ func (e *Entry) batchPoint2D(x, y int64) (float64, error) {
 
 func (e *Entry) batchRange(lo, hi int64) (float64, error) {
 	if e.Is2D() {
-		return 0, fmt.Errorf("serve: %q is 2D; range queries are 1D-only", e.Name)
+		return 0, fmt.Errorf("serve: %q is 2D; range queries need xlo/xhi/ylo/yhi", e.Name)
 	}
 	// One contract at every layer (Representation.RangeSum, Histogram.
 	// RangeCount, this handler): bounds are clamped to the domain and an
 	// empty intersection estimates 0 — never an error.
 	return e.H.RangeCount(lo, hi), nil
+}
+
+func (e *Entry) batchRange2D(xlo, xhi, ylo, yhi int64) (float64, error) {
+	if !e.Is2D() {
+		return 0, fmt.Errorf("serve: %q is 1D; range queries need lo and hi", e.Name)
+	}
+	// Same clamp contract as batchRange, applied per axis: an empty
+	// intersection on either axis estimates 0 — never an error.
+	return e.H2D.RangeCount(xlo, xhi, ylo, yhi), nil
 }
 
 // Snapshot is an immutable point-in-time view of the registry. Queries

@@ -74,6 +74,17 @@ type Config struct {
 	// the same pattern as the build tracer's trace dir. Empty disables
 	// the structured sink; the log line and counter are unaffected.
 	SlowQueryDir string
+	// VecBatchMin overrides the batch size at which POST /v1/hist/{name}/
+	// query switches from the scalar per-query loop to the vectorized
+	// shared-walk executors. 0 = default (16); negative disables
+	// vectorization entirely (scalar-only, for baselining). Results are
+	// bit-identical either way — this knob only trades setup cost against
+	// shared-walk savings.
+	VecBatchMin int
+	// BatchWorkers bounds the parallel batch executors' worker pool once
+	// a gathered query class reaches the parallel threshold. 0 = automatic
+	// (GOMAXPROCS-capped); 1 pins batches to the serial vectorized sweep.
+	BatchWorkers int
 }
 
 func (c Config) withDefaults() Config {
@@ -101,7 +112,20 @@ func (c Config) withDefaults() Config {
 	if c.MaxPendingPerWorker == 0 {
 		c.MaxPendingPerWorker = 64
 	}
+	if c.VecBatchMin == 0 {
+		c.VecBatchMin = vecBatchMin
+	}
 	return c
+}
+
+// tuning resolves the batch-execution knobs into the form Entry.batch
+// consumes (vecMin < 0 = scalar-only).
+func (c Config) tuning() batchTuning {
+	tn := batchTuning{vecMin: c.VecBatchMin, workers: c.BatchWorkers}
+	if tn.vecMin < 0 {
+		tn.vecMin = -1
+	}
+	return tn
 }
 
 // maintained pairs a published name with its live maintainer. The
@@ -340,7 +364,7 @@ func (s *Server) handlePoint(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	defer func() { s.slowQuery("point", e.Name, 1, time.Since(t0)) }()
+	defer func() { s.slowQuery("point", e.Name, 1, 0, time.Since(t0)) }()
 	if e.Is2D() {
 		x, errX := queryInt64(r, "x")
 		y, errY := queryInt64(r, "y")
@@ -353,7 +377,8 @@ func (s *Server) handlePoint(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusBadRequest, "%v", err)
 			return
 		}
-		writeEstimate(w, e.Name, e.Version, est, "x", x, "y", y)
+		writeEstimate(w, e.Name, e.Version, est,
+			EstimateField{"x", x}, EstimateField{"y", y})
 		return
 	}
 	key, err := queryInt64(r, "key")
@@ -366,7 +391,7 @@ func (s *Server) handlePoint(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	writeEstimate(w, e.Name, e.Version, est, "key", key, "", 0)
+	writeEstimate(w, e.Name, e.Version, est, EstimateField{"key", key})
 }
 
 func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
@@ -375,7 +400,26 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	defer func() { s.slowQuery("range", e.Name, 1, time.Since(t0)) }()
+	defer func() { s.slowQuery("range", e.Name, 1, 0, time.Since(t0)) }()
+	if e.Is2D() {
+		xlo, errXLo := queryInt64(r, "xlo")
+		xhi, errXHi := queryInt64(r, "xhi")
+		ylo, errYLo := queryInt64(r, "ylo")
+		yhi, errYHi := queryInt64(r, "yhi")
+		if errXLo != nil || errXHi != nil || errYLo != nil || errYHi != nil {
+			writeErr(w, http.StatusBadRequest, "2D range query needs integer xlo, xhi, ylo and yhi")
+			return
+		}
+		est, err := e.Range2D(xlo, xhi, ylo, yhi)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		writeEstimate(w, e.Name, e.Version, est,
+			EstimateField{"xlo", xlo}, EstimateField{"xhi", xhi},
+			EstimateField{"ylo", ylo}, EstimateField{"yhi", yhi})
+		return
+	}
 	lo, errLo := queryInt64(r, "lo")
 	hi, errHi := queryInt64(r, "hi")
 	if errLo != nil || errHi != nil {
@@ -387,7 +431,8 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	writeEstimate(w, e.Name, e.Version, est, "lo", lo, "hi", hi)
+	writeEstimate(w, e.Name, e.Version, est,
+		EstimateField{"lo", lo}, EstimateField{"hi", hi})
 }
 
 // batchBuffers is one batch request's reusable state: the decoded query
@@ -446,11 +491,15 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// allocations for the whole batch — the amortization the endpoint
 	// exists for. Every sub-query resolves off the entry's shared
 	// error-tree index.
-	e.Batch(bb.Req.Queries, bb.Resp.Results)
+	e.batch(bb.Req.Queries, bb.Resp.Results, s.cfg.tuning())
 	bb.Resp.Name = e.Name
 	bb.Resp.Version = e.Version
 	writeJSON(w, http.StatusOK, &bb.Resp)
-	s.slowQuery("batch", e.Name, n, time.Since(t0))
+	// The router's coalescer stamps merged batches with how many
+	// original client queries it folded in, so slow-query records can
+	// tell organic large batches from coalesced ones.
+	coalesced, _ := strconv.Atoi(r.Header.Get("X-Wavehist-Coalesced"))
+	s.slowQuery("batch", e.Name, n, coalesced, time.Since(t0))
 }
 
 // KeyUpdate is one insertion/deletion in POST /v1/hist/{name}/updates.
@@ -548,7 +597,7 @@ func (s *Server) handleUpdates(w http.ResponseWriter, r *http.Request) {
 	}
 	m.mu.Unlock()
 	e.Stats.Update.Add(int64(len(req.Updates)), time.Since(t0))
-	s.slowQuery("updates", e.Name, len(req.Updates), time.Since(t0))
+	s.slowQuery("updates", e.Name, len(req.Updates), 0, time.Since(t0))
 
 	writeJSON(w, http.StatusOK, map[string]any{
 		"name":        e.Name,

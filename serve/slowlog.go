@@ -16,13 +16,16 @@ import (
 // and the wavehist_slow_queries_total counter are unchanged; the sink is
 // purely additive and best-effort (a failed write never fails a query).
 
-// slowQueryRecord is one JSONL line in slow-queries.jsonl.
+// slowQueryRecord is one JSONL line in slow-queries.jsonl. Coalesced is
+// the number of original client queries the router folded into this
+// request (0 for direct traffic, omitted from the JSON).
 type slowQueryRecord struct {
-	TS     string `json:"ts"` // RFC3339Nano, UTC
-	Op     string `json:"op"`
-	Name   string `json:"name"`
-	Micros int64  `json:"micros"`
-	Batch  int    `json:"batch"`
+	TS        string `json:"ts"` // RFC3339Nano, UTC
+	Op        string `json:"op"`
+	Name      string `json:"name"`
+	Micros    int64  `json:"micros"`
+	Batch     int    `json:"batch"`
+	Coalesced int    `json:"coalesced,omitempty"`
 }
 
 // slowLogSink serializes appends to the JSONL file. The file is opened
@@ -39,7 +42,7 @@ func newSlowLogSink(dir string) *slowLogSink {
 	return &slowLogSink{dir: dir}
 }
 
-func (k *slowLogSink) record(op, name string, batch int, d time.Duration) {
+func (k *slowLogSink) record(op, name string, batch, coalesced int, d time.Duration) {
 	k.mu.Lock()
 	defer k.mu.Unlock()
 	if k.f == nil {
@@ -59,11 +62,12 @@ func (k *slowLogSink) record(op, name string, batch int, d time.Duration) {
 		k.f = f
 	}
 	rec := slowQueryRecord{
-		TS:     time.Now().UTC().Format(time.RFC3339Nano),
-		Op:     op,
-		Name:   name,
-		Micros: d.Microseconds(),
-		Batch:  batch,
+		TS:        time.Now().UTC().Format(time.RFC3339Nano),
+		Op:        op,
+		Name:      name,
+		Micros:    d.Microseconds(),
+		Batch:     batch,
+		Coalesced: coalesced,
 	}
 	b, err := json.Marshal(rec)
 	if err != nil {

@@ -169,6 +169,36 @@ func (h *Histogram2D) PointEstimate(x, y int64) float64 { return h.rep.PointEsti
 // PointEstimate(xs[i], ys[i]); slice lengths must match.
 func (h *Histogram2D) BatchPoints(xs, ys []int64, out []float64) { h.rep.BatchPoints(xs, ys, out) }
 
+// RangeCount estimates the number of records in the rectangle
+// [xlo, xhi] × [ylo, yhi] (inclusive) in O(log²u): only the tensor
+// products of the two axes' boundary candidates contribute. Bounds are
+// clamped to the grid per axis; an empty intersection estimates 0.
+func (h *Histogram2D) RangeCount(xlo, xhi, ylo, yhi int64) float64 {
+	return h.rep.RangeSum(xlo, xhi, ylo, yhi)
+}
+
+// BatchRanges answers n rectangle queries in one shared walk of the 2D
+// error tree: out[i] is bit-identical to RangeCount(xlos[i], xhis[i],
+// ylos[i], yhis[i]), including the clamp contract. All five slice
+// lengths must match.
+func (h *Histogram2D) BatchRanges(xlos, xhis, ylos, yhis []int64, out []float64) {
+	h.rep.BatchRanges(xlos, xhis, ylos, yhis, out)
+}
+
+// BatchPointsParallel is BatchPoints fanned across a bounded worker pool
+// over contiguous (x, y)-sorted segments — bit-identical for every
+// worker count. workers <= 0 selects an automatic GOMAXPROCS-bounded
+// pool; workers == 1 runs the serial sweep.
+func (h *Histogram2D) BatchPointsParallel(xs, ys []int64, out []float64, workers int) {
+	h.rep.BatchPointsParallel(xs, ys, out, workers)
+}
+
+// BatchRangesParallel is BatchRanges fanned across a bounded worker pool
+// (see BatchPointsParallel); bit-identical for every worker count.
+func (h *Histogram2D) BatchRangesParallel(xlos, xhis, ylos, yhis []int64, out []float64, workers int) {
+	h.rep.BatchRangesParallel(xlos, xhis, ylos, yhis, out, workers)
+}
+
 // Reconstruct materializes the estimated grid (O(k·u²)).
 func (h *Histogram2D) Reconstruct() [][]float64 { return h.rep.Reconstruct() }
 
