@@ -39,11 +39,15 @@
 // via /v1/stats, so router overhead is separable from serving cost). The
 // sweep then repeats through a second router with query coalescing on
 // (-coalesce-wait style config), so the wait-window latency tax and the
-// batching throughput win are both on the record.
+// batching throughput win are both on the record. The pass closes with
+// a failover_mttr row: a health-checked router (25ms probes) over one
+// primary+replica shard, primary killed cold — kill → first successful
+// routed read and kill → first successful routed write (fenced
+// auto-promotion complete) in milliseconds.
 //
 // Usage:
 //
-//	wavebench -out BENCH_pr9.json
+//	wavebench -out BENCH_pr10.json
 //	wavebench -records 1048576 -domain 65536 -workers 4 -out bench.json
 package main
 
@@ -154,7 +158,7 @@ type RegistryRow struct {
 // /v1/stats — client-side tail minus server-side tail isolates the
 // router+transport overhead from serving cost.
 type ClusterRow struct {
-	Op              string  `json:"op"` // routed_point | cross_batch | routed_point_failover | routed_point_qps | coalesced_point_qps
+	Op              string  `json:"op"` // routed_point | cross_batch | routed_point_failover | routed_point_qps | coalesced_point_qps | failover_mttr
 	Shards          int     `json:"shards"`
 	Replicas        int     `json:"replicas_per_shard"`
 	Batch           int     `json:"batch,omitempty"`
@@ -165,6 +169,12 @@ type ClusterRow struct {
 	P99Micros       float64 `json:"p99_micros"`
 	ServerP50Micros float64 `json:"server_p50_micros,omitempty"`
 	ServerP99Micros float64 `json:"server_p99_micros,omitempty"`
+	// failover_mttr row only: time from killing the primary to the first
+	// successful routed read (replica failover) and to the first
+	// successful routed write (health-checker auto-promotion complete).
+	MTTRReadMillis  float64 `json:"mttr_read_millis,omitempty"`
+	MTTRWriteMillis float64 `json:"mttr_write_millis,omitempty"`
+	ProbeMillis     float64 `json:"probe_interval_millis,omitempty"`
 }
 
 // Report is the file layout.
@@ -190,7 +200,7 @@ type Report struct {
 
 func main() {
 	var (
-		out        = flag.String("out", "BENCH_pr9.json", "output file")
+		out        = flag.String("out", "BENCH_pr10.json", "output file")
 		records    = flag.Int64("records", 1<<19, "dataset records")
 		domain     = flag.Int64("domain", 1<<14, "key domain (power of two)")
 		alpha      = flag.Float64("alpha", 1.1, "zipf skew")
@@ -341,8 +351,18 @@ func run(out string, records, domain int64, alpha float64, seed uint64, k, worke
 		if err != nil {
 			return err
 		}
+		mttr, err := mttrPass(records, domain, alpha, seed, k)
+		if err != nil {
+			return err
+		}
+		crows = append(crows, *mttr)
 		rep.Cluster = crows
 		for _, c := range crows {
+			if c.Op == "failover_mttr" {
+				fmt.Printf("cluster %-22s probe=%.0fms mttr_read=%.1fms mttr_write=%.1fms\n",
+					c.Op, c.ProbeMillis, c.MTTRReadMillis, c.MTTRWriteMillis)
+				continue
+			}
 			if c.QPS != 0 {
 				line := fmt.Sprintf("cluster %-22s workers=%-3d qps=%-8.0f p50=%8.1fµs p99=%8.1fµs",
 					c.Op, c.Workers, c.QPS, c.P50Micros, c.P99Micros)
@@ -1100,6 +1120,122 @@ func clusterPass(records, domain int64, alpha float64, seed uint64, k int, qpsLe
 		P50Micros: pctl(lat, 0.50), P99Micros: pctl(lat, 0.99),
 	})
 	return rows, nil
+}
+
+// mttrPass measures the self-healing tier's recovery time: one shard
+// (primary + synced read replica) behind a router probing /healthz
+// every 25ms, primary killed cold. MTTR-read is kill → first successful
+// routed read (replica failover, no promotion needed); MTTR-write is
+// kill → first successful routed write, which requires the health
+// checker to detect the death, elect the replica, and complete the
+// fenced promotion — the full self-healing loop on the clock.
+func mttrPass(records, domain int64, alpha float64, seed uint64, k int) (*ClusterRow, error) {
+	const probeEvery = 25 * time.Millisecond
+	pSrv, err := serve.NewServer(serve.Config{Shard: "s0"})
+	if err != nil {
+		return nil, err
+	}
+	pTS := httptest.NewServer(pSrv)
+	defer pTS.Close()
+	rSrv, err := serve.NewServer(serve.Config{ReadOnly: true, Shard: "s0"})
+	if err != nil {
+		return nil, err
+	}
+	rTS := httptest.NewServer(rSrv)
+	defer rTS.Close()
+
+	ds, err := wavelethist.NewZipfDataset(wavelethist.ZipfOptions{
+		Records: records, Domain: domain, Alpha: alpha, Seed: seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res, err := wavelethist.Build(ds, wavelethist.SendV, wavelethist.Options{K: k, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := pSrv.Registry().Publish("mttr", res.Histogram); err != nil {
+		return nil, err
+	}
+	rep := ha.NewReplica(rSrv, pTS.URL, time.Second)
+	if err := rep.SyncOnce(context.Background()); err != nil {
+		return nil, err
+	}
+
+	router, err := ha.NewRouterConfig([]ha.Shard{{
+		ID: "s0", Primary: pTS.URL, Replicas: []string{rTS.URL},
+	}}, ha.RouterConfig{
+		ProbeInterval:      probeEvery,
+		ProbeFailThreshold: 3,
+		ReadTimeout:        time.Second,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer router.Close()
+	rtTS := httptest.NewServer(router)
+	defer rtTS.Close()
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	readURL := rtTS.URL + "/v1/hist/mttr/point?key=1"
+	tryRead := func() bool {
+		resp, err := client.Get(readURL)
+		if err != nil {
+			return false
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode == http.StatusOK
+	}
+	tryWrite := func() bool {
+		resp, err := client.Post(rtTS.URL+"/v1/hist/mttr/updates", "application/json",
+			strings.NewReader(`{"updates":[{"key":1,"delta":1}]}`))
+		if err != nil {
+			return false
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode == http.StatusOK
+	}
+	// Warm the path and let the checker learn the topology.
+	deadline := time.Now().Add(10 * time.Second)
+	for !tryRead() || !tryWrite() {
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("mttr pass: healthy cluster never served")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	time.Sleep(4 * probeEvery)
+
+	killedAt := time.Now()
+	pTS.Close()
+	var mttrRead, mttrWrite time.Duration
+	deadline = killedAt.Add(30 * time.Second)
+	for mttrRead == 0 {
+		if tryRead() {
+			mttrRead = time.Since(killedAt)
+			break
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("mttr pass: reads never recovered")
+		}
+	}
+	for mttrWrite == 0 {
+		if tryWrite() {
+			mttrWrite = time.Since(killedAt)
+			break
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("mttr pass: writes never recovered (promotion did not happen)")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return &ClusterRow{
+		Op: "failover_mttr", Shards: 1, Replicas: 1, Samples: 1,
+		MTTRReadMillis:  float64(mttrRead.Microseconds()) / 1e3,
+		MTTRWriteMillis: float64(mttrWrite.Microseconds()) / 1e3,
+		ProbeMillis:     float64(probeEvery.Milliseconds()),
+	}, nil
 }
 
 // serverQuantiles reads one histogram's server-side point-query p50/p99

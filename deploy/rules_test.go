@@ -12,6 +12,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"regexp"
+	"slices"
 	"sort"
 	"strings"
 	"testing"
@@ -125,5 +126,74 @@ func TestPrometheusRulesReferenceLiveFamilies(t *testing.T) {
 
 	if err := obs.RequireFamilies(merged, referenced...); err != nil {
 		t.Fatalf("prometheus-rules.yml references a family no component exposes: %v", err)
+	}
+}
+
+// TestFailoverAlertFamiliesCovered pins the self-healing alert surface:
+// the epoch-fencing and shard-role families must be referenced by the
+// rules file AND present in a live router scrape with the exact label
+// shape the expressions select on — role="primary"/"replica" for
+// waverouter_shard_state, and the per-shard re-labeled daemon epoch
+// families. The generic existence test above would pass even if the
+// role label were renamed, which would silently blank both failover
+// alerts.
+func TestFailoverAlertFamiliesCovered(t *testing.T) {
+	raw, err := os.ReadFile("prometheus-rules.yml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	referenced := exprFamilies(t, string(raw))
+	for _, want := range []string{"wavehist_repl_epoch_resets_total", "waverouter_shard_state"} {
+		if !slices.Contains(referenced, want) {
+			t.Fatalf("rules file no longer references %s — failover alert deleted?", want)
+		}
+	}
+
+	s, err := serve.NewServer(serve.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	shardSrv := httptest.NewServer(s)
+	defer shardSrv.Close()
+	rt, err := ha.NewRouter([]ha.Shard{{ID: "s0", Primary: shardSrv.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtSrv := httptest.NewServer(rt)
+	defer rtSrv.Close()
+	resp, err := http.Get(rtSrv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	fams, err := obs.Lint(string(body))
+	if err != nil {
+		t.Fatalf("router exposition fails lint: %v", err)
+	}
+
+	state := fams["waverouter_shard_state"]
+	if state == nil {
+		t.Fatal("router scrape missing waverouter_shard_state")
+	}
+	roles := map[string]bool{}
+	for _, smp := range state.Samples {
+		if smp.Labels["shard"] == "s0" {
+			roles[smp.Labels["role"]] = true
+		}
+	}
+	if !roles["primary"] || !roles["replica"] {
+		t.Fatalf("waverouter_shard_state roles = %v, want primary and replica samples", roles)
+	}
+
+	for _, fam := range []string{"wavehist_epoch", "wavehist_repl_epoch_resets_total"} {
+		f := fams[fam]
+		if f == nil || len(f.Samples) == 0 {
+			t.Fatalf("router scrape missing per-shard family %s", fam)
+		}
+		if f.Samples[0].Labels["shard"] != "s0" {
+			t.Fatalf("%s not re-labeled with shard: %v", fam, f.Samples[0].Labels)
+		}
 	}
 }

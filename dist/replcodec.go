@@ -21,9 +21,13 @@ const (
 )
 
 // ReplPullRequest asks a primary for all registry changes after Since
-// (0 = full snapshot).
+// (0 = full snapshot). Epoch is the primary epoch the replica last
+// synced from (0 = unknown / first pull): a primary whose own epoch
+// differs answers with a full snapshot so the replica re-bases instead
+// of trusting a cursor minted under a dead lineage.
 type ReplPullRequest struct {
 	Since uint64 `json:"since"`
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 // ReplEntry is one histogram the replica must (re)install: the wire-format
@@ -37,16 +41,26 @@ type ReplEntry struct {
 
 // ReplPullResponse carries the primary's current registry version, the
 // complete set of live names (for drop detection), and the entries newer
-// than the request's Since, in version order.
+// than the request's Since, in version order. Epoch is the primary's
+// registry epoch (0 = primary predates epochs); Since echoes the cursor
+// the primary actually answered from — 0 means the response is a full
+// snapshot, which a primary forces when the request's epoch does not
+// match its own.
 type ReplPullResponse struct {
 	Version uint64      `json:"version"`
+	Epoch   uint64      `json:"epoch,omitempty"`
+	Since   uint64      `json:"since"`
 	Names   []string    `json:"names"`
 	Entries []ReplEntry `json:"entries"`
 }
 
 // EncodeReplPullRequest serializes a pull request as one WDF1 frame.
+// The epoch is appended after the original body so frames from
+// pre-epoch replicas still decode (epoch 0 = unknown).
 func EncodeReplPullRequest(req *ReplPullRequest) []byte {
-	return encodeFrame(msgReplPullRequest, appendUvarint(nil, req.Since))
+	b := appendUvarint(nil, req.Since)
+	b = appendUvarint(b, req.Epoch)
+	return encodeFrame(msgReplPullRequest, b)
 }
 
 // DecodeReplPullRequest is the inverse of EncodeReplPullRequest.
@@ -57,6 +71,9 @@ func DecodeReplPullRequest(frame []byte) (*ReplPullRequest, error) {
 	}
 	r := &breader{b: body}
 	req := &ReplPullRequest{Since: r.uvarint()}
+	if r.remaining() {
+		req.Epoch = r.uvarint()
+	}
 	if err := r.done(); err != nil {
 		return nil, err
 	}
@@ -80,6 +97,10 @@ func EncodeReplPullResponse(resp *ReplPullResponse) []byte {
 		b = appendUvarint(b, e.Version)
 		b = appendBlob(b, e.Blob)
 	}
+	// Epoch fields ride after the original body: pre-epoch decoders never
+	// see them and post-epoch decoders treat their absence as epoch 0.
+	b = appendUvarint(b, resp.Epoch)
+	b = appendUvarint(b, resp.Since)
 	return encodeFrame(msgReplPullResponse, b)
 }
 
@@ -114,6 +135,12 @@ func DecodeReplPullResponse(frame []byte) (*ReplPullResponse, error) {
 			break
 		}
 		resp.Entries = append(resp.Entries, e)
+	}
+	if r.remaining() {
+		resp.Epoch = r.uvarint()
+	}
+	if r.remaining() {
+		resp.Since = r.uvarint()
 	}
 	if err := r.done(); err != nil {
 		return nil, err

@@ -1,0 +1,192 @@
+package ha
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Per-target circuit breakers. A black-holed shard must cost one
+// breaker trip, not a full client timeout per request: after
+// FailThreshold consecutive failures the breaker opens and requests to
+// that target fail immediately, until a jittered exponential backoff
+// elapses and one half-open probe is let through. Success closes the
+// breaker and resets the backoff; failure re-opens it with a doubled
+// (capped) backoff. Jitter decorrelates the probe times of routers
+// sharing a recovering target.
+
+// BreakerConfig tunes the router's per-target circuit breakers; the
+// zero value enables them with defaults.
+type BreakerConfig struct {
+	// FailThreshold is how many consecutive failures open the breaker
+	// (default 3; negative disables breakers entirely).
+	FailThreshold int
+	// BaseBackoff is the first open interval (default 100ms).
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential growth (default 5s).
+	MaxBackoff time.Duration
+	// Seed fixes the jitter stream for deterministic tests (0 = seeded
+	// from the clock).
+	Seed int64
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.FailThreshold == 0 {
+		c.FailThreshold = 3
+	}
+	if c.BaseBackoff <= 0 {
+		c.BaseBackoff = 100 * time.Millisecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 5 * time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = time.Now().UnixNano()
+	}
+	return c
+}
+
+const (
+	breakerClosed = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+type breaker struct {
+	state     int
+	fails     int           // consecutive failures while closed
+	backoff   time.Duration // next open interval
+	openUntil time.Time
+}
+
+// breakerSet holds one breaker per upstream target URL, created lazily.
+type breakerSet struct {
+	cfg BreakerConfig
+
+	mu  sync.Mutex
+	m   map[string]*breaker
+	rng *rand.Rand
+
+	trips atomic.Uint64 // breakers opened (waverouter_breaker_trips_total)
+	skips atomic.Uint64 // requests refused while open (waverouter_breaker_skips_total)
+}
+
+func newBreakerSet(cfg BreakerConfig) *breakerSet {
+	cfg = cfg.withDefaults()
+	return &breakerSet{
+		cfg: cfg,
+		m:   map[string]*breaker{},
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+	}
+}
+
+var errBreakerOpen = fmt.Errorf("ha: circuit breaker open")
+
+// Allow reports whether a request to target may proceed. An open
+// breaker past its backoff admits exactly one half-open probe; further
+// requests keep failing fast until that probe reports back.
+func (s *breakerSet) Allow(target string) bool {
+	if s == nil || s.cfg.FailThreshold < 0 {
+		return true
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := s.m[target]
+	if b == nil {
+		return true
+	}
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if time.Now().Before(b.openUntil) {
+			s.skips.Add(1)
+			return false
+		}
+		b.state = breakerHalfOpen
+		return true // the probe
+	default: // half-open, probe in flight
+		s.skips.Add(1)
+		return false
+	}
+}
+
+// Success records a successful exchange: the breaker (if any) closes
+// and its backoff resets.
+func (s *breakerSet) Success(target string) {
+	if s == nil || s.cfg.FailThreshold < 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if b := s.m[target]; b != nil {
+		b.state = breakerClosed
+		b.fails = 0
+		b.backoff = 0
+	}
+}
+
+// Failure records a failed exchange (network error or 5xx). Crossing
+// the threshold — or failing the half-open probe — opens the breaker
+// for a jittered, exponentially growing interval.
+func (s *breakerSet) Failure(target string) {
+	if s == nil || s.cfg.FailThreshold < 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := s.m[target]
+	if b == nil {
+		b = &breaker{}
+		s.m[target] = b
+	}
+	if b.state == breakerHalfOpen {
+		s.open(b)
+		return
+	}
+	b.fails++
+	if b.fails >= s.cfg.FailThreshold {
+		s.open(b)
+	}
+}
+
+// open transitions to the open state with the next backoff interval,
+// jittered ±50% so recovering targets are not probed in lockstep.
+func (s *breakerSet) open(b *breaker) {
+	if b.backoff <= 0 {
+		b.backoff = s.cfg.BaseBackoff
+	} else {
+		b.backoff *= 2
+		if b.backoff > s.cfg.MaxBackoff {
+			b.backoff = s.cfg.MaxBackoff
+		}
+	}
+	jittered := b.backoff/2 + time.Duration(s.rng.Int63n(int64(b.backoff)))
+	b.state = breakerOpen
+	b.fails = 0
+	b.openUntil = time.Now().Add(jittered)
+	s.trips.Add(1)
+}
+
+// state returns the target's breaker state for the topology endpoint.
+func (s *breakerSet) stateOf(target string) string {
+	if s == nil || s.cfg.FailThreshold < 0 {
+		return "disabled"
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := s.m[target]
+	if b == nil {
+		return "closed"
+	}
+	switch b.state {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}

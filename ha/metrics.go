@@ -29,10 +29,51 @@ func (rt *Router) initMetrics() {
 	m.Collect(func(w *obs.Writer) {
 		w.Counter("waverouter_proxied_total", "Requests forwarded to an upstream daemon.", float64(rt.proxied.Load()))
 		w.Counter("waverouter_failovers_total", "Read retries against a replica after a primary failed.", float64(rt.failovers.Load()))
-		w.Gauge("waverouter_shards", "Shards in the routing ring.", float64(len(rt.shards)))
+		w.Gauge("waverouter_shards", "Shards in the routing ring.", float64(len(rt.shards())))
 		w.Gauge("waverouter_coalesce_queue_depth",
 			"Queries currently parked in the coalescer awaiting batch dispatch.", float64(rt.coalesceDepth.Load()))
+		rt.collectTopology(w)
 	})
+}
+
+// collectTopology emits the failover posture: per-shard role health
+// (primary up 0/1, replicas up count — against the LIVE topology, so a
+// promotion moves the samples with it), the promotion/demotion
+// counters, and the breaker counters. Without a health checker every
+// target is reported up: the families must exist on static routers so
+// alert rules need no config-conditional queries.
+func (rt *Router) collectTopology(w *obs.Writer) {
+	const stateHelp = "Per-shard role health: primary up (0/1) and count of up replicas, per the router's health checker (all up when probing is off)."
+	topo := rt.topo.Load()
+	ids := make([]string, 0, len(topo.shards))
+	for id := range topo.shards {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		sh := topo.shards[id]
+		pUp := 1.0
+		if rt.health != nil && !rt.health.isUp(sh.Primary) {
+			pUp = 0
+		}
+		rUp := 0.0
+		for _, rep := range sh.Replicas {
+			if rt.health == nil || rt.health.isUp(rep) {
+				rUp++
+			}
+		}
+		w.Gauge("waverouter_shard_state", stateHelp, pUp, obs.L("shard", id), obs.L("role", "primary"))
+		w.Gauge("waverouter_shard_state", stateHelp, rUp, obs.L("shard", id), obs.L("role", "replica"))
+	}
+	var promotions, demotions float64
+	if rt.health != nil {
+		promotions = float64(rt.health.promotions.Load())
+		demotions = float64(rt.health.demotions.Load())
+	}
+	w.Counter("waverouter_promotions_total", "Replicas auto-promoted to primary by the health checker.", promotions)
+	w.Counter("waverouter_demotions_total", "Writable targets fenced read-only (superseded lineages).", demotions)
+	w.Counter("waverouter_breaker_trips_total", "Circuit breakers opened after consecutive target failures.", float64(rt.breakers.trips.Load()))
+	w.Counter("waverouter_breaker_skips_total", "Requests refused fast by an open circuit breaker.", float64(rt.breakers.skips.Load()))
 }
 
 // Metrics exposes the router's metrics registry. Note GET /metrics on
@@ -58,12 +99,12 @@ func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		id   string
 		fams map[string]*obs.Family
 	}
-	results := make([]shardFams, 0, len(rt.shards))
+	results := make([]shardFams, 0, len(rt.shards()))
 	var (
 		mu sync.Mutex
 		wg sync.WaitGroup
 	)
-	for id, sh := range rt.shards {
+	for id, sh := range rt.shards() {
 		wg.Add(1)
 		go func(id string, sh *Shard) {
 			defer wg.Done()

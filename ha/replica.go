@@ -3,6 +3,7 @@ package ha
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -29,6 +30,14 @@ type Replica struct {
 	interval time.Duration
 
 	version atomic.Uint64 // last fully-applied primary version
+	epoch   atomic.Uint64 // primary epoch the cursor was minted under (0 = none)
+
+	// primaryVersion is the highest primary registry version this
+	// replica has ever observed — it lets the failure path report a
+	// truthful lag instead of freezing the gauge at its last value.
+	primaryVersion atomic.Uint64
+	epochResets    atomic.Uint64
+	firstAttempt   atomic.Pointer[time.Time]
 
 	mu      sync.Mutex
 	stop    chan struct{}
@@ -54,42 +63,96 @@ func NewReplica(srv *serve.Server, primaryURL string, interval time.Duration) *R
 func (r *Replica) Version() uint64 { return r.version.Load() }
 
 // SyncOnce performs one pull-and-apply cycle against the primary and
-// updates the server's replication status either way. A cycle with no
+// updates the server's replication status either way — the failure path
+// refreshes the lag/staleness gauges too, so the replication alerts
+// cannot go quiet exactly when replication is broken. A cycle with no
 // new entries costs one small round trip.
+//
+// Epoch fencing: the pull carries the primary epoch this replica last
+// synced under. If the primary's epoch differs (it restarted, or a
+// different node was promoted), the cursor is meaningless — the primary
+// answers with a full snapshot (response Since 0) and the replica
+// re-bases on it rather than serving stale data forever. Against an
+// old primary that ignores epochs, the replica detects the change
+// itself and re-pulls from zero.
 func (r *Replica) SyncOnce(ctx context.Context) error {
-	since := r.version.Load()
-	resp, err := r.pull(ctx, since)
+	if r.firstAttempt.Load() == nil {
+		now := time.Now()
+		r.firstAttempt.CompareAndSwap(nil, &now)
+	}
+	since, lastEpoch := r.version.Load(), r.epoch.Load()
+	resp, err := r.pull(ctx, since, lastEpoch)
 	if err != nil {
-		st := r.srv.ReplStatus()
-		st.Primary = r.primary
-		st.Error = err.Error()
-		r.srv.SetReplStatus(st)
+		r.failStatus(err)
 		return err
 	}
-	if err := r.apply(resp); err != nil {
-		st := r.srv.ReplStatus()
-		st.Primary = r.primary
-		st.Error = err.Error()
-		r.srv.SetReplStatus(st)
+	if resp.Version > r.primaryVersion.Load() {
+		r.primaryVersion.Store(resp.Version)
+	}
+	if lastEpoch != 0 && resp.Epoch != 0 && resp.Epoch != lastEpoch && resp.Since != 0 {
+		// The primary's epoch changed but it still answered from our
+		// stale cursor (a pre-epoch primary echoes nothing; a current
+		// one would have sent Since 0). Re-pull the full snapshot.
+		if resp, err = r.pull(ctx, 0, 0); err != nil {
+			r.failStatus(err)
+			return err
+		}
+	}
+	if lastEpoch != 0 && resp.Epoch != 0 && resp.Epoch != lastEpoch {
+		r.epochResets.Add(1)
+	}
+	since = resp.Since // the cursor the primary actually answered from
+	if err := r.srv.ReplApply(func() error { return r.apply(resp) }); err != nil {
+		r.failStatus(err)
 		return err
 	}
 	r.version.Store(resp.Version)
+	r.epoch.Store(resp.Epoch)
 	var lag uint64
 	if resp.Version > since {
 		lag = resp.Version - since
 	}
+	now := time.Now()
 	r.srv.SetReplStatus(serve.ReplStatus{
-		Primary:     r.primary,
-		Version:     resp.Version,
-		SyncedAt:    time.Now(),
-		LagVersions: lag,
+		Primary:      r.primary,
+		Version:      resp.Version,
+		Epoch:        resp.Epoch,
+		EpochResets:  r.epochResets.Load(),
+		SyncedAt:     now,
+		LastAttempt:  now,
+		FirstAttempt: *r.firstAttempt.Load(),
+		LagVersions:  lag,
 	})
 	return nil
 }
 
+// failStatus records a failed sync cycle without losing gauge accuracy:
+// lag is recomputed from the highest primary version ever observed, and
+// the attempt timestamps keep the staleness gauge moving for replicas
+// that have never synced.
+func (r *Replica) failStatus(err error) {
+	st := r.srv.ReplStatus()
+	st.Primary = r.primary
+	st.Error = err.Error()
+	st.LastAttempt = time.Now()
+	if fa := r.firstAttempt.Load(); fa != nil {
+		st.FirstAttempt = *fa
+	}
+	if hv := r.primaryVersion.Load(); hv > r.version.Load() {
+		st.LagVersions = hv - r.version.Load()
+	}
+	st.Epoch = r.epoch.Load()
+	st.EpochResets = r.epochResets.Load()
+	r.srv.SetReplStatus(st)
+}
+
+// EpochResets reports how many times an epoch mismatch forced a full
+// re-snapshot.
+func (r *Replica) EpochResets() uint64 { return r.epochResets.Load() }
+
 // pull posts one binary ReplPullRequest to the primary.
-func (r *Replica) pull(ctx context.Context, since uint64) (*dist.ReplPullResponse, error) {
-	frame := dist.EncodeReplPullRequest(&dist.ReplPullRequest{Since: since})
+func (r *Replica) pull(ctx context.Context, since, epoch uint64) (*dist.ReplPullResponse, error) {
+	frame := dist.EncodeReplPullRequest(&dist.ReplPullRequest{Since: since, Epoch: epoch})
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, r.primary+"/v1/repl/pull", bytes.NewReader(frame))
 	if err != nil {
 		return nil, err
@@ -168,8 +231,14 @@ func (r *Replica) Start() {
 				return
 			case <-t.C:
 				ctx, cancel := context.WithTimeout(context.Background(), r.interval*4+time.Second)
-				_ = r.SyncOnce(ctx) // errors land in ReplStatus; keep following
+				err := r.SyncOnce(ctx) // errors land in ReplStatus; keep following
 				cancel()
+				if errors.Is(err, serve.ErrNotReplica) {
+					// The server was promoted out from under this loop
+					// (router-driven POST /v1/promote). It is a primary
+					// now: following the old one would mix lineages.
+					return
+				}
 			}
 		}
 	}(r.stop, r.done)

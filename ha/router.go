@@ -41,12 +41,26 @@ type Shard struct {
 //   - POST /v1/datasets broadcasts to every primary, so a later build
 //     can land on whichever shard owns the histogram name.
 type Router struct {
-	ring   *Ring
-	shards map[string]*Shard
+	ring *Ring
+	// topo is the dynamic shard map: an immutable snapshot swapped
+	// atomically when the health checker promotes a replica or fences a
+	// resurrected primary. Request paths load it once and never see a
+	// half-updated topology; topoMu serializes writers only.
+	topo   atomic.Pointer[topology]
+	topoMu sync.Mutex
 	client *http.Client
 	mux    *http.ServeMux
 
 	maxBody int64
+
+	// Per-request-class timeouts: reads must fail fast (a stuck shard
+	// should cost milliseconds, not the mutation ceiling), mutations —
+	// builds, dataset creation — may legitimately run long.
+	readTimeout time.Duration
+	mutTimeout  time.Duration
+
+	breakers *breakerSet
+	health   *healthChecker // nil unless ProbeInterval > 0
 
 	metrics *obs.Registry
 
@@ -62,6 +76,13 @@ type Router struct {
 	coalesceSize  *obs.Histogram
 }
 
+// topology is one immutable view of the shard map. Shards and their
+// replica slices are never mutated in place — swaps build fresh copies.
+type topology struct {
+	version uint64 // bumped on every swap
+	shards  map[string]*Shard
+}
+
 // RouterConfig tunes the router's optional behaviours; the zero value
 // matches NewRouter.
 type RouterConfig struct {
@@ -74,6 +95,27 @@ type RouterConfig struct {
 	// full batch dispatches immediately instead of waiting out the
 	// window. 0 = default (256).
 	CoalesceMax int
+
+	// ReadTimeout bounds proxied reads (point/range/batch/stats/
+	// metrics); default 2s. MutationTimeout bounds proxied mutations
+	// (updates, datasets, build); default 60s.
+	ReadTimeout     time.Duration
+	MutationTimeout time.Duration
+
+	// Breaker tunes the per-target circuit breakers (zero value =
+	// enabled with defaults; FailThreshold -1 disables).
+	Breaker BreakerConfig
+
+	// ProbeInterval enables the health checker: every target's /healthz
+	// is probed on this interval, primaries are marked down after
+	// ProbeFailThreshold consecutive failures (default 3), and — unless
+	// NoAutoFailover — the most caught-up replica is promoted with an
+	// epoch fencing token and the topology swapped. 0 disables probing
+	// (the PR-6 static behaviour).
+	ProbeInterval      time.Duration
+	ProbeTimeout       time.Duration // per-probe budget (default min(ProbeInterval, 1s))
+	ProbeFailThreshold int
+	NoAutoFailover     bool
 }
 
 // NewRouter builds a router over the given shards (at least one, unique
@@ -102,12 +144,27 @@ func NewRouterConfig(shards []Shard, cfg RouterConfig) (*Router, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.ReadTimeout <= 0 {
+		cfg.ReadTimeout = 2 * time.Second
+	}
+	if cfg.MutationTimeout <= 0 {
+		cfg.MutationTimeout = 60 * time.Second
+	}
 	rt := &Router{
-		ring:    ring,
-		shards:  byID,
-		client:  &http.Client{Timeout: 60 * time.Second},
-		mux:     http.NewServeMux(),
-		maxBody: 8 << 20,
+		ring: ring,
+		// No client-level timeout: deadlines are per request class via
+		// context (doTarget), so a slow build proxy cannot be killed by
+		// a read ceiling nor a read stalled for the mutation one.
+		client:      &http.Client{},
+		mux:         http.NewServeMux(),
+		maxBody:     8 << 20,
+		readTimeout: cfg.ReadTimeout,
+		mutTimeout:  cfg.MutationTimeout,
+		breakers:    newBreakerSet(cfg.Breaker),
+	}
+	rt.topo.Store(&topology{version: 1, shards: byID})
+	if cfg.ProbeInterval > 0 {
+		rt.health = newHealthChecker(rt, cfg)
 	}
 	rt.initMetrics()
 	if cfg.CoalesceWait > 0 {
@@ -118,7 +175,18 @@ func NewRouterConfig(shards []Shard, cfg RouterConfig) (*Router, error) {
 		rt.coal = newCoalescer(rt, cfg.CoalesceWait, max)
 	}
 	rt.routes()
+	if rt.health != nil {
+		rt.health.start()
+	}
 	return rt, nil
+}
+
+// Close stops the router's background loops (health checker). Safe to
+// call on routers created without one.
+func (rt *Router) Close() {
+	if rt.health != nil {
+		rt.health.stop()
+	}
 }
 
 // ServeHTTP implements http.Handler.
@@ -126,8 +194,40 @@ func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	rt.mux.ServeHTTP(w, r)
 }
 
-// Shard returns the shard owning a histogram name.
-func (rt *Router) Shard(name string) *Shard { return rt.shards[rt.ring.Shard(name)] }
+// Shard returns the shard owning a histogram name, resolved against the
+// current topology snapshot.
+func (rt *Router) Shard(name string) *Shard { return rt.topo.Load().shards[rt.ring.Shard(name)] }
+
+// shards returns the current topology's shard map. The map and its
+// *Shard values are immutable — hold the pointer, never mutate.
+func (rt *Router) shards() map[string]*Shard { return rt.topo.Load().shards }
+
+// swapPrimary installs a new topology snapshot in which newPrimary
+// leads shardID and the former primary (if different) is appended to
+// the replica list — the router-side half of a promotion or of adopting
+// a primary discovered via probes after a router restart.
+func (rt *Router) swapPrimary(shardID, newPrimary string) {
+	rt.topoMu.Lock()
+	defer rt.topoMu.Unlock()
+	old := rt.topo.Load()
+	sh, ok := old.shards[shardID]
+	if !ok || sh.Primary == newPrimary {
+		return
+	}
+	next := &Shard{ID: shardID, Primary: newPrimary}
+	next.Replicas = append(next.Replicas, sh.Primary)
+	for _, rep := range sh.Replicas {
+		if rep != newPrimary {
+			next.Replicas = append(next.Replicas, rep)
+		}
+	}
+	shards := make(map[string]*Shard, len(old.shards))
+	for id, s := range old.shards {
+		shards[id] = s
+	}
+	shards[shardID] = next
+	rt.topo.Store(&topology{version: old.version + 1, shards: shards})
+}
 
 func (rt *Router) routes() {
 	rt.mux.HandleFunc("GET /healthz", rt.handleHealth)
@@ -153,10 +253,34 @@ type upstream struct {
 	body        []byte
 }
 
-func (rt *Router) do(ctx context.Context, method, url, contentType string, body []byte, hdr ...string) (*upstream, error) {
+// Request classes pick the context deadline in doTarget.
+type reqClass int
+
+const (
+	classRead reqClass = iota // point/range/batch/stats/list/metrics/jobs
+	classMut                  // updates/datasets/build
+)
+
+func (rt *Router) timeoutFor(class reqClass) time.Duration {
+	if class == classMut {
+		return rt.mutTimeout
+	}
+	return rt.readTimeout
+}
+
+// doMethod sends one request to a specific upstream target, honoring
+// its circuit breaker and the request class's deadline. Network errors
+// and 5xx answers count against the breaker; everything else closes it.
+func (rt *Router) doMethod(ctx context.Context, class reqClass, method, target, pathAndQuery, contentType string, body []byte, hdr ...string) (*upstream, error) {
+	if !rt.breakers.Allow(target) {
+		return nil, fmt.Errorf("%w for %s", errBreakerOpen, target)
+	}
+	ctx, cancel := context.WithTimeout(ctx, rt.timeoutFor(class))
+	defer cancel()
 	rt.proxied.Add(1)
-	req, err := http.NewRequestWithContext(ctx, method, url, bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, method, target+pathAndQuery, bytes.NewReader(body))
 	if err != nil {
+		rt.breakers.Failure(target)
 		return nil, err
 	}
 	if contentType != "" {
@@ -167,29 +291,46 @@ func (rt *Router) do(ctx context.Context, method, url, contentType string, body 
 	}
 	res, err := rt.client.Do(req)
 	if err != nil {
+		rt.breakers.Failure(target)
 		return nil, err
 	}
 	defer res.Body.Close()
 	b, err := io.ReadAll(res.Body)
 	if err != nil {
+		rt.breakers.Failure(target)
 		return nil, err
+	}
+	if res.StatusCode >= 500 {
+		rt.breakers.Failure(target)
+	} else {
+		rt.breakers.Success(target)
 	}
 	return &upstream{status: res.StatusCode, contentType: res.Header.Get("Content-Type"), body: b}, nil
 }
 
 // readShard sends a read to the shard, retrying replicas when the
-// primary is unreachable or failing (network error or 5xx). 4xx answers
-// are returned as-is — they are the shard's verdict, not its health.
+// primary is unreachable or failing (network error, open breaker, or
+// 5xx). Targets the health checker has marked down are tried last
+// instead of skipped — if everything is down, stale verdicts must not
+// make the router refuse a request that would have succeeded. 4xx
+// answers are returned as-is — they are the shard's verdict, not its
+// health.
 func (rt *Router) readShard(ctx context.Context, sh *Shard, method, pathAndQuery, contentType string, body []byte, hdr ...string) (*upstream, error) {
+	targets := make([]string, 0, 1+len(sh.Replicas))
+	targets = append(targets, sh.Primary)
+	targets = append(targets, sh.Replicas...)
+	if rt.health != nil {
+		targets = rt.health.orderUp(targets)
+	}
 	var (
 		last    *upstream
 		lastErr error
 	)
-	for i, target := range append([]string{sh.Primary}, sh.Replicas...) {
+	for i, target := range targets {
 		if i > 0 {
 			rt.failovers.Add(1)
 		}
-		resp, err := rt.do(ctx, method, target+pathAndQuery, contentType, body, hdr...)
+		resp, err := rt.doMethod(ctx, classRead, method, target, pathAndQuery, contentType, body, hdr...)
 		if err != nil {
 			lastErr = err
 			continue
@@ -236,19 +377,32 @@ func (rt *Router) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool
 // --- handlers ---
 
 func (rt *Router) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "shards": len(rt.shards)})
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "shards": len(rt.shards())})
 }
 
+// handleTopology surfaces the live shard map — roles as of the last
+// health-driven swap, not the flags the router started with — plus
+// per-target probe state, fence epochs, and the forwarding counters.
 func (rt *Router) handleTopology(w http.ResponseWriter, r *http.Request) {
-	shards := make([]*Shard, 0, len(rt.shards))
+	topo := rt.topo.Load()
+	shards := make([]*Shard, 0, len(topo.shards))
 	for _, id := range rt.ring.Shards() {
-		shards = append(shards, rt.shards[id])
+		shards = append(shards, topo.shards[id])
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"shards":    shards,
-		"proxied":   rt.proxied.Load(),
-		"failovers": rt.failovers.Load(),
-	})
+	out := map[string]any{
+		"shards":           shards,
+		"topology_version": topo.version,
+		"proxied":          rt.proxied.Load(),
+		"failovers":        rt.failovers.Load(),
+	}
+	if rt.health != nil {
+		health, fences := rt.health.view()
+		out["health"] = health
+		out["fences"] = fences
+		out["promotions"] = rt.health.promotions.Load()
+		out["demotions"] = rt.health.demotions.Load()
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 // handleNamedRead proxies a per-name read to the owning shard with
@@ -279,7 +433,7 @@ func (rt *Router) handleNamedWrite(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	resp, err := rt.do(r.Context(), r.Method, sh.Primary+r.URL.RequestURI(), r.Header.Get("Content-Type"), body)
+	resp, err := rt.doMethod(r.Context(), classMut, r.Method, sh.Primary, r.URL.RequestURI(), r.Header.Get("Content-Type"), body)
 	if err != nil {
 		writeErr(w, http.StatusBadGateway, "shard %q primary unreachable: %v", sh.ID, err)
 		return
@@ -301,7 +455,7 @@ func (rt *Router) handleList(w http.ResponseWriter, r *http.Request) {
 		per    = map[string]any{}
 		wg     sync.WaitGroup
 	)
-	for id, sh := range rt.shards {
+	for id, sh := range rt.shards() {
 		wg.Add(1)
 		go func(id string, sh *Shard) {
 			defer wg.Done()
@@ -345,7 +499,7 @@ func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
 		per = map[string]any{}
 		wg  sync.WaitGroup
 	)
-	for id, sh := range rt.shards {
+	for id, sh := range rt.shards() {
 		wg.Add(1)
 		go func(id string, sh *Shard) {
 			defer wg.Done()
@@ -381,11 +535,11 @@ func (rt *Router) handleDatasets(w http.ResponseWriter, r *http.Request) {
 		netErr   error
 		wg       sync.WaitGroup
 	)
-	for id, sh := range rt.shards {
+	for id, sh := range rt.shards() {
 		wg.Add(1)
 		go func(id string, sh *Shard) {
 			defer wg.Done()
-			resp, err := rt.do(r.Context(), http.MethodPost, sh.Primary+"/v1/datasets", ct, body)
+			resp, err := rt.doMethod(r.Context(), classMut, http.MethodPost, sh.Primary, "/v1/datasets", ct, body)
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil && netErr == nil {
@@ -406,7 +560,7 @@ func (rt *Router) handleDatasets(w http.ResponseWriter, r *http.Request) {
 		writeUpstream(w, firstErr)
 		return
 	}
-	writeJSON(w, http.StatusCreated, map[string]any{"shards": len(rt.shards)})
+	writeJSON(w, http.StatusCreated, map[string]any{"shards": len(rt.shards())})
 }
 
 // handleBuild routes a build to the shard owning the histogram name in
@@ -425,7 +579,7 @@ func (rt *Router) handleBuild(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sh := rt.Shard(req.Name)
-	resp, err := rt.do(r.Context(), http.MethodPost, sh.Primary+"/v1/build", r.Header.Get("Content-Type"), body)
+	resp, err := rt.doMethod(r.Context(), classMut, http.MethodPost, sh.Primary, "/v1/build", r.Header.Get("Content-Type"), body)
 	if err != nil {
 		writeErr(w, http.StatusBadGateway, "shard %q primary unreachable: %v", sh.ID, err)
 		return
@@ -447,7 +601,7 @@ func (rt *Router) handleBuild(w http.ResponseWriter, r *http.Request) {
 // happen not to collide.
 func (rt *Router) handleJob(w http.ResponseWriter, r *http.Request) {
 	if id := r.URL.Query().Get("shard"); id != "" {
-		sh, ok := rt.shards[id]
+		sh, ok := rt.shards()[id]
 		if !ok {
 			writeErr(w, http.StatusBadRequest, "unknown shard %q", id)
 			return
@@ -460,7 +614,7 @@ func (rt *Router) handleJob(w http.ResponseWriter, r *http.Request) {
 		writeUpstream(w, resp)
 		return
 	}
-	for _, sh := range rt.shards {
+	for _, sh := range rt.shards() {
 		resp, err := rt.readShard(r.Context(), sh, http.MethodGet, r.URL.RequestURI(), "", nil)
 		if err != nil || resp.status == http.StatusNotFound {
 			continue

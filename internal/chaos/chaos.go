@@ -1,0 +1,227 @@
+// Package chaos is a deterministic fault-injecting HTTP proxy for
+// failover tests: it forwards requests to an upstream while injecting
+// seeded drops (connection resets), delays, 5xx answers, and partial
+// bodies, plus a blackhole switch that kills every connection — the
+// "primary just died" lever. The upstream is swappable at runtime so a
+// test can resurrect a killed node as a fresh process behind the same
+// stable address the router keeps probing.
+//
+// Determinism: every injection decision is drawn from one seeded PRNG
+// under a mutex, so a fixed seed and a fixed request order replay the
+// same fault sequence — the property a CI chaos smoke needs to not
+// flake.
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config sets the injection probabilities (all default 0 = a clean
+// pass-through proxy).
+type Config struct {
+	// Seed fixes the PRNG (0 = 1, still deterministic).
+	Seed int64
+	// DropProb resets the client connection without any response.
+	DropProb float64
+	// DelayProb stalls the exchange by Delay before forwarding.
+	DelayProb float64
+	Delay     time.Duration
+	// ErrorProb answers 502 without contacting the upstream.
+	ErrorProb float64
+	// PartialProb forwards the response but truncates the body halfway
+	// and resets — the client sees an unexpected EOF mid-read.
+	PartialProb float64
+}
+
+// Counts reports what the proxy has done so far.
+type Counts struct {
+	Forwarded uint64 `json:"forwarded"`
+	Dropped   uint64 `json:"dropped"`
+	Delayed   uint64 `json:"delayed"`
+	Errored   uint64 `json:"errored"`
+	Partial   uint64 `json:"partial"`
+	Blackhole uint64 `json:"blackhole"`
+}
+
+// Proxy is an http.Handler; host it on an httptest.Server (or any
+// listener) and point the router at that address.
+type Proxy struct {
+	cfg Config
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	upstream  atomic.Value // string
+	blackhole atomic.Bool
+
+	forwarded atomic.Uint64
+	dropped   atomic.Uint64
+	delayed   atomic.Uint64
+	errored   atomic.Uint64
+	partial   atomic.Uint64
+	blackImpl atomic.Uint64
+
+	client *http.Client
+}
+
+// New builds a proxy forwarding to upstream (base URL, no trailing
+// slash needed).
+func New(upstream string, cfg Config) *Proxy {
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	p := &Proxy{
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		client: &http.Client{},
+	}
+	p.upstream.Store(trimSlash(upstream))
+	return p
+}
+
+// SetUpstream atomically swaps the forwarding target — resurrection:
+// the proxy's address stays stable while the process behind it changes.
+func (p *Proxy) SetUpstream(upstream string) { p.upstream.Store(trimSlash(upstream)) }
+
+// Upstream returns the current forwarding target.
+func (p *Proxy) Upstream() string { return p.upstream.Load().(string) }
+
+// SetBlackhole toggles kill mode: every connection is reset immediately,
+// exactly what a router sees from a dead host with the port closed.
+func (p *Proxy) SetBlackhole(on bool) { p.blackhole.Store(on) }
+
+// Counts returns a snapshot of the proxy's decision counters.
+func (p *Proxy) Counts() Counts {
+	return Counts{
+		Forwarded: p.forwarded.Load(),
+		Dropped:   p.dropped.Load(),
+		Delayed:   p.delayed.Load(),
+		Errored:   p.errored.Load(),
+		Partial:   p.partial.Load(),
+		Blackhole: p.blackImpl.Load(),
+	}
+}
+
+// roll draws the injection decisions for one request under the lock, in
+// arrival order — the deterministic heart of the proxy.
+func (p *Proxy) roll() (drop, delay, errOut, partial bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	drop = p.rng.Float64() < p.cfg.DropProb
+	delay = p.rng.Float64() < p.cfg.DelayProb
+	errOut = p.rng.Float64() < p.cfg.ErrorProb
+	partial = p.rng.Float64() < p.cfg.PartialProb
+	return
+}
+
+func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if p.blackhole.Load() {
+		p.blackImpl.Add(1)
+		reset(w)
+		return
+	}
+	drop, delay, errOut, partial := p.roll()
+	if drop {
+		p.dropped.Add(1)
+		reset(w)
+		return
+	}
+	if delay && p.cfg.Delay > 0 {
+		p.delayed.Add(1)
+		select {
+		case <-time.After(p.cfg.Delay):
+		case <-r.Context().Done():
+			return
+		}
+	}
+	if errOut {
+		p.errored.Add(1)
+		http.Error(w, "chaos: injected upstream error", http.StatusBadGateway)
+		return
+	}
+
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		reset(w)
+		return
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method,
+		p.Upstream()+r.URL.RequestURI(), bytes.NewReader(body))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	req.Header = r.Header.Clone()
+	res, err := p.client.Do(req)
+	if err != nil {
+		// Upstream genuinely unreachable (killed): surface as a reset,
+		// not a tidy 502 — the router must handle both shapes anyway.
+		reset(w)
+		return
+	}
+	defer res.Body.Close()
+	respBody, err := io.ReadAll(res.Body)
+	if err != nil {
+		reset(w)
+		return
+	}
+	if partial && len(respBody) > 1 {
+		// Declare the full length, send half, reset: the client gets an
+		// unexpected EOF mid-body instead of a short-but-valid answer.
+		p.partial.Add(1)
+		hj, ok := w.(http.Hijacker)
+		if !ok {
+			reset(w)
+			return
+		}
+		conn, bw, err := hj.Hijack()
+		if err != nil {
+			return
+		}
+		fmt.Fprintf(bw, "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\n\r\n",
+			res.StatusCode, http.StatusText(res.StatusCode),
+			res.Header.Get("Content-Type"), len(respBody))
+		bw.Write(respBody[:len(respBody)/2])
+		bw.Flush()
+		conn.Close()
+		return
+	}
+	p.forwarded.Add(1)
+	for k, vs := range res.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(res.StatusCode)
+	w.Write(respBody)
+}
+
+// reset hijacks and closes the underlying connection so the client sees
+// a TCP-level failure (connection reset / unexpected EOF), not an HTTP
+// response. Falls back to a 502 when the writer cannot be hijacked.
+func reset(w http.ResponseWriter) {
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		http.Error(w, "chaos: injected fault", http.StatusBadGateway)
+		return
+	}
+	conn, _, err := hj.Hijack()
+	if err != nil {
+		return
+	}
+	conn.Close()
+}
+
+func trimSlash(s string) string {
+	for len(s) > 0 && s[len(s)-1] == '/' {
+		s = s[:len(s)-1]
+	}
+	return s
+}

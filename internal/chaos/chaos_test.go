@@ -1,0 +1,189 @@
+package chaos
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func upstream(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		w.Header().Set("Content-Type", "text/plain")
+		w.Write([]byte("echo:" + r.URL.RequestURI() + ":" + string(body)))
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestCleanPassThrough(t *testing.T) {
+	up := upstream(t)
+	p := New(up.URL, Config{Seed: 7})
+	front := httptest.NewServer(p)
+	defer front.Close()
+
+	res, err := http.Post(front.URL+"/v1/thing?q=1", "text/plain", strings.NewReader("hello"))
+	if err != nil {
+		t.Fatalf("post: %v", err)
+	}
+	defer res.Body.Close()
+	body, _ := io.ReadAll(res.Body)
+	if got, want := string(body), "echo:/v1/thing?q=1:hello"; got != want {
+		t.Fatalf("body = %q, want %q", got, want)
+	}
+	if c := p.Counts(); c.Forwarded != 1 || c.Dropped+c.Errored+c.Partial+c.Blackhole != 0 {
+		t.Fatalf("counts = %+v, want one clean forward", c)
+	}
+}
+
+func TestBlackholeResetsConnections(t *testing.T) {
+	up := upstream(t)
+	p := New(up.URL, Config{Seed: 7})
+	front := httptest.NewServer(p)
+	defer front.Close()
+
+	p.SetBlackhole(true)
+	if _, err := http.Get(front.URL + "/healthz"); err == nil {
+		t.Fatal("expected a transport error through a blackholed proxy")
+	}
+	p.SetBlackhole(false)
+	res, err := http.Get(front.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("after un-blackholing: %v", err)
+	}
+	res.Body.Close()
+	if c := p.Counts(); c.Blackhole == 0 {
+		t.Fatalf("counts = %+v, want blackhole hits recorded", c)
+	}
+}
+
+func TestSetUpstreamSwapsTarget(t *testing.T) {
+	a := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("A"))
+	}))
+	defer a.Close()
+	b := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("B"))
+	}))
+	defer b.Close()
+
+	p := New(a.URL+"/", Config{Seed: 7}) // trailing slash must be trimmed
+	front := httptest.NewServer(p)
+	defer front.Close()
+
+	get := func() string {
+		res, err := http.Get(front.URL + "/x")
+		if err != nil {
+			t.Fatalf("get: %v", err)
+		}
+		defer res.Body.Close()
+		body, _ := io.ReadAll(res.Body)
+		return string(body)
+	}
+	if got := get(); got != "A" {
+		t.Fatalf("before swap: %q, want A", got)
+	}
+	p.SetUpstream(b.URL)
+	if got := get(); got != "B" {
+		t.Fatalf("after swap: %q, want B", got)
+	}
+}
+
+func TestInjectedErrorsAreDeterministic(t *testing.T) {
+	run := func() []int {
+		up := upstream(t)
+		p := New(up.URL, Config{Seed: 42, ErrorProb: 0.5})
+		front := httptest.NewServer(p)
+		defer front.Close()
+		var codes []int
+		for i := 0; i < 20; i++ {
+			res, err := http.Get(front.URL + "/x")
+			if err != nil {
+				t.Fatalf("get %d: %v", i, err)
+			}
+			io.Copy(io.Discard, res.Body)
+			res.Body.Close()
+			codes = append(codes, res.StatusCode)
+		}
+		return codes
+	}
+	first, second := run(), run()
+	var fails int
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("run divergence at %d: %d vs %d", i, first[i], second[i])
+		}
+		if first[i] == http.StatusBadGateway {
+			fails++
+		}
+	}
+	if fails == 0 || fails == len(first) {
+		t.Fatalf("got %d/%d injected errors, want a mix", fails, len(first))
+	}
+}
+
+func TestDropsSurfaceAsTransportErrors(t *testing.T) {
+	up := upstream(t)
+	p := New(up.URL, Config{Seed: 3, DropProb: 1})
+	front := httptest.NewServer(p)
+	defer front.Close()
+
+	// Disable keep-alives so each attempt sees the reset directly rather
+	// than a reused-connection edge case.
+	client := &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
+	if _, err := client.Get(front.URL + "/x"); err == nil {
+		t.Fatal("expected transport error from dropped connection")
+	}
+	if c := p.Counts(); c.Dropped == 0 {
+		t.Fatalf("counts = %+v, want drops recorded", c)
+	}
+}
+
+func TestPartialBodyTruncates(t *testing.T) {
+	big := strings.Repeat("wavelet-", 512)
+	up := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(big))
+	}))
+	defer up.Close()
+
+	p := New(up.URL, Config{Seed: 3, PartialProb: 1})
+	front := httptest.NewServer(p)
+	defer front.Close()
+
+	client := &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
+	res, err := client.Get(front.URL + "/x")
+	if err != nil {
+		// Some transports surface the mid-body reset at Do time; that is
+		// an acceptable shape for a partial-body fault.
+		return
+	}
+	defer res.Body.Close()
+	body, readErr := io.ReadAll(res.Body)
+	if readErr == nil && len(body) == len(big) {
+		t.Fatalf("read full %d-byte body with no error, want truncation", len(body))
+	}
+	if c := p.Counts(); c.Partial == 0 {
+		t.Fatalf("counts = %+v, want partial recorded", c)
+	}
+}
+
+func TestDelayStalls(t *testing.T) {
+	up := upstream(t)
+	p := New(up.URL, Config{Seed: 3, DelayProb: 1, Delay: 50 * time.Millisecond})
+	front := httptest.NewServer(p)
+	defer front.Close()
+
+	t0 := time.Now()
+	res, err := http.Get(front.URL + "/x")
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	res.Body.Close()
+	if d := time.Since(t0); d < 50*time.Millisecond {
+		t.Fatalf("request returned in %v, want >= 50ms injected delay", d)
+	}
+}

@@ -70,17 +70,28 @@ func (s *Server) collectMetrics(w *obs.Writer) {
 		ro = 1
 	}
 	w.Gauge("wavehist_read_only", "1 when serving as a read-only replica.", ro)
-	var lag, applied, sinceSync float64
+	w.Gauge("wavehist_epoch", "Registry epoch of this server's write lineage (bumped on cold start and promotion).", float64(s.epoch.Load()))
+	var lag, applied, sinceSync, replEpoch, resets float64
 	if st := s.repl.Load(); st != nil {
 		lag = float64(st.LagVersions)
 		applied = float64(st.Version)
-		if !st.SyncedAt.IsZero() {
+		replEpoch = float64(st.Epoch)
+		resets = float64(st.EpochResets)
+		switch {
+		case !st.SyncedAt.IsZero():
 			sinceSync = time.Since(st.SyncedAt).Seconds()
+		case !st.FirstAttempt.IsZero():
+			// Never synced successfully: report time since the first
+			// attempt so the sync-stalled alert can fire for a replica
+			// whose primary was dead from the start.
+			sinceSync = time.Since(st.FirstAttempt).Seconds()
 		}
 	}
 	w.Gauge("wavehist_repl_lag_versions", "Registry versions the primary was ahead at the last pull (0 on a primary).", lag)
 	w.Gauge("wavehist_repl_applied_version", "Last registry version applied from the primary.", applied)
-	w.Gauge("wavehist_repl_seconds_since_sync", "Seconds since the last successful pull (0 before the first).", sinceSync)
+	w.Gauge("wavehist_repl_seconds_since_sync", "Seconds since the last successful pull (time since first failed attempt while never synced).", sinceSync)
+	w.Gauge("wavehist_repl_epoch", "Primary registry epoch the replication cursor was minted under (0 = never synced).", replEpoch)
+	w.Counter("wavehist_repl_epoch_resets_total", "Replication cursor resets forced by a primary epoch change.", resets)
 }
 
 // slowQuery logs one structured line (and counts) when a query exceeded

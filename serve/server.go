@@ -59,6 +59,10 @@ type Config struct {
 	// POST /v1/promote flips it writable. The ha.Replica sync loop keeps
 	// a read-only server's registry following a primary.
 	ReadOnly bool
+	// Epoch pins the server's starting registry epoch (tests and
+	// embedders). 0 = automatic: the persisted SnapshotDir counter + 1,
+	// or a random draw for in-memory servers. See epoch.go.
+	Epoch uint64
 	// Shard is an informational label ("" = unsharded) reported in
 	// /v1/stats and /healthz so operators and the router can tell which
 	// shard a process serves.
@@ -159,8 +163,13 @@ type Server struct {
 
 	// readOnly is the replica-mode latch (see Config.ReadOnly, Promote);
 	// repl holds the latest sync status a replica follower installed.
-	readOnly atomic.Bool
-	repl     atomic.Pointer[ReplStatus]
+	// epoch is the registry epoch (epoch.go); promoteMu serializes
+	// promotion/demotion against replication applies (ReplApply) so a
+	// role flip never interleaves with a half-applied pull.
+	readOnly  atomic.Bool
+	repl      atomic.Pointer[ReplStatus]
+	epoch     atomic.Uint64
+	promoteMu sync.RWMutex
 
 	// Observability plane (metrics.go): the /metrics registry plus the
 	// static instruments the job runner and slow-query log record into.
@@ -205,6 +214,9 @@ func NewServer(cfg Config) (*Server, error) {
 		maints:     map[string]*maintained{},
 	}
 	s.readOnly.Store(cfg.ReadOnly)
+	if err := s.initEpoch(); err != nil {
+		return nil, err
+	}
 	if cfg.SlowQueryDir != "" {
 		s.slowLog = newSlowLogSink(cfg.SlowQueryDir)
 	}
@@ -274,6 +286,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
 	s.mux.HandleFunc("POST /v1/repl/pull", s.handleReplPull)
 	s.mux.HandleFunc("POST /v1/promote", s.handlePromote)
+	s.mux.HandleFunc("POST /v1/demote", s.handleDemote)
 	if s.cfg.Coordinator != nil {
 		s.mux.Handle("/dist/v1/", s.cfg.Coordinator.Handler())
 	}
@@ -325,8 +338,25 @@ func (s *Server) entry(w http.ResponseWriter, r *http.Request) (*Entry, bool) {
 
 // --- handlers ---
 
+// handleHealth reports liveness plus the fields the router's health
+// checker elects and fences on: the registry epoch, role, and — for
+// replicas — the primary version applied and the epoch it was synced
+// under. One probe answers "alive?", "who are you?" and "how caught up?".
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "version": s.reg.Version()})
+	out := map[string]any{
+		"ok":        true,
+		"version":   s.reg.Version(),
+		"epoch":     s.epoch.Load(),
+		"read_only": s.readOnly.Load(),
+	}
+	if s.cfg.Shard != "" {
+		out["shard"] = s.cfg.Shard
+	}
+	if st := s.repl.Load(); st != nil {
+		out["applied"] = st.Version
+		out["repl_epoch"] = st.Epoch
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 // HistInfo describes one published histogram in GET /v1/hist.
@@ -648,6 +678,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	out := map[string]any{
 		"registry_version": snap.Version(),
+		"epoch":            s.epoch.Load(),
 		"histograms":       per,
 	}
 	if s.cfg.Shard != "" {
@@ -668,6 +699,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			repl["version"] = st.Version
 			repl["synced_at"] = st.SyncedAt
 			repl["lag_versions"] = st.LagVersions
+			repl["epoch"] = st.Epoch
+			if st.EpochResets > 0 {
+				repl["epoch_resets"] = st.EpochResets
+			}
+			if !st.LastAttempt.IsZero() {
+				repl["last_attempt"] = st.LastAttempt
+			}
 			if st.Error != "" {
 				repl["error"] = st.Error
 			}
